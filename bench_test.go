@@ -1,0 +1,287 @@
+// Benchmarks regenerating the paper's evaluation. Two kinds live here:
+//
+//   - BenchmarkReal*: honest Go benchmarks of the packet pipelines — b.N
+//     packets through each platform's data path, wall-clock ns/op and
+//     allocations. At steady state the big orderings hold even in raw Go
+//     time (Linux slowest, the LinuxFP fast path ≈2× faster, VPP fastest)
+//     because the fast path genuinely executes less code; fine-grained
+//     ratios (e.g. LinuxFP vs Polycube) reflect this model's Go
+//     implementation, not the paper's hardware. The `modelcycles/op`
+//     metric — the calibrated cost model attached to the same executed
+//     work — is the paper-comparable quantity; see EXPERIMENTS.md.
+//
+//   - Benchmark{FigN,TableN}*: one per table and figure of §VI. Each runs
+//     its experiment once (cached across harness reruns) and reports the
+//     paper's quantities as custom benchmark metrics.
+//
+// Run everything:  go test -bench=. -benchmem
+package linuxfp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/k8s"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/testbed"
+	"linuxfp/internal/traffic"
+)
+
+// mkDUT builds a testbed DUT and fails the benchmark on error.
+func mkDUT(b *testing.B, platform string, sc testbed.Scenario) *testbed.DUT {
+	b.Helper()
+	d, err := testbed.Build(platform, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return d
+}
+
+// benchPlatformForward measures real ns/op for one platform's forwarding
+// path, DUT work only (sink unplugged).
+func benchPlatformForward(b *testing.B, platform string, sc testbed.Scenario) {
+	d := mkDUT(b, platform, sc)
+	gen := traffic.Pktgen{
+		SrcMAC: d.SrcDev.MAC, DstMAC: d.In.MAC,
+		SrcIP:    mustAddr("10.1.0.1"),
+		Prefixes: benchPrefixes(),
+		Size:     traffic.MinFrameSize,
+	}
+	// Pre-build templates; each iteration gets a fresh copy because the
+	// pipeline rewrites headers in place.
+	templates := make([][]byte, 64)
+	for i := range templates {
+		templates[i] = gen.Frame(i)
+	}
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	buf := make([]byte, traffic.MinFrameSize)
+	var m sim.Meter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, templates[i%len(templates)])
+		d.In.Receive(buf, &m)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Total)/float64(b.N), "modelcycles/op")
+}
+
+func BenchmarkRealLinuxSlowPath(b *testing.B) {
+	benchPlatformForward(b, testbed.PlatformLinux, testbed.Scenario{})
+}
+
+func BenchmarkRealLinuxFPFastPath(b *testing.B) {
+	benchPlatformForward(b, testbed.PlatformLinuxFP, testbed.Scenario{})
+}
+
+func BenchmarkRealPolycube(b *testing.B) {
+	benchPlatformForward(b, testbed.PlatformPolycube, testbed.Scenario{})
+}
+
+func BenchmarkRealVPP(b *testing.B) {
+	benchPlatformForward(b, testbed.PlatformVPP, testbed.Scenario{})
+}
+
+func BenchmarkRealLinuxFPGateway(b *testing.B) {
+	benchPlatformForward(b, testbed.PlatformLinuxFP, testbed.Scenario{Gateway: true, Rules: 100})
+}
+
+// --- one bench per figure/table -------------------------------------------------
+
+// cached runs fn once per process and returns its cached result, so the
+// benchmark harness's b.N growth does not re-run whole experiments.
+var benchCache sync.Map
+
+func cached[T any](b *testing.B, key string, fn func() (T, error)) T {
+	b.Helper()
+	if v, ok := benchCache.Load(key); ok {
+		return v.(T)
+	}
+	v, err := fn()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.Store(key, v)
+	return v
+}
+
+func spin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkFig1FlameGraph(b *testing.B) {
+	type result struct{ stacks int }
+	r := cached(b, "fig1", func() (result, error) {
+		d, err := testbed.Build(testbed.PlatformLinux, testbed.Scenario{})
+		if err != nil {
+			return result{}, err
+		}
+		defer d.Close()
+		tr := d.Kern.EnableTracing()
+		gen := traffic.Pktgen{SrcMAC: d.SrcDev.MAC, DstMAC: d.In.MAC,
+			SrcIP: mustAddr("10.1.0.1"), Prefixes: benchPrefixes(), Size: 64}
+		for i := 0; i < 500; i++ {
+			var m sim.Meter
+			d.In.Receive(gen.Frame(i), &m)
+		}
+		d.Kern.DisableTracing()
+		return result{stacks: len(tr.Report())}, nil
+	})
+	b.ReportMetric(float64(r.stacks), "distinct_stacks")
+	spin(b)
+}
+
+func BenchmarkFig5RouterThroughput(b *testing.B) {
+	series := cached(b, "fig5", func() ([]testbed.Series, error) {
+		return testbed.Fig5RouterThroughput(6)
+	})
+	for _, s := range series {
+		b.ReportMetric(s.Y[0], metricName(s.Platform)+"_Mpps_1core")
+	}
+	spin(b)
+}
+
+func BenchmarkFig6PacketSize(b *testing.B) {
+	series := cached(b, "fig6", func() ([]testbed.Series, error) {
+		return testbed.Fig6PacketSize([]int{64, 1500})
+	})
+	for _, s := range series {
+		b.ReportMetric(s.Y[len(s.Y)-1], metricName(s.Platform)+"_Gbps_1500B")
+	}
+	spin(b)
+}
+
+func BenchmarkFig7GatewayThroughput(b *testing.B) {
+	series := cached(b, "fig7", func() ([]testbed.Series, error) {
+		return testbed.Fig7GatewayThroughput(6)
+	})
+	for _, s := range series {
+		b.ReportMetric(s.Y[0], metricName(s.Platform)+"_Mpps_1core")
+	}
+	spin(b)
+}
+
+func BenchmarkFig8RuleScaling(b *testing.B) {
+	series := cached(b, "fig8", func() ([]testbed.Series, error) {
+		return testbed.Fig8RuleScaling([]int{1, 500})
+	})
+	for _, s := range series {
+		b.ReportMetric(s.Y[len(s.Y)-1], metricName(s.Platform)+"_Mpps_500rules")
+	}
+	spin(b)
+}
+
+func BenchmarkFig9PodThroughput(b *testing.B) {
+	type fig9 struct{ intra, inter []k8s.Fig9Point }
+	r := cached(b, "fig9", func() (fig9, error) {
+		intra, err := k8s.Fig9PodThroughput(10, true)
+		if err != nil {
+			return fig9{}, err
+		}
+		inter, err := k8s.Fig9PodThroughput(10, false)
+		if err != nil {
+			return fig9{}, err
+		}
+		return fig9{intra, inter}, nil
+	})
+	last := len(r.intra) - 1
+	b.ReportMetric(r.intra[last].LinuxTPS, "Linux_intra_tps_10pairs")
+	b.ReportMetric(r.intra[last].LinuxFPTPS, "LinuxFP_intra_tps_10pairs")
+	b.ReportMetric(r.inter[last].LinuxTPS, "Linux_inter_tps_10pairs")
+	b.ReportMetric(r.inter[last].LinuxFPTPS, "LinuxFP_inter_tps_10pairs")
+	spin(b)
+}
+
+func BenchmarkFig10CallChaining(b *testing.B) {
+	rows := cached(b, "fig10", func() ([]testbed.Fig10Row, error) {
+		return testbed.Fig10CallChaining(16)
+	})
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.FuncCallMpps, "funccall_Mpps_16nfs")
+	b.ReportMetric(last.TailCallMpps, "tailcall_Mpps_16nfs")
+	spin(b)
+}
+
+func BenchmarkTable3RouterLatency(b *testing.B) {
+	rows := cached(b, "table3", func() ([]testbed.LatencyRow, error) {
+		return testbed.Table3RouterLatency()
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.Avg, metricName(r.Platform)+"_avg_us")
+		b.ReportMetric(r.P99, metricName(r.Platform)+"_p99_us")
+	}
+	spin(b)
+}
+
+func BenchmarkTable4GatewayLatency(b *testing.B) {
+	rows := cached(b, "table4", func() ([]testbed.LatencyRow, error) {
+		return testbed.Table4GatewayLatency()
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.Avg, metricName(r.Platform)+"_avg_us")
+	}
+	spin(b)
+}
+
+func BenchmarkTable5PodLatency(b *testing.B) {
+	rows := cached(b, "table5", func() ([]k8s.Table5Row, error) {
+		return k8s.Table5PodLatency()
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.AvgMs, metricName(r.Config)+"_avg_ms")
+	}
+	spin(b)
+}
+
+func BenchmarkTable6ReactionTime(b *testing.B) {
+	rows := cached(b, "table6", func() ([]testbed.Table6Row, error) {
+		return testbed.Table6ReactionTime()
+	})
+	for i, r := range rows {
+		b.ReportMetric(r.Seconds, fmt.Sprintf("cmd%d_seconds", i+1))
+	}
+	spin(b)
+}
+
+func BenchmarkTable7HookComparison(b *testing.B) {
+	rows := cached(b, "table7", func() ([]testbed.Table7Row, error) {
+		return testbed.Table7HookComparison()
+	})
+	for _, r := range rows {
+		b.ReportMetric(r.XDPpps/1e6, r.Function+"_xdp_Mpps")
+		b.ReportMetric(r.TCpps/1e6, r.Function+"_tc_Mpps")
+	}
+	spin(b)
+}
+
+// --- helpers --------------------------------------------------------------------
+
+func mustAddr(s string) packet.Addr { return packet.MustAddr(s) }
+
+func benchPrefixes() []packet.Prefix {
+	out := make([]packet.Prefix, testbed.RoutedPrefixes)
+	for i := range out {
+		out[i] = packet.Prefix{Addr: packet.AddrFrom4(10, 100+byte(i), 0, 0), Bits: 16}
+	}
+	return out
+}
+
+func metricName(platform string) string {
+	out := make([]byte, 0, len(platform))
+	for i := 0; i < len(platform); i++ {
+		switch c := platform[i]; {
+		case c == ' ' || c == '(' || c == ')':
+			// drop
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,64 @@
+// Command flamegraph reproduces the paper's Fig. 1: the flame graph of
+// Linux forwarding, showing that the overwhelming majority of packets walk
+// one call chain — the hot spot LinuxFP's router FPM replaces. It builds
+// the virtual-router testbed, traces the DUT kernel while forwarding a
+// packet batch, and prints both a folded-stack dump (pipe into
+// flamegraph.pl for the classic SVG) and an ASCII rendering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/testbed"
+	"linuxfp/internal/traffic"
+)
+
+func main() {
+	packets := flag.Int("n", 1000, "packets to trace")
+	folded := flag.Bool("folded", false, "print folded stacks only (flamegraph.pl input)")
+	flag.Parse()
+
+	if err := run(*packets, *folded); err != nil {
+		fmt.Fprintln(os.Stderr, "flamegraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(packets int, folded bool) error {
+	d, err := testbed.Build(testbed.PlatformLinux, testbed.Scenario{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	tracer := d.Kern.EnableTracing()
+	prefixes := make([]packet.Prefix, testbed.RoutedPrefixes)
+	for i := range prefixes {
+		prefixes[i] = packet.Prefix{Addr: packet.AddrFrom4(10, 100+byte(i), 0, 0), Bits: 16}
+	}
+	gen := traffic.Pktgen{
+		SrcMAC: d.SrcDev.MAC, DstMAC: d.In.MAC,
+		SrcIP:    packet.MustAddr("10.1.0.1"),
+		Prefixes: prefixes,
+		Size:     traffic.MinFrameSize,
+	}
+	for i := 0; i < packets; i++ {
+		var m sim.Meter
+		d.In.Receive(gen.Frame(i), &m)
+	}
+	d.Kern.DisableTracing()
+
+	if folded {
+		fmt.Print(tracer.Folded())
+		return nil
+	}
+	fmt.Printf("Fig. 1: flame graph of Linux forwarding (%d packets)\n\n", packets)
+	fmt.Print(tracer.ASCII(60))
+	fmt.Println("\nFolded stacks (for flamegraph.pl, use -folded):")
+	fmt.Print(tracer.Folded())
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunBothModes(t *testing.T) {
+	if err := run(50, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(50, false); err != nil {
+		t.Fatal(err)
+	}
+}

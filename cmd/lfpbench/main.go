@@ -1,0 +1,146 @@
+// Command lfpbench regenerates every table and figure of the LinuxFP
+// paper's evaluation (§VI) on the simulated testbed and prints them in the
+// paper's layout.
+//
+//	lfpbench -exp all
+//	lfpbench -exp fig5 -cores 6
+//	lfpbench -exp table6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"linuxfp/internal/k8s"
+	"linuxfp/internal/testbed"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
+	cores := flag.Int("cores", 6, "maximum core count for core sweeps")
+	pairs := flag.Int("pairs", 10, "maximum pod pairs for fig9")
+	flag.Parse()
+
+	if err := run(*exp, *cores, *pairs); err != nil {
+		fmt.Fprintln(os.Stderr, "lfpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cores, pairs int) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig5") {
+		ran = true
+		series, err := testbed.Fig5RouterThroughput(cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderSeries("Fig. 5: Virtual router throughput vs cores (64B)", "cores", "Mpps", series))
+	}
+	if want("table3") {
+		ran = true
+		rows, err := testbed.Table3RouterLatency()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderLatencyTable("Table III: Virtual router RTT, single core, 128 sessions (µs)", rows))
+	}
+	if want("fig6") {
+		ran = true
+		series, err := testbed.Fig6PacketSize(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderSeries("Fig. 6: Virtual router single-core throughput vs packet size", "bytes", "Gbps", series))
+	}
+	if want("fig7") {
+		ran = true
+		series, err := testbed.Fig7GatewayThroughput(cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderSeries("Fig. 7: Virtual gateway throughput vs cores (100 rules)", "cores", "Mpps", series))
+	}
+	if want("table4") {
+		ran = true
+		rows, err := testbed.Table4GatewayLatency()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderLatencyTable("Table IV: Virtual gateway RTT, single core, 128 sessions (µs)", rows))
+	}
+	if want("fig8") {
+		ran = true
+		series, err := testbed.Fig8RuleScaling(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderSeries("Fig. 8: Virtual gateway single-core throughput vs filtering rules", "rules", "Mpps", series))
+	}
+	if want("fig9") {
+		ran = true
+		intra, err := k8s.Fig9PodThroughput(pairs, true)
+		if err != nil {
+			return err
+		}
+		inter, err := k8s.Fig9PodThroughput(pairs, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(k8s.RenderFig9(intra, inter))
+	}
+	if want("table5") {
+		ran = true
+		rows, err := k8s.Table5PodLatency()
+		if err != nil {
+			return err
+		}
+		fmt.Println(k8s.RenderTable5(rows))
+	}
+	if want("table6") {
+		ran = true
+		rows, err := testbed.Table6ReactionTime()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderTable6(rows))
+	}
+	if want("fig10") {
+		ran = true
+		rows, err := testbed.Fig10CallChaining(16)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderFig10(rows))
+	}
+	if want("ablation") {
+		ran = true
+		a, err := testbed.AblationStateSharing()
+		if err != nil {
+			return err
+		}
+		b, err := testbed.AblationSpecialization()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderAblations([]testbed.AblationResult{a, b}))
+	}
+	if want("table7") {
+		ran = true
+		rows, err := testbed.Table7HookComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderTable7(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want %s)", exp,
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+				"table3", "table4", "table5", "table6", "table7", "ablation", "all"}, "|"))
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunKnownExperiments(t *testing.T) {
+	// Only the cheap experiments here; the full set runs in bench_test.go.
+	for _, exp := range []string{"table6", "fig10", "ablation"} {
+		if err := run(exp, 2, 2); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", 1, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

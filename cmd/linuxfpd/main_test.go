@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoConfig(t *testing.T) {
+	if err := run("", true, false); err != nil {
+		t.Fatal(err)
+	}
+	// TC mode too.
+	if err := run("", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScriptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "router.cfg")
+	script := "ip link add eth0 type phys\nip link set eth0 up\nsysctl -w net.ipv4.ip_forward=1\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Missing file and bad config both error.
+	if err := run(filepath.Join(t.TempDir(), "nope.cfg"), false, false); err == nil {
+		t.Fatal("missing script accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	os.WriteFile(bad, []byte("definitely not a command"), 0o644)
+	if err := run(bad, false, false); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	got := splitLines("a\nb\n\nc")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("splitLines: %v", got)
+	}
+	if len(splitLines("")) != 0 {
+		t.Fatal("empty input")
+	}
+}

@@ -1,0 +1,70 @@
+// Command netcfg is an interactive shell for the simulated kernel: it
+// accepts the same ip/brctl/iptables/ipset/sysctl commands a real host
+// would, with a live LinuxFP controller reacting to every change. Use it
+// to watch the processing graph follow the configuration.
+//
+//	netcfg            # interactive
+//	netcfg < setup.cfg
+//
+// Extra commands: "graph" prints the current processing graph, "reactions"
+// the reconcile history, "quit" exits.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"linuxfp"
+)
+
+func main() {
+	sys := linuxfp.New("netcfg")
+	defer sys.Close()
+	ctrl := sys.Accelerate(linuxfp.Options{})
+
+	in := bufio.NewScanner(os.Stdin)
+	interactive := false
+	if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+		interactive = true
+	}
+	if interactive {
+		fmt.Println("netcfg: simulated Linux host with a live LinuxFP controller")
+		fmt.Println("netcfg: try: ip link add eth0 type phys | graph | reactions | stats | quit")
+		fmt.Print("> ")
+	}
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		switch line {
+		case "quit", "exit":
+			return
+		case "graph":
+			sys.Sync()
+			fmt.Println(sys.GraphJSON())
+		case "reactions":
+			sys.Sync()
+			for _, r := range ctrl.Reactions() {
+				fmt.Printf("trigger=%-14s modules=%d new=%d virtual=%.3fs deployed=%v\n",
+					r.Trigger, r.Modules, r.NewModules, r.Virtual.Seconds(), r.Deployed)
+			}
+		case "stats":
+			sys.Sync()
+			st := ctrl.FastPathStats()
+			fmt.Printf("accelerated interfaces=%d fastpath redirects=%d drops=%d slowpath packets=%d\n",
+				st.Interfaces, st.Redirects, st.Drops, st.SlowPath)
+		case "":
+		default:
+			out, err := sys.Exec(line)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else if out != "" {
+				fmt.Print(out)
+			}
+			sys.Sync()
+		}
+		if interactive {
+			fmt.Print("> ")
+		}
+	}
+}

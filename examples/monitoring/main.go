@@ -1,0 +1,110 @@
+// Monitoring & future work (paper §VIII): inject a custom monitoring
+// module into the synthesized XDP pipeline, capture selected traffic to a
+// user-space AF_XDP socket, and load-balance a VIP with the ipvs-style FPM
+// — the three extension points the paper sketches, running together.
+package main
+
+import (
+	"fmt"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+}
+
+func run() error {
+	// A router with two backends behind it.
+	src, dut, sink := kernel.New("src"), kernel.New("dut"), kernel.New("sink")
+	srcDev := src.CreateDevice("eth0", netdev.Physical)
+	in := dut.CreateDevice("eth0", netdev.Physical)
+	out := dut.CreateDevice("eth1", netdev.Physical)
+	sinkDev := sink.CreateDevice("eth0", netdev.Physical)
+	netdev.Connect(srcDev, in)
+	netdev.Connect(out, sinkDev)
+	for _, d := range []*netdev.Device{srcDev, in, out, sinkDev} {
+		d.SetUp(true)
+	}
+	dut.AddAddr("eth0", packet.MustPrefix("10.1.0.254/24"))
+	dut.AddAddr("eth1", packet.MustPrefix("10.2.0.254/24"))
+	dut.SetSysctl("net.ipv4.ip_forward", "1")
+	dut.AddRoute(fib.Route{Prefix: packet.MustPrefix("10.100.0.0/16"), Gateway: packet.MustAddr("10.2.0.1"), OutIf: out.Index})
+	dut.Neigh.AddPermanent(packet.MustAddr("10.2.0.1"), sinkDev.MAC, out.Index)
+
+	// Hand-compose an extended pipeline: monitor → AF_XDP capture for DNS
+	// → ipvs-style LB for the VIP → the standard router FPM.
+	counters := ebpf.NewArrayMap("proto_counts", 256)
+	xsk := ebpf.NewXSKMap("xsks", 1)
+	dnsTap := ebpf.NewAFXDPSocket(64)
+	xsk.Update(0, dnsTap)
+	conns := ebpf.NewHashMap("lb_conns", 1024)
+	vip := packet.MustAddr("10.99.0.1")
+	backends := []packet.Addr{packet.MustAddr("10.100.0.10"), packet.MustAddr("10.100.1.10")}
+
+	loader := ebpf.NewLoader(dut)
+	ops := []ebpf.Op{
+		fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(),
+		fpm.MonitorOp(counters),
+		fpm.AFXDPOp(fpm.AFXDPConf{Proto: packet.ProtoUDP, DstPort: 53, Map: xsk, Slot: 0}),
+		fpm.LBOp(fpm.LBConf{VIP: vip, Port: 80, Backends: backends, Conns: conns}),
+	}
+	ops = append(ops, fpm.RouterOps(fpm.RouterConf{})...)
+	prog, err := loader.Load(&ebpf.Program{Name: "extended", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		return err
+	}
+	if err := loader.AttachXDP(in, prog, "driver"); err != nil {
+		return err
+	}
+
+	send := func(dst packet.Addr, proto uint8, dport uint16) {
+		srcIP := packet.MustAddr("10.1.0.1")
+		var l4 []byte
+		if proto == packet.ProtoUDP {
+			u := packet.UDP{SrcPort: 40000, DstPort: dport}
+			l4 = u.Marshal(nil, srcIP, dst, []byte("payload"))
+		} else {
+			tc := packet.TCP{SrcPort: 40000, DstPort: dport, Flags: packet.TCPPsh}
+			l4 = tc.Marshal(nil, srcIP, dst, []byte("payload"))
+		}
+		frame := packet.BuildIPv4(
+			packet.Ethernet{Dst: in.MAC, Src: srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: proto, Src: srcIP, Dst: dst},
+			l4,
+		)
+		var m sim.Meter
+		in.Receive(frame, &m)
+	}
+
+	fmt.Println("sending: 5×UDP, 3×TCP to the VIP, 2×DNS")
+	for i := 0; i < 5; i++ {
+		send(packet.MustAddr("10.100.3.3"), packet.ProtoUDP, 9000)
+	}
+	for i := 0; i < 3; i++ {
+		send(vip, packet.ProtoTCP, 80)
+	}
+	for i := 0; i < 2; i++ {
+		send(packet.MustAddr("10.100.3.53"), packet.ProtoUDP, 53)
+	}
+
+	fmt.Printf("\nmonitor counters: UDP=%d TCP=%d (every packet counted in-path)\n",
+		counters.Lookup(int(packet.ProtoUDP)), counters.Lookup(int(packet.ProtoTCP)))
+	fmt.Printf("AF_XDP capture:   %d DNS frames delivered to user space\n", len(dnsTap.C))
+	for len(dnsTap.C) > 0 {
+		raw := <-dnsTap.C
+		p, _ := packet.Decode(raw)
+		fmt.Printf("  captured raw frame: %s -> %s (%d bytes)\n", p.IPv4.Src, p.IPv4.Dst, len(raw))
+	}
+	fmt.Printf("LB conn table:    %d sticky flows pinned to backends\n", conns.Len())
+	fmt.Printf("forwarded out eth1: %d packets (VIP traffic DNATed to backends)\n", out.Stats().TxPackets)
+	return nil
+}

@@ -1,0 +1,39 @@
+// Virtual router (paper §VI-A1, Fig. 5): the same 50-prefix forwarding
+// workload on all four platforms, printing single-core throughput and the
+// headline speedups. Uses the public testbed harness.
+package main
+
+import (
+	"fmt"
+
+	"linuxfp/internal/testbed"
+	"linuxfp/internal/traffic"
+)
+
+func main() {
+	fmt.Println("Virtual router, 50 prefixes, 64-byte packets, one core")
+	fmt.Println("-------------------------------------------------------")
+
+	results := map[string]float64{}
+	for _, platform := range []string{
+		testbed.PlatformLinux, testbed.PlatformPolycube,
+		testbed.PlatformVPP, testbed.PlatformLinuxFP,
+	} {
+		d, err := testbed.Build(platform, testbed.Scenario{})
+		if err != nil {
+			panic(err)
+		}
+		pps, gbps := d.Throughput(1, traffic.MinFrameSize)
+		results[platform] = pps
+		fmt.Printf("%-12s %8.3f Mpps   %6.2f Gbps\n", platform, pps/1e6, gbps)
+		d.Close()
+	}
+
+	fmt.Println()
+	fmt.Printf("LinuxFP vs Linux:    +%.0f%%  (paper: +77%%)\n",
+		(results[testbed.PlatformLinuxFP]/results[testbed.PlatformLinux]-1)*100)
+	fmt.Printf("LinuxFP vs Polycube: +%.0f%%  (paper: +19%%)\n",
+		(results[testbed.PlatformLinuxFP]/results[testbed.PlatformPolycube]-1)*100)
+	fmt.Println("\nNote: LinuxFP was configured with iproute2 commands only;")
+	fmt.Println("Polycube and VPP each required their own bespoke APIs.")
+}

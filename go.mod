@@ -1,0 +1,3 @@
+module linuxfp
+
+go 1.22

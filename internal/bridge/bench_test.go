@@ -1,0 +1,34 @@
+package bridge
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+func BenchmarkFDBLookup(b *testing.B) {
+	br := New("br0", 1, macBr)
+	for i := 0; i < 16; i++ {
+		br.AddPort(i + 1)
+	}
+	macs := make([]packet.HWAddr, 1024)
+	for i := range macs {
+		macs[i] = packet.HWAddr{2, 0, byte(i >> 8), byte(i), 0, 1}
+		br.Learn(macs[i], 0, i%16+1, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.FDBLookup(macs[i%len(macs)], 0, 1)
+	}
+}
+
+func BenchmarkBridgeForwardDecision(b *testing.B) {
+	br := newBr()
+	br.Learn(macB, 0, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Forward(1, macB, 0, 1)
+	}
+}

@@ -1,0 +1,415 @@
+// Package bridge implements the kernel's L2 bridging subsystem: the
+// forwarding database (FDB) with learning and ageing, per-port VLAN
+// filtering, flooding decisions, and a simplified 802.1D spanning tree.
+//
+// The split matches the paper's Table I: the fast path performs FDB lookups
+// (through the bpf_fdb_lookup helper, which reads this same structure) and
+// forwards; the slow path owns learning on misses, ageing, flooding, and STP
+// protocol processing.
+package bridge
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// PortState is the STP state of a bridge port.
+type PortState int
+
+// Port states per 802.1D.
+const (
+	Disabled PortState = iota + 1
+	Blocking
+	Listening
+	Learning
+	Forwarding
+)
+
+func (s PortState) String() string {
+	switch s {
+	case Disabled:
+		return "disabled"
+	case Blocking:
+		return "blocking"
+	case Listening:
+		return "listening"
+	case Learning:
+		return "learning"
+	case Forwarding:
+		return "forwarding"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DefaultAgeingTime matches the kernel's 300-second FDB ageing default.
+const DefaultAgeingTime = 300 * sim.Second
+
+// Port is one interface enslaved to a bridge.
+type Port struct {
+	IfIndex  int
+	State    PortState
+	PVID     uint16          // VLAN assigned to untagged ingress traffic
+	Tagged   map[uint16]bool // VLANs admitted tagged
+	Untagged map[uint16]bool // VLANs emitted untagged on egress
+	PathCost int
+	stp      stpPort
+}
+
+// FDBKey identifies an FDB entry: MAC within a VLAN.
+type FDBKey struct {
+	MAC  packet.HWAddr
+	VLAN uint16
+}
+
+// FDBEntry is one learned or static forwarding entry.
+type FDBEntry struct {
+	Key      FDBKey
+	Port     int // ifindex
+	Static   bool
+	LastSeen sim.Time
+}
+
+// Decision is the outcome of a bridge forwarding lookup.
+type Decision struct {
+	Egress []int // ifindexes to transmit on (one for a hit, many for flood)
+	Flood  bool  // FDB miss / broadcast / multicast
+	Local  bool  // destined to the bridge device itself (deliver up)
+	Drop   bool  // blocked by STP or VLAN filtering
+}
+
+// Bridge is one bridge device. It is safe for concurrent use.
+type Bridge struct {
+	Name    string
+	IfIndex int // ifindex of the bridge device itself
+	MAC     packet.HWAddr
+
+	mu            sync.RWMutex
+	stpEnabled    bool
+	vlanFiltering bool
+	ageing        sim.Duration
+	ports         map[int]*Port
+	fdb           map[FDBKey]*FDBEntry
+	stp           stpState
+}
+
+// New returns an empty bridge with default ageing.
+func New(name string, ifIndex int, mac packet.HWAddr) *Bridge {
+	b := &Bridge{
+		Name:    name,
+		IfIndex: ifIndex,
+		MAC:     mac,
+		ageing:  DefaultAgeingTime,
+		ports:   make(map[int]*Port),
+		fdb:     make(map[FDBKey]*FDBEntry),
+	}
+	b.stp.init(mac)
+	return b
+}
+
+// SetSTP enables or disables spanning tree processing.
+func (b *Bridge) SetSTP(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stpEnabled = on
+	if !on {
+		for _, p := range b.ports {
+			if p.State != Disabled {
+				p.State = Forwarding
+			}
+		}
+	}
+}
+
+// STPEnabled reports whether STP is on.
+func (b *Bridge) STPEnabled() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stpEnabled
+}
+
+// SetVLANFiltering toggles VLAN-aware bridging.
+func (b *Bridge) SetVLANFiltering(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.vlanFiltering = on
+}
+
+// VLANFiltering reports whether VLAN filtering is on.
+func (b *Bridge) VLANFiltering() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.vlanFiltering
+}
+
+// SetAgeingTime configures the FDB ageing interval.
+func (b *Bridge) SetAgeingTime(d sim.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ageing = d
+}
+
+// AddPort enslaves an interface. New ports start forwarding unless STP is
+// enabled, in which case they begin blocking until the protocol promotes
+// them.
+func (b *Bridge) AddPort(ifIndex int) *Port {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := &Port{
+		IfIndex:  ifIndex,
+		State:    Forwarding,
+		PVID:     1,
+		Tagged:   make(map[uint16]bool),
+		Untagged: map[uint16]bool{1: true},
+		PathCost: 100,
+	}
+	if b.stpEnabled {
+		p.State = Blocking
+	}
+	b.ports[ifIndex] = p
+	return p
+}
+
+// DelPort removes an interface and flushes its FDB entries.
+func (b *Bridge) DelPort(ifIndex int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.ports[ifIndex]; !ok {
+		return false
+	}
+	delete(b.ports, ifIndex)
+	for k, e := range b.fdb {
+		if e.Port == ifIndex {
+			delete(b.fdb, k)
+		}
+	}
+	return true
+}
+
+// Port returns the port for an ifindex.
+func (b *Bridge) Port(ifIndex int) (*Port, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, ok := b.ports[ifIndex]
+	return p, ok
+}
+
+// Ports returns the enslaved ifindexes in ascending order.
+func (b *Bridge) Ports() []int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]int, 0, len(b.ports))
+	for i := range b.ports {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IngressVLAN classifies an incoming frame's VLAN on a port, applying the
+// admission rules when VLAN filtering is on. ok=false means drop.
+func (b *Bridge) IngressVLAN(ifIndex int, tag uint16) (vlan uint16, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, exists := b.ports[ifIndex]
+	if !exists {
+		return 0, false
+	}
+	if !b.vlanFiltering {
+		// VLAN-unaware bridge: everything shares the single FDB space.
+		return 0, true
+	}
+	if tag == 0 {
+		if p.PVID == 0 {
+			return 0, false // no PVID: untagged traffic dropped
+		}
+		return p.PVID, true
+	}
+	if p.Tagged[tag] || p.PVID == tag {
+		return tag, true
+	}
+	return 0, false
+}
+
+// EgressAllowed reports whether vlan may leave via the port, and whether it
+// should be transmitted tagged.
+func (b *Bridge) EgressAllowed(ifIndex int, vlan uint16) (tagged, ok bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, exists := b.ports[ifIndex]
+	if !exists {
+		return false, false
+	}
+	if !b.vlanFiltering || vlan == 0 {
+		return false, true
+	}
+	if p.Untagged[vlan] || p.PVID == vlan {
+		return false, true
+	}
+	if p.Tagged[vlan] {
+		return true, true
+	}
+	return false, false
+}
+
+// Learn records the source MAC behind a port. Learning only happens in
+// Learning or Forwarding state. Static entries are never overwritten.
+func (b *Bridge) Learn(mac packet.HWAddr, vlan uint16, ifIndex int, now sim.Time) {
+	if mac.IsMulticast() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.ports[ifIndex]
+	if !ok || (p.State != Learning && p.State != Forwarding) {
+		return
+	}
+	k := FDBKey{MAC: mac, VLAN: vlan}
+	if e, ok := b.fdb[k]; ok {
+		if !e.Static {
+			e.Port = ifIndex
+			e.LastSeen = now
+		}
+		return
+	}
+	b.fdb[k] = &FDBEntry{Key: k, Port: ifIndex, LastSeen: now}
+}
+
+// AddStatic installs a static FDB entry (bridge fdb add ... static).
+func (b *Bridge) AddStatic(mac packet.HWAddr, vlan uint16, ifIndex int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := FDBKey{MAC: mac, VLAN: vlan}
+	b.fdb[k] = &FDBEntry{Key: k, Port: ifIndex, Static: true}
+}
+
+// FDBLookup resolves the egress port for a MAC/VLAN. Expired entries miss
+// (ageing is enforced lazily here and eagerly in Age). This is exactly what
+// the bpf_fdb_lookup helper exposes to the fast path.
+func (b *Bridge) FDBLookup(mac packet.HWAddr, vlan uint16, now sim.Time) (int, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.fdb[FDBKey{MAC: mac, VLAN: vlan}]
+	if !ok {
+		return 0, false
+	}
+	if !e.Static && now.Sub(e.LastSeen) > b.ageing {
+		return 0, false
+	}
+	return e.Port, true
+}
+
+// Age sweeps expired dynamic entries (the slow path's periodic gc_timer).
+// It reports how many entries were removed.
+func (b *Bridge) Age(now sim.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	removed := 0
+	for k, e := range b.fdb {
+		if !e.Static && now.Sub(e.LastSeen) > b.ageing {
+			delete(b.fdb, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// FDBEntries returns a snapshot of the FDB sorted by (VLAN, MAC).
+func (b *Bridge) FDBEntries() []FDBEntry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]FDBEntry, 0, len(b.fdb))
+	for _, e := range b.fdb {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.VLAN != out[j].Key.VLAN {
+			return out[i].Key.VLAN < out[j].Key.VLAN
+		}
+		for x := 0; x < 6; x++ {
+			if out[i].Key.MAC[x] != out[j].Key.MAC[x] {
+				return out[i].Key.MAC[x] < out[j].Key.MAC[x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// FDBLen reports the number of FDB entries.
+func (b *Bridge) FDBLen() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.fdb)
+}
+
+// Forward computes the full slow-path forwarding decision for a frame that
+// arrived on ingress with the given destination MAC and (already classified)
+// VLAN. It handles STP port-state checks, local delivery, FDB hits, and
+// flooding; VLAN egress filtering is applied to the flood set.
+func (b *Bridge) Forward(ingress int, dst packet.HWAddr, vlan uint16, now sim.Time) Decision {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	in, ok := b.ports[ingress]
+	if !ok || in.State == Disabled || in.State == Blocking || in.State == Listening {
+		return Decision{Drop: true}
+	}
+	if in.State == Learning {
+		// Learning ports absorb frames without forwarding.
+		return Decision{Drop: true}
+	}
+	if dst == b.MAC {
+		return Decision{Local: true}
+	}
+	if !dst.IsMulticast() {
+		if e, ok := b.fdb[FDBKey{MAC: dst, VLAN: vlan}]; ok &&
+			(e.Static || now.Sub(e.LastSeen) <= b.ageing) {
+			if e.Port == ingress {
+				return Decision{Drop: true} // hairpin off by default
+			}
+			if p, ok := b.ports[e.Port]; ok && p.State == Forwarding {
+				if _, allowed := b.egressAllowedLocked(e.Port, vlan); allowed {
+					return Decision{Egress: []int{e.Port}}
+				}
+			}
+			return Decision{Drop: true}
+		}
+	}
+	// Miss, broadcast or multicast: flood to all other forwarding ports.
+	var egress []int
+	for idx, p := range b.ports {
+		if idx == ingress || p.State != Forwarding {
+			continue
+		}
+		if _, allowed := b.egressAllowedLocked(idx, vlan); allowed {
+			egress = append(egress, idx)
+		}
+	}
+	sort.Ints(egress)
+	d := Decision{Egress: egress, Flood: true}
+	if dst.IsBroadcast() || dst == b.MAC {
+		d.Local = true
+	}
+	return d
+}
+
+func (b *Bridge) egressAllowedLocked(ifIndex int, vlan uint16) (tagged, ok bool) {
+	p, exists := b.ports[ifIndex]
+	if !exists {
+		return false, false
+	}
+	if !b.vlanFiltering || vlan == 0 {
+		return false, true
+	}
+	if p.Untagged[vlan] || p.PVID == vlan {
+		return false, true
+	}
+	if p.Tagged[vlan] {
+		return true, true
+	}
+	return false, false
+}

@@ -1,0 +1,429 @@
+package bridge
+
+import (
+	"math/rand"
+	"testing"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+var (
+	macA  = packet.MustHWAddr("02:00:00:00:00:0a")
+	macB  = packet.MustHWAddr("02:00:00:00:00:0b")
+	macBr = packet.MustHWAddr("02:00:00:00:00:ff")
+)
+
+func newBr() *Bridge {
+	b := New("br0", 10, macBr)
+	b.AddPort(1)
+	b.AddPort(2)
+	b.AddPort(3)
+	return b
+}
+
+func TestLearnAndLookup(t *testing.T) {
+	b := newBr()
+	b.Learn(macA, 0, 1, 100)
+	port, ok := b.FDBLookup(macA, 0, 101)
+	if !ok || port != 1 {
+		t.Fatalf("lookup: port=%d ok=%v", port, ok)
+	}
+	// Station moves: learning updates the port.
+	b.Learn(macA, 0, 2, 102)
+	port, _ = b.FDBLookup(macA, 0, 103)
+	if port != 2 {
+		t.Fatalf("station move not learned: port=%d", port)
+	}
+}
+
+func TestLearnIgnoresMulticastSource(t *testing.T) {
+	b := newBr()
+	b.Learn(packet.BroadcastHW, 0, 1, 0)
+	if b.FDBLen() != 0 {
+		t.Fatal("multicast source must not be learned")
+	}
+}
+
+func TestFDBAgeing(t *testing.T) {
+	b := newBr()
+	b.SetAgeingTime(10 * sim.Second)
+	b.Learn(macA, 0, 1, 0)
+	if _, ok := b.FDBLookup(macA, 0, sim.Time(9*sim.Second)); !ok {
+		t.Fatal("entry aged too early")
+	}
+	if _, ok := b.FDBLookup(macA, 0, sim.Time(11*sim.Second)); ok {
+		t.Fatal("expired entry still resolves")
+	}
+	// Eager sweep removes it.
+	if n := b.Age(sim.Time(11 * sim.Second)); n != 1 {
+		t.Fatalf("aged %d entries, want 1", n)
+	}
+	if b.FDBLen() != 0 {
+		t.Fatal("sweep left entries")
+	}
+}
+
+func TestStaticEntryNeverAges(t *testing.T) {
+	b := newBr()
+	b.SetAgeingTime(1 * sim.Second)
+	b.AddStatic(macA, 0, 3)
+	if n := b.Age(sim.Time(100 * sim.Second)); n != 0 {
+		t.Fatal("static entry aged out")
+	}
+	port, ok := b.FDBLookup(macA, 0, sim.Time(100*sim.Second))
+	if !ok || port != 3 {
+		t.Fatal("static entry should resolve forever")
+	}
+	// Dynamic learning must not displace a static entry.
+	b.Learn(macA, 0, 1, sim.Time(100*sim.Second))
+	if port, _ := b.FDBLookup(macA, 0, sim.Time(100*sim.Second)); port != 3 {
+		t.Fatal("learning overwrote static entry")
+	}
+}
+
+func TestForwardHit(t *testing.T) {
+	b := newBr()
+	b.Learn(macB, 0, 2, 0)
+	d := b.Forward(1, macB, 0, 1)
+	if d.Drop || d.Flood || len(d.Egress) != 1 || d.Egress[0] != 2 {
+		t.Fatalf("decision: %+v", d)
+	}
+}
+
+func TestForwardMissFloods(t *testing.T) {
+	b := newBr()
+	d := b.Forward(1, macB, 0, 0)
+	if !d.Flood || len(d.Egress) != 2 {
+		t.Fatalf("flood decision: %+v", d)
+	}
+	// Ingress port excluded.
+	for _, e := range d.Egress {
+		if e == 1 {
+			t.Fatal("flood included ingress port")
+		}
+	}
+}
+
+func TestForwardBroadcast(t *testing.T) {
+	b := newBr()
+	d := b.Forward(2, packet.BroadcastHW, 0, 0)
+	if !d.Flood || !d.Local || len(d.Egress) != 2 {
+		t.Fatalf("broadcast decision: %+v", d)
+	}
+}
+
+func TestForwardToBridgeMAC(t *testing.T) {
+	b := newBr()
+	d := b.Forward(1, macBr, 0, 0)
+	if !d.Local || d.Flood || len(d.Egress) != 0 {
+		t.Fatalf("local decision: %+v", d)
+	}
+}
+
+func TestForwardHairpinDrop(t *testing.T) {
+	b := newBr()
+	b.Learn(macB, 0, 1, 0)
+	d := b.Forward(1, macB, 0, 1)
+	if !d.Drop {
+		t.Fatalf("frame to its own port should drop: %+v", d)
+	}
+}
+
+func TestForwardUnknownIngressDrops(t *testing.T) {
+	b := newBr()
+	if d := b.Forward(99, macB, 0, 0); !d.Drop {
+		t.Fatalf("unknown ingress: %+v", d)
+	}
+}
+
+func TestDelPortFlushesFDB(t *testing.T) {
+	b := newBr()
+	b.Learn(macA, 0, 1, 0)
+	b.Learn(macB, 0, 2, 0)
+	if !b.DelPort(1) {
+		t.Fatal("del failed")
+	}
+	if b.DelPort(1) {
+		t.Fatal("double del succeeded")
+	}
+	if _, ok := b.FDBLookup(macA, 0, 1); ok {
+		t.Fatal("fdb entry survived port removal")
+	}
+	if _, ok := b.FDBLookup(macB, 0, 1); !ok {
+		t.Fatal("unrelated fdb entry removed")
+	}
+}
+
+func TestVLANIngressClassification(t *testing.T) {
+	b := newBr()
+	b.SetVLANFiltering(true)
+	p, _ := b.Port(1)
+	p.PVID = 10
+	p.Tagged[20] = true
+
+	if v, ok := b.IngressVLAN(1, 0); !ok || v != 10 {
+		t.Fatalf("untagged -> pvid: %d %v", v, ok)
+	}
+	if v, ok := b.IngressVLAN(1, 20); !ok || v != 20 {
+		t.Fatalf("tagged allowed: %d %v", v, ok)
+	}
+	if _, ok := b.IngressVLAN(1, 30); ok {
+		t.Fatal("unconfigured vlan admitted")
+	}
+	if _, ok := b.IngressVLAN(99, 0); ok {
+		t.Fatal("unknown port admitted")
+	}
+	// VLAN-unaware bridge admits everything into the shared space.
+	b.SetVLANFiltering(false)
+	if v, ok := b.IngressVLAN(1, 30); !ok || v != 0 {
+		t.Fatalf("unaware bridge: %d %v", v, ok)
+	}
+}
+
+func TestVLANScopesFDB(t *testing.T) {
+	b := newBr()
+	b.SetVLANFiltering(true)
+	b.Learn(macA, 10, 1, 0)
+	if _, ok := b.FDBLookup(macA, 20, 0); ok {
+		t.Fatal("fdb leaked across vlans")
+	}
+	if port, ok := b.FDBLookup(macA, 10, 0); !ok || port != 1 {
+		t.Fatal("vlan-scoped lookup failed")
+	}
+}
+
+func TestVLANEgressFiltering(t *testing.T) {
+	b := newBr()
+	b.SetVLANFiltering(true)
+	for i := 1; i <= 3; i++ {
+		p, _ := b.Port(i)
+		p.PVID = 0
+		p.Untagged = map[uint16]bool{}
+	}
+	p1, _ := b.Port(1)
+	p1.PVID = 10
+	p2, _ := b.Port(2)
+	p2.Tagged[10] = true
+	// Port 3 has no VLAN 10 membership.
+	b.Learn(macB, 10, 2, 0)
+	d := b.Forward(1, macB, 10, 0)
+	if d.Drop || len(d.Egress) != 1 || d.Egress[0] != 2 {
+		t.Fatalf("vlan hit: %+v", d)
+	}
+	if tagged, ok := b.EgressAllowed(2, 10); !ok || !tagged {
+		t.Fatal("egress on port 2 should be tagged")
+	}
+	if _, ok := b.EgressAllowed(3, 10); ok {
+		t.Fatal("port 3 should not pass vlan 10")
+	}
+	// Flood of unknown MAC in VLAN 10 reaches only port 2.
+	d = b.Forward(1, macA, 10, 0)
+	if !d.Flood || len(d.Egress) != 1 || d.Egress[0] != 2 {
+		t.Fatalf("vlan-filtered flood: %+v", d)
+	}
+}
+
+func TestFDBEntriesSorted(t *testing.T) {
+	b := newBr()
+	b.Learn(macB, 0, 2, 0)
+	b.Learn(macA, 0, 1, 0)
+	b.Learn(macA, 5, 1, 0)
+	es := b.FDBEntries()
+	if len(es) != 3 {
+		t.Fatalf("entries %d", len(es))
+	}
+	if es[0].Key.VLAN != 0 || es[0].Key.MAC != macA || es[2].Key.VLAN != 5 {
+		t.Fatalf("sort order: %+v", es)
+	}
+}
+
+// TestFDBMatchesReferenceModel drives random learn/age/lookup sequences
+// against a plain map reference implementation.
+func TestFDBMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := New("br0", 10, macBr)
+	for i := 1; i <= 4; i++ {
+		b.AddPort(i)
+	}
+	b.SetAgeingTime(100)
+	type refEntry struct {
+		port int
+		seen sim.Time
+	}
+	ref := make(map[packet.HWAddr]refEntry)
+	macs := make([]packet.HWAddr, 16)
+	for i := range macs {
+		macs[i] = packet.HWAddr{2, 0, 0, 0, 0, byte(i + 1)}
+	}
+	now := sim.Time(0)
+	for step := 0; step < 5000; step++ {
+		now += sim.Time(rng.Intn(20))
+		mac := macs[rng.Intn(len(macs))]
+		switch rng.Intn(3) {
+		case 0:
+			port := 1 + rng.Intn(4)
+			b.Learn(mac, 0, port, now)
+			ref[mac] = refEntry{port: port, seen: now}
+		case 1:
+			got, ok := b.FDBLookup(mac, 0, now)
+			want, wok := ref[mac]
+			wantOK := wok && now.Sub(want.seen) <= 100
+			if ok != wantOK || (ok && got != want.port) {
+				t.Fatalf("step %d: lookup %v got (%d,%v) want (%d,%v)", step, mac, got, ok, want.port, wantOK)
+			}
+		case 2:
+			b.Age(now)
+			for m, e := range ref {
+				if now.Sub(e.seen) > 100 {
+					delete(ref, m)
+				}
+			}
+		}
+	}
+}
+
+func TestSTPRootElectionBlocksLoopPort(t *testing.T) {
+	// Two bridges connected by two parallel links form a loop. The inferior
+	// bridge must block one of its two ports to the superior bridge.
+	lo := New("lo", 1, packet.MustHWAddr("02:00:00:00:00:01")) // lower MAC: root
+	hi := New("hi", 2, packet.MustHWAddr("02:00:00:00:00:02"))
+	for _, b := range []*Bridge{lo, hi} {
+		b.SetSTP(true)
+		b.AddPort(1)
+		b.AddPort(2)
+		b.StartSTPPort(1, 0)
+		b.StartSTPPort(2, 0)
+	}
+	if !lo.IsRoot() || !hi.IsRoot() {
+		t.Fatal("both start as self-root")
+	}
+	// Exchange a few BPDU rounds over both links.
+	for round := 0; round < 3; round++ {
+		now := sim.Time(round) * sim.Time(HelloTime)
+		for port, bpdu := range lo.GenerateBPDUs() {
+			hi.ReceiveBPDU(port, bpdu, now) // link i connects port i to port i
+		}
+		for port, bpdu := range hi.GenerateBPDUs() {
+			lo.ReceiveBPDU(port, bpdu, now)
+		}
+	}
+	if !lo.IsRoot() {
+		t.Fatal("lower bridge should remain root")
+	}
+	if hi.IsRoot() {
+		t.Fatal("higher bridge should have yielded")
+	}
+	if hi.RootID() != lo.SelfID() {
+		t.Fatalf("hi root %v, want %v", hi.RootID(), lo.SelfID())
+	}
+	p1, _ := hi.Port(1)
+	p2, _ := hi.Port(2)
+	blocked := 0
+	for _, p := range []*Port{p1, p2} {
+		if p.State == Blocking {
+			blocked++
+		}
+	}
+	if blocked != 1 {
+		t.Fatalf("want exactly one blocked port on the loop, states: %v %v", p1.State, p2.State)
+	}
+}
+
+func TestSTPTimersPromoteToForwarding(t *testing.T) {
+	b := New("br", 1, macBr)
+	b.SetSTP(true)
+	b.AddPort(1)
+	b.StartSTPPort(1, 0)
+	p, _ := b.Port(1)
+	if p.State != Listening {
+		t.Fatalf("designated port should listen first: %v", p.State)
+	}
+	b.TickSTP(sim.Time(ForwardDelay))
+	if p.State != Learning {
+		t.Fatalf("after one delay: %v", p.State)
+	}
+	b.TickSTP(sim.Time(2 * ForwardDelay))
+	if p.State != Forwarding {
+		t.Fatalf("after two delays: %v", p.State)
+	}
+}
+
+func TestSTPDisabledPortsForward(t *testing.T) {
+	b := New("br", 1, macBr)
+	b.SetSTP(true)
+	b.AddPort(1)
+	p, _ := b.Port(1)
+	if p.State != Blocking {
+		t.Fatal("ports start blocking under STP")
+	}
+	b.SetSTP(false)
+	if p.State != Forwarding {
+		t.Fatal("disabling STP should restore forwarding")
+	}
+	// BPDUs are ignored with STP off.
+	b.ReceiveBPDU(1, BPDU{RootID: 1}, 0)
+	if !b.IsRoot() {
+		t.Fatal("bpdu processed while stp disabled")
+	}
+}
+
+func TestForwardRespectsBlockingState(t *testing.T) {
+	b := newBr()
+	b.Learn(macB, 0, 2, 0)
+	p1, _ := b.Port(1)
+	p1.State = Blocking
+	if d := b.Forward(1, macB, 0, 0); !d.Drop {
+		t.Fatalf("ingress on blocking port must drop: %+v", d)
+	}
+	p1.State = Forwarding
+	p2, _ := b.Port(2)
+	p2.State = Blocking
+	if d := b.Forward(1, macB, 0, 0); d.Drop || len(d.Egress) != 1 || d.Egress[0] == 2 {
+		// FDB points at a blocked port: kernel drops; our model drops too.
+		if !d.Drop {
+			t.Fatalf("egress to blocking port: %+v", d)
+		}
+	}
+}
+
+func TestLearnRespectsPortState(t *testing.T) {
+	b := newBr()
+	p, _ := b.Port(1)
+	p.State = Blocking
+	b.Learn(macA, 0, 1, 0)
+	if b.FDBLen() != 0 {
+		t.Fatal("blocking port must not learn")
+	}
+	p.State = Learning
+	b.Learn(macA, 0, 1, 0)
+	if b.FDBLen() != 1 {
+		t.Fatal("learning port should learn")
+	}
+	// But a learning port does not forward.
+	if d := b.Forward(1, macB, 0, 0); !d.Drop {
+		t.Fatalf("learning port forwarded: %+v", d)
+	}
+}
+
+func TestBPDURoundTrip(t *testing.T) {
+	in := BPDU{RootID: MakeBridgeID(0x8000, macA), RootCost: 42, BridgeID: MakeBridgeID(0x9000, macB), PortID: 7}
+	out, err := UnmarshalBPDU(in.Marshal())
+	if err != nil || out != in {
+		t.Fatalf("round trip: %+v err=%v", out, err)
+	}
+	if _, err := UnmarshalBPDU([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short bpdu accepted")
+	}
+}
+
+func TestMakeBridgeID(t *testing.T) {
+	id := MakeBridgeID(0x8000, packet.MustHWAddr("00:00:00:00:00:01"))
+	if id != BridgeID(0x8000000000000001) {
+		t.Fatalf("id %v", id)
+	}
+	lower := MakeBridgeID(0x7000, packet.MustHWAddr("ff:ff:ff:ff:ff:ff"))
+	if lower >= id {
+		t.Fatal("priority must dominate MAC")
+	}
+}

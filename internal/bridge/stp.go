@@ -1,0 +1,288 @@
+package bridge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// STP implements a compact 802.1D spanning tree: root election by bridge ID,
+// root-port selection by path cost, and designated/blocked port roles. BPDU
+// processing is strictly a slow-path job in LinuxFP (Table I); the fast path
+// only consults the resulting port states.
+
+// STPDestMAC is the 802.1D reserved multicast address BPDUs travel on.
+// Frames to this address are always punted to the slow path.
+var STPDestMAC = packet.HWAddr{0x01, 0x80, 0xc2, 0x00, 0x00, 0x00}
+
+// ForwardDelay is the listening→learning→forwarding stage delay. The 802.1D
+// default is 15 s per stage; the model keeps that.
+const ForwardDelay = 15 * sim.Second
+
+// HelloTime is the BPDU generation interval for the root bridge.
+const HelloTime = 2 * sim.Second
+
+// BridgeID is the 64-bit 802.1D bridge identifier: priority in the top 16
+// bits, MAC in the low 48.
+type BridgeID uint64
+
+// MakeBridgeID combines a priority and MAC into a bridge ID.
+func MakeBridgeID(priority uint16, mac packet.HWAddr) BridgeID {
+	var low uint64
+	for _, b := range mac {
+		low = low<<8 | uint64(b)
+	}
+	return BridgeID(uint64(priority)<<48 | low)
+}
+
+func (id BridgeID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// BPDU is a configuration BPDU (the subset of fields the algorithm uses).
+type BPDU struct {
+	RootID   BridgeID
+	RootCost int
+	BridgeID BridgeID
+	PortID   uint16
+}
+
+// Marshal encodes the BPDU for transmission inside an LLC frame.
+func (b *BPDU) Marshal() []byte {
+	out := make([]byte, 26)
+	binary.BigEndian.PutUint64(out[0:], uint64(b.RootID))
+	binary.BigEndian.PutUint64(out[8:], uint64(b.RootCost))
+	binary.BigEndian.PutUint64(out[16:], uint64(b.BridgeID))
+	binary.BigEndian.PutUint16(out[24:], b.PortID)
+	return out
+}
+
+// UnmarshalBPDU decodes a BPDU.
+func UnmarshalBPDU(data []byte) (BPDU, error) {
+	if len(data) < 26 {
+		return BPDU{}, fmt.Errorf("bpdu: %w", packet.ErrTruncated)
+	}
+	return BPDU{
+		RootID:   BridgeID(binary.BigEndian.Uint64(data[0:])),
+		RootCost: int(binary.BigEndian.Uint64(data[8:])),
+		BridgeID: BridgeID(binary.BigEndian.Uint64(data[16:])),
+		PortID:   binary.BigEndian.Uint16(data[24:]),
+	}, nil
+}
+
+// portRole is the computed STP role of a port.
+type portRole int
+
+const (
+	roleDesignated portRole = iota + 1
+	roleRoot
+	roleBlocked
+)
+
+// stpPort is the per-port protocol state.
+type stpPort struct {
+	role       portRole
+	best       *BPDU    // best BPDU heard on this port
+	stateSince sim.Time // when the current 802.1D state was entered
+}
+
+// stpState is the per-bridge protocol state.
+type stpState struct {
+	selfID   BridgeID
+	rootID   BridgeID
+	rootCost int
+	rootPort int // ifindex, 0 when we are root
+}
+
+func (s *stpState) init(mac packet.HWAddr) {
+	s.selfID = MakeBridgeID(0x8000, mac)
+	s.rootID = s.selfID
+}
+
+// better reports whether BPDU a advertises a better spanning-tree vector
+// than b (lower root, then lower cost, then lower sender, then lower
+// sender port — the 802.1D tie-break that keeps selection deterministic
+// across parallel links).
+func better(a, b *BPDU) bool {
+	if b == nil {
+		return true
+	}
+	if a.RootID != b.RootID {
+		return a.RootID < b.RootID
+	}
+	if a.RootCost != b.RootCost {
+		return a.RootCost < b.RootCost
+	}
+	if a.BridgeID != b.BridgeID {
+		return a.BridgeID < b.BridgeID
+	}
+	return a.PortID < b.PortID
+}
+
+// SelfID returns the bridge's own STP identifier.
+func (b *Bridge) SelfID() BridgeID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stp.selfID
+}
+
+// RootID returns the currently believed root bridge.
+func (b *Bridge) RootID() BridgeID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stp.rootID
+}
+
+// IsRoot reports whether this bridge believes it is the root.
+func (b *Bridge) IsRoot() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stp.rootID == b.stp.selfID
+}
+
+// ReceiveBPDU processes a configuration BPDU heard on a port and recomputes
+// roles. It is a no-op when STP is disabled.
+func (b *Bridge) ReceiveBPDU(ifIndex int, bpdu BPDU, now sim.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stpEnabled {
+		return
+	}
+	p, ok := b.ports[ifIndex]
+	if !ok {
+		return
+	}
+	if better(&bpdu, p.stp.best) {
+		cp := bpdu
+		p.stp.best = &cp
+	}
+	b.recomputeRolesLocked(now)
+}
+
+// GenerateBPDUs returns the BPDUs this bridge should emit right now, keyed
+// by egress ifindex. The root emits on all designated ports; non-root
+// bridges relay their root information on designated ports.
+func (b *Bridge) GenerateBPDUs() map[int]BPDU {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if !b.stpEnabled {
+		return nil
+	}
+	out := make(map[int]BPDU)
+	for idx, p := range b.ports {
+		if p.stp.role != roleDesignated || p.State == Disabled {
+			continue
+		}
+		out[idx] = BPDU{
+			RootID:   b.stp.rootID,
+			RootCost: b.stp.rootCost,
+			BridgeID: b.stp.selfID,
+			PortID:   uint16(idx),
+		}
+	}
+	return out
+}
+
+// TickSTP advances the listening→learning→forwarding timers.
+func (b *Bridge) TickSTP(now sim.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stpEnabled {
+		return
+	}
+	for _, p := range b.ports {
+		switch p.State {
+		case Listening:
+			if now.Sub(p.stp.stateSince) >= ForwardDelay {
+				p.State = Learning
+				p.stp.stateSince = now
+			}
+		case Learning:
+			if now.Sub(p.stp.stateSince) >= ForwardDelay {
+				p.State = Forwarding
+				p.stp.stateSince = now
+			}
+		}
+	}
+}
+
+// recomputeRolesLocked re-derives root, root port, and per-port roles from
+// the best BPDUs heard, then drives state transitions.
+func (b *Bridge) recomputeRolesLocked(now sim.Time) {
+	// Elect root: best vector among our own ID and everything heard.
+	// Ports are visited in ascending ifindex order so equal vectors break
+	// ties deterministically toward the lowest local port.
+	bestRoot := b.stp.selfID
+	bestCost := 0
+	rootPort := 0
+	var bestVec *BPDU
+	idxs := make([]int, 0, len(b.ports))
+	for idx := range b.ports {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		p := b.ports[idx]
+		heard := p.stp.best
+		if heard == nil || heard.RootID > bestRoot {
+			continue
+		}
+		cand := BPDU{RootID: heard.RootID, RootCost: heard.RootCost + p.PathCost, BridgeID: heard.BridgeID, PortID: heard.PortID}
+		if heard.RootID < bestRoot || (heard.RootID == bestRoot && (bestVec == nil || better(&cand, bestVec))) {
+			bestRoot = heard.RootID
+			bestCost = cand.RootCost
+			rootPort = idx
+			c := cand
+			bestVec = &c
+		}
+	}
+	b.stp.rootID = bestRoot
+	b.stp.rootCost = bestCost
+	b.stp.rootPort = rootPort
+
+	for idx, p := range b.ports {
+		var role portRole
+		switch {
+		case b.stp.rootID == b.stp.selfID:
+			role = roleDesignated // root bridge: all ports designated
+		case idx == rootPort:
+			role = roleRoot
+		default:
+			// Designated if our vector beats the best heard on the segment.
+			ours := BPDU{RootID: b.stp.rootID, RootCost: b.stp.rootCost, BridgeID: b.stp.selfID, PortID: uint16(idx)}
+			if p.stp.best == nil || better(&ours, p.stp.best) {
+				role = roleDesignated
+			} else {
+				role = roleBlocked
+			}
+		}
+		if p.stp.role != role {
+			p.stp.role = role
+			switch role {
+			case roleBlocked:
+				p.State = Blocking
+			case roleRoot, roleDesignated:
+				if p.State == Blocking || p.State == Disabled {
+					p.State = Listening
+				}
+			}
+			p.stp.stateSince = now
+		}
+	}
+}
+
+// StartSTPPort kicks a newly enslaved port into the protocol (ports start
+// Blocking when STP is on; the first role computation moves designated
+// ports toward forwarding).
+func (b *Bridge) StartSTPPort(ifIndex int, now sim.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stpEnabled {
+		return
+	}
+	if _, ok := b.ports[ifIndex]; !ok {
+		return
+	}
+	b.recomputeRolesLocked(now)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/netlink"
+)
+
+// CapabilityManager describes what the running kernel supports: which
+// helpers exist and which hook each device type can host. The synthesizer
+// consults it so LinuxFP degrades gracefully on kernels without the new
+// helpers — affected modules are simply not accelerated (the slow path
+// always works).
+type CapabilityManager struct {
+	// Helpers available in this kernel. The stock 6.6 kernel has
+	// bpf_fib_lookup; bpf_fdb_lookup and bpf_ipt_lookup are the paper's
+	// additions (~260 LoC patch).
+	helpers ebpf.Cap
+	// PreferTC forces TC attachment even where driver XDP exists — used
+	// in container scenarios where the sk_buff will be allocated anyway
+	// (paper §VI-B, Table VII discussion).
+	preferTC bool
+}
+
+// NewCapabilityManager returns a manager for a patched kernel (all LinuxFP
+// helpers present).
+func NewCapabilityManager(preferTC bool) *CapabilityManager {
+	return &CapabilityManager{
+		helpers:  ebpf.CapHelperFIB | ebpf.CapHelperFDB | ebpf.CapHelperIpt | ebpf.CapHelperIPVS,
+		preferTC: preferTC,
+	}
+}
+
+// DisableHelper removes a helper (modeling an unpatched kernel).
+func (cm *CapabilityManager) DisableHelper(c ebpf.Cap) {
+	cm.helpers &^= c
+}
+
+// HasHelper reports helper availability.
+func (cm *CapabilityManager) HasHelper(c ebpf.Cap) bool {
+	return cm.helpers&c == c
+}
+
+// HookFor picks the attach hook for a device. Physical NICs support driver
+// XDP; veth and bridge devices get TC (their XDP support needs peer
+// cooperation, and containers allocate sk_buffs regardless — the paper's
+// Kubernetes deployment attaches at TC for exactly this reason).
+func (cm *CapabilityManager) HookFor(link netlink.LinkMsg) string {
+	if cm.preferTC {
+		return "tc"
+	}
+	switch link.Kind {
+	case "physical":
+		return "xdp"
+	default:
+		return "tc"
+	}
+}
+
+// ModuleSupported reports whether an FPM key can be synthesized with the
+// available helpers.
+func (cm *CapabilityManager) ModuleSupported(fpm string) bool {
+	switch fpm {
+	case FPMBridge:
+		return cm.HasHelper(ebpf.CapHelperFDB)
+	case FPMRouter:
+		return cm.HasHelper(ebpf.CapHelperFIB)
+	case FPMFilter:
+		return cm.HasHelper(ebpf.CapHelperIpt)
+	case FPMLB:
+		return cm.HasHelper(ebpf.CapHelperIPVS)
+	default:
+		return false
+	}
+}

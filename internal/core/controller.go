@@ -1,0 +1,354 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netlink"
+	"linuxfp/internal/sim"
+)
+
+// Options configures a controller.
+type Options struct {
+	// PreferTC attaches all fast paths at the TC hook (container hosts).
+	PreferTC bool
+	// DisabledHelpers models an unpatched kernel missing some helpers.
+	DisabledHelpers ebpf.Cap
+}
+
+// Reaction records one reconcile: what triggered it and how long the
+// pipeline took, in the virtual latency model (Table VI) and on the wall
+// clock of this reproduction.
+type Reaction struct {
+	Trigger    string
+	Virtual    sim.Duration
+	Wall       time.Duration
+	Modules    int // module instances synthesized
+	NewModules int // module instances not present before
+	Deployed   bool
+}
+
+// Controller is the LinuxFP daemon.
+type Controller struct {
+	K *kernel.Kernel
+
+	store    *ObjectStore
+	caps     *CapabilityManager
+	topo     *TopologyManager
+	synth    *Synthesizer
+	deployer *Deployer
+
+	sub  *netlink.Subscription
+	stop chan struct{}
+	done chan struct{}
+
+	mu          sync.Mutex
+	lastGraph   *Graph
+	lastPrint   string
+	lastModules map[string]bool
+	reactions   []Reaction
+	droppedSeen uint64
+	started     bool
+}
+
+// New builds a controller for a kernel.
+func New(k *kernel.Kernel, opts Options) *Controller {
+	store := NewObjectStore()
+	caps := NewCapabilityManager(opts.PreferTC)
+	if opts.DisabledHelpers != 0 {
+		caps.DisableHelper(opts.DisabledHelpers)
+	}
+	loader := ebpf.NewLoader(k)
+	return &Controller{
+		K:           k,
+		store:       store,
+		caps:        caps,
+		topo:        NewTopologyManager(store, caps),
+		synth:       NewSynthesizer(k, caps),
+		deployer:    NewDeployer(loader),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		lastModules: map[string]bool{},
+	}
+}
+
+// Start subscribes to kernel notifications, performs the initial dump, and
+// launches the reconcile loop.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	// Fresh lifecycle channels so a controller can be restarted.
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	c.mu.Unlock()
+
+	// Subscribe before dumping so no change can fall between them.
+	c.sub = c.K.Bus.Subscribe(netlink.GroupAll)
+	for _, msg := range c.K.Bus.Dump(netlink.GroupAll) {
+		c.store.Apply(msg)
+	}
+	c.reconcile("startup", true)
+	go c.run()
+}
+
+// Stop shuts the reconcile loop down and waits for it to exit.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+	c.sub.Close()
+	// Clean shutdown withdraws the fast paths: the host returns to stock
+	// Linux behaviour. (Real eBPF programs would survive the daemon; a
+	// deliberate teardown detaches them, which is what Stop models.)
+	for _, name := range c.deployer.Deployed() {
+		c.deployer.Undeploy(name)
+	}
+	// Forget the deployed graph so a restart synthesizes from scratch.
+	c.mu.Lock()
+	c.lastPrint = ""
+	c.lastModules = map[string]bool{}
+	c.mu.Unlock()
+}
+
+// run is the daemon loop: each batch of notifications triggers one
+// reconcile.
+func (c *Controller) run() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case msg, ok := <-c.sub.C:
+			if !ok {
+				return
+			}
+			changed := c.store.Apply(msg)
+			trigger := msg.Type.String()
+			netfilterTouched := netlink.GroupOf(msg.Type) == netlink.GroupNetfilter
+			// Drain the burst: one reconcile per batch of changes.
+			for {
+				select {
+				case more, ok := <-c.sub.C:
+					if !ok {
+						return
+					}
+					if c.store.Apply(more) {
+						changed = true
+					}
+					if netlink.GroupOf(more.Type) == netlink.GroupNetfilter {
+						netfilterTouched = true
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if c.resyncIfOverflowed() {
+				changed = true
+			}
+			if changed {
+				c.reconcile(trigger, netfilterTouched)
+			}
+		}
+	}
+}
+
+// Sync applies all pending notifications and reconciles synchronously —
+// what tests and the benchmark harness use for determinism. The trigger
+// label comes from the first pending message.
+func (c *Controller) Sync() {
+	trigger := "sync"
+	netfilterTouched := false
+	changed := c.resyncIfOverflowed()
+	for {
+		select {
+		case msg := <-c.sub.C:
+			if c.store.Apply(msg) {
+				if !changed {
+					trigger = msg.Type.String()
+				}
+				changed = true
+			}
+			if netlink.GroupOf(msg.Type) == netlink.GroupNetfilter {
+				netfilterTouched = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if changed {
+		c.reconcile(trigger, netfilterTouched)
+	}
+}
+
+// resyncIfOverflowed detects lost notifications (the netlink ENOBUFS
+// condition: a burst overflowed the subscription buffer) and recovers the
+// way real daemons do — a full state dump. It reports whether the dump
+// changed the store.
+func (c *Controller) resyncIfOverflowed() bool {
+	dropped := c.sub.Dropped()
+	c.mu.Lock()
+	seen := c.droppedSeen
+	c.droppedSeen = dropped
+	c.mu.Unlock()
+	if dropped == seen {
+		return false
+	}
+	changed := false
+	for _, msg := range c.K.Bus.Dump(netlink.GroupAll) {
+		if c.store.Apply(msg) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reconcile rebuilds the graph, synthesizes what changed and deploys it,
+// recording the reaction time under the Table VI latency model.
+func (c *Controller) reconcile(trigger string, netfilterTouched bool) {
+	start := time.Now()
+
+	graph := c.topo.Build()
+	modules := graph.ModuleSet()
+
+	c.mu.Lock()
+	prevModules := c.lastModules
+	prevPrint := c.lastPrint
+	c.mu.Unlock()
+
+	newCount := 0
+	for m := range modules {
+		if !prevModules[m] {
+			newCount++
+		}
+	}
+	changed := graph.Fingerprint() != prevPrint
+
+	deployed := false
+	filterInvolved := false
+	if changed {
+		// Synthesize and deploy every interface in the new graph (the
+		// controller regenerates the whole data path, paper §III-C).
+		for _, ig := range graph.Interfaces {
+			prog, err := c.synth.Synthesize(ig)
+			if err != nil || prog == nil {
+				c.deployer.Undeploy(ig.Name)
+				continue
+			}
+			if findNode(ig, FPMFilter) != nil {
+				filterInvolved = true
+			}
+			if err := c.deployer.Deploy(ig, prog); err != nil {
+				c.deployer.Undeploy(ig.Name)
+				continue
+			}
+			deployed = true
+		}
+		// Interfaces that dropped out of the graph go back to slow path.
+		for _, name := range c.deployer.Deployed() {
+			if _, ok := graph.Interfaces[name]; !ok {
+				c.deployer.Undeploy(name)
+			}
+		}
+	}
+
+	// Virtual reaction-time model (Table VI): notification latency, the
+	// libiptc dump when netfilter state had to be re-read, graph build,
+	// template rendering per module instance, the clang compile of the
+	// generated data path (base + per new module), verifier+load, and the
+	// dispatcher swap.
+	virtual := sim.LatNetlinkNotify + sim.LatGraphBuild
+	if netfilterTouched {
+		virtual += sim.LatIptcDump
+	}
+	if changed {
+		virtual += sim.Duration(len(modules)) * sim.LatSynthPerFPM
+		virtual += sim.Duration(newCount) * sim.LatCompilePerFPM
+		virtual += sim.LatCompileBase + sim.LatVerifyLoad + sim.LatAttachSwap
+		if filterInvolved && netfilterTouched {
+			virtual += sim.LatSynthIptExtra
+		}
+	}
+
+	c.mu.Lock()
+	c.lastGraph = graph
+	c.lastPrint = graph.Fingerprint()
+	c.lastModules = modules
+	c.reactions = append(c.reactions, Reaction{
+		Trigger: trigger, Virtual: virtual, Wall: time.Since(start),
+		Modules: len(modules), NewModules: newCount, Deployed: deployed,
+	})
+	c.mu.Unlock()
+}
+
+// FastPathStats aggregates data-plane counters across every accelerated
+// interface — the operational "how much is the fast path actually
+// carrying" view.
+type FastPathStats struct {
+	Interfaces int
+	Redirects  uint64 // packets fully handled by the fast path
+	Drops      uint64 // packets dropped by fast-path filtering
+	SlowPath   uint64 // packets the kernel handled (punts + unaccelerated)
+}
+
+// FastPathStats snapshots the current acceleration counters.
+func (c *Controller) FastPathStats() FastPathStats {
+	var out FastPathStats
+	for _, name := range c.deployer.Deployed() {
+		dev, ok := c.K.DeviceByName(name)
+		if !ok {
+			continue
+		}
+		st := dev.Stats()
+		out.Interfaces++
+		out.Redirects += st.XDPRedirects + st.XDPTx
+		out.Drops += st.XDPDrops
+	}
+	ks := c.K.Stats()
+	out.SlowPath = ks.Forwarded + ks.Delivered
+	return out
+}
+
+// Graph returns the most recently built processing graph.
+func (c *Controller) Graph() *Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastGraph
+}
+
+// Reactions returns the reconcile history.
+func (c *Controller) Reactions() []Reaction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Reaction(nil), c.reactions...)
+}
+
+// LastReaction returns the most recent reaction, if any.
+func (c *Controller) LastReaction() (Reaction, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.reactions) == 0 {
+		return Reaction{}, false
+	}
+	return c.reactions[len(c.reactions)-1], true
+}
+
+// Deployer exposes deployment state for inspection.
+func (c *Controller) Deployer() *Deployer { return c.deployer }
+
+// Capabilities exposes the capability manager (tests model unpatched
+// kernels through it).
+func (c *Controller) Capabilities() *CapabilityManager { return c.caps }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"linuxfp/internal/ebpf"
+)
+
+// Deployer owns the attachment lifecycle: one permanently attached
+// tail-call dispatcher per accelerated interface, with data-path updates
+// performed as atomic program-array swaps (paper Fig. 4). Detaching and
+// re-attaching a program on every change would drop packets for seconds;
+// the dispatcher swap is wait-free.
+type Deployer struct {
+	loader *ebpf.Loader
+
+	mu    sync.Mutex
+	slots map[string]*deploySlot // keyed by interface name
+}
+
+type deploySlot struct {
+	ifindex int
+	hook    string
+	disp    *ebpf.Dispatcher
+}
+
+// NewDeployer returns a deployer using the loader's kernel.
+func NewDeployer(loader *ebpf.Loader) *Deployer {
+	return &Deployer{loader: loader, slots: make(map[string]*deploySlot)}
+}
+
+// Deploy installs (or swaps in) a program for an interface graph.
+func (d *Deployer) Deploy(ig *IfaceGraph, prog *ebpf.Program) error {
+	if _, err := d.loader.Load(prog); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	slot, ok := d.slots[ig.Name]
+	d.mu.Unlock()
+
+	if ok && slot.hook == ig.Hook && slot.ifindex == ig.IfIndex {
+		slot.disp.Swap(prog)
+		return nil
+	}
+	// First deployment on this interface (or the hook moved): create and
+	// attach a dispatcher, pre-populated so no packet sees an empty slot.
+	hook := ebpf.HookXDP
+	if ig.Hook == "tc" {
+		hook = ebpf.HookTCIngress
+	}
+	disp, err := d.loader.NewDispatcher("linuxfp_disp_"+ig.Name, hook)
+	if err != nil {
+		return err
+	}
+	disp.Swap(prog)
+	if hook == ebpf.HookXDP {
+		dev, okDev := d.loader.K.DeviceByIndex(ig.IfIndex)
+		if !okDev {
+			return fmt.Errorf("core: deploy: no device %d", ig.IfIndex)
+		}
+		if err := d.loader.AttachXDP(dev, disp.Prog, "driver"); err != nil {
+			return err
+		}
+	} else {
+		if err := d.loader.AttachTC(ig.IfIndex, disp.Prog); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.slots[ig.Name] = &deploySlot{ifindex: ig.IfIndex, hook: ig.Hook, disp: disp}
+	d.mu.Unlock()
+	return nil
+}
+
+// Undeploy removes acceleration from an interface, returning it fully to
+// the slow path.
+func (d *Deployer) Undeploy(name string) {
+	d.mu.Lock()
+	slot, ok := d.slots[name]
+	if ok {
+		delete(d.slots, name)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	slot.disp.Swap(nil)
+	if dev, okDev := d.loader.K.DeviceByIndex(slot.ifindex); okDev && slot.hook == "xdp" {
+		dev.DetachXDP()
+	}
+	if slot.hook == "tc" {
+		d.loader.K.AttachTC(slot.ifindex, true, nil)
+	}
+}
+
+// Deployed lists interfaces currently carrying a fast path.
+func (d *Deployer) Deployed() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.slots))
+	for n := range d.slots {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Active returns the program currently live on an interface.
+func (d *Deployer) Active(name string) *ebpf.Program {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	slot, ok := d.slots[name]
+	if !ok {
+		return nil
+	}
+	return slot.disp.Active()
+}

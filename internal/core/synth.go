@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"linuxfp/internal/bridge"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netfilter"
+)
+
+// Synthesizer turns an interface's processing graph into an eBPF program,
+// instantiating FPM snippets with the configuration baked in — the Go
+// analogue of rendering Jinja templates into C (paper §IV-B3).
+type Synthesizer struct {
+	k    *kernel.Kernel
+	caps *CapabilityManager
+}
+
+// NewSynthesizer wires a synthesizer to the kernel whose state the
+// generated helpers will read.
+func NewSynthesizer(k *kernel.Kernel, caps *CapabilityManager) *Synthesizer {
+	return &Synthesizer{k: k, caps: caps}
+}
+
+// Synthesize builds the program for one interface graph. It returns
+// (nil, nil) when the graph cannot be accelerated with the available
+// capabilities — the interface then simply stays on the slow path.
+func (s *Synthesizer) Synthesize(ig *IfaceGraph) (*ebpf.Program, error) {
+	for _, n := range ig.Nodes {
+		if !s.caps.ModuleSupported(n.FPM) {
+			return nil, nil // partial acceleration would change semantics
+		}
+	}
+	hook := ebpf.HookXDP
+	if ig.Hook == "tc" {
+		hook = ebpf.HookTCIngress
+	}
+
+	ops := []ebpf.Op{fpm.ParseEth()}
+	// The VLAN snippet is included only when a bridge on this path has
+	// VLAN filtering enabled (minimal data path: no dead branches).
+	vlanNeeded := false
+	filterNode := findNode(ig, FPMFilter)
+	for _, n := range ig.Nodes {
+		if n.FPM == FPMBridge && n.Conf["vlan_filtering"] == "true" {
+			vlanNeeded = true
+		}
+	}
+	if vlanNeeded {
+		ops = append(ops, fpm.ParseVLAN())
+	}
+
+	parsedIP := false
+	for _, n := range ig.Nodes {
+		switch n.FPM {
+		case FPMBridge:
+			br, ok := s.k.BridgeByName(n.Conf["bridge"])
+			if !ok {
+				return nil, fmt.Errorf("core: graph references unknown bridge %q", n.Conf["bridge"])
+			}
+			if n.Conf["filter"] == "true" && !s.caps.ModuleSupported(FPMFilter) {
+				return nil, nil // would bypass br_netfilter: stay slow
+			}
+			if n.Conf["filter"] == "true" && s.k.NF.HasTerminalDrop("POSTROUTING") {
+				// The bridge fast path skips the POSTROUTING walk; that is
+				// only safe while the chain cannot drop.
+				return nil, nil
+			}
+			ops = append(ops, fpm.BridgeOps(fpm.BridgeConf{
+				Bridge:        br,
+				STP:           n.Conf["stp_enabled"] == "true",
+				VLANFiltering: n.Conf["vlan_filtering"] == "true",
+				LocalNext:     n.NextNF == FPMRouter || n.NextNF == FPMLB,
+				Filter:        n.Conf["filter"] == "true",
+			})...)
+		case FPMLB:
+			// Requires L4 ports; ParseIPv4/ParseL4 ride with the router
+			// segment the node chains into, so emit them here if the lb
+			// node comes first.
+			ops = append(ops, fpm.ParseIPv4(), fpm.ParseL4(), fpm.IPVSOp())
+			parsedIP = true
+		case FPMRouter:
+			if s.k.NF.HasTerminalDrop("POSTROUTING") {
+				// The router fast path skips the POSTROUTING walk; only
+				// safe while that chain cannot drop.
+				return nil, nil
+			}
+			if !parsedIP {
+				ops = append(ops, fpm.ParseIPv4())
+				if filterNode != nil {
+					ops = append(ops, fpm.ParseL4())
+				}
+			}
+			ops = append(ops, fpm.FIBLookupOp())
+			if filterNode != nil {
+				ops = append(ops, fpm.FilterOp(fpm.FilterConf{Hook: netfilter.HookForward}))
+			}
+			conf := fpm.RouterConf{}
+			if brName := n.Conf["bridge_out"]; brName != "" {
+				outBr, ok := s.k.BridgeByName(brName)
+				if ok {
+					conf.BridgeForOut = func(ifindex int) (*bridge.Bridge, bool) {
+						if ifindex == outBr.IfIndex {
+							return outBr, true
+						}
+						return nil, false
+					}
+				}
+			}
+			ops = append(ops, fpm.RewriteOp(), fpm.RedirectOp(conf))
+		case FPMFilter:
+			// Folded into the router pipeline above (the hook runs after
+			// the routing decision, as in the kernel).
+		default:
+			return nil, fmt.Errorf("core: unknown FPM key %q", n.FPM)
+		}
+	}
+
+	return &ebpf.Program{
+		Name:    "linuxfp_" + ig.Name + "_" + ig.Hook + "_" + strconv.Itoa(ig.IfIndex),
+		Hook:    hook,
+		Ops:     ops,
+		Default: ebpf.VerdictPass,
+	}, nil
+}
+
+func findNode(ig *IfaceGraph, key string) *Node {
+	for _, n := range ig.Nodes {
+		if n.FPM == key {
+			return n
+		}
+	}
+	return nil
+}

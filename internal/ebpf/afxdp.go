@@ -1,0 +1,87 @@
+package ebpf
+
+import (
+	"sync/atomic"
+
+	"linuxfp/internal/sim"
+)
+
+// AF_XDP support (paper §VIII future work): "add custom packet-processing
+// applications in user space and use a special type of socket, called
+// AF_XDP, that allows sending raw packets directly from the XDP layer to
+// user space". An AFXDPSocket is the user-space end; an XSKMap is the
+// BPF_MAP_TYPE_XSKMAP programs redirect into.
+
+// CostXSKRedirect models the zero-copy descriptor hand-off to the
+// user-space ring — far below the regular socket path.
+const CostXSKRedirect sim.Cycles = 220
+
+// AFXDPSocket is a bound user-space receive ring. Read raw frames from C.
+type AFXDPSocket struct {
+	C chan []byte
+
+	dropped atomic.Uint64
+}
+
+// NewAFXDPSocket allocates a socket with the given RX ring depth.
+func NewAFXDPSocket(depth int) *AFXDPSocket {
+	return &AFXDPSocket{C: make(chan []byte, depth)}
+}
+
+// Dropped reports frames lost to a full RX ring.
+func (s *AFXDPSocket) Dropped() uint64 { return s.dropped.Load() }
+
+// push enqueues one frame without blocking (full ring drops, as real
+// AF_XDP does when the fill queue is empty).
+func (s *AFXDPSocket) push(frame []byte) bool {
+	select {
+	case s.C <- frame:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// XSKMap maps queue indexes to AF_XDP sockets.
+type XSKMap struct {
+	name  string
+	slots []atomic.Pointer[AFXDPSocket]
+}
+
+// NewXSKMap allocates an XSK map with n slots.
+func NewXSKMap(name string, n int) *XSKMap {
+	return &XSKMap{name: name, slots: make([]atomic.Pointer[AFXDPSocket], n)}
+}
+
+// Name returns the map name.
+func (m *XSKMap) Name() string { return m.name }
+
+// Len reports the slot count.
+func (m *XSKMap) Len() int { return len(m.slots) }
+
+// Update binds a socket to a slot (nil unbinds).
+func (m *XSKMap) Update(slot int, s *AFXDPSocket) bool {
+	if slot < 0 || slot >= len(m.slots) {
+		return false
+	}
+	m.slots[slot].Store(s)
+	return true
+}
+
+// HelperRedirectXSK is bpf_redirect_map on an XSK map: the frame is handed
+// to the bound user-space socket. An unbound slot or a full ring behaves
+// like the kernel: the packet is dropped (the caller should treat the
+// verdict as terminal).
+func HelperRedirectXSK(c *Ctx, m *XSKMap, slot int) Verdict {
+	c.Meter.Charge(CostXSKRedirect)
+	if slot < 0 || slot >= len(m.slots) {
+		return VerdictAborted
+	}
+	s := m.slots[slot].Load()
+	if s == nil {
+		return VerdictDrop
+	}
+	s.push(append([]byte(nil), c.Frame()...))
+	return VerdictDrop // consumed from the kernel's point of view
+}

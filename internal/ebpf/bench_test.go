@@ -1,0 +1,55 @@
+package ebpf
+
+import (
+	"testing"
+
+	"linuxfp/internal/sim"
+)
+
+func BenchmarkProgramRun8Ops(b *testing.B) {
+	p := &Program{Name: "bench", Hook: HookXDP, Default: VerdictPass}
+	for i := 0; i < 8; i++ {
+		p.Ops = append(p.Ops, NewOp("nop", 4, 0, 8, func(*Ctx) Verdict { return VerdictNext }))
+	}
+	ctx := &Ctx{Meter: &sim.Meter{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.run(ctx)
+	}
+}
+
+func BenchmarkTailCallChain(b *testing.B) {
+	pa := NewProgArray("chain", 4)
+	final := &Program{Name: "final", Hook: HookXDP, Ops: []Op{
+		NewOp("end", 4, 0, 8, func(*Ctx) Verdict { return VerdictPass }),
+	}}
+	pa.Update(3, final)
+	for i := 2; i >= 0; i-- {
+		slot := i + 1
+		pa.Update(i, &Program{Name: "link", Hook: HookXDP, Ops: []Op{
+			NewOp("tail", 0, CapTailCall, 4, func(c *Ctx) Verdict { return c.TailCall(pa, slot) }),
+		}})
+	}
+	entry := pa.Lookup(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &Ctx{Meter: &sim.Meter{}}
+		entry.run(ctx)
+	}
+}
+
+func BenchmarkDispatcherSwap(b *testing.B) {
+	pa := NewProgArray("d", 1)
+	p1 := &Program{Name: "a", Hook: HookXDP}
+	p2 := &Program{Name: "b", Hook: HookXDP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			pa.Update(0, p1)
+		} else {
+			pa.Update(0, p2)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package ebpf models the kernel's eBPF execution environment at the level
+// LinuxFP uses it: programs composed of ops (the synthesized snippets),
+// XDP and TC attach points with different capability sets, a verifier, maps
+// (including the program array that powers atomic tail-call swaps), and the
+// kernel helpers — bpf_fib_lookup plus the paper's new bpf_fdb_lookup and
+// bpf_ipt_lookup — that read kernel state directly instead of shadow maps.
+package ebpf
+
+import (
+	"fmt"
+
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Hook is an eBPF attach point.
+type Hook int
+
+// Attach points.
+const (
+	HookXDP Hook = iota + 1
+	HookTCIngress
+	HookTCEgress
+)
+
+func (h Hook) String() string {
+	switch h {
+	case HookXDP:
+		return "xdp"
+	case HookTCIngress:
+		return "tc-ingress"
+	case HookTCEgress:
+		return "tc-egress"
+	default:
+		return fmt.Sprintf("hook(%d)", int(h))
+	}
+}
+
+// Cap is a bitmask of capabilities an op requires from its hook.
+type Cap uint32
+
+// Capabilities.
+const (
+	CapSKB       Cap = 1 << iota // needs sk_buff fields (TC hooks only)
+	CapHelperFIB                 // bpf_fib_lookup available
+	CapHelperFDB                 // bpf_fdb_lookup (new helper)
+	CapHelperIpt                 // bpf_ipt_lookup (new helper)
+	CapTailCall
+	CapRedirect
+	CapAdjustHead // packet headroom manipulation (encap)
+	CapHelperIPVS // bpf_ipvs_lookup (new helper, Table I's LB row)
+)
+
+// Verdict is an op outcome inside a program.
+type Verdict int
+
+// Verdicts. VerdictNext continues to the following op; the rest terminate
+// the program.
+const (
+	VerdictNext Verdict = iota
+	VerdictPass         // hand the packet to the kernel slow path
+	VerdictDrop
+	VerdictTX       // bounce out the receiving interface
+	VerdictRedirect // transmit on ctx.RedirectIfIndex
+	VerdictAborted  // runtime fault (bounds violation)
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNext:
+		return "next"
+	case VerdictPass:
+		return "pass"
+	case VerdictDrop:
+		return "drop"
+	case VerdictTX:
+		return "tx"
+	case VerdictRedirect:
+		return "redirect"
+	case VerdictAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// MaxTailCalls matches the kernel's tail-call depth limit.
+const MaxTailCalls = 33
+
+// Ctx is the execution context of one program run: the packet plus scratch
+// state the parse ops populate for downstream ops (in real eBPF these are
+// registers/stack; here they are typed fields).
+type Ctx struct {
+	Kernel  *kernel.Kernel
+	Meter   *sim.Meter
+	Hook    Hook
+	IfIndex int
+
+	// Exactly one of these is set, matching the hook.
+	XDP *netdev.XDPBuff
+	SKB *kernel.SKB
+
+	// Parsed state.
+	L3Off     int
+	EtherType uint16
+	VLAN      uint16
+	SrcMAC    packet.HWAddr
+	DstMAC    packet.HWAddr
+	IPSrc     packet.Addr
+	IPDst     packet.Addr
+	IPProto   uint8
+	TTL       uint8
+	Fragment  bool
+	Options   bool
+	SrcPort   uint16
+	DstPort   uint16
+
+	// FIB holds the last HelperFIBLookup result for downstream ops
+	// (filter needs the egress ifindex; rewrite needs the MACs).
+	FIB   FIBResult
+	FIBOk bool
+
+	// Redirect target for VerdictRedirect.
+	RedirectIfIndex int
+
+	depth int // tail-call depth
+}
+
+// Frame returns the raw packet bytes.
+func (c *Ctx) Frame() []byte {
+	if c.XDP != nil {
+		return c.XDP.Data
+	}
+	if c.SKB != nil {
+		return c.SKB.Data
+	}
+	return nil
+}
+
+// SetFrame replaces the packet bytes (after head adjustment).
+func (c *Ctx) SetFrame(b []byte) {
+	if c.XDP != nil {
+		c.XDP.Data = b
+	} else if c.SKB != nil {
+		c.SKB.Data = b
+	}
+}
+
+// Op is one synthesized code snippet inside a program.
+type Op interface {
+	// Name identifies the snippet in diagnostics and synthesized source.
+	Name() string
+	// Cost is the op's cycle charge per execution.
+	Cost() sim.Cycles
+	// Caps reports the capabilities the op requires from its hook.
+	Caps() Cap
+	// Insns estimates the op's eBPF instruction count (verifier budget).
+	Insns() int
+	// Run executes the op.
+	Run(*Ctx) Verdict
+}
+
+// FuncOp is the standard Op implementation the synthesizer instantiates
+// from snippet templates: configuration is baked into the closure, exactly
+// like the paper's per-configuration code generation.
+type FuncOp struct {
+	name  string
+	cost  sim.Cycles
+	caps  Cap
+	insns int
+	fn    func(*Ctx) Verdict
+}
+
+// NewOp builds an op.
+func NewOp(name string, cost sim.Cycles, caps Cap, insns int, fn func(*Ctx) Verdict) *FuncOp {
+	return &FuncOp{name: name, cost: cost, caps: caps, insns: insns, fn: fn}
+}
+
+// Name implements Op.
+func (o *FuncOp) Name() string { return o.name }
+
+// Cost implements Op.
+func (o *FuncOp) Cost() sim.Cycles { return o.cost }
+
+// Caps implements Op.
+func (o *FuncOp) Caps() Cap { return o.caps }
+
+// Insns implements Op.
+func (o *FuncOp) Insns() int { return o.insns }
+
+// Run implements Op: charge, then execute.
+func (o *FuncOp) Run(c *Ctx) Verdict {
+	c.Meter.Charge(o.cost)
+	return o.fn(c)
+}
+
+// Program is a sequence of ops with a default verdict when the ops run out.
+type Program struct {
+	Name    string
+	Hook    Hook
+	Ops     []Op
+	Default Verdict // applied if no op terminates; VerdictPass is the safe choice
+
+	id int // assigned by the loader
+}
+
+// ID reports the loader-assigned program ID (0 if not loaded).
+func (p *Program) ID() int { return p.id }
+
+// run executes the program body against a context.
+func (p *Program) run(c *Ctx) Verdict {
+	for _, op := range p.Ops {
+		v := op.Run(c)
+		if v != VerdictNext {
+			return v
+		}
+	}
+	if p.Default == VerdictNext {
+		return VerdictPass
+	}
+	return p.Default
+}
+
+// TailCall jumps from the current program into the target held in a
+// program array slot, charging the tail-call cost and enforcing the depth
+// limit. It returns the callee's verdict (tail calls never return to the
+// caller, as in the kernel).
+func (c *Ctx) TailCall(pa *ProgArray, slot int) Verdict {
+	c.Meter.Charge(sim.CostTailCall)
+	c.depth++
+	if c.depth > MaxTailCalls {
+		return VerdictAborted
+	}
+	target := pa.Lookup(slot)
+	if target == nil {
+		return VerdictAborted
+	}
+	return target.run(c)
+}

@@ -1,0 +1,294 @@
+package ebpf
+
+import (
+	"fmt"
+	"sync"
+
+	"linuxfp/internal/bridge"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Loader verifies and registers programs and wires them onto hooks.
+type Loader struct {
+	K *kernel.Kernel
+
+	mu       sync.Mutex
+	verifier Verifier
+	nextID   int
+	loaded   map[int]*Program
+}
+
+// NewLoader returns a loader bound to a kernel.
+func NewLoader(k *kernel.Kernel) *Loader {
+	return &Loader{K: k, loaded: make(map[int]*Program)}
+}
+
+// Load verifies a program and assigns it an ID.
+func (l *Loader) Load(p *Program) (*Program, error) {
+	if err := l.verifier.Verify(p); err != nil {
+		return nil, fmt.Errorf("load %q: %w", p.Name, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	p.id = l.nextID
+	l.loaded[p.id] = p
+	return p, nil
+}
+
+// Unload removes a program from the loaded set.
+func (l *Loader) Unload(id int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.loaded[id]
+	delete(l.loaded, id)
+	return ok
+}
+
+// LoadedCount reports how many programs are loaded.
+func (l *Loader) LoadedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.loaded)
+}
+
+// xdpAdapter runs a loaded XDP program on a device's XDP hook.
+type xdpAdapter struct {
+	k    *kernel.Kernel
+	prog *Program // static program (dispatcher or direct attach)
+}
+
+var _ netdev.XDPHandler = (*xdpAdapter)(nil)
+
+// HandleXDP implements netdev.XDPHandler.
+func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
+	buff.Meter.Charge(sim.CostXDPPrologue)
+	ctx := &Ctx{
+		Kernel: a.k, Meter: buff.Meter, Hook: HookXDP,
+		IfIndex: buff.IfIndex, XDP: buff,
+	}
+	switch a.prog.run(ctx) {
+	case VerdictDrop:
+		return netdev.XDPDrop
+	case VerdictTX:
+		return netdev.XDPTx
+	case VerdictRedirect:
+		buff.RedirectTo = ctx.RedirectIfIndex
+		return netdev.XDPRedirect
+	case VerdictAborted:
+		return netdev.XDPAborted
+	default:
+		return netdev.XDPPass
+	}
+}
+
+// tcAdapter runs a loaded TC program on a kernel TC hook.
+type tcAdapter struct {
+	k    *kernel.Kernel
+	prog *Program
+	hook Hook
+}
+
+var _ kernel.TCHandler = (*tcAdapter)(nil)
+
+// HandleTC implements kernel.TCHandler.
+func (a *tcAdapter) HandleTC(skb *kernel.SKB) kernel.TCAction {
+	ctx := &Ctx{
+		Kernel: a.k, Meter: skb.Meter, Hook: a.hook,
+		IfIndex: skb.Dev.Index, SKB: skb,
+	}
+	switch a.prog.run(ctx) {
+	case VerdictDrop, VerdictAborted:
+		return kernel.TCShot
+	case VerdictRedirect:
+		skb.RedirectTo = ctx.RedirectIfIndex
+		return kernel.TCRedirect
+	default:
+		return kernel.TCOk
+	}
+}
+
+// AttachXDP attaches a loaded program to a device's XDP hook.
+func (l *Loader) AttachXDP(dev *netdev.Device, p *Program, mode string) error {
+	if p.Hook != HookXDP {
+		return fmt.Errorf("ebpf: program %q is for %v, not XDP", p.Name, p.Hook)
+	}
+	if p.id == 0 {
+		return fmt.Errorf("ebpf: program %q not loaded", p.Name)
+	}
+	dev.AttachXDP(&xdpAdapter{k: l.K, prog: p}, mode)
+	return nil
+}
+
+// AttachTC attaches a loaded program to a TC hook.
+func (l *Loader) AttachTC(ifindex int, p *Program) error {
+	if p.Hook != HookTCIngress && p.Hook != HookTCEgress {
+		return fmt.Errorf("ebpf: program %q is for %v, not TC", p.Name, p.Hook)
+	}
+	if p.id == 0 {
+		return fmt.Errorf("ebpf: program %q not loaded", p.Name)
+	}
+	l.K.AttachTC(ifindex, p.Hook == HookTCIngress, &tcAdapter{k: l.K, prog: p, hook: p.Hook})
+	return nil
+}
+
+// Dispatcher is the permanently attached entry program: one tail call into
+// slot 0 of its program array. Replacing the data path atomically is a
+// single ProgArray.Update — no detach/attach window, no packet loss
+// (paper §IV-A2 and Fig. 4).
+type Dispatcher struct {
+	Prog  *Program
+	Table *ProgArray
+}
+
+// NewDispatcher builds and loads a dispatcher for the hook.
+func (l *Loader) NewDispatcher(name string, hook Hook) (*Dispatcher, error) {
+	table := NewProgArray(name+"_table", 1)
+	entry := &Program{
+		Name: name,
+		Hook: hook,
+		Ops: []Op{
+			NewOp("tail_call_entry", 0, CapTailCall, 4, func(c *Ctx) Verdict {
+				return c.TailCall(table, 0)
+			}),
+		},
+		// An empty slot aborts the tail call; pass to the slow path then.
+		Default: VerdictPass,
+	}
+	loaded, err := l.Load(entry)
+	if err != nil {
+		return nil, err
+	}
+	return &Dispatcher{Prog: loaded, Table: table}, nil
+}
+
+// Swap atomically replaces the active data path. A nil program empties the
+// dispatcher, sending all traffic to the slow path.
+func (d *Dispatcher) Swap(p *Program) {
+	d.Table.Update(0, p)
+}
+
+// Active returns the currently installed data path.
+func (d *Dispatcher) Active() *Program {
+	return d.Table.Lookup(0)
+}
+
+// --- helpers -------------------------------------------------------------------
+
+// FIBResult is what bpf_fib_lookup returns on success: everything needed to
+// rewrite and redirect without touching the slow path.
+type FIBResult struct {
+	EgressIfIndex int
+	SrcMAC        packet.HWAddr // egress device MAC
+	DstMAC        packet.HWAddr // resolved next-hop MAC
+}
+
+// HelperFIBLookup is bpf_fib_lookup: one call resolves route + neighbour
+// against live kernel state. A miss (no route, or unresolved/stale
+// neighbour) tells the fast path to punt to the slow path, which will do
+// the full resolution dance.
+func HelperFIBLookup(c *Ctx, dst packet.Addr) (FIBResult, bool) {
+	c.Meter.Charge(sim.CostHelperFIB)
+	r, ok := c.Kernel.FIB.Lookup(dst)
+	if !ok || r.Local {
+		return FIBResult{}, false
+	}
+	out, ok := c.Kernel.DeviceByIndex(r.OutIf)
+	if !ok || !out.IsUp() {
+		return FIBResult{}, false
+	}
+	nexthop := r.Gateway
+	if nexthop == 0 {
+		nexthop = dst
+	}
+	mac, ok := c.Kernel.Neigh.Resolved(nexthop, c.Kernel.Now())
+	if !ok {
+		return FIBResult{}, false
+	}
+	return FIBResult{EgressIfIndex: out.Index, SrcMAC: out.MAC, DstMAC: mac}, true
+}
+
+// HelperFDBLookup is the paper's new bpf_fdb_lookup: resolve the egress
+// port for a MAC/VLAN against the live bridge FDB, honouring port state.
+// Misses (unlearned, aged, blocked port) punt to the slow path, which owns
+// learning and flooding.
+func HelperFDBLookup(c *Ctx, br *bridge.Bridge, mac packet.HWAddr, vlan uint16) (int, bool) {
+	c.Meter.Charge(sim.CostHelperFDB)
+	port, ok := br.FDBLookup(mac, vlan, c.Kernel.Now())
+	if !ok {
+		return 0, false
+	}
+	p, exists := br.Port(port)
+	if !exists || p.State != bridge.Forwarding {
+		return 0, false
+	}
+	return port, true
+}
+
+// HelperIPVSLookup is the LB prototype's bpf_ipvs_lookup: resolve the
+// backend for an *established* virtual-service flow from the kernel's ipvs
+// connection table. New flows miss (ok=false with vip=true), telling the
+// fast path to punt so the slow path runs the scheduler — scheduling is
+// control-plane work (Table I). Non-VIP traffic returns vip=false.
+func HelperIPVSLookup(c *Ctx) (backend packet.Addr, vip, ok bool) {
+	c.Meter.Charge(sim.CostLBConnHash)
+	backend, ok = c.Kernel.IPVSLookup(c.IPSrc, c.IPDst, c.IPProto, c.SrcPort, c.DstPort, false)
+	if ok {
+		return backend, true, true
+	}
+	// Distinguish "not a VIP" from "VIP but unscheduled flow".
+	if _, isVIP := c.Kernel.IPVSLookupService(c.IPDst, c.DstPort, c.IPProto); isVIP {
+		return 0, true, false
+	}
+	return 0, false, false
+}
+
+// IptResult is the tri-state outcome of bpf_ipt_lookup.
+type IptResult int
+
+// bpf_ipt_lookup outcomes.
+const (
+	IptAllow IptResult = iota + 1
+	IptDeny
+	// IptPunt tells the fast path to hand the packet to the slow path:
+	// the rules need conntrack state the fast path may only read, and the
+	// flow has no entry yet (the slow path creates it).
+	IptPunt
+)
+
+// HelperIptLookup is the paper's new bpf_ipt_lookup: evaluate a chain
+// against live iptables state, charging the fast-path match costs
+// (cheaper per rule than the skb-based slow path, and one hashed probe per
+// ipset match). When rules match on conntrack state, the helper performs a
+// read-only conntrack lookup; flows without an entry punt so the slow path
+// owns flow creation (Table I's division for conntrack handling).
+func HelperIptLookup(c *Ctx, hook netfilter.Hook, outIf int) IptResult {
+	meta := &netfilter.Meta{
+		Src: c.IPSrc, Dst: c.IPDst, Proto: c.IPProto,
+		SrcPort: c.SrcPort, DstPort: c.DstPort,
+		InIf: c.IfIndex, OutIf: outIf, Fragment: c.Fragment,
+	}
+	if c.Kernel.NF.CTRequired() {
+		c.Meter.Charge(sim.CostConntrackLookup)
+		conn, _, ok := c.Kernel.NF.Conntrack.Lookup(netfilter.Tuple{
+			Src: meta.Src, Dst: meta.Dst, Proto: meta.Proto,
+			SrcPort: meta.SrcPort, DstPort: meta.DstPort,
+		}, c.Kernel.Now())
+		if !ok {
+			return IptPunt
+		}
+		meta.CTState = conn.State
+	}
+	v, st := c.Kernel.NF.EvaluateHook(hook, meta)
+	c.Meter.Charge(sim.CostHelperIptB +
+		sim.Cycles(st.RulesEvaluated)*sim.CostIptRuleFast +
+		sim.Cycles(st.SetProbes)*sim.CostIpsetLookup)
+	if v == netfilter.VerdictDrop {
+		return IptDeny
+	}
+	return IptAllow
+}

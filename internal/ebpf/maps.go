@@ -1,0 +1,151 @@
+package ebpf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ProgArray is the BPF_MAP_TYPE_PROG_ARRAY: tail-call targets indexed by
+// slot. Updating a slot is a single atomic pointer store — the mechanism
+// LinuxFP uses to swap an entire data path without dropping packets
+// (paper Fig. 4).
+type ProgArray struct {
+	name  string
+	slots []atomic.Pointer[Program]
+}
+
+// NewProgArray allocates a program array with n slots.
+func NewProgArray(name string, n int) *ProgArray {
+	return &ProgArray{name: name, slots: make([]atomic.Pointer[Program], n)}
+}
+
+// Name returns the map name.
+func (pa *ProgArray) Name() string { return pa.name }
+
+// Len reports the slot count.
+func (pa *ProgArray) Len() int { return len(pa.slots) }
+
+// Update installs a program in a slot (nil clears it). It reports whether
+// the slot index was valid.
+func (pa *ProgArray) Update(slot int, p *Program) bool {
+	if slot < 0 || slot >= len(pa.slots) {
+		return false
+	}
+	pa.slots[slot].Store(p)
+	return true
+}
+
+// Lookup fetches the program in a slot.
+func (pa *ProgArray) Lookup(slot int) *Program {
+	if slot < 0 || slot >= len(pa.slots) {
+		return nil
+	}
+	return pa.slots[slot].Load()
+}
+
+// HashMap is a BPF_MAP_TYPE_HASH with 64-bit keys and values — enough for
+// the counters and small lookup tables FPMs keep (remember: LinuxFP
+// deliberately does NOT keep configuration state in maps; that is the
+// Polycube baseline's approach).
+type HashMap struct {
+	name string
+	max  int
+
+	mu sync.RWMutex
+	m  map[uint64]uint64
+}
+
+// NewHashMap allocates a hash map with a max-entries bound.
+func NewHashMap(name string, maxEntries int) *HashMap {
+	return &HashMap{name: name, max: maxEntries, m: make(map[uint64]uint64)}
+}
+
+// Name returns the map name.
+func (h *HashMap) Name() string { return h.name }
+
+// Lookup reads a key.
+func (h *HashMap) Lookup(k uint64) (uint64, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok := h.m[k]
+	return v, ok
+}
+
+// Update writes a key, failing when the map is full (E2BIG in the kernel).
+func (h *HashMap) Update(k, v uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.m[k]; !exists && len(h.m) >= h.max {
+		return false
+	}
+	h.m[k] = v
+	return true
+}
+
+// Delete removes a key.
+func (h *HashMap) Delete(k uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.m[k]
+	delete(h.m, k)
+	return ok
+}
+
+// Add atomically increments a key (BPF_XADD-style), creating it at delta.
+func (h *HashMap) Add(k, delta uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.m[k]; !exists && len(h.m) >= h.max {
+		return
+	}
+	h.m[k] += delta
+}
+
+// Len reports the number of entries.
+func (h *HashMap) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}
+
+// ArrayMap is a BPF_MAP_TYPE_ARRAY of 64-bit values (per-CPU flavour is
+// not modeled; a single atomic slot array captures the semantics).
+type ArrayMap struct {
+	name  string
+	slots []atomic.Uint64
+}
+
+// NewArrayMap allocates an array map.
+func NewArrayMap(name string, n int) *ArrayMap {
+	return &ArrayMap{name: name, slots: make([]atomic.Uint64, n)}
+}
+
+// Name returns the map name.
+func (a *ArrayMap) Name() string { return a.name }
+
+// Len reports the slot count.
+func (a *ArrayMap) Len() int { return len(a.slots) }
+
+// Lookup reads a slot (out-of-range reads zero, like a missing element).
+func (a *ArrayMap) Lookup(i int) uint64 {
+	if i < 0 || i >= len(a.slots) {
+		return 0
+	}
+	return a.slots[i].Load()
+}
+
+// Update writes a slot.
+func (a *ArrayMap) Update(i int, v uint64) bool {
+	if i < 0 || i >= len(a.slots) {
+		return false
+	}
+	a.slots[i].Store(v)
+	return true
+}
+
+// Add atomically increments a slot.
+func (a *ArrayMap) Add(i int, delta uint64) {
+	if i >= 0 && i < len(a.slots) {
+		a.slots[i].Add(delta)
+	}
+}

@@ -1,0 +1,67 @@
+package ebpf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verifier errors.
+var (
+	ErrEmptyProgram = errors.New("ebpf: empty program")
+	ErrTooManyInsns = errors.New("ebpf: program exceeds instruction limit")
+	ErrMissingCap   = errors.New("ebpf: op requires capability unavailable on hook")
+	ErrBadHook      = errors.New("ebpf: unknown hook")
+)
+
+// MaxInsns is the per-program instruction budget (the kernel's classic
+// 4096-insn limit for unprivileged programs).
+const MaxInsns = 4096
+
+// HookCaps reports the capability set each hook provides. XDP has no
+// sk_buff; both hook families can reach the LinuxFP helpers (the paper
+// added them kernel-wide); redirect and tail calls work everywhere.
+func HookCaps(h Hook) (Cap, error) {
+	switch h {
+	case HookXDP:
+		return CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapAdjustHead, nil
+	case HookTCIngress, HookTCEgress:
+		return CapSKB | CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrBadHook, int(h))
+	}
+}
+
+// Verifier statically checks programs before load, the way the kernel
+// verifier gates bytecode: size budget and per-hook capability validity.
+// (Memory safety is enforced dynamically by ops' bounds checks returning
+// VerdictAborted, standing in for the verifier's range analysis.)
+type Verifier struct {
+	// MaxInsns overrides the default instruction budget when positive.
+	MaxInsns int
+}
+
+// Verify checks one program against its declared hook.
+func (v *Verifier) Verify(p *Program) error {
+	if p == nil || len(p.Ops) == 0 {
+		return ErrEmptyProgram
+	}
+	caps, err := HookCaps(p.Hook)
+	if err != nil {
+		return err
+	}
+	budget := MaxInsns
+	if v != nil && v.MaxInsns > 0 {
+		budget = v.MaxInsns
+	}
+	insns := 0
+	for i, op := range p.Ops {
+		insns += op.Insns()
+		if missing := op.Caps() &^ caps; missing != 0 {
+			return fmt.Errorf("%w: op %d (%s) needs %#x on %v", ErrMissingCap, i, op.Name(), uint32(missing), p.Hook)
+		}
+	}
+	if insns > budget {
+		return fmt.Errorf("%w: %d > %d", ErrTooManyInsns, insns, budget)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+// Package fib implements the kernel's forwarding information base: a
+// path-compressed binary trie keyed by IPv4 prefix, supporting multiple
+// routing tables, route metrics and scopes, and longest-prefix-match lookup.
+//
+// This is the single copy of routing state in the system: the slow path's
+// ip_route_input and the fast path's bpf_fib_lookup helper both resolve
+// against it — the state-sharing design LinuxFP's correctness depends on.
+package fib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"linuxfp/internal/packet"
+)
+
+// Well-known routing table IDs (matching Linux rt_tables).
+const (
+	TableMain  = 254
+	TableLocal = 255
+)
+
+// Scope mirrors Linux route scopes.
+type Scope int
+
+// Route scopes, from widest to narrowest.
+const (
+	ScopeUniverse Scope = iota + 1 // via a gateway
+	ScopeLink                      // directly connected subnet
+	ScopeHost                      // local address
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeUniverse:
+		return "global"
+	case ScopeLink:
+		return "link"
+	case ScopeHost:
+		return "host"
+	default:
+		return fmt.Sprintf("scope(%d)", int(s))
+	}
+}
+
+// Route is one FIB entry.
+type Route struct {
+	Prefix  packet.Prefix
+	Gateway packet.Addr // zero for directly connected routes
+	OutIf   int         // egress interface index
+	Scope   Scope
+	Metric  int
+	Local   bool // destination is a local address (deliver up)
+}
+
+func (r Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", r.Prefix)
+	if r.Gateway != 0 {
+		fmt.Fprintf(&b, " via %s", r.Gateway)
+	}
+	fmt.Fprintf(&b, " dev %d scope %s", r.OutIf, r.Scope)
+	if r.Metric != 0 {
+		fmt.Fprintf(&b, " metric %d", r.Metric)
+	}
+	if r.Local {
+		b.WriteString(" local")
+	}
+	return b.String()
+}
+
+// node is a path-compressed binary trie node.
+type node struct {
+	prefix packet.Prefix // the bits this node covers (masked)
+	routes []Route       // routes terminating exactly here, sorted by metric
+	child  [2]*node
+}
+
+// Table is one routing table: a thread-safe LPM trie.
+type Table struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{root: &node{prefix: packet.Prefix{Addr: 0, Bits: 0}}}
+}
+
+// Len reports the number of routes in the table.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// bitAt reports bit i (0 = most significant) of a.
+func bitAt(a packet.Addr, i int) int {
+	return int(a>>(31-i)) & 1
+}
+
+// commonBits reports how many leading bits a and b share, capped at max.
+func commonBits(a, b packet.Addr, max int) int {
+	x := uint32(a ^ b)
+	n := 0
+	for n < max && x&0x80000000 == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Add inserts a route. Routes with identical prefix and metric replace the
+// existing entry (the `ip route replace` behaviour used by config tools).
+func (t *Table) Add(r Route) {
+	r.Prefix = r.Prefix.Masked()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.insertNode(r.Prefix)
+	for i, ex := range n.routes {
+		if ex.Metric == r.Metric {
+			n.routes[i] = r
+			return
+		}
+	}
+	n.routes = append(n.routes, r)
+	sort.SliceStable(n.routes, func(i, j int) bool { return n.routes[i].Metric < n.routes[j].Metric })
+	t.size++
+}
+
+// insertNode finds or creates the trie node for the exact prefix.
+func (t *Table) insertNode(p packet.Prefix) *node {
+	cur := t.root
+	for {
+		if cur.prefix.Bits == p.Bits && cur.prefix.Addr == p.Addr {
+			return cur
+		}
+		b := bitAt(p.Addr, cur.prefix.Bits)
+		next := cur.child[b]
+		if next == nil {
+			n := &node{prefix: p}
+			cur.child[b] = n
+			return n
+		}
+		// How much of next's prefix does p share?
+		shared := commonBits(p.Addr, next.prefix.Addr, min(p.Bits, next.prefix.Bits))
+		if shared == next.prefix.Bits {
+			cur = next
+			continue
+		}
+		// Split: create an intermediate node covering the shared bits.
+		mid := &node{prefix: packet.Prefix{Addr: p.Addr, Bits: shared}.Masked()}
+		cur.child[b] = mid
+		mid.child[bitAt(next.prefix.Addr, shared)] = next
+		if shared == p.Bits {
+			return mid
+		}
+		n := &node{prefix: p}
+		mid.child[bitAt(p.Addr, shared)] = n
+		return n
+	}
+}
+
+// Delete removes the route with the given prefix (and metric, if >= 0;
+// metric -1 removes all routes on the prefix). It reports whether anything
+// was removed. Trie nodes are left in place; empty nodes are harmless.
+func (t *Table) Delete(p packet.Prefix, metric int) bool {
+	p = p.Masked()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.root
+	for cur != nil {
+		if cur.prefix.Bits == p.Bits && cur.prefix.Addr == p.Addr {
+			if len(cur.routes) == 0 {
+				return false
+			}
+			if metric < 0 {
+				t.size -= len(cur.routes)
+				cur.routes = nil
+				return true
+			}
+			for i, r := range cur.routes {
+				if r.Metric == metric {
+					cur.routes = append(cur.routes[:i], cur.routes[i+1:]...)
+					t.size--
+					return true
+				}
+			}
+			return false
+		}
+		if cur.prefix.Bits >= p.Bits {
+			return false
+		}
+		cur = cur.child[bitAt(p.Addr, cur.prefix.Bits)]
+		if cur != nil && !cur.prefix.Masked().Contains(p.Addr&cur.prefix.Mask()) {
+			// Fast containment check: p must extend cur's prefix.
+			if commonBits(p.Addr, cur.prefix.Addr, cur.prefix.Bits) != cur.prefix.Bits {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// Lookup returns the longest-prefix-match route for dst (lowest metric on
+// ties) and reports whether one exists.
+func (t *Table) Lookup(dst packet.Addr) (Route, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var (
+		best  Route
+		found bool
+	)
+	cur := t.root
+	for cur != nil {
+		if commonBits(dst, cur.prefix.Addr, cur.prefix.Bits) != cur.prefix.Bits {
+			break
+		}
+		if len(cur.routes) > 0 {
+			best = cur.routes[0]
+			found = true
+		}
+		if cur.prefix.Bits == 32 {
+			break
+		}
+		cur = cur.child[bitAt(dst, cur.prefix.Bits)]
+	}
+	return best, found
+}
+
+// Routes returns all routes in deterministic (prefix, metric) order.
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Route
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		out = append(out, n.routes...)
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Prefix.Addr != b.Prefix.Addr {
+			return a.Prefix.Addr < b.Prefix.Addr
+		}
+		if a.Prefix.Bits != b.Prefix.Bits {
+			return a.Prefix.Bits < b.Prefix.Bits
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}
+
+// Flush removes all routes.
+func (t *Table) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root = &node{prefix: packet.Prefix{}}
+	t.size = 0
+}
+
+// FIB is the set of routing tables in one network namespace.
+type FIB struct {
+	mu     sync.RWMutex
+	tables map[int]*Table
+}
+
+// New returns a FIB with empty main and local tables.
+func New() *FIB {
+	return &FIB{tables: map[int]*Table{
+		TableMain:  NewTable(),
+		TableLocal: NewTable(),
+	}}
+}
+
+// Table returns the table with the given ID, creating it on first use.
+func (f *FIB) Table(id int) *Table {
+	f.mu.RLock()
+	t, ok := f.tables[id]
+	f.mu.RUnlock()
+	if ok {
+		return t
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t, ok = f.tables[id]; ok {
+		return t
+	}
+	t = NewTable()
+	f.tables[id] = t
+	return t
+}
+
+// Main returns the main routing table.
+func (f *FIB) Main() *Table { return f.Table(TableMain) }
+
+// Local returns the local routing table (host addresses).
+func (f *FIB) Local() *Table { return f.Table(TableLocal) }
+
+// Lookup resolves dst the way ip_route_input does: the local table first
+// (host delivery wins), then the main table.
+func (f *FIB) Lookup(dst packet.Addr) (Route, bool) {
+	if r, ok := f.Local().Lookup(dst); ok {
+		return r, true
+	}
+	return f.Main().Lookup(dst)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,326 @@
+package fib
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+func route(prefix string, via string, outIf, metric int) Route {
+	r := Route{Prefix: packet.MustPrefix(prefix), OutIf: outIf, Metric: metric, Scope: ScopeUniverse}
+	if via != "" {
+		r.Gateway = packet.MustAddr(via)
+	} else {
+		r.Scope = ScopeLink
+	}
+	return r
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.0.0.0/8", "1.1.1.1", 1, 0))
+	tbl.Add(route("10.1.0.0/16", "2.2.2.2", 2, 0))
+	tbl.Add(route("10.1.2.0/24", "3.3.3.3", 3, 0))
+
+	cases := []struct {
+		dst   string
+		outIf int
+	}{
+		{"10.1.2.3", 3},
+		{"10.1.3.3", 2},
+		{"10.2.0.1", 1},
+	}
+	for _, c := range cases {
+		r, ok := tbl.Lookup(packet.MustAddr(c.dst))
+		if !ok || r.OutIf != c.outIf {
+			t.Errorf("lookup %s: got %+v ok=%v, want outIf %d", c.dst, r, ok, c.outIf)
+		}
+	}
+	if _, ok := tbl.Lookup(packet.MustAddr("11.0.0.1")); ok {
+		t.Error("lookup outside prefixes should miss")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("0.0.0.0/0", "9.9.9.9", 9, 0))
+	tbl.Add(route("10.0.0.0/8", "1.1.1.1", 1, 0))
+	r, ok := tbl.Lookup(packet.MustAddr("8.8.8.8"))
+	if !ok || r.OutIf != 9 {
+		t.Fatalf("default route: %+v ok=%v", r, ok)
+	}
+	r, ok = tbl.Lookup(packet.MustAddr("10.0.0.1"))
+	if !ok || r.OutIf != 1 {
+		t.Fatalf("specific over default: %+v ok=%v", r, ok)
+	}
+}
+
+func TestMetricTieBreak(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.0.0.0/8", "1.1.1.1", 1, 100))
+	tbl.Add(route("10.0.0.0/8", "2.2.2.2", 2, 10))
+	r, ok := tbl.Lookup(packet.MustAddr("10.5.5.5"))
+	if !ok || r.OutIf != 2 {
+		t.Fatalf("lowest metric should win: %+v", r)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("len %d, want 2", tbl.Len())
+	}
+}
+
+func TestReplaceSamePrefixAndMetric(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.0.0.0/24", "1.1.1.1", 1, 0))
+	tbl.Add(route("10.0.0.0/24", "2.2.2.2", 2, 0))
+	if tbl.Len() != 1 {
+		t.Fatalf("replace should keep len 1, got %d", tbl.Len())
+	}
+	r, _ := tbl.Lookup(packet.MustAddr("10.0.0.5"))
+	if r.OutIf != 2 {
+		t.Fatalf("replace did not take: %+v", r)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.1.0.0/16", "1.1.1.1", 1, 0))
+	tbl.Add(route("10.1.2.0/24", "2.2.2.2", 2, 0))
+	if !tbl.Delete(packet.MustPrefix("10.1.2.0/24"), -1) {
+		t.Fatal("delete existing failed")
+	}
+	if tbl.Delete(packet.MustPrefix("10.1.2.0/24"), -1) {
+		t.Fatal("double delete succeeded")
+	}
+	if tbl.Delete(packet.MustPrefix("10.9.9.0/24"), -1) {
+		t.Fatal("delete of absent prefix succeeded")
+	}
+	r, ok := tbl.Lookup(packet.MustAddr("10.1.2.3"))
+	if !ok || r.OutIf != 1 {
+		t.Fatalf("fallback after delete: %+v ok=%v", r, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+}
+
+func TestDeleteByMetric(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.0.0.0/8", "1.1.1.1", 1, 10))
+	tbl.Add(route("10.0.0.0/8", "2.2.2.2", 2, 20))
+	if !tbl.Delete(packet.MustPrefix("10.0.0.0/8"), 10) {
+		t.Fatal("metric delete failed")
+	}
+	r, _ := tbl.Lookup(packet.MustAddr("10.0.0.1"))
+	if r.Metric != 20 {
+		t.Fatalf("wrong survivor: %+v", r)
+	}
+	if tbl.Delete(packet.MustPrefix("10.0.0.0/8"), 99) {
+		t.Fatal("delete of absent metric succeeded")
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(route("10.0.0.7/32", "", 7, 0))
+	tbl.Add(route("10.0.0.0/24", "", 1, 0))
+	r, _ := tbl.Lookup(packet.MustAddr("10.0.0.7"))
+	if r.OutIf != 7 {
+		t.Fatalf("host route should win: %+v", r)
+	}
+	r, _ = tbl.Lookup(packet.MustAddr("10.0.0.8"))
+	if r.OutIf != 1 {
+		t.Fatalf("subnet route: %+v", r)
+	}
+}
+
+func TestFlushAndRoutes(t *testing.T) {
+	tbl := NewTable()
+	for _, p := range []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24"} {
+		tbl.Add(route(p, "1.1.1.1", 1, 0))
+	}
+	rs := tbl.Routes()
+	if len(rs) != 3 {
+		t.Fatalf("routes len %d", len(rs))
+	}
+	// Deterministic order: sorted by prefix address.
+	if rs[0].Prefix.String() != "10.0.0.0/8" || rs[2].Prefix.String() != "192.168.0.0/24" {
+		t.Fatalf("routes order: %v", rs)
+	}
+	tbl.Flush()
+	if tbl.Len() != 0 || len(tbl.Routes()) != 0 {
+		t.Fatal("flush left routes behind")
+	}
+	if _, ok := tbl.Lookup(packet.MustAddr("10.0.0.1")); ok {
+		t.Fatal("lookup after flush hit")
+	}
+}
+
+// TestLPMMatchesLinearReference is the trie's core property test: against
+// hundreds of random route sets, trie lookup must agree with a brute-force
+// longest-prefix scan for random probe addresses.
+func TestLPMMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tbl := NewTable()
+		var linear []Route
+		nRoutes := 1 + rng.Intn(120)
+		for i := 0; i < nRoutes; i++ {
+			bits := rng.Intn(33)
+			p := packet.Prefix{Addr: packet.Addr(rng.Uint32()), Bits: bits}.Masked()
+			r := Route{Prefix: p, OutIf: i + 1, Scope: ScopeUniverse}
+			// Skip duplicate prefixes in the linear model (Add replaces).
+			dup := false
+			for j, ex := range linear {
+				if ex.Prefix == p {
+					linear[j] = r
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				linear = append(linear, r)
+			}
+			tbl.Add(r)
+		}
+		for probe := 0; probe < 200; probe++ {
+			dst := packet.Addr(rng.Uint32())
+			if probe%4 == 0 && len(linear) > 0 {
+				// Bias probes into covered space.
+				dst = linear[rng.Intn(len(linear))].Prefix.Addr | packet.Addr(rng.Uint32())&^linear[0].Prefix.Mask()
+			}
+			var (
+				want      Route
+				wantFound bool
+			)
+			for _, r := range linear {
+				if r.Prefix.Contains(dst) {
+					if !wantFound || r.Prefix.Bits > want.Prefix.Bits {
+						want, wantFound = r, true
+					}
+				}
+			}
+			got, found := tbl.Lookup(dst)
+			if found != wantFound {
+				t.Fatalf("trial %d dst %s: found=%v want %v", trial, dst, found, wantFound)
+			}
+			if found && got.OutIf != want.OutIf {
+				t.Fatalf("trial %d dst %s: got %+v want %+v", trial, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestFIBLocalBeatsMain(t *testing.T) {
+	f := New()
+	f.Main().Add(route("10.0.0.0/8", "1.1.1.1", 1, 0))
+	f.Local().Add(Route{Prefix: packet.MustPrefix("10.0.0.1/32"), OutIf: 0, Scope: ScopeHost, Local: true})
+	r, ok := f.Lookup(packet.MustAddr("10.0.0.1"))
+	if !ok || !r.Local {
+		t.Fatalf("local table should win: %+v", r)
+	}
+	r, ok = f.Lookup(packet.MustAddr("10.0.0.2"))
+	if !ok || r.Local {
+		t.Fatalf("main table fallback: %+v", r)
+	}
+}
+
+func TestFIBTableCreation(t *testing.T) {
+	f := New()
+	custom := f.Table(100)
+	if custom == nil || custom != f.Table(100) {
+		t.Fatal("custom table not memoized")
+	}
+	if f.Main() == f.Local() {
+		t.Fatal("main and local must differ")
+	}
+}
+
+func TestTableConcurrentAccess(t *testing.T) {
+	tbl := NewTable()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				p := packet.Prefix{Addr: packet.Addr(rng.Uint32()), Bits: 8 + rng.Intn(25)}
+				tbl.Add(Route{Prefix: p, OutIf: w})
+				tbl.Lookup(packet.Addr(rng.Uint32()))
+				if i%7 == 0 {
+					tbl.Delete(p, 0)
+				}
+			}
+		}()
+	}
+	wg.Wait() // run under -race
+}
+
+func BenchmarkLPMLookup(b *testing.B) {
+	tbl := NewTable()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tbl.Add(Route{Prefix: packet.Prefix{Addr: packet.Addr(rng.Uint32()), Bits: 16 + rng.Intn(9)}.Masked(), OutIf: i})
+	}
+	dsts := make([]packet.Addr, 1024)
+	for i := range dsts {
+		dsts[i] = packet.Addr(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(dsts[i%len(dsts)])
+	}
+}
+
+// TestLPMDeleteProperty: random interleaved adds and deletes keep the trie
+// consistent with a linear reference.
+func TestLPMDeleteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		tbl := NewTable()
+		ref := map[packet.Prefix]Route{}
+		for step := 0; step < 400; step++ {
+			p := packet.Prefix{Addr: packet.Addr(rng.Uint32()), Bits: 4 + rng.Intn(29)}.Masked()
+			if rng.Intn(3) == 0 && len(ref) > 0 {
+				// Delete a random known prefix (sometimes an absent one).
+				if rng.Intn(4) != 0 {
+					for q := range ref {
+						p = q
+						break
+					}
+				}
+				_, had := ref[p]
+				got := tbl.Delete(p, -1)
+				if got != had {
+					t.Fatalf("trial %d step %d: delete %v got %v want %v", trial, step, p, got, had)
+				}
+				delete(ref, p)
+			} else {
+				r := Route{Prefix: p, OutIf: step + 1}
+				tbl.Add(r)
+				ref[p] = r
+			}
+			if tbl.Len() != len(ref) {
+				t.Fatalf("trial %d step %d: len %d want %d", trial, step, tbl.Len(), len(ref))
+			}
+		}
+		// Exhaustive agreement on random probes.
+		for probe := 0; probe < 300; probe++ {
+			dst := packet.Addr(rng.Uint32())
+			var want Route
+			found := false
+			for _, r := range ref {
+				if r.Prefix.Contains(dst) && (!found || r.Prefix.Bits > want.Prefix.Bits) {
+					want, found = r, true
+				}
+			}
+			got, ok := tbl.Lookup(dst)
+			if ok != found || (ok && got.OutIf != want.OutIf) {
+				t.Fatalf("trial %d: probe %s disagrees: (%v,%v) vs (%v,%v)", trial, dst, got.OutIf, ok, want.OutIf, found)
+			}
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Package fpm is LinuxFP's library of fast path modules: the code snippets
+// the controller's synthesizer composes into per-configuration eBPF
+// programs. Each constructor bakes the current configuration into the ops
+// it returns — the Go equivalent of rendering the paper's Jinja templates
+// into C — so a data path contains only the logic the active configuration
+// needs (no VLAN branch unless VLANs are configured, and so on).
+//
+// Every module obeys one safety rule: when anything is unusual — unknown
+// EtherType, fragments, IP options, FDB/FIB/neighbour misses, MAC moves,
+// retagging — the op punts the packet to the slow path (VerdictPass), where
+// complete Linux semantics apply. Punting can cost performance, never
+// correctness.
+package fpm
+
+import (
+	"encoding/binary"
+
+	"linuxfp/internal/bridge"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// ParseEth reads the Ethernet header into the context. Without the VLAN
+// snippet a tagged frame keeps EtherType 0x8100 and later snippets punt —
+// exactly the minimal-code behaviour the synthesizer wants.
+func ParseEth() ebpf.Op {
+	return ebpf.NewOp("parse_eth", sim.CostParseEth, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+		f := c.Frame()
+		if len(f) < packet.EthHdrLen {
+			return ebpf.VerdictAborted
+		}
+		c.DstMAC = packet.EthDst(f)
+		c.SrcMAC = packet.EthSrc(f)
+		c.EtherType = binary.BigEndian.Uint16(f[12:14])
+		c.L3Off = packet.EthHdrLen
+		return ebpf.VerdictNext
+	})
+}
+
+// ParseVLAN unwraps one 802.1Q tag when present. Included only when the
+// configuration has VLANs.
+func ParseVLAN() ebpf.Op {
+	return ebpf.NewOp("parse_vlan", sim.CostParseVLAN, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.EtherType != packet.EtherTypeVLAN {
+			return ebpf.VerdictNext
+		}
+		f := c.Frame()
+		if len(f) < packet.EthHdrLen+packet.VLANTagLen {
+			return ebpf.VerdictAborted
+		}
+		tci := binary.BigEndian.Uint16(f[14:16])
+		c.VLAN = tci & 0x0fff
+		c.EtherType = binary.BigEndian.Uint16(f[16:18])
+		c.L3Off = packet.EthHdrLen + packet.VLANTagLen
+		return ebpf.VerdictNext
+	})
+}
+
+// ParseIPv4 validates and reads the IP header. Fragments, options, expiring
+// TTLs, and checksum failures all punt: the slow path owns those cases
+// (paper Table I).
+func ParseIPv4() ebpf.Op {
+	return ebpf.NewOp("parse_ipv4", sim.CostParseIPv4, 0, 48, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.EtherType != packet.EtherTypeIPv4 {
+			return ebpf.VerdictPass // ARP, LLDP, tagged frames without the VLAN snippet...
+		}
+		f := c.Frame()
+		l3 := c.L3Off
+		if len(f) < l3+packet.IPv4MinLen {
+			return ebpf.VerdictAborted
+		}
+		if f[l3]>>4 != 4 {
+			return ebpf.VerdictPass
+		}
+		if packet.IPv4HasOptions(f, l3) || packet.IPv4IsFragment(f, l3) {
+			return ebpf.VerdictPass
+		}
+		if packet.Checksum(f[l3:l3+packet.IPv4MinLen]) != 0 {
+			return ebpf.VerdictPass // slow path will count and drop it
+		}
+		c.IPSrc = packet.IPv4Src(f, l3)
+		c.IPDst = packet.IPv4Dst(f, l3)
+		c.IPProto = packet.IPv4Proto(f, l3)
+		c.TTL = packet.IPv4TTL(f, l3)
+		if c.TTL <= 1 {
+			return ebpf.VerdictPass // ICMP time-exceeded is slow-path work
+		}
+		return ebpf.VerdictNext
+	})
+}
+
+// ParseL4 reads transport ports; included when filter rules match on them.
+func ParseL4() ebpf.Op {
+	return ebpf.NewOp("parse_l4", sim.CostParseEth/2, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.IPProto != packet.ProtoTCP && c.IPProto != packet.ProtoUDP {
+			return ebpf.VerdictNext
+		}
+		f := c.Frame()
+		l4 := c.L3Off + packet.IPv4MinLen
+		if len(f) < l4+4 {
+			return ebpf.VerdictAborted
+		}
+		c.SrcPort, c.DstPort = packet.L4Ports(f, l4)
+		return ebpf.VerdictNext
+	})
+}
+
+// BridgeConf parameterizes the bridge FPM for the current configuration.
+type BridgeConf struct {
+	Bridge *bridge.Bridge
+	// STP includes the port-state snippet.
+	STP bool
+	// VLANFiltering includes the VLAN admission snippet.
+	VLANFiltering bool
+	// LocalNext, when true, continues to the next module (a chained router
+	// FPM) for frames addressed to the bridge device itself, instead of
+	// punting them.
+	LocalNext bool
+	// Filter evaluates the FORWARD chain on bridged IPv4 traffic —
+	// br_netfilter acceleration for container hosts. Non-IP frames punt.
+	Filter bool
+}
+
+// BridgeOps builds the bridge FPM: fast L2 forwarding via bpf_fdb_lookup.
+// Flooding, learning, BPDUs and aging stay in the slow path.
+func BridgeOps(conf BridgeConf) []ebpf.Op {
+	br := conf.Bridge
+	var ops []ebpf.Op
+
+	ops = append(ops, ebpf.NewOp("bridge_guard", sim.CostParseEth/2, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.DstMAC.IsMulticast() {
+			// Broadcast/multicast (including BPDUs): slow path floods.
+			return ebpf.VerdictPass
+		}
+		if c.DstMAC == br.MAC {
+			if conf.LocalNext {
+				return ebpf.VerdictNext
+			}
+			return ebpf.VerdictPass
+		}
+		return ebpf.VerdictNext
+	}))
+
+	if conf.STP {
+		ops = append(ops, ebpf.NewOp("stp_port_state", sim.CostPortState, ebpf.CapHelperFDB, 12, func(c *ebpf.Ctx) ebpf.Verdict {
+			p, ok := br.Port(c.IfIndex)
+			if !ok || p.State != bridge.Forwarding {
+				return ebpf.VerdictPass // blocked/learning ports: slow path decides
+			}
+			return ebpf.VerdictNext
+		}))
+	}
+
+	if conf.VLANFiltering {
+		ops = append(ops, ebpf.NewOp("vlan_filter", sim.CostPortState, 0, 20, func(c *ebpf.Ctx) ebpf.Verdict {
+			vlan, ok := br.IngressVLAN(c.IfIndex, c.VLAN)
+			if !ok {
+				return ebpf.VerdictPass // slow path drops, keeping counters
+			}
+			c.VLAN = vlan
+			return ebpf.VerdictNext
+		}))
+	}
+
+	if conf.Filter {
+		// br_netfilter path: parse to L4 and evaluate FORWARD before the
+		// FDB decision, mirroring the slow path's hook placement.
+		ops = append(ops, ParseIPv4(), ParseL4(), FilterOp(FilterConf{Hook: netfilter.HookForward}))
+	}
+
+	ops = append(ops, ebpf.NewOp("fdb_forward", sim.CostHelperFDB, ebpf.CapHelperFDB|ebpf.CapRedirect, 64, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.DstMAC == br.MAC {
+			// Chained local traffic (LocalNext): let the router FPM run.
+			return ebpf.VerdictNext
+		}
+		now := c.Kernel.Now()
+		vlan := uint16(0)
+		if conf.VLANFiltering {
+			vlan = c.VLAN
+		}
+		// bpf_fdb_lookup checks the source first: unknown or moved MACs
+		// punt so the slow path learns (the helper does both lookups in
+		// one call; the cost constant covers the pair).
+		if srcPort, ok := br.FDBLookup(c.SrcMAC, vlan, now); !ok || srcPort != c.IfIndex {
+			return ebpf.VerdictPass
+		}
+		port, ok := br.FDBLookup(c.DstMAC, vlan, now)
+		if !ok || port == c.IfIndex {
+			return ebpf.VerdictPass // miss: slow path floods
+		}
+		p, exists := br.Port(port)
+		if !exists || p.State != bridge.Forwarding {
+			return ebpf.VerdictPass
+		}
+		if conf.VLANFiltering {
+			tagged, allowed := br.EgressAllowed(port, vlan)
+			if !allowed {
+				return ebpf.VerdictPass
+			}
+			if tagged != (c.VLAN != 0 && c.L3Off > packet.EthHdrLen) {
+				// Retagging needs head adjustment: punt.
+				return ebpf.VerdictPass
+			}
+		}
+		c.RedirectIfIndex = port
+		return ebpf.VerdictRedirect
+	}))
+	return ops
+}
+
+// RouterConf parameterizes the router FPM.
+type RouterConf struct {
+	// BridgeForOut maps an egress ifindex to a bridge when the route
+	// points at a bridge device; the router FPM then resolves the real
+	// port via the FDB instead of punting (next_nf: bridge).
+	BridgeForOut func(ifindex int) (*bridge.Bridge, bool)
+}
+
+// FIBLookupOp resolves route + neighbour through bpf_fib_lookup, leaving
+// the result in the context. Every miss punts.
+func FIBLookupOp() ebpf.Op {
+	return ebpf.NewOp("fib_lookup", 0, ebpf.CapHelperFIB, 40, func(c *ebpf.Ctx) ebpf.Verdict {
+		// Helper charges its own cost.
+		res, ok := ebpf.HelperFIBLookup(c, c.IPDst)
+		if !ok {
+			return ebpf.VerdictPass
+		}
+		c.FIB = res
+		c.FIBOk = true
+		return ebpf.VerdictNext
+	})
+}
+
+// FilterConf parameterizes the filter FPM.
+type FilterConf struct {
+	Hook netfilter.Hook // chain to evaluate (FORWARD for gateways)
+}
+
+// FilterOp evaluates iptables state through bpf_ipt_lookup. Runs after the
+// FIB lookup so out-interface matches see the real egress. Flows the
+// helper cannot classify (conntrack miss) punt to the slow path.
+func FilterOp(conf FilterConf) ebpf.Op {
+	return ebpf.NewOp("ipt_filter", 0, ebpf.CapHelperIpt, 72, func(c *ebpf.Ctx) ebpf.Verdict {
+		// Helper charges its own cost.
+		switch ebpf.HelperIptLookup(c, conf.Hook, c.FIB.EgressIfIndex) {
+		case ebpf.IptDeny:
+			return ebpf.VerdictDrop
+		case ebpf.IptPunt:
+			return ebpf.VerdictPass
+		default:
+			return ebpf.VerdictNext
+		}
+	})
+}
+
+// RewriteOp applies the forwarding rewrite: TTL decrement with incremental
+// checksum and MAC rewrite from the FIB result.
+func RewriteOp() ebpf.Op {
+	return ebpf.NewOp("rewrite_l2l3", sim.CostRewriteL2L3, 0, 32, func(c *ebpf.Ctx) ebpf.Verdict {
+		if !c.FIBOk {
+			return ebpf.VerdictPass
+		}
+		f := c.Frame()
+		packet.DecTTL(f, c.L3Off)
+		packet.SetEthSrc(f, c.FIB.SrcMAC)
+		packet.SetEthDst(f, c.FIB.DstMAC)
+		return ebpf.VerdictNext
+	})
+}
+
+// RedirectOp emits the packet on the FIB egress. When the egress is a
+// bridge device (next_nf: bridge), it resolves the physical port through
+// the FDB; a miss punts so the slow path floods.
+func RedirectOp(conf RouterConf) ebpf.Op {
+	return ebpf.NewOp("redirect", 0, ebpf.CapRedirect, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+		if !c.FIBOk {
+			return ebpf.VerdictPass
+		}
+		egress := c.FIB.EgressIfIndex
+		if conf.BridgeForOut != nil {
+			if br, ok := conf.BridgeForOut(egress); ok {
+				port, hit := ebpf.HelperFDBLookup(c, br, c.FIB.DstMAC, 0)
+				if !hit {
+					return ebpf.VerdictPass
+				}
+				egress = port
+			}
+		}
+		c.RedirectIfIndex = egress
+		return ebpf.VerdictRedirect
+	})
+}
+
+// RouterOps composes the router FPM: parse → fib → rewrite → redirect.
+func RouterOps(conf RouterConf) []ebpf.Op {
+	return []ebpf.Op{FIBLookupOp(), RewriteOp(), RedirectOp(conf)}
+}
+
+// TrivialOps returns n no-op network functions (the Fig. 10 chain when
+// composed with function calls).
+func TrivialOps(n int) []ebpf.Op {
+	ops := make([]ebpf.Op, n)
+	for i := range ops {
+		ops[i] = ebpf.NewOp("trivial_nf", sim.CostTrivialNF, 0, 8, func(*ebpf.Ctx) ebpf.Verdict {
+			return ebpf.VerdictNext
+		})
+	}
+	return ops
+}
+
+// MonitorOp counts packets per IP protocol into an array map — the paper's
+// future-work custom monitoring module, insertable at any graph position.
+func MonitorOp(counters *ebpf.ArrayMap) ebpf.Op {
+	return ebpf.NewOp("monitor", sim.CostMonitorFPM, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+		counters.Add(int(c.IPProto), 1)
+		return ebpf.VerdictNext
+	})
+}
+
+// AFXDPConf parameterizes the AF_XDP capture module (paper future work):
+// matching packets bypass the whole kernel stack and land on a user-space
+// socket; everything else continues down the chain untouched.
+type AFXDPConf struct {
+	// Proto/DstPort select the captured traffic (zero means any).
+	Proto   uint8
+	DstPort uint16
+	// Map and Slot name the XSK binding.
+	Map  *ebpf.XSKMap
+	Slot int
+}
+
+// AFXDPOp builds the capture snippet.
+func AFXDPOp(conf AFXDPConf) ebpf.Op {
+	return ebpf.NewOp("afxdp_capture", 0, ebpf.CapRedirect, 40, func(c *ebpf.Ctx) ebpf.Verdict {
+		if conf.Proto != 0 && c.IPProto != conf.Proto {
+			return ebpf.VerdictNext
+		}
+		if conf.DstPort != 0 && c.DstPort != conf.DstPort {
+			return ebpf.VerdictNext
+		}
+		return ebpf.HelperRedirectXSK(c, conf.Map, conf.Slot)
+	})
+}
+
+// IPVSOp is the controller-synthesized LB module (Table I's last row):
+// established virtual-service flows are resolved through bpf_ipvs_lookup
+// against the kernel's ipvs connection table — the same single-copy state
+// the slow path's scheduler writes — then DNATed and redirected. New flows
+// punt so the slow path schedules them; non-VIP traffic continues.
+func IPVSOp() ebpf.Op {
+	return ebpf.NewOp("ipvs_lb", 0, ebpf.CapHelperIPVS|ebpf.CapHelperFIB|ebpf.CapRedirect, 96, func(c *ebpf.Ctx) ebpf.Verdict {
+		backend, vip, ok := ebpf.HelperIPVSLookup(c)
+		if !vip {
+			return ebpf.VerdictNext
+		}
+		if !ok {
+			return ebpf.VerdictPass // unscheduled flow: slow path schedules
+		}
+		// Resolve the backend route BEFORE touching the frame, so a punt
+		// hands the slow path the original (un-NATed) packet.
+		res, fok := ebpf.HelperFIBLookup(c, backend)
+		if !fok {
+			return ebpf.VerdictPass
+		}
+		f := c.Frame()
+		packet.RewriteIPv4Dst(f, c.L3Off, c.L3Off+packet.IPv4MinLen, backend)
+		c.IPDst = backend
+		c.Meter.Charge(sim.CostRewriteL2L3)
+		packet.DecTTL(f, c.L3Off)
+		packet.SetEthSrc(f, res.SrcMAC)
+		packet.SetEthDst(f, res.DstMAC)
+		c.RedirectIfIndex = res.EgressIfIndex
+		return ebpf.VerdictRedirect
+	})
+}
+
+// LBConf parameterizes the ipvs-style load balancer FPM (paper future
+// work, Table I's last row).
+type LBConf struct {
+	VIP      packet.Addr
+	Port     uint16
+	Backends []packet.Addr
+	// Conns pins flows to backends (flow hash -> backend index). This is
+	// the one FPM holding private map state: ipvs connection scheduling is
+	// explicitly listed as slow-path/control work in Table I, and this
+	// prototype keeps only the established-flow cache in the fast path.
+	Conns *ebpf.HashMap
+}
+
+// mix64 is a splitmix64 finalizer: a cheap, well-spread flow hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// LBOp implements the load-balancer fast path: VIP traffic is DNATed to a
+// stable backend and re-routed; everything else continues down the chain.
+func LBOp(conf LBConf) ebpf.Op {
+	return ebpf.NewOp("ipvs_lb", sim.CostLBConnHash, ebpf.CapHelperFIB|ebpf.CapRedirect, 96, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.IPDst != conf.VIP || c.DstPort != conf.Port || len(conf.Backends) == 0 {
+			return ebpf.VerdictNext
+		}
+		flow := uint64(c.IPSrc)<<32 | uint64(c.SrcPort)<<16 | uint64(c.IPProto)
+		idx, ok := conf.Conns.Lookup(flow)
+		if !ok {
+			// New connection: scheduling belongs to the slow path in the
+			// full design; the prototype spreads by flow hash.
+			idx = mix64(flow) % uint64(len(conf.Backends))
+			if !conf.Conns.Update(flow, idx) {
+				return ebpf.VerdictPass // conn table full: punt
+			}
+		}
+		backend := conf.Backends[idx%uint64(len(conf.Backends))]
+		f := c.Frame()
+		packet.RewriteIPv4Dst(f, c.L3Off, c.L3Off+packet.IPv4MinLen, backend)
+		c.IPDst = backend
+		res, ok := ebpf.HelperFIBLookup(c, backend)
+		if !ok {
+			return ebpf.VerdictPass
+		}
+		packet.DecTTL(f, c.L3Off)
+		packet.SetEthSrc(f, res.SrcMAC)
+		packet.SetEthDst(f, res.DstMAC)
+		c.RedirectIfIndex = res.EgressIfIndex
+		return ebpf.VerdictRedirect
+	})
+}

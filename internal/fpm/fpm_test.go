@@ -1,0 +1,726 @@
+package fpm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// routerRig is a 3-node line: src -- dut -- sink, with ARP pre-resolved so
+// the fast path has state to hit.
+type routerRig struct {
+	src, dut, sink *kernel.Kernel
+	srcDev         *netdev.Device // src's NIC
+	in, out        *netdev.Device // dut's NICs
+	sinkDev        *netdev.Device
+	captured       [][]byte // frames arriving at the sink
+}
+
+func newRouterRig(t *testing.T) *routerRig {
+	t.Helper()
+	r := &routerRig{src: kernel.New("src"), dut: kernel.New("dut"), sink: kernel.New("sink")}
+	r.srcDev = r.src.CreateDevice("eth0", netdev.Physical)
+	r.in = r.dut.CreateDevice("eth0", netdev.Physical)
+	r.out = r.dut.CreateDevice("eth1", netdev.Physical)
+	r.sinkDev = r.sink.CreateDevice("eth0", netdev.Physical)
+	netdev.Connect(r.srcDev, r.in)
+	netdev.Connect(r.out, r.sinkDev)
+	for _, d := range []*netdev.Device{r.srcDev, r.in, r.out, r.sinkDev} {
+		d.SetUp(true)
+	}
+	r.src.AddAddr("eth0", packet.MustPrefix("10.1.0.1/24"))
+	r.dut.AddAddr("eth0", packet.MustPrefix("10.1.0.254/24"))
+	r.dut.AddAddr("eth1", packet.MustPrefix("10.2.0.254/24"))
+	r.sink.AddAddr("eth0", packet.MustPrefix("10.2.0.1/24"))
+	r.dut.SetSysctl("net.ipv4.ip_forward", "1")
+	r.src.AddRoute(fib.Route{Prefix: packet.MustPrefix("0.0.0.0/0"), Gateway: packet.MustAddr("10.1.0.254"), OutIf: r.srcDev.Index})
+	// 50 prefixes behind the sink, like the paper's virtual router.
+	for i := 0; i < 50; i++ {
+		r.dut.AddRoute(fib.Route{
+			Prefix:  packet.Prefix{Addr: packet.AddrFrom4(10, 100+byte(i), 0, 0), Bits: 16},
+			Gateway: packet.MustAddr("10.2.0.1"), OutIf: r.out.Index,
+		})
+	}
+	r.sinkDev.Tap = func(f []byte) { r.captured = append(r.captured, append([]byte(nil), f...)) }
+	// Pre-resolve neighbours on both sides via a ping.
+	var m sim.Meter
+	r.src.Ping(packet.MustAddr("10.100.0.1"), 1, 1, nil, &m) // will die at sink (no such addr) but resolves ARPs
+	r.captured = nil
+	return r
+}
+
+// frameTo builds a UDP frame from src toward dst addressed at the DUT.
+func (r *routerRig) frameTo(dst packet.Addr, ttl uint8, payload []byte) []byte {
+	gwMAC, ok := r.src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
+	if !ok {
+		panic("gw unresolved")
+	}
+	u := packet.UDP{SrcPort: 1000, DstPort: 2000}
+	srcIP := packet.MustAddr("10.1.0.1")
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: gwMAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: ttl, Proto: packet.ProtoUDP, Src: srcIP, Dst: dst},
+		u.Marshal(nil, srcIP, dst, payload),
+	)
+}
+
+// attachRouterFPM synthesizes and attaches the router fast path at XDP.
+func (r *routerRig) attachRouterFPM(t *testing.T, extra ...ebpf.Op) {
+	t.Helper()
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4()}
+	ops = append(ops, extra...)
+	ops = append(ops, RouterOps(RouterConf{})...)
+	prog, err := loader.Load(&ebpf.Program{Name: "router_fp", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.AttachXDP(r.in, prog, "driver"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterFPMForwardsOnFastPath(t *testing.T) {
+	r := newRouterRig(t)
+	r.attachRouterFPM(t)
+	fwdBase := r.dut.Stats().Forwarded // warmup ping traversed the slow path
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.3.9"), 64, []byte("fast")), &m)
+
+	if len(r.captured) != 1 {
+		t.Fatalf("captured %d frames", len(r.captured))
+	}
+	f := r.captured[0]
+	if packet.IPv4TTL(f, packet.EthHdrLen) != 63 {
+		t.Fatal("TTL not decremented on fast path")
+	}
+	if packet.EthSrc(f) != r.out.MAC {
+		t.Fatal("source MAC not rewritten")
+	}
+	// The slow path never saw it: no kernel forward counted, XDP redirect was.
+	if r.dut.Stats().Forwarded != fwdBase {
+		t.Fatal("packet leaked into slow path")
+	}
+	if r.in.Stats().XDPRedirects != 1 {
+		t.Fatalf("xdp stats: %+v", r.in.Stats())
+	}
+	// Decoded frame is fully valid (checksum intact after incremental update).
+	if _, err := packet.Decode(f); err != nil {
+		t.Fatalf("fast-path output corrupt: %v", err)
+	}
+}
+
+func TestRouterFPMCostMatchesTableVII(t *testing.T) {
+	r := newRouterRig(t)
+	r.attachRouterFPM(t)
+	// Measure DUT-side cycles only: unplug the sink so its stack does not
+	// accumulate onto the same meter.
+	frame := r.frameTo(packet.MustAddr("10.100.3.9"), 64, nil)
+	netdev.Disconnect(r.out)
+	var m sim.Meter
+	r.in.Receive(frame, &m)
+	pps := sim.PacketsPerSecond(m.Total)
+	// Table VII: XDP forwarding 1,768,221 pps. Allow ±10% (per-byte cost).
+	if pps < 1.59e6 || pps > 1.95e6 {
+		t.Fatalf("fast-path forwarding = %.0f pps, want ≈1.77M (cycles %v)", pps, m.Total)
+	}
+}
+
+func TestRouterFPMPuntsCornerCases(t *testing.T) {
+	r := newRouterRig(t)
+	r.attachRouterFPM(t)
+	gwMAC, _ := r.src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
+	srcIP := packet.MustAddr("10.1.0.1")
+
+	cases := map[string][]byte{
+		// TTL 1: slow path must generate time-exceeded.
+		"ttl1": r.frameTo(packet.MustAddr("10.100.0.1"), 1, nil),
+		// Fragment: slow path forwards it (fast path refuses).
+		"fragment": packet.BuildIPv4(
+			packet.Ethernet{Dst: gwMAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Flags: packet.IPv4MoreFrags, Src: srcIP, Dst: packet.MustAddr("10.100.0.1")},
+			make([]byte, 16),
+		),
+		// IP options punt.
+		"options": packet.BuildIPv4(
+			packet.Ethernet{Dst: gwMAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: srcIP, Dst: packet.MustAddr("10.100.0.1"), Options: []byte{1, 1, 1, 1}},
+			(&packet.UDP{SrcPort: 1, DstPort: 2}).Marshal(nil, srcIP, packet.MustAddr("10.100.0.1"), nil),
+		),
+	}
+	for name, frame := range cases {
+		before := r.in.Stats().XDPRedirects
+		var m sim.Meter
+		r.srcDev.Transmit(frame, &m)
+		if r.in.Stats().XDPRedirects != before {
+			t.Errorf("%s: fast path handled a corner case it must punt", name)
+		}
+	}
+	// Fragments specifically must still be *forwarded* by the slow path.
+	if r.dut.Stats().Forwarded == 0 {
+		t.Error("punted fragment was not forwarded by the slow path")
+	}
+	// TTL-1 must have produced a time-exceeded.
+	if r.dut.Stats().TTLExpired != 1 {
+		t.Errorf("dut stats: %+v", r.dut.Stats())
+	}
+}
+
+func TestRouterFPMPuntsOnNoRouteAndUnresolved(t *testing.T) {
+	r := newRouterRig(t)
+	r.attachRouterFPM(t)
+	var m sim.Meter
+	// No route: helper misses, slow path emits unreachable.
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("203.0.113.1"), 64, nil), &m)
+	if r.dut.Stats().NoRoute == 0 {
+		t.Fatal("no-route packet vanished")
+	}
+	// Unresolved next hop: add a route via a neighbour nobody answers for.
+	r.dut.AddRoute(fib.Route{Prefix: packet.MustPrefix("172.31.0.0/16"), Gateway: packet.MustAddr("10.2.0.99"), OutIf: r.out.Index})
+	before := r.in.Stats().XDPRedirects
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("172.31.1.1"), 64, nil), &m)
+	if r.in.Stats().XDPRedirects != before {
+		t.Fatal("fast path forwarded without a resolved neighbour")
+	}
+	if r.dut.Stats().ARPTx == 0 {
+		t.Fatal("slow path did not start resolution for the punted packet")
+	}
+}
+
+func TestFilterFPMDropsAndAccepts(t *testing.T) {
+	r := newRouterRig(t)
+	blocked := packet.MustPrefix("10.100.7.0/24")
+	r.dut.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop})
+	r.attachRouterFPMWithFilter(t)
+
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.7.9"), 64, nil), &m)
+	if len(r.captured) != 0 {
+		t.Fatal("blocked packet delivered")
+	}
+	if r.in.Stats().XDPDrops != 1 {
+		t.Fatalf("drop should happen in the fast path: %+v", r.in.Stats())
+	}
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.8.9"), 64, nil), &m)
+	if len(r.captured) != 1 {
+		t.Fatal("allowed packet lost")
+	}
+}
+
+func (r *routerRig) attachRouterFPMWithFilter(t *testing.T) {
+	t.Helper()
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(), FIBLookupOp(), FilterOp(FilterConf{Hook: netfilter.HookForward}), RewriteOp(), RedirectOp(RouterConf{})}
+	prog, err := loader.Load(&ebpf.Program{Name: "gw_fp", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.AttachXDP(r.in, prog, "driver"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterFPMIpsetCheaperThanRules(t *testing.T) {
+	// 100 plain rules vs 1 ipset-backed rule: same verdicts, fewer cycles.
+	mkRig := func(useSet bool) (sim.Cycles, *routerRig) {
+		r := newRouterRig(t)
+		if useSet {
+			r.dut.IpsetCreate("bl", "hash:net")
+			for i := 0; i < 100; i++ {
+				r.dut.IpsetAdd("bl", packet.Prefix{Addr: packet.AddrFrom4(203, 0, byte(i), 0), Bits: 24})
+			}
+			r.dut.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{SrcSet: "bl"}, Target: netfilter.VerdictDrop})
+		} else {
+			for i := 0; i < 100; i++ {
+				p := packet.Prefix{Addr: packet.AddrFrom4(203, 0, byte(i), 0), Bits: 24}
+				r.dut.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{Src: &p}, Target: netfilter.VerdictDrop})
+			}
+		}
+		r.attachRouterFPMWithFilter(t)
+		var m sim.Meter
+		r.in.Receive(r.frameTo(packet.MustAddr("10.100.3.3"), 64, nil), &m)
+		return m.Total, r
+	}
+	costRules, r1 := mkRig(false)
+	costSet, r2 := mkRig(true)
+	if len(r1.captured) != 1 || len(r2.captured) != 1 {
+		t.Fatal("clean traffic must pass in both configs")
+	}
+	if costSet >= costRules {
+		t.Fatalf("ipset (%v) should be cheaper than 100 rules (%v)", costSet, costRules)
+	}
+}
+
+// bridgeRig: two hosts attached to a bridge DUT, with the bridge FPM on
+// the ports.
+type bridgeRig struct {
+	sw       *kernel.Kernel
+	br       interface{ FDBLen() int }
+	hosts    []*kernel.Kernel
+	hostDevs []*netdev.Device
+	ports    []*netdev.Device
+}
+
+func newBridgeRig(t *testing.T, n int) (*kernel.Kernel, []*kernel.Kernel, []*netdev.Device, []*netdev.Device) {
+	t.Helper()
+	sw := kernel.New("sw")
+	sw.CreateBridge("br0")
+	brDev, _ := sw.DeviceByName("br0")
+	brDev.SetUp(true)
+	hosts := make([]*kernel.Kernel, n)
+	hostDevs := make([]*netdev.Device, n)
+	ports := make([]*netdev.Device, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = kernel.New("h")
+		hd := hosts[i].CreateDevice("eth0", netdev.Physical)
+		hd.SetUp(true)
+		hosts[i].AddAddr("eth0", packet.Prefix{Addr: packet.AddrFrom4(10, 9, 0, byte(i+1)), Bits: 24})
+		port := sw.CreateDevice(fmt.Sprintf("swp%d", i), netdev.Physical)
+		port.SetUp(true)
+		netdev.Connect(hd, port)
+		if err := sw.AddBridgePort("br0", port.Name); err != nil {
+			t.Fatal(err)
+		}
+		hostDevs[i] = hd
+		ports[i] = port
+	}
+	return sw, hosts, hostDevs, ports
+}
+
+func TestBridgeFPMForwardsLearnedTraffic(t *testing.T) {
+	sw, hosts, _, ports := newBridgeRig(t, 3)
+	br, _ := sw.BridgeByName("br0")
+	loader := ebpf.NewLoader(sw)
+	for _, port := range ports {
+		ops := append([]ebpf.Op{ParseEth()}, BridgeOps(BridgeConf{Bridge: br})...)
+		prog, err := loader.Load(&ebpf.Program{Name: "bridge_fp", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loader.AttachXDP(port, prog, "driver"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var m sim.Meter
+	// First exchange goes slow path (ARP + learning), then the fast path
+	// carries learned unicast.
+	hosts[0].Ping(packet.MustAddr("10.9.0.2"), 1, 1, nil, &m)
+	if hosts[1].Stats().ICMPTx != 1 {
+		t.Fatal("initial slow-path exchange failed")
+	}
+	redirectsBefore := ports[0].Stats().XDPRedirects
+	hosts[0].Ping(packet.MustAddr("10.9.0.2"), 1, 2, nil, &m)
+	if hosts[1].Stats().ICMPTx != 2 {
+		t.Fatal("fast-path ping unanswered")
+	}
+	if ports[0].Stats().XDPRedirects <= redirectsBefore {
+		t.Fatalf("learned traffic did not take the fast path: %+v", ports[0].Stats())
+	}
+}
+
+func TestBridgeFPMPuntsBroadcastAndUnknown(t *testing.T) {
+	sw, _, hostDevs, ports := newBridgeRig(t, 2)
+	br, _ := sw.BridgeByName("br0")
+	loader := ebpf.NewLoader(sw)
+	ops := append([]ebpf.Op{ParseEth()}, BridgeOps(BridgeConf{Bridge: br})...)
+	prog, _ := loader.Load(&ebpf.Program{Name: "b", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	loader.AttachXDP(ports[0], prog, "driver")
+
+	var m sim.Meter
+	// Broadcast: flood happens in the slow path; frame still reaches h1.
+	bcast := packet.BuildEthernet(packet.Ethernet{
+		Dst: packet.BroadcastHW, Src: hostDevs[0].MAC, EtherType: packet.EtherTypeIPv4}, make([]byte, 30))
+	rxBefore := hostDevs[1].Stats().RxPackets
+	hostDevs[0].Transmit(bcast, &m)
+	if ports[0].Stats().XDPRedirects != 0 {
+		t.Fatal("broadcast must punt")
+	}
+	if hostDevs[1].Stats().RxPackets != rxBefore+1 {
+		t.Fatal("broadcast lost after punt")
+	}
+	// Unknown unicast: punts, slow path floods and learns the source.
+	unknown := packet.BuildEthernet(packet.Ethernet{
+		Dst: packet.MustHWAddr("02:ee:ee:ee:ee:01"), Src: hostDevs[0].MAC, EtherType: packet.EtherTypeIPv4}, make([]byte, 30))
+	hostDevs[0].Transmit(unknown, &m)
+	if ports[0].Stats().XDPRedirects != 0 {
+		t.Fatal("unknown unicast must punt")
+	}
+	if br.FDBLen() == 0 {
+		t.Fatal("slow path did not learn from punted frame")
+	}
+}
+
+func TestBridgeFPMPuntsUnlearnedSource(t *testing.T) {
+	// A frame whose *source* is unknown must punt even when the
+	// destination is known, so the slow path can learn (Table I: learning
+	// is slow-path work).
+	sw, _, hostDevs, ports := newBridgeRig(t, 2)
+	br, _ := sw.BridgeByName("br0")
+	// Pre-learn only the destination.
+	br.Learn(hostDevs[1].MAC, 0, ports[1].Index, 0)
+
+	loader := ebpf.NewLoader(sw)
+	ops := append([]ebpf.Op{ParseEth()}, BridgeOps(BridgeConf{Bridge: br})...)
+	prog, _ := loader.Load(&ebpf.Program{Name: "b", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	loader.AttachXDP(ports[0], prog, "driver")
+
+	frame := packet.BuildEthernet(packet.Ethernet{
+		Dst: hostDevs[1].MAC, Src: hostDevs[0].MAC, EtherType: packet.EtherTypeIPv4}, make([]byte, 30))
+	var m sim.Meter
+	hostDevs[0].Transmit(frame, &m)
+	if ports[0].Stats().XDPRedirects != 0 {
+		t.Fatal("unlearned source must punt")
+	}
+	if _, ok := br.FDBLookup(hostDevs[0].MAC, 0, 0); !ok {
+		t.Fatal("source not learned by slow path")
+	}
+	// Now both are known: the same frame takes the fast path.
+	hostDevs[0].Transmit(frame, &m)
+	if ports[0].Stats().XDPRedirects != 1 {
+		t.Fatal("second frame should be fast-pathed")
+	}
+}
+
+func TestBridgeFPMCostMatchesTableVII(t *testing.T) {
+	sw, _, hostDevs, ports := newBridgeRig(t, 2)
+	br, _ := sw.BridgeByName("br0")
+	br.Learn(hostDevs[0].MAC, 0, ports[0].Index, 0)
+	br.Learn(hostDevs[1].MAC, 0, ports[1].Index, 0)
+	loader := ebpf.NewLoader(sw)
+	ops := append([]ebpf.Op{ParseEth()}, BridgeOps(BridgeConf{Bridge: br})...)
+	prog, _ := loader.Load(&ebpf.Program{Name: "b", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	loader.AttachXDP(ports[0], prog, "driver")
+
+	frame := packet.BuildEthernet(packet.Ethernet{
+		Dst: hostDevs[1].MAC, Src: hostDevs[0].MAC, EtherType: packet.EtherTypeIPv4}, make([]byte, 50))
+	// Measure DUT-side cycles only.
+	netdev.Disconnect(ports[1])
+	var m sim.Meter
+	ports[0].Receive(frame, &m)
+	pps := sim.PacketsPerSecond(m.Total)
+	// Table VII: bridge XDP 1,914,978 pps, ±10%.
+	if pps < 1.72e6 || pps > 2.11e6 {
+		t.Fatalf("bridge fast path %.0f pps, want ≈1.91M (cycles %v)", pps, m.Total)
+	}
+}
+
+// TestPathEquivalenceRandomTraffic is the core correctness property of the
+// whole system (paper §IV-B2): for random traffic, an accelerated DUT and
+// a plain-Linux DUT deliver byte-identical frames to the sink.
+func TestPathEquivalenceRandomTraffic(t *testing.T) {
+	plain := newRouterRig(t)
+	accel := newRouterRig(t)
+	accel.attachRouterFPMWithFilter(t)
+	blocked := packet.MustPrefix("10.100.40.0/24")
+	for _, r := range []*routerRig{plain, accel} {
+		r.dut.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop})
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 800; i++ {
+		// Random destination: mostly routed, some blocked, some unroutable.
+		var dst packet.Addr
+		switch rng.Intn(5) {
+		case 0:
+			dst = packet.AddrFrom4(203, 0, 113, byte(rng.Intn(255))) // no route
+		case 1:
+			dst = packet.AddrFrom4(10, 100, 40, byte(rng.Intn(255))) // blocked
+		default:
+			dst = packet.AddrFrom4(10, 100+byte(rng.Intn(50)), byte(rng.Intn(4)), byte(rng.Intn(255)))
+		}
+		ttl := uint8(1 + rng.Intn(64))
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		var m1, m2 sim.Meter
+		plain.srcDev.Transmit(plain.frameTo(dst, ttl, payload), &m1)
+		accel.srcDev.Transmit(accel.frameTo(dst, ttl, payload), &m2)
+	}
+	if len(plain.captured) == 0 {
+		t.Fatal("no traffic delivered at all")
+	}
+	if len(plain.captured) != len(accel.captured) {
+		t.Fatalf("delivered %d (plain) vs %d (accel)", len(plain.captured), len(accel.captured))
+	}
+	for i := range plain.captured {
+		a, b := plain.captured[i], accel.captured[i]
+		// Normalize the per-kernel MAC difference: compare from L3 up.
+		if !bytes.Equal(a[packet.EthHdrLen:], b[packet.EthHdrLen:]) {
+			t.Fatalf("frame %d differs between paths:\nplain %x\naccel %x", i, a, b)
+		}
+	}
+}
+
+func TestTrivialOpsChainCost(t *testing.T) {
+	// Function-call composition: cost grows by exactly CostTrivialNF per
+	// op — the flat line in Fig. 10.
+	for _, n := range []int{0, 4, 16} {
+		prog := &ebpf.Program{Name: "chain", Hook: ebpf.HookXDP, Default: ebpf.VerdictPass}
+		prog.Ops = append(prog.Ops, TrivialOps(n)...)
+		prog.Ops = append(prog.Ops, ebpf.NewOp("end", 0, 0, 4, func(*ebpf.Ctx) ebpf.Verdict { return ebpf.VerdictDrop }))
+		var v ebpf.Verifier
+		if err := v.Verify(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := TrivialOps(5)
+	if len(ops) != 5 {
+		t.Fatal("wrong count")
+	}
+	m := &sim.Meter{}
+	ctx := &ebpf.Ctx{Meter: m}
+	for _, op := range ops {
+		if op.Run(ctx) != ebpf.VerdictNext {
+			t.Fatal("trivial op must continue")
+		}
+	}
+	if m.Total != 5*sim.CostTrivialNF {
+		t.Fatalf("charged %v", m.Total)
+	}
+}
+
+func TestMonitorOpCounts(t *testing.T) {
+	counters := ebpf.NewArrayMap("proto_counts", 256)
+	op := MonitorOp(counters)
+	ctx := &ebpf.Ctx{Meter: &sim.Meter{}, IPProto: packet.ProtoUDP}
+	for i := 0; i < 3; i++ {
+		if op.Run(ctx) != ebpf.VerdictNext {
+			t.Fatal("monitor must not consume packets")
+		}
+	}
+	ctx.IPProto = packet.ProtoTCP
+	op.Run(ctx)
+	if counters.Lookup(int(packet.ProtoUDP)) != 3 || counters.Lookup(int(packet.ProtoTCP)) != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestLBOpStickyDNAT(t *testing.T) {
+	// Build a kernel with two backends behind eth1.
+	r := newRouterRig(t)
+	vip := packet.MustAddr("10.99.0.1")
+	backends := []packet.Addr{packet.MustAddr("10.100.0.10"), packet.MustAddr("10.100.1.10")}
+	conns := ebpf.NewHashMap("lb_conns", 1024)
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(),
+		LBOp(LBConf{VIP: vip, Port: 80, Backends: backends, Conns: conns})}
+	ops = append(ops, RouterOps(RouterConf{})...)
+	prog, err := loader.Load(&ebpf.Program{Name: "lb", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.AttachXDP(r.in, prog, "driver")
+
+	gwMAC, _ := r.src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
+	send := func(srcPort uint16) packet.Addr {
+		r.captured = nil
+		srcIP := packet.MustAddr("10.1.0.1")
+		u := packet.UDP{SrcPort: srcPort, DstPort: 80}
+		frame := packet.BuildIPv4(
+			packet.Ethernet{Dst: gwMAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: srcIP, Dst: vip},
+			u.Marshal(nil, srcIP, vip, []byte("req")),
+		)
+		var m sim.Meter
+		r.srcDev.Transmit(frame, &m)
+		if len(r.captured) != 1 {
+			t.Fatalf("lb output missing for port %d", srcPort)
+		}
+		p, err := packet.Decode(r.captured[0])
+		if err != nil {
+			t.Fatalf("lb output corrupt: %v", err)
+		}
+		return p.IPv4.Dst
+	}
+	first := send(1111)
+	if first != backends[0] && first != backends[1] {
+		t.Fatalf("DNAT to %v, not a backend", first)
+	}
+	// Same flow sticks to the same backend.
+	for i := 0; i < 5; i++ {
+		if got := send(1111); got != first {
+			t.Fatalf("flow moved backend: %v -> %v", first, got)
+		}
+	}
+	// Across many flows, both backends get used.
+	seen := map[packet.Addr]bool{}
+	for p := uint16(2000); p < 2032; p++ {
+		seen[send(p)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("backend spread: %v", seen)
+	}
+	// Non-VIP traffic is untouched by the LB op.
+	r.captured = nil
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.5.5"), 64, nil), &m)
+	if len(r.captured) != 1 {
+		t.Fatal("non-VIP traffic lost")
+	}
+	if p, _ := packet.Decode(r.captured[0]); p.IPv4.Dst != packet.MustAddr("10.100.5.5") {
+		t.Fatal("non-VIP traffic rewritten")
+	}
+}
+
+func TestVLANSnippetOnlyWhenConfigured(t *testing.T) {
+	// Without ParseVLAN, a tagged frame keeps EtherType 0x8100 and the
+	// IPv4 parser punts — minimal data path stays correct by punting.
+	prog := &ebpf.Program{Name: "novlan", Hook: ebpf.HookXDP,
+		Ops: []ebpf.Op{ParseEth(), ParseIPv4()}, Default: ebpf.VerdictDrop}
+	eth := packet.Ethernet{Dst: packet.MustHWAddr("02:00:00:00:00:02"),
+		Src: packet.MustHWAddr("02:00:00:00:00:01"), VLAN: 10, EtherType: packet.EtherTypeIPv4}
+	ip := packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: 1, Dst: 2, TotalLen: 20}
+	frame := packet.BuildIPv4(eth, ip, nil)
+
+	ctx := &ebpf.Ctx{Meter: &sim.Meter{}, XDP: &netdev.XDPBuff{Data: frame}}
+	verdict := ebpf.VerdictNext
+	for _, op := range prog.Ops {
+		verdict = op.Run(ctx)
+		if verdict != ebpf.VerdictNext {
+			break
+		}
+	}
+	if verdict != ebpf.VerdictPass {
+		t.Fatalf("tagged frame without vlan snippet: %v, want pass", verdict)
+	}
+	// With the snippet, the same frame parses through.
+	ctx = &ebpf.Ctx{Meter: &sim.Meter{}, XDP: &netdev.XDPBuff{Data: frame}}
+	for _, op := range []ebpf.Op{ParseEth(), ParseVLAN(), ParseIPv4()} {
+		if v := op.Run(ctx); v != ebpf.VerdictNext {
+			t.Fatalf("op %s returned %v", op.Name(), v)
+		}
+	}
+	if ctx.VLAN != 10 || ctx.IPDst != 2 {
+		t.Fatalf("vlan parse state: vlan=%d dst=%v", ctx.VLAN, ctx.IPDst)
+	}
+}
+
+func TestAFXDPCaptureToUserSpace(t *testing.T) {
+	// Paper §VIII: raw packets from the XDP layer straight to user space.
+	r := newRouterRig(t)
+	xsk := ebpf.NewXSKMap("xsks", 4)
+	sock := ebpf.NewAFXDPSocket(8)
+	if !xsk.Update(0, sock) {
+		t.Fatal("bind failed")
+	}
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(),
+		AFXDPOp(AFXDPConf{Proto: packet.ProtoUDP, DstPort: 9999, Map: xsk, Slot: 0})}
+	ops = append(ops, RouterOps(RouterConf{})...)
+	prog, err := loader.Load(&ebpf.Program{Name: "capture", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.AttachXDP(r.in, prog, "driver")
+
+	// Non-matching traffic is forwarded as usual.
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.1.1"), 64, nil), &m)
+	if len(r.captured) != 1 {
+		t.Fatal("regular traffic disrupted by capture module")
+	}
+	if len(sock.C) != 0 {
+		t.Fatal("non-matching frame captured")
+	}
+	// Matching traffic lands on the socket, raw, and is consumed.
+	gwMAC, _ := r.src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
+	srcIP, dstIP := packet.MustAddr("10.1.0.1"), packet.MustAddr("10.100.1.1")
+	u := packet.UDP{SrcPort: 5, DstPort: 9999}
+	frame := packet.BuildIPv4(
+		packet.Ethernet{Dst: gwMAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: srcIP, Dst: dstIP},
+		u.Marshal(nil, srcIP, dstIP, []byte("monitor-me")),
+	)
+	r.srcDev.Transmit(frame, &m)
+	if len(r.captured) != 1 {
+		t.Fatal("captured frame also forwarded")
+	}
+	select {
+	case raw := <-sock.C:
+		p, err := packet.Decode(raw)
+		if err != nil || p.IPv4 == nil || p.IPv4.Dst != dstIP {
+			t.Fatalf("captured frame corrupt: %v", err)
+		}
+	default:
+		t.Fatal("frame did not reach user space")
+	}
+}
+
+func TestAFXDPRingOverflowDrops(t *testing.T) {
+	xsk := ebpf.NewXSKMap("xsks", 1)
+	sock := ebpf.NewAFXDPSocket(2)
+	xsk.Update(0, sock)
+	ctx := &ebpf.Ctx{Meter: &sim.Meter{}, XDP: &netdev.XDPBuff{Data: []byte{1, 2, 3}}}
+	for i := 0; i < 5; i++ {
+		if v := ebpf.HelperRedirectXSK(ctx, xsk, 0); v != ebpf.VerdictDrop {
+			t.Fatalf("verdict %v", v)
+		}
+	}
+	if sock.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", sock.Dropped())
+	}
+	// Unbound slot drops; out-of-range aborts.
+	if v := ebpf.HelperRedirectXSK(ctx, ebpf.NewXSKMap("e", 1), 0); v != ebpf.VerdictDrop {
+		t.Fatalf("unbound: %v", v)
+	}
+	if v := ebpf.HelperRedirectXSK(ctx, xsk, 9); v != ebpf.VerdictAborted {
+		t.Fatalf("oob: %v", v)
+	}
+}
+
+// TestPathEquivalenceAtTCHook repeats the central equivalence property at
+// the TC hook (the container deployment's attach point).
+func TestPathEquivalenceAtTCHook(t *testing.T) {
+	plain := newRouterRig(t)
+	accel := newRouterRig(t)
+
+	loader := ebpf.NewLoader(accel.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(), FIBLookupOp(),
+		FilterOp(FilterConf{Hook: netfilter.HookForward}), RewriteOp(), RedirectOp(RouterConf{})}
+	prog, err := loader.Load(&ebpf.Program{Name: "tc_fp", Hook: ebpf.HookTCIngress, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.AttachTC(accel.in.Index, prog); err != nil {
+		t.Fatal(err)
+	}
+	blocked := packet.MustPrefix("10.100.40.0/24")
+	for _, r := range []*routerRig{plain, accel} {
+		r.dut.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop})
+	}
+
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 400; i++ {
+		var dst packet.Addr
+		switch rng.Intn(4) {
+		case 0:
+			dst = packet.AddrFrom4(10, 100, 40, byte(rng.Intn(255))) // blocked
+		default:
+			dst = packet.AddrFrom4(10, 100+byte(rng.Intn(50)), byte(rng.Intn(4)), byte(rng.Intn(255)))
+		}
+		ttl := uint8(1 + rng.Intn(64))
+		var m1, m2 sim.Meter
+		plain.srcDev.Transmit(plain.frameTo(dst, ttl, nil), &m1)
+		accel.srcDev.Transmit(accel.frameTo(dst, ttl, nil), &m2)
+	}
+	if len(plain.captured) == 0 || len(plain.captured) != len(accel.captured) {
+		t.Fatalf("delivered %d (plain) vs %d (accel)", len(plain.captured), len(accel.captured))
+	}
+	for i := range plain.captured {
+		if !bytes.Equal(plain.captured[i][packet.EthHdrLen:], accel.captured[i][packet.EthHdrLen:]) {
+			t.Fatalf("frame %d differs between TC fast path and slow path", i)
+		}
+	}
+	// And the fast path was actually exercised.
+	if accel.dut.Stats().Forwarded >= plain.dut.Stats().Forwarded {
+		t.Fatal("TC fast path never took a packet")
+	}
+}

@@ -1,0 +1,130 @@
+package k8s
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig9Point is one pod-pair count's aggregate throughput.
+type Fig9Point struct {
+	Pairs      int
+	LinuxTPS   float64 // transactions per second
+	LinuxFPTPS float64
+}
+
+// Table5Row is one Table V latency row.
+type Table5Row struct {
+	Config   string // "Linux (intra)" etc.
+	AvgMs    float64
+	P99Ms    float64
+	StdDevMs float64
+}
+
+// runPair builds a cluster, places one pod pair and measures its RR cost.
+func runPair(accelerated, intra bool, seed uint64) (RRResult, func(), error) {
+	c, err := NewCluster(Config{Nodes: 3, Accelerated: accelerated})
+	if err != nil {
+		return RRResult{}, nil, err
+	}
+	cleanup := func() {
+		for _, n := range c.Nodes {
+			if n.Controller != nil {
+				n.Controller.Stop()
+			}
+		}
+	}
+	client, err := c.AddPod(c.Nodes[1])
+	if err != nil {
+		cleanup()
+		return RRResult{}, nil, err
+	}
+	serverNode := c.Nodes[1]
+	if !intra {
+		serverNode = c.Nodes[2]
+	}
+	server, err := c.AddPod(serverNode)
+	if err != nil {
+		cleanup()
+		return RRResult{}, nil, err
+	}
+	res, err := MeasureRR(client, server, 40, seed)
+	if err != nil {
+		cleanup()
+		return RRResult{}, nil, err
+	}
+	return res, cleanup, nil
+}
+
+// Fig9PodThroughput sweeps 1..maxPairs pod pairs for intra or inter-node
+// placement, Linux vs LinuxFP.
+func Fig9PodThroughput(maxPairs int, intra bool) ([]Fig9Point, error) {
+	linux, cl1, err := runPair(false, intra, 42)
+	if err != nil {
+		return nil, err
+	}
+	defer cl1()
+	lfp, cl2, err := runPair(true, intra, 42)
+	if err != nil {
+		return nil, err
+	}
+	defer cl2()
+
+	var out []Fig9Point
+	for pairs := 1; pairs <= maxPairs; pairs++ {
+		out = append(out, Fig9Point{
+			Pairs:      pairs,
+			LinuxTPS:   Throughput(linux, pairs),
+			LinuxFPTPS: Throughput(lfp, pairs),
+		})
+	}
+	return out, nil
+}
+
+// Table5PodLatency measures the single-pair latency rows.
+func Table5PodLatency() ([]Table5Row, error) {
+	var out []Table5Row
+	for _, cfg := range []struct {
+		name        string
+		accelerated bool
+		intra       bool
+	}{
+		{"Linux (intra)", false, true},
+		{"LinuxFP (intra)", true, true},
+		{"Linux (inter)", false, false},
+		{"LinuxFP (inter)", true, false},
+	} {
+		res, cleanup, err := runPair(cfg.accelerated, cfg.intra, 42)
+		if err != nil {
+			return nil, err
+		}
+		cleanup()
+		out = append(out, Table5Row{
+			Config: cfg.name, AvgMs: res.MeanMs, P99Ms: res.P99Ms, StdDevMs: res.StdDevMs,
+		})
+	}
+	return out, nil
+}
+
+// RenderFig9 formats the throughput sweep.
+func RenderFig9(intra []Fig9Point, inter []Fig9Point) string {
+	var b strings.Builder
+	b.WriteString("Fig. 9: Pod-to-pod throughput (transactions/s)\n")
+	fmt.Fprintf(&b, "%-8s%16s%16s%16s%16s\n", "pairs",
+		"Linux intra", "LinuxFP intra", "Linux inter", "LinuxFP inter")
+	for i := range intra {
+		fmt.Fprintf(&b, "%-8d%16.1f%16.1f%16.1f%16.1f\n", intra[i].Pairs,
+			intra[i].LinuxTPS, intra[i].LinuxFPTPS, inter[i].LinuxTPS, inter[i].LinuxFPTPS)
+	}
+	return b.String()
+}
+
+// RenderTable5 formats the latency table.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table V: Pod-to-pod latency, single pair (ms)\n")
+	fmt.Fprintf(&b, "%-20s%10s%10s%12s\n", "", "Avg.", "P_99", "Std. Dev")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s%10.3f%10.1f%12.3f\n", r.Config, r.AvgMs, r.P99Ms, r.StdDevMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,297 @@
+// Package k8s models the paper's Kubernetes evaluation (§VI-A2): a
+// three-node cluster running the Flannel CNI's vxlan backend, pods attached
+// through veth pairs to a cni0 bridge, kube-proxy's iptables footprint, and
+// netperf TCP_RR pod pairs. Everything is configured exclusively through
+// the Linux API surface (bridges, routes, neighbours, FDB entries, sysctls,
+// iptables) — which is the point: LinuxFP accelerates the unmodified plugin
+// because the plugin only ever talks to Linux.
+package k8s
+
+import (
+	"fmt"
+
+	"linuxfp/internal/core"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the node count (paper: 3 — one primary, two workers).
+	Nodes int
+	// Accelerated runs a LinuxFP controller on every node (the only
+	// change the paper makes: "install and run LinuxFP on each worker").
+	Accelerated bool
+	// KubeProxyRules is the FORWARD-chain footprint kube-proxy leaves on
+	// every node (service chains walked per packet).
+	KubeProxyRules int
+}
+
+// DefaultKubeProxyRules approximates a small cluster with a few dozen
+// services.
+const DefaultKubeProxyRules = 120
+
+// VNI is flannel's default vxlan network identifier.
+const VNI = 1
+
+// Node is one cluster member.
+type Node struct {
+	Name    string
+	Index   int
+	K       *kernel.Kernel
+	IP      packet.Addr
+	Eth0    *netdev.Device
+	CNI0    *netdev.Device
+	Flannel *netdev.Device
+
+	Controller *core.Controller
+	Pods       []*Pod
+}
+
+// PodCIDR returns the node's 10.244.<i>.0/24 allocation.
+func (n *Node) PodCIDR() packet.Prefix {
+	return packet.Prefix{Addr: packet.AddrFrom4(10, 244, byte(n.Index), 0), Bits: 24}
+}
+
+// Pod is one pod: its own network namespace with a veth into cni0.
+type Pod struct {
+	Name string
+	K    *kernel.Kernel
+	IP   packet.Addr
+	Eth0 *netdev.Device
+	Node *Node
+}
+
+// Cluster is the whole testbed.
+type Cluster struct {
+	Config   Config
+	Underlay *netdev.Switch
+	Nodes    []*Node
+}
+
+// NewCluster builds and wires the cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.KubeProxyRules == 0 {
+		cfg.KubeProxyRules = DefaultKubeProxyRules
+	}
+	c := &Cluster{Config: cfg, Underlay: netdev.NewSwitch()}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{Name: fmt.Sprintf("node%d", i), Index: i, K: kernel.New(fmt.Sprintf("node%d", i))}
+		n.IP = packet.AddrFrom4(192, 168, 0, byte(10+i))
+
+		n.Eth0 = n.K.CreateDevice("eth0", netdev.Physical)
+		n.Eth0.SetUp(true)
+		c.Underlay.Attach(n.Eth0)
+		n.K.AddAddr("eth0", packet.Prefix{Addr: n.IP, Bits: 24})
+
+		// cni0: the bridge the CNI plugs pods into.
+		n.K.CreateBridge("cni0")
+		n.CNI0, _ = n.K.DeviceByName("cni0")
+		n.K.SetLinkUp("cni0", true)
+		gw := packet.Prefix{Addr: packet.AddrFrom4(10, 244, byte(i), 1), Bits: 24}
+		n.K.AddAddr("cni0", gw)
+
+		// flannel.1: the vxlan VTEP.
+		n.Flannel = n.K.CreateVXLAN("flannel.1", VNI, n.IP)
+		n.K.SetLinkUp("flannel.1", true)
+		n.K.AddAddr("flannel.1", packet.Prefix{Addr: packet.AddrFrom4(10, 244, byte(i), 0), Bits: 32})
+
+		n.K.SetSysctl("net.ipv4.ip_forward", "1")
+		n.K.SetSysctl("net.bridge.bridge-nf-call-iptables", "1")
+		installKubeProxyRules(n.K, cfg.KubeProxyRules)
+
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Flannel's route/ARP/FDB programming for every remote node.
+	for _, n := range c.Nodes {
+		for _, remote := range c.Nodes {
+			if remote == n {
+				continue
+			}
+			vtepIP := packet.AddrFrom4(10, 244, byte(remote.Index), 0)
+			n.K.AddRoute(fib.Route{
+				Prefix:  remote.PodCIDR(),
+				Gateway: vtepIP,
+				OutIf:   n.Flannel.Index,
+			})
+			n.K.Neigh.AddPermanent(vtepIP, remote.Flannel.MAC, n.Flannel.Index)
+			if err := n.K.VXLANAddFDB("flannel.1", remote.Flannel.MAC, remote.IP); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cfg.Accelerated {
+		for _, n := range c.Nodes {
+			n.Controller = core.New(n.K, core.Options{})
+			n.Controller.Start()
+			n.Controller.Sync()
+		}
+	}
+	return c, nil
+}
+
+// installKubeProxyRules approximates kube-proxy's iptables footprint: a
+// service-matching walk every packet performs in FORWARD, the same jungle
+// again in POSTROUTING (KUBE-POSTROUTING masquerade checks, traversed by
+// br_netfilter on bridged egress), a conntrack accept, and the pod-CIDR
+// accept.
+func installKubeProxyRules(k *kernel.Kernel, rules int) {
+	for i := 0; i < rules-2 && i >= 0; i++ {
+		svc := packet.Prefix{Addr: packet.AddrFrom4(10, 96, byte(i/250), byte(i%250+1)), Bits: 32}
+		k.IptAppend("FORWARD", netfilter.Rule{
+			Match:   netfilter.Match{Dst: &svc, Proto: packet.ProtoTCP},
+			Comment: fmt.Sprintf("KUBE-SVC-%d", i),
+		})
+		k.IptAppend("POSTROUTING", netfilter.Rule{
+			Match:   netfilter.Match{Dst: &svc, Proto: packet.ProtoTCP},
+			Comment: fmt.Sprintf("KUBE-POSTROUTING-%d", i),
+		})
+	}
+	k.IptAppend("FORWARD", netfilter.Rule{
+		Match:  netfilter.Match{CTState: netfilter.CTEstablished},
+		Target: netfilter.VerdictAccept, Comment: "KUBE-FORWARD established",
+	})
+	pods := packet.MustPrefix("10.244.0.0/16")
+	k.IptAppend("FORWARD", netfilter.Rule{
+		Match:  netfilter.Match{Src: &pods},
+		Target: netfilter.VerdictAccept, Comment: "KUBE-FORWARD pod cidr",
+	})
+}
+
+// AddPod creates a pod on a node: a fresh namespace, a veth pair with the
+// host side enslaved to cni0, an address from the pod CIDR and a default
+// route — exactly the CNI plugin's job.
+func (c *Cluster) AddPod(node *Node) (*Pod, error) {
+	idx := len(node.Pods)
+	p := &Pod{
+		Name: fmt.Sprintf("%s-pod%d", node.Name, idx),
+		K:    kernel.New(fmt.Sprintf("%s-pod%d", node.Name, idx)),
+		Node: node,
+	}
+	p.IP = packet.AddrFrom4(10, 244, byte(node.Index), byte(idx+2))
+
+	hostSide := node.K.CreateDevice(fmt.Sprintf("veth%d", idx), netdev.Veth)
+	p.Eth0 = p.K.CreateDevice("eth0", netdev.Veth)
+	netdev.Connect(hostSide, p.Eth0)
+	hostSide.SetUp(true)
+	p.Eth0.SetUp(true)
+	if err := node.K.AddBridgePort("cni0", hostSide.Name); err != nil {
+		return nil, err
+	}
+	p.K.AddAddr("eth0", packet.Prefix{Addr: p.IP, Bits: 24})
+	gw := packet.AddrFrom4(10, 244, byte(node.Index), 1)
+	p.K.AddRoute(fib.Route{Prefix: packet.MustPrefix("0.0.0.0/0"), Gateway: gw, OutIf: p.Eth0.Index})
+
+	node.Pods = append(node.Pods, p)
+	if node.Controller != nil {
+		node.Controller.Sync() // the controller notices the new port
+	}
+	return p, nil
+}
+
+// NetperfPort is the netperf data port the server pod listens on.
+const NetperfPort = 12865
+
+// StartNetserver registers the netperf server in a pod: every request gets
+// a same-size response.
+func (p *Pod) StartNetserver() {
+	p.K.RegisterSocket(packet.ProtoTCP, NetperfPort, func(k *kernel.Kernel, msg kernel.SocketMsg) {
+		k.SendTCPSegment(msg.Dst, msg.Src, msg.DstPort, msg.SrcPort,
+			packet.TCPPsh|packet.TCPAck, msg.Payload, msg.Meter)
+	})
+}
+
+// RRProbe runs request/response transactions from client to server and
+// returns the mean per-transaction cycle cost across the whole path (both
+// pods and every node hop). The response delivery is confirmed per
+// transaction; a lost transaction is an error.
+func RRProbe(client, server *Pod, transactions int) (sim.Cycles, error) {
+	server.StartNetserver()
+	got := 0
+	client.K.RegisterSocket(packet.ProtoTCP, 45001, func(_ *kernel.Kernel, msg kernel.SocketMsg) {
+		got++
+	})
+	defer client.K.UnregisterSocket(packet.ProtoTCP, 45001)
+
+	// Warmup: resolve ARP, teach FDBs, establish conntrack flow.
+	for i := 0; i < 3; i++ {
+		var m sim.Meter
+		client.K.SendTCPSegment(client.IP, server.IP, 45001, NetperfPort,
+			packet.TCPPsh|packet.TCPAck, []byte("warm"), &m)
+	}
+	if got == 0 {
+		return 0, fmt.Errorf("k8s: no connectivity between %s and %s", client.Name, server.Name)
+	}
+
+	got = 0
+	var total sim.Cycles
+	for i := 0; i < transactions; i++ {
+		var m sim.Meter
+		client.K.SendTCPSegment(client.IP, server.IP, 45001, NetperfPort,
+			packet.TCPPsh|packet.TCPAck, []byte("rr-payload-1"), &m)
+		total += m.Total
+	}
+	if got != transactions {
+		return 0, fmt.Errorf("k8s: %d/%d transactions completed", got, transactions)
+	}
+	return total / sim.Cycles(transactions), nil
+}
+
+// PodScale converts per-transaction stack time into end-to-end netperf
+// TCP_RR time. The paper's Table V reports milliseconds per transaction —
+// dominated by container scheduling, TCP stack wakeups and netperf itself,
+// none of which this model simulates. The multiplicative scale preserves
+// exactly the quantity the experiment isolates: the relative cost of the
+// network path. See EXPERIMENTS.md.
+const PodScale = 2200
+
+// RRResult summarizes a pod-to-pod latency measurement.
+type RRResult struct {
+	MeanMs   float64
+	P99Ms    float64
+	StdDevMs float64
+	Cycles   sim.Cycles
+}
+
+// MeasureRR measures scaled TCP_RR latency between two pods with
+// per-transaction jitter, reproducing Table V's statistics.
+func MeasureRR(client, server *Pod, transactions int, seed uint64) (RRResult, error) {
+	base, err := RRProbe(client, server, transactions)
+	if err != nil {
+		return RRResult{}, err
+	}
+	rng := sim.NewRNG(seed)
+	stats := sim.NewStats()
+	baseMs := sim.PerPacketDuration(base).Millis() * PodScale
+	for i := 0; i < 2000; i++ {
+		v := baseMs * rng.LogNormal(0, 0.18)
+		if rng.Float64() < 0.01 {
+			v += rng.ExpFloat64() * baseMs
+		}
+		stats.Observe(v)
+	}
+	return RRResult{
+		MeanMs: stats.Mean(), P99Ms: stats.P99(), StdDevMs: stats.StdDev(),
+		Cycles: base,
+	}, nil
+}
+
+// Throughput reports aggregate transactions/second for n closed-loop pod
+// pairs (Fig. 9's y-axis): each pair completes 1/RTT transactions per
+// second.
+func Throughput(rtt RRResult, pairs int) float64 {
+	if rtt.MeanMs <= 0 {
+		return 0
+	}
+	return float64(pairs) * 1000 / rtt.MeanMs
+}

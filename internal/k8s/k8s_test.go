@@ -1,0 +1,296 @@
+package k8s
+
+import (
+	"strings"
+	"testing"
+
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+func cluster(t *testing.T, accelerated bool) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Nodes: 3, Accelerated: accelerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range c.Nodes {
+			if n.Controller != nil {
+				n.Controller.Stop()
+			}
+		}
+	})
+	return c
+}
+
+func pair(t *testing.T, c *Cluster, intra bool) (*Pod, *Pod) {
+	t.Helper()
+	client, err := c.AddPod(c.Nodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverNode := c.Nodes[1]
+	if !intra {
+		serverNode = c.Nodes[2]
+	}
+	server, err := c.AddPod(serverNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestIntraNodePodConnectivity(t *testing.T) {
+	c := cluster(t, false)
+	client, server := pair(t, c, true)
+	cyc, err := RRProbe(client, server, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	// Intra-node traffic never touches the underlay.
+	if st := c.Nodes[1].Eth0.Stats(); st.TxPackets != 0 {
+		t.Fatalf("intra-node traffic leaked to the underlay: %+v", st)
+	}
+}
+
+func TestInterNodePodConnectivity(t *testing.T) {
+	c := cluster(t, false)
+	client, server := pair(t, c, false)
+	cyc, err := RRProbe(client, server, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc <= 0 {
+		t.Fatal("no cycles measured")
+	}
+	// Inter-node traffic is vxlan-encapsulated on the wire: the underlay
+	// NIC carries UDP to port 8472.
+	if st := c.Nodes[1].Eth0.Stats(); st.TxPackets == 0 {
+		t.Fatal("no underlay traffic for inter-node pods")
+	}
+	seen := false
+	c.Nodes[2].Eth0.Tap = func(f []byte) {
+		if p, err := packet.Decode(f); err == nil && p.IPv4 != nil && p.IPv4.Proto == packet.ProtoUDP {
+			if _, dport := packet.L4Ports(p.Payload, 0); dport == 8472 {
+				seen = true
+			}
+		}
+	}
+	if _, err := RRProbe(client, server, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("no vxlan encapsulation observed on the wire")
+	}
+}
+
+func TestInterNodeCostsMoreThanIntra(t *testing.T) {
+	c := cluster(t, false)
+	intraC, intraS := pair(t, c, true)
+	interC, interS := pair(t, c, false)
+	intra, err := RRProbe(intraC, intraS, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := RRProbe(interC, interS, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter <= intra {
+		t.Fatalf("inter (%v) should cost more than intra (%v)", inter, intra)
+	}
+	// Paper Table V: inter ≈ 3× intra; accept a broad zone.
+	if ratio := float64(inter) / float64(intra); ratio < 1.5 || ratio > 5 {
+		t.Fatalf("inter/intra ratio %.2f outside zone", ratio)
+	}
+}
+
+func TestAccelerationPreservesConnectivityAndHelps(t *testing.T) {
+	plain := cluster(t, false)
+	accel := cluster(t, true)
+
+	for _, intra := range []bool{true, false} {
+		pc, ps := pair(t, plain, intra)
+		ac, as := pair(t, accel, intra)
+		plainCyc, err := RRProbe(pc, ps, 20)
+		if err != nil {
+			t.Fatalf("plain intra=%v: %v", intra, err)
+		}
+		accelCyc, err := RRProbe(ac, as, 20)
+		if err != nil {
+			t.Fatalf("accel intra=%v: %v", intra, err)
+		}
+		speedup := float64(plainCyc) / float64(accelCyc)
+		// Paper: 1.20× intra, 1.16× inter. Our conservative veth model
+		// lands lower but must clearly win (see EXPERIMENTS.md).
+		if speedup < 1.02 {
+			t.Fatalf("intra=%v: acceleration did not help: %.3f (plain %v, accel %v)",
+				intra, speedup, plainCyc, accelCyc)
+		}
+		if speedup > 1.6 {
+			t.Fatalf("intra=%v: speedup %.2f implausibly high", intra, speedup)
+		}
+	}
+}
+
+func TestAcceleratedFastPathActuallyUsed(t *testing.T) {
+	accel := cluster(t, true)
+	client, server := pair(t, accel, true)
+	if _, err := RRProbe(client, server, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The controller must have deployed TC programs on the veth ports.
+	node := accel.Nodes[1]
+	deployed := node.Controller.Deployer().Deployed()
+	if len(deployed) == 0 {
+		t.Fatal("controller deployed nothing")
+	}
+	found := false
+	for _, name := range deployed {
+		if name == "veth0" || name == "veth1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no veth fast path deployed: %v", deployed)
+	}
+}
+
+func TestMeasureRRAndThroughput(t *testing.T) {
+	c := cluster(t, false)
+	client, server := pair(t, c, true)
+	res, err := MeasureRR(client, server, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanMs <= 0 || res.P99Ms <= res.MeanMs || res.StdDevMs <= 0 {
+		t.Fatalf("stats: %+v", res)
+	}
+	// Paper zone: intra-node RTT single-digit-to-tens of ms.
+	if res.MeanMs < 1 || res.MeanMs > 40 {
+		t.Fatalf("intra RTT %.2f ms outside the paper's zone", res.MeanMs)
+	}
+	// Throughput is linear in pairs for closed-loop RR.
+	one := Throughput(res, 1)
+	ten := Throughput(res, 10)
+	if ten < 9.9*one || ten > 10.1*one {
+		t.Fatalf("throughput scaling: %v vs %v", one, ten)
+	}
+	if Throughput(RRResult{}, 5) != 0 {
+		t.Fatal("zero RTT should yield zero throughput")
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	c, err := NewCluster(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 3 {
+		t.Fatalf("default nodes: %d", len(c.Nodes))
+	}
+	if c.Config.KubeProxyRules != DefaultKubeProxyRules {
+		t.Fatalf("default rules: %d", c.Config.KubeProxyRules)
+	}
+	// kube-proxy rules present on every node.
+	for _, n := range c.Nodes {
+		if got := n.K.NF.RuleCount("FORWARD"); got != DefaultKubeProxyRules {
+			t.Fatalf("%s FORWARD has %d rules", n.Name, got)
+		}
+	}
+}
+
+func TestPodAddressing(t *testing.T) {
+	c := cluster(t, false)
+	p0, _ := c.AddPod(c.Nodes[0])
+	p1, _ := c.AddPod(c.Nodes[0])
+	if p0.IP != packet.AddrFrom4(10, 244, 0, 2) || p1.IP != packet.AddrFrom4(10, 244, 0, 3) {
+		t.Fatalf("pod IPs: %v %v", p0.IP, p1.IP)
+	}
+	if !c.Nodes[0].PodCIDR().Contains(p0.IP) {
+		t.Fatal("pod outside node CIDR")
+	}
+	br, ok := c.Nodes[0].K.BridgeByName("cni0")
+	if !ok || len(br.Ports()) != 2 {
+		t.Fatal("pods not attached to cni0")
+	}
+}
+
+func TestKubeProxyFilterAppliesToBridgedTraffic(t *testing.T) {
+	// br_netfilter means bridged pod traffic traverses FORWARD: add an
+	// explicit drop and verify pod isolation (a NetworkPolicy would do
+	// this).
+	c := cluster(t, false)
+	client, server := pair(t, c, true)
+	if _, err := RRProbe(client, server, 2); err != nil {
+		t.Fatal(err)
+	}
+	blocked := packet.Prefix{Addr: server.IP, Bits: 32}
+	if err := c.Nodes[1].K.IptInsert("FORWARD", 1, netfilter.Rule{
+		Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RRProbe(client, server, 2); err == nil {
+		t.Fatal("drop rule ignored for bridged pod traffic")
+	}
+	_ = sim.Cycles(0)
+}
+
+func TestTable5ShapeLinuxFPWins(t *testing.T) {
+	rows, err := Table5PodLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	// Paper ordering: LinuxFP below Linux in both placements; inter above
+	// intra everywhere.
+	if byName["LinuxFP (intra)"].AvgMs >= byName["Linux (intra)"].AvgMs {
+		t.Fatalf("intra: %+v", rows)
+	}
+	if byName["LinuxFP (inter)"].AvgMs >= byName["Linux (inter)"].AvgMs {
+		t.Fatalf("inter: %+v", rows)
+	}
+	if byName["Linux (inter)"].AvgMs <= byName["Linux (intra)"].AvgMs {
+		t.Fatalf("inter should exceed intra: %+v", rows)
+	}
+	if !strings.Contains(RenderTable5(rows), "LinuxFP (intra)") {
+		t.Fatal("render")
+	}
+}
+
+func TestFig9ShapeLinuxFPWins(t *testing.T) {
+	intra, err := Fig9PodThroughput(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Fig9PodThroughput(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range intra {
+		if p.LinuxFPTPS <= p.LinuxTPS {
+			t.Fatalf("intra point %d: LinuxFP should win: %+v", i, p)
+		}
+	}
+	for i, p := range inter {
+		if p.LinuxFPTPS <= p.LinuxTPS {
+			t.Fatalf("inter point %d: LinuxFP should win: %+v", i, p)
+		}
+	}
+	// Linear growth in pairs.
+	if intra[2].LinuxTPS < 2.9*intra[0].LinuxTPS {
+		t.Fatalf("scaling: %+v", intra)
+	}
+	if !strings.Contains(RenderFig9(intra, inter), "pairs") {
+		t.Fatal("render")
+	}
+}

@@ -1,0 +1,574 @@
+package kernel
+
+import (
+	"linuxfp/internal/bridge"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// DeliverFrame implements netdev.Stack: the software receive path a frame
+// takes after the driver (and after any XDP program passed it up).
+func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
+	defer k.trace("netif_receive_skb")()
+
+	eth, l3off, err := packet.UnmarshalEthernet(frame)
+	if err != nil {
+		k.countDrop()
+		return
+	}
+
+	// TC ingress: the classifier runs after sk_buff allocation. If a
+	// LinuxFP TC fast path is attached here it can consume the packet.
+	if h := k.tcIngressFor(dev.Index); h != nil {
+		switch dev.Type {
+		case netdev.Veth:
+			m.Charge(sim.CostTCPrologueVeth)
+		case netdev.Physical:
+			m.Charge(sim.CostTCPrologue)
+		default:
+			// Pseudo-devices (vxlan): the skb already exists; only the
+			// demux and classifier entry are paid.
+			m.Charge(sim.CostNetifReceive + 130)
+		}
+		// Best-effort parse: TC programs run on any frame; non-IP or
+		// malformed L3 just leaves Pkt at the Ethernet level.
+		pkt, perr := packet.Decode(frame)
+		if perr != nil {
+			pkt = &packet.Packet{Eth: eth, L3Off: l3off, Payload: frame[l3off:]}
+		}
+		skb := &SKB{Data: frame, Dev: dev, Pkt: pkt, VLAN: eth.VLAN, Meter: m}
+		switch h.HandleTC(skb) {
+		case TCShot:
+			k.countDrop()
+			return
+		case TCRedirect:
+			if out, ok := k.DeviceByIndex(skb.RedirectTo); ok {
+				// Redirecting into a veth uses bpf_redirect_peer: the skb
+				// lands in the peer namespace without a requeue.
+				if out.Type == netdev.Veth {
+					m.Charge(sim.CostTCRedirectPeer)
+				} else {
+					m.Charge(sim.CostTCRedirect)
+				}
+				out.Transmit(skb.Data, m)
+			} else {
+				k.countDrop()
+			}
+			return
+		case TCOk:
+			frame = skb.Data
+		}
+		// Fall through into the normal stack; allocation costs are covered
+		// by the TC prologue already charged.
+		k.receiveParsed(dev, frame, eth, l3off, m)
+		return
+	}
+
+	// Receive cost depends on the device class: a physical NIC pays DMA
+	// descriptor handling and a fresh sk_buff; a veth hands over the
+	// sender's skb through the per-CPU backlog; pseudo-devices (vxlan)
+	// re-inject an existing skb.
+	switch dev.Type {
+	case netdev.Veth:
+		m.Charge(sim.CostVethRx + sim.CostNetifReceive)
+	case netdev.Physical:
+		m.Charge(sim.CostDriverRx + sim.CostSKBAlloc + sim.CostNetifReceive)
+	default:
+		m.Charge(sim.CostNetifReceive)
+	}
+	k.receiveParsed(dev, frame, eth, l3off, m)
+}
+
+// receiveParsed continues processing once the Ethernet header is decoded.
+func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter) {
+	// Bridged port? br_handle_frame intercepts before L3.
+	if master := dev.Master(); master != 0 {
+		if br, ok := k.Bridge(master); ok {
+			k.bridgeInput(br, dev, frame, eth, l3off, m)
+			return
+		}
+	}
+	k.l3Input(dev, frame, m)
+}
+
+// bridgeInput is br_handle_frame: STP interception, VLAN classification,
+// learning, and the forwarding decision. Bridging is pure L2: the frame's
+// payload need not be valid IP.
+func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter) {
+	defer k.trace("br_handle_frame")()
+	now := k.Now()
+
+	// BPDUs are link-local protocol traffic: always slow path (Table I).
+	if eth.Dst == bridge.STPDestMAC {
+		if br.STPEnabled() {
+			if bpdu, err := bridge.UnmarshalBPDU(frame[l3off:]); err == nil {
+				br.ReceiveBPDU(dev.Index, bpdu, now)
+			}
+		}
+		return
+	}
+
+	vlan, ok := br.IngressVLAN(dev.Index, eth.VLAN)
+	if !ok {
+		k.countDrop()
+		return
+	}
+	br.Learn(eth.Src, vlan, dev.Index, now)
+	m.Charge(sim.CostBridgeInput)
+
+	// br_netfilter: with bridge-nf-call-iptables enabled (container hosts
+	// set this), bridged IPv4 frames traverse the FORWARD chain too.
+	brNF := k.Sysctl("net.bridge.bridge-nf-call-iptables") == "1" && eth.EtherType == packet.EtherTypeIPv4
+	var brMeta *netfilter.Meta
+	if brNF {
+		if pkt, err := packet.Decode(frame); err == nil && pkt.IPv4 != nil {
+			brMeta = k.buildMeta(dev, pkt)
+			if v := k.runHook(netfilter.HookForward, brMeta, m); v == netfilter.VerdictDrop {
+				k.countFilterDrop()
+				return
+			}
+		}
+	}
+
+	d := br.Forward(dev.Index, eth.Dst, vlan, now)
+	if d.Drop {
+		k.countDrop()
+		return
+	}
+	// br_netfilter's second leg: forwarded bridged frames also traverse
+	// POSTROUTING (where kube-proxy's masquerade chains live) before
+	// egress. LinuxFP's TC redirect legitimately skips this whole walk —
+	// as long as the chain cannot drop (the controller checks).
+	if brNF && brMeta != nil && len(d.Egress) > 0 {
+		if v := k.runHook(netfilter.HookPostrouting, brMeta, m); v == netfilter.VerdictDrop {
+			k.countFilterDrop()
+			return
+		}
+	}
+	for i, egress := range d.Egress {
+		if i > 0 {
+			m.Charge(sim.CostBridgeFloodP)
+		}
+		out, ok := k.DeviceByIndex(egress)
+		if !ok {
+			continue
+		}
+		tagged, allowed := br.EgressAllowed(egress, vlan)
+		if !allowed {
+			continue
+		}
+		m.Charge(sim.CostDevXmit)
+		out.Transmit(retagFrame(frame, eth, l3off, vlan, tagged), m)
+	}
+	if d.Local {
+		// Deliver up the stack as if received on the bridge device.
+		if brDev, ok := k.DeviceByIndex(br.IfIndex); ok {
+			k.l3Input(brDev, frame, m)
+		}
+	}
+}
+
+// retagFrame rewrites the 802.1Q tag to match egress requirements.
+func retagFrame(frame []byte, eth packet.Ethernet, l3off int, vlan uint16, tagged bool) []byte {
+	hasTag := eth.VLAN != 0
+	if hasTag == tagged && (!tagged || eth.VLAN == vlan) {
+		return frame
+	}
+	if tagged {
+		eth.VLAN = vlan
+	} else {
+		eth.VLAN = 0
+	}
+	return packet.BuildEthernet(eth, frame[l3off:])
+}
+
+// l3Input decodes the full frame and demuxes by EtherType: ARP processing
+// or IP receive. Frames that fail L3 validation are dropped here, after
+// bridging had its chance.
+func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter) {
+	pkt, err := packet.Decode(frame)
+	if err != nil {
+		k.countDrop()
+		return
+	}
+	switch {
+	case pkt.ARP != nil:
+		k.arpInput(dev, pkt.ARP, m)
+	case pkt.IPv4 != nil:
+		k.ipRcv(dev, frame, pkt, m)
+	default:
+		// Unknown protocol: consumed by taps only.
+		k.countDrop()
+	}
+}
+
+// arpInput is arp_rcv: learn the sender, answer requests for local
+// addresses, flush the pending queue on replies.
+func (k *Kernel) arpInput(dev *netdev.Device, a *packet.ARP, m *sim.Meter) {
+	defer k.trace("arp_rcv")()
+	m.Charge(sim.CostArpProcess)
+	now := k.Now()
+
+	queued := k.Neigh.Confirm(a.SenderIP, a.SenderHW, dev.Index, now)
+	for _, f := range queued {
+		packet.SetEthDst(f, a.SenderHW)
+		m.Charge(sim.CostDevXmit)
+		dev.Transmit(f, m)
+	}
+
+	if a.Op == packet.ARPRequest && k.addrIsLocal(a.TargetIP) {
+		reply := packet.BuildARP(dev.MAC, a.SenderHW, packet.ARP{
+			Op:       packet.ARPReply,
+			SenderHW: dev.MAC,
+			SenderIP: a.TargetIP,
+			TargetHW: a.SenderHW,
+			TargetIP: a.SenderIP,
+		})
+		k.bumpARPTx()
+		dev.Transmit(reply, m)
+	}
+}
+
+// addrIsLocal reports whether ip is assigned to any device.
+func (k *Kernel) addrIsLocal(ip packet.Addr) bool {
+	r, ok := k.FIB.Local().Lookup(ip)
+	return ok && r.Local && r.Prefix.Bits == 32 && r.Prefix.Addr == ip
+}
+
+// ipRcv is ip_rcv: validation, PREROUTING, routing decision.
+func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *sim.Meter) {
+	defer k.trace("ip_rcv")()
+	m.Charge(sim.CostIPRcv)
+	ip := pkt.IPv4
+
+	meta := k.buildMeta(dev, pkt)
+	if v := k.runHook(netfilter.HookPrerouting, meta, m); v == netfilter.VerdictDrop {
+		k.countFilterDrop()
+		return
+	}
+
+	// ipvs intercepts virtual-service traffic ahead of the routing
+	// decision (only when services are configured).
+	if k.IPVSActive() && k.ipvsInput(dev, frame, pkt, m) {
+		return
+	}
+
+	k.trace("fib_table_lookup")()
+	m.Charge(sim.CostRouteLookup)
+	r, ok := k.FIB.Lookup(ip.Dst)
+	if !ok {
+		k.countNoRoute()
+		k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 0, m)
+		return
+	}
+	if r.Local || ip.Dst.IsBroadcast() {
+		k.ipLocalDeliver(dev, frame, pkt, meta, m)
+		return
+	}
+	k.ipForward(dev, frame, pkt, r, meta, m)
+}
+
+// buildMeta summarizes the packet for netfilter. L4 ports are only visible
+// on first fragments.
+func (k *Kernel) buildMeta(dev *netdev.Device, pkt *packet.Packet) *netfilter.Meta {
+	ip := pkt.IPv4
+	meta := &netfilter.Meta{
+		Src: ip.Src, Dst: ip.Dst, Proto: ip.Proto,
+		InIf: dev.Index, Fragment: ip.IsFragment(),
+	}
+	if (ip.Proto == packet.ProtoTCP || ip.Proto == packet.ProtoUDP) &&
+		ip.FragOff == 0 && len(pkt.Payload) >= 4 {
+		meta.SrcPort, meta.DstPort = packet.L4Ports(pkt.Payload, 0)
+	}
+	if k.NF.CTRequired() && !meta.Fragment {
+		st, _ := k.NF.Conntrack.Track(netfilter.Tuple{
+			Src: meta.Src, Dst: meta.Dst, Proto: meta.Proto,
+			SrcPort: meta.SrcPort, DstPort: meta.DstPort,
+		}, k.Now())
+		meta.CTState = st
+	}
+	return meta
+}
+
+// runHook evaluates a netfilter hook, charging the slow-path cost model.
+func (k *Kernel) runHook(h netfilter.Hook, meta *netfilter.Meta, m *sim.Meter) netfilter.Verdict {
+	v, st := k.NF.EvaluateHook(h, meta)
+	if st.RulesEvaluated > 0 {
+		m.Charge(sim.CostNFHookBase +
+			sim.Cycles(st.RulesEvaluated)*sim.CostIptRuleSlow +
+			sim.Cycles(st.SetProbes)*sim.CostIpsetLookup)
+	}
+	if k.NF.CTRequired() {
+		m.Charge(sim.CostConntrackLookup)
+	}
+	return v
+}
+
+// ipLocalDeliver is ip_local_deliver: reassembly, INPUT hook, L4 demux.
+func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Packet, meta *netfilter.Meta, m *sim.Meter) {
+	defer k.trace("ip_local_deliver")()
+	m.Charge(sim.CostLocalDeliver)
+	ip := pkt.IPv4
+
+	payload := pkt.Payload
+	if ip.IsFragment() {
+		m.Charge(sim.CostDefragFrag)
+		full, done := k.defragInsert(ip, payload)
+		if !done {
+			return
+		}
+		payload = full
+		k.countReassembled()
+		// Re-derive L4 ports now that the full datagram exists.
+		if (ip.Proto == packet.ProtoTCP || ip.Proto == packet.ProtoUDP) && len(payload) >= 4 {
+			meta.SrcPort, meta.DstPort = packet.L4Ports(payload, 0)
+		}
+		meta.Fragment = false
+	}
+
+	if v := k.runHook(netfilter.HookInput, meta, m); v == netfilter.VerdictDrop {
+		k.countFilterDrop()
+		return
+	}
+
+	switch ip.Proto {
+	case packet.ProtoICMP:
+		k.icmpInput(dev, ip, payload, m)
+	case packet.ProtoUDP, packet.ProtoTCP:
+		var sport, dport uint16
+		if len(payload) >= 4 {
+			sport, dport = packet.L4Ports(payload, 0)
+		}
+		h, ok := k.socketFor(ip.Proto, dport)
+		if !ok {
+			k.countDrop()
+			return
+		}
+		m.Charge(sim.CostSocketQueue)
+		body := payload
+		if ip.Proto == packet.ProtoUDP {
+			if u, b, err := packet.UnmarshalUDP(payload, ip.Src, ip.Dst); err == nil {
+				body = b
+				sport, dport = u.SrcPort, u.DstPort
+			}
+		} else if t, b, err := packet.UnmarshalTCP(payload, ip.Src, ip.Dst); err == nil {
+			body = b
+			sport, dport = t.SrcPort, t.DstPort
+		}
+		k.countDelivered()
+		h(k, SocketMsg{
+			Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst,
+			SrcPort: sport, DstPort: dport, Payload: body, InIf: dev.Index, Meter: m,
+		})
+	default:
+		k.countDrop()
+	}
+}
+
+// icmpInput answers echo requests.
+func (k *Kernel) icmpInput(dev *netdev.Device, ip *packet.IPv4, payload []byte, m *sim.Meter) {
+	defer k.trace("icmp_rcv")()
+	ic, body, err := packet.UnmarshalICMP(payload)
+	if err != nil || ic.Type != packet.ICMPEchoRequest {
+		return
+	}
+	m.Charge(sim.CostIcmpEcho)
+	reply := packet.ICMP{Type: packet.ICMPEchoReply, Rest: ic.Rest}
+	k.bumpICMPTx()
+	k.SendIP(ip.Dst, ip.Src, packet.ProtoICMP, reply.Marshal(nil, body), m)
+}
+
+// ipForward is ip_forward: TTL, FORWARD hook, neighbour resolution, rewrite
+// and transmit — the slow path LinuxFP's router FPM short-circuits.
+func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet, r fib.Route, meta *netfilter.Meta, m *sim.Meter) {
+	defer k.trace("ip_forward")()
+	if !k.IPForwarding() {
+		k.countDrop()
+		return
+	}
+	ip := pkt.IPv4
+	if ip.TTL <= 1 {
+		k.countTTLExpired()
+		k.sendICMPError(dev, pkt, packet.ICMPTimeExceeded, 0, m)
+		return
+	}
+	m.Charge(sim.CostIPForward)
+
+	meta.OutIf = r.OutIf
+	if v := k.runHook(netfilter.HookForward, meta, m); v == netfilter.VerdictDrop {
+		k.countFilterDrop()
+		return
+	}
+
+	out, ok := k.DeviceByIndex(r.OutIf)
+	if !ok {
+		k.countNoRoute()
+		return
+	}
+
+	nexthop := r.Gateway
+	if nexthop == 0 {
+		nexthop = ip.Dst
+	}
+
+	// Rewrite in place: decrement TTL (incremental checksum) and stamp the
+	// egress source MAC. The frame is our own copy.
+	packet.DecTTL(frame, pkt.L3Off)
+	packet.SetEthSrc(frame, out.MAC)
+
+	// Oversized for the egress MTU? Fragment (or bounce with ICMP if DF).
+	if int(ip.TotalLen) > out.MTU {
+		if ip.DontFragment() {
+			k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 4, m) // frag needed
+			k.countDrop()
+			return
+		}
+		k.fragmentAndSend(out, nexthop, frame, pkt, m)
+		return
+	}
+
+	k.finishOutput(out, nexthop, frame, m)
+	k.countForwarded()
+}
+
+// finishOutput resolves the next hop and transmits, queueing on the
+// neighbour table when the MAC is unknown.
+func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []byte, m *sim.Meter) {
+	defer k.trace("neigh_resolve_output")()
+	now := k.Now()
+
+	// POSTROUTING runs on every output once rules exist there (NAT
+	// plumbing); empty chains cost nothing, like the kernel's static keys.
+	if k.NF.RuleCount("POSTROUTING") > 0 {
+		if pkt, err := packet.Decode(frame); err == nil && pkt.IPv4 != nil {
+			meta := k.buildMeta(out, pkt)
+			meta.OutIf = out.Index
+			if v := k.runHook(netfilter.HookPostrouting, meta, m); v == netfilter.VerdictDrop {
+				k.countFilterDrop()
+				return
+			}
+		}
+	}
+	mac, ok := k.Neigh.Resolved(nexthop, now)
+	if !ok {
+		if first := k.Neigh.StartResolution(nexthop, out.Index, frame); first {
+			k.sendARPRequest(out, nexthop, m)
+		}
+		return
+	}
+	packet.SetEthDst(frame, mac)
+	m.Charge(sim.CostNeighOutput)
+
+	if h := k.tcEgressFor(out.Index); h != nil {
+		if pkt, err := packet.Decode(frame); err == nil {
+			skb := &SKB{Data: frame, Dev: out, Pkt: pkt, Meter: m}
+			switch h.HandleTC(skb) {
+			case TCShot:
+				k.countDrop()
+				return
+			case TCRedirect:
+				m.Charge(sim.CostTCRedirect)
+				if red, ok := k.DeviceByIndex(skb.RedirectTo); ok {
+					red.Transmit(skb.Data, m)
+				}
+				return
+			case TCOk:
+				frame = skb.Data
+			}
+		}
+	}
+
+	k.trace("dev_queue_xmit")()
+	m.Charge(sim.CostDevXmit)
+	out.Transmit(frame, m)
+}
+
+// sendARPRequest broadcasts a who-has for ip out the device.
+func (k *Kernel) sendARPRequest(out *netdev.Device, ip packet.Addr, m *sim.Meter) {
+	var src packet.Addr
+	if addrs := out.Addrs(); len(addrs) > 0 {
+		src = addrs[0].Addr
+	}
+	req := packet.BuildARP(out.MAC, packet.BroadcastHW, packet.ARP{
+		Op:       packet.ARPRequest,
+		SenderHW: out.MAC,
+		SenderIP: src,
+		TargetIP: ip,
+	})
+	k.bumpARPTx()
+	out.Transmit(req, m)
+}
+
+func (k *Kernel) tcIngressFor(idx int) TCHandler {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.tcIngress[idx]
+}
+
+func (k *Kernel) tcEgressFor(idx int) TCHandler {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.tcEgress[idx]
+}
+
+// --- counters ----------------------------------------------------------------
+
+func (k *Kernel) countDrop() {
+	k.mu.Lock()
+	k.stats.Dropped++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countFilterDrop() {
+	k.mu.Lock()
+	k.stats.FilterDropped++
+	k.stats.Dropped++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countNoRoute() {
+	k.mu.Lock()
+	k.stats.NoRoute++
+	k.stats.Dropped++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countTTLExpired() {
+	k.mu.Lock()
+	k.stats.TTLExpired++
+	k.stats.Dropped++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countForwarded() {
+	k.mu.Lock()
+	k.stats.Forwarded++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countDelivered() {
+	k.mu.Lock()
+	k.stats.Delivered++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) countReassembled() {
+	k.mu.Lock()
+	k.stats.Reassembled++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) bumpARPTx() {
+	k.mu.Lock()
+	k.stats.ARPTx++
+	k.mu.Unlock()
+}
+
+func (k *Kernel) bumpICMPTx() {
+	k.mu.Lock()
+	k.stats.ICMPTx++
+	k.mu.Unlock()
+}

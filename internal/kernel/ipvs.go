@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netlink"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// ipvs: the kernel's L4 load balancer (paper Table I's last row, marked
+// future work with "initial prototyping showing promising results"). The
+// model implements the masquerade-free NAT mode: virtual-service traffic
+// is DNATed to a backend chosen by the scheduler, with flow stickiness
+// kept in a kernel-owned connection table — the same single-copy-of-state
+// discipline as FIB/FDB/iptables, so the fast path's helper shares it.
+
+// IPVSKey identifies a virtual service.
+type IPVSKey struct {
+	VIP   packet.Addr
+	Port  uint16
+	Proto uint8
+}
+
+// IPVSService is one configured virtual service.
+type IPVSService struct {
+	Key       IPVSKey
+	Scheduler string // "rr" (round robin) or "sh" (source hash)
+	Backends  []packet.Addr
+}
+
+// ipvsFlow pins one flow to a backend.
+type ipvsFlow struct {
+	backend packet.Addr
+}
+
+// ipvsState is the kernel's ipvs table.
+type ipvsState struct {
+	mu       sync.RWMutex
+	services map[IPVSKey]*IPVSService
+	conns    map[netfilterTuple]*ipvsFlow
+	rrSeq    map[IPVSKey]int
+}
+
+// netfilterTuple mirrors netfilter.Tuple without the import (ipvs keeps its
+// own connection table in the kernel, as Linux does).
+type netfilterTuple struct {
+	src, dst         packet.Addr
+	proto            uint8
+	srcPort, dstPort uint16
+}
+
+func newIPVSState() *ipvsState {
+	return &ipvsState{
+		services: make(map[IPVSKey]*IPVSService),
+		conns:    make(map[netfilterTuple]*ipvsFlow),
+		rrSeq:    make(map[IPVSKey]int),
+	}
+}
+
+// IPVSAddService registers a virtual service (ipvsadm -A).
+func (k *Kernel) IPVSAddService(key IPVSKey, scheduler string) error {
+	if scheduler == "" {
+		scheduler = "rr"
+	}
+	if scheduler != "rr" && scheduler != "sh" {
+		return fmt.Errorf("kernel: unsupported ipvs scheduler %q", scheduler)
+	}
+	k.ipvs.mu.Lock()
+	defer k.ipvs.mu.Unlock()
+	if _, ok := k.ipvs.services[key]; ok {
+		return fmt.Errorf("kernel: ipvs service %v exists", key)
+	}
+	k.ipvs.services[key] = &IPVSService{Key: key, Scheduler: scheduler}
+	k.publishIPVS(key)
+	return nil
+}
+
+// IPVSAddBackend adds a real server to a service (ipvsadm -a ... -r).
+func (k *Kernel) IPVSAddBackend(key IPVSKey, backend packet.Addr) error {
+	k.ipvs.mu.Lock()
+	defer k.ipvs.mu.Unlock()
+	svc, ok := k.ipvs.services[key]
+	if !ok {
+		return fmt.Errorf("kernel: no ipvs service %v", key)
+	}
+	svc.Backends = append(svc.Backends, backend)
+	k.publishIPVS(key)
+	return nil
+}
+
+// IPVSDelService removes a virtual service (ipvsadm -D).
+func (k *Kernel) IPVSDelService(key IPVSKey) bool {
+	k.ipvs.mu.Lock()
+	defer k.ipvs.mu.Unlock()
+	if _, ok := k.ipvs.services[key]; !ok {
+		return false
+	}
+	delete(k.ipvs.services, key)
+	for tup := range k.ipvs.conns {
+		if tup.dst == key.VIP && tup.dstPort == key.Port && tup.proto == key.Proto {
+			delete(k.ipvs.conns, tup)
+		}
+	}
+	k.publishIPVS(key)
+	return true
+}
+
+// publishIPVS emits the configuration-change notification (must hold the
+// ipvs lock). Modeled on the genl ipvs channel; the controller subscribes
+// through the netfilter group.
+func (k *Kernel) publishIPVS(key IPVSKey) {
+	count := 0
+	if svc, ok := k.ipvs.services[key]; ok {
+		count = len(svc.Backends)
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewIPVS, Payload: netlink.IPVSMsg{
+		VIP: key.VIP, Port: key.Port, Proto: key.Proto,
+		Backends: count, Services: len(k.ipvs.services),
+	}})
+}
+
+// IPVSServices snapshots the configured services sorted by VIP.
+func (k *Kernel) IPVSServices() []IPVSService {
+	k.ipvs.mu.RLock()
+	defer k.ipvs.mu.RUnlock()
+	out := make([]IPVSService, 0, len(k.ipvs.services))
+	for _, s := range k.ipvs.services {
+		cp := *s
+		cp.Backends = append([]packet.Addr(nil), s.Backends...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.VIP < out[j].Key.VIP })
+	return out
+}
+
+// IPVSLookup resolves the backend for a flow, scheduling new flows and
+// keeping existing ones sticky. It is the single scheduling point for BOTH
+// the slow path and the bpf helper — one connection table, one answer.
+// ok=false means the packet is not virtual-service traffic.
+func (k *Kernel) IPVSLookup(src, dst packet.Addr, proto uint8, srcPort, dstPort uint16, schedule bool) (packet.Addr, bool) {
+	key := IPVSKey{VIP: dst, Port: dstPort, Proto: proto}
+	k.ipvs.mu.Lock()
+	defer k.ipvs.mu.Unlock()
+	svc, ok := k.ipvs.services[key]
+	if !ok || len(svc.Backends) == 0 {
+		return 0, false
+	}
+	tup := netfilterTuple{src: src, dst: dst, proto: proto, srcPort: srcPort, dstPort: dstPort}
+	if fl, ok := k.ipvs.conns[tup]; ok {
+		return fl.backend, true
+	}
+	if !schedule {
+		// The caller (the fast path) may not create flows: scheduling is
+		// slow-path work (Table I).
+		return 0, false
+	}
+	var backend packet.Addr
+	switch svc.Scheduler {
+	case "sh":
+		h := uint64(src)<<16 | uint64(srcPort)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		backend = svc.Backends[h%uint64(len(svc.Backends))]
+	default: // rr
+		backend = svc.Backends[k.ipvs.rrSeq[key]%len(svc.Backends)]
+		k.ipvs.rrSeq[key]++
+	}
+	k.ipvs.conns[tup] = &ipvsFlow{backend: backend}
+	return backend, true
+}
+
+// IPVSConnCount reports the number of tracked LB flows.
+func (k *Kernel) IPVSConnCount() int {
+	k.ipvs.mu.RLock()
+	defer k.ipvs.mu.RUnlock()
+	return len(k.ipvs.conns)
+}
+
+// ipvsInput intercepts virtual-service traffic in ip_rcv (the LOCAL_IN /
+// PREROUTING placement): DNAT to the scheduled backend and hand the frame
+// back for a fresh routing decision. Returns true if the packet was
+// consumed (rerouted or dropped).
+func (k *Kernel) ipvsInput(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *sim.Meter) bool {
+	ip := pkt.IPv4
+	if ip.IsFragment() || (ip.Proto != packet.ProtoTCP && ip.Proto != packet.ProtoUDP) {
+		return false
+	}
+	sport, dport := packet.L4Ports(pkt.Payload, 0)
+	m.Charge(sim.CostConntrackLookup)
+	backend, ok := k.IPVSLookup(ip.Src, ip.Dst, ip.Proto, sport, dport, true)
+	if !ok {
+		return false
+	}
+	defer k.trace("ip_vs_in")()
+	m.Charge(sim.CostLBConnHash)
+	packet.RewriteIPv4Dst(frame, pkt.L3Off, pkt.L4Off, backend)
+
+	// Re-resolve with the rewritten destination.
+	newPkt, err := packet.Decode(frame)
+	if err != nil {
+		k.countDrop()
+		return true
+	}
+	k.trace("fib_table_lookup")()
+	m.Charge(sim.CostRouteLookup)
+	r, rok := k.FIB.Lookup(backend)
+	if !rok {
+		k.countNoRoute()
+		return true
+	}
+	if r.Local {
+		meta := k.buildMeta(dev, newPkt)
+		k.ipLocalDeliver(dev, frame, newPkt, meta, m)
+		return true
+	}
+	meta := k.buildMeta(dev, newPkt)
+	k.ipForward(dev, frame, newPkt, r, meta, m)
+	return true
+}
+
+// IPVSActive reports whether any virtual service is configured.
+func (k *Kernel) IPVSActive() bool {
+	k.ipvs.mu.RLock()
+	defer k.ipvs.mu.RUnlock()
+	return len(k.ipvs.services) > 0
+}
+
+// IPVSLookupService reports whether (dst, port, proto) names a configured
+// virtual service with at least one backend.
+func (k *Kernel) IPVSLookupService(dst packet.Addr, port uint16, proto uint8) (IPVSService, bool) {
+	k.ipvs.mu.RLock()
+	defer k.ipvs.mu.RUnlock()
+	svc, ok := k.ipvs.services[IPVSKey{VIP: dst, Port: port, Proto: proto}]
+	if !ok || len(svc.Backends) == 0 {
+		return IPVSService{}, false
+	}
+	return *svc, true
+}
+
+// IPVSLookupTest is a test hook: schedule a flow for (src, key) and return
+// the chosen backend.
+func (k *Kernel) IPVSLookupTest(src packet.Addr, key IPVSKey, srcPort uint16) packet.Addr {
+	b, _ := k.IPVSLookup(src, key.VIP, key.Proto, srcPort, key.Port, true)
+	return b
+}

@@ -1,0 +1,767 @@
+// Package kernel models the Linux networking stack that LinuxFP uses as its
+// slow path: device management, the receive path (bridge input, IP receive,
+// forwarding, local delivery), ARP and ICMP handling, IP fragmentation and
+// reassembly, netfilter hook traversal, VXLAN encapsulation, sysctl state,
+// and netlink event publication.
+//
+// Every subsystem's state (FIB, neighbour table, bridge FDB, iptables
+// chains, ipsets, conntrack) lives in exactly one place here. The fast
+// path's helpers read and write the same objects, which is LinuxFP's
+// correctness argument: a packet taking either path observes identical
+// state.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"linuxfp/internal/bridge"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/neigh"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/netlink"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// TCAction is a TC program verdict.
+type TCAction int
+
+// TC verdicts.
+const (
+	TCOk TCAction = iota // continue normal stack processing
+	TCShot
+	TCRedirect
+)
+
+// SKB is the socket-buffer context a TC program (and the rest of the stack)
+// operates on: the raw frame plus parsed metadata the kernel has already
+// populated — richer than an XDPBuff, but paid for with the allocation
+// prologue.
+type SKB struct {
+	Data       []byte
+	Dev        *netdev.Device
+	Pkt        *packet.Packet
+	VLAN       uint16
+	RedirectTo int
+	Meter      *sim.Meter
+}
+
+// TCHandler is a TC classifier program attachment.
+type TCHandler interface {
+	HandleTC(*SKB) TCAction
+}
+
+// SocketMsg is a datagram delivered to a registered socket.
+type SocketMsg struct {
+	Proto            uint8
+	Src, Dst         packet.Addr
+	SrcPort, DstPort uint16
+	Payload          []byte
+	InIf             int
+	Meter            *sim.Meter
+}
+
+// SocketHandler consumes datagrams for a bound (proto, port).
+type SocketHandler func(k *Kernel, m SocketMsg)
+
+// Stats counts stack-level events.
+type Stats struct {
+	Forwarded     uint64
+	Delivered     uint64
+	Dropped       uint64
+	NoRoute       uint64
+	TTLExpired    uint64
+	FilterDropped uint64
+	ARPTx         uint64
+	ICMPTx        uint64
+	STPTx         uint64
+	FragsSent     uint64
+	Reassembled   uint64
+}
+
+// socketKey binds a protocol and port.
+type socketKey struct {
+	proto uint8
+	port  uint16
+}
+
+// Kernel is one network namespace's stack instance.
+type Kernel struct {
+	Name string
+
+	FIB   *fib.FIB
+	Neigh *neigh.Table
+	NF    *netfilter.Netfilter
+	Bus   *netlink.Bus
+
+	mu        sync.RWMutex
+	devByIdx  map[int]*netdev.Device
+	devByName map[string]*netdev.Device
+	bridges   map[int]*bridge.Bridge // keyed by bridge device ifindex
+	vxlans    map[int]*vxlanState
+	sysctl    map[string]string
+	sockets   map[socketKey]SocketHandler
+	tcIngress map[int]TCHandler
+	tcEgress  map[int]TCHandler
+	nextIdx   int
+	ipIDSeq   uint32
+	stats     Stats
+	defrag    map[fragKey]*fragQueue
+
+	ipvs *ipvsState
+
+	clock  func() sim.Time
+	tracer *Tracer
+}
+
+var _ netdev.Stack = (*Kernel)(nil)
+
+// New returns a fresh namespace with default sysctls (forwarding off) and a
+// loopback device.
+func New(name string) *Kernel {
+	k := &Kernel{
+		Name:      name,
+		FIB:       fib.New(),
+		Neigh:     neigh.NewTable(),
+		NF:        netfilter.New(),
+		Bus:       netlink.NewBus(),
+		devByIdx:  make(map[int]*netdev.Device),
+		devByName: make(map[string]*netdev.Device),
+		bridges:   make(map[int]*bridge.Bridge),
+		vxlans:    make(map[int]*vxlanState),
+		sysctl:    map[string]string{"net.ipv4.ip_forward": "0"},
+		sockets:   make(map[socketKey]SocketHandler),
+		tcIngress: make(map[int]TCHandler),
+		tcEgress:  make(map[int]TCHandler),
+		defrag:    make(map[fragKey]*fragQueue),
+		ipvs:      newIPVSState(),
+		clock:     func() sim.Time { return 0 },
+	}
+	k.registerDumpers()
+	lo := k.CreateDevice("lo", netdev.Loopback)
+	lo.SetUp(true)
+	return k
+}
+
+// SetClock injects the virtual time source (aging, conntrack, reaction
+// timing all read it).
+func (k *Kernel) SetClock(fn func() sim.Time) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.clock = fn
+}
+
+// Now reports the kernel's current virtual time.
+func (k *Kernel) Now() sim.Time {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.clock()
+}
+
+// Stats returns a snapshot of stack counters.
+func (k *Kernel) Stats() Stats {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.stats
+}
+
+// --- device management -----------------------------------------------------
+
+// macSeq allocates locally administered MAC addresses. It is process-wide
+// so devices in different namespaces never collide on a shared segment.
+var macSeq atomic.Uint64
+
+// allocMAC returns the next unique 02:xx MAC.
+func allocMAC() packet.HWAddr {
+	n := macSeq.Add(1)
+	var mac packet.HWAddr
+	mac[0] = 0x02
+	for i := 1; i < 6; i++ {
+		mac[i] = byte(n >> (8 * uint(5-i)))
+	}
+	return mac
+}
+
+// CreateDevice creates and registers a device of the given type.
+func (k *Kernel) CreateDevice(name string, typ netdev.Type) *netdev.Device {
+	k.mu.Lock()
+	k.nextIdx++
+	idx := k.nextIdx
+	d := netdev.New(name, idx, typ, allocMAC(), k)
+	k.devByIdx[idx] = d
+	k.devByName[name] = d
+	k.mu.Unlock()
+	k.publishLink(d)
+	return d
+}
+
+// CreateVethPair creates two cross-connected veth devices.
+func (k *Kernel) CreateVethPair(a, b string) (*netdev.Device, *netdev.Device) {
+	da := k.CreateDevice(a, netdev.Veth)
+	db := k.CreateDevice(b, netdev.Veth)
+	netdev.Connect(da, db)
+	return da, db
+}
+
+// CreateBridge creates a bridge device and its bridging state
+// (brctl addbr).
+func (k *Kernel) CreateBridge(name string) (*netdev.Device, *bridge.Bridge) {
+	d := k.CreateDevice(name, netdev.BridgeDev)
+	br := bridge.New(name, d.Index, d.MAC)
+	k.mu.Lock()
+	k.bridges[d.Index] = br
+	k.mu.Unlock()
+	// br_dev_xmit: frames transmitted on the bridge device itself are
+	// forwarded through the bridge, not onto a wire.
+	d.SetTxHook(func(frame []byte, m *sim.Meter) bool {
+		k.bridgeDevXmit(br, frame, m)
+		return true
+	})
+	k.publishLink(d)
+	return d, br
+}
+
+// bridgeDevXmit forwards a locally originated frame out the bridge's ports:
+// FDB hit goes out one port, otherwise it floods all forwarding ports.
+func (k *Kernel) bridgeDevXmit(br *bridge.Bridge, frame []byte, m *sim.Meter) {
+	defer k.trace("br_dev_xmit")()
+	eth, _, err := packet.UnmarshalEthernet(frame)
+	if err != nil {
+		k.countDrop()
+		return
+	}
+	now := k.Now()
+	vlan := uint16(0)
+	if br.VLANFiltering() {
+		vlan = eth.VLAN
+	}
+	if !eth.Dst.IsMulticast() {
+		if port, ok := br.FDBLookup(eth.Dst, vlan, now); ok {
+			if p, exists := br.Port(port); exists && p.State == bridge.Forwarding {
+				if out, ok := k.DeviceByIndex(port); ok {
+					m.Charge(sim.CostDevXmit)
+					out.Transmit(frame, m)
+					return
+				}
+			}
+			k.countDrop()
+			return
+		}
+	}
+	first := true
+	for _, port := range br.Ports() {
+		p, exists := br.Port(port)
+		if !exists || p.State != bridge.Forwarding {
+			continue
+		}
+		if _, allowed := br.EgressAllowed(port, vlan); !allowed {
+			continue
+		}
+		if out, ok := k.DeviceByIndex(port); ok {
+			if !first {
+				m.Charge(sim.CostBridgeFloodP)
+			}
+			first = false
+			m.Charge(sim.CostDevXmit)
+			out.Transmit(frame, m)
+		}
+	}
+}
+
+// DeleteBridge removes a bridge device (brctl delbr). Enslaved ports are
+// released first.
+func (k *Kernel) DeleteBridge(name string) error {
+	d, ok := k.DeviceByName(name)
+	if !ok {
+		return fmt.Errorf("kernel: no bridge %q", name)
+	}
+	k.mu.Lock()
+	br, isBr := k.bridges[d.Index]
+	if !isBr {
+		k.mu.Unlock()
+		return fmt.Errorf("kernel: %q is not a bridge", name)
+	}
+	delete(k.bridges, d.Index)
+	delete(k.devByIdx, d.Index)
+	delete(k.devByName, name)
+	k.mu.Unlock()
+	for _, p := range br.Ports() {
+		if pd, ok := k.DeviceByIndex(p); ok {
+			pd.SetMaster(0)
+		}
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.DelLink, Payload: k.linkMsg(d)})
+	return nil
+}
+
+// Bridge returns the bridging state behind a bridge device ifindex.
+func (k *Kernel) Bridge(ifindex int) (*bridge.Bridge, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	br, ok := k.bridges[ifindex]
+	return br, ok
+}
+
+// BridgeByName returns the bridging state by device name.
+func (k *Kernel) BridgeByName(name string) (*bridge.Bridge, bool) {
+	d, ok := k.DeviceByName(name)
+	if !ok {
+		return nil, false
+	}
+	return k.Bridge(d.Index)
+}
+
+// AddBridgePort enslaves a device to a bridge (brctl addif).
+func (k *Kernel) AddBridgePort(brName, devName string) error {
+	br, ok := k.BridgeByName(brName)
+	if !ok {
+		return fmt.Errorf("kernel: no bridge %q", brName)
+	}
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	br.AddPort(d.Index)
+	br.StartSTPPort(d.Index, k.Now())
+	d.SetMaster(br.IfIndex)
+	k.publishLink(d)
+	return nil
+}
+
+// DelBridgePort releases a device from its bridge (brctl delif).
+func (k *Kernel) DelBridgePort(brName, devName string) error {
+	br, ok := k.BridgeByName(brName)
+	if !ok {
+		return fmt.Errorf("kernel: no bridge %q", brName)
+	}
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	if !br.DelPort(d.Index) {
+		return fmt.Errorf("kernel: %q is not a port of %q", devName, brName)
+	}
+	d.SetMaster(0)
+	k.publishLink(d)
+	return nil
+}
+
+// SetBridgeSTP toggles spanning tree (brctl stp <br> on|off).
+func (k *Kernel) SetBridgeSTP(brName string, on bool) error {
+	br, ok := k.BridgeByName(brName)
+	if !ok {
+		return fmt.Errorf("kernel: no bridge %q", brName)
+	}
+	br.SetSTP(on)
+	if d, ok := k.DeviceByName(brName); ok {
+		k.publishLink(d)
+	}
+	return nil
+}
+
+// SetBridgeVLANFiltering toggles VLAN-aware bridging.
+func (k *Kernel) SetBridgeVLANFiltering(brName string, on bool) error {
+	br, ok := k.BridgeByName(brName)
+	if !ok {
+		return fmt.Errorf("kernel: no bridge %q", brName)
+	}
+	br.SetVLANFiltering(on)
+	if d, ok := k.DeviceByName(brName); ok {
+		k.publishLink(d)
+	}
+	return nil
+}
+
+// STPHello runs one hello-timer round for every bridge (the slow path's
+// br_hello_timer): advance port-state timers and emit configuration BPDUs
+// on designated ports. Call it every bridge.HelloTime of virtual time.
+func (k *Kernel) STPHello(m *sim.Meter) {
+	now := k.Now()
+	k.mu.RLock()
+	brs := make([]*bridge.Bridge, 0, len(k.bridges))
+	for _, br := range k.bridges {
+		brs = append(brs, br)
+	}
+	k.mu.RUnlock()
+	for _, br := range brs {
+		br.TickSTP(now)
+		for port, bpdu := range br.GenerateBPDUs() {
+			dev, ok := k.DeviceByIndex(port)
+			if !ok {
+				continue
+			}
+			frame := packet.BuildEthernet(packet.Ethernet{
+				Dst: bridge.STPDestMAC, Src: dev.MAC, EtherType: 0x0027,
+			}, bpdu.Marshal())
+			k.bumpSTPTx()
+			dev.Transmit(frame, m)
+		}
+	}
+}
+
+func (k *Kernel) bumpSTPTx() {
+	k.mu.Lock()
+	k.stats.STPTx++
+	k.mu.Unlock()
+}
+
+// DeviceByIndex implements netdev.Stack.
+func (k *Kernel) DeviceByIndex(idx int) (*netdev.Device, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	d, ok := k.devByIdx[idx]
+	return d, ok
+}
+
+// DeviceByName resolves a device by name.
+func (k *Kernel) DeviceByName(name string) (*netdev.Device, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	d, ok := k.devByName[name]
+	return d, ok
+}
+
+// Devices returns all devices sorted by ifindex.
+func (k *Kernel) Devices() []*netdev.Device {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]*netdev.Device, 0, len(k.devByIdx))
+	for _, d := range k.devByIdx {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// SetLinkUp changes administrative state (ip link set <dev> up/down).
+func (k *Kernel) SetLinkUp(name string, up bool) error {
+	d, ok := k.DeviceByName(name)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", name)
+	}
+	d.SetUp(up)
+	k.publishLink(d)
+	return nil
+}
+
+// AddAddr assigns an address and, like Linux, installs the implied local
+// (/32, local table) and connected-subnet (main table, scope link) routes.
+func (k *Kernel) AddAddr(devName string, p packet.Prefix) error {
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	d.AddAddr(p)
+	k.FIB.Local().Add(fib.Route{
+		Prefix: packet.Prefix{Addr: p.Addr, Bits: 32},
+		OutIf:  d.Index, Scope: fib.ScopeHost, Local: true,
+	})
+	if p.Bits < 32 {
+		k.FIB.Main().Add(fib.Route{
+			Prefix: p.Masked(), OutIf: d.Index, Scope: fib.ScopeLink,
+		})
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewAddr, Payload: netlink.AddrMsg{Index: d.Index, Prefix: p}})
+	return nil
+}
+
+// DelAddr removes an address and its implied routes.
+func (k *Kernel) DelAddr(devName string, p packet.Prefix) error {
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	if !d.DelAddr(p) {
+		return fmt.Errorf("kernel: %s not assigned to %q", p, devName)
+	}
+	k.FIB.Local().Delete(packet.Prefix{Addr: p.Addr, Bits: 32}, -1)
+	if p.Bits < 32 {
+		k.FIB.Main().Delete(p.Masked(), -1)
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.DelAddr, Payload: netlink.AddrMsg{Index: d.Index, Prefix: p}})
+	return nil
+}
+
+// AddRoute installs a route in the main table (ip route add).
+func (k *Kernel) AddRoute(r fib.Route) {
+	if r.Scope == 0 {
+		r.Scope = fib.ScopeUniverse
+		if r.Gateway == 0 {
+			r.Scope = fib.ScopeLink
+		}
+	}
+	k.FIB.Main().Add(r)
+	k.Bus.Publish(netlink.Message{Type: netlink.NewRoute, Payload: netlink.RouteMsg{
+		Table: fib.TableMain, Prefix: r.Prefix, Gateway: r.Gateway, OutIf: r.OutIf, Metric: r.Metric,
+	}})
+}
+
+// DelRoute removes a route from the main table (ip route del).
+func (k *Kernel) DelRoute(p packet.Prefix) bool {
+	ok := k.FIB.Main().Delete(p, -1)
+	if ok {
+		k.Bus.Publish(netlink.Message{Type: netlink.DelRoute, Payload: netlink.RouteMsg{
+			Table: fib.TableMain, Prefix: p,
+		}})
+	}
+	return ok
+}
+
+// AddNeigh installs a permanent neighbour entry (ip neigh add).
+func (k *Kernel) AddNeigh(devName string, ip packet.Addr, mac packet.HWAddr) error {
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	k.Neigh.AddPermanent(ip, mac, d.Index)
+	k.Bus.Publish(netlink.Message{Type: netlink.NewNeigh, Payload: netlink.NeighMsg{
+		Index: d.Index, IP: ip, MAC: mac, State: "PERMANENT",
+	}})
+	return nil
+}
+
+// --- sysctl ------------------------------------------------------------------
+
+// SetSysctl writes a sysctl key and notifies observers.
+func (k *Kernel) SetSysctl(key, value string) {
+	k.mu.Lock()
+	k.sysctl[key] = value
+	k.mu.Unlock()
+	k.Bus.Publish(netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: value}})
+}
+
+// Sysctl reads a sysctl key.
+func (k *Kernel) Sysctl(key string) string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.sysctl[key]
+}
+
+// IPForwarding reports whether net.ipv4.ip_forward is enabled.
+func (k *Kernel) IPForwarding() bool {
+	v, err := strconv.Atoi(k.Sysctl("net.ipv4.ip_forward"))
+	return err == nil && v != 0
+}
+
+// --- netfilter config wrappers (what iptables/ipset binaries call) ----------
+
+// IptAppend appends a rule and notifies observers (iptables -A).
+func (k *Kernel) IptAppend(chain string, r netfilter.Rule) error {
+	if err := k.NF.Append(chain, r); err != nil {
+		return err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewRule, Payload: netlink.RuleMsg{
+		Chain: chain, UsesSet: r.Match.SrcSet != "" || r.Match.DstSet != "", Rules: k.NF.RuleCount(chain),
+	}})
+	return nil
+}
+
+// IptInsert inserts a rule at 1-based position pos (iptables -I).
+func (k *Kernel) IptInsert(chain string, pos int, r netfilter.Rule) error {
+	if err := k.NF.Insert(chain, pos, r); err != nil {
+		return err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewRule, Payload: netlink.RuleMsg{
+		Chain: chain, Position: pos,
+		UsesSet: r.Match.SrcSet != "" || r.Match.DstSet != "", Rules: k.NF.RuleCount(chain),
+	}})
+	return nil
+}
+
+// IptDelete removes rule pos from chain (iptables -D).
+func (k *Kernel) IptDelete(chain string, pos int) error {
+	if err := k.NF.Delete(chain, pos); err != nil {
+		return err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.DelRule, Payload: netlink.RuleMsg{
+		Chain: chain, Position: pos, Rules: k.NF.RuleCount(chain),
+	}})
+	return nil
+}
+
+// IptFlush clears a chain (iptables -F).
+func (k *Kernel) IptFlush(chain string) error {
+	if err := k.NF.Flush(chain); err != nil {
+		return err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.DelRule, Payload: netlink.RuleMsg{Chain: chain, Rules: 0}})
+	return nil
+}
+
+// IpsetCreate registers a set (ipset create).
+func (k *Kernel) IpsetCreate(name, typ string) (*netfilter.IPSet, error) {
+	s, err := k.NF.CreateSet(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewSet, Payload: netlink.SetMsg{Name: name, Type: typ}})
+	return s, nil
+}
+
+// IpsetAdd adds a member to a set (ipset add).
+func (k *Kernel) IpsetAdd(name string, p packet.Prefix) error {
+	s, ok := k.NF.Set(name)
+	if !ok {
+		return fmt.Errorf("kernel: no ipset %q", name)
+	}
+	if err := s.Add(p); err != nil {
+		return err
+	}
+	k.Bus.Publish(netlink.Message{Type: netlink.NewSet, Payload: netlink.SetMsg{Name: name, Type: s.Type, Members: s.Len()}})
+	return nil
+}
+
+// --- TC hooks ----------------------------------------------------------------
+
+// AttachTC installs a TC classifier program on a device's ingress or egress.
+func (k *Kernel) AttachTC(ifindex int, ingress bool, h TCHandler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	m := k.tcEgress
+	if ingress {
+		m = k.tcIngress
+	}
+	if h == nil {
+		delete(m, ifindex)
+		return
+	}
+	m[ifindex] = h
+}
+
+// TCAttached reports whether a TC program is installed.
+func (k *Kernel) TCAttached(ifindex int, ingress bool) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if ingress {
+		_, ok := k.tcIngress[ifindex]
+		return ok
+	}
+	_, ok := k.tcEgress[ifindex]
+	return ok
+}
+
+// --- sockets -----------------------------------------------------------------
+
+// RegisterSocket binds a handler to (proto, port) — the model's listening
+// socket.
+func (k *Kernel) RegisterSocket(proto uint8, port uint16, h SocketHandler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.sockets[socketKey{proto, port}] = h
+}
+
+// UnregisterSocket removes a binding.
+func (k *Kernel) UnregisterSocket(proto uint8, port uint16) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.sockets, socketKey{proto, port})
+}
+
+func (k *Kernel) socketFor(proto uint8, port uint16) (SocketHandler, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	h, ok := k.sockets[socketKey{proto, port}]
+	return h, ok
+}
+
+// --- netlink dump handlers -----------------------------------------------------
+
+func (k *Kernel) linkMsg(d *netdev.Device) netlink.LinkMsg {
+	m := netlink.LinkMsg{
+		Index: d.Index, Name: d.Name, Kind: d.Type.String(),
+		MAC: d.MAC, MTU: d.MTU, Up: d.IsUp(), Master: d.Master(),
+	}
+	if br, ok := k.Bridge(d.Index); ok {
+		m.BridgeA = &netlink.BridgeAttrs{STPEnabled: br.STPEnabled(), VLANFiltering: br.VLANFiltering()}
+	}
+	return m
+}
+
+func (k *Kernel) publishLink(d *netdev.Device) {
+	k.Bus.Publish(netlink.Message{Type: netlink.NewLink, Payload: k.linkMsg(d)})
+}
+
+func (k *Kernel) registerDumpers() {
+	k.Bus.RegisterDumper(netlink.GroupLink, func() []netlink.Message {
+		var out []netlink.Message
+		for _, d := range k.Devices() {
+			out = append(out, netlink.Message{Type: netlink.NewLink, Payload: k.linkMsg(d)})
+		}
+		return out
+	})
+	k.Bus.RegisterDumper(netlink.GroupAddr, func() []netlink.Message {
+		var out []netlink.Message
+		for _, d := range k.Devices() {
+			for _, a := range d.Addrs() {
+				out = append(out, netlink.Message{Type: netlink.NewAddr, Payload: netlink.AddrMsg{Index: d.Index, Prefix: a}})
+			}
+		}
+		return out
+	})
+	k.Bus.RegisterDumper(netlink.GroupRoute, func() []netlink.Message {
+		var out []netlink.Message
+		for _, r := range k.FIB.Main().Routes() {
+			out = append(out, netlink.Message{Type: netlink.NewRoute, Payload: netlink.RouteMsg{
+				Table: fib.TableMain, Prefix: r.Prefix, Gateway: r.Gateway, OutIf: r.OutIf, Metric: r.Metric,
+			}})
+		}
+		return out
+	})
+	k.Bus.RegisterDumper(netlink.GroupNeigh, func() []netlink.Message {
+		var out []netlink.Message
+		for _, e := range k.Neigh.Entries() {
+			out = append(out, netlink.Message{Type: netlink.NewNeigh, Payload: netlink.NeighMsg{
+				Index: e.IfIndex, IP: e.IP, MAC: e.MAC, State: e.State.String(),
+			}})
+		}
+		return out
+	})
+	k.Bus.RegisterDumper(netlink.GroupNetfilter, func() []netlink.Message {
+		var out []netlink.Message
+		for _, name := range k.NF.Chains() {
+			c, _ := k.NF.Chain(name)
+			usesSet := false
+			for _, r := range c.Rules {
+				if r.Match.SrcSet != "" || r.Match.DstSet != "" {
+					usesSet = true
+				}
+			}
+			out = append(out, netlink.Message{Type: netlink.NewRule, Payload: netlink.RuleMsg{
+				Chain: name, UsesSet: usesSet, Rules: len(c.Rules),
+			}})
+		}
+		for _, name := range k.NF.Sets() {
+			s, _ := k.NF.Set(name)
+			out = append(out, netlink.Message{Type: netlink.NewSet, Payload: netlink.SetMsg{
+				Name: name, Type: s.Type, Members: s.Len(),
+			}})
+		}
+		services := k.IPVSServices()
+		for _, svc := range services {
+			out = append(out, netlink.Message{Type: netlink.NewIPVS, Payload: netlink.IPVSMsg{
+				VIP: svc.Key.VIP, Port: svc.Key.Port, Proto: svc.Key.Proto,
+				Backends: len(svc.Backends), Services: len(services),
+			}})
+		}
+		return out
+	})
+	k.Bus.RegisterDumper(netlink.GroupSysctl, func() []netlink.Message {
+		k.mu.RLock()
+		defer k.mu.RUnlock()
+		keys := make([]string, 0, len(k.sysctl))
+		for key := range k.sysctl {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		out := make([]netlink.Message, 0, len(keys))
+		for _, key := range keys {
+			out = append(out, netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: k.sysctl[key]}})
+		}
+		return out
+	})
+}

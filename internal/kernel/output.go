@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"sync/atomic"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// SendIP originates an IPv4 packet from this host (ip_queue_xmit): route,
+// OUTPUT hook, neighbour resolution, transmit. A zero src is filled from
+// the egress device's primary address. Local destinations loop back.
+func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Meter) bool {
+	defer k.trace("ip_queue_xmit")()
+	m.Charge(sim.CostRouteLookup)
+	r, ok := k.FIB.Lookup(dst)
+	if !ok {
+		k.countNoRoute()
+		return false
+	}
+
+	meta := &netfilter.Meta{Src: src, Dst: dst, Proto: proto}
+	if (proto == packet.ProtoTCP || proto == packet.ProtoUDP) && len(l4) >= 4 {
+		meta.SrcPort, meta.DstPort = packet.L4Ports(l4, 0)
+	}
+	if v := k.runHook(netfilter.HookOutput, meta, m); v == netfilter.VerdictDrop {
+		k.countFilterDrop()
+		return false
+	}
+
+	if r.Local {
+		// Loopback delivery: synthesize the parsed view and deliver.
+		ip := packet.IPv4{TTL: 64, Proto: proto, Src: src, Dst: dst, ID: k.nextIPID()}
+		if src == 0 {
+			ip.Src = dst
+		}
+		lo, _ := k.DeviceByName("lo")
+		frame := packet.BuildIPv4(packet.Ethernet{EtherType: packet.EtherTypeIPv4}, ip, l4)
+		pkt, err := packet.Decode(frame)
+		if err != nil {
+			return false
+		}
+		inMeta := k.buildMeta(lo, pkt)
+		k.ipLocalDeliver(lo, frame, pkt, inMeta, m)
+		return true
+	}
+
+	out, ok := k.DeviceByIndex(r.OutIf)
+	if !ok {
+		k.countNoRoute()
+		return false
+	}
+	if src == 0 {
+		if addrs := out.Addrs(); len(addrs) > 0 {
+			src = addrs[0].Addr
+		}
+	}
+
+	ip := packet.IPv4{TTL: 64, Proto: proto, Src: src, Dst: dst, ID: k.nextIPID()}
+	eth := packet.Ethernet{Src: out.MAC, EtherType: packet.EtherTypeIPv4}
+	nexthop := r.Gateway
+	if nexthop == 0 {
+		nexthop = dst
+	}
+
+	// Fragment locally generated oversized datagrams too.
+	if packet.IPv4MinLen+len(l4) > out.MTU {
+		frame := packet.BuildIPv4(eth, ip, l4)
+		pkt, err := packet.Decode(frame)
+		if err != nil {
+			return false
+		}
+		k.fragmentAndSend(out, nexthop, frame, pkt, m)
+		return true
+	}
+
+	frame := packet.BuildIPv4(eth, ip, l4)
+	k.finishOutput(out, nexthop, frame, m)
+	return true
+}
+
+// SendUDP originates a UDP datagram.
+func (k *Kernel) SendUDP(src, dst packet.Addr, sport, dport uint16, payload []byte, m *sim.Meter) bool {
+	if src == 0 {
+		if r, ok := k.FIB.Lookup(dst); ok && !r.Local {
+			if out, ok := k.DeviceByIndex(r.OutIf); ok {
+				if addrs := out.Addrs(); len(addrs) > 0 {
+					src = addrs[0].Addr
+				}
+			}
+		} else if ok && r.Local {
+			src = dst
+		}
+	}
+	u := packet.UDP{SrcPort: sport, DstPort: dport}
+	return k.SendIP(src, dst, packet.ProtoUDP, u.Marshal(nil, src, dst, payload), m)
+}
+
+// SendTCPSegment originates one TCP segment (the RR workloads model
+// request/response exchanges as single segments over established flows).
+func (k *Kernel) SendTCPSegment(src, dst packet.Addr, sport, dport uint16, flags packet.TCPFlags, payload []byte, m *sim.Meter) bool {
+	if src == 0 {
+		if r, ok := k.FIB.Lookup(dst); ok && !r.Local {
+			if out, ok := k.DeviceByIndex(r.OutIf); ok {
+				if addrs := out.Addrs(); len(addrs) > 0 {
+					src = addrs[0].Addr
+				}
+			}
+		} else if ok && r.Local {
+			src = dst
+		}
+	}
+	t := packet.TCP{SrcPort: sport, DstPort: dport, Flags: flags, Window: 65535}
+	return k.SendIP(src, dst, packet.ProtoTCP, t.Marshal(nil, src, dst, payload), m)
+}
+
+// Ping sends an ICMP echo request.
+func (k *Kernel) Ping(dst packet.Addr, id, seq uint16, payload []byte, m *sim.Meter) bool {
+	ic := packet.ICMP{Type: packet.ICMPEchoRequest, Rest: uint32(id)<<16 | uint32(seq)}
+	k.bumpICMPTx()
+	return k.SendIP(0, dst, packet.ProtoICMP, ic.Marshal(nil, payload), m)
+}
+
+// sendICMPError emits an ICMP error (unreachable / time exceeded) toward a
+// packet's source, quoting the original header per RFC 792.
+func (k *Kernel) sendICMPError(dev *netdev.Device, orig *packet.Packet, icmpType, code uint8, m *sim.Meter) {
+	ip := orig.IPv4
+	if ip == nil || ip.Src.IsZero() || ip.Src.IsMulticast() {
+		return
+	}
+	// Never generate ICMP errors about ICMP errors (RFC 1122); echoes are
+	// fine to complain about.
+	if ip.Proto == packet.ProtoICMP && len(orig.Payload) > 0 {
+		switch orig.Payload[0] {
+		case packet.ICMPUnreachable, packet.ICMPTimeExceeded:
+			return
+		}
+	}
+	quote := ip.Marshal(nil)
+	if len(orig.Payload) >= 8 {
+		quote = append(quote, orig.Payload[:8]...)
+	} else {
+		quote = append(quote, orig.Payload...)
+	}
+	ic := packet.ICMP{Type: icmpType, Code: code}
+	m.Charge(sim.CostIcmpEcho)
+	k.bumpICMPTx()
+	k.SendIP(0, ip.Src, packet.ProtoICMP, ic.Marshal(nil, quote), m)
+}
+
+// nextIPID hands out IP identification values for fragmentation.
+func (k *Kernel) nextIPID() uint16 {
+	return uint16(atomic.AddUint32(&k.ipIDSeq, 1))
+}
+
+// fragmentAndSend splits an IP packet to fit the egress MTU (ip_fragment).
+func (k *Kernel) fragmentAndSend(out *netdev.Device, nexthop packet.Addr, frame []byte, pkt *packet.Packet, m *sim.Meter) {
+	defer k.trace("ip_fragment")()
+	ip := *pkt.IPv4
+	payload := frame[pkt.L4Off:]
+
+	// Payload bytes per fragment, multiple of 8.
+	maxData := (out.MTU - ip.HeaderLen()) &^ 7
+	if maxData <= 0 {
+		k.countDrop()
+		return
+	}
+	origOff := ip.FragOff
+	lastHasMF := ip.MoreFragments() // fragmenting a fragment keeps MF on the tail
+
+	for off := 0; off < len(payload); off += maxData {
+		end := off + maxData
+		last := false
+		if end >= len(payload) {
+			end = len(payload)
+			last = true
+		}
+		fh := ip
+		fh.FragOff = origOff + uint16(off/8)
+		fh.Flags = ip.Flags | packet.IPv4MoreFrags
+		if last && !lastHasMF {
+			fh.Flags = ip.Flags &^ packet.IPv4MoreFrags
+		}
+		fh.TotalLen = uint16(fh.HeaderLen() + (end - off))
+		eth := pkt.Eth
+		fragFrame := packet.BuildIPv4(eth, fh, payload[off:end])
+		m.Charge(sim.CostFragmentPer)
+		k.mu.Lock()
+		k.stats.FragsSent++
+		k.mu.Unlock()
+		k.finishOutput(out, nexthop, fragFrame, m)
+	}
+	k.countForwarded()
+}
+
+// --- reassembly ---------------------------------------------------------------
+
+type fragKey struct {
+	src, dst packet.Addr
+	id       uint16
+	proto    uint8
+}
+
+type fragQueue struct {
+	parts    map[uint16][]byte // fragment offset (8-byte units) -> data
+	totalLen int               // -1 until the last fragment arrives
+}
+
+// defragInsert adds one fragment; when the datagram completes it returns
+// the reassembled L4 payload.
+func (k *Kernel) defragInsert(ip *packet.IPv4, data []byte) ([]byte, bool) {
+	key := fragKey{src: ip.Src, dst: ip.Dst, id: ip.ID, proto: ip.Proto}
+	k.mu.Lock()
+	q, ok := k.defrag[key]
+	if !ok {
+		q = &fragQueue{parts: make(map[uint16][]byte), totalLen: -1}
+		k.defrag[key] = q
+	}
+	q.parts[ip.FragOff] = append([]byte(nil), data...)
+	if !ip.MoreFragments() {
+		q.totalLen = int(ip.FragOff)*8 + len(data)
+	}
+	complete := false
+	if q.totalLen >= 0 {
+		have := 0
+		for _, p := range q.parts {
+			have += len(p)
+		}
+		complete = have == q.totalLen
+	}
+	if !complete {
+		k.mu.Unlock()
+		return nil, false
+	}
+	delete(k.defrag, key)
+	k.mu.Unlock()
+
+	full := make([]byte, q.totalLen)
+	for off, p := range q.parts {
+		copy(full[int(off)*8:], p)
+	}
+	return full, true
+}

@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// TestFragmentationRoundTripProperty: for random payload sizes and egress
+// MTUs, a UDP datagram forwarded through a narrow link must reassemble to
+// exactly the original payload at the destination socket.
+func TestFragmentationRoundTripProperty(t *testing.T) {
+	f := func(sizeRaw uint16, mtuRaw uint8, seed byte) bool {
+		size := int(sizeRaw)%3000 + 1
+		mtu := 200 + int(mtuRaw)%1200
+
+		src, r, dst := routerTopo2(t)
+		r1, _ := r.DeviceByName("eth1")
+		r1.MTU = mtu
+
+		var got []byte
+		delivered := false
+		dst.RegisterSocket(packet.ProtoUDP, 9000, func(_ *Kernel, msg SocketMsg) {
+			got = append([]byte(nil), msg.Payload...)
+			delivered = true
+		})
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = seed + byte(i)
+		}
+		var m sim.Meter
+		if !src.SendUDP(0, packet.MustAddr("10.2.0.1"), 1234, 9000, payload, &m) {
+			return false
+		}
+		return delivered && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// routerTopo2 is routerTopo without the testing.T plumbing differences —
+// quick.Check calls it many times.
+func routerTopo2(t *testing.T) (src, r, dst *Kernel) {
+	t.Helper()
+	return routerTopo(t)
+}
+
+// TestFragmentOffsetsNeverOverlapProperty: the fragments the router emits
+// must tile the payload exactly: sorted by offset, contiguous, no overlap,
+// MF set on all but the last.
+func TestFragmentOffsetsNeverOverlapProperty(t *testing.T) {
+	f := func(sizeRaw uint16) bool {
+		size := int(sizeRaw)%2500 + 600 // force at least one split at MTU 600
+		src, r, dst := routerTopo2(t)
+		r1, _ := r.DeviceByName("eth1")
+		r1.MTU = 600
+
+		type frag struct {
+			off  int
+			size int
+			mf   bool
+		}
+		var frags []frag
+		d0, _ := dst.DeviceByName("eth0")
+		d0.Tap = func(fr []byte) {
+			p, err := packet.Decode(fr)
+			if err != nil || p.IPv4 == nil {
+				return
+			}
+			frags = append(frags, frag{
+				off:  int(p.IPv4.FragOff) * 8,
+				size: int(p.IPv4.TotalLen) - p.IPv4.HeaderLen(),
+				mf:   p.IPv4.MoreFragments(),
+			})
+		}
+		var m sim.Meter
+		src.SendUDP(0, packet.MustAddr("10.2.0.1"), 1, 9000, make([]byte, size), &m)
+		if len(frags) < 2 {
+			return false
+		}
+		want := 0
+		for i, fg := range frags {
+			if fg.off != want {
+				return false
+			}
+			want += fg.size
+			if (i < len(frags)-1) != fg.mf {
+				return false
+			}
+		}
+		return want == size+packet.UDPHdrLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTTLEquivalenceProperty: for any TTL, forwarding either decrements it
+// by exactly one or generates a time-exceeded — never both, never neither.
+func TestTTLEquivalenceProperty(t *testing.T) {
+	f := func(ttl uint8) bool {
+		src, r, dst := routerTopo2(t)
+		var m sim.Meter
+		src.Ping(packet.MustAddr("10.2.0.1"), 1, 1, nil, &m) // resolve
+		s0, _ := src.DeviceByName("eth0")
+		rMAC, _ := src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
+
+		var arrivedTTL = -1
+		d0, _ := dst.DeviceByName("eth0")
+		d0.Tap = func(f []byte) {
+			if et, l3 := packet.EtherTypeOf(f); et == packet.EtherTypeIPv4 &&
+				packet.IPv4Proto(f, l3) == packet.ProtoUDP {
+				arrivedTTL = int(packet.IPv4TTL(f, l3))
+			}
+		}
+		u := packet.UDP{SrcPort: 1, DstPort: 2}
+		srcIP, dstIP := packet.MustAddr("10.1.0.1"), packet.MustAddr("10.2.0.1")
+		frame := packet.BuildIPv4(
+			packet.Ethernet{Dst: rMAC, Src: s0.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: ttl, Proto: packet.ProtoUDP, Src: srcIP, Dst: dstIP},
+			u.Marshal(nil, srcIP, dstIP, nil),
+		)
+		expiredBefore := r.Stats().TTLExpired
+		s0.Transmit(frame, &m)
+		expired := r.Stats().TTLExpired > expiredBefore
+
+		if ttl <= 1 {
+			return expired && arrivedTTL == -1
+		}
+		return !expired && arrivedTTL == int(ttl)-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVethVsPhysicalReceiveCost: the device-class cost model must charge
+// physical NICs more than veths (DMA + fresh skb vs backlog handoff).
+func TestVethVsPhysicalReceiveCost(t *testing.T) {
+	measure := func(typ netdev.Type) sim.Cycles {
+		k := New("host")
+		d := k.CreateDevice("d0", typ)
+		d.SetUp(true)
+		k.AddAddr("d0", packet.MustPrefix("10.0.0.1/24"))
+		var got sim.Cycles
+		k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, msg SocketMsg) {
+			got = msg.Meter.Total
+		})
+		u := packet.UDP{SrcPort: 1, DstPort: 7}
+		srcIP, dstIP := packet.MustAddr("10.0.0.2"), packet.MustAddr("10.0.0.1")
+		frame := packet.BuildIPv4(
+			packet.Ethernet{Dst: d.MAC, Src: packet.MustHWAddr("02:00:00:00:00:99"), EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: srcIP, Dst: dstIP},
+			u.Marshal(nil, srcIP, dstIP, nil),
+		)
+		var m sim.Meter
+		d.Receive(frame, &m)
+		return got
+	}
+	phys := measure(netdev.Physical)
+	veth := measure(netdev.Veth)
+	if phys <= veth {
+		t.Fatalf("physical rx (%v) should cost more than veth rx (%v)", phys, veth)
+	}
+}
+
+// TestNeighborAgingForcesFastPathPunt: when a neighbour entry goes STALE,
+// the fast path must stop using it (punt) while the slow path still
+// forwards and revalidates — the coherence rule for dynamic state.
+func TestNeighborAgingForcesFastPathPunt(t *testing.T) {
+	var now sim.Time
+	src, r, dst := routerTopo2(t)
+	r.SetClock(func() sim.Time { return now })
+
+	var m sim.Meter
+	src.Ping(packet.MustAddr("10.2.0.1"), 1, 1, nil, &m) // resolve both sides
+
+	// Fresh entry: usable by the fast path.
+	if _, ok := r.Neigh.Resolved(packet.MustAddr("10.2.0.1"), now); !ok {
+		t.Fatal("entry should be reachable")
+	}
+	// Let it age past ReachableTime.
+	now = now.Add(sim.Duration(40 * sim.Second))
+	if _, ok := r.Neigh.Resolved(packet.MustAddr("10.2.0.1"), now); ok {
+		t.Fatal("stale entry still usable by the fast path")
+	}
+	// The slow path still delivers (it can use STALE and revalidate).
+	icmpBase := dst.Stats().ICMPTx
+	src.Ping(packet.MustAddr("10.2.0.1"), 1, 2, nil, &m)
+	if dst.Stats().ICMPTx != icmpBase+1 {
+		t.Fatal("slow path failed on stale neighbour")
+	}
+}
+
+// TestConntrackGCSweep: the kernel's periodic conntrack GC removes idle
+// flows so the table does not grow without bound.
+func TestConntrackGCSweep(t *testing.T) {
+	var now sim.Time
+	k := New("host")
+	k.SetClock(func() sim.Time { return now })
+	k.NF.Conntrack.SetTimeout(10 * sim.Second)
+	for i := 0; i < 50; i++ {
+		k.NF.Conntrack.Track(ctTuple(i), now)
+	}
+	if k.NF.Conntrack.Len() != 50 {
+		t.Fatalf("len %d", k.NF.Conntrack.Len())
+	}
+	now = now.Add(sim.Duration(5 * sim.Second))
+	for i := 0; i < 10; i++ { // keep 10 flows warm
+		k.NF.Conntrack.Track(ctTuple(i), now)
+	}
+	now = now.Add(sim.Duration(6 * sim.Second))
+	if removed := k.NF.Conntrack.Expire(now); removed != 40 {
+		t.Fatalf("expired %d, want 40", removed)
+	}
+	if k.NF.Conntrack.Len() != 10 {
+		t.Fatalf("len %d, want 10", k.NF.Conntrack.Len())
+	}
+}

@@ -1,0 +1,127 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tracer samples kernel function entry stacks, producing the folded-stack
+// counts flame graphs are drawn from (paper Fig. 1: the forwarding hot
+// path). Tracing is off by default and costs one nil check per call site.
+type Tracer struct {
+	mu      sync.Mutex
+	stack   []string
+	samples map[string]uint64
+}
+
+// StackCount is one folded stack with its hit count.
+type StackCount struct {
+	Stack string // semicolon-joined frames, root first
+	Count uint64
+}
+
+// EnableTracing attaches a fresh tracer to the kernel and returns it.
+func (k *Kernel) EnableTracing() *Tracer {
+	t := &Tracer{samples: make(map[string]uint64)}
+	k.mu.Lock()
+	k.tracer = t
+	k.mu.Unlock()
+	return t
+}
+
+// DisableTracing detaches the tracer.
+func (k *Kernel) DisableTracing() {
+	k.mu.Lock()
+	k.tracer = nil
+	k.mu.Unlock()
+}
+
+// trace records entry into a kernel function and returns the exit func.
+// With no tracer attached it is nearly free.
+func (k *Kernel) trace(name string) func() {
+	k.mu.RLock()
+	t := k.tracer
+	k.mu.RUnlock()
+	if t == nil {
+		return noopExit
+	}
+	t.mu.Lock()
+	t.stack = append(t.stack, name)
+	t.samples[strings.Join(t.stack, ";")]++
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		if n := len(t.stack); n > 0 {
+			t.stack = t.stack[:n-1]
+		}
+		t.mu.Unlock()
+	}
+}
+
+func noopExit() {}
+
+// Report returns folded stacks sorted by descending count.
+func (t *Tracer) Report() []StackCount {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StackCount, 0, len(t.samples))
+	for s, c := range t.samples {
+		out = append(out, StackCount{Stack: s, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	return out
+}
+
+// Folded renders the samples in Brendan Gregg's folded-stack format, one
+// "stack count" line each — the input format for flamegraph.pl.
+func (t *Tracer) Folded() string {
+	var b strings.Builder
+	for _, sc := range t.Report() {
+		fmt.Fprintf(&b, "%s %d\n", sc.Stack, sc.Count)
+	}
+	return b.String()
+}
+
+// ASCII renders a crude text flame graph: each stack as an indented tree
+// with bar widths proportional to counts.
+func (t *Tracer) ASCII(width int) string {
+	report := t.Report()
+	if len(report) == 0 {
+		return "(no samples)\n"
+	}
+	var total uint64
+	for _, sc := range report {
+		if !strings.Contains(sc.Stack, ";") {
+			total += sc.Count
+		}
+	}
+	if total == 0 {
+		total = report[0].Count
+	}
+	var b strings.Builder
+	sorted := make([]StackCount, len(report))
+	copy(sorted, report)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stack < sorted[j].Stack })
+	for _, sc := range sorted {
+		depth := strings.Count(sc.Stack, ";")
+		frames := strings.Split(sc.Stack, ";")
+		name := frames[len(frames)-1]
+		bar := int(sc.Count * uint64(width) / total)
+		if bar < 1 {
+			bar = 1
+		}
+		if bar > width {
+			bar = width
+		}
+		fmt.Fprintf(&b, "%s%-24s %s %d\n",
+			strings.Repeat("  ", depth), name, strings.Repeat("█", bar), sc.Count)
+	}
+	return b.String()
+}

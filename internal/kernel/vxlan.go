@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// VXLANPort is the Linux default VXLAN UDP port (flannel's choice).
+const VXLANPort = 8472
+
+// vxlanHdrLen is flags(1)+reserved(3)+VNI(3)+reserved(1).
+const vxlanHdrLen = 8
+
+// vxlanState is the runtime state of one VXLAN device: the VTEP.
+type vxlanState struct {
+	dev   *netdev.Device
+	vni   uint32
+	local packet.Addr
+
+	mu  sync.RWMutex
+	fdb map[packet.HWAddr]packet.Addr // inner MAC -> remote VTEP IP
+	// flood targets for unknown/broadcast inner MACs
+	flood []packet.Addr
+}
+
+// CreateVXLAN creates a VXLAN device (ip link add ... type vxlan id <vni>).
+// Frames transmitted on it are encapsulated in UDP toward the remote VTEP
+// selected by the inner destination MAC (bridge fdb entries), exactly how
+// flannel's vxlan backend programs the kernel.
+func (k *Kernel) CreateVXLAN(name string, vni uint32, local packet.Addr) *netdev.Device {
+	d := k.CreateDevice(name, netdev.VXLAN)
+	v := &vxlanState{dev: d, vni: vni, local: local, fdb: make(map[packet.HWAddr]packet.Addr)}
+	k.mu.Lock()
+	k.vxlans[d.Index] = v
+	k.mu.Unlock()
+
+	d.SetTxHook(func(frame []byte, m *sim.Meter) bool {
+		k.vxlanEncap(v, frame, m)
+		return true
+	})
+
+	// One decap socket serves all VTEPs on the host.
+	if _, bound := k.socketFor(packet.ProtoUDP, VXLANPort); !bound {
+		k.RegisterSocket(packet.ProtoUDP, VXLANPort, vxlanDecapHandler)
+	}
+	return d
+}
+
+// VXLANAddFDB installs a forwarding entry: inner MAC reachable via the
+// remote VTEP (bridge fdb add <mac> dev <vxlan> dst <remote>). The
+// all-zeros MAC adds a flood/default entry.
+func (k *Kernel) VXLANAddFDB(devName string, mac packet.HWAddr, remote packet.Addr) error {
+	d, ok := k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("kernel: no device %q", devName)
+	}
+	k.mu.RLock()
+	v, ok := k.vxlans[d.Index]
+	k.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("kernel: %q is not a vxlan device", devName)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if mac.IsZero() {
+		v.flood = append(v.flood, remote)
+		return nil
+	}
+	v.fdb[mac] = remote
+	return nil
+}
+
+// vxlanEncap wraps an inner frame and sends it to the chosen VTEP(s).
+func (k *Kernel) vxlanEncap(v *vxlanState, frame []byte, m *sim.Meter) {
+	defer k.trace("vxlan_xmit")()
+	m.Charge(sim.CostVXLANEncap)
+
+	dst := packet.EthDst(frame)
+	v.mu.RLock()
+	remote, ok := v.fdb[dst]
+	flood := append([]packet.Addr(nil), v.flood...)
+	v.mu.RUnlock()
+
+	hdr := make([]byte, vxlanHdrLen, vxlanHdrLen+len(frame))
+	hdr[0] = 0x08 // VNI present
+	binary.BigEndian.PutUint32(hdr[4:], v.vni<<8)
+	payload := append(hdr, frame...)
+
+	targets := flood
+	if ok && !dst.IsMulticast() {
+		targets = []packet.Addr{remote}
+	}
+	// Source port is derived from an inner-flow hash in Linux; a fixed
+	// ephemeral port keeps the model simple.
+	for _, t := range targets {
+		k.SendUDP(v.local, t, 45000, VXLANPort, payload, m)
+	}
+}
+
+// vxlanDecapHandler is the UDP 8472 socket: strip the outer headers and
+// re-inject the inner frame as if it arrived on the matching VXLAN device.
+func vxlanDecapHandler(k *Kernel, msg SocketMsg) {
+	defer k.trace("vxlan_rcv")()
+	if len(msg.Payload) < vxlanHdrLen+packet.EthHdrLen {
+		k.countDrop()
+		return
+	}
+	vni := binary.BigEndian.Uint32(msg.Payload[4:]) >> 8
+	inner := msg.Payload[vxlanHdrLen:]
+
+	k.mu.RLock()
+	var v *vxlanState
+	for _, cand := range k.vxlans {
+		if cand.vni == vni {
+			v = cand
+			break
+		}
+	}
+	k.mu.RUnlock()
+	if v == nil {
+		k.countDrop()
+		return
+	}
+	msg.Meter.Charge(sim.CostVXLANDecap)
+
+	// Learn the inner source MAC -> outer source VTEP binding, like the
+	// kernel's vxlan_snoop.
+	src := packet.EthSrc(inner)
+	if !src.IsMulticast() {
+		v.mu.Lock()
+		v.fdb[src] = msg.Src
+		v.mu.Unlock()
+	}
+
+	// Re-inject through the device's full receive path so TC programs on
+	// the VTEP see decapsulated traffic, as in the kernel.
+	k.DeliverFrame(v.dev, append([]byte(nil), inner...), msg.Meter)
+}

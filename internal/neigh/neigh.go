@@ -1,0 +1,179 @@
+// Package neigh implements the kernel neighbour subsystem (the ARP cache):
+// per-interface IPv4→MAC bindings with a reachability state machine and a
+// queue of packets awaiting resolution.
+//
+// Like the FIB, this table is shared state: the slow path populates it from
+// ARP traffic and the fast path's bpf_fib_lookup helper reads it to fill in
+// the next hop's MAC — if the entry is missing or stale, the fast path must
+// punt the packet to the slow path, which performs resolution.
+package neigh
+
+import (
+	"fmt"
+	"sync"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// State is the reachability state of a neighbour entry.
+type State int
+
+// Neighbour states (a condensed version of the kernel's NUD_* set).
+const (
+	Incomplete State = iota + 1 // resolution in flight, no MAC yet
+	Reachable                   // confirmed recently
+	Stale                       // usable but due for revalidation
+	Permanent                   // statically configured, never ages
+)
+
+func (s State) String() string {
+	switch s {
+	case Incomplete:
+		return "INCOMPLETE"
+	case Reachable:
+		return "REACHABLE"
+	case Stale:
+		return "STALE"
+	case Permanent:
+		return "PERMANENT"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ReachableTime is how long a confirmed entry stays REACHABLE.
+const ReachableTime = 30 * sim.Second
+
+// MaxPending bounds the number of packets queued per unresolved neighbour
+// (the kernel queues 3).
+const MaxPending = 3
+
+// Entry is one neighbour binding.
+type Entry struct {
+	IP        packet.Addr
+	MAC       packet.HWAddr
+	IfIndex   int
+	State     State
+	Confirmed sim.Time // last confirmation time
+}
+
+// Table is the neighbour table for one namespace. It is safe for concurrent
+// use.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[packet.Addr]*Entry
+	pending map[packet.Addr][][]byte // frames awaiting resolution
+}
+
+// NewTable returns an empty neighbour table.
+func NewTable() *Table {
+	return &Table{
+		entries: make(map[packet.Addr]*Entry),
+		pending: make(map[packet.Addr][][]byte),
+	}
+}
+
+// Lookup returns the entry for ip, applying aging against now: a REACHABLE
+// entry past ReachableTime is downgraded to STALE first.
+func (t *Table) Lookup(ip packet.Addr, now sim.Time) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ip]
+	if !ok {
+		return Entry{}, false
+	}
+	if e.State == Reachable && now.Sub(e.Confirmed) > sim.Duration(ReachableTime) {
+		e.State = Stale
+	}
+	return *e, true
+}
+
+// Resolved returns the usable MAC for ip if the entry is in a state the fast
+// path may use (REACHABLE or PERMANENT). STALE entries are usable by the
+// slow path but force the fast path to punt so revalidation happens.
+func (t *Table) Resolved(ip packet.Addr, now sim.Time) (packet.HWAddr, bool) {
+	e, ok := t.Lookup(ip, now)
+	if !ok || (e.State != Reachable && e.State != Permanent) {
+		return packet.HWAddr{}, false
+	}
+	return e.MAC, true
+}
+
+// Confirm installs or refreshes a dynamic binding (called on ARP traffic).
+// It returns any frames that were queued awaiting this resolution.
+func (t *Table) Confirm(ip packet.Addr, mac packet.HWAddr, ifIndex int, now sim.Time) [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ip]
+	if ok && e.State == Permanent {
+		return nil
+	}
+	if !ok {
+		e = &Entry{IP: ip}
+		t.entries[ip] = e
+	}
+	e.MAC = mac
+	e.IfIndex = ifIndex
+	e.State = Reachable
+	e.Confirmed = now
+	queued := t.pending[ip]
+	delete(t.pending, ip)
+	return queued
+}
+
+// AddPermanent installs a static binding (ip neigh add ... nud permanent).
+func (t *Table) AddPermanent(ip packet.Addr, mac packet.HWAddr, ifIndex int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[ip] = &Entry{IP: ip, MAC: mac, IfIndex: ifIndex, State: Permanent}
+	delete(t.pending, ip)
+}
+
+// Delete removes a binding and drops any queued frames.
+func (t *Table) Delete(ip packet.Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.entries[ip]
+	delete(t.entries, ip)
+	delete(t.pending, ip)
+	return ok
+}
+
+// StartResolution marks ip INCOMPLETE and queues frame for transmission once
+// the MAC is learned. It reports whether an ARP request should be sent
+// (true only for the first packet that triggers resolution; the kernel
+// rate-limits retransmits, which the model elides).
+func (t *Table) StartResolution(ip packet.Addr, ifIndex int, frame []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[ip]
+	first := false
+	if !ok || e.State != Incomplete {
+		t.entries[ip] = &Entry{IP: ip, IfIndex: ifIndex, State: Incomplete}
+		first = true
+	}
+	q := t.pending[ip]
+	if len(q) < MaxPending {
+		t.pending[ip] = append(q, frame)
+	}
+	return first
+}
+
+// Entries returns a snapshot of all bindings in unspecified order.
+func (t *Table) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// Len reports the number of entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}

@@ -1,0 +1,403 @@
+// Package netdev models network devices and the wires between them: NICs,
+// veth pairs, bridge/vxlan pseudo-devices, per-device statistics, and the
+// XDP attach point that runs before any kernel processing — the earliest
+// (and fastest) hook LinuxFP can place a fast path on.
+package netdev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Type discriminates device kinds.
+type Type int
+
+// Device types.
+const (
+	Physical Type = iota + 1
+	Veth
+	BridgeDev
+	VXLAN
+	Loopback
+)
+
+func (t Type) String() string {
+	switch t {
+	case Physical:
+		return "physical"
+	case Veth:
+		return "veth"
+	case BridgeDev:
+		return "bridge"
+	case VXLAN:
+		return "vxlan"
+	case Loopback:
+		return "loopback"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// XDPAction is an XDP program verdict.
+type XDPAction int
+
+// XDP verdicts.
+const (
+	XDPAborted XDPAction = iota
+	XDPDrop
+	XDPPass
+	XDPTx
+	XDPRedirect
+)
+
+func (a XDPAction) String() string {
+	switch a {
+	case XDPAborted:
+		return "XDP_ABORTED"
+	case XDPDrop:
+		return "XDP_DROP"
+	case XDPPass:
+		return "XDP_PASS"
+	case XDPTx:
+		return "XDP_TX"
+	case XDPRedirect:
+		return "XDP_REDIRECT"
+	default:
+		return fmt.Sprintf("xdp(%d)", int(a))
+	}
+}
+
+// XDPBuff is the context handed to an XDP program: the raw frame plus the
+// minimal driver metadata available before any sk_buff exists.
+type XDPBuff struct {
+	Data       []byte
+	IfIndex    int
+	RxQueue    int
+	RedirectTo int // egress ifindex, set by the redirect helper
+	Meter      *sim.Meter
+}
+
+// XDPHandler is an XDP program attachment.
+type XDPHandler interface {
+	HandleXDP(*XDPBuff) XDPAction
+}
+
+// Stack is the slow path a device delivers into when XDP passes the frame
+// (or no program is attached). The kernel implements it.
+type Stack interface {
+	// DeliverFrame hands a received frame to the network stack.
+	DeliverFrame(dev *Device, frame []byte, m *sim.Meter)
+	// DeviceByIndex resolves redirect targets.
+	DeviceByIndex(ifindex int) (*Device, bool)
+}
+
+// Stats are device packet counters.
+type Stats struct {
+	RxPackets, RxBytes   uint64
+	TxPackets, TxBytes   uint64
+	RxDropped, TxDropped uint64
+	XDPDrops, XDPTx      uint64
+	XDPRedirects         uint64
+}
+
+// Device is one network interface.
+type Device struct {
+	Name  string
+	Index int
+	Type  Type
+	MAC   packet.HWAddr
+	MTU   int
+
+	mu     sync.RWMutex
+	up     bool
+	addrs  []packet.Prefix
+	master int // enslaving bridge ifindex, 0 if none
+	stats  Stats
+	peer   *Device // wire endpoint (nil if down/unplugged)
+	wire   Wire    // multi-endpoint attachment (switch); nil if none
+
+	stack  Stack
+	xdp    atomic.Pointer[xdpSlot]
+	txHook func(frame []byte, m *sim.Meter) bool
+
+	// Tap, when set, observes every frame the device receives (before XDP)
+	// — the model's equivalent of a packet capture.
+	Tap func(frame []byte)
+}
+
+// xdpSlot wraps the handler so attach/detach is a single atomic pointer
+// swap, mirroring how program replacement must not disturb traffic.
+type xdpSlot struct {
+	h    XDPHandler
+	mode string // "driver" or "generic"
+}
+
+// Wire is a multi-device segment (e.g. a LAN switch).
+type Wire interface {
+	// Send puts a frame on the segment from the given device.
+	Send(from *Device, frame []byte, m *sim.Meter)
+}
+
+// New creates a device bound to a stack.
+func New(name string, index int, typ Type, mac packet.HWAddr, stack Stack) *Device {
+	return &Device{Name: name, Index: index, Type: typ, MAC: mac, MTU: 1500, stack: stack}
+}
+
+// SetUp brings the device up or down.
+func (d *Device) SetUp(up bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.up = up
+}
+
+// IsUp reports administrative state.
+func (d *Device) IsUp() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.up
+}
+
+// AddAddr assigns an IP address (with prefix) to the device.
+func (d *Device) AddAddr(p packet.Prefix) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range d.addrs {
+		if a == p {
+			return
+		}
+	}
+	d.addrs = append(d.addrs, p)
+}
+
+// DelAddr removes an assigned address, reporting whether it was present.
+func (d *Device) DelAddr(p packet.Prefix) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, a := range d.addrs {
+		if a == p {
+			d.addrs = append(d.addrs[:i], d.addrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Addrs returns the assigned addresses.
+func (d *Device) Addrs() []packet.Prefix {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]packet.Prefix(nil), d.addrs...)
+}
+
+// HasAddr reports whether ip is assigned to this device.
+func (d *Device) HasAddr(ip packet.Addr) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, a := range d.addrs {
+		if a.Addr == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// SetMaster enslaves the device to a bridge (0 releases it).
+func (d *Device) SetMaster(bridgeIfIndex int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.master = bridgeIfIndex
+}
+
+// Master reports the enslaving bridge ifindex (0 if none).
+func (d *Device) Master() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.master
+}
+
+// AttachXDP installs an XDP program in the given mode ("driver" or
+// "generic"). It replaces atomically: in-flight packets finish on the old
+// program; new packets see the new one.
+func (d *Device) AttachXDP(h XDPHandler, mode string) {
+	if h == nil {
+		d.xdp.Store(nil)
+		return
+	}
+	d.xdp.Store(&xdpSlot{h: h, mode: mode})
+}
+
+// DetachXDP removes any XDP program.
+func (d *Device) DetachXDP() { d.xdp.Store(nil) }
+
+// XDPAttached reports whether a program is attached and its mode.
+func (d *Device) XDPAttached() (bool, string) {
+	s := d.xdp.Load()
+	if s == nil {
+		return false, ""
+	}
+	return true, s.mode
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}
+
+// Connect wires two devices point-to-point (a cable, or a veth pair's
+// cross-connect).
+func Connect(a, b *Device) {
+	a.mu.Lock()
+	a.peer = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.peer = a
+	b.mu.Unlock()
+}
+
+// Disconnect unplugs the device from its peer.
+func Disconnect(a *Device) {
+	a.mu.Lock()
+	p := a.peer
+	a.peer = nil
+	a.mu.Unlock()
+	if p != nil {
+		p.mu.Lock()
+		if p.peer == a {
+			p.peer = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+// AttachWire connects the device to a multi-endpoint segment.
+func (d *Device) AttachWire(w Wire) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wire = w
+}
+
+// Peer returns the point-to-point peer, if any.
+func (d *Device) Peer() *Device {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.peer
+}
+
+// SetStack rebinds the device's receive path to a different stack — how a
+// kernel-bypass platform (VPP/DPDK) takes a NIC away from the kernel.
+func (d *Device) SetStack(s Stack) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stack = s
+}
+
+// SetTxHook intercepts transmission: pseudo-devices (VXLAN) encapsulate in
+// the hook instead of putting the frame on a wire. A hook returning true
+// consumes the frame.
+func (d *Device) SetTxHook(fn func(frame []byte, m *sim.Meter) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.txHook = fn
+}
+
+// Transmit sends a frame out the device: across the wire to the peer (or
+// segment), which receives it as if off the NIC. Frames sent on a down or
+// unplugged device are counted as drops.
+func (d *Device) Transmit(frame []byte, m *sim.Meter) {
+	d.mu.Lock()
+	if !d.up {
+		d.stats.TxDropped++
+		d.mu.Unlock()
+		return
+	}
+	d.stats.TxPackets++
+	d.stats.TxBytes += uint64(len(frame))
+	peer := d.peer
+	wire := d.wire
+	hook := d.txHook
+	d.mu.Unlock()
+
+	if hook != nil && hook(frame, m) {
+		return
+	}
+
+	switch {
+	case peer != nil:
+		// Copy across the wire: the two ends must not alias memory.
+		peer.Receive(append([]byte(nil), frame...), m)
+	case wire != nil:
+		wire.Send(d, append([]byte(nil), frame...), m)
+	default:
+		d.mu.Lock()
+		d.stats.TxDropped++
+		d.mu.Unlock()
+	}
+}
+
+// Receive processes a frame arriving from the wire: tap, XDP program (if
+// any), then delivery into the stack. This is the driver RX path.
+func (d *Device) Receive(frame []byte, m *sim.Meter) {
+	d.mu.Lock()
+	if !d.up {
+		d.stats.RxDropped++
+		d.mu.Unlock()
+		return
+	}
+	d.stats.RxPackets++
+	d.stats.RxBytes += uint64(len(frame))
+	tap := d.Tap
+	d.mu.Unlock()
+
+	if tap != nil {
+		tap(frame)
+	}
+	m.ChargeBytes(len(frame))
+
+	if slot := d.xdp.Load(); slot != nil {
+		buff := &XDPBuff{Data: frame, IfIndex: d.Index, Meter: m}
+		switch act := slot.h.HandleXDP(buff); act {
+		case XDPDrop, XDPAborted:
+			d.mu.Lock()
+			d.stats.XDPDrops++
+			d.mu.Unlock()
+			return
+		case XDPTx:
+			d.mu.Lock()
+			d.stats.XDPTx++
+			d.mu.Unlock()
+			m.Charge(sim.CostXDPTx)
+			d.Transmit(buff.Data, m)
+			return
+		case XDPRedirect:
+			d.mu.Lock()
+			d.stats.XDPRedirects++
+			d.mu.Unlock()
+			if d.stack == nil {
+				return
+			}
+			if out, ok := d.stack.DeviceByIndex(buff.RedirectTo); ok {
+				m.Charge(sim.CostXDPRedirect)
+				out.Transmit(buff.Data, m)
+			}
+			return
+		case XDPPass:
+			m.Charge(sim.CostXDPPass)
+			frame = buff.Data // program may have adjusted the frame
+		}
+	}
+	if d.stack != nil {
+		d.stack.DeliverFrame(d, frame, m)
+	}
+}
+
+// InjectLocal is used by traffic generators attached directly to a device:
+// the frame enters the device's RX path as if it arrived from the wire.
+func (d *Device) InjectLocal(frame []byte, m *sim.Meter) {
+	d.Receive(frame, m)
+}

@@ -1,0 +1,66 @@
+package netdev
+
+import (
+	"sync"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Switch is a simple learning Ethernet switch used to build LAN segments
+// (e.g. the 3-node Kubernetes cluster's top-of-rack). It is infrastructure,
+// not a device under test: it learns source MACs and floods unknowns.
+type Switch struct {
+	mu    sync.Mutex
+	ports []*Device
+	fdb   map[packet.HWAddr]*Device
+}
+
+var _ Wire = (*Switch)(nil)
+
+// NewSwitch returns an empty switch.
+func NewSwitch() *Switch {
+	return &Switch{fdb: make(map[packet.HWAddr]*Device)}
+}
+
+// Attach plugs a device into the switch.
+func (s *Switch) Attach(d *Device) {
+	s.mu.Lock()
+	s.ports = append(s.ports, d)
+	s.mu.Unlock()
+	d.AttachWire(s)
+}
+
+// Send implements Wire: learn the source, then forward or flood.
+func (s *Switch) Send(from *Device, frame []byte, m *sim.Meter) {
+	if len(frame) < packet.EthHdrLen {
+		return
+	}
+	dst, src := packet.EthDst(frame), packet.EthSrc(frame)
+
+	s.mu.Lock()
+	if !src.IsMulticast() {
+		s.fdb[src] = from
+	}
+	var targets []*Device
+	if out, ok := s.fdb[dst]; ok && !dst.IsMulticast() {
+		if out != from {
+			targets = []*Device{out}
+		}
+	} else {
+		for _, p := range s.ports {
+			if p != from {
+				targets = append(targets, p)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	for i, tgt := range targets {
+		f := frame
+		if i < len(targets)-1 {
+			f = append([]byte(nil), frame...)
+		}
+		tgt.Receive(f, m)
+	}
+}

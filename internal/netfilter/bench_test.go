@@ -1,0 +1,42 @@
+package netfilter
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+func BenchmarkChainEval100Rules(b *testing.B) {
+	nf := New()
+	for i := 0; i < 100; i++ {
+		p := packet.Prefix{Addr: packet.AddrFrom4(203, 0, byte(i), 0), Bits: 24}
+		nf.Append("FORWARD", Rule{Match: Match{Src: &p}, Target: VerdictDrop})
+	}
+	m := &Meta{Src: packet.MustAddr("8.8.8.8"), Dst: packet.MustAddr("1.1.1.1"), Proto: packet.ProtoUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nf.EvaluateHook(HookForward, m)
+	}
+}
+
+func BenchmarkIpsetContains(b *testing.B) {
+	s, _ := NewIPSet("bl", "hash:net")
+	for i := 0; i < 1000; i++ {
+		s.Add(packet.Prefix{Addr: packet.AddrFrom4(byte(i), byte(i>>2), 0, 0), Bits: 16})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(packet.Addr(uint32(i) * 2654435761))
+	}
+}
+
+func BenchmarkConntrackTrack(b *testing.B) {
+	ct := NewConntrack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.Track(Tuple{Src: packet.Addr(i % 512), Dst: 2, Proto: packet.ProtoTCP, SrcPort: uint16(i), DstPort: 80}, 0)
+	}
+}

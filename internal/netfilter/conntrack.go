@@ -1,0 +1,157 @@
+package netfilter
+
+import (
+	"sync"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// CTState is a connection-tracking state as seen by rule matches.
+type CTState int
+
+// Conntrack states (condensed from the kernel's set).
+const (
+	CTNew CTState = iota + 1
+	CTEstablished
+	CTRelated
+)
+
+func (s CTState) String() string {
+	switch s {
+	case CTNew:
+		return "NEW"
+	case CTEstablished:
+		return "ESTABLISHED"
+	case CTRelated:
+		return "RELATED"
+	default:
+		return "ANY"
+	}
+}
+
+// Tuple identifies one direction of a flow.
+type Tuple struct {
+	Src, Dst         packet.Addr
+	Proto            uint8
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the reply-direction tuple.
+func (t Tuple) Reverse() Tuple {
+	return Tuple{Src: t.Dst, Dst: t.Src, Proto: t.Proto, SrcPort: t.DstPort, DstPort: t.SrcPort}
+}
+
+// Direction of a packet relative to its flow.
+type Direction int
+
+// Flow directions.
+const (
+	DirOriginal Direction = iota + 1
+	DirReply
+)
+
+// Conn is one tracked connection.
+type Conn struct {
+	Orig     Tuple
+	State    CTState
+	Packets  [2]uint64 // per direction
+	LastSeen sim.Time
+}
+
+// DefaultCTTimeout is the idle expiry for tracked flows.
+const DefaultCTTimeout = 120 * sim.Second
+
+// Conntrack is the connection tracking table. Both directions of a flow map
+// to the same Conn — the tuple-symmetry invariant the tests check.
+type Conntrack struct {
+	mu      sync.Mutex
+	conns   map[Tuple]*Conn // both tuple directions index the same *Conn
+	timeout sim.Duration
+}
+
+// NewConntrack returns an empty tracker.
+func NewConntrack() *Conntrack {
+	return &Conntrack{conns: make(map[Tuple]*Conn), timeout: DefaultCTTimeout}
+}
+
+// SetTimeout overrides the idle expiry (for tests).
+func (ct *Conntrack) SetTimeout(d sim.Duration) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.timeout = d
+}
+
+// Track processes one packet: it finds or creates the flow, updates
+// counters and state, and returns the packet's conntrack state and
+// direction. A packet in the reply direction of a NEW flow confirms it
+// ESTABLISHED, as in the kernel.
+func (ct *Conntrack) Track(t Tuple, now sim.Time) (CTState, Direction) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if c, ok := ct.conns[t]; ok && !ct.expiredLocked(c, now) {
+		dir := DirOriginal
+		if t == c.Orig.Reverse() && t != c.Orig {
+			dir = DirReply
+		}
+		if dir == DirReply && c.State == CTNew {
+			c.State = CTEstablished
+		}
+		c.Packets[dir-1]++
+		c.LastSeen = now
+		return c.State, dir
+	}
+	c := &Conn{Orig: t, State: CTNew, LastSeen: now}
+	c.Packets[0] = 1
+	ct.conns[t] = c
+	ct.conns[t.Reverse()] = c
+	return CTNew, DirOriginal
+}
+
+// Lookup returns the flow for a tuple without mutating it.
+func (ct *Conntrack) Lookup(t Tuple, now sim.Time) (Conn, Direction, bool) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	c, ok := ct.conns[t]
+	if !ok || ct.expiredLocked(c, now) {
+		return Conn{}, 0, false
+	}
+	dir := DirOriginal
+	if t == c.Orig.Reverse() && t != c.Orig {
+		dir = DirReply
+	}
+	return *c, dir, true
+}
+
+// Expire sweeps idle flows, reporting how many connections were removed.
+func (ct *Conntrack) Expire(now sim.Time) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	seen := make(map[*Conn]bool)
+	removed := 0
+	for tup, c := range ct.conns {
+		if ct.expiredLocked(c, now) {
+			delete(ct.conns, tup)
+			if !seen[c] {
+				seen[c] = true
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Len reports the number of tracked connections.
+func (ct *Conntrack) Len() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	seen := make(map[*Conn]bool)
+	for _, c := range ct.conns {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+func (ct *Conntrack) expiredLocked(c *Conn, now sim.Time) bool {
+	return now.Sub(c.LastSeen) > ct.timeout
+}

@@ -1,0 +1,152 @@
+package netfilter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"linuxfp/internal/packet"
+)
+
+// IPSet is a named hash:net set: membership testing probes one hash table
+// per distinct prefix length present, like the kernel implementation — so a
+// 100-entry /32 blacklist is a single probe, which is exactly why
+// aggregating iptables rules into an ipset flattens Fig. 8's scaling curve.
+type IPSet struct {
+	Name string
+	Type string // "hash:ip" or "hash:net"
+
+	mu      sync.RWMutex
+	byBits  map[int]map[packet.Addr]bool // prefix length -> masked addr set
+	bitsAsc []int                        // distinct lengths, ascending
+}
+
+// NewIPSet creates a set of the given type ("hash:ip" or "hash:net").
+func NewIPSet(name, typ string) (*IPSet, error) {
+	if typ != "hash:ip" && typ != "hash:net" {
+		return nil, fmt.Errorf("netfilter: unsupported set type %q", typ)
+	}
+	return &IPSet{Name: name, Type: typ, byBits: make(map[int]map[packet.Addr]bool)}, nil
+}
+
+// Add inserts a prefix (a /32 for hash:ip sets).
+func (s *IPSet) Add(p packet.Prefix) error {
+	if s.Type == "hash:ip" && p.Bits != 32 {
+		return fmt.Errorf("netfilter: hash:ip set %q only holds /32s", s.Name)
+	}
+	p = p.Masked()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.byBits[p.Bits]
+	if !ok {
+		m = make(map[packet.Addr]bool)
+		s.byBits[p.Bits] = m
+		s.bitsAsc = append(s.bitsAsc, p.Bits)
+		sort.Ints(s.bitsAsc)
+	}
+	m[p.Addr] = true
+	return nil
+}
+
+// Del removes a prefix, reporting whether it was present.
+func (s *IPSet) Del(p packet.Prefix) bool {
+	p = p.Masked()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.byBits[p.Bits]
+	if !ok || !m[p.Addr] {
+		return false
+	}
+	delete(m, p.Addr)
+	return true
+}
+
+// Contains reports whether addr matches any member prefix.
+func (s *IPSet) Contains(addr packet.Addr) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Probe longest prefixes first, like the kernel (most specific wins;
+	// for plain membership any hit suffices).
+	for i := len(s.bitsAsc) - 1; i >= 0; i-- {
+		bits := s.bitsAsc[i]
+		masked := addr & packet.Prefix{Bits: bits}.Mask()
+		if s.byBits[bits][masked] {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of member prefixes.
+func (s *IPSet) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, m := range s.byBits {
+		n += len(m)
+	}
+	return n
+}
+
+// Members returns the member prefixes in sorted order.
+func (s *IPSet) Members() []packet.Prefix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []packet.Prefix
+	for bits, m := range s.byBits {
+		for a := range m {
+			out = append(out, packet.Prefix{Addr: a, Bits: bits})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out
+}
+
+// CreateSet registers a new named set (ipset create).
+func (nf *Netfilter) CreateSet(name, typ string) (*IPSet, error) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if _, ok := nf.sets[name]; ok {
+		return nil, fmt.Errorf("netfilter: set %q exists", name)
+	}
+	s, err := NewIPSet(name, typ)
+	if err != nil {
+		return nil, err
+	}
+	nf.sets[name] = s
+	return s, nil
+}
+
+// Set returns a named set.
+func (nf *Netfilter) Set(name string) (*IPSet, bool) {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	s, ok := nf.sets[name]
+	return s, ok
+}
+
+// DestroySet removes a named set (ipset destroy).
+func (nf *Netfilter) DestroySet(name string) bool {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	_, ok := nf.sets[name]
+	delete(nf.sets, name)
+	return ok
+}
+
+// Sets lists set names in sorted order.
+func (nf *Netfilter) Sets() []string {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	out := make([]string, 0, len(nf.sets))
+	for n := range nf.sets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

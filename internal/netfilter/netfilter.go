@@ -1,0 +1,431 @@
+// Package netfilter implements the kernel's iptables-style packet filtering:
+// tables of chains evaluated linearly at hook points, user-defined chains
+// with jump/return semantics, ipset aggregation, and a connection tracker.
+//
+// Rule state lives here once: the slow path evaluates chains in ip_rcv /
+// ip_forward, and the fast path's bpf_ipt_lookup helper evaluates the very
+// same chains (with fewer per-rule cycles — it skips the sk_buff plumbing).
+// Evaluation returns work counts so each path can charge its own cost model.
+package netfilter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"linuxfp/internal/packet"
+)
+
+// Hook identifies a netfilter evaluation point.
+type Hook int
+
+// The five IPv4 netfilter hooks.
+const (
+	HookPrerouting Hook = iota + 1
+	HookInput
+	HookForward
+	HookOutput
+	HookPostrouting
+)
+
+func (h Hook) String() string {
+	switch h {
+	case HookPrerouting:
+		return "PREROUTING"
+	case HookInput:
+		return "INPUT"
+	case HookForward:
+		return "FORWARD"
+	case HookOutput:
+		return "OUTPUT"
+	case HookPostrouting:
+		return "POSTROUTING"
+	default:
+		return fmt.Sprintf("hook(%d)", int(h))
+	}
+}
+
+// Verdict is a rule or chain outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictNone Verdict = iota // no rule matched; chain policy applies
+	VerdictAccept
+	VerdictDrop
+	VerdictReturn
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "ACCEPT"
+	case VerdictDrop:
+		return "DROP"
+	case VerdictReturn:
+		return "RETURN"
+	default:
+		return "NONE"
+	}
+}
+
+// Meta is the packet summary rules match against.
+type Meta struct {
+	Src, Dst packet.Addr
+	Proto    uint8
+	SrcPort  uint16
+	DstPort  uint16
+	InIf     int
+	OutIf    int
+	Fragment bool
+	CTState  CTState // set by conntrack when enabled
+}
+
+// Match is the conjunction of criteria on one rule. Zero values mean "any".
+type Match struct {
+	Src     *packet.Prefix
+	Dst     *packet.Prefix
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+	InIf    int
+	OutIf   int
+	SrcSet  string // match source against a named ipset
+	DstSet  string
+	CTState CTState // match conntrack state (0 = any)
+}
+
+// Rule is one iptables rule: a match plus a target.
+type Rule struct {
+	Match   Match
+	Target  Verdict // VerdictNone + JumpChain set means a jump
+	Jump    string  // user chain to jump to, when Target == VerdictNone
+	Packets uint64  // counters, maintained on evaluation
+	Bytes   uint64
+	Comment string
+}
+
+// Chain is an ordered rule list with a policy for built-in chains.
+type Chain struct {
+	Name    string
+	Policy  Verdict // only meaningful for built-in chains
+	BuiltIn bool
+	Rules   []*Rule
+}
+
+// EvalStats counts the work one evaluation performed, so the caller can
+// charge the appropriate cost model (slow path vs bpf_ipt_lookup).
+type EvalStats struct {
+	RulesEvaluated int
+	SetProbes      int
+	CTLookups      int
+}
+
+// maxJumpDepth bounds user-chain recursion (iptables enforces this too).
+const maxJumpDepth = 16
+
+// ErrNoChain reports an operation on a chain that does not exist.
+var ErrNoChain = errors.New("netfilter: no such chain")
+
+// Netfilter is the filtering state of one namespace: the filter table's
+// chains, named ipsets, and the conntrack table.
+type Netfilter struct {
+	mu     sync.RWMutex
+	chains map[string]*Chain
+	hooks  map[Hook]string // hook -> built-in chain name
+	sets   map[string]*IPSet
+
+	Conntrack *Conntrack
+}
+
+// New returns a Netfilter with the standard filter-table chains, all with
+// ACCEPT policy and no rules — the state of a fresh kernel.
+func New() *Netfilter {
+	nf := &Netfilter{
+		chains: make(map[string]*Chain),
+		hooks: map[Hook]string{
+			HookPrerouting:  "PREROUTING",
+			HookInput:       "INPUT",
+			HookForward:     "FORWARD",
+			HookOutput:      "OUTPUT",
+			HookPostrouting: "POSTROUTING",
+		},
+		sets:      make(map[string]*IPSet),
+		Conntrack: NewConntrack(),
+	}
+	// The model merges the filter and nat tables into one five-chain view:
+	// PREROUTING/POSTROUTING exist so kube-proxy-style plumbing has its
+	// real per-packet cost.
+	for _, name := range []string{"PREROUTING", "INPUT", "FORWARD", "OUTPUT", "POSTROUTING"} {
+		nf.chains[name] = &Chain{Name: name, Policy: VerdictAccept, BuiltIn: true}
+	}
+	return nf
+}
+
+// NewChain creates a user-defined chain (iptables -N).
+func (nf *Netfilter) NewChain(name string) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if _, ok := nf.chains[name]; ok {
+		return fmt.Errorf("netfilter: chain %q exists", name)
+	}
+	nf.chains[name] = &Chain{Name: name}
+	return nil
+}
+
+// Append adds a rule to the end of a chain (iptables -A).
+func (nf *Netfilter) Append(chain string, r Rule) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	c, ok := nf.chains[chain]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoChain, chain)
+	}
+	rc := r
+	c.Rules = append(c.Rules, &rc)
+	return nil
+}
+
+// Insert adds a rule at 1-based position pos (iptables -I).
+func (nf *Netfilter) Insert(chain string, pos int, r Rule) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	c, ok := nf.chains[chain]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoChain, chain)
+	}
+	if pos < 1 || pos > len(c.Rules)+1 {
+		return fmt.Errorf("netfilter: position %d out of range", pos)
+	}
+	rc := r
+	c.Rules = append(c.Rules, nil)
+	copy(c.Rules[pos:], c.Rules[pos-1:])
+	c.Rules[pos-1] = &rc
+	return nil
+}
+
+// Delete removes the rule at 1-based position pos (iptables -D chain N).
+func (nf *Netfilter) Delete(chain string, pos int) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	c, ok := nf.chains[chain]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoChain, chain)
+	}
+	if pos < 1 || pos > len(c.Rules) {
+		return fmt.Errorf("netfilter: position %d out of range", pos)
+	}
+	c.Rules = append(c.Rules[:pos-1], c.Rules[pos:]...)
+	return nil
+}
+
+// Flush removes all rules from a chain (iptables -F chain).
+func (nf *Netfilter) Flush(chain string) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	c, ok := nf.chains[chain]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoChain, chain)
+	}
+	c.Rules = nil
+	return nil
+}
+
+// SetPolicy sets a built-in chain's policy (iptables -P).
+func (nf *Netfilter) SetPolicy(chain string, v Verdict) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	c, ok := nf.chains[chain]
+	if !ok || !c.BuiltIn {
+		return fmt.Errorf("%w: built-in %q", ErrNoChain, chain)
+	}
+	c.Policy = v
+	return nil
+}
+
+// Chain returns a snapshot copy of a chain's rules.
+func (nf *Netfilter) Chain(name string) (Chain, bool) {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	c, ok := nf.chains[name]
+	if !ok {
+		return Chain{}, false
+	}
+	out := Chain{Name: c.Name, Policy: c.Policy, BuiltIn: c.BuiltIn}
+	out.Rules = make([]*Rule, len(c.Rules))
+	for i, r := range c.Rules {
+		rc := *r
+		out.Rules[i] = &rc
+	}
+	return out, true
+}
+
+// Chains lists chain names in sorted order.
+func (nf *Netfilter) Chains() []string {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	out := make([]string, 0, len(nf.chains))
+	for n := range nf.chains {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleCount reports the number of rules on a chain (0 for unknown chains).
+func (nf *Netfilter) RuleCount(chain string) int {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	c, ok := nf.chains[chain]
+	if !ok {
+		return 0
+	}
+	return len(c.Rules)
+}
+
+// CTRequired reports whether any rule matches on conntrack state — only
+// then does the stack pay for connection tracking (Linux loads nf_conntrack
+// on demand the same way).
+func (nf *Netfilter) CTRequired() bool {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	for _, c := range nf.chains {
+		for _, r := range c.Rules {
+			if r.Match.CTState != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasTerminalDrop reports whether a chain (or a chain it jumps to) can
+// drop packets — the controller refuses to skip such a chain in the fast
+// path.
+func (nf *Netfilter) HasTerminalDrop(chain string) bool {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	return nf.hasDropLocked(chain, 0)
+}
+
+func (nf *Netfilter) hasDropLocked(chain string, depth int) bool {
+	c, ok := nf.chains[chain]
+	if !ok || depth > maxJumpDepth {
+		return false
+	}
+	if c.BuiltIn && c.Policy == VerdictDrop {
+		return true
+	}
+	for _, r := range c.Rules {
+		if r.Target == VerdictDrop {
+			return true
+		}
+		if r.Jump != "" && nf.hasDropLocked(r.Jump, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalRules reports the number of rules across all chains.
+func (nf *Netfilter) TotalRules() int {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	n := 0
+	for _, c := range nf.chains {
+		n += len(c.Rules)
+	}
+	return n
+}
+
+// EvaluateHook runs the chain registered at the hook against the packet,
+// returning the final verdict and work counts. Hooks with no registered
+// chain (PREROUTING/POSTROUTING in the plain filter table) accept for free.
+func (nf *Netfilter) EvaluateHook(h Hook, m *Meta) (Verdict, EvalStats) {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	name, ok := nf.hooks[h]
+	if !ok {
+		return VerdictAccept, EvalStats{}
+	}
+	var st EvalStats
+	v := nf.evalChainLocked(nf.chains[name], m, &st, 0)
+	if v == VerdictNone || v == VerdictReturn {
+		v = nf.chains[name].Policy
+	}
+	return v, st
+}
+
+func (nf *Netfilter) evalChainLocked(c *Chain, m *Meta, st *EvalStats, depth int) Verdict {
+	if c == nil || depth > maxJumpDepth {
+		return VerdictNone
+	}
+	for _, r := range c.Rules {
+		st.RulesEvaluated++
+		if !nf.matchLocked(&r.Match, m, st) {
+			continue
+		}
+		r.Packets++
+		if r.Jump != "" {
+			v := nf.evalChainLocked(nf.chains[r.Jump], m, st, depth+1)
+			if v == VerdictAccept || v == VerdictDrop {
+				return v
+			}
+			continue // RETURN or fell off the end: resume this chain
+		}
+		if r.Target == VerdictReturn {
+			return VerdictReturn
+		}
+		if r.Target != VerdictNone {
+			return r.Target
+		}
+	}
+	return VerdictNone
+}
+
+func (nf *Netfilter) matchLocked(mt *Match, m *Meta, st *EvalStats) bool {
+	if mt.Proto != 0 && mt.Proto != m.Proto {
+		return false
+	}
+	if mt.Src != nil && !mt.Src.Contains(m.Src) {
+		return false
+	}
+	if mt.Dst != nil && !mt.Dst.Contains(m.Dst) {
+		return false
+	}
+	// Port matches never apply to non-first fragments: L4 header is absent.
+	if (mt.SrcPort != 0 || mt.DstPort != 0) && m.Fragment {
+		return false
+	}
+	if mt.SrcPort != 0 && mt.SrcPort != m.SrcPort {
+		return false
+	}
+	if mt.DstPort != 0 && mt.DstPort != m.DstPort {
+		return false
+	}
+	if mt.InIf != 0 && mt.InIf != m.InIf {
+		return false
+	}
+	if mt.OutIf != 0 && mt.OutIf != m.OutIf {
+		return false
+	}
+	if mt.CTState != 0 && mt.CTState != m.CTState {
+		return false
+	}
+	if mt.SrcSet != "" {
+		st.SetProbes++
+		s, ok := nf.sets[mt.SrcSet]
+		if !ok || !s.Contains(m.Src) {
+			return false
+		}
+	}
+	if mt.DstSet != "" {
+		st.SetProbes++
+		s, ok := nf.sets[mt.DstSet]
+		if !ok || !s.Contains(m.Dst) {
+			return false
+		}
+	}
+	return true
+}

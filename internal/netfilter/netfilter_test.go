@@ -1,0 +1,525 @@
+package netfilter
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+func pfx(s string) *packet.Prefix {
+	p := packet.MustPrefix(s)
+	return &p
+}
+
+func metaFor(src, dst string) *Meta {
+	return &Meta{Src: packet.MustAddr(src), Dst: packet.MustAddr(dst), Proto: packet.ProtoUDP}
+}
+
+func TestEmptyChainsAccept(t *testing.T) {
+	nf := New()
+	for _, h := range []Hook{HookPrerouting, HookInput, HookForward, HookOutput, HookPostrouting} {
+		v, st := nf.EvaluateHook(h, metaFor("1.1.1.1", "2.2.2.2"))
+		if v != VerdictAccept || st.RulesEvaluated != 0 {
+			t.Errorf("hook %v: %v %+v", h, v, st)
+		}
+	}
+}
+
+func TestDropRuleMatches(t *testing.T) {
+	nf := New()
+	if err := nf.Append("FORWARD", Rule{Match: Match{Dst: pfx("10.10.3.0/24")}, Target: VerdictDrop}); err != nil {
+		t.Fatal(err)
+	}
+	v, st := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "10.10.3.9"))
+	if v != VerdictDrop || st.RulesEvaluated != 1 {
+		t.Fatalf("got %v %+v", v, st)
+	}
+	v, _ = nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "10.10.4.9"))
+	if v != VerdictAccept {
+		t.Fatalf("non-matching packet: %v", v)
+	}
+}
+
+func TestLinearEvaluationCountsRules(t *testing.T) {
+	nf := New()
+	for i := 0; i < 100; i++ {
+		nf.Append("FORWARD", Rule{Match: Match{Dst: pfx("192.0.2.0/24")}, Target: VerdictDrop})
+	}
+	// Non-matching traffic walks all 100 rules — the Fig. 8 cost.
+	_, st := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "8.8.8.8"))
+	if st.RulesEvaluated != 100 {
+		t.Fatalf("evaluated %d rules, want 100", st.RulesEvaluated)
+	}
+	// Matching traffic stops at the first rule.
+	_, st = nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "192.0.2.1"))
+	if st.RulesEvaluated != 1 {
+		t.Fatalf("evaluated %d rules, want 1", st.RulesEvaluated)
+	}
+}
+
+func TestPolicyApplies(t *testing.T) {
+	nf := New()
+	if err := nf.SetPolicy("FORWARD", VerdictDrop); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "2.2.2.2"))
+	if v != VerdictDrop {
+		t.Fatalf("policy not applied: %v", v)
+	}
+	nf.Append("FORWARD", Rule{Match: Match{Src: pfx("1.1.1.1/32")}, Target: VerdictAccept})
+	v, _ = nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "2.2.2.2"))
+	if v != VerdictAccept {
+		t.Fatalf("accept rule should override drop policy: %v", v)
+	}
+	if err := nf.SetPolicy("nope", VerdictDrop); err == nil {
+		t.Fatal("policy on unknown chain succeeded")
+	}
+}
+
+func TestUserChainJumpAndReturn(t *testing.T) {
+	nf := New()
+	if err := nf.NewChain("BLACKLIST"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nf.NewChain("BLACKLIST"); err == nil {
+		t.Fatal("duplicate chain created")
+	}
+	nf.Append("BLACKLIST", Rule{Match: Match{Src: pfx("203.0.113.0/24")}, Target: VerdictDrop})
+	nf.Append("BLACKLIST", Rule{Target: VerdictReturn})
+	nf.Append("FORWARD", Rule{Jump: "BLACKLIST"})
+	nf.Append("FORWARD", Rule{Match: Match{Dst: pfx("10.0.0.0/8")}, Target: VerdictDrop})
+
+	// Blacklisted source dropped inside the user chain.
+	v, _ := nf.EvaluateHook(HookForward, metaFor("203.0.113.5", "2.2.2.2"))
+	if v != VerdictDrop {
+		t.Fatalf("blacklist: %v", v)
+	}
+	// Non-blacklisted returns and continues: second FORWARD rule applies.
+	v, _ = nf.EvaluateHook(HookForward, metaFor("9.9.9.9", "10.1.1.1"))
+	if v != VerdictDrop {
+		t.Fatalf("post-return rule: %v", v)
+	}
+	v, _ = nf.EvaluateHook(HookForward, metaFor("9.9.9.9", "11.1.1.1"))
+	if v != VerdictAccept {
+		t.Fatalf("clean traffic: %v", v)
+	}
+}
+
+func TestJumpDepthBounded(t *testing.T) {
+	nf := New()
+	nf.NewChain("LOOP")
+	nf.Append("LOOP", Rule{Jump: "LOOP"}) // malicious self-jump
+	nf.Append("FORWARD", Rule{Jump: "LOOP"})
+	v, st := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "2.2.2.2"))
+	if v != VerdictAccept {
+		t.Fatalf("looping chain verdict: %v", v)
+	}
+	if st.RulesEvaluated > maxJumpDepth+5 {
+		t.Fatalf("loop not bounded: %d rules evaluated", st.RulesEvaluated)
+	}
+}
+
+func TestMatchFields(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Match: Match{
+		Proto: packet.ProtoTCP, DstPort: 443, InIf: 2, OutIf: 3,
+	}, Target: VerdictDrop})
+
+	m := &Meta{Src: 1, Dst: 2, Proto: packet.ProtoTCP, DstPort: 443, InIf: 2, OutIf: 3}
+	if v, _ := nf.EvaluateHook(HookForward, m); v != VerdictDrop {
+		t.Fatal("full match failed")
+	}
+	for _, mut := range []func(*Meta){
+		func(m *Meta) { m.Proto = packet.ProtoUDP },
+		func(m *Meta) { m.DstPort = 80 },
+		func(m *Meta) { m.InIf = 9 },
+		func(m *Meta) { m.OutIf = 9 },
+	} {
+		mm := *m
+		mut(&mm)
+		if v, _ := nf.EvaluateHook(HookForward, &mm); v != VerdictAccept {
+			t.Fatalf("mutation should miss: %+v", mm)
+		}
+	}
+}
+
+func TestFragmentSkipsPortMatch(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Match: Match{DstPort: 53}, Target: VerdictDrop})
+	m := &Meta{Proto: packet.ProtoUDP, DstPort: 53, Fragment: true}
+	if v, _ := nf.EvaluateHook(HookForward, m); v != VerdictAccept {
+		t.Fatal("port match must not apply to fragments")
+	}
+}
+
+func TestInsertDeleteFlushRules(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Comment: "a", Target: VerdictAccept})
+	nf.Append("FORWARD", Rule{Comment: "c", Target: VerdictAccept})
+	if err := nf.Insert("FORWARD", 2, Rule{Comment: "b", Target: VerdictAccept}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := nf.Chain("FORWARD")
+	if c.Rules[0].Comment != "a" || c.Rules[1].Comment != "b" || c.Rules[2].Comment != "c" {
+		t.Fatalf("order: %v %v %v", c.Rules[0].Comment, c.Rules[1].Comment, c.Rules[2].Comment)
+	}
+	if err := nf.Delete("FORWARD", 2); err != nil {
+		t.Fatal(err)
+	}
+	if nf.RuleCount("FORWARD") != 2 {
+		t.Fatalf("count %d", nf.RuleCount("FORWARD"))
+	}
+	if err := nf.Delete("FORWARD", 5); err == nil {
+		t.Fatal("out-of-range delete succeeded")
+	}
+	if err := nf.Insert("FORWARD", 0, Rule{}); err == nil {
+		t.Fatal("position 0 insert succeeded")
+	}
+	if err := nf.Flush("FORWARD"); err != nil {
+		t.Fatal(err)
+	}
+	if nf.RuleCount("FORWARD") != 0 {
+		t.Fatal("flush left rules")
+	}
+	if err := nf.Append("nope", Rule{}); !errors.Is(err, ErrNoChain) {
+		t.Fatalf("append to unknown chain: %v", err)
+	}
+}
+
+func TestRuleCountersIncrement(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Match: Match{Dst: pfx("10.0.0.0/8")}, Target: VerdictDrop})
+	for i := 0; i < 5; i++ {
+		nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "10.0.0.1"))
+	}
+	nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "11.0.0.1"))
+	c, _ := nf.Chain("FORWARD")
+	if c.Rules[0].Packets != 5 {
+		t.Fatalf("counter %d, want 5", c.Rules[0].Packets)
+	}
+}
+
+func TestChainSnapshotIsCopy(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Target: VerdictDrop})
+	c, _ := nf.Chain("FORWARD")
+	c.Rules[0].Target = VerdictAccept
+	v, _ := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "2.2.2.2"))
+	if v != VerdictDrop {
+		t.Fatal("snapshot mutation leaked into live chain")
+	}
+	if _, ok := nf.Chain("nope"); ok {
+		t.Fatal("unknown chain returned")
+	}
+	chains := nf.Chains()
+	if len(chains) != 5 || chains[0] != "FORWARD" {
+		t.Fatalf("chains: %v", chains)
+	}
+}
+
+func TestIPSetBasics(t *testing.T) {
+	s, err := NewIPSet("bl", "hash:net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(packet.MustPrefix("203.0.113.0/24"))
+	s.Add(packet.MustPrefix("198.51.100.7/32"))
+	if !s.Contains(packet.MustAddr("203.0.113.99")) {
+		t.Fatal("net member missed")
+	}
+	if !s.Contains(packet.MustAddr("198.51.100.7")) {
+		t.Fatal("host member missed")
+	}
+	if s.Contains(packet.MustAddr("198.51.100.8")) {
+		t.Fatal("false positive")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if !s.Del(packet.MustPrefix("203.0.113.0/24")) || s.Del(packet.MustPrefix("203.0.113.0/24")) {
+		t.Fatal("del semantics wrong")
+	}
+	if s.Contains(packet.MustAddr("203.0.113.99")) {
+		t.Fatal("deleted member still matches")
+	}
+}
+
+func TestIPSetTypeRules(t *testing.T) {
+	if _, err := NewIPSet("x", "list:set"); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+	s, _ := NewIPSet("ips", "hash:ip")
+	if err := s.Add(packet.MustPrefix("10.0.0.0/24")); err == nil {
+		t.Fatal("hash:ip accepted a net")
+	}
+	if err := s.Add(packet.MustPrefix("10.0.0.1/32")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIPSetMatchesLinearReference: set membership must equal a linear scan
+// of the member prefixes for random probes.
+func TestIPSetMatchesLinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, _ := NewIPSet("ref", "hash:net")
+	var members []packet.Prefix
+	for i := 0; i < 200; i++ {
+		p := packet.Prefix{Addr: packet.Addr(rng.Uint32()), Bits: 8 + rng.Intn(25)}.Masked()
+		members = append(members, p)
+		s.Add(p)
+	}
+	for i := 0; i < 2000; i++ {
+		probe := packet.Addr(rng.Uint32())
+		if i%3 == 0 {
+			probe = members[rng.Intn(len(members))].Addr | packet.Addr(rng.Uint32()&0xff)
+		}
+		want := false
+		for _, m := range members {
+			if m.Contains(probe) {
+				want = true
+				break
+			}
+		}
+		if got := s.Contains(probe); got != want {
+			t.Fatalf("probe %s: got %v want %v", probe, got, want)
+		}
+	}
+}
+
+func TestNetfilterSetRegistry(t *testing.T) {
+	nf := New()
+	s, err := nf.CreateSet("bl", "hash:net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf.CreateSet("bl", "hash:net"); err == nil {
+		t.Fatal("duplicate set created")
+	}
+	s.Add(packet.MustPrefix("10.0.0.0/8"))
+	got, ok := nf.Set("bl")
+	if !ok || got != s {
+		t.Fatal("set lookup failed")
+	}
+	if names := nf.Sets(); len(names) != 1 || names[0] != "bl" {
+		t.Fatalf("sets: %v", names)
+	}
+	if !nf.DestroySet("bl") || nf.DestroySet("bl") {
+		t.Fatal("destroy semantics wrong")
+	}
+}
+
+func TestRuleWithSetMatch(t *testing.T) {
+	nf := New()
+	s, _ := nf.CreateSet("blacklist", "hash:net")
+	for _, p := range []string{"203.0.113.0/24", "198.51.100.0/24"} {
+		s.Add(packet.MustPrefix(p))
+	}
+	nf.Append("FORWARD", Rule{Match: Match{SrcSet: "blacklist"}, Target: VerdictDrop})
+
+	v, st := nf.EvaluateHook(HookForward, metaFor("203.0.113.9", "2.2.2.2"))
+	if v != VerdictDrop || st.SetProbes != 1 {
+		t.Fatalf("set match: %v %+v", v, st)
+	}
+	v, st = nf.EvaluateHook(HookForward, metaFor("8.8.8.8", "2.2.2.2"))
+	if v != VerdictAccept || st.SetProbes != 1 || st.RulesEvaluated != 1 {
+		t.Fatalf("set miss: %v %+v — one rule with one probe replaces N rules", v, st)
+	}
+	// A rule naming a missing set never matches.
+	nf.Flush("FORWARD")
+	nf.Append("FORWARD", Rule{Match: Match{DstSet: "ghost"}, Target: VerdictDrop})
+	if v, _ := nf.EvaluateHook(HookForward, metaFor("1.1.1.1", "2.2.2.2")); v != VerdictAccept {
+		t.Fatal("missing set matched")
+	}
+}
+
+func TestConntrackFlowLifecycle(t *testing.T) {
+	ct := NewConntrack()
+	orig := Tuple{Src: 1, Dst: 2, Proto: packet.ProtoTCP, SrcPort: 1000, DstPort: 80}
+
+	st, dir := ct.Track(orig, 0)
+	if st != CTNew || dir != DirOriginal {
+		t.Fatalf("first packet: %v %v", st, dir)
+	}
+	st, dir = ct.Track(orig, 1)
+	if st != CTNew || dir != DirOriginal {
+		t.Fatalf("second original packet: %v %v", st, dir)
+	}
+	// Reply confirms the flow.
+	st, dir = ct.Track(orig.Reverse(), 2)
+	if st != CTEstablished || dir != DirReply {
+		t.Fatalf("reply packet: %v %v", st, dir)
+	}
+	st, _ = ct.Track(orig, 3)
+	if st != CTEstablished {
+		t.Fatalf("original after reply: %v", st)
+	}
+	if ct.Len() != 1 {
+		t.Fatalf("len %d", ct.Len())
+	}
+	c, dir, ok := ct.Lookup(orig.Reverse(), 3)
+	if !ok || dir != DirReply || c.Packets[0] != 3 || c.Packets[1] != 1 {
+		t.Fatalf("lookup: %+v dir=%v ok=%v", c, dir, ok)
+	}
+}
+
+func TestConntrackTupleSymmetry(t *testing.T) {
+	// Property: for random tuples, both directions resolve to a flow whose
+	// original tuple is one of the two, and direction is consistent.
+	rng := rand.New(rand.NewSource(11))
+	ct := NewConntrack()
+	for i := 0; i < 500; i++ {
+		tup := Tuple{
+			Src: packet.Addr(rng.Uint32()), Dst: packet.Addr(rng.Uint32()),
+			Proto: packet.ProtoUDP, SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32()),
+		}
+		if tup == tup.Reverse() {
+			continue
+		}
+		ct.Track(tup, 0)
+		c1, d1, ok1 := ct.Lookup(tup, 0)
+		c2, d2, ok2 := ct.Lookup(tup.Reverse(), 0)
+		if !ok1 || !ok2 {
+			t.Fatal("both directions must resolve")
+		}
+		if c1.Orig != c2.Orig {
+			t.Fatal("directions resolved to different flows")
+		}
+		if d1 != DirOriginal || d2 != DirReply {
+			t.Fatalf("directions: %v %v", d1, d2)
+		}
+	}
+}
+
+func TestConntrackExpiry(t *testing.T) {
+	ct := NewConntrack()
+	ct.SetTimeout(10)
+	tup := Tuple{Src: 1, Dst: 2, Proto: packet.ProtoUDP, SrcPort: 5, DstPort: 6}
+	ct.Track(tup, 0)
+	if _, _, ok := ct.Lookup(tup, 5); !ok {
+		t.Fatal("live flow missed")
+	}
+	if _, _, ok := ct.Lookup(tup, 20); ok {
+		t.Fatal("expired flow resolved")
+	}
+	if n := ct.Expire(20); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if ct.Len() != 0 {
+		t.Fatal("expire left flows")
+	}
+	// Re-tracking after expiry starts a fresh NEW flow.
+	st, _ := ct.Track(tup, 21)
+	if st != CTNew {
+		t.Fatalf("flow after expiry: %v", st)
+	}
+}
+
+func TestCTStateRuleMatch(t *testing.T) {
+	nf := New()
+	nf.Append("FORWARD", Rule{Match: Match{CTState: CTEstablished}, Target: VerdictAccept})
+	nf.Append("FORWARD", Rule{Match: Match{CTState: CTNew}, Target: VerdictDrop})
+
+	m := metaFor("1.1.1.1", "2.2.2.2")
+	m.CTState = CTNew
+	if v, _ := nf.EvaluateHook(HookForward, m); v != VerdictDrop {
+		t.Fatal("NEW should drop")
+	}
+	m.CTState = CTEstablished
+	if v, _ := nf.EvaluateHook(HookForward, m); v != VerdictAccept {
+		t.Fatal("ESTABLISHED should accept")
+	}
+}
+
+func TestStringsAndIntrospection(t *testing.T) {
+	for h, want := range map[Hook]string{
+		HookPrerouting: "PREROUTING", HookInput: "INPUT", HookForward: "FORWARD",
+		HookOutput: "OUTPUT", HookPostrouting: "POSTROUTING",
+	} {
+		if h.String() != want {
+			t.Errorf("%d -> %q", h, h.String())
+		}
+	}
+	if Hook(42).String() == "" {
+		t.Error("unknown hook should format")
+	}
+	for v, want := range map[Verdict]string{
+		VerdictAccept: "ACCEPT", VerdictDrop: "DROP", VerdictReturn: "RETURN", VerdictNone: "NONE",
+	} {
+		if v.String() != want {
+			t.Errorf("%d -> %q", v, v.String())
+		}
+	}
+	for s, want := range map[CTState]string{
+		CTNew: "NEW", CTEstablished: "ESTABLISHED", CTRelated: "RELATED", CTState(0): "ANY",
+	} {
+		if s.String() != want {
+			t.Errorf("%d -> %q", s, s.String())
+		}
+	}
+}
+
+func TestCTRequiredAndTotalRules(t *testing.T) {
+	nf := New()
+	if nf.CTRequired() {
+		t.Fatal("fresh table should not require conntrack")
+	}
+	nf.Append("FORWARD", Rule{Target: VerdictAccept})
+	if nf.CTRequired() {
+		t.Fatal("plain rule should not require conntrack")
+	}
+	nf.Append("INPUT", Rule{Match: Match{CTState: CTEstablished}, Target: VerdictAccept})
+	if !nf.CTRequired() {
+		t.Fatal("CT-state rule should require conntrack")
+	}
+	if nf.TotalRules() != 2 {
+		t.Fatalf("total %d", nf.TotalRules())
+	}
+}
+
+func TestHasTerminalDrop(t *testing.T) {
+	nf := New()
+	if nf.HasTerminalDrop("POSTROUTING") {
+		t.Fatal("empty chain cannot drop")
+	}
+	nf.Append("POSTROUTING", Rule{Target: VerdictAccept})
+	if nf.HasTerminalDrop("POSTROUTING") {
+		t.Fatal("accept-only chain cannot drop")
+	}
+	// Drop via a jumped-to user chain must be detected.
+	nf.NewChain("MASQ")
+	nf.Append("MASQ", Rule{Match: Match{Proto: packet.ProtoTCP}, Target: VerdictDrop})
+	nf.Append("POSTROUTING", Rule{Jump: "MASQ"})
+	if !nf.HasTerminalDrop("POSTROUTING") {
+		t.Fatal("drop through jump not detected")
+	}
+	// Policy DROP counts too.
+	nf2 := New()
+	nf2.SetPolicy("POSTROUTING", VerdictDrop)
+	if !nf2.HasTerminalDrop("POSTROUTING") {
+		t.Fatal("drop policy not detected")
+	}
+	// Jump loops terminate.
+	nf3 := New()
+	nf3.NewChain("LOOP")
+	nf3.Append("LOOP", Rule{Jump: "LOOP"})
+	nf3.Append("POSTROUTING", Rule{Jump: "LOOP"})
+	if nf3.HasTerminalDrop("POSTROUTING") {
+		t.Fatal("loop misdetected as drop")
+	}
+	if nf3.HasTerminalDrop("GHOST") {
+		t.Fatal("missing chain misdetected")
+	}
+}
+
+func TestIPSetMembers(t *testing.T) {
+	s, _ := NewIPSet("m", "hash:net")
+	for _, p := range []string{"10.2.0.0/16", "10.1.0.0/16", "192.168.0.0/24"} {
+		s.Add(packet.MustPrefix(p))
+	}
+	ms := s.Members()
+	if len(ms) != 3 || ms[0].String() != "10.1.0.0/16" || ms[2].String() != "192.168.0.0/24" {
+		t.Fatalf("members: %v", ms)
+	}
+}

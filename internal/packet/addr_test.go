@@ -1,0 +1,145 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.0.0.1", "192.168.1.255", "255.255.255.255", "127.0.0.1"}
+	for _, s := range cases {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "10.0.0", "10.0.0.0.0", "256.1.1.1", "a.b.c.d", "10.0.0.-1"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestAddrBytesRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		var b [4]byte
+		a.PutBytes(b[:])
+		return AddrFromBytes(b[:]) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrClassification(t *testing.T) {
+	if !MustAddr("224.0.0.1").IsMulticast() {
+		t.Error("224.0.0.1 should be multicast")
+	}
+	if MustAddr("223.255.255.255").IsMulticast() {
+		t.Error("223.255.255.255 should not be multicast")
+	}
+	if !MustAddr("255.255.255.255").IsBroadcast() {
+		t.Error("broadcast misdetected")
+	}
+	if !MustAddr("127.0.0.1").IsLoopback() {
+		t.Error("loopback misdetected")
+	}
+	if !Addr(0).IsZero() {
+		t.Error("zero misdetected")
+	}
+}
+
+func TestHWAddrParseAndString(t *testing.T) {
+	h, err := ParseHWAddr("02:42:ac:11:00:02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "02:42:ac:11:00:02" {
+		t.Fatalf("round trip got %q", h.String())
+	}
+	for _, s := range []string{"", "02:42:ac:11:00", "02:42:ac:11:00:02:03", "zz:42:ac:11:00:02"} {
+		if _, err := ParseHWAddr(s); err == nil {
+			t.Errorf("ParseHWAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestHWAddrClassification(t *testing.T) {
+	if !BroadcastHW.IsBroadcast() || !BroadcastHW.IsMulticast() {
+		t.Error("broadcast flags wrong")
+	}
+	if MustHWAddr("02:00:00:00:00:01").IsMulticast() {
+		t.Error("unicast misdetected as multicast")
+	}
+	if !MustHWAddr("01:00:5e:00:00:01").IsMulticast() {
+		t.Error("multicast bit not detected")
+	}
+	if !(HWAddr{}).IsZero() {
+		t.Error("zero MAC misdetected")
+	}
+}
+
+func TestPrefixParse(t *testing.T) {
+	p, err := ParsePrefix("10.1.2.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits != 24 || p.Addr != MustAddr("10.1.2.0") {
+		t.Fatalf("got %v", p)
+	}
+	// Bare address is /32.
+	p, err = ParsePrefix("10.1.2.3")
+	if err != nil || p.Bits != 32 {
+		t.Fatalf("bare addr: %v %v", p, err)
+	}
+	for _, s := range []string{"10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "bad/24"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix("10.1.2.0/24")
+	if !p.Contains(MustAddr("10.1.2.255")) || p.Contains(MustAddr("10.1.3.0")) {
+		t.Error("contains boundary wrong")
+	}
+	all := MustPrefix("0.0.0.0/0")
+	if !all.Contains(MustAddr("255.255.255.255")) || !all.Contains(0) {
+		t.Error("default route should contain everything")
+	}
+	host := MustPrefix("10.0.0.1/32")
+	if !host.Contains(MustAddr("10.0.0.1")) || host.Contains(MustAddr("10.0.0.2")) {
+		t.Error("host route wrong")
+	}
+}
+
+func TestPrefixMasked(t *testing.T) {
+	p := Prefix{Addr: MustAddr("10.1.2.3"), Bits: 24}
+	m := p.Masked()
+	if m.Addr != MustAddr("10.1.2.0") || m.Bits != 24 {
+		t.Fatalf("masked got %v", m)
+	}
+	if s := m.String(); s != "10.1.2.0/24" {
+		t.Fatalf("string got %q", s)
+	}
+}
+
+func TestPrefixContainsConsistentWithMask(t *testing.T) {
+	f := func(addr uint32, probe uint32, bits uint8) bool {
+		b := int(bits % 33)
+		p := Prefix{Addr: Addr(addr), Bits: b}
+		want := Addr(probe)&p.Mask() == Addr(addr)&p.Mask()
+		return p.Contains(Addr(probe)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package packet
+
+import "testing"
+
+func benchFrame() []byte {
+	u := UDP{SrcPort: 1000, DstPort: 2000}
+	src, dst := MustAddr("10.0.1.1"), MustAddr("10.0.2.1")
+	return BuildIPv4(
+		Ethernet{Dst: MustHWAddr("aa:00:00:00:00:02"), Src: MustHWAddr("aa:00:00:00:00:01"), EtherType: EtherTypeIPv4},
+		IPv4{TTL: 64, Proto: ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, make([]byte, 18)),
+	)
+}
+
+func BenchmarkDecode(b *testing.B) {
+	f := benchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	buf := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}
+
+func BenchmarkDecTTLIncremental(b *testing.B) {
+	f := benchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f[EthHdrLen+8] = 64 // restore TTL so the loop is steady-state
+		DecTTL(f, EthHdrLen)
+	}
+}

@@ -1,0 +1,48 @@
+package packet
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	return finish(sum(b, 0))
+}
+
+// ChecksumWithPseudo computes a transport checksum including the IPv4
+// pseudo-header (RFC 793 / RFC 768).
+func ChecksumWithPseudo(src, dst Addr, proto uint8, payload []byte) uint16 {
+	var pseudo [12]byte
+	src.PutBytes(pseudo[0:4])
+	dst.PutBytes(pseudo[4:8])
+	pseudo[9] = proto
+	pseudo[10] = byte(len(payload) >> 8)
+	pseudo[11] = byte(len(payload))
+	return finish(sum(payload, sum(pseudo[:], 0)))
+}
+
+func sum(b []byte, acc uint32) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(b[n-1]) << 8
+	}
+	return acc
+}
+
+func finish(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// ChecksumUpdate16 incrementally updates checksum hc for a 16-bit field that
+// changed from old to new (RFC 1624, eqn. 3: HC' = ~(~HC + ~m + m')).
+// This is what the fast path uses for TTL decrement — recomputing the full
+// header checksum per packet would defeat the point of a fast path.
+func ChecksumUpdate16(hc uint16, old, new uint16) uint16 {
+	acc := uint32(^hc) + uint32(^old) + uint32(new)
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}

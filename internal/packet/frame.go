@@ -1,0 +1,212 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet is a fully decoded frame: the view the slow path builds while the
+// fast path works on raw bytes. L4 headers are decoded lazily by the caller.
+type Packet struct {
+	Eth     Ethernet
+	ARP     *ARP
+	IPv4    *IPv4
+	L3Off   int    // offset of the L3 header in the frame
+	L4Off   int    // offset of the L4 header (0 when absent)
+	Payload []byte // L4 bytes (or full L3 payload for non-IP)
+}
+
+// Decode parses a frame down to L3. L4 payload bytes are referenced, not
+// copied.
+func Decode(frame []byte) (*Packet, error) {
+	eth, n, err := UnmarshalEthernet(frame)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Eth: eth, L3Off: n}
+	switch eth.EtherType {
+	case EtherTypeARP:
+		a, err := UnmarshalARP(frame[n:])
+		if err != nil {
+			return nil, err
+		}
+		p.ARP = &a
+	case EtherTypeIPv4:
+		h, ihl, err := UnmarshalIPv4(frame[n:])
+		if err != nil {
+			return nil, err
+		}
+		p.IPv4 = &h
+		p.L4Off = n + ihl
+		end := n + int(h.TotalLen)
+		if end > len(frame) {
+			return nil, fmt.Errorf("ipv4 payload: %w", ErrTruncated)
+		}
+		p.Payload = frame[p.L4Off:end]
+	default:
+		p.Payload = frame[n:]
+	}
+	return p, nil
+}
+
+// BuildEthernet assembles a frame from an Ethernet header and payload.
+func BuildEthernet(eth Ethernet, payload []byte) []byte {
+	b := make([]byte, 0, eth.HeaderLen()+len(payload))
+	b = eth.Marshal(b)
+	return append(b, payload...)
+}
+
+// BuildIPv4 assembles an Ethernet+IPv4 frame around an L4 payload. The
+// TotalLen field is filled in from the payload.
+func BuildIPv4(eth Ethernet, ip IPv4, l4 []byte) []byte {
+	ip.TotalLen = uint16(ip.HeaderLen() + len(l4))
+	b := make([]byte, 0, eth.HeaderLen()+ip.HeaderLen()+len(l4))
+	b = eth.Marshal(b)
+	b = ip.Marshal(b)
+	return append(b, l4...)
+}
+
+// BuildUDP assembles a complete Ethernet+IPv4+UDP frame.
+func BuildUDP(eth Ethernet, ip IPv4, udp UDP, payload []byte) []byte {
+	l4 := udp.Marshal(nil, ip.Src, ip.Dst, payload)
+	return BuildIPv4(eth, ip, l4)
+}
+
+// BuildTCP assembles a complete Ethernet+IPv4+TCP frame.
+func BuildTCP(eth Ethernet, ip IPv4, tcp TCP, payload []byte) []byte {
+	l4 := tcp.Marshal(nil, ip.Src, ip.Dst, payload)
+	return BuildIPv4(eth, ip, l4)
+}
+
+// BuildICMPEcho assembles an Ethernet+IPv4+ICMP echo frame.
+func BuildICMPEcho(eth Ethernet, ip IPv4, echoType uint8, id, seq uint16, payload []byte) []byte {
+	ic := ICMP{Type: echoType, Rest: uint32(id)<<16 | uint32(seq)}
+	l4 := ic.Marshal(nil, payload)
+	return BuildIPv4(eth, ip, l4)
+}
+
+// BuildARP assembles an Ethernet+ARP frame.
+func BuildARP(src HWAddr, dst HWAddr, a ARP) []byte {
+	eth := Ethernet{Dst: dst, Src: src, EtherType: EtherTypeARP}
+	return BuildEthernet(eth, a.Marshal(nil))
+}
+
+// The in-place accessors below operate on raw frames the way an XDP program
+// does: fixed offsets, no allocation. They assume an untagged Ethernet
+// header unless the VLAN-aware variants are used.
+
+// EthDst reads the destination MAC of a raw frame.
+func EthDst(frame []byte) HWAddr {
+	var h HWAddr
+	copy(h[:], frame[0:6])
+	return h
+}
+
+// EthSrc reads the source MAC of a raw frame.
+func EthSrc(frame []byte) HWAddr {
+	var h HWAddr
+	copy(h[:], frame[6:12])
+	return h
+}
+
+// SetEthDst rewrites the destination MAC in place.
+func SetEthDst(frame []byte, h HWAddr) { copy(frame[0:6], h[:]) }
+
+// SetEthSrc rewrites the source MAC in place.
+func SetEthSrc(frame []byte, h HWAddr) { copy(frame[6:12], h[:]) }
+
+// EtherTypeOf reads the EtherType, skipping one VLAN tag if present, and
+// reports the L3 offset.
+func EtherTypeOf(frame []byte) (uint16, int) {
+	if len(frame) < EthHdrLen {
+		return 0, 0
+	}
+	et := binary.BigEndian.Uint16(frame[12:14])
+	if et == EtherTypeVLAN {
+		if len(frame) < EthHdrLen+VLANTagLen {
+			return 0, 0
+		}
+		return binary.BigEndian.Uint16(frame[16:18]), EthHdrLen + VLANTagLen
+	}
+	return et, EthHdrLen
+}
+
+// DecTTL decrements the IPv4 TTL at l3 in place, patching the header
+// checksum incrementally (RFC 1624). It reports the new TTL.
+func DecTTL(frame []byte, l3 int) uint8 {
+	// TTL shares a 16-bit checksum word with the protocol byte.
+	old := binary.BigEndian.Uint16(frame[l3+8 : l3+10])
+	ttl := frame[l3+8] - 1
+	frame[l3+8] = ttl
+	new := binary.BigEndian.Uint16(frame[l3+8 : l3+10])
+	csum := binary.BigEndian.Uint16(frame[l3+10 : l3+12])
+	binary.BigEndian.PutUint16(frame[l3+10:l3+12], ChecksumUpdate16(csum, old, new))
+	return ttl
+}
+
+// IPv4Src reads the source address of the IPv4 header at l3.
+func IPv4Src(frame []byte, l3 int) Addr { return AddrFromBytes(frame[l3+12 : l3+16]) }
+
+// IPv4Dst reads the destination address of the IPv4 header at l3.
+func IPv4Dst(frame []byte, l3 int) Addr { return AddrFromBytes(frame[l3+16 : l3+20]) }
+
+// IPv4TTL reads the TTL of the IPv4 header at l3.
+func IPv4TTL(frame []byte, l3 int) uint8 { return frame[l3+8] }
+
+// IPv4Proto reads the protocol of the IPv4 header at l3.
+func IPv4Proto(frame []byte, l3 int) uint8 { return frame[l3+9] }
+
+// IPv4IsFragment reports whether the IPv4 header at l3 is a fragment.
+func IPv4IsFragment(frame []byte, l3 int) bool {
+	ff := binary.BigEndian.Uint16(frame[l3+6 : l3+8])
+	return ff&(IPv4MoreFrags|IPv4FragOffMask) != 0
+}
+
+// IPv4HasOptions reports whether the IPv4 header at l3 carries options.
+func IPv4HasOptions(frame []byte, l3 int) bool { return frame[l3]&0xf > 5 }
+
+// RewriteIPv4Dst rewrites the destination address of the IPv4 packet at l3
+// in place (DNAT), patching the IP header checksum and, for TCP/UDP, the
+// transport checksum incrementally. l4 is the transport header offset.
+func RewriteIPv4Dst(frame []byte, l3, l4 int, newDst Addr) {
+	oldHi := binary.BigEndian.Uint16(frame[l3+16 : l3+18])
+	oldLo := binary.BigEndian.Uint16(frame[l3+18 : l3+20])
+	newDst.PutBytes(frame[l3+16 : l3+20])
+	newHi := uint16(newDst >> 16)
+	newLo := uint16(newDst)
+
+	csum := binary.BigEndian.Uint16(frame[l3+10 : l3+12])
+	csum = ChecksumUpdate16(csum, oldHi, newHi)
+	csum = ChecksumUpdate16(csum, oldLo, newLo)
+	binary.BigEndian.PutUint16(frame[l3+10:l3+12], csum)
+
+	// Transport checksums cover the pseudo-header, so they shift too.
+	proto := frame[l3+9]
+	var csumOff int
+	switch proto {
+	case ProtoTCP:
+		csumOff = l4 + 16
+	case ProtoUDP:
+		csumOff = l4 + 6
+	default:
+		return
+	}
+	if len(frame) < csumOff+2 {
+		return
+	}
+	tsum := binary.BigEndian.Uint16(frame[csumOff : csumOff+2])
+	if proto == ProtoUDP && tsum == 0 {
+		return // checksum disabled
+	}
+	tsum = ChecksumUpdate16(tsum, oldHi, newHi)
+	tsum = ChecksumUpdate16(tsum, oldLo, newLo)
+	binary.BigEndian.PutUint16(frame[csumOff:csumOff+2], tsum)
+}
+
+// L4Ports reads source and destination ports of a TCP/UDP header at l4.
+func L4Ports(frame []byte, l4 int) (src, dst uint16) {
+	if len(frame) < l4+4 {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint16(frame[l4 : l4+2]), binary.BigEndian.Uint16(frame[l4+2 : l4+4])
+}

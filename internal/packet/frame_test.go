@@ -1,0 +1,230 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEth() Ethernet {
+	return Ethernet{
+		Dst:       MustHWAddr("aa:00:00:00:00:02"),
+		Src:       MustHWAddr("aa:00:00:00:00:01"),
+		EtherType: EtherTypeIPv4,
+	}
+}
+
+func sampleIP() IPv4 {
+	return IPv4{TTL: 64, Proto: ProtoUDP, Src: MustAddr("10.0.1.1"), Dst: MustAddr("10.0.2.1")}
+}
+
+func TestDecodeUDPFrame(t *testing.T) {
+	frame := BuildUDP(sampleEth(), sampleIP(), UDP{SrcPort: 1000, DstPort: 2000}, []byte("hello"))
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IPv4 == nil || p.IPv4.Proto != ProtoUDP {
+		t.Fatalf("decode: %+v", p)
+	}
+	u, pl, err := UnmarshalUDP(p.Payload, p.IPv4.Src, p.IPv4.Dst)
+	if err != nil || u.DstPort != 2000 || string(pl) != "hello" {
+		t.Fatalf("l4: %+v %q err=%v", u, pl, err)
+	}
+	if p.L3Off != EthHdrLen || p.L4Off != EthHdrLen+IPv4MinLen {
+		t.Fatalf("offsets %d/%d", p.L3Off, p.L4Off)
+	}
+}
+
+func TestDecodeARPFrame(t *testing.T) {
+	a := ARP{Op: ARPRequest, SenderHW: MustHWAddr("02:00:00:00:00:01"),
+		SenderIP: MustAddr("10.0.0.1"), TargetIP: MustAddr("10.0.0.2")}
+	frame := BuildARP(a.SenderHW, BroadcastHW, a)
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ARP == nil || *p.ARP != a {
+		t.Fatalf("decode arp: %+v", p.ARP)
+	}
+	if !p.Eth.Dst.IsBroadcast() {
+		t.Error("arp request should be broadcast")
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	frame := BuildUDP(sampleEth(), sampleIP(), UDP{}, make([]byte, 32))
+	if _, err := Decode(frame[:len(frame)-8]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDecodeUnknownEtherType(t *testing.T) {
+	eth := sampleEth()
+	eth.EtherType = 0x88cc // LLDP
+	frame := BuildEthernet(eth, []byte{1, 2, 3})
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IPv4 != nil || p.ARP != nil || !bytes.Equal(p.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("unknown ethertype decode: %+v", p)
+	}
+}
+
+func TestDecTTLMatchesRebuild(t *testing.T) {
+	// Property (fast-path correctness): the in-place TTL decrement with
+	// incremental checksum must leave a header that still validates and
+	// equals a freshly built header with TTL-1.
+	f := func(ttl uint8, srcV, dstV uint32, proto uint8) bool {
+		if ttl == 0 {
+			ttl = 1
+		}
+		ip := IPv4{TTL: ttl, Proto: proto, Src: Addr(srcV), Dst: Addr(dstV), TotalLen: 20}
+		frame := BuildIPv4(Ethernet{EtherType: EtherTypeIPv4}, ip, nil)
+		newTTL := DecTTL(frame, EthHdrLen)
+		if newTTL != ttl-1 {
+			return false
+		}
+		got, _, err := UnmarshalIPv4(frame[EthHdrLen:])
+		return err == nil && got.TTL == ttl-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawAccessorsMatchDecode(t *testing.T) {
+	frame := BuildUDP(sampleEth(), sampleIP(), UDP{SrcPort: 53, DstPort: 5353}, nil)
+	et, l3 := EtherTypeOf(frame)
+	if et != EtherTypeIPv4 || l3 != EthHdrLen {
+		t.Fatalf("ethertype %#x l3 %d", et, l3)
+	}
+	if IPv4Src(frame, l3) != MustAddr("10.0.1.1") || IPv4Dst(frame, l3) != MustAddr("10.0.2.1") {
+		t.Error("raw IP accessors wrong")
+	}
+	if IPv4TTL(frame, l3) != 64 || IPv4Proto(frame, l3) != ProtoUDP {
+		t.Error("raw TTL/proto accessors wrong")
+	}
+	if IPv4IsFragment(frame, l3) || IPv4HasOptions(frame, l3) {
+		t.Error("fragment/options misdetected")
+	}
+	s, d := L4Ports(frame, l3+IPv4MinLen)
+	if s != 53 || d != 5353 {
+		t.Errorf("ports %d/%d", s, d)
+	}
+	if EthDst(frame) != sampleEth().Dst || EthSrc(frame) != sampleEth().Src {
+		t.Error("raw MAC accessors wrong")
+	}
+}
+
+func TestSetMACsInPlace(t *testing.T) {
+	frame := BuildEthernet(sampleEth(), nil)
+	newDst := MustHWAddr("ff:ee:dd:cc:bb:aa")
+	newSrc := MustHWAddr("00:11:22:33:44:55")
+	SetEthDst(frame, newDst)
+	SetEthSrc(frame, newSrc)
+	if EthDst(frame) != newDst || EthSrc(frame) != newSrc {
+		t.Error("in-place MAC rewrite failed")
+	}
+}
+
+func TestEtherTypeOfVLAN(t *testing.T) {
+	eth := sampleEth()
+	eth.VLAN = 42
+	frame := BuildEthernet(eth, make([]byte, 20))
+	et, l3 := EtherTypeOf(frame)
+	if et != EtherTypeIPv4 || l3 != EthHdrLen+VLANTagLen {
+		t.Fatalf("vlan ethertype %#x l3 %d", et, l3)
+	}
+	// Degenerate short frames report zero rather than panicking.
+	if et, l3 := EtherTypeOf(frame[:10]); et != 0 || l3 != 0 {
+		t.Error("short frame should report zero")
+	}
+	if et, l3 := EtherTypeOf(frame[:15]); et != 0 || l3 != 0 {
+		t.Error("short vlan frame should report zero")
+	}
+}
+
+func TestL4PortsShortFrame(t *testing.T) {
+	if s, d := L4Ports([]byte{1, 2}, 0); s != 0 || d != 0 {
+		t.Error("short L4 should report zero ports")
+	}
+}
+
+func TestRewriteIPv4DstKeepsChecksumsValid(t *testing.T) {
+	// Property: after a DNAT rewrite, both the IP header checksum and the
+	// transport checksum still validate against a full recompute.
+	f := func(srcV, dstV, natV uint32, sport, dport uint16, useTCP bool, payload []byte) bool {
+		src, dst, nat := Addr(srcV), Addr(dstV), Addr(natV)
+		if src == 0 {
+			src = 1
+		}
+		var frame []byte
+		ip := IPv4{TTL: 64, Src: src, Dst: dst}
+		if useTCP {
+			ip.Proto = ProtoTCP
+			frame = BuildTCP(sampleEth(), ip, TCP{SrcPort: sport, DstPort: dport}, payload)
+		} else {
+			ip.Proto = ProtoUDP
+			frame = BuildUDP(sampleEth(), ip, UDP{SrcPort: sport, DstPort: dport}, payload)
+		}
+		RewriteIPv4Dst(frame, EthHdrLen, EthHdrLen+IPv4MinLen, nat)
+		p, err := Decode(frame) // validates the IP header checksum
+		if err != nil || p.IPv4.Dst != nat {
+			return false
+		}
+		if useTCP {
+			_, _, err = UnmarshalTCP(p.Payload, p.IPv4.Src, p.IPv4.Dst)
+		} else {
+			_, _, err = UnmarshalUDP(p.Payload, p.IPv4.Src, p.IPv4.Dst)
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteIPv4DstZeroUDPChecksum(t *testing.T) {
+	// A UDP datagram with checksum 0 (disabled) must stay 0 after DNAT.
+	frame := BuildUDP(sampleEth(), sampleIP(), UDP{SrcPort: 1, DstPort: 2}, nil)
+	// Zero out the UDP checksum to simulate a disabled checksum.
+	l4 := EthHdrLen + IPv4MinLen
+	frame[l4+6], frame[l4+7] = 0, 0
+	RewriteIPv4Dst(frame, EthHdrLen, l4, MustAddr("9.9.9.9"))
+	if frame[l4+6] != 0 || frame[l4+7] != 0 {
+		t.Fatal("disabled UDP checksum was modified")
+	}
+	if _, err := Decode(frame); err != nil {
+		t.Fatalf("ip checksum broken: %v", err)
+	}
+}
+
+func TestBuildTCPFrameDecodes(t *testing.T) {
+	ip := sampleIP()
+	ip.Proto = ProtoTCP
+	frame := BuildTCP(sampleEth(), ip, TCP{SrcPort: 9, DstPort: 10, Flags: TCPPsh | TCPAck}, []byte("rr"))
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, pl, err := UnmarshalTCP(p.Payload, p.IPv4.Src, p.IPv4.Dst)
+	if err != nil || tc.Flags != TCPPsh|TCPAck || string(pl) != "rr" {
+		t.Fatalf("tcp frame: %+v %q err=%v", tc, pl, err)
+	}
+}
+
+func TestBuildICMPEchoDecodes(t *testing.T) {
+	ip := sampleIP()
+	ip.Proto = ProtoICMP
+	frame := BuildICMPEcho(sampleEth(), ip, ICMPEchoRequest, 7, 3, []byte("abcd"))
+	p, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, pl, err := UnmarshalICMP(p.Payload)
+	if err != nil || ic.Type != ICMPEchoRequest || ic.Rest != 7<<16|3 || string(pl) != "abcd" {
+		t.Fatalf("icmp: %+v %q err=%v", ic, pl, err)
+	}
+}

@@ -1,0 +1,372 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ICMP types.
+const (
+	ICMPEchoReply    uint8 = 0
+	ICMPUnreachable  uint8 = 3
+	ICMPEchoRequest  uint8 = 8
+	ICMPTimeExceeded uint8 = 11
+)
+
+// Header sizes in bytes.
+const (
+	EthHdrLen  = 14
+	VLANTagLen = 4
+	ARPLen     = 28
+	IPv4MinLen = 20
+	ICMPHdrLen = 8
+	UDPHdrLen  = 8
+	TCPHdrLen  = 20
+)
+
+// IPv4 flag bits (in the flags/fragment-offset field).
+const (
+	IPv4DontFragment uint16 = 0x4000
+	IPv4MoreFrags    uint16 = 0x2000
+	IPv4FragOffMask  uint16 = 0x1fff
+)
+
+var (
+	// ErrTruncated reports a frame too short for the header being decoded.
+	ErrTruncated = errors.New("packet: truncated")
+	// ErrBadChecksum reports a failed checksum validation.
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	// ErrBadHeader reports a malformed header field.
+	ErrBadHeader = errors.New("packet: malformed header")
+)
+
+// Ethernet is a decoded Ethernet header, with an optional single 802.1Q tag.
+type Ethernet struct {
+	Dst       HWAddr
+	Src       HWAddr
+	VLAN      uint16 // VLAN ID 1..4094; 0 means untagged
+	VLANPrio  uint8
+	EtherType uint16
+}
+
+// HeaderLen reports the encoded length (14 or 18 with a VLAN tag).
+func (e *Ethernet) HeaderLen() int {
+	if e.VLAN != 0 {
+		return EthHdrLen + VLANTagLen
+	}
+	return EthHdrLen
+}
+
+// Marshal appends the encoded header to dst and returns the result.
+func (e *Ethernet) Marshal(dst []byte) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	if e.VLAN != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, EtherTypeVLAN)
+		tci := uint16(e.VLANPrio)<<13 | e.VLAN&0x0fff
+		dst = binary.BigEndian.AppendUint16(dst, tci)
+	}
+	return binary.BigEndian.AppendUint16(dst, e.EtherType)
+}
+
+// UnmarshalEthernet decodes the Ethernet header and reports its length.
+func UnmarshalEthernet(b []byte) (Ethernet, int, error) {
+	if len(b) < EthHdrLen {
+		return Ethernet{}, 0, fmt.Errorf("ethernet: %w", ErrTruncated)
+	}
+	var e Ethernet
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	n := EthHdrLen
+	if et == EtherTypeVLAN {
+		if len(b) < EthHdrLen+VLANTagLen {
+			return Ethernet{}, 0, fmt.Errorf("vlan tag: %w", ErrTruncated)
+		}
+		tci := binary.BigEndian.Uint16(b[14:16])
+		e.VLANPrio = uint8(tci >> 13)
+		e.VLAN = tci & 0x0fff
+		et = binary.BigEndian.Uint16(b[16:18])
+		n += VLANTagLen
+	}
+	e.EtherType = et
+	return e, n, nil
+}
+
+// ARP is a decoded IPv4-over-Ethernet ARP message.
+type ARP struct {
+	Op       uint16
+	SenderHW HWAddr
+	SenderIP Addr
+	TargetHW HWAddr
+	TargetIP Addr
+}
+
+// Marshal appends the encoded message to dst.
+func (a *ARP) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, 1) // Ethernet
+	dst = binary.BigEndian.AppendUint16(dst, EtherTypeIPv4)
+	dst = append(dst, 6, 4)
+	dst = binary.BigEndian.AppendUint16(dst, a.Op)
+	dst = append(dst, a.SenderHW[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(a.SenderIP))
+	dst = append(dst, a.TargetHW[:]...)
+	return binary.BigEndian.AppendUint32(dst, uint32(a.TargetIP))
+}
+
+// UnmarshalARP decodes an ARP message.
+func UnmarshalARP(b []byte) (ARP, error) {
+	if len(b) < ARPLen {
+		return ARP{}, fmt.Errorf("arp: %w", ErrTruncated)
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != EtherTypeIPv4 ||
+		b[4] != 6 || b[5] != 4 {
+		return ARP{}, fmt.Errorf("arp: %w", ErrBadHeader)
+	}
+	var a ARP
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderHW[:], b[8:14])
+	a.SenderIP = AddrFromBytes(b[14:18])
+	copy(a.TargetHW[:], b[18:24])
+	a.TargetIP = AddrFromBytes(b[24:28])
+	return a, nil
+}
+
+// IPv4 is a decoded IPv4 header.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint16 // DF/MF bits as in the wire field
+	FragOff  uint16 // in 8-byte units
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16
+	Src      Addr
+	Dst      Addr
+	Options  []byte // raw options, length multiple of 4
+}
+
+// HeaderLen reports the encoded header length including options.
+func (h *IPv4) HeaderLen() int { return IPv4MinLen + len(h.Options) }
+
+// MoreFragments reports whether the MF bit is set.
+func (h *IPv4) MoreFragments() bool { return h.Flags&IPv4MoreFrags != 0 }
+
+// DontFragment reports whether the DF bit is set.
+func (h *IPv4) DontFragment() bool { return h.Flags&IPv4DontFragment != 0 }
+
+// IsFragment reports whether the packet is any fragment of a larger datagram.
+func (h *IPv4) IsFragment() bool { return h.MoreFragments() || h.FragOff != 0 }
+
+// Marshal appends the encoded header (with correct checksum) to dst.
+func (h *IPv4) Marshal(dst []byte) []byte {
+	if len(h.Options)%4 != 0 {
+		panic("packet: IPv4 options length must be a multiple of 4")
+	}
+	ihl := (IPv4MinLen + len(h.Options)) / 4
+	start := len(dst)
+	dst = append(dst, byte(4<<4|ihl), h.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, h.TotalLen)
+	dst = binary.BigEndian.AppendUint16(dst, h.ID)
+	dst = binary.BigEndian.AppendUint16(dst, h.Flags&^IPv4FragOffMask|h.FragOff&IPv4FragOffMask)
+	dst = append(dst, h.TTL, h.Proto, 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.Src))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(h.Dst))
+	dst = append(dst, h.Options...)
+	csum := Checksum(dst[start:])
+	binary.BigEndian.PutUint16(dst[start+10:], csum)
+	return dst
+}
+
+// UnmarshalIPv4 decodes and validates an IPv4 header, reporting its length.
+func UnmarshalIPv4(b []byte) (IPv4, int, error) {
+	if len(b) < IPv4MinLen {
+		return IPv4{}, 0, fmt.Errorf("ipv4: %w", ErrTruncated)
+	}
+	if b[0]>>4 != 4 {
+		return IPv4{}, 0, fmt.Errorf("ipv4 version %d: %w", b[0]>>4, ErrBadHeader)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4MinLen || len(b) < ihl {
+		return IPv4{}, 0, fmt.Errorf("ipv4 ihl %d: %w", ihl, ErrBadHeader)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4{}, 0, fmt.Errorf("ipv4: %w", ErrBadChecksum)
+	}
+	var h IPv4
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = ff &^ IPv4FragOffMask
+	h.FragOff = ff & IPv4FragOffMask
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = AddrFromBytes(b[12:16])
+	h.Dst = AddrFromBytes(b[16:20])
+	if ihl > IPv4MinLen {
+		h.Options = append([]byte(nil), b[IPv4MinLen:ihl]...)
+	}
+	if int(h.TotalLen) < ihl {
+		return IPv4{}, 0, fmt.Errorf("ipv4 total length %d < ihl: %w", h.TotalLen, ErrBadHeader)
+	}
+	return h, ihl, nil
+}
+
+// ICMP is a decoded ICMP header (echo-oriented: Rest carries id/seq).
+type ICMP struct {
+	Type uint8
+	Code uint8
+	Rest uint32
+}
+
+// Marshal appends the header and payload with a correct checksum.
+func (ic *ICMP) Marshal(dst, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, ic.Type, ic.Code, 0, 0)
+	dst = binary.BigEndian.AppendUint32(dst, ic.Rest)
+	dst = append(dst, payload...)
+	binary.BigEndian.PutUint16(dst[start+2:], Checksum(dst[start:]))
+	return dst
+}
+
+// UnmarshalICMP decodes and validates an ICMP message, returning the payload.
+func UnmarshalICMP(b []byte) (ICMP, []byte, error) {
+	if len(b) < ICMPHdrLen {
+		return ICMP{}, nil, fmt.Errorf("icmp: %w", ErrTruncated)
+	}
+	if Checksum(b) != 0 {
+		return ICMP{}, nil, fmt.Errorf("icmp: %w", ErrBadChecksum)
+	}
+	return ICMP{Type: b[0], Code: b[1], Rest: binary.BigEndian.Uint32(b[4:8])}, b[8:], nil
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// Marshal appends the header and payload; src/dst feed the pseudo-header.
+func (u *UDP) Marshal(dst []byte, src, dstIP Addr, payload []byte) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, u.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, u.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(UDPHdrLen+len(payload)))
+	dst = append(dst, 0, 0)
+	dst = append(dst, payload...)
+	csum := ChecksumWithPseudo(src, dstIP, ProtoUDP, dst[start:])
+	if csum == 0 {
+		csum = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(dst[start+6:], csum)
+	return dst
+}
+
+// UnmarshalUDP decodes a UDP header, returning the payload. Checksum is
+// validated when src/dst are provided (non-zero) and the checksum is set.
+func UnmarshalUDP(b []byte, src, dst Addr) (UDP, []byte, error) {
+	if len(b) < UDPHdrLen {
+		return UDP{}, nil, fmt.Errorf("udp: %w", ErrTruncated)
+	}
+	var u UDP
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if int(u.Length) < UDPHdrLen || int(u.Length) > len(b) {
+		return UDP{}, nil, fmt.Errorf("udp length %d: %w", u.Length, ErrBadHeader)
+	}
+	if u.Checksum != 0 && src != 0 {
+		if ChecksumWithPseudo(src, dst, ProtoUDP, b[:u.Length]) != 0 {
+			return UDP{}, nil, fmt.Errorf("udp: %w", ErrBadChecksum)
+		}
+	}
+	return u, b[UDPHdrLen:u.Length], nil
+}
+
+// TCPFlags hold the TCP control bits.
+type TCPFlags uint8
+
+// TCP control bits.
+const (
+	TCPFin TCPFlags = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
+
+// TCP is a decoded TCP header (no options).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   TCPFlags
+	Window  uint16
+}
+
+// Marshal appends the header and payload with a correct checksum.
+func (t *TCP) Marshal(dst []byte, src, dstIP Addr, payload []byte) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, t.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, t.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, t.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, t.Ack)
+	dst = append(dst, byte(TCPHdrLen/4)<<4, byte(t.Flags))
+	dst = binary.BigEndian.AppendUint16(dst, t.Window)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, payload...)
+	binary.BigEndian.PutUint16(dst[start+16:], ChecksumWithPseudo(src, dstIP, ProtoTCP, dst[start:]))
+	return dst
+}
+
+// UnmarshalTCP decodes a TCP header, returning the payload.
+func UnmarshalTCP(b []byte, src, dst Addr) (TCP, []byte, error) {
+	if len(b) < TCPHdrLen {
+		return TCP{}, nil, fmt.Errorf("tcp: %w", ErrTruncated)
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHdrLen || off > len(b) {
+		return TCP{}, nil, fmt.Errorf("tcp offset %d: %w", off, ErrBadHeader)
+	}
+	if src != 0 {
+		if ChecksumWithPseudo(src, dst, ProtoTCP, b) != 0 {
+			return TCP{}, nil, fmt.Errorf("tcp: %w", ErrBadChecksum)
+		}
+	}
+	var t TCP
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = TCPFlags(b[13])
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	return t, b[off:], nil
+}

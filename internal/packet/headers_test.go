@@ -1,0 +1,337 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2 -> csum 220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("checksum = %#x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Trailing byte is padded with zero.
+	if Checksum([]byte{0xab}) != Checksum([]byte{0xab, 0x00}) {
+		t.Fatal("odd-length padding wrong")
+	}
+}
+
+func TestChecksumValidatesToZero(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		b := append([]byte(nil), data...)
+		b[0], b[1] = 0, 0
+		c := Checksum(b)
+		b[0], b[1] = byte(c>>8), byte(c)
+		return Checksum(b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumIncrementalEqualsFull(t *testing.T) {
+	// Property: RFC 1624 incremental update equals recomputation, for any
+	// 16-bit field change anywhere in a random even-length buffer.
+	f := func(data []byte, pos uint8, repl uint16) bool {
+		if len(data) < 4 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		b := append([]byte(nil), data...)
+		i := int(pos) % (len(b) / 2) * 2
+		old := binary.BigEndian.Uint16(b[i:])
+		hc := Checksum(b)
+		binary.BigEndian.PutUint16(b[i:], repl)
+		want := Checksum(b)
+		got := ChecksumUpdate16(hc, old, repl)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MustHWAddr("aa:bb:cc:dd:ee:ff"),
+		Src:       MustHWAddr("11:22:33:44:55:66"),
+		EtherType: EtherTypeIPv4,
+	}
+	b := e.Marshal(nil)
+	if len(b) != EthHdrLen {
+		t.Fatalf("len %d", len(b))
+	}
+	got, n, err := UnmarshalEthernet(append(b, 0xde, 0xad))
+	if err != nil || n != EthHdrLen || got != e {
+		t.Fatalf("round trip: %+v n=%d err=%v", got, n, err)
+	}
+}
+
+func TestEthernetVLANRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:       MustHWAddr("aa:bb:cc:dd:ee:ff"),
+		Src:       MustHWAddr("11:22:33:44:55:66"),
+		VLAN:      100,
+		VLANPrio:  5,
+		EtherType: EtherTypeARP,
+	}
+	b := e.Marshal(nil)
+	if len(b) != EthHdrLen+VLANTagLen {
+		t.Fatalf("len %d", len(b))
+	}
+	got, n, err := UnmarshalEthernet(b)
+	if err != nil || n != 18 || got != e {
+		t.Fatalf("vlan round trip: %+v n=%d err=%v", got, n, err)
+	}
+	if got.HeaderLen() != 18 {
+		t.Fatalf("header len %d", got.HeaderLen())
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, _, err := UnmarshalEthernet(make([]byte, 13)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	// VLAN tag implies 18 bytes minimum.
+	e := Ethernet{VLAN: 5, EtherType: EtherTypeIPv4}
+	b := e.Marshal(nil)
+	if _, _, err := UnmarshalEthernet(b[:15]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated for short vlan, got %v", err)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:       ARPRequest,
+		SenderHW: MustHWAddr("02:00:00:00:00:01"),
+		SenderIP: MustAddr("10.0.0.1"),
+		TargetIP: MustAddr("10.0.0.2"),
+	}
+	b := a.Marshal(nil)
+	if len(b) != ARPLen {
+		t.Fatalf("len %d", len(b))
+	}
+	got, err := UnmarshalARP(b)
+	if err != nil || got != a {
+		t.Fatalf("round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestARPRejectsNonEthernetIPv4(t *testing.T) {
+	a := ARP{Op: ARPReply}
+	b := a.Marshal(nil)
+	b[0] = 9 // htype
+	if _, err := UnmarshalARP(b); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader, got %v", err)
+	}
+	if _, err := UnmarshalARP(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TOS:      0x10,
+		TotalLen: 60,
+		ID:       0x1234,
+		Flags:    IPv4DontFragment,
+		TTL:      64,
+		Proto:    ProtoUDP,
+		Src:      MustAddr("192.168.0.1"),
+		Dst:      MustAddr("10.9.8.7"),
+	}
+	b := h.Marshal(nil)
+	if len(b) != IPv4MinLen {
+		t.Fatalf("len %d", len(b))
+	}
+	got, n, err := UnmarshalIPv4(b)
+	if err != nil || n != IPv4MinLen {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	got.Checksum = 0 // round-trip compare ignores the computed checksum field
+	want := h
+	if got.TOS != want.TOS || got.TotalLen != want.TotalLen || got.ID != want.ID ||
+		got.Flags != want.Flags || got.TTL != want.TTL || got.Proto != want.Proto ||
+		got.Src != want.Src || got.Dst != want.Dst {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := IPv4{TotalLen: 28, TTL: 1, Proto: ProtoICMP, Options: []byte{7, 4, 0, 0}}
+	b := h.Marshal(nil)
+	if len(b) != 24 {
+		t.Fatalf("len %d", len(b))
+	}
+	got, n, err := UnmarshalIPv4(b)
+	if err != nil || n != 24 || !bytes.Equal(got.Options, h.Options) {
+		t.Fatalf("options round trip: n=%d err=%v opts=%v", n, err, got.Options)
+	}
+}
+
+func TestIPv4BadOptionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for misaligned options")
+		}
+	}()
+	h := IPv4{Options: []byte{1}}
+	h.Marshal(nil)
+}
+
+func TestIPv4RejectsCorruption(t *testing.T) {
+	h := IPv4{TotalLen: 20, TTL: 64, Proto: ProtoTCP, Src: 1, Dst: 2}
+	good := h.Marshal(nil)
+
+	bad := append([]byte(nil), good...)
+	bad[8] = 63 // flip TTL without fixing checksum
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[0] = 0x60 // version 6
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader for version, got %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[0] = 0x44 // ihl 4 < 5
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader for ihl, got %v", err)
+	}
+
+	if _, _, err := UnmarshalIPv4(good[:19]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestIPv4FragmentFlags(t *testing.T) {
+	h := IPv4{Flags: IPv4MoreFrags, FragOff: 0, TotalLen: 20}
+	if !h.IsFragment() || !h.MoreFragments() || h.DontFragment() {
+		t.Error("MF fragment flags wrong")
+	}
+	h = IPv4{FragOff: 185, TotalLen: 20}
+	if !h.IsFragment() {
+		t.Error("nonzero offset should be a fragment")
+	}
+	h = IPv4{Flags: IPv4DontFragment, TotalLen: 20}
+	if h.IsFragment() || !h.DontFragment() {
+		t.Error("DF-only should not be a fragment")
+	}
+	// Flag bits survive a marshal round trip alongside the offset.
+	h = IPv4{Flags: IPv4MoreFrags, FragOff: 100, TotalLen: 20, TTL: 9}
+	got, _, err := UnmarshalIPv4(h.Marshal(nil))
+	if err != nil || got.FragOff != 100 || !got.MoreFragments() {
+		t.Fatalf("fragment round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	ic := ICMP{Type: ICMPEchoRequest, Rest: 0xcafe0001}
+	payload := []byte("ping payload")
+	b := ic.Marshal(nil, payload)
+	got, pl, err := UnmarshalICMP(b)
+	if err != nil || got != ic || !bytes.Equal(pl, payload) {
+		t.Fatalf("round trip: %+v %q err=%v", got, pl, err)
+	}
+	b[1] ^= 0xff
+	if _, _, err := UnmarshalICMP(b); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := MustAddr("10.0.0.1"), MustAddr("10.0.0.2")
+	u := UDP{SrcPort: 5201, DstPort: 12865}
+	payload := []byte("netperf request")
+	b := u.Marshal(nil, src, dst, payload)
+	got, pl, err := UnmarshalUDP(b, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 5201 || got.DstPort != 12865 || !bytes.Equal(pl, payload) {
+		t.Fatalf("round trip: %+v %q", got, pl)
+	}
+	b[9]++ // corrupt payload
+	if _, _, err := UnmarshalUDP(b, src, dst); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestUDPLengthValidation(t *testing.T) {
+	b := UDP{SrcPort: 1, DstPort: 2}.marshalBadLen(t)
+	if _, _, err := UnmarshalUDP(b, 0, 0); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader, got %v", err)
+	}
+}
+
+// marshalBadLen builds a UDP header whose length field exceeds the buffer.
+func (u UDP) marshalBadLen(t *testing.T) []byte {
+	t.Helper()
+	b := u.Marshal(nil, 0, 0, nil)
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)+10))
+	return b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, dst := MustAddr("172.16.0.1"), MustAddr("172.16.0.9")
+	tc := TCP{SrcPort: 443, DstPort: 51000, Seq: 7, Ack: 9, Flags: TCPSyn | TCPAck, Window: 65535}
+	payload := []byte{1, 2, 3}
+	b := tc.Marshal(nil, src, dst, payload)
+	got, pl, err := UnmarshalTCP(b, src, dst)
+	if err != nil || got != tc || !bytes.Equal(pl, payload) {
+		t.Fatalf("round trip: %+v %v err=%v", got, pl, err)
+	}
+	b[20]++ // corrupt payload
+	if _, _, err := UnmarshalTCP(b, src, dst); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestTCPOffsetValidation(t *testing.T) {
+	tc := TCP{SrcPort: 1, DstPort: 2}
+	b := tc.Marshal(nil, 0, 0, nil)
+	b[12] = 3 << 4 // data offset 12 bytes < 20
+	if _, _, err := UnmarshalTCP(b, 0, 0); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("want ErrBadHeader, got %v", err)
+	}
+}
+
+func TestTransportChecksumProperty(t *testing.T) {
+	// Property: any built UDP frame validates; flipping any byte fails.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		src, dst := Addr(rng.Uint32()), Addr(rng.Uint32())
+		if src == 0 {
+			src = 1
+		}
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		u := UDP{SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32())}
+		b := u.Marshal(nil, src, dst, payload)
+		if _, _, err := UnmarshalUDP(b, src, dst); err != nil {
+			t.Fatalf("fresh frame failed validation: %v", err)
+		}
+		if len(b) > UDPHdrLen {
+			j := UDPHdrLen + rng.Intn(len(b)-UDPHdrLen)
+			b[j] ^= 1 << uint(rng.Intn(8))
+			if _, _, err := UnmarshalUDP(b, src, dst); err == nil {
+				t.Fatal("corrupted frame passed validation")
+			}
+		}
+	}
+}

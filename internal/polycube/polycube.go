@@ -1,0 +1,339 @@
+// Package polycube models the Polycube baseline (v0.9 in the paper): an
+// eBPF-based packet-processing platform that is architecturally the
+// opposite of LinuxFP in two ways the evaluation isolates.
+//
+// First, state: cubes keep *private* copies of forwarding state (routes,
+// ARP bindings, ACLs) in their own maps, configured exclusively through the
+// platform's bespoke API (polycubectl / pcn-iptables). Linux tools do not
+// configure it, and Linux state changes are invisible to it — the
+// incompatibility Table II summarizes.
+//
+// Second, composition: cubes are separate eBPF programs chained with tail
+// calls, where LinuxFP inlines snippets into one program with function
+// calls (Fig. 10's comparison).
+package polycube
+
+import (
+	"fmt"
+	"sync"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Platform is a Polycube service instance on one host.
+type Platform struct {
+	k      *kernel.Kernel
+	loader *ebpf.Loader
+
+	mu        sync.Mutex
+	routers   map[string]*Router
+	firewalls map[string]*Firewall
+}
+
+// New creates a platform on a host (it uses the host's devices, nothing
+// else).
+func New(k *kernel.Kernel) *Platform {
+	return &Platform{
+		k:         k,
+		loader:    ebpf.NewLoader(k),
+		routers:   make(map[string]*Router),
+		firewalls: make(map[string]*Firewall),
+	}
+}
+
+// Router is a pcn-router cube: private FIB and ARP state.
+type Router struct {
+	Name string
+
+	p  *Platform
+	mu sync.Mutex
+	// Private shadow state: configured only via the cube API.
+	routes *fib.Table
+	arp    map[packet.Addr]packet.HWAddr
+	ports  map[int]*netdev.Device
+
+	next *Firewall // chained firewall cube (tail call)
+}
+
+// AddRouter creates a router cube.
+func (p *Platform) AddRouter(name string) (*Router, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.routers[name]; ok {
+		return nil, fmt.Errorf("polycube: router %q exists", name)
+	}
+	r := &Router{
+		Name: name, p: p,
+		routes: fib.NewTable(),
+		arp:    make(map[packet.Addr]packet.HWAddr),
+		ports:  make(map[int]*netdev.Device),
+	}
+	p.routers[name] = r
+	return r, nil
+}
+
+// AddPort attaches a device to the cube and installs its data path.
+func (r *Router) AddPort(devName string) error {
+	dev, ok := r.p.k.DeviceByName(devName)
+	if !ok {
+		return fmt.Errorf("polycube: no device %q", devName)
+	}
+	r.mu.Lock()
+	r.ports[dev.Index] = dev
+	r.mu.Unlock()
+	return r.reattach()
+}
+
+// AddRoute installs a route in the cube's private table. The API mirrors
+// polycubectl, not iproute2.
+func (r *Router) AddRoute(prefix packet.Prefix, nexthop packet.Addr, outPort string) error {
+	dev, ok := r.p.k.DeviceByName(outPort)
+	if !ok {
+		return fmt.Errorf("polycube: no port %q", outPort)
+	}
+	r.mu.Lock()
+	r.routes.Add(fib.Route{Prefix: prefix, Gateway: nexthop, OutIf: dev.Index, Scope: fib.ScopeUniverse})
+	r.mu.Unlock()
+	return nil
+}
+
+// AddArpEntry installs a static ARP binding in cube state.
+func (r *Router) AddArpEntry(ip packet.Addr, mac packet.HWAddr) {
+	r.mu.Lock()
+	r.arp[ip] = mac
+	r.mu.Unlock()
+}
+
+// ChainFirewall attaches a firewall cube after the parser (tail-called
+// before routing, matching pcn-firewall's ingress placement).
+func (r *Router) ChainFirewall(fw *Firewall) error {
+	r.mu.Lock()
+	r.next = fw
+	r.mu.Unlock()
+	return r.reattach()
+}
+
+// RouteCount reports the number of routes in cube state.
+func (r *Router) RouteCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.routes.Len()
+}
+
+// reattach regenerates and attaches the cube chain on every port.
+// Polycube chains cubes with tail calls: parser cube -> (firewall cube) ->
+// router cube, one prog array slot per stage.
+func (r *Router) reattach() error {
+	r.mu.Lock()
+	ports := make([]*netdev.Device, 0, len(r.ports))
+	for _, d := range r.ports {
+		ports = append(ports, d)
+	}
+	fw := r.next
+	r.mu.Unlock()
+
+	chain := ebpf.NewProgArray(r.Name+"_chain", 3)
+
+	// Stage 2: router cube — LPM + ARP from private maps, rewrite, redirect.
+	routerProg := &ebpf.Program{Name: r.Name + "_router", Hook: ebpf.HookXDP, Default: ebpf.VerdictDrop,
+		Ops: []ebpf.Op{
+			ebpf.NewOp("cube_entry", sim.CostCubeEntry+sim.CostCubeMeta, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+				return ebpf.VerdictNext
+			}),
+			ebpf.NewOp("rt_lpm_lookup", sim.CostCubeLPMLookup, 0, 64, func(c *ebpf.Ctx) ebpf.Verdict {
+				r.mu.Lock()
+				rt, ok := r.routes.Lookup(c.IPDst)
+				r.mu.Unlock()
+				if !ok {
+					return ebpf.VerdictDrop // no slow path to punt to
+				}
+				nh := rt.Gateway
+				if nh == 0 {
+					nh = c.IPDst
+				}
+				c.FIB = ebpf.FIBResult{EgressIfIndex: rt.OutIf}
+				// Next-hop MAC from the cube-private ARP map.
+				c.Meter.Charge(sim.CostCubeARPLookup)
+				r.mu.Lock()
+				mac, ok := r.arp[nh]
+				dev := r.ports[rt.OutIf]
+				r.mu.Unlock()
+				if !ok || dev == nil {
+					return ebpf.VerdictDrop
+				}
+				c.FIB.DstMAC = mac
+				c.FIB.SrcMAC = dev.MAC
+				c.FIBOk = true
+				return ebpf.VerdictNext
+			}),
+			fpm.RewriteOp(),
+			ebpf.NewOp("rt_redirect", 0, ebpf.CapRedirect, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+				c.RedirectIfIndex = c.FIB.EgressIfIndex
+				return ebpf.VerdictRedirect
+			}),
+		}}
+	if _, err := r.p.loader.Load(routerProg); err != nil {
+		return err
+	}
+	chain.Update(2, routerProg)
+
+	// Stage 1 (optional): firewall cube, tail-calling into the router.
+	nextSlot := 2
+	if fw != nil {
+		fwProg := fw.program(chain, 2)
+		if _, err := r.p.loader.Load(fwProg); err != nil {
+			return err
+		}
+		chain.Update(1, fwProg)
+		nextSlot = 1
+	}
+
+	// Stage 0: parser cube.
+	target := nextSlot
+	parserProg := &ebpf.Program{Name: r.Name + "_parser", Hook: ebpf.HookXDP, Default: ebpf.VerdictDrop,
+		Ops: []ebpf.Op{
+			ebpf.NewOp("cube_entry", sim.CostCubeEntry+sim.CostCubeMeta, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+				return ebpf.VerdictNext
+			}),
+			fpm.ParseEth(),
+			fpm.ParseIPv4(),
+			fpm.ParseL4(),
+			ebpf.NewOp("cube_chain", 0, ebpf.CapTailCall, 8, func(c *ebpf.Ctx) ebpf.Verdict {
+				return c.TailCall(chain, target)
+			}),
+		}}
+	if _, err := r.p.loader.Load(parserProg); err != nil {
+		return err
+	}
+	chain.Update(0, parserProg)
+
+	for _, dev := range ports {
+		if err := r.p.loader.AttachXDP(dev, parserProg, "driver"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Firewall is a pcn-firewall cube with an efficient classifier (the paper
+// credits Polycube's better-than-linear matching to [34]).
+type Firewall struct {
+	Name string
+
+	mu    sync.Mutex
+	rules []FWRule
+	// classifier buckets: masked /16 of the matched address -> rule idxs.
+	srcBuckets map[packet.Addr][]int
+	dstBuckets map[packet.Addr][]int
+	wildcards  []int
+}
+
+// FWRule is one firewall rule.
+type FWRule struct {
+	Src, Dst *packet.Prefix
+	Proto    uint8
+	Action   ebpf.Verdict // VerdictDrop or VerdictPass(=accept)
+}
+
+// AddFirewall creates a firewall cube.
+func (p *Platform) AddFirewall(name string) (*Firewall, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.firewalls[name]; ok {
+		return nil, fmt.Errorf("polycube: firewall %q exists", name)
+	}
+	fw := &Firewall{
+		Name:       name,
+		srcBuckets: make(map[packet.Addr][]int),
+		dstBuckets: make(map[packet.Addr][]int),
+	}
+	p.firewalls[name] = fw
+	return fw, nil
+}
+
+var bucketMask = packet.Prefix{Bits: 16}.Mask()
+
+// AppendRule adds a rule and indexes it into the classifier.
+func (fw *Firewall) AppendRule(rule FWRule) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	idx := len(fw.rules)
+	fw.rules = append(fw.rules, rule)
+	switch {
+	case rule.Src != nil && rule.Src.Bits >= 16:
+		fw.srcBuckets[rule.Src.Addr&bucketMask] = append(fw.srcBuckets[rule.Src.Addr&bucketMask], idx)
+	case rule.Dst != nil && rule.Dst.Bits >= 16:
+		fw.dstBuckets[rule.Dst.Addr&bucketMask] = append(fw.dstBuckets[rule.Dst.Addr&bucketMask], idx)
+	default:
+		fw.wildcards = append(fw.wildcards, idx)
+	}
+}
+
+// RuleCount reports the number of rules.
+func (fw *Firewall) RuleCount() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return len(fw.rules)
+}
+
+// Evaluate classifies a packet: bucket probes plus any wildcard rules, in
+// rule order within the candidate set. Default accept.
+func (fw *Firewall) Evaluate(src, dst packet.Addr, proto uint8) ebpf.Verdict {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	best := -1
+	consider := func(idxs []int) {
+		for _, i := range idxs {
+			rl := fw.rules[i]
+			if rl.Src != nil && !rl.Src.Contains(src) {
+				continue
+			}
+			if rl.Dst != nil && !rl.Dst.Contains(dst) {
+				continue
+			}
+			if rl.Proto != 0 && rl.Proto != proto {
+				continue
+			}
+			if best == -1 || i < best {
+				best = i
+			}
+		}
+	}
+	consider(fw.srcBuckets[src&bucketMask])
+	consider(fw.dstBuckets[dst&bucketMask])
+	consider(fw.wildcards)
+	if best == -1 {
+		return ebpf.VerdictPass
+	}
+	return fw.rules[best].Action
+}
+
+// program builds the firewall cube program, tail-calling to the next slot
+// on accept.
+func (fw *Firewall) program(chain *ebpf.ProgArray, nextSlot int) *ebpf.Program {
+	return &ebpf.Program{Name: fw.Name + "_fw", Hook: ebpf.HookXDP, Default: ebpf.VerdictDrop,
+		Ops: []ebpf.Op{
+			ebpf.NewOp("cube_entry", sim.CostCubeEntry+sim.CostCubeMeta, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+				return ebpf.VerdictNext
+			}),
+			ebpf.NewOp("fw_classify", 0, 0, 96, func(c *ebpf.Ctx) ebpf.Verdict {
+				fw.mu.Lock()
+				n := len(fw.rules)
+				fw.mu.Unlock()
+				c.Meter.Charge(sim.CostCubeClassifier + sim.Cycles(n/100)*sim.CostCubeClassPer100)
+				if fw.Evaluate(c.IPSrc, c.IPDst, c.IPProto) == ebpf.VerdictDrop {
+					return ebpf.VerdictDrop
+				}
+				return ebpf.VerdictNext
+			}),
+			ebpf.NewOp("cube_chain", 0, ebpf.CapTailCall, 8, func(c *ebpf.Ctx) ebpf.Verdict {
+				return c.TailCall(chain, nextSlot)
+			}),
+		}}
+}

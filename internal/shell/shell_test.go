@@ -1,0 +1,317 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+)
+
+func sh(t *testing.T) (*Shell, *kernel.Kernel) {
+	t.Helper()
+	k := kernel.New("host")
+	return New(k), k
+}
+
+func mustExec(t *testing.T, s *Shell, cmd string) string {
+	t.Helper()
+	out, err := s.Exec(cmd)
+	if err != nil {
+		t.Fatalf("%q: %v", cmd, err)
+	}
+	return out
+}
+
+func TestIpLinkAddSetShow(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add eth0 type phys")
+	mustExec(t, s, "ip link set eth0 up")
+	d, ok := k.DeviceByName("eth0")
+	if !ok || !d.IsUp() {
+		t.Fatal("device not created/up")
+	}
+	out := mustExec(t, s, "ip link show")
+	if !strings.Contains(out, "eth0") || !strings.Contains(out, "UP") {
+		t.Fatalf("show: %q", out)
+	}
+	mustExec(t, s, "ip link set eth0 down")
+	if d.IsUp() {
+		t.Fatal("down failed")
+	}
+}
+
+func TestVethAndVxlanCreation(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add veth0 type veth peer name veth1")
+	v0, ok0 := k.DeviceByName("veth0")
+	v1, ok1 := k.DeviceByName("veth1")
+	if !ok0 || !ok1 || v0.Peer() != v1 {
+		t.Fatal("veth pair not cross-connected")
+	}
+	mustExec(t, s, "ip link add flannel.1 type vxlan id 1 local 192.168.0.1")
+	if _, ok := k.DeviceByName("flannel.1"); !ok {
+		t.Fatal("vxlan not created")
+	}
+	if _, err := s.Exec("ip link add x type warp"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestIpAddrAndRoute(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add eth0 type phys")
+	mustExec(t, s, "ip link set eth0 up")
+	mustExec(t, s, "ip addr add 10.1.0.254/24 dev eth0")
+	d, _ := k.DeviceByName("eth0")
+	if !d.HasAddr(packet.MustAddr("10.1.0.254")) {
+		t.Fatal("addr missing")
+	}
+	mustExec(t, s, "ip route add 10.100.0.0/16 via 10.1.0.1 dev eth0")
+	// Gateway resolution without an explicit dev.
+	mustExec(t, s, "ip route add 10.101.0.0/16 via 10.1.0.1")
+	out := mustExec(t, s, "ip route show")
+	if !strings.Contains(out, "10.100.0.0/16 via 10.1.0.1 dev eth0") {
+		t.Fatalf("route show: %q", out)
+	}
+	if !strings.Contains(out, "10.101.0.0/16") {
+		t.Fatalf("gateway-resolved route missing: %q", out)
+	}
+	// default keyword.
+	mustExec(t, s, "ip route add default via 10.1.0.1")
+	if _, ok := k.FIB.Main().Lookup(packet.MustAddr("8.8.8.8")); !ok {
+		t.Fatal("default route missing")
+	}
+	mustExec(t, s, "ip route del 10.100.0.0/16")
+	if _, err := s.Exec("ip route del 10.100.0.0/16"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	out = mustExec(t, s, "ip addr show")
+	if !strings.Contains(out, "10.1.0.254/24") {
+		t.Fatalf("addr show: %q", out)
+	}
+	mustExec(t, s, "ip addr del 10.1.0.254/24 dev eth0")
+	if d.HasAddr(packet.MustAddr("10.1.0.254")) {
+		t.Fatal("addr not removed")
+	}
+}
+
+func TestIpNeigh(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add eth0 type phys")
+	mustExec(t, s, "ip neigh add 10.0.0.1 lladdr 02:aa:bb:cc:dd:ee dev eth0")
+	mac, ok := k.Neigh.Resolved(packet.MustAddr("10.0.0.1"), 0)
+	if !ok || mac != packet.MustHWAddr("02:aa:bb:cc:dd:ee") {
+		t.Fatal("neigh not added")
+	}
+	out := mustExec(t, s, "ip neigh show")
+	if !strings.Contains(out, "PERMANENT") {
+		t.Fatalf("neigh show: %q", out)
+	}
+}
+
+func TestBrctl(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add p0 type phys")
+	mustExec(t, s, "brctl addbr br0")
+	mustExec(t, s, "brctl addif br0 p0")
+	br, ok := k.BridgeByName("br0")
+	if !ok || len(br.Ports()) != 1 {
+		t.Fatal("bridge/port wrong")
+	}
+	mustExec(t, s, "brctl stp br0 on")
+	if !br.STPEnabled() {
+		t.Fatal("stp not enabled")
+	}
+	out := mustExec(t, s, "brctl show")
+	if !strings.Contains(out, "br0") || !strings.Contains(out, "p0") {
+		t.Fatalf("brctl show: %q", out)
+	}
+	mustExec(t, s, "brctl delif br0 p0")
+	mustExec(t, s, "brctl delbr br0")
+	if _, ok := k.BridgeByName("br0"); ok {
+		t.Fatal("bridge survived delbr")
+	}
+}
+
+func TestIptablesAndIpset(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "iptables -A FORWARD -d 10.10.3.0/24 -j DROP")
+	if k.NF.RuleCount("FORWARD") != 1 {
+		t.Fatal("rule not appended")
+	}
+	mustExec(t, s, "iptables -A FORWARD -p tcp --dport 443 -j ACCEPT")
+	c, _ := k.NF.Chain("FORWARD")
+	if c.Rules[1].Match.Proto != packet.ProtoTCP || c.Rules[1].Match.DstPort != 443 {
+		t.Fatalf("match parse: %+v", c.Rules[1].Match)
+	}
+	mustExec(t, s, "iptables -I FORWARD 1 -s 9.9.9.9/32 -j ACCEPT")
+	c, _ = k.NF.Chain("FORWARD")
+	if c.Rules[0].Match.Src == nil {
+		t.Fatal("insert at head failed")
+	}
+	out := mustExec(t, s, "iptables -L FORWARD")
+	if !strings.Contains(out, "DROP") || !strings.Contains(out, "10.10.3.0/24") {
+		t.Fatalf("iptables -L: %q", out)
+	}
+	mustExec(t, s, "iptables -D FORWARD 1")
+	if k.NF.RuleCount("FORWARD") != 2 {
+		t.Fatal("delete failed")
+	}
+
+	mustExec(t, s, "ipset create blacklist hash:net")
+	mustExec(t, s, "ipset add blacklist 203.0.113.0/24")
+	mustExec(t, s, "iptables -A FORWARD -m set --match-set blacklist src -j DROP")
+	c, _ = k.NF.Chain("FORWARD")
+	if c.Rules[2].Match.SrcSet != "blacklist" {
+		t.Fatalf("set match parse: %+v", c.Rules[2].Match)
+	}
+	v, _ := k.NF.EvaluateHook(netfilter.HookForward, &netfilter.Meta{
+		Src: packet.MustAddr("203.0.113.9"), Dst: packet.MustAddr("1.1.1.1"),
+	})
+	if v != netfilter.VerdictDrop {
+		t.Fatal("set-backed rule not effective")
+	}
+	mustExec(t, s, "ipset del blacklist 203.0.113.0/24")
+	mustExec(t, s, "ipset destroy blacklist")
+	mustExec(t, s, "iptables -F FORWARD")
+	if k.NF.RuleCount("FORWARD") != 0 {
+		t.Fatal("flush failed")
+	}
+	mustExec(t, s, "iptables -P FORWARD DROP")
+	v, _ = k.NF.EvaluateHook(netfilter.HookForward, &netfilter.Meta{})
+	if v != netfilter.VerdictDrop {
+		t.Fatal("policy not set")
+	}
+}
+
+func TestSysctl(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "sysctl -w net.ipv4.ip_forward=1")
+	if !k.IPForwarding() {
+		t.Fatal("sysctl write failed")
+	}
+	out := mustExec(t, s, "sysctl net.ipv4.ip_forward")
+	if !strings.Contains(out, "= 1") {
+		t.Fatalf("sysctl read: %q", out)
+	}
+}
+
+func TestExecAllScript(t *testing.T) {
+	s, k := sh(t)
+	script := `
+# a router in four lines
+ip link add eth0 type phys
+ip link set eth0 up
+ip addr add 10.1.0.254/24 dev eth0
+sysctl -w net.ipv4.ip_forward=1
+`
+	if _, err := s.ExecAll(script); err != nil {
+		t.Fatal(err)
+	}
+	if !k.IPForwarding() {
+		t.Fatal("script not applied")
+	}
+	// Errors carry the offending line.
+	_, err := s.ExecAll("ip link add eth1 type phys\nbogus command here")
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := sh(t)
+	for _, cmd := range []string{
+		"frobnicate",
+		"ip",
+		"ip wormhole add",
+		"ip addr add bad dev eth0",
+		"ip route add 10.0.0.0/8",
+		"brctl",
+		"brctl addif br0",
+		"iptables",
+		"ipset create",
+		"sysctl",
+	} {
+		if _, err := s.Exec(cmd); err == nil {
+			t.Errorf("%q accepted", cmd)
+		}
+	}
+	// Blank lines and comments are fine.
+	if _, err := s.Exec(""); err != nil {
+		t.Error("blank line rejected")
+	}
+	if _, err := s.Exec("# comment"); err != nil {
+		t.Error("comment rejected")
+	}
+}
+
+func TestBridgeVlanAndFdbCommands(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ip link add p0 type phys")
+	mustExec(t, s, "brctl addbr br0")
+	mustExec(t, s, "brctl addif br0 p0")
+	mustExec(t, s, "bridge vlan add dev p0 vid 10 pvid untagged")
+	mustExec(t, s, "bridge vlan add dev p0 vid 20")
+	br, _ := k.BridgeByName("br0")
+	d, _ := k.DeviceByName("p0")
+	port, _ := br.Port(d.Index)
+	if port.PVID != 10 || !port.Untagged[10] || !port.Tagged[20] {
+		t.Fatalf("vlan config: %+v", port)
+	}
+	mustExec(t, s, "bridge fdb add 02:aa:00:00:00:01 dev p0 vlan 10")
+	if p, ok := br.FDBLookup(packet.MustHWAddr("02:aa:00:00:00:01"), 10, 0); !ok || p != d.Index {
+		t.Fatal("static fdb entry missing")
+	}
+	// VTEP form: needs a vxlan device.
+	mustExec(t, s, "ip link add flannel.1 type vxlan id 1 local 192.168.0.1")
+	mustExec(t, s, "bridge fdb add 02:bb:00:00:00:01 dev flannel.1 dst 192.168.0.2")
+
+	for _, bad := range []string{
+		"bridge",
+		"bridge vlan del",
+		"bridge vlan add dev ghost vid 1",
+		"bridge vlan add dev lo vid 1",
+		"bridge fdb add xx dev p0",
+		"bridge fdb add 02:aa:00:00:00:01 dev ghost",
+		"bridge fdb add 02:aa:00:00:00:01 dev lo",
+		"bridge route add",
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestIpvsadmCommands(t *testing.T) {
+	s, k := sh(t)
+	mustExec(t, s, "ipvsadm -A -t 10.99.0.1:80 -s rr")
+	mustExec(t, s, "ipvsadm -a -t 10.99.0.1:80 -r 10.100.0.10")
+	mustExec(t, s, "ipvsadm -a -t 10.99.0.1:80 -r 10.101.0.10")
+	svcs := k.IPVSServices()
+	if len(svcs) != 1 || len(svcs[0].Backends) != 2 || svcs[0].Scheduler != "rr" {
+		t.Fatalf("services: %+v", svcs)
+	}
+	out := mustExec(t, s, "ipvsadm -L")
+	if !strings.Contains(out, "10.99.0.1:80") || !strings.Contains(out, "10.100.0.10") {
+		t.Fatalf("ipvsadm -L: %q", out)
+	}
+	mustExec(t, s, "ipvsadm -D -t 10.99.0.1:80")
+	if len(k.IPVSServices()) != 0 {
+		t.Fatal("service survived -D")
+	}
+	for _, bad := range []string{
+		"ipvsadm",
+		"ipvsadm -A",
+		"ipvsadm -A -t noport",
+		"ipvsadm -A -t 1.1.1.1:xx",
+		"ipvsadm -a -t 1.1.1.1:80",
+		"ipvsadm -D -t 1.1.1.1:80",
+		"ipvsadm -t 1.1.1.1:80",
+	} {
+		if _, err := s.Exec(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

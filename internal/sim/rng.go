@@ -1,0 +1,79 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64-seeded xoshiro256**). Experiments seed it explicitly so every
+// run of the harness reproduces the same numbers.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given value.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to spread the seed across the state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a log-normal variate with the given parameters of the
+// underlying normal. Used to model per-packet service-time jitter (cache
+// misses, softirq interference) with a realistic heavy right tail.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}

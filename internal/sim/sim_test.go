@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested schedule got %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		e.At(50, func() {
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %v, want clamp to 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Fatalf("bucket %d count %d deviates >10%% from uniform", i, c)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ≈1", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	var sum, sumsq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal mean %v var %v, want 0/1", mean, variance)
+	}
+}
+
+func TestStatsMoments(t *testing.T) {
+	s := NewStats()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Fatalf("mean %v, want 5", s.Mean())
+	}
+	// Sample std dev of that classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("std %v, want %v", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStatsQuantileAccuracy(t *testing.T) {
+	s := NewStats()
+	r := NewRNG(5)
+	// Uniform [100, 200): p99 should be ≈199.
+	for i := 0; i < 100000; i++ {
+		s.Observe(100 + 100*r.Float64())
+	}
+	if p := s.P99(); p < 195 || p > 203 {
+		t.Fatalf("p99 = %v, want ≈199", p)
+	}
+	if p := s.Quantile(0.5); p < 147 || p > 153 {
+		t.Fatalf("median = %v, want ≈150", p)
+	}
+}
+
+func TestStatsEmptyAndEdgeQuantiles(t *testing.T) {
+	s := NewStats()
+	if s.Mean() != 0 || s.StdDev() != 0 || s.P99() != 0 {
+		t.Fatal("empty stats should report zeros")
+	}
+	s.Observe(-3) // underflow bucket
+	s.Observe(10)
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("q0 with underflow = %v", q)
+	}
+	if q := s.Quantile(1); q < 9 || q > 11 {
+		t.Fatalf("q1 = %v, want ≈10", q)
+	}
+}
+
+func TestStatsQuantileMonotonic(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := NewStats()
+		r := NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			s.Observe(r.Float64() * 1000)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(100) // must not panic
+	m.ChargeBytes(64)
+	m.Reset()
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := &Meter{}
+	m.Charge(100)
+	m.Charge(50)
+	m.ChargeBytes(100)
+	want := Cycles(150 + 100*float64(CostPerByte))
+	if math.Abs(float64(m.Total-want)) > 1e-9 {
+		t.Fatalf("meter total %v, want %v", m.Total, want)
+	}
+	m.Reset()
+	if m.Total != 0 {
+		t.Fatal("reset did not clear meter")
+	}
+}
+
+func TestCostConversions(t *testing.T) {
+	// 2400 cycles at 2.4 GHz is exactly 1 µs and 1 Mpps.
+	if d := PerPacketDuration(2400); d != Duration(1*Microsecond) {
+		t.Fatalf("duration %v, want 1µs", d)
+	}
+	if pps := PacketsPerSecond(2400); math.Abs(pps-1e6) > 1 {
+		t.Fatalf("pps %v, want 1e6", pps)
+	}
+	if PacketsPerSecond(0) != 0 {
+		t.Fatal("zero cycles should report zero pps")
+	}
+}
+
+func TestFastPathAnchorMatchesPaper(t *testing.T) {
+	// The calibration anchor: the XDP forwarding FPM composition should be
+	// within a few percent of Table VII's 1.768 Mpps.
+	fwd := CostXDPPrologue + CostParseEth + CostParseIPv4 + CostHelperFIB +
+		CostRewriteL2L3 + CostXDPRedirect
+	pps := PacketsPerSecond(fwd)
+	if pps < 1.6e6 || pps > 1.95e6 {
+		t.Fatalf("XDP forwarding anchor = %.0f pps, want ≈1.77e6", pps)
+	}
+	slow := CostDriverRx + CostSKBAlloc + CostNetifReceive + CostIPRcv +
+		CostRouteLookup + CostIPForward + CostNeighOutput + CostDevXmit
+	speedup := float64(slow) / float64(fwd)
+	if speedup < 1.6 || speedup > 1.95 {
+		t.Fatalf("fast/slow speedup %.2f, want ≈1.77", speedup)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	d := Duration(1500 * Microsecond)
+	if d.Millis() != 1.5 {
+		t.Fatalf("millis %v", d.Millis())
+	}
+	if d.Micros() != 1500 {
+		t.Fatalf("micros %v", d.Micros())
+	}
+	if d.Seconds() != 0.0015 {
+		t.Fatalf("seconds %v", d.Seconds())
+	}
+	tm := Time(0).Add(d)
+	if tm.Sub(Time(0)) != d {
+		t.Fatal("time add/sub mismatch")
+	}
+}
+
+func TestLogNormalTail(t *testing.T) {
+	r := NewRNG(21)
+	s := NewStats()
+	for i := 0; i < 100000; i++ {
+		s.Observe(r.LogNormal(0, 0.25))
+	}
+	// Mean of lognormal(0, 0.25) is exp(0.03125) ≈ 1.032.
+	if math.Abs(s.Mean()-1.032) > 0.02 {
+		t.Fatalf("lognormal mean %v", s.Mean())
+	}
+	// p99 ≈ exp(2.326*0.25) ≈ 1.79 — the heavy tail the latency model needs.
+	if p := s.P99(); p < 1.6 || p > 2.0 {
+		t.Fatalf("lognormal p99 %v, want ≈1.79", p)
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats accumulates samples online (Welford) for mean and standard deviation
+// and keeps a log-linear histogram for quantile queries, so experiment runs
+// with millions of samples stay O(1) per observation.
+type Stats struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	hist histogram
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{min: math.Inf(1), max: math.Inf(-1), hist: newHistogram()}
+}
+
+// Observe records one sample.
+func (s *Stats) Observe(v float64) {
+	s.n++
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.hist.observe(v)
+}
+
+// ObserveDuration records a virtual duration in microseconds. Latency tables
+// in the paper are reported in microseconds (or milliseconds for Table V).
+func (s *Stats) ObserveDuration(d Duration) { s.Observe(d.Micros()) }
+
+// Count reports the number of samples.
+func (s *Stats) Count() int { return s.n }
+
+// Mean reports the sample mean (0 for no samples).
+func (s *Stats) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// StdDev reports the sample standard deviation.
+func (s *Stats) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min reports the smallest sample (0 for no samples).
+func (s *Stats) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest sample (0 for no samples).
+func (s *Stats) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile reports an approximate quantile q in [0,1] from the histogram.
+// Accuracy is bounded by the bucket width (≈1.6% relative).
+func (s *Stats) Quantile(q float64) float64 {
+	return s.hist.quantile(q)
+}
+
+// P99 is shorthand for the 99th percentile.
+func (s *Stats) P99() float64 { return s.Quantile(0.99) }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p99=%.3f std=%.3f", s.n, s.Mean(), s.P99(), s.StdDev())
+}
+
+// histogram is a log-scaled bucket histogram covering (0, +inf). Values ≤ 0
+// land in a dedicated underflow bucket.
+type histogram struct {
+	counts    map[int]int
+	total     int
+	underflow int
+}
+
+// _bucketsPerDecade controls resolution: 144 buckets per decade ≈ 1.6%
+// relative error, plenty for p99 reporting.
+const _bucketsPerDecade = 144
+
+func newHistogram() histogram {
+	return histogram{counts: make(map[int]int)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.total++
+	if v <= 0 {
+		h.underflow++
+		return
+	}
+	idx := int(math.Floor(math.Log10(v) * _bucketsPerDecade))
+	h.counts[idx]++
+}
+
+func (h *histogram) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target <= h.underflow {
+		return 0
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	cum := h.underflow
+	for _, k := range keys {
+		cum += h.counts[k]
+		if cum >= target {
+			// Report the bucket's geometric midpoint.
+			lo := math.Pow(10, float64(k)/_bucketsPerDecade)
+			hi := math.Pow(10, float64(k+1)/_bucketsPerDecade)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return 0
+}

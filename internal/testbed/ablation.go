@@ -1,0 +1,253 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+)
+
+// Ablation studies for the two design decisions the paper argues for
+// (§III-A, §VI-B): sharing kernel state through helpers instead of shadow
+// maps, and synthesizing minimal per-configuration code instead of
+// shipping one generic program.
+
+// AblationResult compares two variants of one design decision.
+type AblationResult struct {
+	Name             string
+	VariantA         string
+	ACycles          sim.Cycles
+	VariantB         string
+	BCycles          sim.Cycles
+	CorrectnessNote  string
+	ACorrectOnChange bool
+	BCorrectOnChange bool
+}
+
+// AblationStateSharing compares the LinuxFP router FPM (bpf_fib_lookup
+// against live kernel state) with a Polycube-style variant that keeps a
+// private shadow copy of the routing state in its own maps. The paper's
+// claim: coherence costs no performance (footnote 2 even has LinuxFP
+// ahead) — and the shadow copy silently goes stale when configuration
+// changes behind its back.
+func AblationStateSharing() (AblationResult, error) {
+	res := AblationResult{
+		Name:     "state sharing",
+		VariantA: "helpers (kernel state)",
+		VariantB: "shadow maps (private copy)",
+		CorrectnessNote: "after `ip route del`, the helper variant punts (correct); " +
+			"the shadow variant keeps forwarding into the deleted route (stale state)",
+	}
+
+	// Variant A: the standard LinuxFP fast path.
+	helperDUT, err := Build(PlatformLinuxFP, Scenario{})
+	if err != nil {
+		return res, err
+	}
+	defer helperDUT.Close()
+	res.ACycles = helperDUT.AvgCycles(200, traffic.MinFrameSize)
+
+	// Variant B: same program shape, but the FIB/neighbour state is copied
+	// into program-private structures at load time.
+	shadowDUT, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return res, err
+	}
+	defer shadowDUT.Close()
+	if err := attachShadowRouter(shadowDUT); err != nil {
+		return res, err
+	}
+	res.BCycles = shadowDUT.AvgCycles(200, traffic.MinFrameSize)
+
+	// Correctness on change: delete one routed prefix through the Linux
+	// API and see which variant still forwards into it.
+	probe := routedPrefix(3)
+	probeDst := probe.Addr | 0x0101
+
+	helperDUT.Kern.DelRoute(probe)
+	if helperDUT.Controller != nil {
+		helperDUT.Controller.Sync()
+	}
+	res.ACorrectOnChange = !forwardsTo(helperDUT, probeDst)
+
+	shadowDUT.Kern.DelRoute(probe)
+	res.BCorrectOnChange = !forwardsTo(shadowDUT, probeDst)
+	return res, nil
+}
+
+// forwardsTo reports whether the DUT still forwards a probe packet.
+func forwardsTo(d *DUT, dst packet.Addr) bool {
+	got := 0
+	old := d.SinkDev.Tap
+	d.SinkDev.Tap = func([]byte) { got++ }
+	defer func() { d.SinkDev.Tap = old }()
+	g := *d.gen
+	g.Prefixes = []packet.Prefix{{Addr: dst, Bits: 32}}
+	var m sim.Meter
+	d.In.Receive(g.Frame(0), &m)
+	return got > 0
+}
+
+// attachShadowRouter installs a router fast path that snapshots the FIB
+// and neighbour table into private maps at load time — the alternative
+// architecture LinuxFP rejects.
+func attachShadowRouter(d *DUT) error {
+	type entry struct {
+		egress int
+		src    packet.HWAddr
+		dst    packet.HWAddr
+	}
+	// Snapshot: prefix -> resolved forwarding entry.
+	shadow := make(map[packet.Prefix]entry)
+	for _, r := range d.Kern.FIB.Main().Routes() {
+		out, ok := d.Kern.DeviceByIndex(r.OutIf)
+		if !ok {
+			continue
+		}
+		nh := r.Gateway
+		if nh == 0 {
+			continue // connected routes would need per-dst entries
+		}
+		mac, ok := d.Kern.Neigh.Resolved(nh, 0)
+		if !ok {
+			continue
+		}
+		shadow[r.Prefix] = entry{egress: out.Index, src: out.MAC, dst: mac}
+	}
+
+	loader := ebpf.NewLoader(d.Kern)
+	ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(),
+		ebpf.NewOp("shadow_lpm", sim.CostCubeLPMLookup+sim.CostCubeARPLookup, 0, 72, func(c *ebpf.Ctx) ebpf.Verdict {
+			var (
+				best     packet.Prefix
+				bestE    entry
+				found    bool
+				bestBits = -1
+			)
+			for p, e := range shadow {
+				if p.Contains(c.IPDst) && p.Bits > bestBits {
+					best, bestE, found, bestBits = p, e, true, p.Bits
+				}
+			}
+			_ = best
+			if !found {
+				return ebpf.VerdictDrop // no slow path in this architecture
+			}
+			c.FIB = ebpf.FIBResult{EgressIfIndex: bestE.egress, SrcMAC: bestE.src, DstMAC: bestE.dst}
+			c.FIBOk = true
+			return ebpf.VerdictNext
+		}),
+		fpm.RewriteOp(),
+		fpm.RedirectOp(fpm.RouterConf{}),
+	}
+	prog, err := loader.Load(&ebpf.Program{Name: "shadow_router", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictDrop})
+	if err != nil {
+		return err
+	}
+	return loader.AttachXDP(d.In, prog, "driver")
+}
+
+// AblationSpecialization compares the synthesizer's minimal data path
+// (only the snippets the configuration needs) against a generic
+// all-features program that carries every branch at run time — the
+// "less code leads to more efficient code paths" principle (§III-A).
+func AblationSpecialization() (AblationResult, error) {
+	res := AblationResult{
+		Name:            "specialization",
+		VariantA:        "synthesized minimal (no STP/VLAN/filter snippets)",
+		VariantB:        "generic (all snippets, runtime branches)",
+		CorrectnessNote: "both are correct; the generic variant pays for features the configuration does not use",
+	}
+	// A plain bridge: no STP, no VLANs, no filtering configured.
+	aCyc, err := bridgeVariantCycles(false)
+	if err != nil {
+		return res, err
+	}
+	bCyc, err := bridgeVariantCycles(true)
+	if err != nil {
+		return res, err
+	}
+	res.ACycles, res.BCycles = aCyc, bCyc
+	res.ACorrectOnChange, res.BCorrectOnChange = true, true
+	return res, nil
+}
+
+// bridgeVariantCycles measures a two-port bridge fast path, either minimal
+// or with every optional snippet compiled in.
+func bridgeVariantCycles(generic bool) (sim.Cycles, error) {
+	sw := kernel.New("sw")
+	sw.CreateBridge("br0")
+	sw.SetLinkUp("br0", true)
+	var ports, hosts []*netdev.Device
+	for i := 0; i < 2; i++ {
+		hk := kernel.New("h")
+		hd := hk.CreateDevice("eth0", netdev.Physical)
+		hd.SetUp(true)
+		port := sw.CreateDevice(fmt.Sprintf("swp%d", i), netdev.Physical)
+		port.SetUp(true)
+		netdev.Connect(hd, port)
+		if err := sw.AddBridgePort("br0", port.Name); err != nil {
+			return 0, err
+		}
+		ports = append(ports, port)
+		hosts = append(hosts, hd)
+	}
+	br, _ := sw.BridgeByName("br0")
+	br.Learn(hosts[0].MAC, 0, ports[0].Index, 0)
+	br.Learn(hosts[1].MAC, 0, ports[1].Index, 0)
+
+	conf := fpm.BridgeConf{Bridge: br}
+	ops := []ebpf.Op{fpm.ParseEth()}
+	if generic {
+		// Everything the template library has, configured or not.
+		conf.STP = true
+		conf.VLANFiltering = false // functional VLAN classify would drop untagged; model its cost instead
+		conf.Filter = true
+		ops = append(ops, fpm.ParseVLAN())
+		ops = append(ops, ebpf.NewOp("vlan_branch", sim.CostPortState, 0, 20, func(*ebpf.Ctx) ebpf.Verdict {
+			return ebpf.VerdictNext // the runtime "is VLAN filtering on?" branch
+		}))
+	}
+	ops = append(ops, fpm.BridgeOps(conf)...)
+	loader := ebpf.NewLoader(sw)
+	prog, err := loader.Load(&ebpf.Program{Name: "bridge_variant", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		return 0, err
+	}
+	if err := loader.AttachXDP(ports[0], prog, "driver"); err != nil {
+		return 0, err
+	}
+
+	frame := packet.BuildEthernet(packet.Ethernet{
+		Dst: hosts[1].MAC, Src: hosts[0].MAC, EtherType: packet.EtherTypeIPv4}, make([]byte, 46))
+	netdev.Disconnect(ports[1])
+	var total sim.Cycles
+	const n = 200
+	for i := 0; i < n; i++ {
+		var m sim.Meter
+		ports[0].Receive(append([]byte(nil), frame...), &m)
+		total += m.Total
+	}
+	return total / n, nil
+}
+
+// RenderAblations formats the two studies.
+func RenderAblations(results []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation studies\n================\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "\n%s:\n", r.Name)
+		fmt.Fprintf(&b, "  %-45s %8.0f cycles/pkt (%.3f Mpps)  correct-after-change=%v\n",
+			r.VariantA, float64(r.ACycles), sim.PacketsPerSecond(r.ACycles)/1e6, r.ACorrectOnChange)
+		fmt.Fprintf(&b, "  %-45s %8.0f cycles/pkt (%.3f Mpps)  correct-after-change=%v\n",
+			r.VariantB, float64(r.BCycles), sim.PacketsPerSecond(r.BCycles)/1e6, r.BCorrectOnChange)
+		fmt.Fprintf(&b, "  note: %s\n", r.CorrectnessNote)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationStateSharing(t *testing.T) {
+	r, err := AblationStateSharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: coherent state sharing does not sacrifice
+	// performance (§VI-A1 footnote 2). The helper variant must be at
+	// least competitive with the shadow copy (within 10%), and in our
+	// calibration it wins outright.
+	if float64(r.ACycles) > 1.1*float64(r.BCycles) {
+		t.Fatalf("helper variant (%v) much slower than shadow (%v)", r.ACycles, r.BCycles)
+	}
+	// The architectural payoff: only the helper variant stays correct
+	// when configuration changes underneath.
+	if !r.ACorrectOnChange {
+		t.Fatal("helper variant forwarded into a deleted route")
+	}
+	if r.BCorrectOnChange {
+		t.Fatal("shadow variant should have gone stale (that is the point)")
+	}
+}
+
+func TestAblationSpecialization(t *testing.T) {
+	r, err := AblationSpecialization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Less code is faster code: the minimal synthesized path must beat
+	// the generic all-branches program by a measurable margin.
+	if float64(r.BCycles) < 1.05*float64(r.ACycles) {
+		t.Fatalf("generic variant (%v) should cost >5%% more than minimal (%v)", r.BCycles, r.ACycles)
+	}
+	// And both remain functionally correct.
+	if !r.ACorrectOnChange || !r.BCorrectOnChange {
+		t.Fatal("specialization must never change semantics")
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	a, err := AblationStateSharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AblationSpecialization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAblations([]AblationResult{a, b})
+	for _, want := range []string{"state sharing", "specialization", "cycles/pkt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEvaluationDeterminism: EXPERIMENTS.md promises deterministic
+// regeneration (fixed seeds, virtual time). Running an experiment twice
+// must produce bit-identical numbers.
+func TestEvaluationDeterminism(t *testing.T) {
+	a1, err := Fig10CallChaining(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Fig10CallChaining(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("fig10 row %d differs across runs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	r1, err := Table6ReactionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Table6ReactionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("table6 row %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+	// Latency runs are seeded DES: same seed, same distribution.
+	d1, err := Build(PlatformLinuxFP, Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	l1 := d1.Latency(64, 7)
+	d2, err := Build(PlatformLinuxFP, Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	l2 := d2.Latency(64, 7)
+	if l1.Stats.Mean() != l2.Stats.Mean() || l1.Transactions != l2.Transactions {
+		t.Fatalf("latency runs differ: %v/%d vs %v/%d",
+			l1.Stats.Mean(), l1.Transactions, l2.Stats.Mean(), l2.Transactions)
+	}
+}

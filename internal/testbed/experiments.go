@@ -1,0 +1,473 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/core"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+)
+
+// Series is one platform's line in a figure.
+type Series struct {
+	Platform string
+	X        []float64
+	Y        []float64
+}
+
+// LatencyRow is one platform's row in a latency table.
+type LatencyRow struct {
+	Platform string
+	Avg, P99 float64 // microseconds
+	StdDev   float64
+}
+
+// Fig5RouterThroughput: virtual-router Mpps vs core count, all platforms,
+// 64-byte packets, 50 prefixes.
+func Fig5RouterThroughput(maxCores int) ([]Series, error) {
+	return coreSweep(Scenario{}, maxCores,
+		[]string{PlatformLinux, PlatformPolycube, PlatformVPP, PlatformLinuxFP})
+}
+
+// Fig7GatewayThroughput: virtual-gateway Mpps vs core count (100 blacklist
+// rules + 50 prefixes).
+func Fig7GatewayThroughput(maxCores int) ([]Series, error) {
+	return coreSweep(Scenario{Gateway: true, Rules: 100}, maxCores,
+		[]string{PlatformLinux, PlatformPolycube, PlatformVPP, PlatformLinuxFP, PlatformLinuxFPIpset})
+}
+
+func coreSweep(sc Scenario, maxCores int, platforms []string) ([]Series, error) {
+	var out []Series
+	for _, p := range platforms {
+		d, err := Build(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Platform: p}
+		for cores := 1; cores <= maxCores; cores++ {
+			pps, _ := d.Throughput(cores, traffic.MinFrameSize)
+			s.X = append(s.X, float64(cores))
+			s.Y = append(s.Y, pps/1e6)
+		}
+		d.Close()
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig6PacketSize: single-core Gbps vs frame size for the virtual router.
+func Fig6PacketSize(sizes []int) ([]Series, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 128, 256, 512, 1024, 1500}
+	}
+	var out []Series
+	for _, p := range []string{PlatformLinux, PlatformPolycube, PlatformVPP, PlatformLinuxFP} {
+		d, err := Build(p, Scenario{})
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Platform: p}
+		for _, size := range sizes {
+			_, gbps := d.Throughput(1, size)
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, gbps)
+		}
+		d.Close()
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig8RuleScaling: single-core virtual-gateway Mpps vs number of filtering
+// rules.
+func Fig8RuleScaling(ruleCounts []int) ([]Series, error) {
+	if len(ruleCounts) == 0 {
+		ruleCounts = []int{1, 50, 100, 200, 300, 400, 500}
+	}
+	var out []Series
+	for _, p := range []string{PlatformLinux, PlatformPolycube, PlatformLinuxFP, PlatformLinuxFPIpset} {
+		s := Series{Platform: p}
+		for _, n := range ruleCounts {
+			d, err := Build(p, Scenario{Gateway: true, Rules: n})
+			if err != nil {
+				return nil, err
+			}
+			pps, _ := d.Throughput(1, traffic.MinFrameSize)
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, pps/1e6)
+			d.Close()
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table3RouterLatency: single-core RTT with 128 netperf sessions.
+func Table3RouterLatency() ([]LatencyRow, error) {
+	return latencyTable(Scenario{},
+		[]string{PlatformLinux, PlatformPolycube, PlatformVPP, PlatformLinuxFP})
+}
+
+// Table4GatewayLatency: the gateway variant, including the ipset rows.
+func Table4GatewayLatency() ([]LatencyRow, error) {
+	return latencyTable(Scenario{Gateway: true, Rules: 100},
+		[]string{PlatformLinux, PlatformLinuxIpset, PlatformPolycube, PlatformVPP, PlatformLinuxFP, PlatformLinuxFPIpset})
+}
+
+func latencyTable(sc Scenario, platforms []string) ([]LatencyRow, error) {
+	var out []LatencyRow
+	for i, p := range platforms {
+		d, err := Build(p, sc)
+		if err != nil {
+			return nil, err
+		}
+		res := d.Latency(128, uint64(1000+i))
+		out = append(out, LatencyRow{
+			Platform: p,
+			Avg:      res.Stats.Mean(),
+			P99:      res.Stats.P99(),
+			StdDev:   res.Stats.StdDev(),
+		})
+		d.Close()
+	}
+	return out, nil
+}
+
+// Fig10Row is one point of the call-chaining microbenchmark.
+type Fig10Row struct {
+	NFs          int
+	FuncCallMpps float64
+	TailCallMpps float64
+}
+
+// Fig10CallChaining reproduces the paper's platform-independent experiment:
+// a chain of N trivial NFs ahead of a forwarding function, composed either
+// as inlined function calls (LinuxFP's style) or as tail-called programs
+// (Polycube's style).
+func Fig10CallChaining(maxNFs int) ([]Fig10Row, error) {
+	var out []Fig10Row
+	for n := 0; n <= maxNFs; n += 2 {
+		fc, err := chainCycles(n, false)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := chainCycles(n, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig10Row{
+			NFs:          n,
+			FuncCallMpps: sim.PacketsPerSecond(fc) / 1e6,
+			TailCallMpps: sim.PacketsPerSecond(tc) / 1e6,
+		})
+	}
+	return out, nil
+}
+
+// chainCycles measures one variant of the Fig. 10 chain on a router DUT.
+func chainCycles(nfs int, tailCalls bool) (sim.Cycles, error) {
+	d, err := Build(PlatformLinux, Scenario{}) // plain kernel; we attach by hand
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	loader := ebpf.NewLoader(d.Kern)
+
+	forwardOps := func() []ebpf.Op {
+		ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4()}
+		return append(ops, fpm.RouterOps(fpm.RouterConf{})...)
+	}
+
+	var entry *ebpf.Program
+	if !tailCalls {
+		// One program, trivial NFs inlined ahead of the forwarder.
+		ops := fpm.TrivialOps(nfs)
+		ops = append(ops, forwardOps()...)
+		entry = &ebpf.Program{Name: "chain_func", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass}
+		if _, err := loader.Load(entry); err != nil {
+			return 0, err
+		}
+	} else {
+		// N+1 programs chained through a program array.
+		table := ebpf.NewProgArray("chain", nfs+1)
+		final := &ebpf.Program{Name: "chain_final", Hook: ebpf.HookXDP, Ops: forwardOps(), Default: ebpf.VerdictPass}
+		if _, err := loader.Load(final); err != nil {
+			return 0, err
+		}
+		table.Update(nfs, final)
+		for i := nfs - 1; i >= 0; i-- {
+			slot := i + 1
+			ops := fpm.TrivialOps(1)
+			ops = append(ops, ebpf.NewOp("tail", 0, ebpf.CapTailCall, 4, func(c *ebpf.Ctx) ebpf.Verdict {
+				return c.TailCall(table, slot)
+			}))
+			prog := &ebpf.Program{Name: fmt.Sprintf("chain_%d", i), Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass}
+			if _, err := loader.Load(prog); err != nil {
+				return 0, err
+			}
+			table.Update(i, prog)
+		}
+		entry = table.Lookup(0)
+		if entry == nil { // nfs == 0
+			entry = final
+		}
+	}
+	if err := loader.AttachXDP(d.In, entry, "driver"); err != nil {
+		return 0, err
+	}
+	return d.AvgCycles(200, traffic.MinFrameSize), nil
+}
+
+// Table7Row is one network function's XDP-vs-TC comparison.
+type Table7Row struct {
+	Function   string
+	XDPpps     float64
+	TCpps      float64
+	XDPLatency float64 // µs, mean under the 128-session load
+	TCLatency  float64
+}
+
+// Table7HookComparison measures bridge, forwarding and filtering fast
+// paths on both hooks.
+func Table7HookComparison() ([]Table7Row, error) {
+	var out []Table7Row
+
+	// Forwarding and filtering use the standard rigs.
+	for _, fn := range []struct {
+		name string
+		sc   Scenario
+	}{
+		{"forwarding", Scenario{}},
+		{"filtering", Scenario{Gateway: true, Rules: 100}},
+	} {
+		row := Table7Row{Function: fn.name}
+		for _, tc := range []bool{false, true} {
+			sc := fn.sc
+			sc.PreferTC = tc
+			d, err := Build(PlatformLinuxFP, sc)
+			if err != nil {
+				return nil, err
+			}
+			pps := sim.PacketsPerSecond(d.AvgCycles(200, traffic.MinFrameSize))
+			lat := d.Latency(128, 77).Stats.Mean()
+			if tc {
+				row.TCpps, row.TCLatency = pps, lat
+			} else {
+				row.XDPpps, row.XDPLatency = pps, lat
+			}
+			d.Close()
+		}
+		out = append(out, row)
+	}
+
+	// Bridge rig: two stations through a LinuxFP-accelerated bridge.
+	row := Table7Row{Function: "bridge"}
+	for _, tc := range []bool{false, true} {
+		cyc, err := bridgeCycles(tc)
+		if err != nil {
+			return nil, err
+		}
+		pps := sim.PacketsPerSecond(cyc)
+		lat := traffic.RunRR(traffic.RRConfig{
+			Sessions: 128, Duration: 2 * sim.Second, Seed: 78,
+			ReqCycles: cyc, RespCycles: cyc,
+			WireRTT: 20 * sim.Microsecond, ServerTime: 8 * sim.Microsecond,
+			JitterSigma: 0.22, StallProb: 0.0005, StallMean: 80 * sim.Microsecond,
+		}).Stats.Mean()
+		if tc {
+			row.TCpps, row.TCLatency = pps, lat
+		} else {
+			row.XDPpps, row.XDPLatency = pps, lat
+		}
+	}
+	out = append([]Table7Row{row}, out...)
+	return out, nil
+}
+
+// bridgeCycles builds a LinuxFP bridge DUT on the chosen hook and measures
+// per-packet forwarding cost between two learned stations.
+func bridgeCycles(preferTC bool) (sim.Cycles, error) {
+	sw := kernel.New("sw")
+	sw.CreateBridge("br0")
+	sw.SetLinkUp("br0", true)
+	var ports, hosts []*netdev.Device
+	for i := 0; i < 2; i++ {
+		hk := kernel.New("host")
+		hd := hk.CreateDevice("eth0", netdev.Physical)
+		hd.SetUp(true)
+		hk.AddAddr("eth0", packet.Prefix{Addr: packet.AddrFrom4(10, 9, 0, byte(i+1)), Bits: 24})
+		port := sw.CreateDevice(fmt.Sprintf("swp%d", i), netdev.Physical)
+		port.SetUp(true)
+		netdev.Connect(hd, port)
+		if err := sw.AddBridgePort("br0", port.Name); err != nil {
+			return 0, err
+		}
+		ports = append(ports, port)
+		hosts = append(hosts, hd)
+	}
+	ctrl := core.New(sw, core.Options{PreferTC: preferTC})
+	ctrl.Start()
+	defer ctrl.Stop()
+	ctrl.Sync()
+
+	// Teach the FDB both stations.
+	br, _ := sw.BridgeByName("br0")
+	br.Learn(hosts[0].MAC, 0, ports[0].Index, 0)
+	br.Learn(hosts[1].MAC, 0, ports[1].Index, 0)
+
+	frame := packet.BuildEthernet(packet.Ethernet{
+		Dst: hosts[1].MAC, Src: hosts[0].MAC, EtherType: packet.EtherTypeIPv4,
+	}, make([]byte, 46))
+	netdev.Disconnect(ports[1])
+	var total sim.Cycles
+	const n = 200
+	for i := 0; i < n; i++ {
+		var m sim.Meter
+		ports[0].Receive(append([]byte(nil), frame...), &m)
+		total += m.Total
+	}
+	return total / n, nil
+}
+
+// Table6Row is one reaction-time measurement.
+type Table6Row struct {
+	Command string
+	Seconds float64
+}
+
+// Table6ReactionTime reproduces the controller reaction-time table by
+// issuing the paper's four commands against live controllers.
+func Table6ReactionTime() ([]Table6Row, error) {
+	var out []Table6Row
+
+	// Router host for the addr and iptables commands: ens1f0np0 exists but
+	// is unaddressed; the rest of the router is configured.
+	k := kernel.New("dut")
+	eth1 := k.CreateDevice("eth1", netdev.Physical)
+	ens := k.CreateDevice("ens1f0np0", netdev.Physical)
+	eth1.SetUp(true)
+	ens.SetUp(true)
+	k.AddAddr("eth1", packet.MustPrefix("10.2.0.254/24"))
+	k.SetSysctl("net.ipv4.ip_forward", "1")
+	k.AddRoute(fib.Route{Prefix: packet.MustPrefix("10.100.0.0/16"), Gateway: packet.MustAddr("10.2.0.1"), OutIf: eth1.Index})
+	ctrl := core.New(k, core.Options{})
+	ctrl.Start()
+	defer ctrl.Stop()
+	ctrl.Sync()
+
+	// ip addr add 10.10.1.1/24 dev ens1f0np0
+	if err := k.AddAddr("ens1f0np0", packet.MustPrefix("10.10.1.1/24")); err != nil {
+		return nil, err
+	}
+	ctrl.Sync()
+	r, _ := ctrl.LastReaction()
+	out = append(out, Table6Row{Command: "ip addr add 10.10.1.1/24 dev ens1f0np0", Seconds: r.Virtual.Seconds()})
+
+	// Bridge host for the brctl commands.
+	bk := kernel.New("br-host")
+	bk.CreateVethPair("veth11", "veth11p")
+	bk.SetLinkUp("veth11", true)
+	bctrl := core.New(bk, core.Options{})
+	bctrl.Start()
+	defer bctrl.Stop()
+	bctrl.Sync()
+
+	bk.CreateBridge("br0")
+	bk.SetLinkUp("br0", true)
+	bctrl.Sync()
+	r, _ = bctrl.LastReaction()
+	out = append(out, Table6Row{Command: "brctl addbr br0", Seconds: r.Virtual.Seconds()})
+
+	if err := bk.AddBridgePort("br0", "veth11"); err != nil {
+		return nil, err
+	}
+	bctrl.Sync()
+	r, _ = bctrl.LastReaction()
+	out = append(out, Table6Row{Command: "brctl addif br0 veth11", Seconds: r.Virtual.Seconds()})
+
+	// iptables -A FORWARD -d 10.10.3.0/24 -j DROP on the router host.
+	blocked := packet.MustPrefix("10.10.3.0/24")
+	if err := k.IptAppend("FORWARD", netfilter.Rule{Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop}); err != nil {
+		return nil, err
+	}
+	ctrl.Sync()
+	r, _ = ctrl.LastReaction()
+	out = append(out, Table6Row{Command: "iptables -d 10.10.3.0/24 -A FORWARD -j DROP", Seconds: r.Virtual.Seconds()})
+
+	return out, nil
+}
+
+// --- rendering ----------------------------------------------------------------
+
+// RenderSeries formats figure data as an aligned text table.
+func RenderSeries(title, xLabel, yLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-10s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%16s", s.Platform)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", yLabel)
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&b, "%-10.0f", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, "%16.3f", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLatencyTable formats a latency table like the paper's.
+func RenderLatencyTable(title string, rows []LatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-18s%12s%12s%12s\n", "", "Avg.", "P_99", "Std. Dev")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s%12.3f%12.3f%12.3f\n", r.Platform, r.Avg, r.P99, r.StdDev)
+	}
+	return b.String()
+}
+
+// RenderFig10 formats the call-chaining rows.
+func RenderFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: Function call vs Tail call (Mpps, single core)\n")
+	fmt.Fprintf(&b, "%-8s%16s%16s\n", "N", "Function call", "Tail call")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d%16.3f%16.3f\n", r.NFs, r.FuncCallMpps, r.TailCallMpps)
+	}
+	return b.String()
+}
+
+// RenderTable7 formats the hook comparison.
+func RenderTable7(rows []Table7Row) string {
+	var b strings.Builder
+	b.WriteString("Table VII: XDP vs TC hooks\n")
+	fmt.Fprintf(&b, "%-12s%14s%14s%14s%14s\n", "", "XDP (pps)", "TC (pps)", "XDP lat (µs)", "TC lat (µs)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s%14.0f%14.0f%14.3f%14.3f\n", r.Function, r.XDPpps, r.TCpps, r.XDPLatency, r.TCLatency)
+	}
+	return b.String()
+}
+
+// RenderTable6 formats the reaction-time table.
+func RenderTable6(rows []Table6Row) string {
+	var b strings.Builder
+	b.WriteString("Table VI: LinuxFP reaction time in seconds\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-48s%8.3f\n", r.Command, r.Seconds)
+	}
+	return b.String()
+}

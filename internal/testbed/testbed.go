@@ -1,0 +1,344 @@
+// Package testbed builds the paper's experimental setups — the three-node
+// line topology (traffic source, device under test, traffic sink) with each
+// platform configured for the virtual-router and virtual-gateway network
+// functions — and provides the measurement machinery that regenerates every
+// figure and table of the evaluation (§VI).
+package testbed
+
+import (
+	"fmt"
+
+	"linuxfp/internal/core"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/polycube"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+	"linuxfp/internal/vpp"
+)
+
+// Platform names, as they appear in the paper's figures.
+const (
+	PlatformLinux        = "Linux"
+	PlatformLinuxIpset   = "Linux (ipset)"
+	PlatformLinuxFP      = "LinuxFP"
+	PlatformLinuxFPIpset = "LinuxFP (ipset)"
+	PlatformPolycube     = "Polycube"
+	PlatformVPP          = "VPP"
+)
+
+// Scenario selects and parameterizes the network function under test.
+type Scenario struct {
+	// Gateway adds IP filtering (the virtual-gateway NF); otherwise the
+	// DUT is the plain virtual router.
+	Gateway bool
+	// Rules is the blacklist size for the gateway (paper: 100).
+	Rules int
+	// UseIpset aggregates the blacklist into one set-backed rule.
+	UseIpset bool
+	// PreferTC attaches LinuxFP at the TC hook instead of XDP.
+	PreferTC bool
+}
+
+// Routed prefixes behind the sink (the paper's 50).
+const RoutedPrefixes = 50
+
+// DUT is one configured device under test with its source and sink.
+type DUT struct {
+	Platform string
+	Scenario Scenario
+
+	Src, Kern, Sink *kernel.Kernel
+	SrcDev, In      *netdev.Device
+	Out, SinkDev    *netdev.Device
+
+	Controller *core.Controller // LinuxFP only
+	VPP        *vpp.Instance    // VPP only
+
+	gen    *traffic.Pktgen // forward direction (client -> server)
+	genRev *traffic.Pktgen // reverse direction
+}
+
+// blacklistPrefix returns the i-th blacklist source prefix. They never
+// match the measured traffic, so every allowed packet pays the full
+// evaluation — the paper's worst case for linear matching.
+func blacklistPrefix(i int) packet.Prefix {
+	return packet.Prefix{Addr: packet.AddrFrom4(203, byte(i/256), byte(i%256), 0), Bits: 24}
+}
+
+// routedPrefix returns the i-th routed destination prefix.
+func routedPrefix(i int) packet.Prefix {
+	return packet.Prefix{Addr: packet.AddrFrom4(10, 100+byte(i), 0, 0), Bits: 16}
+}
+
+// Build constructs the full three-node world for a platform + scenario.
+func Build(platform string, sc Scenario) (*DUT, error) {
+	d := &DUT{Platform: platform, Scenario: sc,
+		Src: kernel.New("src"), Kern: kernel.New("dut"), Sink: kernel.New("sink")}
+	d.SrcDev = d.Src.CreateDevice("eth0", netdev.Physical)
+	d.In = d.Kern.CreateDevice("eth0", netdev.Physical)
+	d.Out = d.Kern.CreateDevice("eth1", netdev.Physical)
+	d.SinkDev = d.Sink.CreateDevice("eth0", netdev.Physical)
+	netdev.Connect(d.SrcDev, d.In)
+	netdev.Connect(d.Out, d.SinkDev)
+	for _, dev := range []*netdev.Device{d.SrcDev, d.In, d.Out, d.SinkDev} {
+		dev.SetUp(true)
+	}
+	d.Src.AddAddr("eth0", packet.MustPrefix("10.1.0.1/24"))
+	d.Sink.AddAddr("eth0", packet.MustPrefix("10.2.0.1/24"))
+	d.Src.AddRoute(fib.Route{Prefix: packet.MustPrefix("0.0.0.0/0"), Gateway: packet.MustAddr("10.1.0.254"), OutIf: d.SrcDev.Index})
+	d.Sink.AddRoute(fib.Route{Prefix: packet.MustPrefix("0.0.0.0/0"), Gateway: packet.MustAddr("10.2.0.254"), OutIf: d.SinkDev.Index})
+
+	switch platform {
+	case PlatformLinux, PlatformLinuxIpset, PlatformLinuxFP, PlatformLinuxFPIpset:
+		if err := d.configureLinux(sc, platform == PlatformLinuxIpset || platform == PlatformLinuxFPIpset); err != nil {
+			return nil, err
+		}
+		if platform == PlatformLinuxFP || platform == PlatformLinuxFPIpset {
+			d.Controller = core.New(d.Kern, core.Options{PreferTC: sc.PreferTC})
+			d.Controller.Start()
+			d.Controller.Sync()
+		}
+	case PlatformPolycube:
+		if err := d.configurePolycube(sc); err != nil {
+			return nil, err
+		}
+	case PlatformVPP:
+		if err := d.configureVPP(sc); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("testbed: unknown platform %q", platform)
+	}
+
+	d.gen = &traffic.Pktgen{
+		SrcMAC: d.SrcDev.MAC, DstMAC: d.In.MAC, SrcIP: packet.MustAddr("10.1.0.1"),
+		Prefixes: prefixes(), Size: traffic.MinFrameSize,
+	}
+	// The reverse generator targets the (resolved) client host exactly.
+	d.genRev = &traffic.Pktgen{
+		SrcMAC: d.SinkDev.MAC, DstMAC: d.Out.MAC, SrcIP: packet.MustAddr("10.100.0.10"),
+		Prefixes: []packet.Prefix{packet.MustPrefix("10.1.0.1/32")}, Size: traffic.MinFrameSize,
+	}
+
+	d.warm()
+	return d, nil
+}
+
+func prefixes() []packet.Prefix {
+	out := make([]packet.Prefix, RoutedPrefixes)
+	for i := range out {
+		out[i] = routedPrefix(i)
+	}
+	return out
+}
+
+// configureLinux sets the DUT up with nothing but standard Linux tooling —
+// the configuration LinuxFP then introspects without being told anything.
+func (d *DUT) configureLinux(sc Scenario, ipset bool) error {
+	d.Kern.AddAddr("eth0", packet.MustPrefix("10.1.0.254/24"))
+	d.Kern.AddAddr("eth1", packet.MustPrefix("10.2.0.254/24"))
+	d.Kern.SetSysctl("net.ipv4.ip_forward", "1")
+	for i := 0; i < RoutedPrefixes; i++ {
+		d.Kern.AddRoute(fib.Route{Prefix: routedPrefix(i), Gateway: packet.MustAddr("10.2.0.1"), OutIf: d.Out.Index})
+	}
+	// Return route for the reverse (server->client) direction.
+	d.Kern.AddRoute(fib.Route{Prefix: packet.MustPrefix("10.1.0.0/24"), OutIf: d.In.Index, Scope: fib.ScopeLink})
+	if !sc.Gateway {
+		return nil
+	}
+	if ipset {
+		if _, err := d.Kern.IpsetCreate("blacklist", "hash:net"); err != nil {
+			return err
+		}
+		for i := 0; i < sc.Rules; i++ {
+			if err := d.Kern.IpsetAdd("blacklist", blacklistPrefix(i)); err != nil {
+				return err
+			}
+		}
+		return d.Kern.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{SrcSet: "blacklist"}, Target: netfilter.VerdictDrop,
+		})
+	}
+	for i := 0; i < sc.Rules; i++ {
+		p := blacklistPrefix(i)
+		if err := d.Kern.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{Src: &p}, Target: netfilter.VerdictDrop,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// configurePolycube mirrors the same function through Polycube's own API.
+func (d *DUT) configurePolycube(sc Scenario) error {
+	p := polycube.New(d.Kern)
+	r, err := p.AddRouter("r0")
+	if err != nil {
+		return err
+	}
+	if sc.Gateway {
+		fw, err := p.AddFirewall("fw0")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < sc.Rules; i++ {
+			bp := blacklistPrefix(i)
+			fw.AppendRule(polycube.FWRule{Src: &bp, Action: ebpf.VerdictDrop})
+		}
+		if err := r.ChainFirewall(fw); err != nil {
+			return err
+		}
+	}
+	if err := r.AddPort("eth0"); err != nil {
+		return err
+	}
+	if err := r.AddPort("eth1"); err != nil {
+		return err
+	}
+	for i := 0; i < RoutedPrefixes; i++ {
+		if err := r.AddRoute(routedPrefix(i), packet.MustAddr("10.2.0.1"), "eth1"); err != nil {
+			return err
+		}
+	}
+	if err := r.AddRoute(packet.MustPrefix("10.1.0.0/24"), packet.MustAddr("10.1.0.1"), "eth0"); err != nil {
+		return err
+	}
+	r.AddArpEntry(packet.MustAddr("10.2.0.1"), d.SinkDev.MAC)
+	r.AddArpEntry(packet.MustAddr("10.1.0.1"), d.SrcDev.MAC)
+	return nil
+}
+
+// configureVPP mirrors the function through VPP's API with kernel bypass.
+func (d *DUT) configureVPP(sc Scenario) error {
+	v := vpp.New(d.Kern, 1)
+	d.VPP = v
+	if err := v.TakeInterface("eth0"); err != nil {
+		return err
+	}
+	if err := v.TakeInterface("eth1"); err != nil {
+		return err
+	}
+	for i := 0; i < RoutedPrefixes; i++ {
+		if err := v.AddRoute(routedPrefix(i), packet.MustAddr("10.2.0.1"), "eth1"); err != nil {
+			return err
+		}
+	}
+	if err := v.AddRoute(packet.MustPrefix("10.1.0.0/24"), packet.MustAddr("10.1.0.1"), "eth0"); err != nil {
+		return err
+	}
+	v.AddNeighbor(packet.MustAddr("10.2.0.1"), d.SinkDev.MAC)
+	v.AddNeighbor(packet.MustAddr("10.1.0.1"), d.SrcDev.MAC)
+	if sc.Gateway {
+		for i := 0; i < sc.Rules; i++ {
+			bp := blacklistPrefix(i)
+			v.AddACL(vpp.ACLRule{Src: &bp, Deny: true})
+		}
+	}
+	return nil
+}
+
+// warm resolves neighbours on the kernel platforms so measurements see the
+// steady state (the paper lets Pktgen warm up for 10 seconds).
+func (d *DUT) warm() {
+	if d.VPP != nil {
+		return // static adjacencies, nothing to resolve
+	}
+	var m sim.Meter
+	d.Src.Ping(packet.MustAddr("10.100.0.1"), 9, 1, nil, &m)
+	d.Sink.Ping(packet.MustAddr("10.1.0.1"), 9, 1, nil, &m)
+	// Make sure resolution completed even if pings were filtered.
+	if _, ok := d.Kern.Neigh.Resolved(packet.MustAddr("10.2.0.1"), 0); !ok {
+		d.Kern.Neigh.AddPermanent(packet.MustAddr("10.2.0.1"), d.SinkDev.MAC, d.Out.Index)
+	}
+	if _, ok := d.Kern.Neigh.Resolved(packet.MustAddr("10.1.0.1"), 0); !ok {
+		d.Kern.Neigh.AddPermanent(packet.MustAddr("10.1.0.1"), d.SrcDev.MAC, d.In.Index)
+	}
+}
+
+// Close stops background components.
+func (d *DUT) Close() {
+	if d.Controller != nil {
+		d.Controller.Stop()
+	}
+}
+
+// AvgCycles measures the DUT's mean per-packet cost for n generated frames
+// of the given size, with the wires unplugged so only DUT work is metered.
+func (d *DUT) AvgCycles(n, size int) sim.Cycles {
+	return d.avgCycles(n, size, false)
+}
+
+// AvgCyclesReverse measures the server->client direction.
+func (d *DUT) AvgCyclesReverse(n, size int) sim.Cycles {
+	return d.avgCycles(n, size, true)
+}
+
+func (d *DUT) avgCycles(n, size int, reverse bool) sim.Cycles {
+	gen := d.gen
+	inject := d.In
+	if reverse {
+		gen = d.genRev
+		inject = d.Out
+	}
+	g := *gen
+	g.Size = size
+
+	// Unplug both wires: the meter must only see DUT-side work.
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	var total sim.Cycles
+	for i := 0; i < n; i++ {
+		var m sim.Meter
+		inject.Receive(g.Frame(i), &m)
+		total += m.Total
+	}
+	return total / sim.Cycles(n)
+}
+
+// Throughput reports pps and Gbps for the given core count and frame size,
+// assuming linear RSS scaling capped by the 25 Gbps line rate (the paper's
+// NICs) — the model behind Figs. 5-8.
+func (d *DUT) Throughput(cores, size int) (pps, gbps float64) {
+	cyc := d.AvgCycles(200, size)
+	pps = float64(cores) * sim.PacketsPerSecond(cyc)
+	// On-wire overhead: preamble 8 + IFG 12 + FCS 4.
+	lineRatePPS := sim.LineRateBitsPerSec / (float64(size+24) * 8)
+	if pps > lineRatePPS {
+		pps = lineRatePPS
+	}
+	gbps = pps * float64(size) * 8 / 1e9
+	return pps, gbps
+}
+
+// RRFrameSize is the small request/response frame netperf TCP_RR uses.
+const RRFrameSize = 64
+
+// Latency runs the 128-session single-core netperf TCP_RR workload
+// (Tables III, IV, VII).
+func (d *DUT) Latency(sessions int, seed uint64) traffic.RRResult {
+	req := d.AvgCycles(100, RRFrameSize)
+	resp := d.AvgCyclesReverse(100, RRFrameSize)
+	return traffic.RunRR(traffic.RRConfig{
+		Sessions:    sessions,
+		Duration:    2 * sim.Second,
+		Seed:        seed,
+		ReqCycles:   req,
+		RespCycles:  resp,
+		WireRTT:     20 * sim.Microsecond,
+		ServerTime:  8 * sim.Microsecond,
+		JitterSigma: 0.22,
+		StallProb:   0.0005,
+		StallMean:   80 * sim.Microsecond,
+	})
+}

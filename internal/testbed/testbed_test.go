@@ -1,0 +1,309 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+)
+
+func build(t *testing.T, platform string, sc Scenario) *DUT {
+	t.Helper()
+	d, err := Build(platform, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestBuildUnknownPlatform(t *testing.T) {
+	if _, err := Build("NetBSD", Scenario{}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestRouterSpeedupMatchesHeadline(t *testing.T) {
+	// The paper's headline: LinuxFP forwards 77% faster than Linux.
+	linux := build(t, PlatformLinux, Scenario{})
+	lfp := build(t, PlatformLinuxFP, Scenario{})
+	lCyc := linux.AvgCycles(200, traffic.MinFrameSize)
+	fCyc := lfp.AvgCycles(200, traffic.MinFrameSize)
+	speedup := float64(lCyc) / float64(fCyc)
+	if speedup < 1.6 || speedup > 1.95 {
+		t.Fatalf("speedup %.2f (linux %v, linuxfp %v cycles), want ≈1.77", speedup, lCyc, fCyc)
+	}
+}
+
+func TestRouterPlatformOrdering(t *testing.T) {
+	// Fig. 5 ordering: VPP > LinuxFP > Polycube > Linux.
+	var cyc []sim.Cycles
+	for _, p := range []string{PlatformVPP, PlatformLinuxFP, PlatformPolycube, PlatformLinux} {
+		d := build(t, p, Scenario{})
+		cyc = append(cyc, d.AvgCycles(200, traffic.MinFrameSize))
+	}
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i-1] >= cyc[i] {
+			t.Fatalf("ordering violated at %d: %v", i, cyc)
+		}
+	}
+	// LinuxFP ≈19% over Polycube (footnote 2), ±8 points.
+	ratio := float64(cyc[2]) / float64(cyc[1])
+	if ratio < 1.10 || ratio > 1.30 {
+		t.Fatalf("LinuxFP/Polycube throughput ratio %.2f, want ≈1.19", ratio)
+	}
+}
+
+func TestAllPlatformsDeliverTraffic(t *testing.T) {
+	// Functional check: every platform actually forwards the workload.
+	for _, p := range []string{PlatformLinux, PlatformLinuxFP, PlatformPolycube, PlatformVPP} {
+		d := build(t, p, Scenario{})
+		got := 0
+		d.SinkDev.Tap = func([]byte) { got++ }
+		var m sim.Meter
+		for i := 0; i < 10; i++ {
+			d.In.Receive(d.gen.Frame(i), &m)
+		}
+		if got != 10 {
+			t.Errorf("%s delivered %d/10", p, got)
+		}
+	}
+}
+
+func TestGatewayFiltersAndForwards(t *testing.T) {
+	for _, p := range []string{PlatformLinux, PlatformLinuxIpset, PlatformLinuxFP, PlatformLinuxFPIpset, PlatformPolycube, PlatformVPP} {
+		d := build(t, p, Scenario{Gateway: true, Rules: 100})
+		got := 0
+		d.SinkDev.Tap = func([]byte) { got++ }
+		var m sim.Meter
+		// Allowed traffic passes.
+		d.In.Receive(d.gen.Frame(0), &m)
+		if got != 1 {
+			t.Errorf("%s: allowed traffic blocked", p)
+		}
+		// Blacklisted source is dropped: craft a frame from 203.0.5.9.
+		g := *d.gen
+		g.SrcIP = blacklistPrefix(5).Addr | 9
+		d.In.Receive(g.Frame(0), &m)
+		if got != 1 {
+			t.Errorf("%s: blacklisted traffic delivered", p)
+		}
+	}
+}
+
+func TestGatewayCostOrderingAt100Rules(t *testing.T) {
+	// Table IV shape: LinuxFP(ipset) < Polycube < LinuxFP < Linux(ipset) < Linux.
+	order := []string{PlatformLinuxFPIpset, PlatformPolycube, PlatformLinuxFP, PlatformLinuxIpset, PlatformLinux}
+	var cyc []sim.Cycles
+	for _, p := range order {
+		d := build(t, p, Scenario{Gateway: true, Rules: 100})
+		cyc = append(cyc, d.AvgCycles(200, traffic.MinFrameSize))
+	}
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i-1] >= cyc[i] {
+			t.Fatalf("gateway cost ordering violated between %s and %s: %v",
+				order[i-1], order[i], cyc)
+		}
+	}
+}
+
+func TestThroughputLineRateCap(t *testing.T) {
+	// Fig. 6: at 1500B, fast platforms hit the 25 Gbps line-rate ceiling.
+	d := build(t, PlatformVPP, Scenario{})
+	_, gbps := d.Throughput(4, 1500)
+	if gbps > 25.0 {
+		t.Fatalf("throughput %v Gbps exceeds line rate", gbps)
+	}
+	if gbps < 23.0 {
+		t.Fatalf("VPP with 4 cores at 1500B should be at line rate, got %v", gbps)
+	}
+	// pps monotone in cores until the cap.
+	pps1, _ := d.Throughput(1, 64)
+	pps2, _ := d.Throughput(2, 64)
+	if pps2 <= pps1 {
+		t.Fatal("core scaling broken")
+	}
+}
+
+func TestLatencyShapeTable3(t *testing.T) {
+	linux := build(t, PlatformLinux, Scenario{})
+	lfp := build(t, PlatformLinuxFP, Scenario{})
+	lRes := linux.Latency(128, 1)
+	fRes := lfp.Latency(128, 1)
+	// Paper: 53% lower latency for LinuxFP (326 -> 152 µs). Accept the
+	// service-ratio zone.
+	ratio := fRes.Stats.Mean() / lRes.Stats.Mean()
+	if ratio < 0.45 || ratio > 0.70 {
+		t.Fatalf("latency ratio %.2f, want ≈0.47-0.65 (paper 0.46)", ratio)
+	}
+	// Zones: Linux a few hundred µs, LinuxFP under 200.
+	if lRes.Stats.Mean() < 200 || lRes.Stats.Mean() > 450 {
+		t.Fatalf("Linux latency %.1f µs out of zone", lRes.Stats.Mean())
+	}
+	if fRes.Stats.P99() <= fRes.Stats.Mean() {
+		t.Fatal("p99 below mean")
+	}
+}
+
+func TestFig10ShapeFunctionVsTailCalls(t *testing.T) {
+	rows, err := Fig10CallChaining(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.NFs != 0 || last.NFs != 16 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// At N=0 both variants are within a tail call of each other.
+	if diff := (first.FuncCallMpps - first.TailCallMpps) / first.FuncCallMpps; diff < -0.02 || diff > 0.02 {
+		t.Fatalf("N=0 variants differ by %.1f%%", diff*100)
+	}
+	funcDrop := (first.FuncCallMpps - last.FuncCallMpps) / first.FuncCallMpps
+	tailDrop := (first.TailCallMpps - last.TailCallMpps) / first.TailCallMpps
+	// Function calls stay relatively steady (<8% over 16 NFs); tail calls
+	// lose about 1% per NF (paper: "about one percent for each added
+	// function").
+	if funcDrop > 0.08 {
+		t.Fatalf("function-call variant dropped %.1f%% over 16 NFs", funcDrop*100)
+	}
+	if tailDrop < 0.10 || tailDrop > 0.25 {
+		t.Fatalf("tail-call variant dropped %.1f%% over 16 NFs, want ≈16%%", tailDrop*100)
+	}
+	if !strings.Contains(RenderFig10(rows), "Tail call") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	rows, err := Table7HookComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	byName := map[string]Table7Row{}
+	for _, r := range rows {
+		byName[r.Function] = r
+		// XDP beats TC everywhere; latency is the inverse.
+		if r.XDPpps <= r.TCpps {
+			t.Errorf("%s: XDP (%.0f) should beat TC (%.0f)", r.Function, r.XDPpps, r.TCpps)
+		}
+		if r.XDPLatency >= r.TCLatency {
+			t.Errorf("%s: XDP latency should be lower", r.Function)
+		}
+	}
+	// Paper's ordering: bridge > forwarding > filtering on both hooks.
+	if !(byName["bridge"].XDPpps > byName["forwarding"].XDPpps &&
+		byName["forwarding"].XDPpps > byName["filtering"].XDPpps) {
+		t.Fatalf("XDP function ordering wrong: %+v", rows)
+	}
+	// Paper zone check (±12%): bridge 1.91M, forwarding 1.77M, filtering 1.18M.
+	for fn, want := range map[string]float64{"bridge": 1.91e6, "forwarding": 1.77e6, "filtering": 1.18e6} {
+		got := byName[fn].XDPpps
+		if got < want*0.88 || got > want*1.12 {
+			t.Errorf("%s XDP %.0f pps, want ≈%.0f", fn, got, want)
+		}
+	}
+	for fn, want := range map[string]float64{"bridge": 890e3, "forwarding": 850e3, "filtering": 680e3} {
+		got := byName[fn].TCpps
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("%s TC %.0f pps, want ≈%.0f", fn, got, want)
+		}
+	}
+	if !strings.Contains(RenderTable7(rows), "bridge") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows, err := Table6ReactionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	want := map[string]struct{ lo, hi float64 }{
+		"ip addr add 10.10.1.1/24 dev ens1f0np0":      {0.45, 0.80},
+		"brctl addbr br0":                             {0.40, 0.70},
+		"brctl addif br0 veth11":                      {0.40, 0.70},
+		"iptables -d 10.10.3.0/24 -A FORWARD -j DROP": {0.85, 1.25},
+	}
+	for _, r := range rows {
+		zone := want[r.Command]
+		if r.Seconds < zone.lo || r.Seconds > zone.hi {
+			t.Errorf("%q reacted in %.3fs, want [%.2f, %.2f]", r.Command, r.Seconds, zone.lo, zone.hi)
+		}
+	}
+	if !strings.Contains(RenderTable6(rows), "iptables") {
+		t.Fatal("render")
+	}
+}
+
+func TestFig8ShapeRuleScaling(t *testing.T) {
+	series, err := Fig8RuleScaling([]int{1, 250, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Platform] = s
+	}
+	// Linear platforms decay with rules; ipset and Polycube stay near-flat.
+	linuxDecay := 1 - byName[PlatformLinux].Y[2]/byName[PlatformLinux].Y[0]
+	lfpDecay := 1 - byName[PlatformLinuxFP].Y[2]/byName[PlatformLinuxFP].Y[0]
+	ipsetDecay := 1 - byName[PlatformLinuxFPIpset].Y[2]/byName[PlatformLinuxFPIpset].Y[0]
+	cubeDecay := 1 - byName[PlatformPolycube].Y[2]/byName[PlatformPolycube].Y[0]
+	if linuxDecay < 0.3 || lfpDecay < 0.3 {
+		t.Fatalf("linear platforms should decay: linux %.2f lfp %.2f", linuxDecay, lfpDecay)
+	}
+	if ipsetDecay > 0.05 || cubeDecay > 0.08 {
+		t.Fatalf("set/classifier platforms should stay flat: ipset %.2f cube %.2f", ipsetDecay, cubeDecay)
+	}
+	// At 500 rules the ipset variant wins among the kernel platforms.
+	if byName[PlatformLinuxFPIpset].Y[2] <= byName[PlatformPolycube].Y[2] {
+		t.Fatal("ipset should beat the classifier at scale")
+	}
+}
+
+func TestFig5AndRendering(t *testing.T) {
+	series, err := Fig5RouterThroughput(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series: %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 2 || s.Y[1] <= s.Y[0] {
+			t.Fatalf("%s: no core scaling: %+v", s.Platform, s)
+		}
+	}
+	text := RenderSeries("Fig. 5", "cores", "Mpps", series)
+	if !strings.Contains(text, "LinuxFP") || !strings.Contains(text, "VPP") {
+		t.Fatalf("render: %s", text)
+	}
+}
+
+func TestFig6NearLineRateAt1500B(t *testing.T) {
+	series, err := Fig6PacketSize([]int{64, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		// Paper: LinuxFP and Polycube near line rate with one core at
+		// 1500B. Our calibration puts LinuxFP ≈21 Gbps and Polycube
+		// ≈17.5 Gbps (Polycube's 64B pps bound carries over).
+		if s.Platform == PlatformLinuxFP && s.Y[1] < 20 {
+			t.Errorf("%s at 1500B: %.1f Gbps, want near line rate", s.Platform, s.Y[1])
+		}
+		if s.Platform == PlatformPolycube && s.Y[1] < 16.5 {
+			t.Errorf("%s at 1500B: %.1f Gbps, want ≳17", s.Platform, s.Y[1])
+		}
+		if s.Y[0] >= s.Y[1] {
+			t.Errorf("%s: Gbps should grow with packet size", s.Platform)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+func testGen(size int) *Pktgen {
+	return &Pktgen{
+		SrcMAC: packet.MustHWAddr("02:00:00:00:00:01"),
+		DstMAC: packet.MustHWAddr("02:00:00:00:00:02"),
+		SrcIP:  packet.MustAddr("10.1.0.1"),
+		Prefixes: []packet.Prefix{
+			packet.MustPrefix("10.100.0.0/16"),
+			packet.MustPrefix("10.101.0.0/16"),
+		},
+		Size: size,
+	}
+}
+
+func TestPktgenFrameSizeAndValidity(t *testing.T) {
+	for _, size := range []int{64, 128, 512, 1500} {
+		g := testGen(size)
+		f := g.Frame(0)
+		if len(f) != size {
+			t.Fatalf("size %d: frame is %d bytes", size, len(f))
+		}
+		p, err := packet.Decode(f)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if p.IPv4 == nil || p.IPv4.Proto != packet.ProtoUDP {
+			t.Fatalf("size %d: decode %+v", size, p)
+		}
+	}
+	// Sub-minimum requests are clamped to 64.
+	g := testGen(10)
+	if len(g.Frame(0)) != MinFrameSize {
+		t.Fatal("minimum size not enforced")
+	}
+}
+
+func TestPktgenRotatesDestinations(t *testing.T) {
+	g := testGen(64)
+	seen := map[packet.Addr]bool{}
+	for i := 0; i < 100; i++ {
+		p, err := packet.Decode(g.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.IPv4.Dst] = true
+		// Destination must fall inside one of the prefixes.
+		if !g.Prefixes[0].Contains(p.IPv4.Dst) && !g.Prefixes[1].Contains(p.IPv4.Dst) {
+			t.Fatalf("dst %v outside prefixes", p.IPv4.Dst)
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("only %d distinct destinations in 100 frames", len(seen))
+	}
+}
+
+func baseCfg() RRConfig {
+	return RRConfig{
+		Sessions:   128,
+		Duration:   500 * sim.Millisecond,
+		Seed:       1,
+		ReqCycles:  2400, // 1 µs per packet
+		RespCycles: 2400,
+		WireRTT:    20 * sim.Microsecond,
+		ServerTime: 8 * sim.Microsecond,
+	}
+}
+
+func TestRunRRSaturatedLatencyMatchesTheory(t *testing.T) {
+	// Closed loop, no jitter: with N sessions and 2 DUT passes of 1 µs per
+	// transaction, the DUT is the bottleneck and RTT ≈ N × 2 µs.
+	res := RunRR(baseCfg())
+	wantRTT := 128 * 2.0 // µs
+	if math.Abs(res.Stats.Mean()-wantRTT)/wantRTT > 0.15 {
+		t.Fatalf("mean RTT %.1f µs, want ≈%.0f", res.Stats.Mean(), wantRTT)
+	}
+	// Throughput ≈ 1 / (2 µs) = 500k transactions/s.
+	if math.Abs(res.TputPerSec-500e3)/500e3 > 0.1 {
+		t.Fatalf("tput %.0f/s, want ≈500k", res.TputPerSec)
+	}
+}
+
+func TestRunRRFasterDUTLowersLatencyProportionally(t *testing.T) {
+	slow := RunRR(baseCfg())
+	cfg := baseCfg()
+	cfg.ReqCycles, cfg.RespCycles = 1356, 1356 // the LinuxFP fast path
+	fast := RunRR(cfg)
+	ratio := fast.Stats.Mean() / slow.Stats.Mean()
+	want := 1356.0 / 2400.0
+	if math.Abs(ratio-want) > 0.08 {
+		t.Fatalf("latency ratio %.3f, want ≈%.3f (the paper's 77%% throughput = 44%% latency relation)", ratio, want)
+	}
+}
+
+func TestRunRRJitterWidensTail(t *testing.T) {
+	cfg := baseCfg()
+	noJitter := RunRR(cfg)
+	cfg.JitterSigma = 0.25
+	cfg.StallProb = 0.0005
+	cfg.StallMean = 80 * sim.Microsecond
+	jittered := RunRR(cfg)
+
+	plainRatio := noJitter.Stats.P99() / noJitter.Stats.Mean()
+	jitterRatio := jittered.Stats.P99() / jittered.Stats.Mean()
+	if jitterRatio <= plainRatio {
+		t.Fatalf("jitter did not widen tail: %.3f vs %.3f", jitterRatio, plainRatio)
+	}
+	// The paper's tables show p99/mean between ≈1.3 and ≈2.1.
+	if jitterRatio < 1.2 || jitterRatio > 2.5 {
+		t.Fatalf("p99/mean %.2f outside plausible netperf range", jitterRatio)
+	}
+}
+
+func TestRunRRSingleSessionIsUnqueued(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Sessions = 1
+	res := RunRR(cfg)
+	// RTT = wire 20 + req 1 + server 8 + resp 1 = 30 µs.
+	if math.Abs(res.Stats.Mean()-30) > 2 {
+		t.Fatalf("unloaded RTT %.1f µs, want ≈30", res.Stats.Mean())
+	}
+}
+
+func TestRunRRDeterministicAcrossRuns(t *testing.T) {
+	a := RunRR(baseCfg())
+	b := RunRR(baseCfg())
+	if a.Transactions != b.Transactions || a.Stats.Mean() != b.Stats.Mean() {
+		t.Fatal("same seed produced different results")
+	}
+	cfg := baseCfg()
+	cfg.Seed = 2
+	cfg.JitterSigma = 0.2
+	c := RunRR(cfg)
+	cfg2 := baseCfg()
+	cfg2.JitterSigma = 0.2
+	d := RunRR(cfg2)
+	if c.Stats.Mean() == d.Stats.Mean() && c.Transactions == d.Transactions {
+		t.Fatal("different seeds produced identical jittered results")
+	}
+}

@@ -1,0 +1,161 @@
+package vpp
+
+import (
+	"testing"
+
+	"linuxfp/internal/fib"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+type rig struct {
+	src, dut, sink *kernel.Kernel
+	srcDev, in     *netdev.Device
+	out, sinkDev   *netdev.Device
+	captured       int
+	v              *Instance
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{src: kernel.New("src"), dut: kernel.New("dut"), sink: kernel.New("sink")}
+	r.srcDev = r.src.CreateDevice("eth0", netdev.Physical)
+	r.in = r.dut.CreateDevice("eth0", netdev.Physical)
+	r.out = r.dut.CreateDevice("eth1", netdev.Physical)
+	r.sinkDev = r.sink.CreateDevice("eth0", netdev.Physical)
+	netdev.Connect(r.srcDev, r.in)
+	netdev.Connect(r.out, r.sinkDev)
+	for _, d := range []*netdev.Device{r.srcDev, r.in, r.out, r.sinkDev} {
+		d.SetUp(true)
+	}
+	r.sinkDev.Tap = func([]byte) { r.captured++ }
+
+	r.v = New(r.dut, 1)
+	if err := r.v.TakeInterface("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.v.TakeInterface("eth1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.v.AddRoute(packet.Prefix{Addr: packet.AddrFrom4(10, 100+byte(i), 0, 0), Bits: 16},
+			packet.MustAddr("10.2.0.1"), "eth1")
+	}
+	r.v.AddNeighbor(packet.MustAddr("10.2.0.1"), r.sinkDev.MAC)
+	return r
+}
+
+func (r *rig) frameTo(dst packet.Addr, ttl uint8) []byte {
+	srcIP := packet.MustAddr("10.1.0.1")
+	u := packet.UDP{SrcPort: 1, DstPort: 2}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: r.in.MAC, Src: r.srcDev.MAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: ttl, Proto: packet.ProtoUDP, Src: srcIP, Dst: dst},
+		u.Marshal(nil, srcIP, dst, nil),
+	)
+}
+
+func TestVPPForwards(t *testing.T) {
+	r := newRig(t)
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.1.1"), 64), &m)
+	if r.captured != 1 {
+		t.Fatal("packet lost")
+	}
+	if r.v.Stats().Forwarded != 1 {
+		t.Fatalf("stats %+v", r.v.Stats())
+	}
+	// Kernel bypass: the DUT kernel saw nothing at all.
+	if s := r.dut.Stats(); s.Forwarded != 0 && s.Dropped != 0 {
+		t.Fatalf("kernel touched the packet: %+v", s)
+	}
+}
+
+func TestVPPBypassIsTotal(t *testing.T) {
+	// Even Linux-destined traffic (ARP, pings to kernel-configured
+	// addresses) dies inside VPP once it owns the NIC.
+	r := newRig(t)
+	r.dut.AddAddr("eth0", packet.MustPrefix("10.1.0.254/24"))
+	var m sim.Meter
+	r.src.AddRoute(fib.Route{Prefix: packet.MustPrefix("0.0.0.0/0"), Gateway: packet.MustAddr("10.1.0.254"), OutIf: r.srcDev.Index})
+	r.src.Ping(packet.MustAddr("10.1.0.254"), 1, 1, nil, &m)
+	if r.dut.Stats().ICMPTx != 0 {
+		t.Fatal("kernel answered a ping on a VPP-owned NIC")
+	}
+	if r.v.Stats().Dropped == 0 {
+		t.Fatal("vpp should have eaten the ARP")
+	}
+}
+
+func TestVPPDropsCornerCases(t *testing.T) {
+	r := newRig(t)
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("203.0.113.1"), 64), &m) // no route
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.1.1"), 1), &m)   // ttl
+	frame := packet.BuildEthernet(packet.Ethernet{Dst: r.in.MAC, Src: r.srcDev.MAC, EtherType: 0x86dd}, make([]byte, 40))
+	r.srcDev.Transmit(frame, &m) // non-IPv4
+	if r.captured != 0 {
+		t.Fatal("corner case delivered")
+	}
+	if r.v.Stats().Dropped != 3 {
+		t.Fatalf("stats %+v", r.v.Stats())
+	}
+}
+
+func TestVPPACL(t *testing.T) {
+	r := newRig(t)
+	blocked := packet.MustPrefix("10.1.0.0/24")
+	r.v.AddACL(ACLRule{Src: &blocked, Deny: true})
+	var m sim.Meter
+	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.1.1"), 64), &m)
+	if r.captured != 0 || r.v.Stats().ACLDenied != 1 {
+		t.Fatalf("acl: captured=%d stats=%+v", r.captured, r.v.Stats())
+	}
+	// Permit rules shadow later denies.
+	r2 := newRig(t)
+	ok := packet.MustPrefix("10.1.0.1/32")
+	r2.v.AddACL(ACLRule{Src: &ok, Deny: false})
+	r2.v.AddACL(ACLRule{Src: &blocked, Deny: true})
+	r2.srcDev.Transmit(r2.frameTo(packet.MustAddr("10.100.1.1"), 64), &m)
+	if r2.captured != 1 {
+		t.Fatal("permit rule ignored")
+	}
+}
+
+func TestVPPVectorAmortization(t *testing.T) {
+	// The batching model: per-packet cost ≈ nodes × (perPkt + fixed/256),
+	// far below the same fixed costs unamortized.
+	r := newRig(t)
+	per := r.v.PerPacketCycles()
+	unamortized := sim.Cycles(GraphNodes) * (sim.CostVPPNodePerPkt + sim.CostVPPNodeFixed)
+	if per >= unamortized/4 {
+		t.Fatalf("amortization missing: %v vs %v", per, unamortized)
+	}
+	// Paper shape: VPP beats the XDP fast path clearly (Fig. 5).
+	linuxfpFwd := sim.CostXDPPrologue + sim.CostParseEth + sim.CostParseIPv4 +
+		sim.CostHelperFIB + sim.CostRewriteL2L3 + sim.CostXDPRedirect
+	if float64(per) > 0.6*float64(linuxfpFwd) {
+		t.Fatalf("vpp (%v cycles) should be well below LinuxFP (%v)", per, linuxfpFwd)
+	}
+	// ACL adds one graph node.
+	r.v.AddACL(ACLRule{Deny: false})
+	if r.v.PerPacketCycles() <= per {
+		t.Fatal("acl node free")
+	}
+}
+
+func TestVPPErrors(t *testing.T) {
+	k := kernel.New("t")
+	v := New(k, 2)
+	if err := v.TakeInterface("ghost"); err == nil {
+		t.Fatal("took missing interface")
+	}
+	if err := v.AddRoute(packet.MustPrefix("10.0.0.0/8"), 0, "ghost"); err == nil {
+		t.Fatal("route via missing interface")
+	}
+	if v.Workers != 2 {
+		t.Fatal("workers")
+	}
+}

@@ -1,0 +1,116 @@
+package linuxfp
+
+import (
+	"strings"
+	"testing"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+)
+
+// TestPublicAPIQuickstart drives the README flow: configure a router with
+// nothing but Linux commands, accelerate, and confirm the fast path
+// carries traffic.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := New("router")
+	defer sys.Close()
+	for _, cmd := range []string{
+		"ip link add eth0 type phys",
+		"ip link add eth1 type phys",
+		"ip link set eth0 up",
+		"ip link set eth1 up",
+		"ip addr add 10.1.0.254/24 dev eth0",
+		"ip addr add 10.2.0.254/24 dev eth1",
+		"ip route add 10.100.0.0/16 via 10.2.0.1 dev eth1",
+		"sysctl -w net.ipv4.ip_forward=1",
+		"ip neigh add 10.2.0.1 lladdr 02:00:00:00:99:01 dev eth1",
+		"ip neigh add 10.1.0.1 lladdr 02:00:00:00:99:02 dev eth0",
+	} {
+		sys.MustExec(cmd)
+	}
+	ctrl := sys.Accelerate(Options{})
+	if ctrl == nil {
+		t.Fatal("no controller")
+	}
+	if again := sys.Accelerate(Options{}); again != ctrl {
+		t.Fatal("double accelerate made a new controller")
+	}
+
+	in, _ := sys.Kernel.DeviceByName("eth0")
+	if ok, _ := in.XDPAttached(); !ok {
+		t.Fatal("no fast path attached")
+	}
+	if !strings.Contains(sys.GraphJSON(), `"router"`) {
+		t.Fatalf("graph: %s", sys.GraphJSON())
+	}
+
+	// Push a packet through: it must be XDP-redirected, not slow-pathed.
+	srcIP, dstIP := packet.MustAddr("10.1.0.1"), packet.MustAddr("10.100.9.9")
+	u := packet.UDP{SrcPort: 9, DstPort: 10}
+	frame := packet.BuildIPv4(
+		packet.Ethernet{Dst: in.MAC, Src: packet.MustHWAddr("02:00:00:00:99:02"), EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: srcIP, Dst: dstIP},
+		u.Marshal(nil, srcIP, dstIP, nil),
+	)
+	in.Receive(frame, Meter())
+	if in.Stats().XDPRedirects != 1 {
+		t.Fatalf("fast path unused: %+v", in.Stats())
+	}
+	if sys.Kernel.Stats().Forwarded != 0 {
+		t.Fatal("packet leaked to the slow path")
+	}
+
+	// Live reconfiguration through plain iptables.
+	sys.MustExec("iptables -A FORWARD -d 10.100.9.0/24 -j DROP")
+	sys.Sync()
+	in.Receive(append([]byte(nil), frame...), Meter())
+	if in.Stats().XDPDrops != 1 {
+		t.Fatalf("filter not picked up: %+v", in.Stats())
+	}
+	if r, ok := ctrl.LastReaction(); !ok || r.Virtual <= 0 {
+		t.Fatal("reaction not recorded")
+	}
+}
+
+func TestExecErrorsSurface(t *testing.T) {
+	sys := New("host")
+	defer sys.Close()
+	if _, err := sys.Exec("ip bogus"); err == nil {
+		t.Fatal("error swallowed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec should panic on error")
+		}
+	}()
+	sys.MustExec("ip bogus")
+}
+
+func TestWithoutHelpersStaysSlow(t *testing.T) {
+	sys := New("host")
+	defer sys.Close()
+	sys.MustExec("ip link add eth0 type phys")
+	sys.MustExec("ip link set eth0 up")
+	sys.MustExec("ip addr add 10.0.0.1/24 dev eth0")
+	sys.MustExec("ip route add 10.5.0.0/16 via 10.0.0.254 dev eth0")
+	sys.MustExec("sysctl -w net.ipv4.ip_forward=1")
+	sys.Accelerate(Options{WithoutHelpers: ebpf.CapHelperFIB})
+	d, _ := sys.Kernel.DeviceByName("eth0")
+	if ok, _ := d.XDPAttached(); ok {
+		t.Fatal("accelerated without the required helper")
+	}
+	if sys.GraphJSON() == "" {
+		t.Fatal("graph should still render")
+	}
+}
+
+func TestSyncAndCloseWithoutController(t *testing.T) {
+	sys := New("host")
+	sys.Sync()  // no-op
+	sys.Close() // no-op
+	if sys.GraphJSON() != "{}" {
+		t.Fatal("graph without controller")
+	}
+	_ = netdev.Physical
+}
