@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke
+
+## check: everything CI runs — vet, build, tests, race detector, bench smoke
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency suite — the sharded datapath, flow cache, and
+## worker pools are exercised under the race detector
+race:
+	$(GO) test -race ./internal/...
+
+## bench-smoke: a fast pass over the real-execution forwarding benchmarks
+## (including the 4-shard parallel scaling bench); catches hot-path
+## regressions without a full -bench=. run
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkRealForward' -benchtime 100x -benchmem .

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
@@ -95,7 +96,14 @@ type Bridge struct {
 	ports         map[int]*Port
 	fdb           map[FDBKey]*FDBEntry
 	stp           stpState
+	gen           atomic.Uint64 // bumped whenever a forwarding decision input changes
 }
+
+// Gen reports the bridge generation, bumped on any change that could alter a
+// forwarding decision: FDB binding changes, port membership, STP or VLAN
+// reconfiguration, port state transitions. The L2 fast-cache validates
+// memoized decisions against it.
+func (b *Bridge) Gen() uint64 { return b.gen.Load() }
 
 // New returns an empty bridge with default ageing.
 func New(name string, ifIndex int, mac packet.HWAddr) *Bridge {
@@ -116,6 +124,7 @@ func (b *Bridge) SetSTP(on bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stpEnabled = on
+	b.gen.Add(1)
 	if !on {
 		for _, p := range b.ports {
 			if p.State != Disabled {
@@ -137,6 +146,7 @@ func (b *Bridge) SetVLANFiltering(on bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.vlanFiltering = on
+	b.gen.Add(1)
 }
 
 // VLANFiltering reports whether VLAN filtering is on.
@@ -151,6 +161,7 @@ func (b *Bridge) SetAgeingTime(d sim.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.ageing = d
+	b.gen.Add(1)
 }
 
 // AddPort enslaves an interface. New ports start forwarding unless STP is
@@ -171,6 +182,7 @@ func (b *Bridge) AddPort(ifIndex int) *Port {
 		p.State = Blocking
 	}
 	b.ports[ifIndex] = p
+	b.gen.Add(1)
 	return p
 }
 
@@ -187,6 +199,7 @@ func (b *Bridge) DelPort(ifIndex int) bool {
 			delete(b.fdb, k)
 		}
 	}
+	b.gen.Add(1)
 	return true
 }
 
@@ -271,12 +284,17 @@ func (b *Bridge) Learn(mac packet.HWAddr, vlan uint16, ifIndex int, now sim.Time
 	k := FDBKey{MAC: mac, VLAN: vlan}
 	if e, ok := b.fdb[k]; ok {
 		if !e.Static {
+			if e.Port != ifIndex {
+				// Station moved: memoized decisions are now wrong.
+				b.gen.Add(1)
+			}
 			e.Port = ifIndex
 			e.LastSeen = now
 		}
 		return
 	}
 	b.fdb[k] = &FDBEntry{Key: k, Port: ifIndex, LastSeen: now}
+	b.gen.Add(1)
 }
 
 // AddStatic installs a static FDB entry (bridge fdb add ... static).
@@ -285,6 +303,7 @@ func (b *Bridge) AddStatic(mac packet.HWAddr, vlan uint16, ifIndex int) {
 	defer b.mu.Unlock()
 	k := FDBKey{MAC: mac, VLAN: vlan}
 	b.fdb[k] = &FDBEntry{Key: k, Port: ifIndex, Static: true}
+	b.gen.Add(1)
 }
 
 // FDBLookup resolves the egress port for a MAC/VLAN. Expired entries miss
@@ -315,6 +334,9 @@ func (b *Bridge) Age(now sim.Time) int {
 			removed++
 		}
 	}
+	if removed > 0 {
+		b.gen.Add(1)
+	}
 	return removed
 }
 
@@ -339,6 +361,26 @@ func (b *Bridge) FDBEntries() []FDBEntry {
 	})
 	return out
 }
+
+// FDBExpiry reports the virtual time at which the FDB entry for mac/vlan
+// stops being valid (NeverExpires for static entries). The L2 fast-cache
+// copies the expiry at fill time so a cached decision cannot outlive the
+// binding it memoized — the same lazy ageing FDBLookup applies.
+func (b *Bridge) FDBExpiry(mac packet.HWAddr, vlan uint16) (sim.Time, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.fdb[FDBKey{MAC: mac, VLAN: vlan}]
+	if !ok {
+		return 0, false
+	}
+	if e.Static {
+		return NeverExpires, true
+	}
+	return e.LastSeen.Add(b.ageing), true
+}
+
+// NeverExpires is the expiry FDBExpiry reports for static entries.
+const NeverExpires = sim.Time(1<<63 - 1)
 
 // FDBLen reports the number of FDB entries.
 func (b *Bridge) FDBLen() int {

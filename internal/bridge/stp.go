@@ -197,11 +197,13 @@ func (b *Bridge) TickSTP(now sim.Time) {
 			if now.Sub(p.stp.stateSince) >= ForwardDelay {
 				p.State = Learning
 				p.stp.stateSince = now
+				b.gen.Add(1)
 			}
 		case Learning:
 			if now.Sub(p.stp.stateSince) >= ForwardDelay {
 				p.State = Forwarding
 				p.stp.stateSince = now
+				b.gen.Add(1)
 			}
 		}
 	}
@@ -268,6 +270,7 @@ func (b *Bridge) recomputeRolesLocked(now sim.Time) {
 				}
 			}
 			p.stp.stateSince = now
+			b.gen.Add(1)
 		}
 	}
 }

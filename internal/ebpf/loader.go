@@ -64,20 +64,29 @@ type xdpAdapter struct {
 
 var _ netdev.XDPHandler = (*xdpAdapter)(nil)
 
+// ctxPool recycles program contexts: one per program invocation on the hot
+// path, so it must not hit the heap per packet. Ops may use the Ctx only
+// for the duration of the call.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
 // HandleXDP implements netdev.XDPHandler.
 func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
 	buff.Meter.Charge(sim.CostXDPPrologue)
-	ctx := &Ctx{
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{
 		Kernel: a.k, Meter: buff.Meter, Hook: HookXDP,
 		IfIndex: buff.IfIndex, XDP: buff,
 	}
-	switch a.prog.run(ctx) {
+	v := a.prog.run(ctx)
+	redirect := ctx.RedirectIfIndex
+	ctxPool.Put(ctx)
+	switch v {
 	case VerdictDrop:
 		return netdev.XDPDrop
 	case VerdictTX:
 		return netdev.XDPTx
 	case VerdictRedirect:
-		buff.RedirectTo = ctx.RedirectIfIndex
+		buff.RedirectTo = redirect
 		return netdev.XDPRedirect
 	case VerdictAborted:
 		return netdev.XDPAborted
@@ -97,15 +106,19 @@ var _ kernel.TCHandler = (*tcAdapter)(nil)
 
 // HandleTC implements kernel.TCHandler.
 func (a *tcAdapter) HandleTC(skb *kernel.SKB) kernel.TCAction {
-	ctx := &Ctx{
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{
 		Kernel: a.k, Meter: skb.Meter, Hook: a.hook,
 		IfIndex: skb.Dev.Index, SKB: skb,
 	}
-	switch a.prog.run(ctx) {
+	v := a.prog.run(ctx)
+	redirect := ctx.RedirectIfIndex
+	ctxPool.Put(ctx)
+	switch v {
 	case VerdictDrop, VerdictAborted:
 		return kernel.TCShot
 	case VerdictRedirect:
-		skb.RedirectTo = ctx.RedirectIfIndex
+		skb.RedirectTo = redirect
 		return kernel.TCRedirect
 	default:
 		return kernel.TCOk

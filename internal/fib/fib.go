@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"linuxfp/internal/packet"
 )
@@ -83,7 +84,14 @@ type Table struct {
 	mu   sync.RWMutex
 	root *node
 	size int
+	gen  atomic.Uint64 // bumped on every mutation; caches validate against it
 }
+
+// Gen reports the table's generation: a counter bumped on every route
+// mutation. Flow caches that memoized a lookup result compare the
+// generation they captured against the current one — any change
+// invalidates, which is the coherence rule the fast path relies on.
+func (t *Table) Gen() uint64 { return t.gen.Load() }
 
 // NewTable returns an empty routing table.
 func NewTable() *Table {
@@ -119,6 +127,7 @@ func (t *Table) Add(r Route) {
 	r.Prefix = r.Prefix.Masked()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.gen.Add(1)
 	n := t.insertNode(r.Prefix)
 	for i, ex := range n.routes {
 		if ex.Metric == r.Metric {
@@ -180,12 +189,14 @@ func (t *Table) Delete(p packet.Prefix, metric int) bool {
 			if metric < 0 {
 				t.size -= len(cur.routes)
 				cur.routes = nil
+				t.gen.Add(1)
 				return true
 			}
 			for i, r := range cur.routes {
 				if r.Metric == metric {
 					cur.routes = append(cur.routes[:i], cur.routes[i+1:]...)
 					t.size--
+					t.gen.Add(1)
 					return true
 				}
 			}
@@ -265,21 +276,34 @@ func (t *Table) Flush() {
 	defer t.mu.Unlock()
 	t.root = &node{prefix: packet.Prefix{}}
 	t.size = 0
+	t.gen.Add(1)
 }
 
 // FIB is the set of routing tables in one network namespace.
 type FIB struct {
 	mu     sync.RWMutex
 	tables map[int]*Table
+	// main/local are cached so the per-packet Lookup (and the per-hit
+	// generation check of the flow fast-cache) never touch the tables map
+	// lock.
+	main, local *Table
 }
 
 // New returns a FIB with empty main and local tables.
 func New() *FIB {
-	return &FIB{tables: map[int]*Table{
+	f := &FIB{tables: map[int]*Table{
 		TableMain:  NewTable(),
 		TableLocal: NewTable(),
 	}}
+	f.main = f.tables[TableMain]
+	f.local = f.tables[TableLocal]
+	return f
 }
+
+// Gen reports the combined generation of the tables Lookup consults (local
+// + main). Both counters are monotonic, so the sum is monotonic too: equal
+// sums imply neither table changed.
+func (f *FIB) Gen() uint64 { return f.main.Gen() + f.local.Gen() }
 
 // Table returns the table with the given ID, creating it on first use.
 func (f *FIB) Table(id int) *Table {
@@ -300,18 +324,18 @@ func (f *FIB) Table(id int) *Table {
 }
 
 // Main returns the main routing table.
-func (f *FIB) Main() *Table { return f.Table(TableMain) }
+func (f *FIB) Main() *Table { return f.main }
 
 // Local returns the local routing table (host addresses).
-func (f *FIB) Local() *Table { return f.Table(TableLocal) }
+func (f *FIB) Local() *Table { return f.local }
 
 // Lookup resolves dst the way ip_route_input does: the local table first
 // (host delivery wins), then the main table.
 func (f *FIB) Lookup(dst packet.Addr) (Route, bool) {
-	if r, ok := f.Local().Lookup(dst); ok {
+	if r, ok := f.local.Lookup(dst); ok {
 		return r, true
 	}
-	return f.Main().Lookup(dst)
+	return f.main.Lookup(dst)
 }
 
 func min(a, b int) int {

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"sync"
+
 	"linuxfp/internal/bridge"
 	"linuxfp/internal/fib"
 	"linuxfp/internal/netdev"
@@ -9,14 +11,44 @@ import (
 	"linuxfp/internal/sim"
 )
 
+// rxScratch is the per-frame working set of the receive path: the decoded
+// packet view, netfilter metadata, and the TC context, all caller-owned so
+// the hot path performs no per-packet heap allocation — the model's
+// skb-recycling. A scratch is only valid within one DeliverFrame call; the
+// structs it holds must not be retained past it.
+type rxScratch struct {
+	pkt  packet.Packet
+	ip   packet.IPv4
+	arp  packet.ARP
+	meta netfilter.Meta
+	skb  SKB
+
+	// Flow fast-cache fill state, threaded from ipRcv (where the combined
+	// generation is captured, before any lookup runs) to finishOutput
+	// (where the resolved decision is memoized).
+	fillGen uint64
+	fillOK  bool
+}
+
+var rxScratchPool = sync.Pool{New: func() any { return new(rxScratch) }}
+
 // DeliverFrame implements netdev.Stack: the software receive path a frame
 // takes after the driver (and after any XDP program passed it up).
 func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
+	sc := rxScratchPool.Get().(*rxScratch)
+	k.deliverFrame(dev, frame, m, sc)
+	rxScratchPool.Put(sc)
+}
+
+// deliverFrame is the body of DeliverFrame with the scratch made explicit,
+// so DeliverBatch can run a whole burst on one scratch.
+func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("netif_receive_skb")()
+	sc.fillOK = false
 
 	eth, l3off, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 
@@ -35,14 +67,14 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 		}
 		// Best-effort parse: TC programs run on any frame; non-IP or
 		// malformed L3 just leaves Pkt at the Ethernet level.
-		pkt, perr := packet.Decode(frame)
-		if perr != nil {
-			pkt = &packet.Packet{Eth: eth, L3Off: l3off, Payload: frame[l3off:]}
+		if perr := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); perr != nil {
+			sc.pkt = packet.Packet{Eth: eth, L3Off: l3off, Payload: frame[l3off:]}
 		}
-		skb := &SKB{Data: frame, Dev: dev, Pkt: pkt, VLAN: eth.VLAN, Meter: m}
+		sc.skb = SKB{Data: frame, Dev: dev, Pkt: &sc.pkt, VLAN: eth.VLAN, Meter: m}
+		skb := &sc.skb
 		switch h.HandleTC(skb) {
 		case TCShot:
-			k.countDrop()
+			k.countDrop(m)
 			return
 		case TCRedirect:
 			if out, ok := k.DeviceByIndex(skb.RedirectTo); ok {
@@ -55,7 +87,7 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 				}
 				out.Transmit(skb.Data, m)
 			} else {
-				k.countDrop()
+				k.countDrop(m)
 			}
 			return
 		case TCOk:
@@ -63,7 +95,7 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 		}
 		// Fall through into the normal stack; allocation costs are covered
 		// by the TC prologue already charged.
-		k.receiveParsed(dev, frame, eth, l3off, m)
+		k.receiveParsed(dev, frame, eth, l3off, m, sc)
 		return
 	}
 
@@ -79,25 +111,30 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 	default:
 		m.Charge(sim.CostNetifReceive)
 	}
-	k.receiveParsed(dev, frame, eth, l3off, m)
+	k.receiveParsed(dev, frame, eth, l3off, m, sc)
 }
 
 // receiveParsed continues processing once the Ethernet header is decoded.
-func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter) {
+func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter, sc *rxScratch) {
 	// Bridged port? br_handle_frame intercepts before L3.
 	if master := dev.Master(); master != 0 {
 		if br, ok := k.Bridge(master); ok {
-			k.bridgeInput(br, dev, frame, eth, l3off, m)
+			k.bridgeInput(br, dev, frame, eth, l3off, m, sc)
 			return
 		}
 	}
-	k.l3Input(dev, frame, m)
+	// Per-CPU flow fast-cache: steady-state forwarded flows skip the whole
+	// ip_rcv/route/neighbour walk when the memoized decision revalidates.
+	if k.flowCacheOn.Load() && k.flowFastPath(dev, frame, m) {
+		return
+	}
+	k.l3Input(dev, frame, m, sc)
 }
 
 // bridgeInput is br_handle_frame: STP interception, VLAN classification,
 // learning, and the forwarding decision. Bridging is pure L2: the frame's
 // payload need not be valid IP.
-func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter) {
+func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("br_handle_frame")()
 	now := k.Now()
 
@@ -111,23 +148,37 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 		return
 	}
 
+	// Per-CPU L2 fast-cache: a memoized single-port unicast decision that
+	// revalidates skips classification, learning and the FDB walk. The
+	// skipped learning refresh is safe: the cached entry expires with the
+	// FDB entry it memoized, and any FDB change bumps the bridge
+	// generation.
+	if k.flowCacheOn.Load() && k.l2FastPath(br, dev, frame, eth, m) {
+		return
+	}
+
 	vlan, ok := br.IngressVLAN(dev.Index, eth.VLAN)
 	if !ok {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 	br.Learn(eth.Src, vlan, dev.Index, now)
 	m.Charge(sim.CostBridgeInput)
 
+	// Capture the L2 generation before the forwarding decision, so a
+	// concurrent FDB change after the lookup leaves the memoized entry
+	// already stale.
+	l2gen := k.l2Gen(br)
+
 	// br_netfilter: with bridge-nf-call-iptables enabled (container hosts
 	// set this), bridged IPv4 frames traverse the FORWARD chain too.
-	brNF := k.Sysctl("net.bridge.bridge-nf-call-iptables") == "1" && eth.EtherType == packet.EtherTypeIPv4
+	brNF := k.brNFCall.Load() && eth.EtherType == packet.EtherTypeIPv4
 	var brMeta *netfilter.Meta
 	if brNF {
-		if pkt, err := packet.Decode(frame); err == nil && pkt.IPv4 != nil {
-			brMeta = k.buildMeta(dev, pkt)
+		if err := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); err == nil && sc.pkt.IPv4 != nil {
+			brMeta = k.buildMetaInto(dev, &sc.pkt, &sc.meta)
 			if v := k.runHook(netfilter.HookForward, brMeta, m); v == netfilter.VerdictDrop {
-				k.countFilterDrop()
+				k.countFilterDrop(m)
 				return
 			}
 		}
@@ -135,7 +186,7 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 
 	d := br.Forward(dev.Index, eth.Dst, vlan, now)
 	if d.Drop {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 	// br_netfilter's second leg: forwarded bridged frames also traverse
@@ -144,7 +195,7 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 	// as long as the chain cannot drop (the controller checks).
 	if brNF && brMeta != nil && len(d.Egress) > 0 {
 		if v := k.runHook(netfilter.HookPostrouting, brMeta, m); v == netfilter.VerdictDrop {
-			k.countFilterDrop()
+			k.countFilterDrop(m)
 			return
 		}
 	}
@@ -161,12 +212,21 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 			continue
 		}
 		m.Charge(sim.CostDevXmit)
-		out.Transmit(retagFrame(frame, eth, l3off, vlan, tagged), m)
+		txFrame := retagFrame(frame, eth, l3off, vlan, tagged)
+		out.Transmit(txFrame, m)
+		// Memoize: exactly one unicast egress, no netfilter traversal, no
+		// retag, not also delivered locally.
+		if k.flowCacheOn.Load() && !brNF && !d.Flood && !d.Local &&
+			len(d.Egress) == 1 && &txFrame[0] == &frame[0] && !eth.Dst.IsMulticast() {
+			if expire, ok := br.FDBExpiry(eth.Dst, vlan); ok {
+				k.l2Install(dev, eth, out, expire, l2gen, m)
+			}
+		}
 	}
 	if d.Local {
 		// Deliver up the stack as if received on the bridge device.
 		if brDev, ok := k.DeviceByIndex(br.IfIndex); ok {
-			k.l3Input(brDev, frame, m)
+			k.l3Input(brDev, frame, m, sc)
 		}
 	}
 }
@@ -188,20 +248,20 @@ func retagFrame(frame []byte, eth packet.Ethernet, l3off int, vlan uint16, tagge
 // l3Input decodes the full frame and demuxes by EtherType: ARP processing
 // or IP receive. Frames that fail L3 validation are dropped here, after
 // bridging had its chance.
-func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter) {
-	pkt, err := packet.Decode(frame)
-	if err != nil {
-		k.countDrop()
+func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
+	if err := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); err != nil {
+		k.countDrop(m)
 		return
 	}
+	pkt := &sc.pkt
 	switch {
 	case pkt.ARP != nil:
 		k.arpInput(dev, pkt.ARP, m)
 	case pkt.IPv4 != nil:
-		k.ipRcv(dev, frame, pkt, m)
+		k.ipRcv(dev, frame, pkt, m, sc)
 	default:
 		// Unknown protocol: consumed by taps only.
-		k.countDrop()
+		k.countDrop(m)
 	}
 }
 
@@ -227,7 +287,7 @@ func (k *Kernel) arpInput(dev *netdev.Device, a *packet.ARP, m *sim.Meter) {
 			TargetHW: a.SenderHW,
 			TargetIP: a.SenderIP,
 		})
-		k.bumpARPTx()
+		k.bumpARPTx(m)
 		dev.Transmit(reply, m)
 	}
 }
@@ -239,14 +299,21 @@ func (k *Kernel) addrIsLocal(ip packet.Addr) bool {
 }
 
 // ipRcv is ip_rcv: validation, PREROUTING, routing decision.
-func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *sim.Meter) {
+func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("ip_rcv")()
 	m.Charge(sim.CostIPRcv)
 	ip := pkt.IPv4
 
-	meta := k.buildMeta(dev, pkt)
+	// Capture the flow-cache generation before any state is consulted: if
+	// anything changes between here and the fill, the stored generation is
+	// already stale and the entry can never produce a wrong hit.
+	if k.flowCacheOn.Load() {
+		sc.fillGen = k.dpGen()
+	}
+
+	meta := k.buildMetaInto(dev, pkt, &sc.meta)
 	if v := k.runHook(netfilter.HookPrerouting, meta, m); v == netfilter.VerdictDrop {
-		k.countFilterDrop()
+		k.countFilterDrop(m)
 		return
 	}
 
@@ -260,7 +327,7 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 	m.Charge(sim.CostRouteLookup)
 	r, ok := k.FIB.Lookup(ip.Dst)
 	if !ok {
-		k.countNoRoute()
+		k.countNoRoute(m)
 		k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 0, m)
 		return
 	}
@@ -268,14 +335,20 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 		k.ipLocalDeliver(dev, frame, pkt, meta, m)
 		return
 	}
-	k.ipForward(dev, frame, pkt, r, meta, m)
+	k.ipForward(dev, frame, pkt, r, meta, m, sc)
 }
 
-// buildMeta summarizes the packet for netfilter. L4 ports are only visible
-// on first fragments.
+// buildMeta summarizes the packet for netfilter on the heap (config-path
+// callers that have no scratch).
 func (k *Kernel) buildMeta(dev *netdev.Device, pkt *packet.Packet) *netfilter.Meta {
+	return k.buildMetaInto(dev, pkt, &netfilter.Meta{})
+}
+
+// buildMetaInto summarizes the packet for netfilter into caller-owned
+// storage. L4 ports are only visible on first fragments.
+func (k *Kernel) buildMetaInto(dev *netdev.Device, pkt *packet.Packet, meta *netfilter.Meta) *netfilter.Meta {
 	ip := pkt.IPv4
-	meta := &netfilter.Meta{
+	*meta = netfilter.Meta{
 		Src: ip.Src, Dst: ip.Dst, Proto: ip.Proto,
 		InIf: dev.Index, Fragment: ip.IsFragment(),
 	}
@@ -321,7 +394,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 			return
 		}
 		payload = full
-		k.countReassembled()
+		k.countReassembled(m)
 		// Re-derive L4 ports now that the full datagram exists.
 		if (ip.Proto == packet.ProtoTCP || ip.Proto == packet.ProtoUDP) && len(payload) >= 4 {
 			meta.SrcPort, meta.DstPort = packet.L4Ports(payload, 0)
@@ -330,7 +403,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 	}
 
 	if v := k.runHook(netfilter.HookInput, meta, m); v == netfilter.VerdictDrop {
-		k.countFilterDrop()
+		k.countFilterDrop(m)
 		return
 	}
 
@@ -344,7 +417,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 		}
 		h, ok := k.socketFor(ip.Proto, dport)
 		if !ok {
-			k.countDrop()
+			k.countDrop(m)
 			return
 		}
 		m.Charge(sim.CostSocketQueue)
@@ -358,13 +431,13 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 			body = b
 			sport, dport = t.SrcPort, t.DstPort
 		}
-		k.countDelivered()
+		k.countDelivered(m)
 		h(k, SocketMsg{
 			Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst,
 			SrcPort: sport, DstPort: dport, Payload: body, InIf: dev.Index, Meter: m,
 		})
 	default:
-		k.countDrop()
+		k.countDrop(m)
 	}
 }
 
@@ -377,21 +450,21 @@ func (k *Kernel) icmpInput(dev *netdev.Device, ip *packet.IPv4, payload []byte, 
 	}
 	m.Charge(sim.CostIcmpEcho)
 	reply := packet.ICMP{Type: packet.ICMPEchoReply, Rest: ic.Rest}
-	k.bumpICMPTx()
+	k.bumpICMPTx(m)
 	k.SendIP(ip.Dst, ip.Src, packet.ProtoICMP, reply.Marshal(nil, body), m)
 }
 
 // ipForward is ip_forward: TTL, FORWARD hook, neighbour resolution, rewrite
 // and transmit — the slow path LinuxFP's router FPM short-circuits.
-func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet, r fib.Route, meta *netfilter.Meta, m *sim.Meter) {
+func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet, r fib.Route, meta *netfilter.Meta, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("ip_forward")()
 	if !k.IPForwarding() {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 	ip := pkt.IPv4
 	if ip.TTL <= 1 {
-		k.countTTLExpired()
+		k.countTTLExpired(m)
 		k.sendICMPError(dev, pkt, packet.ICMPTimeExceeded, 0, m)
 		return
 	}
@@ -399,13 +472,13 @@ func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 
 	meta.OutIf = r.OutIf
 	if v := k.runHook(netfilter.HookForward, meta, m); v == netfilter.VerdictDrop {
-		k.countFilterDrop()
+		k.countFilterDrop(m)
 		return
 	}
 
 	out, ok := k.DeviceByIndex(r.OutIf)
 	if !ok {
-		k.countNoRoute()
+		k.countNoRoute(m)
 		return
 	}
 
@@ -423,20 +496,24 @@ func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	if int(ip.TotalLen) > out.MTU {
 		if ip.DontFragment() {
 			k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 4, m) // frag needed
-			k.countDrop()
+			k.countDrop(m)
 			return
 		}
 		k.fragmentAndSend(out, nexthop, frame, pkt, m)
 		return
 	}
 
-	k.finishOutput(out, nexthop, frame, m)
-	k.countForwarded()
+	if sc != nil {
+		sc.fillOK = k.flowCacheOn.Load() && k.flowFillEligible(out)
+	}
+	k.finishOutput(out, nexthop, frame, m, sc)
+	k.countForwarded(m)
 }
 
 // finishOutput resolves the next hop and transmits, queueing on the
-// neighbour table when the MAC is unknown.
-func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []byte, m *sim.Meter) {
+// neighbour table when the MAC is unknown. When sc requests it, the
+// decision is memoized in the flow fast-cache after a successful transmit.
+func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []byte, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("neigh_resolve_output")()
 	now := k.Now()
 
@@ -447,12 +524,12 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 			meta := k.buildMeta(out, pkt)
 			meta.OutIf = out.Index
 			if v := k.runHook(netfilter.HookPostrouting, meta, m); v == netfilter.VerdictDrop {
-				k.countFilterDrop()
+				k.countFilterDrop(m)
 				return
 			}
 		}
 	}
-	mac, ok := k.Neigh.Resolved(nexthop, now)
+	mac, expire, ok := k.Neigh.ResolvedFull(nexthop, now)
 	if !ok {
 		if first := k.Neigh.StartResolution(nexthop, out.Index, frame); first {
 			k.sendARPRequest(out, nexthop, m)
@@ -467,7 +544,7 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 			skb := &SKB{Data: frame, Dev: out, Pkt: pkt, Meter: m}
 			switch h.HandleTC(skb) {
 			case TCShot:
-				k.countDrop()
+				k.countDrop(m)
 				return
 			case TCRedirect:
 				m.Charge(sim.CostTCRedirect)
@@ -484,6 +561,9 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 	k.trace("dev_queue_xmit")()
 	m.Charge(sim.CostDevXmit)
 	out.Transmit(frame, m)
+	if sc != nil && sc.fillOK {
+		k.flowInstall(frame, out, mac, expire, sc.fillGen, m)
+	}
 }
 
 // sendARPRequest broadcasts a who-has for ip out the device.
@@ -498,77 +578,14 @@ func (k *Kernel) sendARPRequest(out *netdev.Device, ip packet.Addr, m *sim.Meter
 		SenderIP: src,
 		TargetIP: ip,
 	})
-	k.bumpARPTx()
+	k.bumpARPTx(m)
 	out.Transmit(req, m)
 }
 
 func (k *Kernel) tcIngressFor(idx int) TCHandler {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.tcIngress[idx]
+	return k.tc.Load().ingress[idx]
 }
 
 func (k *Kernel) tcEgressFor(idx int) TCHandler {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.tcEgress[idx]
-}
-
-// --- counters ----------------------------------------------------------------
-
-func (k *Kernel) countDrop() {
-	k.mu.Lock()
-	k.stats.Dropped++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countFilterDrop() {
-	k.mu.Lock()
-	k.stats.FilterDropped++
-	k.stats.Dropped++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countNoRoute() {
-	k.mu.Lock()
-	k.stats.NoRoute++
-	k.stats.Dropped++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countTTLExpired() {
-	k.mu.Lock()
-	k.stats.TTLExpired++
-	k.stats.Dropped++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countForwarded() {
-	k.mu.Lock()
-	k.stats.Forwarded++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countDelivered() {
-	k.mu.Lock()
-	k.stats.Delivered++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) countReassembled() {
-	k.mu.Lock()
-	k.stats.Reassembled++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) bumpARPTx() {
-	k.mu.Lock()
-	k.stats.ARPTx++
-	k.mu.Unlock()
-}
-
-func (k *Kernel) bumpICMPTx() {
-	k.mu.Lock()
-	k.stats.ICMPTx++
-	k.mu.Unlock()
+	return k.tc.Load().egress[idx]
 }

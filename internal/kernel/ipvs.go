@@ -75,6 +75,7 @@ func (k *Kernel) IPVSAddService(key IPVSKey, scheduler string) error {
 		return fmt.Errorf("kernel: ipvs service %v exists", key)
 	}
 	k.ipvs.services[key] = &IPVSService{Key: key, Scheduler: scheduler}
+	k.cfgGen.Add(1)
 	k.publishIPVS(key)
 	return nil
 }
@@ -88,6 +89,7 @@ func (k *Kernel) IPVSAddBackend(key IPVSKey, backend packet.Addr) error {
 		return fmt.Errorf("kernel: no ipvs service %v", key)
 	}
 	svc.Backends = append(svc.Backends, backend)
+	k.cfgGen.Add(1)
 	k.publishIPVS(key)
 	return nil
 }
@@ -105,6 +107,7 @@ func (k *Kernel) IPVSDelService(key IPVSKey) bool {
 			delete(k.ipvs.conns, tup)
 		}
 	}
+	k.cfgGen.Add(1)
 	k.publishIPVS(key)
 	return true
 }
@@ -205,14 +208,14 @@ func (k *Kernel) ipvsInput(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	// Re-resolve with the rewritten destination.
 	newPkt, err := packet.Decode(frame)
 	if err != nil {
-		k.countDrop()
+		k.countDrop(m)
 		return true
 	}
 	k.trace("fib_table_lookup")()
 	m.Charge(sim.CostRouteLookup)
 	r, rok := k.FIB.Lookup(backend)
 	if !rok {
-		k.countNoRoute()
+		k.countNoRoute(m)
 		return true
 	}
 	if r.Local {
@@ -221,7 +224,7 @@ func (k *Kernel) ipvsInput(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 		return true
 	}
 	meta := k.buildMeta(dev, newPkt)
-	k.ipForward(dev, frame, newPkt, r, meta, m)
+	k.ipForward(dev, frame, newPkt, r, meta, m, nil)
 	return true
 }
 

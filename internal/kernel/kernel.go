@@ -9,6 +9,13 @@
 // path's helpers read and write the same objects, which is LinuxFP's
 // correctness argument: a packet taking either path observes identical
 // state.
+//
+// The receive path is multi-queue: frames are steered to RX queues by the
+// netdev package's RSS hash, and each queue runs on its own virtual CPU
+// with per-CPU counter shards and flow caches. Everything a packet touches
+// per-hop is read through atomic snapshots (device table, TC attachments,
+// sysctls, clock), so queues scale without shared locks; the kernel lock
+// only serializes configuration.
 package kernel
 
 import (
@@ -82,12 +89,27 @@ type Stats struct {
 	STPTx         uint64
 	FragsSent     uint64
 	Reassembled   uint64
+	FlowHits      uint64 // flow fast-cache hits (L3 + L2)
+	FlowMisses    uint64 // fast-cache probes that fell through to the slow path
 }
 
 // socketKey binds a protocol and port.
 type socketKey struct {
 	proto uint8
 	port  uint16
+}
+
+// devTable is the read-side snapshot of the device registry, replaced
+// whole on every change so per-packet lookups are a single atomic load.
+type devTable struct {
+	byIdx  map[int]*netdev.Device
+	byName map[string]*netdev.Device
+}
+
+// tcTables is the read-side snapshot of TC attachments.
+type tcTables struct {
+	ingress map[int]TCHandler
+	egress  map[int]TCHandler
 }
 
 // Kernel is one network namespace's stack instance.
@@ -99,49 +121,66 @@ type Kernel struct {
 	NF    *netfilter.Netfilter
 	Bus   *netlink.Bus
 
-	mu        sync.RWMutex
-	devByIdx  map[int]*netdev.Device
-	devByName map[string]*netdev.Device
-	bridges   map[int]*bridge.Bridge // keyed by bridge device ifindex
-	vxlans    map[int]*vxlanState
-	sysctl    map[string]string
-	sockets   map[socketKey]SocketHandler
-	tcIngress map[int]TCHandler
-	tcEgress  map[int]TCHandler
-	nextIdx   int
-	ipIDSeq   uint32
-	stats     Stats
-	defrag    map[fragKey]*fragQueue
+	// Copy-on-write snapshots the per-packet path reads lock-free.
+	devs  atomic.Pointer[devTable]
+	tc    atomic.Pointer[tcTables]
+	clock atomic.Pointer[func() sim.Time]
+
+	// Cached hot sysctls (the kernel's static-key equivalents).
+	fwdEnabled  atomic.Bool // net.ipv4.ip_forward
+	brNFCall    atomic.Bool // net.bridge.bridge-nf-call-iptables
+	flowCacheOn atomic.Bool // net.core.flow_cache
+
+	// cfgGen is bumped on any configuration change outside the generation-
+	// counted subsystems (sysctls, TC attachments, link state, bridge
+	// membership, IPVS services). The flow fast-cache folds it into its
+	// combined generation.
+	cfgGen atomic.Uint64
+
+	// Per-CPU state: counter shards and flow caches, indexed by Meter.CPU.
+	shards  [NumRxShards]shardCounters
+	flows   [NumRxShards]atomic.Pointer[flowShard]
+	l2cache [NumRxShards]atomic.Pointer[l2Shard]
+
+	mu      sync.RWMutex
+	bridges map[int]*bridge.Bridge // keyed by bridge device ifindex
+	vxlans  map[int]*vxlanState
+	sysctl  map[string]string
+	sockets map[socketKey]SocketHandler
+	nextIdx int
+	ipIDSeq uint32
+	defrag  map[fragKey]*fragQueue
 
 	ipvs *ipvsState
 
-	clock  func() sim.Time
-	tracer *Tracer
+	tracer atomic.Pointer[Tracer]
 }
 
-var _ netdev.Stack = (*Kernel)(nil)
+var (
+	_ netdev.Stack      = (*Kernel)(nil)
+	_ netdev.BatchStack = (*Kernel)(nil)
+)
 
 // New returns a fresh namespace with default sysctls (forwarding off) and a
 // loopback device.
 func New(name string) *Kernel {
 	k := &Kernel{
-		Name:      name,
-		FIB:       fib.New(),
-		Neigh:     neigh.NewTable(),
-		NF:        netfilter.New(),
-		Bus:       netlink.NewBus(),
-		devByIdx:  make(map[int]*netdev.Device),
-		devByName: make(map[string]*netdev.Device),
-		bridges:   make(map[int]*bridge.Bridge),
-		vxlans:    make(map[int]*vxlanState),
-		sysctl:    map[string]string{"net.ipv4.ip_forward": "0"},
-		sockets:   make(map[socketKey]SocketHandler),
-		tcIngress: make(map[int]TCHandler),
-		tcEgress:  make(map[int]TCHandler),
-		defrag:    make(map[fragKey]*fragQueue),
-		ipvs:      newIPVSState(),
-		clock:     func() sim.Time { return 0 },
+		Name:    name,
+		FIB:     fib.New(),
+		Neigh:   neigh.NewTable(),
+		NF:      netfilter.New(),
+		Bus:     netlink.NewBus(),
+		bridges: make(map[int]*bridge.Bridge),
+		vxlans:  make(map[int]*vxlanState),
+		sysctl:  map[string]string{"net.ipv4.ip_forward": "0"},
+		sockets: make(map[socketKey]SocketHandler),
+		defrag:  make(map[fragKey]*fragQueue),
+		ipvs:    newIPVSState(),
 	}
+	k.devs.Store(&devTable{byIdx: map[int]*netdev.Device{}, byName: map[string]*netdev.Device{}})
+	k.tc.Store(&tcTables{ingress: map[int]TCHandler{}, egress: map[int]TCHandler{}})
+	zero := func() sim.Time { return 0 }
+	k.clock.Store(&zero)
 	k.registerDumpers()
 	lo := k.CreateDevice("lo", netdev.Loopback)
 	lo.SetUp(true)
@@ -151,23 +190,36 @@ func New(name string) *Kernel {
 // SetClock injects the virtual time source (aging, conntrack, reaction
 // timing all read it).
 func (k *Kernel) SetClock(fn func() sim.Time) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.clock = fn
+	k.clock.Store(&fn)
 }
 
 // Now reports the kernel's current virtual time.
 func (k *Kernel) Now() sim.Time {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.clock()
+	return (*k.clock.Load())()
 }
 
-// Stats returns a snapshot of stack counters.
+// Stats returns a snapshot of stack counters, summed across the per-CPU
+// shards. The sum is not an atomic cut across all shards, but each counter
+// is monotonic, so a quiesced datapath always sums exactly.
 func (k *Kernel) Stats() Stats {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	return k.stats
+	var s Stats
+	for i := range k.shards {
+		c := &k.shards[i]
+		s.Forwarded += c.forwarded.Load()
+		s.Delivered += c.delivered.Load()
+		s.Dropped += c.dropped.Load()
+		s.NoRoute += c.noRoute.Load()
+		s.TTLExpired += c.ttlExpired.Load()
+		s.FilterDropped += c.filterDropped.Load()
+		s.ARPTx += c.arpTx.Load()
+		s.ICMPTx += c.icmpTx.Load()
+		s.STPTx += c.stpTx.Load()
+		s.FragsSent += c.fragsSent.Load()
+		s.Reassembled += c.reassembled.Load()
+		s.FlowHits += c.flowHits.Load()
+		s.FlowMisses += c.flowMisses.Load()
+	}
+	return s
 }
 
 // --- device management -----------------------------------------------------
@@ -187,14 +239,35 @@ func allocMAC() packet.HWAddr {
 	return mac
 }
 
+// storeDevsLocked publishes a new device-table snapshot built by mutate.
+// Must hold k.mu.
+func (k *Kernel) storeDevsLocked(mutate func(byIdx map[int]*netdev.Device, byName map[string]*netdev.Device)) {
+	old := k.devs.Load()
+	nt := &devTable{
+		byIdx:  make(map[int]*netdev.Device, len(old.byIdx)+1),
+		byName: make(map[string]*netdev.Device, len(old.byName)+1),
+	}
+	for i, d := range old.byIdx {
+		nt.byIdx[i] = d
+	}
+	for n, d := range old.byName {
+		nt.byName[n] = d
+	}
+	mutate(nt.byIdx, nt.byName)
+	k.devs.Store(nt)
+	k.cfgGen.Add(1)
+}
+
 // CreateDevice creates and registers a device of the given type.
 func (k *Kernel) CreateDevice(name string, typ netdev.Type) *netdev.Device {
 	k.mu.Lock()
 	k.nextIdx++
 	idx := k.nextIdx
 	d := netdev.New(name, idx, typ, allocMAC(), k)
-	k.devByIdx[idx] = d
-	k.devByName[name] = d
+	k.storeDevsLocked(func(byIdx map[int]*netdev.Device, byName map[string]*netdev.Device) {
+		byIdx[idx] = d
+		byName[name] = d
+	})
 	k.mu.Unlock()
 	k.publishLink(d)
 	return d
@@ -232,7 +305,7 @@ func (k *Kernel) bridgeDevXmit(br *bridge.Bridge, frame []byte, m *sim.Meter) {
 	defer k.trace("br_dev_xmit")()
 	eth, _, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 	now := k.Now()
@@ -249,7 +322,7 @@ func (k *Kernel) bridgeDevXmit(br *bridge.Bridge, frame []byte, m *sim.Meter) {
 					return
 				}
 			}
-			k.countDrop()
+			k.countDrop(m)
 			return
 		}
 	}
@@ -287,8 +360,10 @@ func (k *Kernel) DeleteBridge(name string) error {
 		return fmt.Errorf("kernel: %q is not a bridge", name)
 	}
 	delete(k.bridges, d.Index)
-	delete(k.devByIdx, d.Index)
-	delete(k.devByName, name)
+	k.storeDevsLocked(func(byIdx map[int]*netdev.Device, byName map[string]*netdev.Device) {
+		delete(byIdx, d.Index)
+		delete(byName, name)
+	})
 	k.mu.Unlock()
 	for _, p := range br.Ports() {
 		if pd, ok := k.DeviceByIndex(p); ok {
@@ -329,6 +404,7 @@ func (k *Kernel) AddBridgePort(brName, devName string) error {
 	br.AddPort(d.Index)
 	br.StartSTPPort(d.Index, k.Now())
 	d.SetMaster(br.IfIndex)
+	k.cfgGen.Add(1)
 	k.publishLink(d)
 	return nil
 }
@@ -347,6 +423,7 @@ func (k *Kernel) DelBridgePort(brName, devName string) error {
 		return fmt.Errorf("kernel: %q is not a port of %q", devName, brName)
 	}
 	d.SetMaster(0)
+	k.cfgGen.Add(1)
 	k.publishLink(d)
 	return nil
 }
@@ -398,40 +475,29 @@ func (k *Kernel) STPHello(m *sim.Meter) {
 			frame := packet.BuildEthernet(packet.Ethernet{
 				Dst: bridge.STPDestMAC, Src: dev.MAC, EtherType: 0x0027,
 			}, bpdu.Marshal())
-			k.bumpSTPTx()
+			k.bumpSTPTx(m)
 			dev.Transmit(frame, m)
 		}
 	}
 }
 
-func (k *Kernel) bumpSTPTx() {
-	k.mu.Lock()
-	k.stats.STPTx++
-	k.mu.Unlock()
-}
-
 // DeviceByIndex implements netdev.Stack.
 func (k *Kernel) DeviceByIndex(idx int) (*netdev.Device, bool) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	d, ok := k.devByIdx[idx]
+	d, ok := k.devs.Load().byIdx[idx]
 	return d, ok
 }
 
 // DeviceByName resolves a device by name.
 func (k *Kernel) DeviceByName(name string) (*netdev.Device, bool) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	d, ok := k.devByName[name]
+	d, ok := k.devs.Load().byName[name]
 	return d, ok
 }
 
 // Devices returns all devices sorted by ifindex.
 func (k *Kernel) Devices() []*netdev.Device {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	out := make([]*netdev.Device, 0, len(k.devByIdx))
-	for _, d := range k.devByIdx {
+	t := k.devs.Load()
+	out := make([]*netdev.Device, 0, len(t.byIdx))
+	for _, d := range t.byIdx {
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
@@ -445,6 +511,7 @@ func (k *Kernel) SetLinkUp(name string, up bool) error {
 		return fmt.Errorf("kernel: no device %q", name)
 	}
 	d.SetUp(up)
+	k.cfgGen.Add(1)
 	k.publishLink(d)
 	return nil
 }
@@ -527,11 +594,22 @@ func (k *Kernel) AddNeigh(devName string, ip packet.Addr, mac packet.HWAddr) err
 
 // --- sysctl ------------------------------------------------------------------
 
-// SetSysctl writes a sysctl key and notifies observers.
+// SetSysctl writes a sysctl key and notifies observers. Hot-path keys are
+// mirrored into atomic flags so the datapath never reads the map.
 func (k *Kernel) SetSysctl(key, value string) {
 	k.mu.Lock()
 	k.sysctl[key] = value
 	k.mu.Unlock()
+	on := value == "1"
+	switch key {
+	case "net.ipv4.ip_forward":
+		k.fwdEnabled.Store(on)
+	case "net.bridge.bridge-nf-call-iptables":
+		k.brNFCall.Store(on)
+	case "net.core.flow_cache":
+		k.flowCacheOn.Store(on)
+	}
+	k.cfgGen.Add(1)
 	k.Bus.Publish(netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: value}})
 }
 
@@ -544,6 +622,10 @@ func (k *Kernel) Sysctl(key string) string {
 
 // IPForwarding reports whether net.ipv4.ip_forward is enabled.
 func (k *Kernel) IPForwarding() bool {
+	if k.fwdEnabled.Load() {
+		return true
+	}
+	// Non-"1" truthy values (e.g. "2") still count, as in Linux.
 	v, err := strconv.Atoi(k.Sysctl("net.ipv4.ip_forward"))
 	return err == nil && v != 0
 }
@@ -619,29 +701,43 @@ func (k *Kernel) IpsetAdd(name string, p packet.Prefix) error {
 // --- TC hooks ----------------------------------------------------------------
 
 // AttachTC installs a TC classifier program on a device's ingress or egress.
+// The attachment table is copy-on-write: per-packet reads are one atomic
+// load, and replacement never disturbs in-flight packets.
 func (k *Kernel) AttachTC(ifindex int, ingress bool, h TCHandler) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	m := k.tcEgress
+	old := k.tc.Load()
+	nt := &tcTables{
+		ingress: make(map[int]TCHandler, len(old.ingress)+1),
+		egress:  make(map[int]TCHandler, len(old.egress)+1),
+	}
+	for i, v := range old.ingress {
+		nt.ingress[i] = v
+	}
+	for i, v := range old.egress {
+		nt.egress[i] = v
+	}
+	m := nt.egress
 	if ingress {
-		m = k.tcIngress
+		m = nt.ingress
 	}
 	if h == nil {
 		delete(m, ifindex)
-		return
+	} else {
+		m[ifindex] = h
 	}
-	m[ifindex] = h
+	k.tc.Store(nt)
+	k.cfgGen.Add(1)
+	k.mu.Unlock()
 }
 
 // TCAttached reports whether a TC program is installed.
 func (k *Kernel) TCAttached(ifindex int, ingress bool) bool {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
+	t := k.tc.Load()
 	if ingress {
-		_, ok := k.tcIngress[ifindex]
+		_, ok := t.ingress[ifindex]
 		return ok
 	}
-	_, ok := k.tcEgress[ifindex]
+	_, ok := t.egress[ifindex]
 	return ok
 }
 

@@ -1,0 +1,221 @@
+// Multi-queue receive: per-CPU statistic shards, NAPI-style batch delivery,
+// and per-RX-queue worker goroutines. This is the receive-side scaling half
+// of the datapath — the netdev package steers flows to queues with the
+// Toeplitz hash, and each queue drains into the stack on its own virtual CPU
+// with no shared locks on the hot path.
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/sim"
+)
+
+// NumRxShards is the number of per-CPU statistic/cache shards. It matches
+// netdev.MaxRxQueues so a meter's CPU maps 1:1 onto a shard, and is a power
+// of two so the mapping is a mask.
+const NumRxShards = netdev.MaxRxQueues
+
+const rxShardMask = NumRxShards - 1
+
+// shardCounters is one CPU's slice of the stack counters. Fields are
+// atomics so a reader (Stats) can sum live shards without stopping traffic;
+// the padding keeps each shard on its own cache lines so two queues never
+// false-share a counter word.
+type shardCounters struct {
+	forwarded     atomic.Uint64
+	delivered     atomic.Uint64
+	dropped       atomic.Uint64
+	noRoute       atomic.Uint64
+	ttlExpired    atomic.Uint64
+	filterDropped atomic.Uint64
+	arpTx         atomic.Uint64
+	icmpTx        atomic.Uint64
+	stpTx         atomic.Uint64
+	fragsSent     atomic.Uint64
+	reassembled   atomic.Uint64
+	flowHits      atomic.Uint64
+	flowMisses    atomic.Uint64
+	_             [3]uint64 // pad to 128 bytes (two cache lines)
+}
+
+// shardIdx maps a meter to its shard. A nil meter (functional tests, config
+// paths) accounts on shard 0.
+func shardIdx(m *sim.Meter) int {
+	if m == nil {
+		return 0
+	}
+	return m.CPU & rxShardMask
+}
+
+// ctr returns the counter shard for the meter's CPU.
+func (k *Kernel) ctr(m *sim.Meter) *shardCounters {
+	return &k.shards[shardIdx(m)]
+}
+
+// --- counters ----------------------------------------------------------------
+
+func (k *Kernel) countDrop(m *sim.Meter) { k.ctr(m).dropped.Add(1) }
+
+func (k *Kernel) countFilterDrop(m *sim.Meter) {
+	c := k.ctr(m)
+	c.filterDropped.Add(1)
+	c.dropped.Add(1)
+}
+
+func (k *Kernel) countNoRoute(m *sim.Meter) {
+	c := k.ctr(m)
+	c.noRoute.Add(1)
+	c.dropped.Add(1)
+}
+
+func (k *Kernel) countTTLExpired(m *sim.Meter) {
+	c := k.ctr(m)
+	c.ttlExpired.Add(1)
+	c.dropped.Add(1)
+}
+
+func (k *Kernel) countForwarded(m *sim.Meter) { k.ctr(m).forwarded.Add(1) }
+
+func (k *Kernel) countDelivered(m *sim.Meter) { k.ctr(m).delivered.Add(1) }
+
+func (k *Kernel) countReassembled(m *sim.Meter) { k.ctr(m).reassembled.Add(1) }
+
+func (k *Kernel) bumpARPTx(m *sim.Meter) { k.ctr(m).arpTx.Add(1) }
+
+func (k *Kernel) bumpICMPTx(m *sim.Meter) { k.ctr(m).icmpTx.Add(1) }
+
+func (k *Kernel) bumpSTPTx(m *sim.Meter) { k.ctr(m).stpTx.Add(1) }
+
+// --- batch receive -----------------------------------------------------------
+
+// DeliverBatch implements netdev.BatchStack: one NAPI poll's worth of frames
+// entering the stack together. The poll prologue (irq handling, poll-list
+// bookkeeping, budget accounting) is charged once for the burst instead of
+// per frame, and one scratch buffer serves every frame — the skb-recycling
+// win real NAPI gets from bulk allocation.
+func (k *Kernel) DeliverBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) {
+	if len(frames) == 0 {
+		return
+	}
+	m.Charge(sim.CostNAPIPoll)
+	sc := rxScratchPool.Get().(*rxScratch)
+	for _, frame := range frames {
+		k.deliverFrame(dev, frame, m, sc)
+	}
+	rxScratchPool.Put(sc)
+}
+
+// --- per-queue workers -------------------------------------------------------
+
+// RxQueueStat is one RX queue's lifetime accounting.
+type RxQueueStat struct {
+	Queue   int
+	Packets uint64
+	Cycles  sim.Cycles
+}
+
+// rxQueueWorker is one queue's goroutine state.
+type rxQueueWorker struct {
+	ch      chan [][]byte
+	meter   sim.Meter
+	packets uint64
+}
+
+// RxWorkerPool runs one goroutine per RX queue of a device, each draining
+// bursts into the stack on its own virtual CPU — the software model of
+// per-queue NAPI contexts pinned to distinct cores. The pool's dispatcher
+// (Steer) plays the role of the NIC: it hashes each frame to a queue and
+// accumulates per-queue bursts.
+type RxWorkerPool struct {
+	dev     *netdev.Device
+	burst   int
+	workers []*rxQueueWorker
+	pending [][][]byte
+	wg      sync.WaitGroup
+}
+
+// StartRxQueues configures the device for n RX queues and starts one worker
+// goroutine per queue. burst is the NAPI budget: frames per batch handed to
+// the stack (64 is the kernel default).
+func (k *Kernel) StartRxQueues(dev *netdev.Device, n, burst int) *RxWorkerPool {
+	if burst < 1 {
+		burst = 64
+	}
+	dev.SetRxQueues(n)
+	n = dev.RxQueues()
+	p := &RxWorkerPool{dev: dev, burst: burst}
+	p.workers = make([]*rxQueueWorker, n)
+	p.pending = make([][][]byte, n)
+	for q := 0; q < n; q++ {
+		w := &rxQueueWorker{ch: make(chan [][]byte, 256), meter: sim.Meter{CPU: q}}
+		p.workers[q] = w
+		p.wg.Add(1)
+		go func(q int, w *rxQueueWorker) {
+			defer p.wg.Done()
+			for batch := range w.ch {
+				dev.ReceiveBatch(batch, q, &w.meter)
+				w.packets += uint64(len(batch))
+			}
+		}(q, w)
+	}
+	return p
+}
+
+// Steer hashes a frame to its RX queue and appends it to that queue's
+// pending burst, flushing when the burst fills. The frame must be owned by
+// the pool after the call (callers hand over fresh copies, like DMA'd ring
+// buffers).
+func (p *RxWorkerPool) Steer(frame []byte) {
+	q := p.dev.QueueFor(frame)
+	p.pending[q] = append(p.pending[q], frame)
+	if len(p.pending[q]) >= p.burst {
+		p.workers[q].ch <- p.pending[q]
+		p.pending[q] = nil
+	}
+}
+
+// Flush pushes all partial bursts to their workers.
+func (p *RxWorkerPool) Flush() {
+	for q, batch := range p.pending {
+		if len(batch) > 0 {
+			p.workers[q].ch <- batch
+			p.pending[q] = nil
+		}
+	}
+}
+
+// Close flushes, stops every worker, and waits for in-flight bursts to
+// finish. The pool must not be used afterwards.
+func (p *RxWorkerPool) Close() {
+	p.Flush()
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	p.wg.Wait()
+}
+
+// Stats reports per-queue packet and cycle totals. Only valid after Close
+// (the workers own their meters while running).
+func (p *RxWorkerPool) Stats() []RxQueueStat {
+	out := make([]RxQueueStat, len(p.workers))
+	for q, w := range p.workers {
+		out[q] = RxQueueStat{Queue: q, Packets: w.packets, Cycles: w.meter.Total}
+	}
+	return out
+}
+
+// MaxQueueCycles reports the busiest queue's cycle total — the wall-clock
+// bound on the burst: with one core per queue, the slowest queue finishes
+// last. Only valid after Close.
+func (p *RxWorkerPool) MaxQueueCycles() sim.Cycles {
+	var max sim.Cycles
+	for _, w := range p.workers {
+		if w.meter.Total > max {
+			max = w.meter.Total
+		}
+	}
+	return max
+}

@@ -17,7 +17,7 @@ func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Met
 	m.Charge(sim.CostRouteLookup)
 	r, ok := k.FIB.Lookup(dst)
 	if !ok {
-		k.countNoRoute()
+		k.countNoRoute(m)
 		return false
 	}
 
@@ -26,7 +26,7 @@ func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Met
 		meta.SrcPort, meta.DstPort = packet.L4Ports(l4, 0)
 	}
 	if v := k.runHook(netfilter.HookOutput, meta, m); v == netfilter.VerdictDrop {
-		k.countFilterDrop()
+		k.countFilterDrop(m)
 		return false
 	}
 
@@ -49,7 +49,7 @@ func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Met
 
 	out, ok := k.DeviceByIndex(r.OutIf)
 	if !ok {
-		k.countNoRoute()
+		k.countNoRoute(m)
 		return false
 	}
 	if src == 0 {
@@ -77,7 +77,7 @@ func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Met
 	}
 
 	frame := packet.BuildIPv4(eth, ip, l4)
-	k.finishOutput(out, nexthop, frame, m)
+	k.finishOutput(out, nexthop, frame, m, nil)
 	return true
 }
 
@@ -119,7 +119,7 @@ func (k *Kernel) SendTCPSegment(src, dst packet.Addr, sport, dport uint16, flags
 // Ping sends an ICMP echo request.
 func (k *Kernel) Ping(dst packet.Addr, id, seq uint16, payload []byte, m *sim.Meter) bool {
 	ic := packet.ICMP{Type: packet.ICMPEchoRequest, Rest: uint32(id)<<16 | uint32(seq)}
-	k.bumpICMPTx()
+	k.bumpICMPTx(m)
 	return k.SendIP(0, dst, packet.ProtoICMP, ic.Marshal(nil, payload), m)
 }
 
@@ -146,7 +146,7 @@ func (k *Kernel) sendICMPError(dev *netdev.Device, orig *packet.Packet, icmpType
 	}
 	ic := packet.ICMP{Type: icmpType, Code: code}
 	m.Charge(sim.CostIcmpEcho)
-	k.bumpICMPTx()
+	k.bumpICMPTx(m)
 	k.SendIP(0, ip.Src, packet.ProtoICMP, ic.Marshal(nil, quote), m)
 }
 
@@ -164,7 +164,7 @@ func (k *Kernel) fragmentAndSend(out *netdev.Device, nexthop packet.Addr, frame 
 	// Payload bytes per fragment, multiple of 8.
 	maxData := (out.MTU - ip.HeaderLen()) &^ 7
 	if maxData <= 0 {
-		k.countDrop()
+		k.countDrop(m)
 		return
 	}
 	origOff := ip.FragOff
@@ -187,12 +187,10 @@ func (k *Kernel) fragmentAndSend(out *netdev.Device, nexthop packet.Addr, frame 
 		eth := pkt.Eth
 		fragFrame := packet.BuildIPv4(eth, fh, payload[off:end])
 		m.Charge(sim.CostFragmentPer)
-		k.mu.Lock()
-		k.stats.FragsSent++
-		k.mu.Unlock()
-		k.finishOutput(out, nexthop, fragFrame, m)
+		k.ctr(m).fragsSent.Add(1)
+		k.finishOutput(out, nexthop, fragFrame, m, nil)
 	}
-	k.countForwarded()
+	k.countForwarded(m)
 }
 
 // --- reassembly ---------------------------------------------------------------

@@ -107,7 +107,7 @@ func (k *Kernel) vxlanEncap(v *vxlanState, frame []byte, m *sim.Meter) {
 func vxlanDecapHandler(k *Kernel, msg SocketMsg) {
 	defer k.trace("vxlan_rcv")()
 	if len(msg.Payload) < vxlanHdrLen+packet.EthHdrLen {
-		k.countDrop()
+		k.countDrop(msg.Meter)
 		return
 	}
 	vni := binary.BigEndian.Uint32(msg.Payload[4:]) >> 8
@@ -123,7 +123,7 @@ func vxlanDecapHandler(k *Kernel, msg SocketMsg) {
 	}
 	k.mu.RUnlock()
 	if v == nil {
-		k.countDrop()
+		k.countDrop(msg.Meter)
 		return
 	}
 	msg.Meter.Charge(sim.CostVXLANDecap)

@@ -10,7 +10,9 @@ package neigh
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
@@ -64,7 +66,13 @@ type Table struct {
 	mu      sync.RWMutex
 	entries map[packet.Addr]*Entry
 	pending map[packet.Addr][][]byte // frames awaiting resolution
+	gen     atomic.Uint64            // bumped on every binding change
 }
+
+// Gen reports the table generation, bumped whenever a binding is installed,
+// rebound, or deleted. Flow caches that copied a resolved MAC validate
+// against it (plus the entry's own expiry) before reusing the binding.
+func (t *Table) Gen() uint64 { return t.gen.Load() }
 
 // NewTable returns an empty neighbour table.
 func NewTable() *Table {
@@ -100,6 +108,29 @@ func (t *Table) Resolved(ip packet.Addr, now sim.Time) (packet.HWAddr, bool) {
 	return e.MAC, true
 }
 
+// NeverExpires is the expiry ResolvedFull reports for permanent entries.
+const NeverExpires = sim.Time(math.MaxInt64)
+
+// ResolvedFull is Resolved plus the virtual time at which the binding stops
+// being usable by a fast path (REACHABLE entries age out after
+// ReachableTime; PERMANENT entries never do). A flow cache storing the MAC
+// must re-validate once now passes the expiry — the same lazy aging
+// Resolved applies, enforced outside the table lock.
+func (t *Table) ResolvedFull(ip packet.Addr, now sim.Time) (packet.HWAddr, sim.Time, bool) {
+	e, ok := t.Lookup(ip, now)
+	if !ok {
+		return packet.HWAddr{}, 0, false
+	}
+	switch e.State {
+	case Permanent:
+		return e.MAC, NeverExpires, true
+	case Reachable:
+		return e.MAC, e.Confirmed.Add(sim.Duration(ReachableTime)), true
+	default:
+		return packet.HWAddr{}, 0, false
+	}
+}
+
 // Confirm installs or refreshes a dynamic binding (called on ARP traffic).
 // It returns any frames that were queued awaiting this resolution.
 func (t *Table) Confirm(ip packet.Addr, mac packet.HWAddr, ifIndex int, now sim.Time) [][]byte {
@@ -117,6 +148,7 @@ func (t *Table) Confirm(ip packet.Addr, mac packet.HWAddr, ifIndex int, now sim.
 	e.IfIndex = ifIndex
 	e.State = Reachable
 	e.Confirmed = now
+	t.gen.Add(1)
 	queued := t.pending[ip]
 	delete(t.pending, ip)
 	return queued
@@ -128,6 +160,7 @@ func (t *Table) AddPermanent(ip packet.Addr, mac packet.HWAddr, ifIndex int) {
 	defer t.mu.Unlock()
 	t.entries[ip] = &Entry{IP: ip, MAC: mac, IfIndex: ifIndex, State: Permanent}
 	delete(t.pending, ip)
+	t.gen.Add(1)
 }
 
 // Delete removes a binding and drops any queued frames.
@@ -137,6 +170,9 @@ func (t *Table) Delete(ip packet.Addr) bool {
 	_, ok := t.entries[ip]
 	delete(t.entries, ip)
 	delete(t.pending, ip)
+	if ok {
+		t.gen.Add(1)
+	}
 	return ok
 }
 
@@ -151,6 +187,7 @@ func (t *Table) StartResolution(ip packet.Addr, ifIndex int, frame []byte) bool 
 	first := false
 	if !ok || e.State != Incomplete {
 		t.entries[ip] = &Entry{IP: ip, IfIndex: ifIndex, State: Incomplete}
+		t.gen.Add(1)
 		first = true
 	}
 	q := t.pending[ip]

@@ -95,6 +95,15 @@ type Stack interface {
 	DeviceByIndex(ifindex int) (*Device, bool)
 }
 
+// BatchStack is a Stack that accepts NAPI-style bursts: one poll prologue
+// amortized over the batch instead of per-frame entry costs. ReceiveBatch
+// uses it when the bound stack implements it.
+type BatchStack interface {
+	Stack
+	// DeliverBatch hands a burst of frames received together to the stack.
+	DeliverBatch(dev *Device, frames [][]byte, m *sim.Meter)
+}
+
 // Stats are device packet counters.
 type Stats struct {
 	RxPackets, RxBytes   uint64
@@ -102,6 +111,26 @@ type Stats struct {
 	RxDropped, TxDropped uint64
 	XDPDrops, XDPTx      uint64
 	XDPRedirects         uint64
+}
+
+// devCounters are the live per-device counters, updated atomically so the
+// RX/TX hot paths never take the device lock.
+type devCounters struct {
+	rxPackets, rxBytes   atomic.Uint64
+	txPackets, txBytes   atomic.Uint64
+	rxDropped, txDropped atomic.Uint64
+	xdpDrops, xdpTx      atomic.Uint64
+	xdpRedirects         atomic.Uint64
+}
+
+// linkState is everything Transmit/Receive need to route a frame, published
+// as one atomic snapshot so the hot path reads it with a single load —
+// replugging a wire or rebinding a stack swaps the snapshot like RCU.
+type linkState struct {
+	peer   *Device // wire endpoint (nil if down/unplugged)
+	wire   Wire    // multi-endpoint attachment (switch); nil if none
+	stack  Stack
+	txHook func(frame []byte, m *sim.Meter) bool
 }
 
 // Device is one network interface.
@@ -112,20 +141,19 @@ type Device struct {
 	MAC   packet.HWAddr
 	MTU   int
 
-	mu     sync.RWMutex
-	up     bool
+	mu     sync.Mutex // guards config writes (addrs, link snapshot rebuild)
 	addrs  []packet.Prefix
-	master int // enslaving bridge ifindex, 0 if none
-	stats  Stats
-	peer   *Device // wire endpoint (nil if down/unplugged)
-	wire   Wire    // multi-endpoint attachment (switch); nil if none
+	up     atomic.Bool
+	master atomic.Int32 // enslaving bridge ifindex, 0 if none
+	stats  devCounters
+	link   atomic.Pointer[linkState]
+	rss    atomic.Pointer[rssState]
 
-	stack  Stack
-	xdp    atomic.Pointer[xdpSlot]
-	txHook func(frame []byte, m *sim.Meter) bool
+	xdp atomic.Pointer[xdpSlot]
 
 	// Tap, when set, observes every frame the device receives (before XDP)
-	// — the model's equivalent of a packet capture.
+	// — the model's equivalent of a packet capture. Set it before traffic
+	// flows; it is read without synchronization on the hot path.
 	Tap func(frame []byte)
 }
 
@@ -144,22 +172,25 @@ type Wire interface {
 
 // New creates a device bound to a stack.
 func New(name string, index int, typ Type, mac packet.HWAddr, stack Stack) *Device {
-	return &Device{Name: name, Index: index, Type: typ, MAC: mac, MTU: 1500, stack: stack}
+	d := &Device{Name: name, Index: index, Type: typ, MAC: mac, MTU: 1500}
+	d.link.Store(&linkState{stack: stack})
+	return d
+}
+
+// updateLink rebuilds the link snapshot under the config lock.
+func (d *Device) updateLink(f func(*linkState)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ln := *d.link.Load()
+	f(&ln)
+	d.link.Store(&ln)
 }
 
 // SetUp brings the device up or down.
-func (d *Device) SetUp(up bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.up = up
-}
+func (d *Device) SetUp(up bool) { d.up.Store(up) }
 
 // IsUp reports administrative state.
-func (d *Device) IsUp() bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.up
-}
+func (d *Device) IsUp() bool { return d.up.Load() }
 
 // AddAddr assigns an IP address (with prefix) to the device.
 func (d *Device) AddAddr(p packet.Prefix) {
@@ -188,15 +219,15 @@ func (d *Device) DelAddr(p packet.Prefix) bool {
 
 // Addrs returns the assigned addresses.
 func (d *Device) Addrs() []packet.Prefix {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return append([]packet.Prefix(nil), d.addrs...)
 }
 
 // HasAddr reports whether ip is assigned to this device.
 func (d *Device) HasAddr(ip packet.Addr) bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, a := range d.addrs {
 		if a.Addr == ip {
 			return true
@@ -206,18 +237,10 @@ func (d *Device) HasAddr(ip packet.Addr) bool {
 }
 
 // SetMaster enslaves the device to a bridge (0 releases it).
-func (d *Device) SetMaster(bridgeIfIndex int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.master = bridgeIfIndex
-}
+func (d *Device) SetMaster(bridgeIfIndex int) { d.master.Store(int32(bridgeIfIndex)) }
 
 // Master reports the enslaving bridge ifindex (0 if none).
-func (d *Device) Master() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.master
-}
+func (d *Device) Master() int { return int(d.master.Load()) }
 
 // AttachXDP installs an XDP program in the given mode ("driver" or
 // "generic"). It replaces atomically: in-flight packets finish on the old
@@ -244,155 +267,199 @@ func (d *Device) XDPAttached() (bool, string) {
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.stats
+	return Stats{
+		RxPackets: d.stats.rxPackets.Load(), RxBytes: d.stats.rxBytes.Load(),
+		TxPackets: d.stats.txPackets.Load(), TxBytes: d.stats.txBytes.Load(),
+		RxDropped: d.stats.rxDropped.Load(), TxDropped: d.stats.txDropped.Load(),
+		XDPDrops: d.stats.xdpDrops.Load(), XDPTx: d.stats.xdpTx.Load(),
+		XDPRedirects: d.stats.xdpRedirects.Load(),
+	}
 }
 
 // Connect wires two devices point-to-point (a cable, or a veth pair's
 // cross-connect).
 func Connect(a, b *Device) {
-	a.mu.Lock()
-	a.peer = b
-	a.mu.Unlock()
-	b.mu.Lock()
-	b.peer = a
-	b.mu.Unlock()
+	a.updateLink(func(ln *linkState) { ln.peer = b })
+	b.updateLink(func(ln *linkState) { ln.peer = a })
 }
 
 // Disconnect unplugs the device from its peer.
 func Disconnect(a *Device) {
-	a.mu.Lock()
-	p := a.peer
-	a.peer = nil
-	a.mu.Unlock()
+	ln := a.link.Load()
+	p := ln.peer
+	a.updateLink(func(ln *linkState) { ln.peer = nil })
 	if p != nil {
-		p.mu.Lock()
-		if p.peer == a {
-			p.peer = nil
-		}
-		p.mu.Unlock()
+		p.updateLink(func(ln *linkState) {
+			if ln.peer == a {
+				ln.peer = nil
+			}
+		})
 	}
 }
 
 // AttachWire connects the device to a multi-endpoint segment.
 func (d *Device) AttachWire(w Wire) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.wire = w
+	d.updateLink(func(ln *linkState) { ln.wire = w })
 }
 
 // Peer returns the point-to-point peer, if any.
 func (d *Device) Peer() *Device {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.peer
+	return d.link.Load().peer
 }
 
 // SetStack rebinds the device's receive path to a different stack — how a
 // kernel-bypass platform (VPP/DPDK) takes a NIC away from the kernel.
 func (d *Device) SetStack(s Stack) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stack = s
+	d.updateLink(func(ln *linkState) { ln.stack = s })
 }
 
 // SetTxHook intercepts transmission: pseudo-devices (VXLAN) encapsulate in
 // the hook instead of putting the frame on a wire. A hook returning true
 // consumes the frame.
 func (d *Device) SetTxHook(fn func(frame []byte, m *sim.Meter) bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.txHook = fn
+	d.updateLink(func(ln *linkState) { ln.txHook = fn })
 }
 
 // Transmit sends a frame out the device: across the wire to the peer (or
 // segment), which receives it as if off the NIC. Frames sent on a down or
 // unplugged device are counted as drops.
 func (d *Device) Transmit(frame []byte, m *sim.Meter) {
-	d.mu.Lock()
-	if !d.up {
-		d.stats.TxDropped++
-		d.mu.Unlock()
+	if !d.up.Load() {
+		d.stats.txDropped.Add(1)
 		return
 	}
-	d.stats.TxPackets++
-	d.stats.TxBytes += uint64(len(frame))
-	peer := d.peer
-	wire := d.wire
-	hook := d.txHook
-	d.mu.Unlock()
+	d.stats.txPackets.Add(1)
+	d.stats.txBytes.Add(uint64(len(frame)))
+	ln := d.link.Load()
 
-	if hook != nil && hook(frame, m) {
+	if ln.txHook != nil && ln.txHook(frame, m) {
 		return
 	}
 
 	switch {
-	case peer != nil:
+	case ln.peer != nil:
 		// Copy across the wire: the two ends must not alias memory.
-		peer.Receive(append([]byte(nil), frame...), m)
-	case wire != nil:
-		wire.Send(d, append([]byte(nil), frame...), m)
+		ln.peer.Receive(append([]byte(nil), frame...), m)
+	case ln.wire != nil:
+		ln.wire.Send(d, append([]byte(nil), frame...), m)
 	default:
-		d.mu.Lock()
-		d.stats.TxDropped++
-		d.mu.Unlock()
+		d.stats.txDropped.Add(1)
 	}
 }
 
 // Receive processes a frame arriving from the wire: tap, XDP program (if
 // any), then delivery into the stack. This is the driver RX path.
 func (d *Device) Receive(frame []byte, m *sim.Meter) {
-	d.mu.Lock()
-	if !d.up {
-		d.stats.RxDropped++
-		d.mu.Unlock()
+	if !d.up.Load() {
+		d.stats.rxDropped.Add(1)
 		return
 	}
-	d.stats.RxPackets++
-	d.stats.RxBytes += uint64(len(frame))
-	tap := d.Tap
-	d.mu.Unlock()
+	d.stats.rxPackets.Add(1)
+	d.stats.rxBytes.Add(uint64(len(frame)))
 
-	if tap != nil {
+	if tap := d.Tap; tap != nil {
 		tap(frame)
 	}
 	m.ChargeBytes(len(frame))
 
 	if slot := d.xdp.Load(); slot != nil {
-		buff := &XDPBuff{Data: frame, IfIndex: d.Index, Meter: m}
-		switch act := slot.h.HandleXDP(buff); act {
-		case XDPDrop, XDPAborted:
-			d.mu.Lock()
-			d.stats.XDPDrops++
-			d.mu.Unlock()
+		frame = d.runXDP(slot, frame, 0, m)
+		if frame == nil {
 			return
-		case XDPTx:
-			d.mu.Lock()
-			d.stats.XDPTx++
-			d.mu.Unlock()
-			m.Charge(sim.CostXDPTx)
-			d.Transmit(buff.Data, m)
-			return
-		case XDPRedirect:
-			d.mu.Lock()
-			d.stats.XDPRedirects++
-			d.mu.Unlock()
-			if d.stack == nil {
-				return
-			}
-			if out, ok := d.stack.DeviceByIndex(buff.RedirectTo); ok {
-				m.Charge(sim.CostXDPRedirect)
-				out.Transmit(buff.Data, m)
-			}
-			return
-		case XDPPass:
-			m.Charge(sim.CostXDPPass)
-			frame = buff.Data // program may have adjusted the frame
 		}
 	}
-	if d.stack != nil {
-		d.stack.DeliverFrame(d, frame, m)
+	if s := d.link.Load().stack; s != nil {
+		s.DeliverFrame(d, frame, m)
+	}
+}
+
+// runXDP executes the attached program on one frame, handling the terminal
+// verdicts. It returns the (possibly adjusted) frame to pass up the stack,
+// or nil if the program consumed it.
+func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []byte {
+	// The buff is pooled: handlers may use it only for the duration of the
+	// HandleXDP call (the same lifetime rule as a real xdp_buff, which
+	// points into the RX ring).
+	buff := xdpBuffPool.Get().(*XDPBuff)
+	*buff = XDPBuff{Data: frame, IfIndex: d.Index, RxQueue: rxq, Meter: m}
+	act := slot.h.HandleXDP(buff)
+	data, redirect := buff.Data, buff.RedirectTo
+	xdpBuffPool.Put(buff)
+	switch act {
+	case XDPDrop, XDPAborted:
+		d.stats.xdpDrops.Add(1)
+		return nil
+	case XDPTx:
+		d.stats.xdpTx.Add(1)
+		m.Charge(sim.CostXDPTx)
+		d.Transmit(data, m)
+		return nil
+	case XDPRedirect:
+		d.stats.xdpRedirects.Add(1)
+		s := d.link.Load().stack
+		if s == nil {
+			return nil
+		}
+		if out, ok := s.DeviceByIndex(redirect); ok {
+			m.Charge(sim.CostXDPRedirect)
+			out.Transmit(data, m)
+		}
+		return nil
+	default: // XDPPass
+		m.Charge(sim.CostXDPPass)
+		return data // program may have adjusted the frame
+	}
+}
+
+var xdpBuffPool = sync.Pool{New: func() any { return new(XDPBuff) }}
+
+// ReceiveBatch processes a burst arriving together on RX queue rxq, the way
+// one NAPI poll drains a ring: per-frame tap and XDP, then a single bulk
+// handoff into the stack. The frames slice is compacted in place (XDP may
+// consume entries), so the caller must not reuse it afterwards.
+func (d *Device) ReceiveBatch(frames [][]byte, rxq int, m *sim.Meter) {
+	if len(frames) == 0 {
+		return
+	}
+	if !d.up.Load() {
+		d.stats.rxDropped.Add(uint64(len(frames)))
+		return
+	}
+	d.stats.rxPackets.Add(uint64(len(frames)))
+	var bytes uint64
+	for _, f := range frames {
+		bytes += uint64(len(f))
+	}
+	d.stats.rxBytes.Add(bytes)
+
+	tap := d.Tap
+	slot := d.xdp.Load()
+	keep := frames[:0]
+	for _, frame := range frames {
+		if tap != nil {
+			tap(frame)
+		}
+		m.ChargeBytes(len(frame))
+		if slot != nil {
+			frame = d.runXDP(slot, frame, rxq, m)
+			if frame == nil {
+				continue
+			}
+		}
+		keep = append(keep, frame)
+	}
+	if len(keep) == 0 {
+		return
+	}
+	s := d.link.Load().stack
+	if bs, ok := s.(BatchStack); ok {
+		bs.DeliverBatch(d, keep, m)
+		return
+	}
+	if s != nil {
+		for _, f := range keep {
+			s.DeliverFrame(d, f, m)
+		}
 	}
 }
 

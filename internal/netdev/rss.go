@@ -1,0 +1,169 @@
+// Receive-side scaling: the Toeplitz hash and indirection table NICs use to
+// spread flows across RX queues ("Scaling in the Linux Networking Stack").
+// The hash is computed over the 4-tuple exactly as the Microsoft RSS spec
+// describes, so the known-answer vectors from the spec validate it; the
+// indirection table maps the hash's low bits to a queue the way
+// `ethtool -X` programs real hardware.
+package netdev
+
+import (
+	"fmt"
+
+	"linuxfp/internal/packet"
+)
+
+// RSSIndirectionSize is the number of indirection-table buckets (Intel NICs
+// default to 128).
+const RSSIndirectionSize = 128
+
+// MaxRxQueues bounds per-device RX queues (and therefore the CPU shards the
+// kernel fans out to).
+const MaxRxQueues = 64
+
+// ToeplitzKeyStandard is the 40-byte default key from the Microsoft RSS
+// specification — the one the spec's known-answer test vectors assume.
+var ToeplitzKeyStandard = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// ToeplitzKeySymmetric is the repeating 0x6d5a key: it hashes A->B and B->A
+// flows identically, so both directions of a connection land on the same
+// queue (and the same per-CPU flow-cache shard).
+var ToeplitzKeySymmetric = func() [40]byte {
+	var k [40]byte
+	for i := 0; i < 40; i += 2 {
+		k[i], k[i+1] = 0x6d, 0x5a
+	}
+	return k
+}()
+
+// Toeplitz computes the RSS Toeplitz hash of data under key. For each set
+// bit in the input (MSB first), the 32-bit window of the key starting at
+// that bit position is XORed into the result.
+func Toeplitz(key *[40]byte, data []byte) uint32 {
+	var hash uint32
+	// window holds key bits [shifts, shifts+32); it slides one bit per
+	// input bit processed.
+	window := uint32(key[0])<<24 | uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3])
+	shifts := 0
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			if b>>uint(bit)&1 != 0 {
+				hash ^= window
+			}
+			shifts++
+			window <<= 1
+			if kb := 31 + shifts; kb < 8*len(key) && key[kb/8]>>(7-uint(kb%8))&1 != 0 {
+				window |= 1
+			}
+		}
+	}
+	return hash
+}
+
+// HashFlow serializes a flow tuple per the RSS spec (src addr, dst addr,
+// src port, dst port — all big-endian) and hashes it. Fragments and
+// non-TCP/UDP traffic hash the 2-tuple only, keeping a datagram's fragments
+// on one queue.
+func HashFlow(key *[40]byte, t packet.FlowTuple) uint32 {
+	var buf [12]byte
+	t.Src.PutBytes(buf[0:4])
+	t.Dst.PutBytes(buf[4:8])
+	n := 8
+	if !t.Frag && (t.Proto == packet.ProtoTCP || t.Proto == packet.ProtoUDP) {
+		buf[8] = byte(t.SrcPort >> 8)
+		buf[9] = byte(t.SrcPort)
+		buf[10] = byte(t.DstPort >> 8)
+		buf[11] = byte(t.DstPort)
+		n = 12
+	}
+	return Toeplitz(key, buf[:n])
+}
+
+// rssState is a device's RSS configuration, replaced atomically as one unit
+// (ethtool reprograms queues and indirection without stopping traffic).
+type rssState struct {
+	queues int
+	key    *[40]byte
+	table  [RSSIndirectionSize]uint8 // hash&127 -> queue
+}
+
+// SetRxQueues configures n RX queues with an equal-spread indirection table
+// and the symmetric Toeplitz key (ethtool -L combined n). n is clamped to
+// [1, MaxRxQueues]; n==1 restores single-queue behaviour.
+func (d *Device) SetRxQueues(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxRxQueues {
+		n = MaxRxQueues
+	}
+	if n == 1 {
+		d.rss.Store(nil)
+		return
+	}
+	st := &rssState{queues: n, key: &ToeplitzKeySymmetric}
+	for i := range st.table {
+		st.table[i] = uint8(i % n)
+	}
+	d.rss.Store(st)
+}
+
+// RxQueues reports the number of configured RX queues.
+func (d *Device) RxQueues() int {
+	if st := d.rss.Load(); st != nil {
+		return st.queues
+	}
+	return 1
+}
+
+// SetIndirection programs an explicit indirection table (ethtool -X weight
+// ...). Every entry must name a valid queue. The table is stretched/cycled
+// to RSSIndirectionSize entries.
+func (d *Device) SetIndirection(table []int) error {
+	st := d.rss.Load()
+	if st == nil {
+		return fmt.Errorf("netdev: %s has a single RX queue", d.Name)
+	}
+	if len(table) == 0 {
+		return fmt.Errorf("netdev: empty indirection table")
+	}
+	ns := &rssState{queues: st.queues, key: st.key}
+	for i := range ns.table {
+		q := table[i%len(table)]
+		if q < 0 || q >= st.queues {
+			return fmt.Errorf("netdev: queue %d out of range [0,%d)", q, st.queues)
+		}
+		ns.table[i] = uint8(q)
+	}
+	d.rss.Store(ns)
+	return nil
+}
+
+// QueueFor computes the RX queue a frame is steered to: Toeplitz hash over
+// the flow tuple, low bits into the indirection table. Non-IP frames (ARP,
+// BPDUs) land on queue 0, like hardware sending unhashable traffic to the
+// default queue.
+func (d *Device) QueueFor(frame []byte) int {
+	q, _ := d.queueAndHash(frame)
+	return q
+}
+
+// queueAndHash reports both the queue and the raw RSS hash (the hash seeds
+// the kernel's flow fast-cache, mirroring skb->hash).
+func (d *Device) queueAndHash(frame []byte) (int, uint32) {
+	st := d.rss.Load()
+	if st == nil {
+		return 0, 0
+	}
+	t, _, ok := packet.ReadFlowTuple(frame)
+	if !ok {
+		return 0, 0
+	}
+	h := HashFlow(st.key, t)
+	return int(st.table[h%RSSIndirectionSize]), h
+}

@@ -1,0 +1,223 @@
+package netdev
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+// msVectors are the known-answer test vectors from the Microsoft RSS
+// specification ("Verifying the RSS Hash Calculation"), computed with
+// ToeplitzKeyStandard.
+var msVectors = []struct {
+	src, dst         string
+	srcPort, dstPort uint16
+	hash2            uint32 // IPv4 2-tuple only
+	hash4            uint32 // IPv4 with TCP ports
+}{
+	{"66.9.149.187", "161.142.100.80", 2794, 1766, 0x323e8fc2, 0x51ccc178},
+	{"199.92.111.2", "65.69.140.83", 14230, 4739, 0xd718262a, 0xc626b0ea},
+	{"24.19.198.95", "12.22.207.184", 12898, 38024, 0xd2d0a5de, 0x5c2b394a},
+	{"38.27.205.30", "209.142.163.6", 48228, 2217, 0x82989176, 0xafc7327f},
+	{"153.39.163.191", "202.188.127.2", 44251, 1303, 0x5d1809c5, 0x10e828a2},
+}
+
+func TestToeplitzKnownAnswers(t *testing.T) {
+	for _, v := range msVectors {
+		tcp := packet.FlowTuple{
+			Src: packet.MustAddr(v.src), Dst: packet.MustAddr(v.dst),
+			SrcPort: v.srcPort, DstPort: v.dstPort, Proto: packet.ProtoTCP,
+		}
+		if h := HashFlow(&ToeplitzKeyStandard, tcp); h != v.hash4 {
+			t.Errorf("TCP 4-tuple %s:%d->%s:%d: hash %#08x, want %#08x",
+				v.src, v.srcPort, v.dst, v.dstPort, h, v.hash4)
+		}
+
+		// Non-TCP/UDP traffic hashes addresses only.
+		icmp := tcp
+		icmp.Proto = packet.ProtoICMP
+		icmp.SrcPort, icmp.DstPort = 0, 0
+		if h := HashFlow(&ToeplitzKeyStandard, icmp); h != v.hash2 {
+			t.Errorf("IPv4 2-tuple %s->%s: hash %#08x, want %#08x",
+				v.src, v.dst, h, v.hash2)
+		}
+
+		// Fragments fall back to the 2-tuple even for TCP, so all
+		// fragments of a datagram land on one queue.
+		frag := tcp
+		frag.Frag = true
+		if h := HashFlow(&ToeplitzKeyStandard, frag); h != v.hash2 {
+			t.Errorf("fragment %s->%s: hash %#08x, want 2-tuple %#08x",
+				v.src, v.dst, h, v.hash2)
+		}
+	}
+}
+
+func TestSymmetricKeyReversedFlows(t *testing.T) {
+	seen := make(map[uint32]bool)
+	for _, v := range msVectors {
+		fwd := packet.FlowTuple{
+			Src: packet.MustAddr(v.src), Dst: packet.MustAddr(v.dst),
+			SrcPort: v.srcPort, DstPort: v.dstPort, Proto: packet.ProtoTCP,
+		}
+		rev := packet.FlowTuple{
+			Src: fwd.Dst, Dst: fwd.Src,
+			SrcPort: fwd.DstPort, DstPort: fwd.SrcPort, Proto: packet.ProtoTCP,
+		}
+		hf := HashFlow(&ToeplitzKeySymmetric, fwd)
+		hr := HashFlow(&ToeplitzKeySymmetric, rev)
+		if hf != hr {
+			t.Errorf("symmetric key: %s:%d<->%s:%d forward %#08x != reverse %#08x",
+				v.src, v.srcPort, v.dst, v.dstPort, hf, hr)
+		}
+		seen[hf] = true
+	}
+	// The symmetric key must still separate distinct flows.
+	if len(seen) < len(msVectors) {
+		t.Errorf("symmetric key collapsed %d flows into %d hashes", len(msVectors), len(seen))
+	}
+}
+
+// testFrame builds a UDP frame for a given 4-tuple.
+func testFrame(src, dst packet.Addr, sport, dport uint16) []byte {
+	u := packet.UDP{SrcPort: sport, DstPort: dport}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: packet.HWAddr{2, 0, 0, 0, 0, 2}, Src: packet.HWAddr{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, make([]byte, 18)),
+	)
+}
+
+func TestQueueDistribution(t *testing.T) {
+	d := New("eth0", 1, Physical, packet.HWAddr{2, 0, 0, 0, 0, 2}, nil)
+	const queues = 4
+	d.SetRxQueues(queues)
+	if got := d.RxQueues(); got != queues {
+		t.Fatalf("RxQueues() = %d, want %d", got, queues)
+	}
+
+	const flows = 1024
+	counts := make([]int, queues)
+	for i := 0; i < flows; i++ {
+		f := testFrame(
+			packet.AddrFrom4(10, 0, byte(i>>8), byte(i)),
+			packet.AddrFrom4(192, 168, byte(i%7), byte(i%250+1)),
+			uint16(40000+i), 7,
+		)
+		q := d.QueueFor(f)
+		if q < 0 || q >= queues {
+			t.Fatalf("QueueFor returned out-of-range queue %d", q)
+		}
+		counts[q]++
+	}
+
+	// A decent hash spreads load roughly evenly; allow generous slack
+	// (perfect would be 256 per queue).
+	for q, c := range counts {
+		if c < flows/queues/2 || c > flows/queues*2 {
+			t.Errorf("queue %d got %d of %d flows (counts %v) — poor spread", q, c, flows, counts)
+		}
+	}
+
+	// QueueFor is deterministic: the same flow always lands on the same queue.
+	f := testFrame(packet.MustAddr("10.0.0.1"), packet.MustAddr("192.168.0.1"), 40001, 7)
+	q0 := d.QueueFor(f)
+	for i := 0; i < 10; i++ {
+		if q := d.QueueFor(f); q != q0 {
+			t.Fatalf("QueueFor not deterministic: %d then %d", q0, q)
+		}
+	}
+}
+
+func TestSetIndirection(t *testing.T) {
+	d := New("eth0", 1, Physical, packet.HWAddr{2, 0, 0, 0, 0, 2}, nil)
+
+	// Single-queue devices have no indirection table to program.
+	if err := d.SetIndirection([]int{0}); err == nil {
+		t.Error("SetIndirection on single-queue device should fail")
+	}
+
+	d.SetRxQueues(4)
+	if err := d.SetIndirection(nil); err == nil {
+		t.Error("empty indirection table should be rejected")
+	}
+	if err := d.SetIndirection([]int{0, 4}); err == nil {
+		t.Error("queue index out of range should be rejected")
+	}
+
+	// Steering everything to queue 2 (ethtool -X weight 0 0 1 0).
+	if err := d.SetIndirection([]int{2}); err != nil {
+		t.Fatalf("SetIndirection: %v", err)
+	}
+	for i := 0; i < 64; i++ {
+		f := testFrame(
+			packet.AddrFrom4(10, 1, 0, byte(i+1)),
+			packet.AddrFrom4(10, 2, 0, byte(i+1)),
+			uint16(50000+i), 7,
+		)
+		if q := d.QueueFor(f); q != 2 {
+			t.Fatalf("flow %d steered to queue %d, want 2", i, q)
+		}
+	}
+}
+
+func TestQueueForEdgeCases(t *testing.T) {
+	d := New("eth0", 1, Physical, packet.HWAddr{2, 0, 0, 0, 0, 2}, nil)
+
+	f := testFrame(packet.MustAddr("10.0.0.1"), packet.MustAddr("192.168.0.1"), 40001, 7)
+	if q := d.QueueFor(f); q != 0 {
+		t.Errorf("single-queue device steered to %d, want 0", q)
+	}
+
+	d.SetRxQueues(8)
+
+	// Non-IP frames (ARP, BPDUs) land on the default queue like real NICs.
+	arp := packet.BuildARP(
+		packet.HWAddr{2, 0, 0, 0, 0, 1},
+		packet.HWAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		packet.ARP{Op: 1, SenderHW: packet.HWAddr{2, 0, 0, 0, 0, 1},
+			SenderIP: packet.MustAddr("10.0.0.1"), TargetIP: packet.MustAddr("10.0.0.2")})
+	if q := d.QueueFor(arp); q != 0 {
+		t.Errorf("ARP frame steered to queue %d, want 0", q)
+	}
+
+	// Truncated garbage must not panic and goes to queue 0.
+	if q := d.QueueFor([]byte{1, 2, 3}); q != 0 {
+		t.Errorf("truncated frame steered to queue %d, want 0", q)
+	}
+
+	// SetRxQueues clamps: 0 -> 1 queue, huge -> MaxRxQueues.
+	d.SetRxQueues(0)
+	if got := d.RxQueues(); got != 1 {
+		t.Errorf("SetRxQueues(0): RxQueues() = %d, want 1", got)
+	}
+	d.SetRxQueues(1 << 20)
+	if got := d.RxQueues(); got != MaxRxQueues {
+		t.Errorf("SetRxQueues(big): RxQueues() = %d, want %d", got, MaxRxQueues)
+	}
+}
+
+func TestFragmentsShareQueue(t *testing.T) {
+	d := New("eth0", 1, Physical, packet.HWAddr{2, 0, 0, 0, 0, 2}, nil)
+	d.SetRxQueues(4)
+
+	src, dst := packet.MustAddr("10.0.0.1"), packet.MustAddr("192.168.0.9")
+
+	// Fragments carry no (meaningful) ports: frames of one datagram with
+	// different payload bytes at the L4 offset must still share a queue.
+	frag := func(off uint16, more uint16) []byte {
+		ip := packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst,
+			Flags: more, FragOff: off}
+		return packet.BuildIPv4(
+			packet.Ethernet{Dst: packet.HWAddr{2, 0, 0, 0, 0, 2}, Src: packet.HWAddr{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4},
+			ip, make([]byte, 32))
+	}
+	first := frag(0, packet.IPv4MoreFrags)
+	second := frag(4, packet.IPv4MoreFrags)
+	last := frag(8, 0)
+	q := d.QueueFor(first)
+	if d.QueueFor(second) != q || d.QueueFor(last) != q {
+		t.Errorf("fragments split across queues: %d, %d, %d",
+			q, d.QueueFor(second), d.QueueFor(last))
+	}
+}

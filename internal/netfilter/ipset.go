@@ -119,6 +119,7 @@ func (nf *Netfilter) CreateSet(name, typ string) (*IPSet, error) {
 		return nil, err
 	}
 	nf.sets[name] = s
+	nf.gen.Add(1)
 	return s, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"linuxfp/internal/packet"
 )
@@ -135,9 +136,16 @@ type Netfilter struct {
 	chains map[string]*Chain
 	hooks  map[Hook]string // hook -> built-in chain name
 	sets   map[string]*IPSet
+	gen    atomic.Uint64 // bumped on ruleset changes
 
 	Conntrack *Conntrack
 }
+
+// Gen reports the ruleset generation, bumped on any chain, rule, policy or
+// set change. The flow fast-cache only memoizes flows while the forward-path
+// chains are empty, and a generation bump evicts everything the moment a
+// rule appears — filtering decisions are never cached.
+func (nf *Netfilter) Gen() uint64 { return nf.gen.Load() }
 
 // New returns a Netfilter with the standard filter-table chains, all with
 // ACCEPT policy and no rules — the state of a fresh kernel.
@@ -171,6 +179,7 @@ func (nf *Netfilter) NewChain(name string) error {
 		return fmt.Errorf("netfilter: chain %q exists", name)
 	}
 	nf.chains[name] = &Chain{Name: name}
+	nf.gen.Add(1)
 	return nil
 }
 
@@ -184,6 +193,7 @@ func (nf *Netfilter) Append(chain string, r Rule) error {
 	}
 	rc := r
 	c.Rules = append(c.Rules, &rc)
+	nf.gen.Add(1)
 	return nil
 }
 
@@ -202,6 +212,7 @@ func (nf *Netfilter) Insert(chain string, pos int, r Rule) error {
 	c.Rules = append(c.Rules, nil)
 	copy(c.Rules[pos:], c.Rules[pos-1:])
 	c.Rules[pos-1] = &rc
+	nf.gen.Add(1)
 	return nil
 }
 
@@ -217,6 +228,7 @@ func (nf *Netfilter) Delete(chain string, pos int) error {
 		return fmt.Errorf("netfilter: position %d out of range", pos)
 	}
 	c.Rules = append(c.Rules[:pos-1], c.Rules[pos:]...)
+	nf.gen.Add(1)
 	return nil
 }
 
@@ -229,6 +241,7 @@ func (nf *Netfilter) Flush(chain string) error {
 		return fmt.Errorf("%w: %q", ErrNoChain, chain)
 	}
 	c.Rules = nil
+	nf.gen.Add(1)
 	return nil
 }
 
@@ -241,6 +254,7 @@ func (nf *Netfilter) SetPolicy(chain string, v Verdict) error {
 		return fmt.Errorf("%w: built-in %q", ErrNoChain, chain)
 	}
 	c.Policy = v
+	nf.gen.Add(1)
 	return nil
 }
 

@@ -49,6 +49,76 @@ func Decode(frame []byte) (*Packet, error) {
 	return p, nil
 }
 
+// DecodeInto parses a frame like Decode but into caller-owned storage: p is
+// fully overwritten, and ip/arp receive the L3 header so no per-packet heap
+// allocation happens. The hot receive path pools these structs.
+func DecodeInto(frame []byte, p *Packet, ip *IPv4, arp *ARP) error {
+	eth, n, err := UnmarshalEthernet(frame)
+	if err != nil {
+		return err
+	}
+	*p = Packet{Eth: eth, L3Off: n}
+	switch eth.EtherType {
+	case EtherTypeARP:
+		a, err := UnmarshalARP(frame[n:])
+		if err != nil {
+			return err
+		}
+		*arp = a
+		p.ARP = arp
+	case EtherTypeIPv4:
+		h, ihl, err := UnmarshalIPv4(frame[n:])
+		if err != nil {
+			return err
+		}
+		*ip = h
+		p.IPv4 = ip
+		p.L4Off = n + ihl
+		end := n + int(h.TotalLen)
+		if end > len(frame) {
+			return fmt.Errorf("ipv4 payload: %w", ErrTruncated)
+		}
+		p.Payload = frame[p.L4Off:end]
+	default:
+		p.Payload = frame[n:]
+	}
+	return nil
+}
+
+// FlowTuple is the (src, dst, proto, ports) key RSS and the flow fast-cache
+// hash by. Ports are zero for fragments and non-TCP/UDP traffic, so every
+// fragment of a datagram maps to the same queue (2-tuple fallback, as NICs
+// do).
+type FlowTuple struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+	Frag             bool
+}
+
+// ReadFlowTuple extracts the flow tuple from a raw frame at fixed offsets
+// with no allocation, the way NIC RSS hardware does. It reports the L3
+// offset and ok=false for non-IPv4 or truncated frames.
+func ReadFlowTuple(frame []byte) (t FlowTuple, l3 int, ok bool) {
+	et, l3 := EtherTypeOf(frame)
+	if et != EtherTypeIPv4 || len(frame) < l3+IPv4MinLen {
+		return FlowTuple{}, 0, false
+	}
+	ihl := int(frame[l3]&0xf) * 4
+	if ihl < IPv4MinLen || len(frame) < l3+ihl {
+		return FlowTuple{}, 0, false
+	}
+	t.Src = AddrFromBytes(frame[l3+12 : l3+16])
+	t.Dst = AddrFromBytes(frame[l3+16 : l3+20])
+	t.Proto = frame[l3+9]
+	ff := binary.BigEndian.Uint16(frame[l3+6 : l3+8])
+	t.Frag = ff&(IPv4MoreFrags|IPv4FragOffMask) != 0
+	if !t.Frag && (t.Proto == ProtoTCP || t.Proto == ProtoUDP) && len(frame) >= l3+ihl+4 {
+		t.SrcPort, t.DstPort = L4Ports(frame, l3+ihl)
+	}
+	return t, l3, true
+}
+
 // BuildEthernet assembles a frame from an Ethernet header and payload.
 func BuildEthernet(eth Ethernet, payload []byte) []byte {
 	b := make([]byte, 0, eth.HeaderLen()+len(payload))

@@ -52,6 +52,17 @@ const (
 	CostVXLANDecap   Cycles = 400 // outer UDP strip + inner re-inject
 )
 
+// Multi-queue receive costs. A NAPI poll pays its prologue (irq handling,
+// poll-list bookkeeping, budget accounting) once per burst, not per packet —
+// the amortization DeliverBatch models. The flow fast-cache costs replace the
+// full ip_rcv/fib_lookup/ip_forward walk on a hit: hash the 4-tuple, probe
+// the per-CPU table, validate the generation, rewrite headers in place.
+const (
+	CostNAPIPoll      Cycles = 180 // per napi_poll invocation, amortized over the burst
+	CostFlowFastHit   Cycles = 120 // per-CPU flow cache: hash + probe + gen check + rewrite
+	CostBridgeFastHit Cycles = 100 // per-CPU L2 cache: hash + probe + gen check
+)
+
 // Netfilter costs. iptables evaluates chains linearly (the scaling problem
 // Fig. 8 exercises); ipset aggregates a rule list into one hashed match.
 const (
@@ -146,6 +157,11 @@ const (
 // testbed converts the total into virtual time.
 type Meter struct {
 	Total Cycles
+	// CPU identifies the virtual core doing the work. Sharded subsystems
+	// (per-queue stats, the flow fast-cache) index their per-CPU state by
+	// it. Zero is a valid CPU; concurrent callers must use distinct CPUs,
+	// exactly like per-CPU data in the kernel.
+	CPU int
 }
 
 // Charge adds cycles to the meter. A nil meter is valid and ignores charges,

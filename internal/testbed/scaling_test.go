@@ -1,0 +1,28 @@
+package testbed
+
+import "testing"
+
+// TestParallelScaling checks the multi-queue datapath actually scales: the
+// measured aggregate packet rate with 4 RX queues (4 worker CPUs) must be at
+// least 2.5x the single-core rate. The parallel rate is measured, not
+// modelled — per-queue goroutines drain RSS-steered bursts and the busiest
+// queue's cycle count bounds the wall clock.
+func TestParallelScaling(t *testing.T) {
+	d := build(t, PlatformLinux, Scenario{})
+	one := d.ParallelPPS(1, 64)
+	four := d.ParallelPPS(4, 64)
+	if one <= 0 || four <= 0 {
+		t.Fatalf("non-positive rates: 1 core %.0f pps, 4 cores %.0f pps", one, four)
+	}
+	if scale := four / one; scale < 2.5 {
+		t.Errorf("4-queue scaling %.2fx (%.0f -> %.0f pps), want >= 2.5x", scale, one, four)
+	}
+
+	// Throughput derives Gbps from the same measured rate and caps at line
+	// rate; more cores can never report less.
+	pps1, _ := d.Throughput(1, 64)
+	pps4, _ := d.Throughput(4, 64)
+	if pps4 < pps1 {
+		t.Errorf("Throughput regressed with cores: %.0f -> %.0f pps", pps1, pps4)
+	}
+}

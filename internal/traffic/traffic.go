@@ -47,6 +47,18 @@ func (g *Pktgen) Frame(i int) []byte {
 	)
 }
 
+// Burst pre-builds n frames for multi-queue injection. Each frame is a
+// distinct flow (rotating destination, varying source port), the mix RSS
+// needs to spread load across queues; each is freshly allocated because the
+// datapath rewrites headers in place, like frames DMA'd into a ring.
+func (g *Pktgen) Burst(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.Frame(i)
+	}
+	return out
+}
+
 // RRConfig parameterizes a netperf TCP_RR run.
 type RRConfig struct {
 	Sessions int          // parallel netperf instances (paper: 128)
