@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke
+.PHONY: check vet build test race bench-smoke bench-json
 
 ## check: everything CI runs — vet, build, tests, race detector, bench smoke
 check: vet build test race bench-smoke
@@ -20,7 +20,14 @@ race:
 	$(GO) test -race ./internal/...
 
 ## bench-smoke: a fast pass over the real-execution forwarding benchmarks
-## (including the 4-shard parallel scaling bench); catches hot-path
-## regressions without a full -bench=. run
+## (including the 4-shard parallel scaling bench and the batched fast
+## path), plus a 1-iteration run of the ebpf/netdev micro-benchmarks so
+## batch-path regressions fail fast; no full -bench=. run needed
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkRealForward' -benchtime 100x -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/
+
+## bench-json: regenerate BENCH_fastpath.json — the machine-readable
+## batching x JIT sweep plus the pps-vs-cores curve for the fast path
+bench-json:
+	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,21 +19,40 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fastpath|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
 	cores := flag.Int("cores", 6, "maximum core count for core sweeps")
 	pairs := flag.Int("pairs", 10, "maximum pod pairs for fig9")
+	fpJSON := flag.String("fastpath-json", "", "write the fastpath sweep as JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *cores, *pairs); err != nil {
+	if err := run(*exp, *cores, *pairs, *fpJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "lfpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cores, pairs int) error {
+func run(exp string, cores, pairs int, fpJSON string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
+	if want("fastpath") {
+		ran = true
+		report, err := testbed.FastPathSweep([]int{1, 8, 16, 32, 64}, []int{1, 2, 4, 6, 8}, 1024)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderFastPath(report))
+		if fpJSON != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(fpJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", fpJSON)
+		}
+	}
 	if want("fig5") {
 		ran = true
 		series, err := testbed.Fig5RouterThroughput(cores)
@@ -139,7 +159,7 @@ func run(exp string, cores, pairs int) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			strings.Join([]string{"fastpath", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 				"table3", "table4", "table5", "table6", "table7", "ablation", "all"}, "|"))
 	}
 	return nil

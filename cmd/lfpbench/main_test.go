@@ -1,18 +1,36 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunKnownExperiments(t *testing.T) {
 	// Only the cheap experiments here; the full set runs in bench_test.go.
 	for _, exp := range []string{"table6", "fig10", "ablation"} {
-		if err := run(exp, 2, 2); err != nil {
+		if err := run(exp, 2, 2, ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
+func TestRunFastpathWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fastpath.json")
+	if err := run("fastpath", 2, 2, path); err != nil {
+		t.Fatalf("fastpath: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty json")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1); err == nil {
+	if err := run("fig99", 1, 1, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -42,20 +42,20 @@ func run() error {
 
 	// Hand-compose an extended pipeline: monitor → AF_XDP capture for DNS
 	// → ipvs-style LB for the VIP → the standard router FPM.
-	counters := ebpf.NewArrayMap("proto_counts", 256)
+	counters := ebpf.NewPerCPUArrayMap("proto_counts", 256)
 	xsk := ebpf.NewXSKMap("xsks", 1)
 	dnsTap := ebpf.NewAFXDPSocket(64)
 	xsk.Update(0, dnsTap)
-	conns := ebpf.NewHashMap("lb_conns", 1024)
+	conns := ebpf.NewPerCPUHashMap("lb_conns", 1024)
 	vip := packet.MustAddr("10.99.0.1")
 	backends := []packet.Addr{packet.MustAddr("10.100.0.10"), packet.MustAddr("10.100.1.10")}
 
 	loader := ebpf.NewLoader(dut)
 	ops := []ebpf.Op{
 		fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(),
-		fpm.MonitorOp(counters),
+		fpm.MonitorOpPerCPU(counters),
 		fpm.AFXDPOp(fpm.AFXDPConf{Proto: packet.ProtoUDP, DstPort: 53, Map: xsk, Slot: 0}),
-		fpm.LBOp(fpm.LBConf{VIP: vip, Port: 80, Backends: backends, Conns: conns}),
+		fpm.LBOp(fpm.LBConf{VIP: vip, Port: 80, Backends: backends, PerCPUConns: conns}),
 	}
 	ops = append(ops, fpm.RouterOps(fpm.RouterConf{})...)
 	prog, err := loader.Load(&ebpf.Program{Name: "extended", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
@@ -96,8 +96,8 @@ func run() error {
 		send(packet.MustAddr("10.100.3.53"), packet.ProtoUDP, 53)
 	}
 
-	fmt.Printf("\nmonitor counters: UDP=%d TCP=%d (every packet counted in-path)\n",
-		counters.Lookup(int(packet.ProtoUDP)), counters.Lookup(int(packet.ProtoTCP)))
+	fmt.Printf("\nmonitor counters: UDP=%d TCP=%d (per-CPU rows summed control-plane side)\n",
+		counters.Sum(int(packet.ProtoUDP)), counters.Sum(int(packet.ProtoTCP)))
 	fmt.Printf("AF_XDP capture:   %d DNS frames delivered to user space\n", len(dnsTap.C))
 	for len(dnsTap.C) > 0 {
 		raw := <-dnsTap.C

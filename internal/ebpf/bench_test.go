@@ -53,3 +53,24 @@ func BenchmarkDispatcherSwap(b *testing.B) {
 		}
 	}
 }
+
+// benchFusedVsInterpreted builds one 8-op program and runs it through
+// Program.exec with the jit flag set both ways — the per-Op dispatch and
+// metering overhead the fusion stage removes, isolated from packet work.
+func benchExec(b *testing.B, jit bool) {
+	p := &Program{Name: "bench", Hook: HookXDP, Default: VerdictPass}
+	for i := 0; i < 8; i++ {
+		p.Ops = append(p.Ops, NewOp("nop", 4, 0, 8, func(*Ctx) Verdict { return VerdictNext }))
+	}
+	p.jit = fuse(p)
+	ctx := &Ctx{Meter: &sim.Meter{}, jit: jit}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.exec(ctx)
+	}
+}
+
+func BenchmarkProgramInterpreted8Ops(b *testing.B) { benchExec(b, false) }
+
+func BenchmarkProgramJIT8Ops(b *testing.B) { benchExec(b, true) }

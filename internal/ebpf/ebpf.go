@@ -125,7 +125,17 @@ type Ctx struct {
 	// Redirect target for VerdictRedirect.
 	RedirectIfIndex int
 
-	depth int // tail-call depth
+	depth int  // tail-call depth
+	jit   bool // run fused (JIT) program bodies, including tail-call targets
+}
+
+// CPU reports the virtual core the packet is being processed on (per-CPU
+// map variants index their shards by it). A nil meter accounts on CPU 0.
+func (c *Ctx) CPU() int {
+	if c.Meter == nil {
+		return 0
+	}
+	return c.Meter.CPU
 }
 
 // Frame returns the raw packet bytes.
@@ -203,7 +213,8 @@ type Program struct {
 	Ops     []Op
 	Default Verdict // applied if no op terminates; VerdictPass is the safe choice
 
-	id int // assigned by the loader
+	id  int      // assigned by the loader
+	jit *jitProg // fused form, built at load time
 }
 
 // ID reports the loader-assigned program ID (0 if not loaded).
@@ -237,5 +248,5 @@ func (c *Ctx) TailCall(pa *ProgArray, slot int) Verdict {
 	if target == nil {
 		return VerdictAborted
 	}
-	return target.run(c)
+	return target.exec(c)
 }

@@ -1,0 +1,102 @@
+// JIT program fusion. The interpreted path (Program.run) walks the Op chain
+// through interface dispatch, with each FuncOp charging its own cycle cost —
+// the model's analogue of the kernel's eBPF interpreter stepping bytecode.
+// Real XDP gets its numbers from the JIT: one flat native function per
+// program, no per-instruction dispatch. Load models that by "compiling"
+// every program into a flat slice of direct closures with the static op
+// costs folded into a prefix-sum table, so a fused run makes exactly one
+// Meter.Charge no matter how many ops execute. Model-cycle totals are
+// byte-identical to the interpreted path (the costs model kernel work, not
+// interpreter overhead); the win is real: no interface dispatch, no per-op
+// metering, no per-op bookkeeping on the Go hot path.
+//
+// Execution is selected per packet by the net.core.bpf_jit_enable sysctl
+// (default on, like modern kernels), keeping the interpreted path available
+// for A/B benchmarking.
+package ebpf
+
+import "linuxfp/internal/sim"
+
+// jitProg is the fused form of a Program: direct closures plus precomputed
+// aggregate cost and instruction count.
+type jitProg struct {
+	fns []func(*Ctx) Verdict
+	// prefix[i] is the summed static cost of ops[0..i-1]; charging
+	// prefix[exit+1] on termination reproduces the interpreted path's
+	// metering in a single Charge. Ops that meter themselves (helpers,
+	// non-FuncOp implementations) contribute zero here and keep charging
+	// inline, so totals stay identical.
+	prefix  []sim.Cycles
+	insns   int
+	cost    sim.Cycles // aggregate static cost of the full chain
+	fallthr Verdict    // resolved default (VerdictNext -> VerdictPass)
+}
+
+// fuse compiles a verified program. FuncOps are flattened to their bare
+// closures with costs lifted into the prefix table; any other Op
+// implementation is kept as an opaque call (it still runs correctly, it
+// just keeps its own metering).
+func fuse(p *Program) *jitProg {
+	j := &jitProg{
+		fns:    make([]func(*Ctx) Verdict, len(p.Ops)),
+		prefix: make([]sim.Cycles, len(p.Ops)+1),
+	}
+	for i, op := range p.Ops {
+		j.insns += op.Insns()
+		if f, ok := op.(*FuncOp); ok {
+			j.fns[i] = f.fn
+			j.prefix[i+1] = j.prefix[i] + f.cost
+		} else {
+			j.fns[i] = op.Run
+			j.prefix[i+1] = j.prefix[i]
+		}
+	}
+	j.cost = j.prefix[len(p.Ops)]
+	j.fallthr = p.Default
+	if j.fallthr == VerdictNext {
+		j.fallthr = VerdictPass
+	}
+	return j
+}
+
+// run executes the fused program, charging the accumulated static cost once
+// at the exit point.
+func (j *jitProg) run(c *Ctx) Verdict {
+	for i, fn := range j.fns {
+		if v := fn(c); v != VerdictNext {
+			c.Meter.Charge(j.prefix[i+1])
+			return v
+		}
+	}
+	c.Meter.Charge(j.cost)
+	return j.fallthr
+}
+
+// exec runs the program in whichever form the context selects: the fused
+// (JIT) body when available and enabled, the interpreted Op walk otherwise.
+// Tail calls route through here too, so a fused dispatcher jumps into the
+// fused data path end to end.
+func (p *Program) exec(c *Ctx) Verdict {
+	if c.jit && p.jit != nil {
+		return p.jit.run(c)
+	}
+	return p.run(c)
+}
+
+// JITInsns reports the fused program's precomputed aggregate instruction
+// count (0 if the program was never loaded).
+func (p *Program) JITInsns() int {
+	if p.jit == nil {
+		return 0
+	}
+	return p.jit.insns
+}
+
+// JITCost reports the fused program's precomputed aggregate static cycle
+// cost (0 if the program was never loaded).
+func (p *Program) JITCost() sim.Cycles {
+	if p.jit == nil {
+		return 0
+	}
+	return p.jit.cost
+}

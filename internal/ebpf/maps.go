@@ -3,6 +3,8 @@ package ebpf
 import (
 	"sync"
 	"sync/atomic"
+
+	"linuxfp/internal/netdev"
 )
 
 // ProgArray is the BPF_MAP_TYPE_PROG_ARRAY: tail-call targets indexed by
@@ -148,4 +150,164 @@ func (a *ArrayMap) Add(i int, delta uint64) {
 	if i >= 0 && i < len(a.slots) {
 		a.slots[i].Add(delta)
 	}
+}
+
+// MapCPUs is the number of virtual CPUs per-CPU map variants shard over.
+// It matches netdev.MaxRxQueues (and therefore kernel.NumRxShards) so a
+// meter's CPU maps 1:1 onto a shard, and is a power of two so the mapping
+// is a mask.
+const MapCPUs = netdev.MaxRxQueues
+
+const mapCPUMask = MapCPUs - 1
+
+// PerCPUArrayMap is a BPF_MAP_TYPE_PERCPU_ARRAY: each virtual CPU owns its
+// own value row, so per-packet counter updates from different RX queues
+// never contend on a cache line. Data-path writers pass their Meter CPU;
+// control-plane readers aggregate with Sum, the way userspace sums the
+// per-CPU values a percpu map lookup returns.
+type PerCPUArrayMap struct {
+	name   string
+	n      int
+	stride int // per-CPU row length, rounded up to a cache line of slots
+	slots  []atomic.Uint64
+}
+
+// NewPerCPUArrayMap allocates a per-CPU array map with n slots per CPU.
+func NewPerCPUArrayMap(name string, n int) *PerCPUArrayMap {
+	stride := (n + 7) &^ 7 // cache-line align rows: no false sharing between CPUs
+	return &PerCPUArrayMap{name: name, n: n, stride: stride, slots: make([]atomic.Uint64, MapCPUs*stride)}
+}
+
+// Name returns the map name.
+func (a *PerCPUArrayMap) Name() string { return a.name }
+
+// Len reports the per-CPU slot count.
+func (a *PerCPUArrayMap) Len() int { return a.n }
+
+// Add increments slot i on the given CPU's row.
+func (a *PerCPUArrayMap) Add(cpu, i int, delta uint64) {
+	if i >= 0 && i < a.n {
+		a.slots[(cpu&mapCPUMask)*a.stride+i].Add(delta)
+	}
+}
+
+// Lookup reads slot i on one CPU's row (out-of-range reads zero).
+func (a *PerCPUArrayMap) Lookup(cpu, i int) uint64 {
+	if i < 0 || i >= a.n {
+		return 0
+	}
+	return a.slots[(cpu&mapCPUMask)*a.stride+i].Load()
+}
+
+// Sum aggregates slot i across every CPU — the control-plane read.
+func (a *PerCPUArrayMap) Sum(i int) uint64 {
+	if i < 0 || i >= a.n {
+		return 0
+	}
+	var total uint64
+	for cpu := 0; cpu < MapCPUs; cpu++ {
+		total += a.slots[cpu*a.stride+i].Load()
+	}
+	return total
+}
+
+// pcpuShard is one CPU's slice of a PerCPUHashMap. The mutex is effectively
+// uncontended (each RX queue only touches its own shard); the padding keeps
+// shards on distinct cache lines.
+type pcpuShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+	_  [4]uint64
+}
+
+// PerCPUHashMap is a BPF_MAP_TYPE_PERCPU_HASH modeled as per-CPU key/value
+// shards: an update from CPU x is visible only to CPU x, exactly like the
+// kernel's per-CPU values. For flow-keyed state this is coherent because
+// RSS pins every flow to one RX queue — the property LinuxFP's LB module
+// relies on to drop the cross-queue lock.
+type PerCPUHashMap struct {
+	name   string
+	max    int // per-CPU entry bound, like the kernel's per-CPU allocation
+	shards []pcpuShard
+}
+
+// NewPerCPUHashMap allocates a per-CPU hash map bounded at maxEntries per
+// CPU.
+func NewPerCPUHashMap(name string, maxEntries int) *PerCPUHashMap {
+	h := &PerCPUHashMap{name: name, max: maxEntries, shards: make([]pcpuShard, MapCPUs)}
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]uint64)
+	}
+	return h
+}
+
+// Name returns the map name.
+func (h *PerCPUHashMap) Name() string { return h.name }
+
+func (h *PerCPUHashMap) shard(cpu int) *pcpuShard { return &h.shards[cpu&mapCPUMask] }
+
+// Lookup reads a key on one CPU's shard.
+func (h *PerCPUHashMap) Lookup(cpu int, k uint64) (uint64, bool) {
+	s := h.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// Update writes a key on one CPU's shard, failing when that shard is full.
+func (h *PerCPUHashMap) Update(cpu int, k, v uint64) bool {
+	s := h.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[k]; !exists && len(s.m) >= h.max {
+		return false
+	}
+	s.m[k] = v
+	return true
+}
+
+// Add increments a key on one CPU's shard, creating it at delta.
+func (h *PerCPUHashMap) Add(cpu int, k, delta uint64) {
+	s := h.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[k]; !exists && len(s.m) >= h.max {
+		return
+	}
+	s.m[k] += delta
+}
+
+// Delete removes a key from one CPU's shard.
+func (h *PerCPUHashMap) Delete(cpu int, k uint64) bool {
+	s := h.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[k]
+	delete(s.m, k)
+	return ok
+}
+
+// Sum aggregates a key's value across every CPU (control-plane read).
+func (h *PerCPUHashMap) Sum(k uint64) uint64 {
+	var total uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		total += s.m[k]
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Len reports the total entry count across CPUs.
+func (h *PerCPUHashMap) Len() int {
+	total := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
 }

@@ -9,6 +9,7 @@ package fib
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -112,11 +113,9 @@ func bitAt(a packet.Addr, i int) int {
 
 // commonBits reports how many leading bits a and b share, capped at max.
 func commonBits(a, b packet.Addr, max int) int {
-	x := uint32(a ^ b)
-	n := 0
-	for n < max && x&0x80000000 == 0 {
-		x <<= 1
-		n++
+	n := bits.LeadingZeros32(uint32(a ^ b))
+	if n > max {
+		return max
 	}
 	return n
 }

@@ -319,6 +319,17 @@ func MonitorOp(counters *ebpf.ArrayMap) ebpf.Op {
 	})
 }
 
+// MonitorOpPerCPU is MonitorOp backed by a BPF_MAP_TYPE_PERCPU_ARRAY: each
+// RX queue's worker bumps its own CPU's counter row, so the per-packet
+// update never bounces a cache line between cores. Readers aggregate with
+// Sum, like userspace summing a percpu map lookup.
+func MonitorOpPerCPU(counters *ebpf.PerCPUArrayMap) ebpf.Op {
+	return ebpf.NewOp("monitor", sim.CostMonitorFPM, 0, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+		counters.Add(c.CPU(), int(c.IPProto), 1)
+		return ebpf.VerdictNext
+	})
+}
+
 // AFXDPConf parameterizes the AF_XDP capture module (paper future work):
 // matching packets bypass the whole kernel stack and land on a user-space
 // socket; everything else continues down the chain untouched.
@@ -387,6 +398,10 @@ type LBConf struct {
 	// explicitly listed as slow-path/control work in Table I, and this
 	// prototype keeps only the established-flow cache in the fast path.
 	Conns *ebpf.HashMap
+	// PerCPUConns, when set, replaces Conns with a per-CPU conn table:
+	// RSS pins every flow to one RX queue, so each queue's shard sees all
+	// packets of its flows and the global table lock disappears.
+	PerCPUConns *ebpf.PerCPUHashMap
 }
 
 // mix64 is a splitmix64 finalizer: a cheap, well-spread flow hash.
@@ -406,13 +421,26 @@ func LBOp(conf LBConf) ebpf.Op {
 			return ebpf.VerdictNext
 		}
 		flow := uint64(c.IPSrc)<<32 | uint64(c.SrcPort)<<16 | uint64(c.IPProto)
-		idx, ok := conf.Conns.Lookup(flow)
-		if !ok {
-			// New connection: scheduling belongs to the slow path in the
-			// full design; the prototype spreads by flow hash.
-			idx = mix64(flow) % uint64(len(conf.Backends))
-			if !conf.Conns.Update(flow, idx) {
-				return ebpf.VerdictPass // conn table full: punt
+		var idx uint64
+		var ok bool
+		if conf.PerCPUConns != nil {
+			cpu := c.CPU()
+			idx, ok = conf.PerCPUConns.Lookup(cpu, flow)
+			if !ok {
+				idx = mix64(flow) % uint64(len(conf.Backends))
+				if !conf.PerCPUConns.Update(cpu, flow, idx) {
+					return ebpf.VerdictPass // conn table full: punt
+				}
+			}
+		} else {
+			idx, ok = conf.Conns.Lookup(flow)
+			if !ok {
+				// New connection: scheduling belongs to the slow path in the
+				// full design; the prototype spreads by flow hash.
+				idx = mix64(flow) % uint64(len(conf.Backends))
+				if !conf.Conns.Update(flow, idx) {
+					return ebpf.VerdictPass // conn table full: punt
+				}
 			}
 		}
 		backend := conf.Backends[idx%uint64(len(conf.Backends))]

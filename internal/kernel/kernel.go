@@ -130,6 +130,7 @@ type Kernel struct {
 	fwdEnabled  atomic.Bool // net.ipv4.ip_forward
 	brNFCall    atomic.Bool // net.bridge.bridge-nf-call-iptables
 	flowCacheOn atomic.Bool // net.core.flow_cache
+	jitEnabled  atomic.Bool // net.core.bpf_jit_enable (default on)
 
 	// cfgGen is bumped on any configuration change outside the generation-
 	// counted subsystems (sysctls, TC attachments, link state, bridge
@@ -172,11 +173,15 @@ func New(name string) *Kernel {
 		Bus:     netlink.NewBus(),
 		bridges: make(map[int]*bridge.Bridge),
 		vxlans:  make(map[int]*vxlanState),
-		sysctl:  map[string]string{"net.ipv4.ip_forward": "0"},
+		sysctl: map[string]string{
+			"net.ipv4.ip_forward":     "0",
+			"net.core.bpf_jit_enable": "1",
+		},
 		sockets: make(map[socketKey]SocketHandler),
 		defrag:  make(map[fragKey]*fragQueue),
 		ipvs:    newIPVSState(),
 	}
+	k.jitEnabled.Store(true)
 	k.devs.Store(&devTable{byIdx: map[int]*netdev.Device{}, byName: map[string]*netdev.Device{}})
 	k.tc.Store(&tcTables{ingress: map[int]TCHandler{}, egress: map[int]TCHandler{}})
 	zero := func() sim.Time { return 0 }
@@ -608,6 +613,8 @@ func (k *Kernel) SetSysctl(key, value string) {
 		k.brNFCall.Store(on)
 	case "net.core.flow_cache":
 		k.flowCacheOn.Store(on)
+	case "net.core.bpf_jit_enable":
+		k.jitEnabled.Store(on)
 	}
 	k.cfgGen.Add(1)
 	k.Bus.Publish(netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: value}})
@@ -619,6 +626,12 @@ func (k *Kernel) Sysctl(key string) string {
 	defer k.mu.RUnlock()
 	return k.sysctl[key]
 }
+
+// BPFJITEnabled reports whether net.core.bpf_jit_enable is on: loaded eBPF
+// programs then execute their fused (JIT-compiled) bodies instead of the
+// interpreted per-op walk. On by default, like modern kernels; turning it
+// off exists for A/B measurement, exactly like the real knob.
+func (k *Kernel) BPFJITEnabled() bool { return k.jitEnabled.Load() }
 
 // IPForwarding reports whether net.ipv4.ip_forward is enabled.
 func (k *Kernel) IPForwarding() bool {

@@ -1,0 +1,102 @@
+package netdev
+
+import (
+	"linuxfp/internal/sim"
+)
+
+// DevMapBulkSize matches the kernel's DEV_MAP_BULK_SIZE: a per-queue bulk
+// queue holds at most 16 frames before it is force-flushed into the egress
+// device's ndo_xdp_xmit.
+const DevMapBulkSize = 16
+
+// NAPIBudget is the frame budget of one NAPI poll — the largest burst an
+// XDP program runs over before the devmap bulk queues are flushed
+// (xdp_do_flush) and the poll returns.
+const NAPIBudget = 64
+
+// rxQueueMask folds an RX queue id into the devmap's per-queue array
+// (MaxRxQueues is a power of two).
+const rxQueueMask = MaxRxQueues - 1
+
+// bulkQueue accumulates frames bound for one egress device during a NAPI
+// poll, the model's xdp_dev_bulk_queue. Frames are enqueued in arrival
+// order and flushed FIFO, so per-egress-device ordering matches the
+// per-packet path exactly.
+type bulkQueue struct {
+	dev    *Device
+	n      int
+	frames [DevMapBulkSize][]byte
+}
+
+// devMapQueue is one RX queue's flush list: the set of bulk queues touched
+// since the last xdp_do_flush. Only that queue's NAPI worker touches it, so
+// no lock is needed; padding keeps neighbouring queues off the same cache
+// line.
+type devMapQueue struct {
+	bqs []bulkQueue
+	_   [5]uint64
+}
+
+// DevMap is the BPF_MAP_TYPE_DEVMAP bulk-redirect machinery: per RX queue
+// (the model's per-CPU), frames redirected during a poll are appended to a
+// per-egress-device bulk queue instead of being transmitted one at a time,
+// and flushed in bursts — one doorbell per bulk instead of per frame.
+type DevMap struct {
+	queues [MaxRxQueues]devMapQueue
+}
+
+// Enqueue appends a frame to the bulk queue for out on RX queue rxq,
+// force-flushing first when the queue is already holding DevMapBulkSize
+// frames (the kernel's bq_enqueue).
+func (dm *DevMap) Enqueue(rxq int, out *Device, frame []byte, m *sim.Meter) {
+	m.Charge(sim.CostXDPBulkEnqueue)
+	q := &dm.queues[rxq&rxQueueMask]
+	bq := (*bulkQueue)(nil)
+	for i := range q.bqs {
+		if q.bqs[i].dev == out {
+			bq = &q.bqs[i]
+			break
+		}
+		if bq == nil && q.bqs[i].dev == nil {
+			bq = &q.bqs[i]
+		}
+	}
+	if bq == nil {
+		q.bqs = append(q.bqs, bulkQueue{})
+		bq = &q.bqs[len(q.bqs)-1]
+	}
+	if bq.dev == nil {
+		bq.dev = out
+	}
+	if bq.n == DevMapBulkSize {
+		flushBQ(bq, m)
+		bq.dev = out
+	}
+	bq.frames[bq.n] = frame
+	bq.n++
+}
+
+// Flush drains every bulk queue touched on rxq since the last flush — the
+// model's xdp_do_flush, called once at the end of a NAPI poll.
+func (dm *DevMap) Flush(rxq int, m *sim.Meter) {
+	q := &dm.queues[rxq&rxQueueMask]
+	for i := range q.bqs {
+		if q.bqs[i].n > 0 {
+			flushBQ(&q.bqs[i], m)
+		}
+		q.bqs[i].dev = nil
+	}
+}
+
+// flushBQ transmits one bulk queue's frames in a single ndo_xdp_xmit call:
+// the doorbell cost is paid once, the per-frame cost covers descriptor
+// writes, and the egress device counts the whole burst with one bulk
+// counter update.
+func flushBQ(bq *bulkQueue, m *sim.Meter) {
+	m.Charge(sim.CostXDPBulkFlushB + sim.Cycles(bq.n)*sim.CostXDPBulkFlushPer)
+	bq.dev.TransmitBatch(bq.frames[:bq.n], m)
+	for i := 0; i < bq.n; i++ {
+		bq.frames[i] = nil
+	}
+	bq.n = 0
+}

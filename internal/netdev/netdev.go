@@ -86,6 +86,15 @@ type XDPHandler interface {
 	HandleXDP(*XDPBuff) XDPAction
 }
 
+// XDPBatchHandler is an XDPHandler that can run a whole NAPI burst in one
+// call: the program prologue is paid once and every later frame enters with
+// warm I-cache. Each buff's verdict lands in the parallel acts slice; a
+// redirecting handler sets the buff's RedirectTo as usual.
+type XDPBatchHandler interface {
+	XDPHandler
+	HandleXDPBatch(bufs []*XDPBuff, acts []XDPAction)
+}
+
 // Stack is the slow path a device delivers into when XDP passes the frame
 // (or no program is attached). The kernel implements it.
 type Stack interface {
@@ -111,6 +120,7 @@ type Stats struct {
 	RxDropped, TxDropped uint64
 	XDPDrops, XDPTx      uint64
 	XDPRedirects         uint64
+	XDPPass              uint64
 }
 
 // devCounters are the live per-device counters, updated atomically so the
@@ -121,6 +131,7 @@ type devCounters struct {
 	rxDropped, txDropped atomic.Uint64
 	xdpDrops, xdpTx      atomic.Uint64
 	xdpRedirects         atomic.Uint64
+	xdpPass              atomic.Uint64
 }
 
 // linkState is everything Transmit/Receive need to route a frame, published
@@ -149,7 +160,8 @@ type Device struct {
 	link   atomic.Pointer[linkState]
 	rss    atomic.Pointer[rssState]
 
-	xdp atomic.Pointer[xdpSlot]
+	xdp    atomic.Pointer[xdpSlot]
+	devmap atomic.Pointer[DevMap] // bulk-redirect state, allocated on first use
 
 	// Tap, when set, observes every frame the device receives (before XDP)
 	// — the model's equivalent of a packet capture. Set it before traffic
@@ -273,6 +285,7 @@ func (d *Device) Stats() Stats {
 		RxDropped: d.stats.rxDropped.Load(), TxDropped: d.stats.txDropped.Load(),
 		XDPDrops: d.stats.xdpDrops.Load(), XDPTx: d.stats.xdpTx.Load(),
 		XDPRedirects: d.stats.xdpRedirects.Load(),
+		XDPPass:      d.stats.xdpPass.Load(),
 	}
 }
 
@@ -347,6 +360,54 @@ func (d *Device) Transmit(frame []byte, m *sim.Meter) {
 	}
 }
 
+// TransmitBatch sends a burst out the device: the packet/byte counters are
+// updated once for the whole burst (the bulk-flush win), then each frame
+// crosses the wire individually. A down device drops the entire burst into
+// TxDropped.
+func (d *Device) TransmitBatch(frames [][]byte, m *sim.Meter) {
+	n := len(frames)
+	if n == 0 {
+		return
+	}
+	if !d.up.Load() {
+		d.stats.txDropped.Add(uint64(n))
+		return
+	}
+	var bytes uint64
+	for _, f := range frames {
+		bytes += uint64(len(f))
+	}
+	d.stats.txPackets.Add(uint64(n))
+	d.stats.txBytes.Add(bytes)
+	ln := d.link.Load()
+	for _, frame := range frames {
+		if ln.txHook != nil && ln.txHook(frame, m) {
+			continue
+		}
+		switch {
+		case ln.peer != nil:
+			ln.peer.Receive(append([]byte(nil), frame...), m)
+		case ln.wire != nil:
+			ln.wire.Send(d, append([]byte(nil), frame...), m)
+		default:
+			d.stats.txDropped.Add(1)
+		}
+	}
+}
+
+// redirectMap returns the device's devmap bulk-queue state, allocating it
+// on first use.
+func (d *Device) redirectMap() *DevMap {
+	if dm := d.devmap.Load(); dm != nil {
+		return dm
+	}
+	dm := &DevMap{}
+	if !d.devmap.CompareAndSwap(nil, dm) {
+		dm = d.devmap.Load()
+	}
+	return dm
+}
+
 // Receive processes a frame arriving from the wire: tap, XDP program (if
 // any), then delivery into the stack. This is the driver RX path.
 func (d *Device) Receive(frame []byte, m *sim.Meter) {
@@ -395,17 +456,24 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 		d.Transmit(data, m)
 		return nil
 	case XDPRedirect:
-		d.stats.xdpRedirects.Add(1)
+		// Resolve the target first: an unresolvable redirect is an XDP
+		// exception (counted as a drop), not a successful redirect.
 		s := d.link.Load().stack
 		if s == nil {
+			d.stats.xdpDrops.Add(1)
 			return nil
 		}
-		if out, ok := s.DeviceByIndex(redirect); ok {
-			m.Charge(sim.CostXDPRedirect)
-			out.Transmit(data, m)
+		out, ok := s.DeviceByIndex(redirect)
+		if !ok {
+			d.stats.xdpDrops.Add(1)
+			return nil
 		}
+		d.stats.xdpRedirects.Add(1)
+		m.Charge(sim.CostXDPRedirect)
+		out.Transmit(data, m)
 		return nil
 	default: // XDPPass
+		d.stats.xdpPass.Add(1)
 		m.Charge(sim.CostXDPPass)
 		return data // program may have adjusted the frame
 	}
@@ -413,10 +481,125 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 
 var xdpBuffPool = sync.Pool{New: func() any { return new(XDPBuff) }}
 
+// pollScratch is the reusable working set of one NAPI poll: xdp_buff
+// contexts and a verdict array sized for a full budget, pooled so the batch
+// hot path allocates nothing. The ptrs slice is wired to the bufs array
+// once, at pool construction.
+type pollScratch struct {
+	bufs [NAPIBudget]XDPBuff
+	ptrs [NAPIBudget]*XDPBuff
+	acts [NAPIBudget]XDPAction
+}
+
+var pollScratchPool = sync.Pool{New: func() any {
+	s := new(pollScratch)
+	for i := range s.bufs {
+		s.ptrs[i] = &s.bufs[i]
+	}
+	return s
+}}
+
+// RunXDPBatch runs the attached XDP program over a burst in NAPI-poll
+// chunks of at most budget frames (clamped to NAPIBudget): verdicts are
+// collected per chunk, XDP_TX and XDP_REDIRECT frames accumulate into the
+// per-queue devmap bulk queues, and the bulk queues are flushed once per
+// chunk (xdp_do_flush) before the next poll begins. It returns the XDP_PASS
+// survivors, compacted into the front of frames in arrival order. With no
+// program attached the burst is returned untouched.
+func (d *Device) RunXDPBatch(frames [][]byte, rxq, budget int, m *sim.Meter) [][]byte {
+	slot := d.xdp.Load()
+	if slot == nil {
+		return frames
+	}
+	return d.runXDPBatch(slot, frames, rxq, budget, m)
+}
+
+func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m *sim.Meter) [][]byte {
+	if budget <= 0 || budget > NAPIBudget {
+		budget = NAPIBudget
+	}
+	bh, batched := slot.h.(XDPBatchHandler)
+	scratch := pollScratchPool.Get().(*pollScratch)
+	keep := frames[:0]
+	var dm *DevMap
+	for off := 0; off < len(frames); off += budget {
+		poll := frames[off:]
+		if len(poll) > budget {
+			poll = poll[:budget]
+		}
+		bufs, acts := scratch.ptrs[:len(poll)], scratch.acts[:len(poll)]
+		for i, frame := range poll {
+			scratch.bufs[i] = XDPBuff{Data: frame, IfIndex: d.Index, RxQueue: rxq, Meter: m}
+		}
+		if batched {
+			bh.HandleXDPBatch(bufs, acts)
+		} else {
+			for i := range bufs {
+				acts[i] = slot.h.HandleXDP(bufs[i])
+			}
+		}
+
+		// Resolve verdicts, accumulating counters locally so the device
+		// stats are updated once per poll, not once per frame.
+		var drops, txs, redirects, passes uint64
+		s := d.link.Load().stack
+		for i := range bufs {
+			data := bufs[i].Data
+			switch acts[i] {
+			case XDPTx:
+				txs++
+				if dm == nil {
+					dm = d.redirectMap()
+				}
+				dm.Enqueue(rxq, d, data, m)
+			case XDPRedirect:
+				out, ok := (*Device)(nil), false
+				if s != nil {
+					out, ok = s.DeviceByIndex(bufs[i].RedirectTo)
+				}
+				if !ok {
+					drops++ // unresolvable target: XDP exception
+					break
+				}
+				redirects++
+				if dm == nil {
+					dm = d.redirectMap()
+				}
+				dm.Enqueue(rxq, out, data, m)
+			case XDPPass:
+				passes++
+				m.Charge(sim.CostXDPPass)
+				keep = append(keep, data)
+			default: // XDPDrop, XDPAborted
+				drops++
+			}
+		}
+		if dm != nil {
+			dm.Flush(rxq, m) // xdp_do_flush: once per NAPI poll
+		}
+		if drops > 0 {
+			d.stats.xdpDrops.Add(drops)
+		}
+		if txs > 0 {
+			d.stats.xdpTx.Add(txs)
+		}
+		if redirects > 0 {
+			d.stats.xdpRedirects.Add(redirects)
+		}
+		if passes > 0 {
+			d.stats.xdpPass.Add(passes)
+		}
+	}
+	pollScratchPool.Put(scratch)
+	return keep
+}
+
 // ReceiveBatch processes a burst arriving together on RX queue rxq, the way
-// one NAPI poll drains a ring: per-frame tap and XDP, then a single bulk
-// handoff into the stack. The frames slice is compacted in place (XDP may
-// consume entries), so the caller must not reuse it afterwards.
+// one NAPI poll drains a ring: per-frame tap and byte accounting, the XDP
+// program over the whole burst with bulk-queued TX/redirects, then a single
+// bulk handoff of the PASS survivors into the stack. The frames slice is
+// compacted in place (XDP may consume entries), so the caller must not
+// reuse it afterwards.
 func (d *Device) ReceiveBatch(frames [][]byte, rxq int, m *sim.Meter) {
 	if len(frames) == 0 {
 		return
@@ -432,32 +615,26 @@ func (d *Device) ReceiveBatch(frames [][]byte, rxq int, m *sim.Meter) {
 	}
 	d.stats.rxBytes.Add(bytes)
 
-	tap := d.Tap
-	slot := d.xdp.Load()
-	keep := frames[:0]
-	for _, frame := range frames {
-		if tap != nil {
-			tap(frame)
+	if tap := d.Tap; tap != nil {
+		for _, f := range frames {
+			tap(f)
 		}
-		m.ChargeBytes(len(frame))
-		if slot != nil {
-			frame = d.runXDP(slot, frame, rxq, m)
-			if frame == nil {
-				continue
-			}
-		}
-		keep = append(keep, frame)
 	}
-	if len(keep) == 0 {
+	m.ChargeBytes(int(bytes))
+
+	if slot := d.xdp.Load(); slot != nil {
+		frames = d.runXDPBatch(slot, frames, rxq, NAPIBudget, m)
+	}
+	if len(frames) == 0 {
 		return
 	}
 	s := d.link.Load().stack
 	if bs, ok := s.(BatchStack); ok {
-		bs.DeliverBatch(d, keep, m)
+		bs.DeliverBatch(d, frames, m)
 		return
 	}
 	if s != nil {
-		for _, f := range keep {
+		for _, f := range frames {
 			s.DeliverFrame(d, f, m)
 		}
 	}

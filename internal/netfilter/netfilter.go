@@ -380,7 +380,9 @@ func (nf *Netfilter) evalChainLocked(c *Chain, m *Meta, st *EvalStats, depth int
 		if !nf.matchLocked(&r.Match, m, st) {
 			continue
 		}
-		r.Packets++
+		// Hit counters are atomic: evaluations run concurrently under the
+		// read lock (one per RX queue on the batched XDP path).
+		atomic.AddUint64(&r.Packets, 1)
 		if r.Jump != "" {
 			v := nf.evalChainLocked(nf.chains[r.Jump], m, st, depth+1)
 			if v == VerdictAccept || v == VerdictDrop {

@@ -104,6 +104,20 @@ const (
 	CostLBConnHash     Cycles = 260 // extension: ipvs-style conn hash + DNAT
 )
 
+// Batched fast-path costs. A NAPI poll runs the XDP program over up to 64
+// frames back to back: the driver-hook/xdp_buff-setup prologue is paid once
+// per poll, and every later frame enters with warm I-cache and a live
+// context for the reduced per-frame cost. XDP_TX/XDP_REDIRECT frames are
+// accumulated into per-queue devmap bulk queues (DEV_MAP_BULK_SIZE = 16)
+// and flushed once per poll (xdp_do_flush): one ndo_xdp_xmit doorbell
+// amortized over the burst instead of a full per-frame redirect.
+const (
+	CostXDPBatchEntry   Cycles = 45  // per frame after the first in a NAPI poll
+	CostXDPBulkEnqueue  Cycles = 40  // bq_enqueue: append to the per-queue bulk queue
+	CostXDPBulkFlushB   Cycles = 250 // per ndo_xdp_xmit call (doorbell, descriptor sync)
+	CostXDPBulkFlushPer Cycles = 120 // per frame transmitted in a bulk flush
+)
+
 // Shadow-state costs for the Polycube baseline: its cubes keep private maps
 // instead of calling into kernel state, so lookups are plain map probes but
 // every function boundary is a tail call and filtering uses its own

@@ -1,0 +1,174 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/sim"
+)
+
+// FastPathPoint is one measured configuration of the LinuxFP fast path:
+// per-packet vs NAPI-batched entry, interpreted vs fused (JIT) program,
+// and the batch size used. Cycles is the mean model cost per packet with
+// the wires unplugged; PPS is the single-core rate that cost implies.
+type FastPathPoint struct {
+	Mode      string  `json:"mode"` // "per-packet" or "batched"
+	JIT       bool    `json:"jit"`
+	BatchSize int     `json:"batch_size"` // 0 for per-packet
+	Cycles    float64 `json:"modelcycles_per_pkt"`
+	PPS       float64 `json:"pps_1core"`
+}
+
+// FastPathCorePoint is one point of the batched fast path's pps-vs-cores
+// scaling curve (RSS steering + one NAPI poll loop per queue).
+type FastPathCorePoint struct {
+	Cores int     `json:"cores"`
+	PPS   float64 `json:"pps"`
+	Mpps  float64 `json:"mpps"`
+}
+
+// FastPathReport is the machine-readable result of FastPathSweep — what
+// `lfpbench -exp fastpath` serializes into BENCH_fastpath.json.
+type FastPathReport struct {
+	Platform   string              `json:"platform"`
+	FrameSize  int                 `json:"frame_size"`
+	ClockHz    float64             `json:"clock_hz"`
+	Points     []FastPathPoint     `json:"points"`
+	CoreSweep  []FastPathCorePoint `json:"core_sweep"`
+	NAPIBudget int                 `json:"napi_budget"`
+	BulkSize   int                 `json:"devmap_bulk_size"`
+}
+
+// FastPathSweep measures the virtual-router fast path across the
+// batching/JIT matrix plus a batch-size sweep and a cores sweep. n is the
+// number of frames per configuration.
+func FastPathSweep(batchSizes []int, cores []int, n int) (*FastPathReport, error) {
+	d, err := Build(PlatformLinuxFP, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &FastPathReport{
+		Platform:   PlatformLinuxFP,
+		FrameSize:  64,
+		ClockHz:    sim.ClockHz,
+		NAPIBudget: netdev.NAPIBudget,
+		BulkSize:   netdev.DevMapBulkSize,
+	}
+
+	for _, jit := range []bool{false, true} {
+		setJIT(d, jit)
+		c := fastPathCycles(d, 0, n)
+		r.Points = append(r.Points, FastPathPoint{
+			Mode: "per-packet", JIT: jit, Cycles: c, PPS: ppsFromCycles(c),
+		})
+		for _, bs := range batchSizes {
+			c := fastPathCycles(d, bs, n)
+			r.Points = append(r.Points, FastPathPoint{
+				Mode: "batched", JIT: jit, BatchSize: bs, Cycles: c, PPS: ppsFromCycles(c),
+			})
+		}
+	}
+	setJIT(d, true)
+	for _, nc := range cores {
+		pps := batchedParallelPPS(d, nc, n)
+		r.CoreSweep = append(r.CoreSweep, FastPathCorePoint{Cores: nc, PPS: pps, Mpps: pps / 1e6})
+	}
+	return r, nil
+}
+
+// batchedParallelPPS is ParallelPPS without the single-core per-packet
+// shortcut: every point, including cores=1, runs through the RSS worker
+// pool's batched NAPI polls, so the sweep is batched end to end.
+func batchedParallelPPS(d *DUT, cores, n int) float64 {
+	g := *d.gen
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	pool := d.Kern.StartRxQueues(d.In, cores, netdev.NAPIBudget)
+	for _, frame := range g.Burst(n) {
+		pool.Steer(frame)
+	}
+	pool.Close()
+	d.In.SetRxQueues(1)
+	busiest := pool.MaxQueueCycles()
+	if busiest <= 0 {
+		return 0
+	}
+	return float64(n) * sim.ClockHz / float64(busiest)
+}
+
+func setJIT(d *DUT, on bool) {
+	v := "0"
+	if on {
+		v = "1"
+	}
+	d.Kern.SetSysctl("net.core.bpf_jit_enable", v)
+}
+
+// fastPathCycles drives n frames through the DUT ingress — per packet when
+// batch == 0, otherwise in ReceiveBatch bursts of `batch` — and returns the
+// mean model cycles per frame. Wires are unplugged so only DUT work meters.
+func fastPathCycles(d *DUT, batch, n int) float64 {
+	g := *d.gen
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	var m sim.Meter
+	if batch <= 0 {
+		for i := 0; i < n; i++ {
+			d.In.Receive(g.Frame(i), &m)
+		}
+	} else {
+		frames := make([][]byte, 0, batch)
+		for i := 0; i < n; i += batch {
+			frames = frames[:0]
+			for j := i; j < i+batch && j < n; j++ {
+				frames = append(frames, g.Frame(j))
+			}
+			d.In.ReceiveBatch(frames, 0, &m)
+		}
+	}
+	return float64(m.Total) / float64(n)
+}
+
+func ppsFromCycles(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return sim.ClockHz / c
+}
+
+// RenderFastPath prints the sweep in the house table style.
+func RenderFastPath(r *FastPathReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fast path: batching x JIT sweep (64B router, single core)\n")
+	fmt.Fprintf(&b, "%-12s %-6s %8s %14s %10s\n", "mode", "jit", "batch", "cycles/pkt", "Mpps")
+	for _, p := range r.Points {
+		jit := "off"
+		if p.JIT {
+			jit = "on"
+		}
+		batch := "-"
+		if p.BatchSize > 0 {
+			batch = fmt.Sprintf("%d", p.BatchSize)
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %8s %14.1f %10.2f\n", p.Mode, jit, batch, p.Cycles, p.PPS/1e6)
+	}
+	fmt.Fprintf(&b, "\nFast path: pps vs cores (batched, JIT on)\n")
+	fmt.Fprintf(&b, "%6s %10s\n", "cores", "Mpps")
+	for _, p := range r.CoreSweep {
+		fmt.Fprintf(&b, "%6d %10.2f\n", p.Cores, p.Mpps)
+	}
+	return b.String()
+}
