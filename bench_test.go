@@ -228,6 +228,64 @@ func BenchmarkRealLinuxFPFastPathParallel(b *testing.B) {
 	}
 }
 
+// benchLinuxGRO drives a same-flow in-order TCP train through the stock
+// Linux slow path in NAPI bursts with GRO on or off — the real-execution
+// A/B behind the modelcycle numbers in BENCH_gro.json. Templates carry
+// advancing seq/IP-ID so every burst is one mergeable train.
+func benchLinuxGRO(b *testing.B, gro bool, batchSize int) {
+	d := mkDUT(b, testbed.PlatformLinux, testbed.Scenario{})
+	d.In.SetGRO(gro)
+	src, dst := mustAddr("10.1.0.1"), packet.AddrFrom4(10, 100+3, 0, 9)
+	payload := make([]byte, 128)
+	templates := make([][]byte, batchSize)
+	for i := range templates {
+		tcp := packet.TCP{SrcPort: 4000, DstPort: 80, Seq: uint32(i) * uint32(len(payload)),
+			Ack: 1, Flags: packet.TCPAck, Window: 512}
+		templates[i] = packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, ID: uint16(i), Flags: packet.IPv4DontFragment,
+				Proto: packet.ProtoTCP, Src: src, Dst: dst},
+			tcp.Marshal(nil, src, dst, payload))
+	}
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	bufs := make([][]byte, batchSize)
+	for i := range bufs {
+		bufs[i] = make([]byte, len(templates[i]))
+	}
+	batch := make([][]byte, batchSize)
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			copy(bufs[i], templates[i])
+			batch[i] = bufs[i]
+		}
+	}
+	var m sim.Meter
+	fill(batchSize)
+	d.In.ReceiveBatch(batch[:batchSize], 0, &m) // warm: neighbor + scratch pools
+	m.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batchSize
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		fill(n)
+		d.In.ReceiveBatch(batch[:n], 0, &m)
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Total)/float64(b.N), "modelcycles/op")
+}
+
+// BenchmarkRealLinuxGROSameFlow is the slow-path GRO headline: 32-frame
+// NAPI bursts of one TCP flow, coalesced to two supersegments per burst
+// before IP input. Compare against BenchmarkRealLinuxGROOffSameFlow for
+// the per-frame stack-walk savings.
+func BenchmarkRealLinuxGROSameFlow(b *testing.B)    { benchLinuxGRO(b, true, 32) }
+func BenchmarkRealLinuxGROOffSameFlow(b *testing.B) { benchLinuxGRO(b, false, 32) }
+
 func BenchmarkRealPolycube(b *testing.B) {
 	benchPlatformForward(b, testbed.PlatformPolycube, testbed.Scenario{})
 }

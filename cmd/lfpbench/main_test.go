@@ -9,7 +9,7 @@ import (
 func TestRunKnownExperiments(t *testing.T) {
 	// Only the cheap experiments here; the full set runs in bench_test.go.
 	for _, exp := range []string{"table6", "fig10", "ablation"} {
-		if err := run(exp, 2, 2, ""); err != nil {
+		if err := run(exp, 2, 2, "", ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -17,7 +17,7 @@ func TestRunKnownExperiments(t *testing.T) {
 
 func TestRunFastpathWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fastpath.json")
-	if err := run("fastpath", 2, 2, path); err != nil {
+	if err := run("fastpath", 2, 2, path, ""); err != nil {
 		t.Fatalf("fastpath: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -29,8 +29,22 @@ func TestRunFastpathWritesJSON(t *testing.T) {
 	}
 }
 
+func TestRunGROWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gro.json")
+	if err := run("gro", 2, 2, "", path); err != nil {
+		t.Fatalf("gro: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty json")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, ""); err == nil {
+	if err := run("fig99", 1, 1, "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

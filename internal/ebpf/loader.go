@@ -165,6 +165,38 @@ func (a *tcAdapter) HandleTC(skb *kernel.SKB) kernel.TCAction {
 	}
 }
 
+var _ kernel.TCBatchHandler = (*tcAdapter)(nil)
+
+// HandleTCBatch implements kernel.TCBatchHandler: the TC-hook twin of
+// HandleXDPBatch. One context is reused across the whole burst of skbs, so
+// the program runs back to back with warm I-cache; the kernel side charges
+// the classifier entry costs (full on the first skb, batch-entry discount
+// after), mirroring how the XDP batch runner splits costs with the driver.
+func (a *tcAdapter) HandleTCBatch(skbs []*kernel.SKB, acts []kernel.TCAction) {
+	if len(skbs) == 0 {
+		return
+	}
+	jit := a.k.BPFJITEnabled()
+	ctx := ctxPool.Get().(*Ctx)
+	for i, skb := range skbs {
+		*ctx = Ctx{
+			Kernel: a.k, Meter: skb.Meter, Hook: a.hook,
+			IfIndex: skb.Dev.Index, SKB: skb,
+			jit: jit,
+		}
+		switch a.prog.exec(ctx) {
+		case VerdictDrop, VerdictAborted:
+			acts[i] = kernel.TCShot
+		case VerdictRedirect:
+			skb.RedirectTo = ctx.RedirectIfIndex
+			acts[i] = kernel.TCRedirect
+		default:
+			acts[i] = kernel.TCOk
+		}
+	}
+	ctxPool.Put(ctx)
+}
+
 // AttachXDP attaches a loaded program to a device's XDP hook.
 func (l *Loader) AttachXDP(dev *netdev.Device, p *Program, mode string) error {
 	if p.Hook != HookXDP {

@@ -28,6 +28,11 @@ type rxScratch struct {
 	// (where the resolved decision is memoized).
 	fillGen uint64
 	fillOK  bool
+
+	// GSO state for the frame in flight: set by groInput when a GRO
+	// supersegment enters the stack, read by ipForward to resegment at the
+	// egress device. segs <= 1 for ordinary frames.
+	gso gsoMeta
 }
 
 var rxScratchPool = sync.Pool{New: func() any { return new(rxScratch) }}
@@ -45,6 +50,7 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("netif_receive_skb")()
 	sc.fillOK = false
+	sc.gso = gsoMeta{}
 
 	eth, l3off, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
@@ -55,16 +61,7 @@ func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 	// TC ingress: the classifier runs after sk_buff allocation. If a
 	// LinuxFP TC fast path is attached here it can consume the packet.
 	if h := k.tcIngressFor(dev.Index); h != nil {
-		switch dev.Type {
-		case netdev.Veth:
-			m.Charge(sim.CostTCPrologueVeth)
-		case netdev.Physical:
-			m.Charge(sim.CostTCPrologue)
-		default:
-			// Pseudo-devices (vxlan): the skb already exists; only the
-			// demux and classifier entry are paid.
-			m.Charge(sim.CostNetifReceive + 130)
-		}
+		m.Charge(tcPrologueCost(dev))
 		// Best-effort parse: TC programs run on any frame; non-IP or
 		// malformed L3 just leaves Pkt at the Ethernet level.
 		if perr := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); perr != nil {
@@ -103,14 +100,7 @@ func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 	// descriptor handling and a fresh sk_buff; a veth hands over the
 	// sender's skb through the per-CPU backlog; pseudo-devices (vxlan)
 	// re-inject an existing skb.
-	switch dev.Type {
-	case netdev.Veth:
-		m.Charge(sim.CostVethRx + sim.CostNetifReceive)
-	case netdev.Physical:
-		m.Charge(sim.CostDriverRx + sim.CostSKBAlloc + sim.CostNetifReceive)
-	default:
-		m.Charge(sim.CostNetifReceive)
-	}
+	m.Charge(rxDeviceCost(dev) + sim.CostNetifReceive)
 	k.receiveParsed(dev, frame, eth, l3off, m, sc)
 }
 
@@ -491,6 +481,16 @@ func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	// egress source MAC. The frame is our own copy.
 	packet.DecTTL(frame, pkt.L3Off)
 	packet.SetEthSrc(frame, out.MAC)
+
+	// GRO supersegment: output work runs once on the merged frame, then it
+	// is split back into wire frames at the egress device (GSO). The MTU
+	// check below applies to the split segments, not the supersegment.
+	if sc != nil && sc.gso.segs > 1 {
+		if !k.gsoForward(dev, out, nexthop, frame, pkt, sc.gso, m) {
+			k.countForwarded(m)
+		}
+		return
+	}
 
 	// Oversized for the egress MTU? Fragment (or bounce with ICMP if DF).
 	if int(ip.TotalLen) > out.MTU {

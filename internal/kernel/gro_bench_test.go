@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"testing"
+
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// benchRig builds the forwarding router with both ports unplugged so meters
+// see only router-side work, plus a same-flow TCP train of templates: batch
+// in-order 64-byte segments with consecutive IPv4 IDs, the GRO best case.
+func benchTrain(b *testing.B, batch int) (*Kernel, *netdev.Device, [][]byte) {
+	r, r0, _, srcMAC, _ := newFwdRouter(b)
+	src, dst := packet.MustAddr("10.1.0.1"), packet.AddrFrom4(10, 2, 0, 1)
+	payload := make([]byte, 64)
+	templates := make([][]byte, batch)
+	for i := range templates {
+		tcp := packet.TCP{SrcPort: 4000, DstPort: 80, Seq: uint32(i) * 64, Ack: 1, Flags: packet.TCPAck, Window: 512}
+		templates[i] = packet.BuildIPv4(
+			packet.Ethernet{Dst: r0.MAC, Src: srcMAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, ID: uint16(i), Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+			tcp.Marshal(nil, src, dst, payload))
+	}
+	return r, r0, templates
+}
+
+// benchGRO pushes b.N frames of the same-flow train through the slow path in
+// NAPI bursts, with GRO on or off. Each burst restores the templates into
+// fixed backing storage; the timeout is 0 so every poll flushes clean.
+func benchGRO(b *testing.B, gro bool, batch int) {
+	_, r0, templates := benchTrain(b, batch)
+	r0.SetGRO(gro)
+	bufs := make([][]byte, batch)
+	frames := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, len(templates[i]))
+	}
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			copy(bufs[i], templates[i])
+			frames[i] = bufs[i]
+		}
+	}
+	var m sim.Meter
+	fill(batch)
+	r0.ReceiveBatch(frames[:batch], 0, &m) // warm the scratch pools
+	m.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		fill(n)
+		r0.ReceiveBatch(frames[:n], 0, &m)
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Total)/float64(b.N), "modelcycles/op")
+}
+
+func BenchmarkGROSameFlowBatch32(b *testing.B)    { benchGRO(b, true, 32) }
+func BenchmarkGROOffSameFlowBatch32(b *testing.B) { benchGRO(b, false, 32) }
+
+// benchTCIngress measures the batched vs per-skb TC ingress runner with GRO
+// off, isolating the classifier-entry amortization.
+func benchTCIngress(b *testing.B, batched bool) {
+	r, r0, templates := benchTrain(b, 32)
+	r0.SetGRO(false)
+	pass := func(s *SKB) TCAction { return TCOk }
+	if batched {
+		r.AttachTC(r0.Index, true, tcBatchFunc(pass))
+	} else {
+		r.AttachTC(r0.Index, true, tcFunc(pass))
+	}
+	bufs := make([][]byte, len(templates))
+	frames := make([][]byte, len(templates))
+	for i := range bufs {
+		bufs[i] = make([]byte, len(templates[i]))
+	}
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			copy(bufs[i], templates[i])
+			frames[i] = bufs[i]
+		}
+	}
+	var m sim.Meter
+	fill(len(templates))
+	r0.ReceiveBatch(frames, 0, &m)
+	m.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := len(templates)
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		fill(n)
+		r0.ReceiveBatch(frames[:n], 0, &m)
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Total)/float64(b.N), "modelcycles/op")
+}
+
+func BenchmarkTCIngressBatch32(b *testing.B)  { benchTCIngress(b, true) }
+func BenchmarkTCIngressPerSkb32(b *testing.B) { benchTCIngress(b, false) }

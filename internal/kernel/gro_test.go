@@ -1,0 +1,745 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/fib"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// groRig is a forwarding router (newFwdRouter) with a sink kernel hanging off
+// eth1 so egress bytes can be captured. The sink has no addresses or routes:
+// it only taps.
+type groRig struct {
+	r        *Kernel
+	r0, r1   *netdev.Device
+	srcMAC   packet.HWAddr
+	sink     *Kernel
+	captured [][]byte
+}
+
+func newGroRig(t testing.TB) *groRig {
+	g := &groRig{}
+	g.r, g.r0, g.r1, g.srcMAC, _ = newFwdRouter(t)
+	g.sink = New("sink")
+	sd := g.sink.CreateDevice("eth0", netdev.Physical)
+	sd.SetUp(true)
+	netdev.Connect(g.r1, sd)
+	sd.Tap = func(f []byte) { g.captured = append(g.captured, append([]byte(nil), f...)) }
+	return g
+}
+
+// tcpSeg builds one TCP segment addressed at the router for forwarding.
+func (g *groRig) tcpSeg(dst packet.Addr, sport, dport uint16, seq uint32, id uint16, flags packet.TCPFlags, payload []byte) []byte {
+	src := packet.MustAddr("10.1.0.1")
+	tcp := packet.TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: 7777, Flags: flags, Window: 512}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: g.r0.MAC, Src: g.srcMAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, ID: id, Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+		tcp.Marshal(nil, src, dst, payload),
+	)
+}
+
+// poll delivers one NAPI burst into the router.
+func (g *groRig) poll(frames ...[]byte) {
+	var m sim.Meter
+	g.r0.ReceiveBatch(frames, 0, &m)
+}
+
+// seg shorthand: an in-order data segment of the canonical test flow.
+func (g *groRig) seg(seq uint32, id uint16, flags packet.TCPFlags, payload []byte) []byte {
+	return g.tcpSeg(packet.AddrFrom4(10, 2, 0, 1), 4000, 80, seq, id, flags, payload)
+}
+
+// flowKeyOf buckets a captured frame by its 5-tuple so worlds with different
+// cross-flow emission order (GRO holds flush at poll end) compare per flow.
+func flowKeyOf(f []byte) string {
+	et, l3 := packet.EtherTypeOf(f)
+	if et != packet.EtherTypeIPv4 {
+		return fmt.Sprintf("l2:%x", f)
+	}
+	proto := packet.IPv4Proto(f, l3)
+	sport, dport := packet.L4Ports(f, l3+packet.IPv4MinLen)
+	return fmt.Sprintf("%d|%v|%v|%d|%d", proto, packet.IPv4Src(f, l3), packet.IPv4Dst(f, l3), sport, dport)
+}
+
+// normMAC zeroes both MAC fields: device MACs are globally allocated, so two
+// otherwise-identical rigs stamp different addresses.
+func normMAC(f []byte) []byte {
+	g := append([]byte(nil), f...)
+	for i := 0; i < 12 && i < len(g); i++ {
+		g[i] = 0
+	}
+	return g
+}
+
+// byFlow groups captured frames per flow in arrival order, MAC-normalized.
+func byFlow(frames [][]byte) map[string][][]byte {
+	out := make(map[string][][]byte)
+	for _, f := range frames {
+		k := flowKeyOf(f)
+		out[k] = append(out[k], normMAC(f))
+	}
+	return out
+}
+
+// groFlow is per-flow generator state for the randomized workload.
+type groFlow struct {
+	dst    packet.Addr
+	sport  uint16
+	dport  uint16
+	seq    uint32
+	id     uint16
+}
+
+// groWorkload materializes a deterministic mixed workload for one rig: four
+// TCP flows with in-order data trains, sprinkled with PSH, pure ACKs, FINs,
+// out-of-order segments, corrupt checksums, short tails, and UDP — every
+// frame class the GRO rules must route correctly.
+func groWorkload(g *groRig, n int, seed int64, dports []uint16) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	if dports == nil {
+		dports = []uint16{80, 80, 80, 80}
+	}
+	flows := make([]*groFlow, len(dports))
+	for i := range flows {
+		flows[i] = &groFlow{
+			dst:   packet.AddrFrom4(10, 2, 0, byte(i%16+1)),
+			sport: uint16(4000 + i),
+			dport: dports[i],
+			seq:   uint32(1000 * (i + 1)),
+			id:    uint16(rng.Intn(60000)),
+		}
+	}
+	src := packet.MustAddr("10.1.0.1")
+	pl := func(size int) []byte {
+		b := make([]byte, size)
+		rng.Read(b)
+		return b
+	}
+	frames := make([][]byte, 0, n)
+	for len(frames) < n {
+		f := flows[rng.Intn(len(flows))]
+		switch rng.Intn(12) {
+		case 0: // UDP on the same hosts: never merges
+			u := packet.UDP{SrcPort: f.sport, DstPort: f.dport}
+			frames = append(frames, packet.BuildIPv4(
+				packet.Ethernet{Dst: g.r0.MAC, Src: g.srcMAC, EtherType: packet.EtherTypeIPv4},
+				packet.IPv4{TTL: 64, ID: f.id, Proto: packet.ProtoUDP, Src: src, Dst: f.dst},
+				u.Marshal(nil, src, f.dst, pl(18))))
+			f.id++
+		case 1: // pure ACK: flushes the flow's hold, passes through
+			frames = append(frames, g.tcpSeg(f.dst, f.sport, f.dport, f.seq, f.id, packet.TCPAck, nil))
+			f.id++
+		case 2: // corrupt TCP checksum: must travel untouched
+			fr := g.tcpSeg(f.dst, f.sport, f.dport, f.seq, f.id, packet.TCPAck, pl(64))
+			fr[len(fr)-1] ^= 0xff
+			frames = append(frames, fr)
+			f.seq += 64
+			f.id++
+		case 3: // out-of-order: an old sequence number reappears
+			frames = append(frames, g.tcpSeg(f.dst, f.sport, f.dport, f.seq-640, f.id+500, packet.TCPAck, pl(64)))
+		case 4: // FIN: never merged, flushes held data first
+			frames = append(frames, g.tcpSeg(f.dst, f.sport, f.dport, f.seq, f.id, packet.TCPAck|packet.TCPFin, nil))
+			f.id++
+		case 5: // short tail: merges then ends the supersegment
+			p := pl(24)
+			frames = append(frames, g.tcpSeg(f.dst, f.sport, f.dport, f.seq, f.id, packet.TCPAck, p))
+			f.seq += uint32(len(p))
+			f.id++
+		default: // in-order 64-byte data segment, occasionally PSH
+			fl := packet.TCPAck
+			if rng.Intn(6) == 0 {
+				fl |= packet.TCPPsh
+			}
+			frames = append(frames, g.tcpSeg(f.dst, f.sport, f.dport, f.seq, f.id, fl, pl(64)))
+			f.seq += 64
+			f.id++
+		}
+	}
+	return frames
+}
+
+// TestGROForwardEquivalence is the tentpole's central property: with GRO on,
+// the router's egress must be byte-identical per flow to the GRO-off world —
+// coalescing and resegmentation must be invisible on the wire — and the
+// counters must reconcile exactly: every coalesced frame moves from the
+// Forwarded column to GROCoalesced, nothing else changes.
+func TestGROForwardEquivalence(t *testing.T) {
+	const frames = 900 // spans many polls at several batch sizes
+
+	for _, batch := range []int{1, 7, 32, 64} {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			on := newGroRig(t)
+			off := newGroRig(t)
+			off.r0.SetGRO(false)
+
+			wOn := groWorkload(on, frames, 42, nil)
+			wOff := groWorkload(off, frames, 42, nil)
+			for i := 0; i < frames; i += batch {
+				end := i + batch
+				if end > frames {
+					end = frames
+				}
+				on.poll(wOn[i:end]...)
+				off.poll(wOff[i:end]...)
+			}
+
+			if len(on.captured) == 0 {
+				t.Fatal("nothing forwarded; test is vacuous")
+			}
+			if len(on.captured) != len(off.captured) {
+				t.Fatalf("captured %d frames with GRO, %d without", len(on.captured), len(off.captured))
+			}
+			fOn, fOff := byFlow(on.captured), byFlow(off.captured)
+			for key, seq := range fOff {
+				oseq := fOn[key]
+				if len(oseq) != len(seq) {
+					t.Fatalf("flow %s: %d frames with GRO, %d without", key, len(oseq), len(seq))
+				}
+				for i := range seq {
+					if !bytes.Equal(oseq[i], seq[i]) {
+						t.Fatalf("flow %s frame %d differs:\n gro %x\n off %x", key, i, oseq[i], seq[i])
+					}
+				}
+			}
+
+			sOn, sOff := on.r.Stats(), off.r.Stats()
+			if batch > 1 && (sOn.GROCoalesced == 0 || sOn.GROSupersegs == 0) {
+				t.Fatal("GRO never coalesced; equivalence is vacuous")
+			}
+			if sOn.Forwarded+sOn.GROCoalesced != sOff.Forwarded {
+				t.Errorf("forwarded+coalesced = %d+%d, want %d",
+					sOn.Forwarded, sOn.GROCoalesced, sOff.Forwarded)
+			}
+			if sOn.Dropped != sOff.Dropped || sOn.Delivered != sOff.Delivered {
+				t.Errorf("dropped/delivered diverged: %d/%d vs %d/%d",
+					sOn.Dropped, sOn.Delivered, sOff.Dropped, sOff.Delivered)
+			}
+			if txOn, txOff := on.r1.Stats().TxPackets, off.r1.Stats().TxPackets; txOn != txOff {
+				t.Errorf("egress TxPackets %d with GRO, %d without", txOn, txOff)
+			}
+		})
+	}
+}
+
+// TestGROLocalDeliveryEquivalence: a coalesced flow addressed at the router
+// itself arrives as one socket message carrying the merged payload; the byte
+// stream the application reads is identical either way, and the delivered
+// counter reconciles through GROCoalesced.
+func TestGROLocalDeliveryEquivalence(t *testing.T) {
+	run := func(gro bool) (stream []byte, msgs int, st Stats) {
+		g := newGroRig(t)
+		g.r0.SetGRO(gro)
+		g.r.RegisterSocket(packet.ProtoTCP, 5000, func(_ *Kernel, msg SocketMsg) {
+			stream = append(stream, msg.Payload...)
+			msgs++
+		})
+		local := packet.MustAddr("10.1.0.254")
+		var frames [][]byte
+		seq, id := uint32(100), uint16(50)
+		for i := 0; i < 5; i++ {
+			fl := packet.TCPAck
+			if i == 4 {
+				fl |= packet.TCPPsh
+			}
+			p := bytes.Repeat([]byte{byte('a' + i)}, 32)
+			frames = append(frames, g.tcpSeg(local, 4000, 5000, seq, id, fl, p))
+			seq += 32
+			id++
+		}
+		g.poll(frames...)
+		return stream, msgs, g.r.Stats()
+	}
+
+	onStream, onMsgs, onSt := run(true)
+	offStream, offMsgs, offSt := run(false)
+	if !bytes.Equal(onStream, offStream) {
+		t.Fatalf("payload stream differs:\n gro %q\n off %q", onStream, offStream)
+	}
+	if onMsgs != 1 || offMsgs != 5 {
+		t.Errorf("messages = %d gro / %d off, want 1 / 5", onMsgs, offMsgs)
+	}
+	if onSt.Delivered+onSt.GROCoalesced != offSt.Delivered {
+		t.Errorf("delivered+coalesced = %d+%d, want %d", onSt.Delivered, onSt.GROCoalesced, offSt.Delivered)
+	}
+}
+
+// TestGROMergeRules pins each flush rule individually.
+func TestGROMergeRules(t *testing.T) {
+	pl := func(size int, b byte) []byte { return bytes.Repeat([]byte{b}, size) }
+
+	t.Run("psh ends supersegment", func(t *testing.T) {
+		g := newGroRig(t)
+		g.poll(
+			g.seg(100, 1, packet.TCPAck, pl(64, 'a')),
+			g.seg(164, 2, packet.TCPAck, pl(64, 'b')),
+			g.seg(228, 3, packet.TCPAck|packet.TCPPsh, pl(64, 'c')),
+		)
+		st := g.r.Stats()
+		if st.GROCoalesced != 2 || st.GROSupersegs != 1 || st.GROFlushes != 1 {
+			t.Fatalf("coalesced/supersegs/flushes = %d/%d/%d, want 2/1/1",
+				st.GROCoalesced, st.GROSupersegs, st.GROFlushes)
+		}
+		if len(g.captured) != 3 {
+			t.Fatalf("captured %d segments, want 3", len(g.captured))
+		}
+		for i, f := range g.captured {
+			l4 := packet.EthHdrLen + packet.IPv4MinLen
+			psh := packet.TCPRawFlags(f, l4)&packet.TCPPsh != 0
+			if want := i == 2; psh != want {
+				t.Errorf("segment %d PSH = %v, want %v", i, psh, want)
+			}
+		}
+	})
+
+	t.Run("seventeen segment cap", func(t *testing.T) {
+		g := newGroRig(t)
+		var frames [][]byte
+		for i := 0; i < 20; i++ {
+			frames = append(frames, g.seg(100+uint32(i)*64, uint16(1+i), packet.TCPAck, pl(64, byte('a'+i))))
+		}
+		g.poll(frames...)
+		st := g.r.Stats()
+		// 17 segments fill the first hold (16 merges); the remaining 3 form a
+		// second supersegment flushed at poll end.
+		if st.GROCoalesced != 18 || st.GROSupersegs != 2 {
+			t.Fatalf("coalesced/supersegs = %d/%d, want 18/2", st.GROCoalesced, st.GROSupersegs)
+		}
+		if len(g.captured) != 20 {
+			t.Fatalf("captured %d segments, want 20", len(g.captured))
+		}
+		l3, l4 := packet.EthHdrLen, packet.EthHdrLen+packet.IPv4MinLen
+		for i, f := range g.captured {
+			if got := packet.TCPSeq(f, l4); got != 100+uint32(i)*64 {
+				t.Errorf("segment %d seq = %d, want %d", i, got, 100+uint32(i)*64)
+			}
+			if got := packet.IPv4ID(f, l3); got != uint16(1+i) {
+				t.Errorf("segment %d id = %d, want %d", i, got, 1+i)
+			}
+			if packet.Checksum(f[l3:l4]) != 0 {
+				t.Errorf("segment %d IP checksum does not verify", i)
+			}
+			if packet.ChecksumWithPseudo(packet.IPv4Src(f, l3), packet.IPv4Dst(f, l3), packet.ProtoTCP, f[l4:]) != 0 {
+				t.Errorf("segment %d TCP checksum does not verify", i)
+			}
+		}
+	})
+
+	t.Run("fin flushes held data first", func(t *testing.T) {
+		g := newGroRig(t)
+		g.poll(
+			g.seg(100, 1, packet.TCPAck, pl(64, 'a')),
+			g.seg(164, 2, packet.TCPAck, pl(64, 'b')),
+			g.tcpSeg(packet.AddrFrom4(10, 2, 0, 1), 4000, 80, 228, 3, packet.TCPAck|packet.TCPFin, nil),
+		)
+		if len(g.captured) != 3 {
+			t.Fatalf("captured %d frames, want 3", len(g.captured))
+		}
+		l4 := packet.EthHdrLen + packet.IPv4MinLen
+		// Held data must precede the FIN on the wire.
+		if packet.TCPRawFlags(g.captured[2], l4)&packet.TCPFin == 0 {
+			t.Error("FIN did not come out last")
+		}
+		if g.r.Stats().GROSupersegs != 1 {
+			t.Errorf("supersegs = %d, want 1", g.r.Stats().GROSupersegs)
+		}
+	})
+
+	t.Run("ack change never merges", func(t *testing.T) {
+		g := newGroRig(t)
+		a := g.seg(100, 1, packet.TCPAck, pl(64, 'a'))
+		b := g.seg(164, 2, packet.TCPAck, pl(64, 'b'))
+		// Bump the ack number on b and fix its checksum so it stays valid.
+		l3, l4 := packet.EthHdrLen, packet.EthHdrLen+packet.IPv4MinLen
+		b[l4+11]++
+		packet.RecomputeTCPChecksum(b, l3, l4)
+		g.poll(a, b)
+		st := g.r.Stats()
+		if st.GROCoalesced != 0 || st.GROSupersegs != 0 {
+			t.Fatalf("coalesced/supersegs = %d/%d, want 0/0", st.GROCoalesced, st.GROSupersegs)
+		}
+		if len(g.captured) != 2 {
+			t.Fatalf("captured %d frames, want 2", len(g.captured))
+		}
+	})
+
+	t.Run("out of order flushes and restarts", func(t *testing.T) {
+		g := newGroRig(t)
+		g.poll(
+			g.seg(100, 1, packet.TCPAck, pl(64, 'a')),
+			g.seg(164, 2, packet.TCPAck, pl(64, 'b')),
+			g.seg(100, 10, packet.TCPAck, pl(64, 'c')), // retransmit: wrong seq
+			g.seg(164, 11, packet.TCPAck, pl(64, 'd')),
+		)
+		st := g.r.Stats()
+		// First pair coalesced and flushed by the mismatch; second pair
+		// coalesced and flushed at poll end.
+		if st.GROCoalesced != 2 || st.GROSupersegs != 2 {
+			t.Fatalf("coalesced/supersegs = %d/%d, want 2/2", st.GROCoalesced, st.GROSupersegs)
+		}
+		if len(g.captured) != 4 {
+			t.Fatalf("captured %d frames, want 4", len(g.captured))
+		}
+	})
+
+	t.Run("short tail ends supersegment", func(t *testing.T) {
+		g := newGroRig(t)
+		g.poll(
+			g.seg(100, 1, packet.TCPAck, pl(64, 'a')),
+			g.seg(164, 2, packet.TCPAck, pl(24, 'b')),
+			g.seg(188, 3, packet.TCPAck, pl(64, 'c')), // new hold after the tail
+		)
+		st := g.r.Stats()
+		if st.GROCoalesced != 1 || st.GROSupersegs != 1 {
+			t.Fatalf("coalesced/supersegs = %d/%d, want 1/1", st.GROCoalesced, st.GROSupersegs)
+		}
+	})
+
+	t.Run("oversized segment never appends", func(t *testing.T) {
+		g := newGroRig(t)
+		g.poll(
+			g.seg(100, 1, packet.TCPAck, pl(24, 'a')),
+			g.seg(124, 2, packet.TCPAck, pl(64, 'b')), // larger than gso size
+		)
+		st := g.r.Stats()
+		if st.GROCoalesced != 0 || st.GROSupersegs != 0 {
+			t.Fatalf("coalesced/supersegs = %d/%d, want 0/0", st.GROCoalesced, st.GROSupersegs)
+		}
+	})
+}
+
+// TestGROConservationParity mirrors the fpm batch counter-parity test through
+// the GRO layer: for every burst size 1..200 the frames put in must equal
+// forwarded + delivered + dropped + coalesced, and every one must reappear on
+// the egress wire.
+func TestGROConservationParity(t *testing.T) {
+	g := newGroRig(t)
+	rng := rand.New(rand.NewSource(9))
+	seq, id := uint32(5000), uint16(1)
+	total := uint64(0)
+
+	for n := 1; n <= 200; n++ {
+		before := g.r.Stats()
+		txBefore := g.r1.Stats().TxPackets
+		var frames [][]byte
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				u := packet.UDP{SrcPort: 4000, DstPort: 2000}
+				src, dst := packet.MustAddr("10.1.0.1"), packet.AddrFrom4(10, 2, 0, 2)
+				frames = append(frames, packet.BuildIPv4(
+					packet.Ethernet{Dst: g.r0.MAC, Src: g.srcMAC, EtherType: packet.EtherTypeIPv4},
+					packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+					u.Marshal(nil, src, dst, make([]byte, 18))))
+				continue
+			}
+			fl := packet.TCPAck
+			if rng.Intn(7) == 0 {
+				fl |= packet.TCPPsh
+			}
+			frames = append(frames, g.seg(seq, id, fl, bytes.Repeat([]byte{'x'}, 64)))
+			seq += 64
+			id++
+		}
+		g.poll(frames...)
+		total += uint64(n)
+
+		st := g.r.Stats()
+		in := uint64(n)
+		out := (st.Forwarded - before.Forwarded) + (st.Delivered - before.Delivered) +
+			(st.Dropped - before.Dropped) + (st.GROCoalesced - before.GROCoalesced)
+		if out != in {
+			t.Fatalf("n=%d: %d frames in, %d accounted (fwd %d del %d drop %d coal %d)",
+				n, in, out,
+				st.Forwarded-before.Forwarded, st.Delivered-before.Delivered,
+				st.Dropped-before.Dropped, st.GROCoalesced-before.GROCoalesced)
+		}
+		if tx := g.r1.Stats().TxPackets - txBefore; tx != in {
+			t.Fatalf("n=%d: %d frames in, %d on the egress wire", n, in, tx)
+		}
+	}
+	if g.r.Stats().GROCoalesced == 0 {
+		t.Fatal("workload never coalesced; parity is vacuous")
+	}
+	if rx := g.r0.Stats().RxPackets; rx != total {
+		t.Fatalf("ingress rx %d, want %d", rx, total)
+	}
+}
+
+// TestGROFlushTimeout: with net.core.gro_flush_timeout set, holds ride across
+// polls and flush only once their virtual-time deadline passes — held bytes
+// preceding the triggering burst on the wire.
+func TestGROFlushTimeout(t *testing.T) {
+	g := newGroRig(t)
+	var now sim.Time
+	g.r.SetClock(func() sim.Time { return now })
+	g.r.SetSysctl("net.core.gro_flush_timeout", "1000000") // 1ms of virtual time
+
+	g.poll(
+		g.seg(100, 1, packet.TCPAck, bytes.Repeat([]byte{'a'}, 64)),
+		g.seg(164, 2, packet.TCPAck, bytes.Repeat([]byte{'b'}, 64)),
+	)
+	if len(g.captured) != 0 {
+		t.Fatalf("hold flushed before timeout: %d frames", len(g.captured))
+	}
+
+	// Still inside the window: the next poll merges into the riding hold.
+	now = 500_000
+	g.poll(g.seg(228, 3, packet.TCPAck, bytes.Repeat([]byte{'c'}, 64)))
+	if len(g.captured) != 0 {
+		t.Fatalf("hold flushed inside timeout window: %d frames", len(g.captured))
+	}
+
+	// Past the deadline: an unrelated frame's poll flushes the hold first.
+	now = 2_000_000
+	u := packet.UDP{SrcPort: 1, DstPort: 2}
+	src, dst := packet.MustAddr("10.1.0.1"), packet.AddrFrom4(10, 2, 0, 2)
+	g.poll(packet.BuildIPv4(
+		packet.Ethernet{Dst: g.r0.MAC, Src: g.srcMAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, nil)))
+	if len(g.captured) != 4 {
+		t.Fatalf("captured %d frames after expiry, want 4", len(g.captured))
+	}
+	// The three TCP segments precede the UDP frame that triggered the flush.
+	l3 := packet.EthHdrLen
+	for i := 0; i < 3; i++ {
+		if packet.IPv4Proto(g.captured[i], l3) != packet.ProtoTCP {
+			t.Errorf("frame %d is not the held TCP data", i)
+		}
+	}
+	if packet.IPv4Proto(g.captured[3], l3) != packet.ProtoUDP {
+		t.Error("triggering UDP frame did not come out last")
+	}
+	if st := g.r.Stats(); st.GROSupersegs != 1 || st.GROCoalesced != 2 {
+		t.Errorf("supersegs/coalesced = %d/%d, want 1/2", st.GROSupersegs, st.GROCoalesced)
+	}
+}
+
+// TestGROFlushAllDrainsHolds: GROFlushAll (the napi_disable analog) pushes
+// riding holds into the stack so no segment is ever stranded.
+func TestGROFlushAllDrainsHolds(t *testing.T) {
+	g := newGroRig(t)
+	g.r.SetSysctl("net.core.gro_flush_timeout", "1000000000")
+	g.poll(
+		g.seg(100, 1, packet.TCPAck, bytes.Repeat([]byte{'a'}, 64)),
+		g.seg(164, 2, packet.TCPAck, bytes.Repeat([]byte{'b'}, 64)),
+	)
+	if len(g.captured) != 0 {
+		t.Fatalf("hold flushed early: %d frames", len(g.captured))
+	}
+	var m sim.Meter
+	g.r.GROFlushAll(nil, &m)
+	if len(g.captured) != 2 {
+		t.Fatalf("captured %d frames after GROFlushAll, want 2", len(g.captured))
+	}
+	if st := g.r.Stats(); st.Forwarded+st.GROCoalesced != 2 {
+		t.Errorf("forwarded+coalesced = %d+%d, want 2", st.Forwarded, st.GROCoalesced)
+	}
+}
+
+// TestGRORxWorkerDrainOnClose: tearing down per-queue workers flushes each
+// queue's GRO context (the drain in the worker loop), so frames held under a
+// long gro_flush_timeout still arrive.
+func TestGRORxWorkerDrainOnClose(t *testing.T) {
+	g := newGroRig(t)
+	g.r.SetSysctl("net.core.gro_flush_timeout", "1000000000")
+	pool := g.r.StartRxQueues(g.r0, 4, 64)
+	const frames = 256
+	seq, id := uint32(100), uint16(1)
+	for i := 0; i < frames; i++ {
+		pool.Steer(g.seg(seq, id, packet.TCPAck, bytes.Repeat([]byte{'x'}, 64)))
+		seq += 64
+		id++
+	}
+	pool.Close()
+	st := g.r.Stats()
+	if got := st.Forwarded + st.GROCoalesced; got != frames {
+		t.Fatalf("forwarded+coalesced = %d, want %d", got, frames)
+	}
+	if len(g.captured) != frames {
+		t.Fatalf("captured %d frames, want %d", len(g.captured), frames)
+	}
+}
+
+// tcBatchFunc adapts a verdict function into a TCBatchHandler.
+type tcBatchFunc func(*SKB) TCAction
+
+func (f tcBatchFunc) HandleTC(s *SKB) TCAction { return f(s) }
+func (f tcBatchFunc) HandleTCBatch(skbs []*SKB, acts []TCAction) {
+	for i, s := range skbs {
+		acts[i] = f(s)
+	}
+}
+
+// TestTCBatchEquivalence: the batched TC ingress runner must be observably
+// identical to the per-skb one — same verdicts, same bytes on the wire, same
+// counters — across pass, drop, and redirect verdicts, with GRO both on and
+// off. Only cycle totals may differ.
+func TestTCBatchEquivalence(t *testing.T) {
+	verdict := func(r1Index int) func(*SKB) TCAction {
+		return func(s *SKB) TCAction {
+			if s.Pkt == nil || s.Pkt.IPv4 == nil || len(s.Pkt.Payload) < 4 {
+				return TCOk
+			}
+			_, dport := packet.L4Ports(s.Pkt.Payload, 0)
+			switch dport {
+			case 9999:
+				return TCShot
+			case 8888:
+				s.RedirectTo = r1Index
+				return TCRedirect
+			}
+			return TCOk
+		}
+	}
+	dports := []uint16{80, 80, 80, 8888, 9999}
+
+	for _, gro := range []bool{true, false} {
+		t.Run(fmt.Sprintf("gro=%v", gro), func(t *testing.T) {
+			perSkb := newGroRig(t)
+			perSkb.r0.SetGRO(gro)
+			perSkb.r.AttachTC(perSkb.r0.Index, true, tcFunc(verdict(perSkb.r1.Index)))
+
+			batched := newGroRig(t)
+			batched.r0.SetGRO(gro)
+			batched.r.AttachTC(batched.r0.Index, true, tcBatchFunc(verdict(batched.r1.Index)))
+
+			const frames = 600
+			wA := groWorkload(perSkb, frames, 11, dports)
+			wB := groWorkload(batched, frames, 11, dports)
+			for i := 0; i < frames; i += 32 {
+				end := i + 32
+				if end > frames {
+					end = frames
+				}
+				perSkb.poll(wA[i:end]...)
+				batched.poll(wB[i:end]...)
+			}
+
+			if len(perSkb.captured) == 0 {
+				t.Fatal("nothing reached the sink; test is vacuous")
+			}
+			if len(perSkb.captured) != len(batched.captured) {
+				t.Fatalf("captured %d per-skb, %d batched", len(perSkb.captured), len(batched.captured))
+			}
+			fA, fB := byFlow(perSkb.captured), byFlow(batched.captured)
+			for key, seqA := range fA {
+				seqB := fB[key]
+				if len(seqA) != len(seqB) {
+					t.Fatalf("flow %s: %d per-skb, %d batched", key, len(seqA), len(seqB))
+				}
+				for i := range seqA {
+					if !bytes.Equal(seqA[i], seqB[i]) {
+						t.Fatalf("flow %s frame %d differs:\n per-skb %x\n batched %x", key, i, seqA[i], seqB[i])
+					}
+				}
+			}
+			sA, sB := perSkb.r.Stats(), batched.r.Stats()
+			if sA != sB {
+				t.Errorf("stats diverged:\n per-skb %+v\n batched %+v", sA, sB)
+			}
+			if sA.Dropped == 0 {
+				t.Error("no TC drops exercised")
+			}
+			if txA, txB := perSkb.r1.Stats().TxPackets, batched.r1.Stats().TxPackets; txA != txB {
+				t.Errorf("egress TxPackets %d per-skb, %d batched", txA, txB)
+			}
+		})
+	}
+}
+
+// TestGROToggleRaceHammer drives 8 RX queues of same-flow TCP trains while
+// other goroutines toggle device GRO, flip gro_flush_timeout, force
+// GROFlushAll, and churn routes — the exact interleavings where a hold could
+// be stranded or double-flushed. Run under -race this also proves the GRO
+// context locking. The conservation identity at the end proves no frame was
+// lost or double-counted.
+func TestGROToggleRaceHammer(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+
+	const nflows = 64
+	const perFlow = 256
+
+	done := make(chan struct{})
+	var mut sync.WaitGroup
+	mutate := func(fn func(i int)) {
+		mut.Add(1)
+		go func() {
+			defer mut.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					fn(i)
+				}
+			}
+		}()
+	}
+	mutate(func(i int) { // ethtool -K gro off/on under load
+		r0.SetGRO(false)
+		var m sim.Meter
+		m.CPU = 63 // a shard no worker uses: exercises cross-shard flush
+		r.GROFlushAll(r0, &m)
+		r0.SetGRO(true)
+	})
+	mutate(func(i int) { // sysctl flips between flush-every-poll and riding holds
+		r.SetSysctl("net.core.gro_flush_timeout", "1000000")
+		r.SetSysctl("net.core.gro_flush_timeout", "0")
+	})
+	churn := packet.MustPrefix("10.50.0.0/16")
+	mutate(func(i int) { // FIB churn invalidating memoized state
+		r.AddRoute(fib.Route{Prefix: churn, Gateway: packet.MustAddr("10.2.0.1"), OutIf: 2})
+		r.DelRoute(churn)
+	})
+	never := packet.MustPrefix("10.99.0.0/24")
+	mutate(func(i int) { // netfilter churn that matches nothing
+		r.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{Dst: &never}, Target: netfilter.VerdictDrop,
+		})
+		r.IptFlush("FORWARD")
+	})
+
+	pool := r.StartRxQueues(r0, 8, 64)
+	src := packet.MustAddr("10.1.0.1")
+	seqs := make([]uint32, nflows)
+	ids := make([]uint16, nflows)
+	payload := bytes.Repeat([]byte{'h'}, 64)
+	for i := 0; i < perFlow; i++ {
+		for f := 0; f < nflows; f++ {
+			dst := packet.AddrFrom4(10, 2, 0, byte(f%16+1))
+			tcp := packet.TCP{SrcPort: uint16(4000 + f), DstPort: 80, Seq: seqs[f], Ack: 1, Flags: packet.TCPAck, Window: 512}
+			pool.Steer(packet.BuildIPv4(
+				packet.Ethernet{Dst: r0.MAC, Src: srcMAC, EtherType: packet.EtherTypeIPv4},
+				packet.IPv4{TTL: 64, ID: ids[f], Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+				tcp.Marshal(nil, src, dst, payload)))
+			seqs[f] += 64
+			ids[f]++
+		}
+	}
+	pool.Close() // workers drain their GRO shards on exit
+	close(done)
+	mut.Wait()
+	// Anything a mutator's flush raced into a shard no worker drained.
+	var m sim.Meter
+	r.GROFlushAll(nil, &m)
+
+	const total = nflows * perFlow
+	st := r.Stats()
+	got := st.Forwarded + st.GROCoalesced + st.Dropped + st.Delivered
+	if got != total {
+		t.Fatalf("conservation: %d frames in, %d accounted (fwd %d coal %d drop %d del %d)",
+			total, got, st.Forwarded, st.GROCoalesced, st.Dropped, st.Delivered)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("hammer dropped %d frames", st.Dropped)
+	}
+}

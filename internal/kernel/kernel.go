@@ -63,6 +63,16 @@ type TCHandler interface {
 	HandleTC(*SKB) TCAction
 }
 
+// TCBatchHandler is a TC program that can run over a whole NAPI poll's worth
+// of skbs at once — the sch_handle_ingress/egress twin of the XDP batch
+// runner: program setup is paid once and every later skb enters with warm
+// I-cache. HandleTCBatch fills acts[i] with the verdict for skbs[i]; both
+// slices have equal length.
+type TCBatchHandler interface {
+	TCHandler
+	HandleTCBatch(skbs []*SKB, acts []TCAction)
+}
+
 // SocketMsg is a datagram delivered to a registered socket.
 type SocketMsg struct {
 	Proto            uint8
@@ -91,6 +101,9 @@ type Stats struct {
 	Reassembled   uint64
 	FlowHits      uint64 // flow fast-cache hits (L3 + L2)
 	FlowMisses    uint64 // fast-cache probes that fell through to the slow path
+	GROCoalesced  uint64 // frames merged into an existing GRO hold (absorbed at ingress)
+	GROFlushes    uint64 // GRO holds flushed into the stack (supersegments + singles)
+	GROSupersegs  uint64 // flushed holds that carried 2+ coalesced segments
 }
 
 // socketKey binds a protocol and port.
@@ -138,10 +151,17 @@ type Kernel struct {
 	// combined generation.
 	cfgGen atomic.Uint64
 
-	// Per-CPU state: counter shards and flow caches, indexed by Meter.CPU.
+	// Per-CPU state: counter shards, flow caches, and GRO hold tables,
+	// indexed by Meter.CPU.
 	shards  [NumRxShards]shardCounters
 	flows   [NumRxShards]atomic.Pointer[flowShard]
 	l2cache [NumRxShards]atomic.Pointer[l2Shard]
+	gro     [NumRxShards]atomic.Pointer[groCtx]
+
+	// groFlushTO mirrors net.core.gro_flush_timeout (nanoseconds of virtual
+	// time): 0 flushes all holds at the end of every NAPI poll; >0 lets
+	// holds ride across polls until their deadline.
+	groFlushTO atomic.Int64
 
 	mu      sync.RWMutex
 	bridges map[int]*bridge.Bridge // keyed by bridge device ifindex
@@ -174,8 +194,9 @@ func New(name string) *Kernel {
 		bridges: make(map[int]*bridge.Bridge),
 		vxlans:  make(map[int]*vxlanState),
 		sysctl: map[string]string{
-			"net.ipv4.ip_forward":     "0",
-			"net.core.bpf_jit_enable": "1",
+			"net.ipv4.ip_forward":        "0",
+			"net.core.bpf_jit_enable":    "1",
+			"net.core.gro_flush_timeout": "0",
 		},
 		sockets: make(map[socketKey]SocketHandler),
 		defrag:  make(map[fragKey]*fragQueue),
@@ -223,6 +244,9 @@ func (k *Kernel) Stats() Stats {
 		s.Reassembled += c.reassembled.Load()
 		s.FlowHits += c.flowHits.Load()
 		s.FlowMisses += c.flowMisses.Load()
+		s.GROCoalesced += c.groCoalesced.Load()
+		s.GROFlushes += c.groFlushes.Load()
+		s.GROSupersegs += c.groSupersegs.Load()
 	}
 	return s
 }
@@ -615,6 +639,14 @@ func (k *Kernel) SetSysctl(key, value string) {
 		k.flowCacheOn.Store(on)
 	case "net.core.bpf_jit_enable":
 		k.jitEnabled.Store(on)
+	case "net.core.gro_flush_timeout":
+		// Nanoseconds of virtual time; unparseable writes fall back to 0
+		// (flush every poll), the kernel default.
+		ns, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || ns < 0 {
+			ns = 0
+		}
+		k.groFlushTO.Store(ns)
 	}
 	k.cfgGen.Add(1)
 	k.Bus.Publish(netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: value}})

@@ -38,7 +38,9 @@ type shardCounters struct {
 	reassembled   atomic.Uint64
 	flowHits      atomic.Uint64
 	flowMisses    atomic.Uint64
-	_             [3]uint64 // pad to 128 bytes (two cache lines)
+	groCoalesced  atomic.Uint64
+	groFlushes    atomic.Uint64
+	groSupersegs  atomic.Uint64 // 16 words: exactly 128 bytes (two cache lines)
 }
 
 // shardIdx maps a meter to its shard. A nil meter (functional tests, config
@@ -96,15 +98,45 @@ func (k *Kernel) bumpSTPTx(m *sim.Meter) { k.ctr(m).stpTx.Add(1) }
 // bookkeeping, budget accounting) is charged once for the burst instead of
 // per frame, and one scratch buffer serves every frame — the skb-recycling
 // win real NAPI gets from bulk allocation.
+//
+// When the device has GRO enabled the burst first runs through the per-CPU
+// GRO layer, which coalesces same-flow TCP segments into supersegments; the
+// stack (and any TC ingress program) then walks once per supersegment
+// instead of once per frame. With GRO off but a batch-capable TC program
+// attached, the burst still takes the batched TC runner. Either way frames
+// that neither coalesce nor batch fall back to the exact per-frame path.
 func (k *Kernel) DeliverBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) {
 	if len(frames) == 0 {
 		return
 	}
 	m.Charge(sim.CostNAPIPoll)
 	sc := rxScratchPool.Get().(*rxScratch)
-	for _, frame := range frames {
-		k.deliverFrame(dev, frame, m, sc)
+	th := k.tcIngressFor(dev.Index)
+	_, tcBatch := th.(TCBatchHandler)
+	// GRO is gated off for bridge slaves (br_handle_frame runs before IP
+	// input and forwards raw L2 frames) and while IPVS is active (its
+	// interception path is not supersegment-aware); both keep the batch
+	// path byte-for-byte equivalent to the per-frame one.
+	gro := dev.GROEnabled() && dev.Master() == 0 && !k.IPVSActive()
+	if !gro && !tcBatch {
+		for _, frame := range frames {
+			k.deliverFrame(dev, frame, m, sc)
+		}
+		rxScratchPool.Put(sc)
+		return
 	}
+	b := groBatchPool.Get().(*groBatch)
+	outs := b.outs[:0]
+	if gro {
+		outs = k.groRun(dev, frames, outs, m)
+	} else {
+		for _, frame := range frames {
+			outs = append(outs, groOut{frame: frame, dev: dev, gso: gsoMeta{segs: 1}})
+		}
+	}
+	k.deliverOuts(outs, gro, m, sc)
+	b.outs = outs[:0]
+	groBatchPool.Put(b)
 	rxScratchPool.Put(sc)
 }
 
@@ -159,6 +191,10 @@ func (k *Kernel) StartRxQueues(dev *netdev.Device, n, burst int) *RxWorkerPool {
 				dev.ReceiveBatch(batch, q, &w.meter)
 				w.packets += uint64(len(batch))
 			}
+			// napi_disable: drain anything GRO still holds on this queue's
+			// shard (gro_flush_timeout can carry holds across polls) before
+			// the worker exits, so no segment is stranded.
+			k.groFlushShard(shardIdx(&w.meter), dev, &w.meter)
 		}(q, w)
 	}
 	return p

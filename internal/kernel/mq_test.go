@@ -26,7 +26,7 @@ func fwdFrame(dstMAC, srcMAC packet.HWAddr, src, dst packet.Addr, sport, dport u
 // newFwdRouter builds a standalone two-port router with permanent neighbours
 // on both sides, so forwarding never blocks on ARP and ICMP errors always
 // have a resolved return path.
-func newFwdRouter(t *testing.T) (r *Kernel, r0, r1 *netdev.Device, srcMAC, dstMAC packet.HWAddr) {
+func newFwdRouter(t testing.TB) (r *Kernel, r0, r1 *netdev.Device, srcMAC, dstMAC packet.HWAddr) {
 	t.Helper()
 	r = New("router")
 	r0 = r.CreateDevice("eth0", netdev.Physical)

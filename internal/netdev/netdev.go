@@ -156,6 +156,7 @@ type Device struct {
 	addrs  []packet.Prefix
 	up     atomic.Bool
 	master atomic.Int32 // enslaving bridge ifindex, 0 if none
+	gro    atomic.Bool  // generic receive offload (ethtool -K <dev> gro)
 	stats  devCounters
 	link   atomic.Pointer[linkState]
 	rss    atomic.Pointer[rssState]
@@ -186,8 +187,17 @@ type Wire interface {
 func New(name string, index int, typ Type, mac packet.HWAddr, stack Stack) *Device {
 	d := &Device{Name: name, Index: index, Type: typ, MAC: mac, MTU: 1500}
 	d.link.Store(&linkState{stack: stack})
+	d.gro.Store(true) // like Linux: GRO defaults on, ethtool turns it off
 	return d
 }
+
+// SetGRO toggles generic receive offload for the device — the model's
+// `ethtool -K <dev> gro on|off`. The batch-aware stack consults it on every
+// poll, so flipping it mid-traffic is safe.
+func (d *Device) SetGRO(on bool) { d.gro.Store(on) }
+
+// GROEnabled reports whether generic receive offload is enabled.
+func (d *Device) GROEnabled() bool { return d.gro.Load() }
 
 // updateLink rebuilds the link snapshot under the config lock.
 func (d *Device) updateLink(f func(*linkState)) {

@@ -320,6 +320,9 @@ const (
 	TCPRst
 	TCPPsh
 	TCPAck
+	TCPUrg
+	TCPEce
+	TCPCwr
 )
 
 // TCP is a decoded TCP header (no options).

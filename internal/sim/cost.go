@@ -118,6 +118,27 @@ const (
 	CostXDPBulkFlushPer Cycles = 120 // per frame transmitted in a bulk flush
 )
 
+// GRO/GSO and batched-TC costs. The GRO layer sits between XDP batch exit
+// and IP input: every TCP candidate pays a receive probe (flow-key parse +
+// hold-table lookup, napi_gro_receive), merged frames pay an append plus the
+// per-byte memcpy, and each emitted supersegment pays one flush
+// (napi_gro_complete: length/checksum fixup). The stack then walks once per
+// supersegment instead of once per frame — that difference, not these
+// constants, is the amortization. On forward, GSO resegmentation pays a
+// per-output-frame split cost (skb_segment). The TC classifier entry is the
+// 130-cycle residual of CostTCPrologue after driver rx (750), netif (250)
+// and implicit GRO (400) are accounted; a batched TC runner pays it once per
+// poll and the warm-I-cache CostTCBatchEntry for every later skb, mirroring
+// the XDP batch model.
+const (
+	CostGROReceive   Cycles = 70  // per TCP candidate: key parse + hold probe
+	CostGROMerge     Cycles = 60  // per merged segment (plus per-byte memcpy)
+	CostGROFlush     Cycles = 90  // per emitted supersegment: len/csum fixup
+	CostGSOSegment   Cycles = 180 // per output frame of a GSO split
+	CostTCClsEntry   Cycles = 130 // cls_bpf entry: the TC prologue residual
+	CostTCBatchEntry Cycles = 45  // per skb after the first in a batched TC run
+)
+
 // Shadow-state costs for the Polycube baseline: its cubes keep private maps
 // instead of calling into kernel state, so lookups are plain map probes but
 // every function boundary is a tail call and filtering uses its own

@@ -1,0 +1,176 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// GROPoint is one measured configuration of the slow-path GRO layer: a
+// workload driven through the stock Linux DUT in NAPI bursts with GRO on or
+// off. Cycles is the mean model cost per ingress frame (wires unplugged);
+// CoalesceRatio is the fraction of frames absorbed into supersegments.
+type GROPoint struct {
+	Workload      string  `json:"workload"`
+	GRO           bool    `json:"gro"`
+	BatchSize     int     `json:"batch_size"`
+	Cycles        float64 `json:"modelcycles_per_pkt"`
+	NsPerPkt      float64 `json:"ns_per_pkt"`
+	PPS           float64 `json:"pps_1core"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+	Supersegs     uint64  `json:"supersegs"`
+}
+
+// GROReport is the machine-readable result of GROSweep — what
+// `lfpbench -exp gro` serializes into BENCH_gro.json.
+type GROReport struct {
+	Platform       string     `json:"platform"`
+	PayloadBytes   int        `json:"tcp_payload_bytes"`
+	ClockHz        float64    `json:"clock_hz"`
+	FlushTimeoutNs int64      `json:"gro_flush_timeout_ns"`
+	MaxSegs        int        `json:"gro_max_segs"`
+	Points         []GROPoint `json:"points"`
+}
+
+// groPayload is the TCP payload per segment in the sweep workloads. Small
+// segments keep the per-byte memcpy term honest while leaving the per-frame
+// stack walk dominant — the regime GRO targets.
+const groPayload = 128
+
+// groGen generates the sweep's workloads: `flows` concurrent in-order TCP
+// streams round-robined frame by frame (flows=1 is the GRO best case;
+// interleaved flows exercise the hold table), or, with udp true, the
+// multi-flow UDP traffic GRO must leave untouched.
+type groGen struct {
+	d     *DUT
+	flows int
+	udp   bool
+	seq   []uint32
+	id    []uint16
+	n     int
+}
+
+func newGroGen(d *DUT, flows int, udp bool) *groGen {
+	return &groGen{d: d, flows: flows, udp: udp,
+		seq: make([]uint32, flows), id: make([]uint16, flows)}
+}
+
+func (g *groGen) frame() []byte {
+	f := g.n % g.flows
+	g.n++
+	src := packet.MustAddr("10.1.0.1")
+	dst := packet.AddrFrom4(10, 100+byte(f), 0, 10)
+	eth := packet.Ethernet{Dst: g.d.In.MAC, Src: g.d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4}
+	if g.udp {
+		u := packet.UDP{SrcPort: uint16(4000 + f), DstPort: 2000}
+		g.id[f]++
+		return packet.BuildIPv4(eth,
+			packet.IPv4{TTL: 64, ID: g.id[f], Proto: packet.ProtoUDP, Src: src, Dst: dst},
+			u.Marshal(nil, src, dst, make([]byte, groPayload)))
+	}
+	tcp := packet.TCP{SrcPort: uint16(4000 + f), DstPort: 80, Seq: g.seq[f], Ack: 1,
+		Flags: packet.TCPAck, Window: 512}
+	fr := packet.BuildIPv4(eth,
+		packet.IPv4{TTL: 64, ID: g.id[f], Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+		tcp.Marshal(nil, src, dst, make([]byte, groPayload)))
+	g.seq[f] += groPayload
+	g.id[f]++
+	return fr
+}
+
+// GROSweep measures the stock Linux slow path with and without GRO across
+// batch sizes for same-flow TCP, interleaved 8-flow TCP, and multi-flow UDP.
+// n is the number of frames per configuration.
+func GROSweep(batchSizes []int, n int) (*GROReport, error) {
+	d, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &GROReport{
+		Platform:     PlatformLinux,
+		PayloadBytes: groPayload,
+		ClockHz:      sim.ClockHz,
+		MaxSegs:      kernel.GROMaxSegs,
+	}
+
+	workloads := []struct {
+		name  string
+		flows int
+		udp   bool
+	}{
+		{"tcp-1flow", 1, false},
+		{"tcp-8flow", 8, false},
+		{"udp-multiflow", 8, true},
+	}
+	for _, w := range workloads {
+		for _, gro := range []bool{false, true} {
+			for _, bs := range batchSizes {
+				p := groCycles(d, w.flows, w.udp, gro, bs, n)
+				p.Workload = w.name
+				r.Points = append(r.Points, p)
+			}
+		}
+	}
+	return r, nil
+}
+
+// groCycles drives n frames of one workload through the DUT in ReceiveBatch
+// bursts of `batch` and returns the measured point. Wires are unplugged so
+// only DUT work meters.
+func groCycles(d *DUT, flows int, udp, gro bool, batch, n int) GROPoint {
+	d.In.SetGRO(gro)
+	defer d.In.SetGRO(true)
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	before := d.Kern.Stats()
+	g := newGroGen(d, flows, udp)
+	var m sim.Meter
+	frames := make([][]byte, 0, batch)
+	for i := 0; i < n; i += batch {
+		frames = frames[:0]
+		for j := i; j < i+batch && j < n; j++ {
+			frames = append(frames, g.frame())
+		}
+		d.In.ReceiveBatch(frames, 0, &m)
+	}
+	after := d.Kern.Stats()
+
+	c := float64(m.Total) / float64(n)
+	return GROPoint{
+		GRO:           gro,
+		BatchSize:     batch,
+		Cycles:        c,
+		NsPerPkt:      c / sim.ClockHz * 1e9,
+		PPS:           ppsFromCycles(c),
+		CoalesceRatio: float64(after.GROCoalesced-before.GROCoalesced) / float64(n),
+		Supersegs:     after.GROSupersegs - before.GROSupersegs,
+	}
+}
+
+// RenderGRO prints the sweep in the house table style.
+func RenderGRO(r *GROReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Slow-path GRO: workload x batch sweep (%dB TCP payload, single core)\n", r.PayloadBytes)
+	fmt.Fprintf(&b, "%-14s %-5s %6s %14s %10s %10s %9s\n",
+		"workload", "gro", "batch", "cycles/pkt", "ns/pkt", "Mpps", "coalesce")
+	for _, p := range r.Points {
+		gro := "off"
+		if p.GRO {
+			gro = "on"
+		}
+		fmt.Fprintf(&b, "%-14s %-5s %6d %14.1f %10.1f %10.2f %8.0f%%\n",
+			p.Workload, gro, p.BatchSize, p.Cycles, p.NsPerPkt, p.PPS/1e6, p.CoalesceRatio*100)
+	}
+	return b.String()
+}
