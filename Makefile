@@ -22,16 +22,18 @@ race:
 ## bench-smoke: a fast pass over the real-execution forwarding benchmarks
 ## (including the 4-shard parallel scaling bench and the batched fast
 ## path), plus a 1-iteration run of the ebpf/netdev/kernel micro-benchmarks
-## (GRO coalescing and the batched TC runner live in internal/kernel) so
-## batch-path regressions fail fast; no full -bench=. run needed
+## (GRO coalescing, the batched TC runner, and the cpumap producer/kthread
+## benches live in internal/ebpf and internal/kernel) so batch-path and
+## cpumap regressions fail fast; no full -bench=. run needed
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/
 
-## bench-json: regenerate BENCH_fastpath.json and BENCH_gro.json — the
-## machine-readable batching x JIT sweep plus the pps-vs-cores curve for
-## the fast path, and the GRO-on/off workload x batch sweep for the slow
-## path
+## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json, and
+## BENCH_cpumap.json — the machine-readable batching x JIT sweep plus the
+## pps-vs-cores curve for the fast path, the GRO-on/off workload x batch
+## sweep for the slow path, and the cpumap CPU fan-out sweep
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
+	$(GO) run ./cmd/lfpbench -exp cpumap -cpumap-json BENCH_cpumap.json

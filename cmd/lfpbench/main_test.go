@@ -1,15 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"linuxfp/internal/testbed"
 )
 
 func TestRunKnownExperiments(t *testing.T) {
 	// Only the cheap experiments here; the full set runs in bench_test.go.
 	for _, exp := range []string{"table6", "fig10", "ablation"} {
-		if err := run(exp, 2, 2, "", ""); err != nil {
+		if err := run(exp, 2, 2, "", "", ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -17,7 +20,7 @@ func TestRunKnownExperiments(t *testing.T) {
 
 func TestRunFastpathWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fastpath.json")
-	if err := run("fastpath", 2, 2, path, ""); err != nil {
+	if err := run("fastpath", 2, 2, path, "", ""); err != nil {
 		t.Fatalf("fastpath: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -31,7 +34,7 @@ func TestRunFastpathWritesJSON(t *testing.T) {
 
 func TestRunGROWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gro.json")
-	if err := run("gro", 2, 2, "", path); err != nil {
+	if err := run("gro", 2, 2, "", path, ""); err != nil {
 		t.Fatalf("gro: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -43,8 +46,35 @@ func TestRunGROWritesJSON(t *testing.T) {
 	}
 }
 
+func TestRunCpumapWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpumap.json")
+	if err := run("cpumap", 2, 2, "", "", path); err != nil {
+		t.Fatalf("cpumap: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	var report testbed.CpumapReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("json does not round-trip: %v", err)
+	}
+	if report.Platform == "" || report.ClockHz == 0 || len(report.Points) == 0 {
+		t.Fatalf("schema fields missing: %+v", report)
+	}
+	// The sweep covers gro off and on: baseline + 4 targets each.
+	if len(report.Points) != 10 {
+		t.Fatalf("got %d points, want 10", len(report.Points))
+	}
+	for _, p := range report.Points {
+		if p.TargetCPUs > 0 && p.Speedup <= 0 {
+			t.Fatalf("point %+v has no speedup", p)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, "", ""); err == nil {
+	if err := run("fig99", 1, 1, "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

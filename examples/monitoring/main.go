@@ -96,8 +96,9 @@ func run() error {
 		send(packet.MustAddr("10.100.3.53"), packet.ProtoUDP, 53)
 	}
 
+	agg := counters.LookupAggregate() // all per-CPU rows reduced in one pass
 	fmt.Printf("\nmonitor counters: UDP=%d TCP=%d (per-CPU rows summed control-plane side)\n",
-		counters.Sum(int(packet.ProtoUDP)), counters.Sum(int(packet.ProtoTCP)))
+		agg[packet.ProtoUDP], agg[packet.ProtoTCP])
 	fmt.Printf("AF_XDP capture:   %d DNS frames delivered to user space\n", len(dnsTap.C))
 	for len(dnsTap.C) > 0 {
 		raw := <-dnsTap.C

@@ -1,0 +1,169 @@
+package ebpf
+
+import (
+	"testing"
+
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+func newCpumapKernel(t testing.TB) (*kernel.Kernel, *netdev.Device) {
+	t.Helper()
+	k := kernel.New("dut")
+	d := k.CreateDevice("eth0", netdev.Physical)
+	d.SetUp(true)
+	return k, d
+}
+
+func TestCPUMapUpdateLookupDelete(t *testing.T) {
+	k, _ := newCpumapKernel(t)
+	cm := NewCPUMap("cpu_map", k)
+	if cm.Len() != MapCPUs {
+		t.Fatalf("Len = %d, want %d", cm.Len(), MapCPUs)
+	}
+	if _, ok := cm.Lookup(3); ok {
+		t.Fatal("empty slot reported occupied")
+	}
+	if cm.Update(-1, 64) || cm.Update(MapCPUs, 64) || cm.Update(0, 0) {
+		t.Fatal("invalid update accepted")
+	}
+	if !cm.Update(3, 192) {
+		t.Fatal("valid update rejected")
+	}
+	defer cm.Delete(3)
+	if q, ok := cm.Lookup(3); !ok || q != 192 {
+		t.Fatalf("Lookup(3) = %d/%v, want 192/true", q, ok)
+	}
+	// Replacing swaps in a new entry (the old kthread is stopped/drained).
+	if !cm.Update(3, 64) {
+		t.Fatal("replace rejected")
+	}
+	if q, _ := cm.Lookup(3); q != 64 {
+		t.Fatalf("replaced qsize = %d, want 64", q)
+	}
+	if !cm.Delete(3) {
+		t.Fatal("delete of live slot failed")
+	}
+	if cm.Delete(3) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := cm.Lookup(3); ok {
+		t.Fatal("deleted slot still occupied")
+	}
+}
+
+// TestCPUMapRingOverflowAccounting: with the kthread asleep (the doorbell
+// only rings at flush), a 64-frame poll into a qsize-8 entry is fully
+// deterministic: the first 8-frame spill fits, every later spill overflows.
+// All 56 lost frames surface as dropped counts for the caller to reclassify.
+func TestCPUMapRingOverflowAccounting(t *testing.T) {
+	k, d := newCpumapKernel(t)
+	cm := NewCPUMap("cpu_map", k)
+	if !cm.Update(1, 8) {
+		t.Fatal("update failed")
+	}
+	defer cm.Delete(1)
+
+	frame := make([]byte, 64)
+	var m sim.Meter
+	dropped := 0
+	for i := 0; i < 64; i++ {
+		dr, ok := cm.EnqueueCPU(0, 1, d, frame, &m)
+		if !ok {
+			t.Fatalf("frame %d: enqueue to live entry failed", i)
+		}
+		dropped += dr
+	}
+	dropped += cm.FlushCPU(0, &m)
+	if dropped != 56 {
+		t.Fatalf("dropped = %d, want 56 (one 8-frame spill fits a qsize-8 ring)", dropped)
+	}
+	cm.Quiesce()
+	st := k.Stats()
+	if st.CpumapEnqueued != 8 || st.CpumapDrops != 56 {
+		t.Fatalf("enqueued/drops = %d/%d, want 8/56", st.CpumapEnqueued, st.CpumapDrops)
+	}
+}
+
+// TestCPUMapEnqueueMissingSlot: redirect to an empty slot is an
+// unresolvable redirect (ok=false), not a stage or a drop count.
+func TestCPUMapEnqueueMissingSlot(t *testing.T) {
+	k, d := newCpumapKernel(t)
+	cm := NewCPUMap("cpu_map", k)
+	var m sim.Meter
+	if _, ok := cm.EnqueueCPU(0, 9, d, make([]byte, 64), &m); ok {
+		t.Fatal("enqueue to empty slot succeeded")
+	}
+	if _, ok := cm.EnqueueCPU(0, -1, d, nil, &m); ok {
+		t.Fatal("enqueue to negative cpu succeeded")
+	}
+	if st := k.Stats(); st.CpumapEnqueued != 0 || st.CpumapDrops != 0 {
+		t.Fatalf("counters moved on unresolvable redirect: %+v", st)
+	}
+}
+
+func TestPerCPUArrayLookupAggregate(t *testing.T) {
+	a := NewPerCPUArrayMap("mon", 4)
+	a.Add(0, 1, 5)
+	a.Add(3, 1, 7)
+	a.Add(63, 2, 11)
+	got := a.LookupAggregate()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	want := []uint64{0, 12, 11, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Matches the slot-by-slot Sum the callers used to hand-roll.
+	for i := 0; i < 4; i++ {
+		if got[i] != a.Sum(i) {
+			t.Fatalf("slot %d: aggregate %d != Sum %d", i, got[i], a.Sum(i))
+		}
+	}
+}
+
+func TestPerCPUHashLookupAggregate(t *testing.T) {
+	h := NewPerCPUHashMap("conns", 16)
+	if v, ok := h.LookupAggregate(42); ok || v != 0 {
+		t.Fatalf("missing key = %d/%v", v, ok)
+	}
+	h.Add(0, 42, 1)
+	h.Add(5, 42, 2)
+	h.Update(9, 42, 4)
+	if v, ok := h.LookupAggregate(42); !ok || v != 7 {
+		t.Fatalf("LookupAggregate = %d/%v, want 7/true", v, ok)
+	}
+	if v := h.Sum(42); v != 7 {
+		t.Fatalf("Sum = %d, want 7", v)
+	}
+}
+
+// BenchmarkCpumapProducerPoll measures the producer half only: staging,
+// bulk spills, and one flush+doorbell for a 64-frame poll, with the kthread
+// consuming concurrently.
+func BenchmarkCpumapProducerPoll(b *testing.B) {
+	k, d := newCpumapKernel(b)
+	cm := NewCPUMap("cpu_map", k)
+	cm.Update(1, 4096)
+	defer cm.Delete(1)
+	frame := packet.BuildEthernet(packet.Ethernet{EtherType: packet.EtherTypeIPv4}, make([]byte, 46))
+	var m sim.Meter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			cm.EnqueueCPU(0, 1, d, frame, &m)
+		}
+		cm.FlushCPU(0, &m)
+		if i%16 == 15 {
+			cm.Quiesce() // keep the ring from running away from the kthread
+		}
+	}
+	b.StopTimer()
+	cm.Quiesce()
+}

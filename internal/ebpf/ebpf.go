@@ -125,6 +125,12 @@ type Ctx struct {
 	// Redirect target for VerdictRedirect.
 	RedirectIfIndex int
 
+	// Cpumap redirect target, set by HelperRedirectCPU: when RedirectCPUMap
+	// is non-nil a VerdictRedirect means "hand the frame to RedirectCPU's
+	// kthread in that map" instead of a device transmit.
+	RedirectCPUMap *CPUMap
+	RedirectCPU    int
+
 	depth int  // tail-call depth
 	jit   bool // run fused (JIT) program bodies, including tail-call targets
 }

@@ -82,20 +82,28 @@ func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
 		jit: a.k.BPFJITEnabled(),
 	}
 	v := a.prog.exec(ctx)
-	redirect := ctx.RedirectIfIndex
+	act := verdictToXDP(v, buff, ctx)
 	ctxPool.Put(ctx)
-	return verdictToXDP(v, buff, redirect)
+	return act
 }
 
-// verdictToXDP maps a program verdict onto the driver-level XDP action.
-func verdictToXDP(v Verdict, buff *netdev.XDPBuff, redirect int) netdev.XDPAction {
+// verdictToXDP maps a program verdict onto the driver-level XDP action,
+// copying the redirect target (device or cpumap slot) from the context onto
+// the buff. The cpumap field is only assigned when non-nil: storing a typed
+// nil *CPUMap into the buff's interface field would make it compare non-nil
+// and derail the driver's devmap path.
+func verdictToXDP(v Verdict, buff *netdev.XDPBuff, ctx *Ctx) netdev.XDPAction {
 	switch v {
 	case VerdictDrop:
 		return netdev.XDPDrop
 	case VerdictTX:
 		return netdev.XDPTx
 	case VerdictRedirect:
-		buff.RedirectTo = redirect
+		buff.RedirectTo = ctx.RedirectIfIndex
+		if ctx.RedirectCPUMap != nil {
+			buff.RedirectCPUMap = ctx.RedirectCPUMap
+			buff.RedirectCPU = ctx.RedirectCPU
+		}
 		return netdev.XDPRedirect
 	case VerdictAborted:
 		return netdev.XDPAborted
@@ -129,7 +137,7 @@ func (a *xdpAdapter) HandleXDPBatch(bufs []*netdev.XDPBuff, acts []netdev.XDPAct
 			IfIndex: buff.IfIndex, XDP: buff,
 			jit: jit,
 		}
-		acts[i] = verdictToXDP(a.prog.exec(ctx), buff, ctx.RedirectIfIndex)
+		acts[i] = verdictToXDP(a.prog.exec(ctx), buff, ctx)
 	}
 	ctxPool.Put(ctx)
 }
@@ -295,6 +303,18 @@ func HelperFIBLookup(c *Ctx, dst packet.Addr) (FIBResult, bool) {
 		return FIBResult{}, false
 	}
 	return FIBResult{EgressIfIndex: out.Index, SrcMAC: out.MAC, DstMAC: mac}, true
+}
+
+// HelperRedirectCPU is bpf_redirect_map on a cpumap: the frame is handed to
+// another CPU's kthread for full-stack processing there, and the RX core
+// moves on. The verdict is terminal; the driver's xdp_do_flush stages and
+// spills the frame in bulk. An empty slot surfaces at enqueue time as an
+// XDP exception drop, matching the kernel's late cpu_map_lookup_elem.
+func HelperRedirectCPU(c *Ctx, cm *CPUMap, cpu int) Verdict {
+	c.Meter.Charge(sim.CostMapLookup)
+	c.RedirectCPUMap = cm
+	c.RedirectCPU = cpu
+	return VerdictRedirect
 }
 
 // HelperFDBLookup is the paper's new bpf_fdb_lookup: resolve the egress

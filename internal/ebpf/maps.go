@@ -4,7 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/kernel"
 	"linuxfp/internal/netdev"
+	"linuxfp/internal/sim"
 )
 
 // ProgArray is the BPF_MAP_TYPE_PROG_ARRAY: tail-call targets indexed by
@@ -211,6 +213,21 @@ func (a *PerCPUArrayMap) Sum(i int) uint64 {
 	return total
 }
 
+// LookupAggregate sums every slot across every CPU in one pass — what a
+// userspace bpf_map_lookup_elem on a percpu map hands back, pre-reduced.
+// Monitors and tests that want the whole map's totals use this instead of
+// hand-rolling a Sum loop per slot.
+func (a *PerCPUArrayMap) LookupAggregate() []uint64 {
+	out := make([]uint64, a.n)
+	for cpu := 0; cpu < MapCPUs; cpu++ {
+		row := a.slots[cpu*a.stride:]
+		for i := 0; i < a.n; i++ {
+			out[i] += row[i].Load()
+		}
+	}
+	return out
+}
+
 // pcpuShard is one CPU's slice of a PerCPUHashMap. The mutex is effectively
 // uncontended (each RX queue only touches its own shard); the padding keeps
 // shards on distinct cache lines.
@@ -288,6 +305,24 @@ func (h *PerCPUHashMap) Delete(cpu int, k uint64) bool {
 	return ok
 }
 
+// LookupAggregate sums a key's value across every CPU and reports whether
+// any shard held it — Sum plus existence, the shape userspace gets from a
+// percpu hash lookup after reducing the per-CPU rows.
+func (h *PerCPUHashMap) LookupAggregate(k uint64) (uint64, bool) {
+	var total uint64
+	found := false
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if v, ok := s.m[k]; ok {
+			total += v
+			found = true
+		}
+		s.mu.Unlock()
+	}
+	return total, found
+}
+
 // Sum aggregates a key's value across every CPU (control-plane read).
 func (h *PerCPUHashMap) Sum(k uint64) uint64 {
 	var total uint64
@@ -310,4 +345,176 @@ func (h *PerCPUHashMap) Len() int {
 		s.mu.Unlock()
 	}
 	return total
+}
+
+// cpuStage is one (RX queue, target CPU) bulk queue: up to CPUMapBulkSize
+// frames staged for one cpumap entry during a NAPI poll. The entry pointer
+// is captured at stage time so an in-flight stage still spills into the
+// entry the frames were redirected to, even if the map slot was swapped or
+// deleted mid-poll (the stopped entry counts them as drops — no frame is
+// silently lost).
+type cpuStage struct {
+	e      *kernel.CpumapEntry
+	dev    *netdev.Device
+	n      int
+	frames [netdev.CPUMapBulkSize][]byte
+}
+
+// cpumapRxQueue is one RX queue's staging state. The mutex is uncontended
+// when each device polls its own queue index (the common case), and keeps
+// the map safe when programs on two devices share a queue index; the
+// padding keeps queues on distinct cache lines.
+type cpumapRxQueue struct {
+	mu     sync.Mutex
+	stages []cpuStage
+	_      [4]uint64
+}
+
+// CPUMap is the BPF_MAP_TYPE_CPUMAP: XDP_REDIRECT targets that are CPUs, not
+// devices. Each occupied slot is a kernel.CpumapEntry — a bounded ptr_ring
+// plus a kthread that drains it into the target CPU's DeliverBatch. The map
+// implements netdev.CPURedirectTarget: the redirect helper plants it on the
+// XDP buff, the driver's batch loop stages frames per (RX queue, CPU) and
+// spills in CPUMapBulkSize bursts, and xdp_do_flush rings each touched
+// entry's doorbell once per poll.
+type CPUMap struct {
+	name    string
+	kern    *kernel.Kernel
+	entries [MapCPUs]atomic.Pointer[kernel.CpumapEntry]
+	queues  [netdev.MaxRxQueues]cpumapRxQueue
+}
+
+// NewCPUMap allocates a cpumap bound to the kernel whose stack the target
+// kthreads inject into. All slots start empty.
+func NewCPUMap(name string, k *kernel.Kernel) *CPUMap {
+	return &CPUMap{name: name, kern: k}
+}
+
+// Name returns the map name.
+func (cm *CPUMap) Name() string { return cm.name }
+
+// Len reports the slot count.
+func (cm *CPUMap) Len() int { return MapCPUs }
+
+// Update installs (or replaces) the entry for a CPU with a ring of qsize
+// frames, starting its kthread. A replaced entry is stopped and drained
+// before Update returns. Reports whether the CPU index was valid.
+func (cm *CPUMap) Update(cpu, qsize int) bool {
+	if cpu < 0 || cpu >= MapCPUs || qsize < 1 {
+		return false
+	}
+	e := cm.kern.NewCpumapEntry(cpu, qsize)
+	if old := cm.entries[cpu].Swap(e); old != nil {
+		old.Stop()
+	}
+	return true
+}
+
+// Delete clears a CPU's slot, stopping and draining its kthread. Reports
+// whether a live entry was removed.
+func (cm *CPUMap) Delete(cpu int) bool {
+	if cpu < 0 || cpu >= MapCPUs {
+		return false
+	}
+	old := cm.entries[cpu].Swap(nil)
+	if old == nil {
+		return false
+	}
+	old.Stop()
+	return true
+}
+
+// Lookup reports a slot's ring capacity (the map value) and occupancy.
+func (cm *CPUMap) Lookup(cpu int) (qsize int, ok bool) {
+	if cpu < 0 || cpu >= MapCPUs {
+		return 0, false
+	}
+	e := cm.entries[cpu].Load()
+	if e == nil {
+		return 0, false
+	}
+	return e.Qsize(), true
+}
+
+// EntryCycles reports the cycle total a slot's kthread has charged so far —
+// the per-target-CPU load a sweep needs to find the busiest core. Zero for
+// an empty slot.
+func (cm *CPUMap) EntryCycles(cpu int) sim.Cycles {
+	if cpu < 0 || cpu >= MapCPUs {
+		return 0
+	}
+	e := cm.entries[cpu].Load()
+	if e == nil {
+		return 0
+	}
+	return e.Cycles()
+}
+
+// Quiesce blocks until every frame enqueued to any live entry has been
+// delivered to the stack. Tests and sweeps call it between polls for
+// deterministic GRO windows and cycle totals.
+func (cm *CPUMap) Quiesce() {
+	for i := range cm.entries {
+		if e := cm.entries[i].Load(); e != nil {
+			e.Quiesce()
+		}
+	}
+}
+
+// EnqueueCPU implements netdev.CPURedirectTarget: stage one frame for cpu on
+// rxq, spilling the stage into the entry's ring when it is already full.
+// ok is false when the slot is empty (an unresolvable redirect); dropped
+// counts frames a threshold spill lost to ring overflow.
+func (cm *CPUMap) EnqueueCPU(rxq, cpu int, dev *netdev.Device, frame []byte, m *sim.Meter) (dropped int, ok bool) {
+	if cpu < 0 || cpu >= MapCPUs {
+		return 0, false
+	}
+	e := cm.entries[cpu].Load()
+	if e == nil {
+		return 0, false
+	}
+	m.Charge(sim.CostCpumapEnqueue)
+	q := &cm.queues[rxq&(netdev.MaxRxQueues-1)]
+	q.mu.Lock()
+	st := (*cpuStage)(nil)
+	for i := range q.stages {
+		if q.stages[i].e == e {
+			st = &q.stages[i]
+			break
+		}
+	}
+	if st == nil {
+		q.stages = append(q.stages, cpuStage{e: e, dev: dev})
+		st = &q.stages[len(q.stages)-1]
+	}
+	if st.n == netdev.CPUMapBulkSize || (st.n > 0 && st.dev != dev) {
+		dropped = e.EnqueueBatch(st.dev, st.frames[:st.n], m)
+		st.n = 0
+	}
+	st.dev = dev
+	st.frames[st.n] = frame
+	st.n++
+	q.mu.Unlock()
+	return dropped, true
+}
+
+// FlushCPU implements netdev.CPURedirectTarget: spill every stage rxq
+// touched since the last flush and ring each target's doorbell once — the
+// cpumap half of xdp_do_flush.
+func (cm *CPUMap) FlushCPU(rxq int, m *sim.Meter) (dropped int) {
+	q := &cm.queues[rxq&(netdev.MaxRxQueues-1)]
+	q.mu.Lock()
+	for i := range q.stages {
+		st := &q.stages[i]
+		if st.n > 0 {
+			dropped += st.e.EnqueueBatch(st.dev, st.frames[:st.n], m)
+		}
+		// One doorbell per entry touched this poll, even if its frames all
+		// went in via threshold spills.
+		st.e.RingDoorbell(m)
+		*st = cpuStage{} // release frame and entry references
+	}
+	q.stages = q.stages[:0]
+	q.mu.Unlock()
+	return dropped
 }

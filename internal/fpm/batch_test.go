@@ -332,7 +332,7 @@ func TestDispatcherSwapRaceUnderBatchLoad(t *testing.T) {
 	}
 	// Every well-formed UDP frame crossed the monitor op exactly once,
 	// whichever program instance was installed when it ran.
-	if got := counters.Sum(int(packet.ProtoUDP)); got != total {
+	if got := counters.LookupAggregate()[packet.ProtoUDP]; got != total {
 		t.Fatalf("monitor counted %d, want %d", got, total)
 	}
 }

@@ -14,6 +14,7 @@ package fpm
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"linuxfp/internal/bridge"
 	"linuxfp/internal/ebpf"
@@ -456,5 +457,45 @@ func LBOp(conf LBConf) ebpf.Op {
 		packet.SetEthDst(f, res.DstMAC)
 		c.RedirectIfIndex = res.EgressIfIndex
 		return ebpf.VerdictRedirect
+	})
+}
+
+// CPUSpreadConf parameterizes the cpumap spreading module: slow-path-bound
+// traffic is fanned out across a set of target CPUs instead of being
+// processed on the RX core — the cpumap analogue of LBOp's backend spread.
+type CPUSpreadConf struct {
+	// Map is the cpumap whose entries receive the frames.
+	Map *ebpf.CPUMap
+	// CPUs are the target CPU indices (must have live entries in Map).
+	CPUs []int
+	// RoundRobin spreads packet-by-packet instead of by flow hash. Flow
+	// hashing is the default: it keeps every flow on one target CPU, which
+	// preserves in-order delivery and lets GRO coalesce there.
+	RoundRobin bool
+	// Proto, when non-zero, restricts spreading to one IP protocol;
+	// everything else continues down the chain.
+	Proto uint8
+}
+
+// CPUSpreadOp builds the spreading snippet. The flow key hashes (src IP,
+// src port, proto) with the same splitmix64 finalizer LBOp uses, so the
+// same flow always lands on the same target CPU.
+func CPUSpreadOp(conf CPUSpreadConf) ebpf.Op {
+	var rr atomic.Uint64
+	return ebpf.NewOp("cpu_spread", 0, ebpf.CapRedirect, 48, func(c *ebpf.Ctx) ebpf.Verdict {
+		if len(conf.CPUs) == 0 {
+			return ebpf.VerdictNext
+		}
+		if conf.Proto != 0 && c.IPProto != conf.Proto {
+			return ebpf.VerdictNext
+		}
+		var idx uint64
+		if conf.RoundRobin {
+			idx = rr.Add(1) - 1
+		} else {
+			flow := uint64(c.IPSrc)<<32 | uint64(c.SrcPort)<<16 | uint64(c.IPProto)
+			idx = mix64(flow)
+		}
+		return ebpf.HelperRedirectCPU(c, conf.Map, conf.CPUs[idx%uint64(len(conf.CPUs))])
 	})
 }

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// cpumapFrames builds n forwardable UDP frames spread over the router's 16
+// pre-resolved destination hosts.
+func cpumapFrames(srcMAC, dstMAC packet.HWAddr, n int) [][]byte {
+	frames := make([][]byte, n)
+	for i := range frames {
+		dst := packet.AddrFrom4(10, 2, 0, byte(i%16+1))
+		frames[i] = fwdFrame(dstMAC, srcMAC, packet.MustAddr("10.1.0.1"), dst, uint16(4000+i%64), 2000)
+	}
+	return frames
+}
+
+// TestCpumapEntryDrainsIntoStack: frames bulk-enqueued on one CPU's meter are
+// delivered into the stack by the entry's kthread, charged to the target CPU,
+// and every counter reconciles.
+func TestCpumapEntryDrainsIntoStack(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	e := r.NewCpumapEntry(5, 256)
+	defer e.Stop()
+
+	frames := cpumapFrames(srcMAC, r0.MAC, 64)
+	m := sim.Meter{CPU: 0} // the producer (RX core)
+	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
+		t.Fatalf("EnqueueBatch dropped %d of 64 with qsize 256", dropped)
+	}
+	e.RingDoorbell(&m)
+	e.Quiesce()
+
+	st := r.Stats()
+	if st.CpumapEnqueued != 64 {
+		t.Fatalf("CpumapEnqueued = %d, want 64", st.CpumapEnqueued)
+	}
+	if st.CpumapDrops != 0 {
+		t.Fatalf("CpumapDrops = %d, want 0", st.CpumapDrops)
+	}
+	if st.CpumapKthreadRuns == 0 {
+		t.Fatal("kthread never ran")
+	}
+	if st.Forwarded != 64 {
+		t.Fatalf("Forwarded = %d, want 64 (drops: %d noroute: %d)", st.Forwarded, st.Dropped, st.NoRoute)
+	}
+	// The whole slow path ran on the kthread's meter, not the producer's:
+	// the producer paid only the doorbell.
+	if e.Cycles() == 0 {
+		t.Fatal("kthread charged no cycles")
+	}
+	if m.Total >= e.Cycles() {
+		t.Fatalf("producer paid %v cycles, kthread only %v — stack work leaked to the RX core", m.Total, e.Cycles())
+	}
+}
+
+// TestCpumapEntryOverflow: a full ring drops the excess, counted on the
+// producer's shard, and delivers exactly the ring's worth.
+func TestCpumapEntryOverflow(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	e := r.NewCpumapEntry(2, 4)
+	defer e.Stop()
+
+	frames := cpumapFrames(srcMAC, r0.MAC, 10)
+	var m sim.Meter
+	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 6 {
+		t.Fatalf("dropped = %d, want 6 (qsize 4, 10 frames)", dropped)
+	}
+	e.RingDoorbell(&m)
+	e.Quiesce()
+
+	st := r.Stats()
+	if st.CpumapEnqueued != 4 || st.CpumapDrops != 6 {
+		t.Fatalf("enqueued/drops = %d/%d, want 4/6", st.CpumapEnqueued, st.CpumapDrops)
+	}
+	if st.Forwarded != 4 {
+		t.Fatalf("Forwarded = %d, want 4", st.Forwarded)
+	}
+}
+
+// TestCpumapEntryStopDrains: Stop delivers everything already in the ring
+// (no doorbell ever rang), and enqueues after Stop count as drops — the
+// producer-side view of a map delete racing traffic.
+func TestCpumapEntryStopDrains(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	e := r.NewCpumapEntry(1, 64)
+
+	frames := cpumapFrames(srcMAC, r0.MAC, 16)
+	var m sim.Meter
+	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
+		t.Fatalf("dropped %d on an empty ring", dropped)
+	}
+	e.Stop() // no doorbell: the teardown drain must deliver the 16
+
+	if st := r.Stats(); st.Forwarded != 16 {
+		t.Fatalf("Forwarded = %d, want 16 after Stop drain", st.Forwarded)
+	}
+	if dropped := e.EnqueueBatch(r0, frames[:3], &m); dropped != 3 {
+		t.Fatalf("post-Stop enqueue dropped %d, want 3", dropped)
+	}
+	if st := r.Stats(); st.CpumapDrops != 3 {
+		t.Fatalf("CpumapDrops = %d, want 3", st.CpumapDrops)
+	}
+}
+
+// BenchmarkCpumapEnqueueDrain64 measures one NAPI poll's worth of frames
+// through a cpumap entry: bulk enqueue, doorbell, kthread drain into the
+// forwarding slow path.
+func BenchmarkCpumapEnqueueDrain64(b *testing.B) {
+	r, r0, _, srcMAC, _ := newFwdRouter(b)
+	r1, _ := r.DeviceByName("eth1")
+	r1.Tap = nil
+	e := r.NewCpumapEntry(3, 256)
+	defer e.Stop()
+	frames := cpumapFrames(srcMAC, r0.MAC, 64)
+	batch := make([][]byte, 64)
+	var m sim.Meter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(batch, frames)
+		e.EnqueueBatch(r0, batch, &m)
+		e.RingDoorbell(&m)
+		e.Quiesce()
+	}
+}

@@ -104,6 +104,10 @@ type Stats struct {
 	GROCoalesced  uint64 // frames merged into an existing GRO hold (absorbed at ingress)
 	GROFlushes    uint64 // GRO holds flushed into the stack (supersegments + singles)
 	GROSupersegs  uint64 // flushed holds that carried 2+ coalesced segments
+
+	CpumapEnqueued    uint64 // frames spilled into a cpumap entry's ring
+	CpumapDrops       uint64 // frames lost to ring overflow or a torn-down entry
+	CpumapKthreadRuns uint64 // kthread drain runs (one DeliverBatch window each)
 }
 
 // socketKey binds a protocol and port.
@@ -247,6 +251,9 @@ func (k *Kernel) Stats() Stats {
 		s.GROCoalesced += c.groCoalesced.Load()
 		s.GROFlushes += c.groFlushes.Load()
 		s.GROSupersegs += c.groSupersegs.Load()
+		s.CpumapEnqueued += c.cpumapEnqueued.Load()
+		s.CpumapDrops += c.cpumapDrops.Load()
+		s.CpumapKthreadRuns += c.cpumapKthreadRuns.Load()
 	}
 	return s
 }

@@ -6,6 +6,7 @@
 package kernel
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -40,7 +41,13 @@ type shardCounters struct {
 	flowMisses    atomic.Uint64
 	groCoalesced  atomic.Uint64
 	groFlushes    atomic.Uint64
-	groSupersegs  atomic.Uint64 // 16 words: exactly 128 bytes (two cache lines)
+	groSupersegs  atomic.Uint64
+	// Cpumap counters: enqueued/drops land on the producer CPU's shard
+	// (the RX core pays for the redirect), kthread runs on the target's.
+	cpumapEnqueued    atomic.Uint64
+	cpumapDrops       atomic.Uint64
+	cpumapKthreadRuns atomic.Uint64
+	_                 [5]uint64 // 19 counters + pad: exactly 192 bytes (three cache lines)
 }
 
 // shardIdx maps a meter to its shard. A nil meter (functional tests, config
@@ -254,4 +261,217 @@ func (p *RxWorkerPool) MaxQueueCycles() sim.Cycles {
 		}
 	}
 	return max
+}
+
+// --- cpumap kthreads ---------------------------------------------------------
+
+// cpumapFrame is one redirected frame in flight to another CPU: the frame
+// bytes plus the ingress device it arrived on, which the target kthread needs
+// to rebuild the skb's dev binding (and to pick the right GRO/TC context).
+type cpumapFrame struct {
+	dev   *netdev.Device
+	frame []byte
+}
+
+// CpumapEntry is one BPF_MAP_TYPE_CPUMAP slot: a fixed-capacity ptr_ring fed
+// by RX cores in bulk, drained by a dedicated kthread goroutine that injects
+// the frames into the target CPU's DeliverBatch. The kthread owns a meter
+// pinned to the target CPU, so everything downstream of the ring — skb build,
+// GRO, netfilter, FIB, neigh — is charged to (and sharded onto) that CPU,
+// which is the entire point of the redirect: the RX core's cost stops at the
+// enqueue.
+type CpumapEntry struct {
+	kern  *Kernel
+	cpu   int
+	qsize int
+
+	mu     sync.Mutex
+	ring   []cpumapFrame
+	closed bool
+
+	doorbell chan struct{} // cap 1: coalesced wakeups, like wake_up_process
+	done     chan struct{} // closed by Stop; kthread drains and exits
+	exited   chan struct{} // closed by the kthread on exit
+
+	// enqueued/delivered let Quiesce wait for in-flight frames without a
+	// WaitGroup (a producer Add racing Wait at zero is disallowed there).
+	enqueued  atomic.Uint64
+	delivered atomic.Uint64
+
+	cycles atomic.Uint64 // kthread meter total, published after each run
+}
+
+// NewCpumapEntry creates a cpumap slot targeting cpu with a ring of qsize
+// frames and starts its kthread. Stop must be called to release it.
+func (k *Kernel) NewCpumapEntry(cpu, qsize int) *CpumapEntry {
+	if qsize < 1 {
+		qsize = 1
+	}
+	e := &CpumapEntry{
+		kern:     k,
+		cpu:      cpu,
+		qsize:    qsize,
+		ring:     make([]cpumapFrame, 0, qsize),
+		doorbell: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		exited:   make(chan struct{}),
+	}
+	go e.kthread()
+	return e
+}
+
+// CPU reports the target CPU this entry drains onto.
+func (e *CpumapEntry) CPU() int { return e.cpu }
+
+// Qsize reports the ring capacity the entry was created with — the cpumap
+// value userspace reads back.
+func (e *CpumapEntry) Qsize() int { return e.qsize }
+
+// Cycles reports the kthread's accumulated cycle total. Safe to call while
+// traffic is running; the value is published after each kthread run.
+func (e *CpumapEntry) Cycles() sim.Cycles {
+	return sim.Cycles(e.cycles.Load())
+}
+
+// EnqueueBatch spills a producer's bulk queue into the ring and reports how
+// many frames the ring had no room for (or arrived after Stop) — those are
+// the caller's to count as drops. Successful inserts and overflow drops are
+// charged to the producer's shard: the RX core is the one observing them.
+func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) (dropped int) {
+	c := e.kern.ctr(m)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		c.cpumapDrops.Add(uint64(len(frames)))
+		return len(frames)
+	}
+	free := cap(e.ring) - len(e.ring)
+	n := len(frames)
+	if n > free {
+		dropped = n - free
+		n = free
+	}
+	for _, f := range frames[:n] {
+		e.ring = append(e.ring, cpumapFrame{dev: dev, frame: f})
+	}
+	e.mu.Unlock()
+	if n > 0 {
+		e.enqueued.Add(uint64(n))
+		c.cpumapEnqueued.Add(uint64(n))
+	}
+	if dropped > 0 {
+		c.cpumapDrops.Add(uint64(dropped))
+	}
+	return dropped
+}
+
+// RingDoorbell wakes the kthread — the IPI-flavoured half of xdp_do_flush,
+// called once per target per NAPI poll, never on intermediate bulk spills.
+// Deferring the wake to the flush is what lets the kthread pop a whole
+// poll's worth of frames in one run (one DeliverBatch, one GRO window),
+// exactly like the real cpumap's __cpu_map_flush.
+func (e *CpumapEntry) RingDoorbell(m *sim.Meter) {
+	m.Charge(sim.CostCpumapDoorbell)
+	select {
+	case e.doorbell <- struct{}{}:
+	default: // already pending: wakeups coalesce
+	}
+}
+
+// Stop tears the entry down: no further enqueues are accepted (they count as
+// drops), the kthread drains whatever the ring still holds, and Stop blocks
+// until it has exited. Used by map update/delete, like the RCU-deferred
+// __cpu_map_entry_free.
+func (e *CpumapEntry) Stop() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.done)
+	}
+	e.mu.Unlock()
+	<-e.exited
+}
+
+// Quiesce blocks until every frame enqueued so far has been delivered to the
+// stack. Benchmarks and tests call it between polls so each poll's frames
+// land in exactly one kthread run — deterministic GRO windows and cycle
+// totals.
+func (e *CpumapEntry) Quiesce() {
+	for e.delivered.Load() < e.enqueued.Load() {
+		runtime.Gosched()
+	}
+}
+
+// kthread is the entry's drain loop: wake on doorbell, pop up to NAPIBudget
+// frames, split them into same-device runs, and hand each run to
+// DeliverBatch on the target CPU's meter. Mirrors cpu_map_kthread_run.
+func (e *CpumapEntry) kthread() {
+	defer close(e.exited)
+	m := sim.Meter{CPU: e.cpu}
+	var local [netdev.NAPIBudget]cpumapFrame
+	for {
+		select {
+		case <-e.doorbell:
+			for e.drainOnce(local[:], &m) {
+			}
+		case <-e.done:
+			// Final drain: producers observing closed already count their
+			// frames as drops, so everything still in the ring predates
+			// Stop and must be delivered.
+			for e.drainOnce(local[:], &m) {
+			}
+			// napi_disable-style: flush any GRO holds still parked on the
+			// target shard so no segment is stranded by a map delete.
+			e.kern.groFlushShard(shardIdx(&m), nil, &m)
+			e.cycles.Store(uint64(m.Total))
+			return
+		}
+	}
+}
+
+// drainOnce pops one run of up to NAPIBudget frames and delivers it.
+// Reports whether any frames were popped.
+func (e *CpumapEntry) drainOnce(local []cpumapFrame, m *sim.Meter) bool {
+	e.mu.Lock()
+	n := len(e.ring)
+	if n == 0 {
+		e.mu.Unlock()
+		return false
+	}
+	if n > len(local) {
+		n = len(local)
+	}
+	copy(local, e.ring[:n])
+	rest := copy(e.ring, e.ring[n:])
+	for i := rest; i < len(e.ring); i++ {
+		e.ring[i] = cpumapFrame{} // let delivered frames go
+	}
+	e.ring = e.ring[:rest]
+	e.mu.Unlock()
+
+	// ptr_ring consume + xdp_frame→skb prep, per frame.
+	m.Charge(sim.Cycles(n) * sim.CostCpumapDequeue)
+
+	// One DeliverBatch per same-device run: the batch stack (GRO, batched
+	// TC) keys its context on (shard, dev), so frames from one ingress
+	// device coalesce together just as they would on the RX CPU.
+	var frames [][]byte
+	run := 0
+	for run < n {
+		dev := local[run].dev
+		end := run
+		for end < n && local[end].dev == dev {
+			end++
+		}
+		frames = frames[:0]
+		for i := run; i < end; i++ {
+			frames = append(frames, local[i].frame)
+		}
+		e.kern.DeliverBatch(dev, frames, m)
+		run = end
+	}
+	e.kern.ctr(m).cpumapKthreadRuns.Add(1)
+	e.cycles.Store(uint64(m.Total))
+	e.delivered.Add(uint64(n))
+	return true
 }

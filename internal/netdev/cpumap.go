@@ -1,0 +1,34 @@
+package netdev
+
+import (
+	"linuxfp/internal/sim"
+)
+
+// CPUMapBulkSize matches the kernel's CPU_MAP_BULK_SIZE: frames redirected
+// to one target CPU during a NAPI poll are staged in a per-RX-queue bulk
+// queue of at most 8 entries before being spilled into the target's
+// ptr_ring.
+const CPUMapBulkSize = 8
+
+// CPURedirectTarget is the cpumap seen from the driver's redirect path — the
+// BPF_MAP_TYPE_CPUMAP object lives in the ebpf package (it holds kernel
+// state the netdev layer must not know about), and the XDP redirect helper
+// plants it on the XDPBuff so runXDPBatch can stage and flush without a
+// dependency cycle.
+//
+// The accounting contract mirrors the devmap path: the caller counts a
+// successful enqueue as an XDP redirect immediately, and both methods return
+// how many previously-enqueued frames were dropped (ring overflow, or an
+// entry torn down mid-poll) so the caller can reclassify them as XDP
+// exception drops before publishing its per-poll counters.
+type CPURedirectTarget interface {
+	// EnqueueCPU stages a frame for the target CPU on RX queue rxq,
+	// spilling the stage into the CPU's ring when it already holds
+	// CPUMapBulkSize frames. ok is false when the map has no entry for
+	// cpu (an unresolvable redirect: the frame was not consumed).
+	EnqueueCPU(rxq, cpu int, dev *Device, frame []byte, m *sim.Meter) (dropped int, ok bool)
+	// FlushCPU spills every stage touched on rxq since the last flush and
+	// rings each target kthread's doorbell once — the cpumap half of
+	// xdp_do_flush, called once per NAPI poll.
+	FlushCPU(rxq int, m *sim.Meter) (dropped int)
+}

@@ -79,6 +79,12 @@ type XDPBuff struct {
 	RxQueue    int
 	RedirectTo int // egress ifindex, set by the redirect helper
 	Meter      *sim.Meter
+
+	// Cpumap redirect state, set by the redirect-to-CPU helper: when
+	// RedirectCPUMap is non-nil an XDPRedirect verdict targets RedirectCPU's
+	// queue in that map instead of a device.
+	RedirectCPUMap CPURedirectTarget
+	RedirectCPU    int
 }
 
 // XDPHandler is an XDP program attachment.
@@ -455,6 +461,7 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 	*buff = XDPBuff{Data: frame, IfIndex: d.Index, RxQueue: rxq, Meter: m}
 	act := slot.h.HandleXDP(buff)
 	data, redirect := buff.Data, buff.RedirectTo
+	cm, cpu := buff.RedirectCPUMap, buff.RedirectCPU
 	xdpBuffPool.Put(buff)
 	switch act {
 	case XDPDrop, XDPAborted:
@@ -466,6 +473,24 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 		d.Transmit(data, m)
 		return nil
 	case XDPRedirect:
+		if cm != nil {
+			// Redirect to another CPU: the per-packet path stages and
+			// flushes immediately (a one-frame poll). A missing entry is
+			// an XDP exception; a ring overflow reclassifies the already
+			// counted redirect as a drop.
+			dropped, ok := cm.EnqueueCPU(rxq, cpu, d, data, m)
+			if !ok {
+				d.stats.xdpDrops.Add(1)
+				return nil
+			}
+			dropped += cm.FlushCPU(rxq, m)
+			if dropped > 0 {
+				d.stats.xdpDrops.Add(uint64(dropped))
+			} else {
+				d.stats.xdpRedirects.Add(1)
+			}
+			return nil
+		}
 		// Resolve the target first: an unresolvable redirect is an XDP
 		// exception (counted as a drop), not a successful redirect.
 		s := d.link.Load().stack
@@ -550,8 +575,13 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 		}
 
 		// Resolve verdicts, accumulating counters locally so the device
-		// stats are updated once per poll, not once per frame.
+		// stats are updated once per poll, not once per frame. Cpumap
+		// redirects are counted as redirects at enqueue; frames a bulk
+		// spill drops (ring overflow) come back as dropped counts and are
+		// reclassified before the counters are published — every frame
+		// lands in exactly one bucket.
 		var drops, txs, redirects, passes uint64
+		var cm CPURedirectTarget
 		s := d.link.Load().stack
 		for i := range bufs {
 			data := bufs[i].Data
@@ -563,6 +593,26 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 				}
 				dm.Enqueue(rxq, d, data, m)
 			case XDPRedirect:
+				if t := bufs[i].RedirectCPUMap; t != nil {
+					if cm != nil && cm != t {
+						// A second cpumap in one poll: flush the first
+						// before switching so its accounting stays inside
+						// this poll's counters.
+						dropped := cm.FlushCPU(rxq, m)
+						redirects -= uint64(dropped)
+						drops += uint64(dropped)
+					}
+					cm = t
+					dropped, ok := t.EnqueueCPU(rxq, bufs[i].RedirectCPU, d, data, m)
+					if !ok {
+						drops++ // no entry for that CPU: XDP exception
+						break
+					}
+					redirects++
+					redirects -= uint64(dropped)
+					drops += uint64(dropped)
+					break
+				}
 				out, ok := (*Device)(nil), false
 				if s != nil {
 					out, ok = s.DeviceByIndex(bufs[i].RedirectTo)
@@ -586,6 +636,11 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 		}
 		if dm != nil {
 			dm.Flush(rxq, m) // xdp_do_flush: once per NAPI poll
+		}
+		if cm != nil {
+			dropped := cm.FlushCPU(rxq, m) // cpumap half of xdp_do_flush
+			redirects -= uint64(dropped)
+			drops += uint64(dropped)
 		}
 		if drops > 0 {
 			d.stats.xdpDrops.Add(drops)

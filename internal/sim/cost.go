@@ -118,6 +118,20 @@ const (
 	CostXDPBulkFlushPer Cycles = 120 // per frame transmitted in a bulk flush
 )
 
+// Cpumap (XDP_REDIRECT to another CPU) costs. The producer side mirrors the
+// kernel's bq_enqueue/bq_flush_to_queue: frames staged during a NAPI poll in
+// per-(RX-queue, target-CPU) bulk queues of CPU_MAP_BULK_SIZE, spilled into
+// the target CPU's ptr_ring in bulk, with one kthread wakeup (the IPI-ish
+// doorbell) per target per xdp_do_flush. The consumer side is the per-entry
+// kthread: a ptr_ring consume per frame, then skb build + full stack entry —
+// those stack costs are charged by DeliverBatch on the kthread's own meter,
+// which is the whole point: the RX core sheds everything past the enqueue.
+const (
+	CostCpumapEnqueue  Cycles = 40  // bq_enqueue + ptr_ring_produce share per frame
+	CostCpumapDequeue  Cycles = 60  // ptr_ring consume + xdp_frame -> skb prep per frame
+	CostCpumapDoorbell Cycles = 300 // wake_up_process of the target kthread per flush
+)
+
 // GRO/GSO and batched-TC costs. The GRO layer sits between XDP batch exit
 // and IP input: every TCP candidate pays a receive probe (flow-key parse +
 // hold-table lookup, napi_gro_receive), merged frames pay an append plus the

@@ -1,0 +1,225 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// CpumapPoint is one measured configuration of the cpumap rebalancer: the
+// full slow-path workload arriving on one RX queue, either processed there
+// (TargetCPUs == 0, the baseline) or fanned out across TargetCPUs kthreads
+// via XDP_REDIRECT into a cpumap. AggregatePPS is bounded by the busiest
+// core — the producer once it only pays parse+enqueue, or the most-loaded
+// kthread.
+type CpumapPoint struct {
+	TargetCPUs     int     `json:"target_cpus"` // 0 = same-CPU baseline
+	GRO            bool    `json:"gro"`
+	AggregatePPS   float64 `json:"aggregate_pps"`
+	Speedup        float64 `json:"speedup_vs_same_cpu"`
+	ProducerCycles float64 `json:"producer_cycles_per_pkt"`
+	BusiestCycles  float64 `json:"busiest_core_cycles_per_pkt"`
+	CoalesceRatio  float64 `json:"coalesce_ratio"`
+	KthreadRuns    uint64  `json:"kthread_runs"`
+	CpumapDrops    uint64  `json:"cpumap_drops"`
+}
+
+// CpumapReport is the machine-readable result of CpumapSweep — what
+// `lfpbench -exp cpumap` serializes into BENCH_cpumap.json.
+type CpumapReport struct {
+	Platform     string        `json:"platform"`
+	ClockHz      float64       `json:"clock_hz"`
+	Qsize        int           `json:"qsize"`
+	BulkSize     int           `json:"bulk_size"`
+	NAPIBudget   int           `json:"napi_budget"`
+	Frames       int           `json:"frames"`
+	Flows        int           `json:"flows"`
+	PayloadBytes int           `json:"tcp_payload_bytes"`
+	Points       []CpumapPoint `json:"points"`
+}
+
+// cpumap sweep workload shape: many flows so the splitmix64 spread lands
+// near-evenly on the targets, segments emitted flow-major so GRO sees
+// coalescible runs on whichever CPU a flow hashes to.
+const (
+	cpumapFlows   = 256
+	cpumapSegs    = 16 // segments per flow -> 4096 frames per point
+	cpumapQsize   = 2048
+	cpumapPayload = 128
+)
+
+// cpumapWorkload builds the sweep's frames: cpumapFlows in-order TCP flows,
+// each flow's cpumapSegs segments consecutive.
+func cpumapWorkload(d *DUT) [][]byte {
+	src := packet.MustAddr("10.1.0.1")
+	frames := make([][]byte, 0, cpumapFlows*cpumapSegs)
+	for f := 0; f < cpumapFlows; f++ {
+		dst := packet.AddrFrom4(10, 100+byte(f%RoutedPrefixes), byte(f/RoutedPrefixes), 10)
+		seq, id := uint32(1), uint16(1)
+		for s := 0; s < cpumapSegs; s++ {
+			tcp := packet.TCP{SrcPort: uint16(4000 + f), DstPort: 80, Seq: seq, Ack: 1,
+				Flags: packet.TCPAck, Window: 512}
+			frames = append(frames, packet.BuildIPv4(
+				packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+				packet.IPv4{TTL: 64, ID: id, Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+				tcp.Marshal(nil, src, dst, make([]byte, cpumapPayload))))
+			seq += cpumapPayload
+			id++
+		}
+	}
+	return frames
+}
+
+// CpumapSweep measures aggregate throughput of one RX queue's slow-path
+// workload fanned out across 1/2/4/8 target CPUs, with GRO off and on,
+// against the same-CPU baseline. targets entries of 0 are skipped.
+func CpumapSweep(targets []int) (*CpumapReport, error) {
+	d, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &CpumapReport{
+		Platform:     PlatformLinux,
+		ClockHz:      sim.ClockHz,
+		Qsize:        cpumapQsize,
+		BulkSize:     netdev.CPUMapBulkSize,
+		NAPIBudget:   netdev.NAPIBudget,
+		Frames:       cpumapFlows * cpumapSegs,
+		Flows:        cpumapFlows,
+		PayloadBytes: cpumapPayload,
+	}
+
+	for _, gro := range []bool{false, true} {
+		base, err := cpumapPoint(d, 0, gro)
+		if err != nil {
+			return nil, err
+		}
+		base.Speedup = 1
+		r.Points = append(r.Points, base)
+		for _, n := range targets {
+			if n <= 0 {
+				continue
+			}
+			p, err := cpumapPoint(d, n, gro)
+			if err != nil {
+				return nil, err
+			}
+			p.Speedup = p.AggregatePPS / base.AggregatePPS
+			r.Points = append(r.Points, p)
+		}
+	}
+	return r, nil
+}
+
+// cpumapPoint drives the workload through one configuration and measures it.
+// Wires are unplugged so only DUT work meters; the workload arrives in NAPI
+// polls on RX queue 0 with a quiesce per poll, so every poll is exactly one
+// kthread run on each touched target — the same GRO window the RX core
+// would have had.
+func cpumapPoint(d *DUT, targets int, gro bool) (CpumapPoint, error) {
+	d.In.SetGRO(gro)
+	defer d.In.SetGRO(false)
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	loader := ebpf.NewLoader(d.Kern)
+	ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4()}
+	var cm *ebpf.CPUMap
+	var cpus []int
+	if targets > 0 {
+		cm = ebpf.NewCPUMap("cpu_map", d.Kern)
+		for i := 0; i < targets; i++ {
+			cpus = append(cpus, i+1) // CPU 0 is the RX core
+			if !cm.Update(i+1, cpumapQsize) {
+				return CpumapPoint{}, fmt.Errorf("cpumap: update cpu %d failed", i+1)
+			}
+		}
+		ops = append(ops, fpm.CPUSpreadOp(fpm.CPUSpreadConf{Map: cm, CPUs: cpus}))
+	}
+	prog, err := loader.Load(&ebpf.Program{Name: "cpumap_sweep", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		return CpumapPoint{}, err
+	}
+	if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+		return CpumapPoint{}, err
+	}
+
+	before := d.Kern.Stats()
+	frames := cpumapWorkload(d)
+	n := len(frames)
+	var m sim.Meter // the RX core (producer)
+	for i := 0; i < n; i += netdev.NAPIBudget {
+		end := i + netdev.NAPIBudget
+		if end > n {
+			end = n
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &m)
+		if cm != nil {
+			cm.Quiesce()
+		}
+	}
+
+	var busiestKthread sim.Cycles
+	for _, c := range cpus {
+		if cyc := cm.EntryCycles(c); cyc > busiestKthread {
+			busiestKthread = cyc
+		}
+	}
+	if cm != nil {
+		for _, c := range cpus {
+			cm.Delete(c)
+		}
+	}
+	after := d.Kern.Stats()
+
+	// One core per queue/kthread: the aggregate rate is bounded by the
+	// busiest of the producer and the kthreads.
+	wall := m.Total
+	if busiestKthread > wall {
+		wall = busiestKthread
+	}
+	p := CpumapPoint{
+		TargetCPUs:     targets,
+		GRO:            gro,
+		AggregatePPS:   float64(n) * sim.ClockHz / float64(wall),
+		ProducerCycles: float64(m.Total) / float64(n),
+		BusiestCycles:  float64(wall) / float64(n),
+		CoalesceRatio:  float64(after.GROCoalesced-before.GROCoalesced) / float64(n),
+		KthreadRuns:    after.CpumapKthreadRuns - before.CpumapKthreadRuns,
+		CpumapDrops:    after.CpumapDrops - before.CpumapDrops,
+	}
+	return p, nil
+}
+
+// RenderCpumap prints the sweep in the house table style.
+func RenderCpumap(r *CpumapReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cpumap fan-out: one RX queue, slow path spread over N CPUs (%d flows x %d segs, %dB payload)\n",
+		r.Flows, r.Frames/r.Flows, r.PayloadBytes)
+	fmt.Fprintf(&b, "%-9s %-5s %12s %9s %14s %14s %9s %8s\n",
+		"targets", "gro", "Mpps(agg)", "speedup", "producer c/p", "busiest c/p", "coalesce", "runs")
+	for _, p := range r.Points {
+		gro := "off"
+		if p.GRO {
+			gro = "on"
+		}
+		tgt := "same-cpu"
+		if p.TargetCPUs > 0 {
+			tgt = fmt.Sprintf("%d", p.TargetCPUs)
+		}
+		fmt.Fprintf(&b, "%-9s %-5s %12.2f %8.2fx %14.1f %14.1f %8.0f%% %8d\n",
+			tgt, gro, p.AggregatePPS/1e6, p.Speedup, p.ProducerCycles, p.BusiestCycles, p.CoalesceRatio*100, p.KthreadRuns)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCpumapSweepSpeedupAndGROParity pins the two headline properties of the
+// cpumap rebalancer: fanning one RX queue's slow path across 4 CPUs at least
+// doubles aggregate throughput, and flows that were rebalanced coalesce in
+// GRO exactly as well as they did on the RX core.
+func TestCpumapSweepSpeedupAndGROParity(t *testing.T) {
+	r, err := CpumapSweep([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 { // (baseline + 2 targets) x gro off/on
+		t.Fatalf("got %d points, want 6", len(r.Points))
+	}
+
+	find := func(targets int, gro bool) CpumapPoint {
+		for _, p := range r.Points {
+			if p.TargetCPUs == targets && p.GRO == gro {
+				return p
+			}
+		}
+		t.Fatalf("no point for targets=%d gro=%v", targets, gro)
+		return CpumapPoint{}
+	}
+
+	for _, gro := range []bool{false, true} {
+		base := find(0, gro)
+		if base.Speedup != 1 {
+			t.Fatalf("baseline speedup = %v, want 1", base.Speedup)
+		}
+		four := find(4, gro)
+		if four.Speedup < 2 {
+			t.Fatalf("gro=%v: 4-CPU speedup = %.2fx, want >= 2x", gro, four.Speedup)
+		}
+		if find(2, gro).Speedup >= four.Speedup {
+			t.Fatalf("gro=%v: 2-CPU speedup not below 4-CPU", gro)
+		}
+		if four.KthreadRuns == 0 {
+			t.Fatalf("gro=%v: kthreads never ran", gro)
+		}
+		if four.CpumapDrops != 0 {
+			t.Fatalf("gro=%v: cpumap dropped %d frames with qsize %d", gro, four.CpumapDrops, r.Qsize)
+		}
+		if base.KthreadRuns != 0 || base.CpumapDrops != 0 {
+			t.Fatalf("gro=%v: baseline touched the cpumap: %+v", gro, base)
+		}
+	}
+
+	// GRO parity: rebalancing must not cost coalescing opportunities. The
+	// flow-major workload coalesces heavily on the RX core; the same ratio
+	// must survive the fan-out (each flow lands whole on one kthread).
+	baseOn := find(0, true)
+	if baseOn.CoalesceRatio < 0.5 {
+		t.Fatalf("baseline coalesce ratio = %.2f, want >= 0.5", baseOn.CoalesceRatio)
+	}
+	for _, n := range []int{2, 4} {
+		p := find(n, true)
+		if p.CoalesceRatio != baseOn.CoalesceRatio {
+			t.Fatalf("%d-CPU coalesce ratio %.4f != same-CPU %.4f", n, p.CoalesceRatio, baseOn.CoalesceRatio)
+		}
+	}
+	for _, p := range r.Points {
+		if !p.GRO && p.CoalesceRatio != 0 {
+			t.Fatalf("gro off but coalesce ratio = %v", p.CoalesceRatio)
+		}
+	}
+
+	out := RenderCpumap(r)
+	for _, want := range []string{"same-cpu", "speedup", "coalesce"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderCpumap missing %q:\n%s", want, out)
+		}
+	}
+}
