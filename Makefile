@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json
+.PHONY: check vet build test race bench-smoke bench-json obs-smoke
 
-## check: everything CI runs — vet, build, tests, race detector, bench smoke
-check: vet build test race bench-smoke
+## check: everything CI runs — vet, build, tests, race detector, bench smoke,
+## and the observability pipeline smoke (lfptop + Prometheus export)
+check: vet build test race bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,11 +30,20 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/
 
-## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json, and
-## BENCH_cpumap.json — the machine-readable batching x JIT sweep plus the
-## pps-vs-cores curve for the fast path, the GRO-on/off workload x batch
-## sweep for the slow path, and the cpumap CPU fan-out sweep
+## obs-smoke: one lfptop frame (drop reasons + ring buffer + stage latency,
+## with the Prometheus snapshot appended) and a linuxfpd run with -metrics,
+## so the live view and both exporters stay wired end to end
+obs-smoke:
+	$(GO) run ./cmd/lfptop -once -metrics > /dev/null
+	$(GO) run ./cmd/linuxfpd -metrics < /dev/null > /dev/null
+
+## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json,
+## BENCH_cpumap.json, and BENCH_obs.json — the machine-readable batching x
+## JIT sweep plus the pps-vs-cores curve for the fast path, the GRO-on/off
+## workload x batch sweep for the slow path, the cpumap CPU fan-out sweep,
+## and the observability off/on overhead sweep across ring wakeup batches
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
 	$(GO) run ./cmd/lfpbench -exp cpumap -cpumap-json BENCH_cpumap.json
+	$(GO) run ./cmd/lfpbench -exp obs -obs-json BENCH_obs.json

@@ -19,21 +19,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|obs|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
 	cores := flag.Int("cores", 6, "maximum core count for core sweeps")
 	pairs := flag.Int("pairs", 10, "maximum pod pairs for fig9")
 	fpJSON := flag.String("fastpath-json", "", "write the fastpath sweep as JSON to this file")
 	groJSON := flag.String("gro-json", "", "write the GRO sweep as JSON to this file")
 	cpumapJSON := flag.String("cpumap-json", "", "write the cpumap sweep as JSON to this file")
+	obsJSON := flag.String("obs-json", "", "write the observability overhead sweep as JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON); err != nil {
+	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON, *obsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "lfpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON string) error {
+func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -89,6 +90,24 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON string) error
 				return err
 			}
 			fmt.Printf("wrote %s\n", cpumapJSON)
+		}
+	}
+	if want("obs") {
+		ran = true
+		report, err := testbed.ObsSweep([]int{1, 32, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderObs(report))
+		if obsJSON != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(obsJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", obsJSON)
 		}
 	}
 	if want("fig5") {
@@ -197,7 +216,7 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON string) error
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fastpath", "gro", "cpumap", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			strings.Join([]string{"fastpath", "gro", "cpumap", "obs", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 				"table3", "table4", "table5", "table6", "table7", "ablation", "all"}, "|"))
 	}
 	return nil

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"linuxfp"
+	"linuxfp/internal/metrics"
 )
 
 const demoConfig = `ip link add eth0 type phys
@@ -32,15 +33,16 @@ func main() {
 	script := flag.String("script", "", "configuration script (default: stdin if piped, else a demo router)")
 	graph := flag.Bool("graph", false, "print the synthesized processing graph as JSON")
 	preferTC := flag.Bool("tc", false, "attach fast paths at the TC hook")
+	metricsOut := flag.Bool("metrics", false, "print a Prometheus text-format observability snapshot on exit")
 	flag.Parse()
 
-	if err := run(*script, *graph, *preferTC); err != nil {
+	if err := run(*script, *graph, *preferTC, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "linuxfpd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(script string, graph, preferTC bool) error {
+func run(script string, graph, preferTC, metricsOut bool) error {
 	cfg := demoConfig
 	switch {
 	case script != "":
@@ -63,6 +65,11 @@ func run(script string, graph, preferTC bool) error {
 
 	sys := linuxfp.New("linuxfpd")
 	defer sys.Close()
+	if metricsOut {
+		// Attach the latency instrumentation before any traffic so the
+		// snapshot carries stage quantiles, not just counters.
+		sys.Kernel.EnableStageLat()
+	}
 	if _, err := sys.Exec("# config"); err != nil {
 		return err
 	}
@@ -81,6 +88,9 @@ func run(script string, graph, preferTC bool) error {
 	}
 	if graph {
 		fmt.Println(sys.GraphJSON())
+	}
+	if metricsOut {
+		metrics.WriteKernel(os.Stdout, sys.Kernel)
 	}
 	return nil
 }

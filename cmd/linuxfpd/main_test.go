@@ -7,11 +7,15 @@ import (
 )
 
 func TestRunDemoConfig(t *testing.T) {
-	if err := run("", true, false); err != nil {
+	if err := run("", true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// TC mode too.
-	if err := run("", false, true); err != nil {
+	if err := run("", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	// Metrics snapshot mode: stage latency attached, Prometheus text on exit.
+	if err := run("", false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -22,16 +26,16 @@ func TestRunScriptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false); err != nil {
+	if err := run(path, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Missing file and bad config both error.
-	if err := run(filepath.Join(t.TempDir(), "nope.cfg"), false, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.cfg"), false, false, false); err == nil {
 		t.Fatal("missing script accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.cfg")
 	os.WriteFile(bad, []byte("definitely not a command"), 0o644)
-	if err := run(bad, false, false); err == nil {
+	if err := run(bad, false, false, false); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }

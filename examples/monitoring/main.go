@@ -1,7 +1,10 @@
 // Monitoring & future work (paper §VIII): inject a custom monitoring
-// module into the synthesized XDP pipeline, capture selected traffic to a
-// user-space AF_XDP socket, and load-balance a VIP with the ipvs-style FPM
-// — the three extension points the paper sketches, running together.
+// module into the synthesized XDP pipeline, stream per-packet trace events
+// to user space over a BPF ring buffer, and load-balance a VIP with the
+// ipvs-style FPM — the three extension points the paper sketches, running
+// together. The DNS "capture" is fpm.TraceOp + ebpf.RingBuf: the fast path
+// reserves, fills and submits a fixed-layout event; the consumer waits on
+// the epoll-style doorbell and drains in batches.
 package main
 
 import (
@@ -40,12 +43,10 @@ func run() error {
 	dut.AddRoute(fib.Route{Prefix: packet.MustPrefix("10.100.0.0/16"), Gateway: packet.MustAddr("10.2.0.1"), OutIf: out.Index})
 	dut.Neigh.AddPermanent(packet.MustAddr("10.2.0.1"), sinkDev.MAC, out.Index)
 
-	// Hand-compose an extended pipeline: monitor → AF_XDP capture for DNS
+	// Hand-compose an extended pipeline: monitor → ring-buffer trace for DNS
 	// → ipvs-style LB for the VIP → the standard router FPM.
 	counters := ebpf.NewPerCPUArrayMap("proto_counts", 256)
-	xsk := ebpf.NewXSKMap("xsks", 1)
-	dnsTap := ebpf.NewAFXDPSocket(64)
-	xsk.Update(0, dnsTap)
+	events := ebpf.NewRingBuf("trace_events", 1<<14)
 	conns := ebpf.NewPerCPUHashMap("lb_conns", 1024)
 	vip := packet.MustAddr("10.99.0.1")
 	backends := []packet.Addr{packet.MustAddr("10.100.0.10"), packet.MustAddr("10.100.1.10")}
@@ -54,7 +55,7 @@ func run() error {
 	ops := []ebpf.Op{
 		fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(),
 		fpm.MonitorOpPerCPU(counters),
-		fpm.AFXDPOp(fpm.AFXDPConf{Proto: packet.ProtoUDP, DstPort: 53, Map: xsk, Slot: 0}),
+		fpm.TraceOp(fpm.TraceConf{Ring: events, Proto: packet.ProtoUDP, DstPort: 53}),
 		fpm.LBOp(fpm.LBConf{VIP: vip, Port: 80, Backends: backends, PerCPUConns: conns}),
 	}
 	ops = append(ops, fpm.RouterOps(fpm.RouterConf{})...)
@@ -99,12 +100,20 @@ func run() error {
 	agg := counters.LookupAggregate() // all per-CPU rows reduced in one pass
 	fmt.Printf("\nmonitor counters: UDP=%d TCP=%d (per-CPU rows summed control-plane side)\n",
 		agg[packet.ProtoUDP], agg[packet.ProtoTCP])
-	fmt.Printf("AF_XDP capture:   %d DNS frames delivered to user space\n", len(dnsTap.C))
-	for len(dnsTap.C) > 0 {
-		raw := <-dnsTap.C
-		p, _ := packet.Decode(raw)
-		fmt.Printf("  captured raw frame: %s -> %s (%d bytes)\n", p.IPv4.Src, p.IPv4.Dst, len(raw))
-	}
+
+	// Consume the trace stream the way a real ring buffer consumer does:
+	// wait on the doorbell, then drain everything consumable in one pass.
+	<-events.C()
+	fmt.Printf("ring buffer:      %d DNS trace events produced (%d dropped on full ring)\n",
+		events.Produced(), events.Dropped())
+	events.Poll(func(rec []byte) {
+		ev, ok := ebpf.DecodeEvent(rec)
+		if !ok {
+			return
+		}
+		fmt.Printf("  %s event: cpu=%d ifindex=%d frame=%dB at %d modelcycles\n",
+			ev.Type, ev.CPU, ev.IfIndex, ev.Aux, ev.Cycles)
+	})
 	fmt.Printf("LB conn table:    %d sticky flows pinned to backends\n", conns.Len())
 	fmt.Printf("forwarded out eth1: %d packets (VIP traffic DNATed to backends)\n", out.Stats().TxPackets)
 	return nil

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
 )
@@ -77,10 +78,11 @@ type FDBEntry struct {
 
 // Decision is the outcome of a bridge forwarding lookup.
 type Decision struct {
-	Egress []int // ifindexes to transmit on (one for a hit, many for flood)
-	Flood  bool  // FDB miss / broadcast / multicast
-	Local  bool  // destined to the bridge device itself (deliver up)
-	Drop   bool  // blocked by STP or VLAN filtering
+	Egress []int       // ifindexes to transmit on (one for a hit, many for flood)
+	Flood  bool        // FDB miss / broadcast / multicast
+	Local  bool        // destined to the bridge device itself (deliver up)
+	Drop   bool        // blocked by STP or VLAN filtering
+	Reason drop.Reason // why, when Drop is set (skb_drop_reason)
 }
 
 // Bridge is one bridge device. It is safe for concurrent use.
@@ -398,11 +400,11 @@ func (b *Bridge) Forward(ingress int, dst packet.HWAddr, vlan uint16, now sim.Ti
 	defer b.mu.RUnlock()
 	in, ok := b.ports[ingress]
 	if !ok || in.State == Disabled || in.State == Blocking || in.State == Listening {
-		return Decision{Drop: true}
+		return Decision{Drop: true, Reason: drop.ReasonSTPBlocked}
 	}
 	if in.State == Learning {
 		// Learning ports absorb frames without forwarding.
-		return Decision{Drop: true}
+		return Decision{Drop: true, Reason: drop.ReasonSTPBlocked}
 	}
 	if dst == b.MAC {
 		return Decision{Local: true}
@@ -411,14 +413,15 @@ func (b *Bridge) Forward(ingress int, dst packet.HWAddr, vlan uint16, now sim.Ti
 		if e, ok := b.fdb[FDBKey{MAC: dst, VLAN: vlan}]; ok &&
 			(e.Static || now.Sub(e.LastSeen) <= b.ageing) {
 			if e.Port == ingress {
-				return Decision{Drop: true} // hairpin off by default
+				return Decision{Drop: true, Reason: drop.ReasonBridgeNoFwd} // hairpin off by default
 			}
 			if p, ok := b.ports[e.Port]; ok && p.State == Forwarding {
 				if _, allowed := b.egressAllowedLocked(e.Port, vlan); allowed {
 					return Decision{Egress: []int{e.Port}}
 				}
+				return Decision{Drop: true, Reason: drop.ReasonVLANFilter}
 			}
-			return Decision{Drop: true}
+			return Decision{Drop: true, Reason: drop.ReasonBridgeNoFwd}
 		}
 	}
 	// Miss, broadcast or multicast: flood to all other forwarding ports.

@@ -1,0 +1,167 @@
+// Package drop models the kernel's enum skb_drop_reason (net/dropreason.h,
+// Linux 5.17+): every packet drop in the stack names *why* it happened, so
+// drop_monitor / kfree_skb tracepoints can attribute loss instead of just
+// counting it. The package sits below netdev, netfilter, bridge, kernel and
+// ebpf in the import graph so every layer can tag its drops with the same
+// enum, and provides the sharded per-reason counters each layer embeds.
+package drop
+
+import "sync/atomic"
+
+// Reason says why a frame was dropped. The zero value is NotSpecified —
+// kept, as in the kernel, so an untagged drop site shows up in the audit
+// instead of vanishing.
+type Reason uint8
+
+// Drop reasons, grouped roughly by the layer that raises them. The names
+// mirror the kernel's SKB_DROP_REASON_* where an equivalent exists.
+const (
+	ReasonNotSpecified Reason = iota // SKB_DROP_REASON_NOT_SPECIFIED
+
+	// Device / driver layer.
+	ReasonDevRxDown // RX on a device that is administratively down
+	ReasonDevTxDown // TX on a down or unplugged device
+
+	// XDP layer.
+	ReasonXDPDrop         // program returned XDP_DROP
+	ReasonXDPAborted      // program returned XDP_ABORTED (or invalid action)
+	ReasonXDPRedirectFail // XDP_REDIRECT with no resolvable target
+	ReasonCpumapNoEntry   // cpumap redirect to an empty slot
+	ReasonCpumapOverflow  // cpumap ptr_ring full (kthread behind)
+
+	// L2 / bridge.
+	ReasonL2HdrError  // Ethernet header too short / unparseable
+	ReasonVLANFilter  // bridge ingress/egress VLAN filtering
+	ReasonSTPBlocked  // ingress port not in forwarding state
+	ReasonBridgeNoFwd // bridge had no live port to forward to (FDB dead, hairpin)
+
+	// TC.
+	ReasonTCDrop         // classifier verdict TC_ACT_SHOT
+	ReasonTCRedirectFail // TC redirect to a missing device
+
+	// Netfilter.
+	ReasonNetfilterDrop // iptables verdict DROP at any hook
+
+	// IP layer.
+	ReasonIPHdrError      // IPv4 header / checksum failure
+	ReasonIPNoRoute       // FIB lookup miss
+	ReasonIPTTLExpired    // TTL reached zero in forwarding
+	ReasonIPForwardingOff // net.ipv4.ip_forward disabled
+	ReasonPktTooBig       // DF set and frame exceeds egress MTU
+	ReasonFragError       // fragmentation impossible (MTU below header)
+	ReasonUnknownL3Proto  // EtherType the stack does not implement
+	ReasonUnknownL4Proto  // IP protocol with no local handler
+	ReasonNoSocket        // local delivery with no bound socket
+
+	// Observability plane: an *event* (not a packet) lost to a full BPF
+	// ring buffer. Counted in its own counters so the packet conservation
+	// audit stays exact, but carries a reason like every other drop.
+	ReasonRingbufFull
+
+	NumReasons // sentinel: length for counter arrays
+)
+
+var reasonNames = [NumReasons]string{
+	ReasonNotSpecified:    "not_specified",
+	ReasonDevRxDown:       "dev_rx_down",
+	ReasonDevTxDown:       "dev_tx_down",
+	ReasonXDPDrop:         "xdp_drop",
+	ReasonXDPAborted:      "xdp_aborted",
+	ReasonXDPRedirectFail: "xdp_redirect_fail",
+	ReasonCpumapNoEntry:   "cpumap_no_entry",
+	ReasonCpumapOverflow:  "cpumap_overflow",
+	ReasonL2HdrError:      "l2_hdr_error",
+	ReasonVLANFilter:      "vlan_filter",
+	ReasonSTPBlocked:      "stp_blocked",
+	ReasonBridgeNoFwd:     "bridge_no_fwd",
+	ReasonTCDrop:          "tc_drop",
+	ReasonTCRedirectFail:  "tc_redirect_fail",
+	ReasonNetfilterDrop:   "netfilter_drop",
+	ReasonIPHdrError:      "ip_hdr_error",
+	ReasonIPNoRoute:       "ip_no_route",
+	ReasonIPTTLExpired:    "ip_ttl_expired",
+	ReasonIPForwardingOff: "ip_forwarding_off",
+	ReasonPktTooBig:       "pkt_too_big",
+	ReasonFragError:       "frag_error",
+	ReasonUnknownL3Proto:  "unknown_l3_proto",
+	ReasonUnknownL4Proto:  "unknown_l4_proto",
+	ReasonNoSocket:        "no_socket",
+	ReasonRingbufFull:     "ringbuf_full",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) && reasonNames[r] != "" {
+		return reasonNames[r]
+	}
+	return "reason_invalid"
+}
+
+// Counters is one shard of per-reason drop counters. Each datapath shard
+// (RX queue / CPU) owns one, so the hot-path increment is an uncontended
+// atomic add; Sum folds shards back together for reporting.
+type Counters struct {
+	n [NumReasons]atomic.Uint64
+}
+
+// Count records one drop with the given reason. Out-of-range reasons are
+// folded into NotSpecified rather than lost — conservation over precision.
+func (c *Counters) Count(r Reason) {
+	if r >= NumReasons {
+		r = ReasonNotSpecified
+	}
+	c.n[r].Add(1)
+}
+
+// Add records n drops with the given reason.
+func (c *Counters) Add(r Reason, n uint64) {
+	if n == 0 {
+		return
+	}
+	if r >= NumReasons {
+		r = ReasonNotSpecified
+	}
+	c.n[r].Add(n)
+}
+
+// Load reads one reason's count on this shard.
+func (c *Counters) Load(r Reason) uint64 {
+	if r >= NumReasons {
+		return 0
+	}
+	return c.n[r].Load()
+}
+
+// AddInto accumulates this shard into out (indexed by Reason).
+func (c *Counters) AddInto(out *[NumReasons]uint64) {
+	for i := range c.n {
+		out[i] += c.n[i].Load()
+	}
+}
+
+// Sum folds any number of shards into one per-reason array.
+func Sum(shards []Counters) [NumReasons]uint64 {
+	var out [NumReasons]uint64
+	for i := range shards {
+		shards[i].AddInto(&out)
+	}
+	return out
+}
+
+// Total is the sum over all reasons of a folded array — the number the
+// audit compares against the stack's own total drop counters.
+func Total(byReason [NumReasons]uint64) uint64 {
+	var t uint64
+	for _, v := range byReason {
+		t += v
+	}
+	return t
+}
+
+// Reasons lists every reason in enum order (for table rendering).
+func Reasons() []Reason {
+	out := make([]Reason, NumReasons)
+	for i := range out {
+		out[i] = Reason(i)
+	}
+	return out
+}

@@ -51,6 +51,7 @@ const (
 	CapRedirect
 	CapAdjustHead // packet headroom manipulation (encap)
 	CapHelperIPVS // bpf_ipvs_lookup (new helper, Table I's LB row)
+	CapRingbuf    // bpf_ringbuf_output (event stream to userspace)
 )
 
 // Verdict is an op outcome inside a program.

@@ -1,0 +1,77 @@
+package ebpf
+
+// Fixed-layout telemetry events carried over the RingBuf. A real BPF program
+// would define this struct in C and the userspace consumer would mirror it;
+// here both sides share one 24-byte little-endian wire format so decode is a
+// fixed-offset read, never a parse.
+
+import (
+	"encoding/binary"
+
+	"linuxfp/internal/drop"
+)
+
+// EventType discriminates ring buffer telemetry records.
+type EventType uint8
+
+// Event types.
+const (
+	EventDrop    EventType = iota + 1 // a packet drop: Reason set, Cycles = meter position
+	EventLatency                      // a stage latency sample: Stage + Cycles set
+	EventTrace                        // a per-packet fast-path trace (fpm.TraceOp)
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventDrop:
+		return "drop"
+	case EventLatency:
+		return "latency"
+	case EventTrace:
+		return "trace"
+	default:
+		return "event_invalid"
+	}
+}
+
+// EventSize is the wire size of one Event.
+const EventSize = 24
+
+// Event is one telemetry record.
+type Event struct {
+	Type    EventType
+	Reason  drop.Reason // EventDrop
+	Stage   uint8       // EventLatency: kernel.Stage ordinal
+	CPU     uint8       // producing CPU / RX queue
+	IfIndex uint32      // device the packet was on (0 if unknown)
+	Cycles  uint64      // modelcycles: stage latency, or meter position at drop
+	Aux     uint64      // type-specific: packet bytes, redirect target, ...
+}
+
+// MarshalInto writes the event into b.
+func (e *Event) MarshalInto(b *[EventSize]byte) {
+	b[0] = byte(e.Type)
+	b[1] = byte(e.Reason)
+	b[2] = e.Stage
+	b[3] = e.CPU
+	binary.LittleEndian.PutUint32(b[4:8], e.IfIndex)
+	binary.LittleEndian.PutUint64(b[8:16], e.Cycles)
+	binary.LittleEndian.PutUint64(b[16:24], e.Aux)
+}
+
+// DecodeEvent reads an event back out of a ring record. Short records return
+// ok=false.
+func DecodeEvent(b []byte) (Event, bool) {
+	if len(b) < EventSize {
+		return Event{}, false
+	}
+	return Event{
+		Type:    EventType(b[0]),
+		Reason:  drop.Reason(b[1]),
+		Stage:   b[2],
+		CPU:     b[3],
+		IfIndex: binary.LittleEndian.Uint32(b[4:8]),
+		Cycles:  binary.LittleEndian.Uint64(b[8:16]),
+		Aux:     binary.LittleEndian.Uint64(b[16:24]),
+	}, true
+}

@@ -74,6 +74,11 @@ var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
 
 // HandleXDP implements netdev.XDPHandler.
 func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
+	sl := a.k.StageObs()
+	var stageStart sim.Cycles
+	if sl != nil {
+		stageStart = buff.Meter.Total
+	}
 	buff.Meter.Charge(sim.CostXDPPrologue)
 	ctx := ctxPool.Get().(*Ctx)
 	*ctx = Ctx{
@@ -84,6 +89,9 @@ func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
 	v := a.prog.exec(ctx)
 	act := verdictToXDP(v, buff, ctx)
 	ctxPool.Put(ctx)
+	if sl != nil {
+		sl.Observe(kernel.StageXDP, buff.Meter, stageStart)
+	}
 	return act
 }
 
@@ -125,6 +133,7 @@ func (a *xdpAdapter) HandleXDPBatch(bufs []*netdev.XDPBuff, acts []netdev.XDPAct
 		return
 	}
 	m := bufs[0].Meter
+	sl := a.k.StageObs()
 	m.Charge(sim.CostXDPPrologue)
 	jit := a.k.BPFJITEnabled()
 	ctx := ctxPool.Get().(*Ctx)
@@ -132,12 +141,21 @@ func (a *xdpAdapter) HandleXDPBatch(bufs []*netdev.XDPBuff, acts []netdev.XDPAct
 		if i > 0 {
 			m.Charge(sim.CostXDPBatchEntry)
 		}
+		var stageStart sim.Cycles
+		if sl != nil {
+			stageStart = buff.Meter.Total
+		}
 		*ctx = Ctx{
 			Kernel: a.k, Meter: buff.Meter, Hook: HookXDP,
 			IfIndex: buff.IfIndex, XDP: buff,
 			jit: jit,
 		}
 		acts[i] = verdictToXDP(a.prog.exec(ctx), buff, ctx)
+		if sl != nil {
+			// Per-frame observation: each frame's program run is one
+			// latency sample, even inside a batched poll.
+			sl.Observe(kernel.StageXDP, buff.Meter, stageStart)
+		}
 	}
 	ctxPool.Put(ctx)
 }
@@ -350,6 +368,34 @@ func HelperIPVSLookup(c *Ctx) (backend packet.Addr, vip, ok bool) {
 		return 0, true, false
 	}
 	return 0, false, false
+}
+
+// HelperRingbufOutput is bpf_ringbuf_output: reserve, copy, submit. It
+// charges the reserve/commit costs plus a per-byte copy cost, and the wakeup
+// cost only when this submit actually posts the consumer doorbell (so raising
+// the ring's wakeup batch directly cuts the amortized helper cost). A full
+// ring returns false without blocking — the event is dropped and counted on
+// the ring, never the packet.
+func HelperRingbufOutput(c *Ctx, rb *RingBuf, data []byte) bool {
+	c.Meter.Charge(sim.CostRingbufReserve)
+	rec := rb.Reserve(len(data))
+	if rec == nil {
+		return false
+	}
+	copy(rec.Bytes(), data)
+	c.Meter.Charge(sim.CostRingbufPerByte*sim.Cycles(len(data)) + sim.CostRingbufCommit)
+	if rec.Submit() {
+		c.Meter.Charge(sim.CostRingbufWakeup)
+	}
+	return true
+}
+
+// HelperRingbufOutputEvent emits one fixed-layout telemetry Event — the form
+// every fast-path producer (fpm.TraceOp, drop mirrors) uses.
+func HelperRingbufOutputEvent(c *Ctx, rb *RingBuf, e *Event) bool {
+	var buf [EventSize]byte
+	e.MarshalInto(&buf)
+	return HelperRingbufOutput(c, rb, buf[:])
 }
 
 // IptResult is the tri-state outcome of bpf_ipt_lookup.

@@ -1,0 +1,255 @@
+package ebpf
+
+// RingBuf models BPF_MAP_TYPE_RINGBUF: a byte-sized MPSC ring shared by every
+// producer CPU, with kernel-ringbuf semantics where they matter to the model:
+//
+//   - Reserve/Submit/Discard producer API. Reserve claims ring bytes up front
+//     (header + 8-byte-aligned payload) under a short producer lock — the
+//     analogue of the real ringbuf's per-reserve spinlock — and NEVER waits
+//     for the consumer: a full ring fails the reserve and the producer drops
+//     the event (counted, reason ringbuf_full) without stalling the datapath.
+//   - MPSC ordering: records become consumable strictly in reserve order. A
+//     reserved-but-uncommitted record blocks delivery of every later record,
+//     committed or not, exactly like the busy bit in a real record header.
+//   - Epoll-style consumer wakeup with batching: Submit posts a doorbell
+//     (coalesced channel of capacity 1) only once per WakeupBatch committed
+//     records, modelling BPF_RB_NO_WAKEUP-based batching; Flush forces the
+//     doorbell for a partial batch.
+//
+// Event drops here are bookkept on the ring itself — they are lost telemetry,
+// not lost packets, so they stay out of the kernel/netdev packet-drop
+// conservation sums while still carrying drop.ReasonRingbufFull in the
+// exported reason table.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"linuxfp/internal/drop"
+)
+
+// recState is the lifecycle of one reserved record.
+const (
+	recBusy      uint32 = iota // reserved, producer still writing
+	recCommitted               // submitted, consumable once it reaches head
+	recDiscarded               // discarded, skipped by the consumer
+)
+
+// ringbufHdrSize is the per-record header overhead charged against the ring's
+// byte capacity, like struct bpf_ringbuf_hdr.
+const ringbufHdrSize = 8
+
+// RingRecord is one reserved region. The producer fills Bytes() then calls
+// exactly one of Submit or Discard; the record is invalid afterwards.
+type RingRecord struct {
+	rb    *RingBuf
+	buf   []byte
+	size  int    // ring bytes accounted: header + aligned payload
+	state uint32 // recBusy/recCommitted/recDiscarded, guarded by rb.mu
+}
+
+// Bytes returns the reserved payload region.
+func (r *RingRecord) Bytes() []byte { return r.buf }
+
+// RingBuf is the ring itself. The zero value is not usable; use NewRingBuf.
+type RingBuf struct {
+	name string
+	cap  int // payload+header byte capacity, power of two
+
+	mu   sync.Mutex
+	used int // bytes reserved and not yet consumed
+	recs []*RingRecord
+	head int // index of the oldest unconsumed record in recs
+
+	wakeupBatch atomic.Int64
+	unacked     int // committed since the last doorbell, guarded by mu
+
+	doorbell chan struct{}
+
+	produced  atomic.Uint64 // records submitted
+	discarded atomic.Uint64 // records discarded
+	consumed  atomic.Uint64 // records delivered to the consumer
+	dropped   atomic.Uint64 // reserves refused on a full ring (ringbuf_full)
+}
+
+// NewRingBuf creates a ring with at least capBytes of capacity, rounded up to
+// a power of two (minimum 4096), waking the consumer on every submit until
+// SetWakeupBatch raises the batch.
+func NewRingBuf(name string, capBytes int) *RingBuf {
+	c := 4096
+	for c < capBytes {
+		c <<= 1
+	}
+	rb := &RingBuf{
+		name:     name,
+		cap:      c,
+		doorbell: make(chan struct{}, 1),
+	}
+	rb.wakeupBatch.Store(1)
+	return rb
+}
+
+// Name returns the ring's map name.
+func (rb *RingBuf) Name() string { return rb.name }
+
+// Cap returns the ring's byte capacity.
+func (rb *RingBuf) Cap() int { return rb.cap }
+
+// SetWakeupBatch sets how many committed records accumulate before Submit
+// posts the consumer doorbell (values < 1 mean every submit). Larger batches
+// amortize the wakeup cost the way BPF_RB_NO_WAKEUP producers do, at the
+// price of delivery latency for a trickle of events — pair with Flush.
+func (rb *RingBuf) SetWakeupBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	rb.wakeupBatch.Store(int64(n))
+}
+
+// align8 rounds payload sizes up the way the kernel ringbuf does.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Reserve claims size payload bytes. It returns nil — and counts a drop —
+// when the ring cannot hold the record; it never waits for the consumer.
+func (rb *RingBuf) Reserve(size int) *RingRecord {
+	if size < 0 {
+		return nil
+	}
+	need := ringbufHdrSize + align8(size)
+	rb.mu.Lock()
+	if rb.used+need > rb.cap {
+		rb.mu.Unlock()
+		rb.dropped.Add(1)
+		return nil
+	}
+	rec := recordPool.Get().(*RingRecord)
+	if cap(rec.buf) < size {
+		rec.buf = make([]byte, size)
+	}
+	rec.rb, rec.buf, rec.size, rec.state = rb, rec.buf[:size], need, recBusy
+	rb.used += need
+	rb.recs = append(rb.recs, rec)
+	rb.mu.Unlock()
+	return rec
+}
+
+var recordPool = sync.Pool{New: func() any { return new(RingRecord) }}
+
+// Submit commits the record, making it consumable once every earlier reserve
+// has resolved. It reports whether it posted the consumer doorbell (one
+// wakeup per WakeupBatch commits).
+func (r *RingRecord) Submit() bool {
+	rb := r.rb
+	rb.mu.Lock()
+	r.state = recCommitted
+	rb.unacked++
+	wake := rb.unacked >= int(rb.wakeupBatch.Load())
+	if wake {
+		rb.unacked = 0
+	}
+	rb.mu.Unlock()
+	rb.produced.Add(1)
+	if wake {
+		rb.ring()
+	}
+	return wake
+}
+
+// Discard releases the record without delivering it. Its ring bytes free once
+// the consumer's scan passes it, like a discarded kernel record.
+func (r *RingRecord) Discard() {
+	rb := r.rb
+	rb.mu.Lock()
+	r.state = recDiscarded
+	rb.mu.Unlock()
+	rb.discarded.Add(1)
+}
+
+// Flush posts the doorbell if any committed records have not been signalled —
+// the producer-side BPF_RB_FORCE_WAKEUP for a partial batch.
+func (rb *RingBuf) Flush() {
+	rb.mu.Lock()
+	wake := rb.unacked > 0
+	rb.unacked = 0
+	rb.mu.Unlock()
+	if wake {
+		rb.ring()
+	}
+}
+
+// ring posts the coalesced doorbell without blocking.
+func (rb *RingBuf) ring() {
+	select {
+	case rb.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// C is the consumer's wakeup channel: one coalesced signal per doorbell, the
+// model of epoll_wait on the ring's fd. Consumers drain with Poll after each
+// wakeup (and once before waiting, to catch pre-subscription events).
+func (rb *RingBuf) C() <-chan struct{} { return rb.doorbell }
+
+// Poll delivers every currently-consumable record, in reserve order, to fn,
+// and returns how many it delivered. It stops at the first still-busy record.
+// The payload slice is only valid for the duration of the callback.
+func (rb *RingBuf) Poll(fn func(rec []byte)) int {
+	n := 0
+	for {
+		rb.mu.Lock()
+		var rec *RingRecord
+		for rb.head < len(rb.recs) {
+			r := rb.recs[rb.head]
+			if r.state == recBusy {
+				break
+			}
+			rb.recs[rb.head] = nil
+			rb.head++
+			rb.used -= r.size
+			if rb.head == len(rb.recs) {
+				rb.recs = rb.recs[:0]
+				rb.head = 0
+			}
+			if r.state == recDiscarded {
+				recordPool.Put(r)
+				continue
+			}
+			rec = r
+			break
+		}
+		rb.mu.Unlock()
+		if rec == nil {
+			return n
+		}
+		fn(rec.buf)
+		recordPool.Put(rec)
+		rb.consumed.Add(1)
+		n++
+	}
+}
+
+// Output is reserve+copy+submit in one call: the bpf_ringbuf_output helper
+// shape. It reports whether the event was accepted and whether the doorbell
+// was posted.
+func (rb *RingBuf) Output(data []byte) (ok, woke bool) {
+	rec := rb.Reserve(len(data))
+	if rec == nil {
+		return false, false
+	}
+	copy(rec.buf, data)
+	return true, rec.Submit()
+}
+
+// Produced returns how many records have been submitted.
+func (rb *RingBuf) Produced() uint64 { return rb.produced.Load() }
+
+// Consumed returns how many records the consumer has drained.
+func (rb *RingBuf) Consumed() uint64 { return rb.consumed.Load() }
+
+// Dropped returns how many events were refused on a full ring. These carry
+// drop.ReasonRingbufFull in telemetry but are NOT packet drops: they never
+// enter the kernel/netdev drop conservation sums.
+func (rb *RingBuf) Dropped() uint64 { return rb.dropped.Load() }
+
+// DroppedReason is the reason every ringbuf event drop carries.
+func (rb *RingBuf) DroppedReason() drop.Reason { return drop.ReasonRingbufFull }

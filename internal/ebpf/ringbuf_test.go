@@ -1,0 +1,232 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"linuxfp/internal/drop"
+)
+
+func TestRingBufReserveSubmitPoll(t *testing.T) {
+	rb := NewRingBuf("rb", 4096)
+	if rb.Cap() != 4096 || rb.Name() != "rb" {
+		t.Fatalf("cap %d name %q", rb.Cap(), rb.Name())
+	}
+
+	rec := rb.Reserve(12)
+	if rec == nil {
+		t.Fatal("reserve failed on empty ring")
+	}
+	copy(rec.Bytes(), "hello ringbu")
+	if !rec.Submit() {
+		t.Fatal("wakeup batch 1 must ring the doorbell on every submit")
+	}
+	select {
+	case <-rb.C():
+	default:
+		t.Fatal("doorbell channel empty after submit")
+	}
+
+	var got []byte
+	if n := rb.Poll(func(b []byte) { got = append([]byte(nil), b...) }); n != 1 {
+		t.Fatalf("polled %d records", n)
+	}
+	if string(got) != "hello ringbu" {
+		t.Fatalf("payload %q", got)
+	}
+	if rb.Produced() != 1 || rb.Consumed() != 1 || rb.Dropped() != 0 {
+		t.Fatalf("counters produced=%d consumed=%d dropped=%d", rb.Produced(), rb.Consumed(), rb.Dropped())
+	}
+}
+
+func TestRingBufDiscardSkipped(t *testing.T) {
+	rb := NewRingBuf("rb", 4096)
+	a, b, c := rb.Reserve(8), rb.Reserve(8), rb.Reserve(8)
+	binary.LittleEndian.PutUint64(a.Bytes(), 1)
+	binary.LittleEndian.PutUint64(c.Bytes(), 3)
+	a.Submit()
+	b.Discard()
+	c.Submit()
+
+	var seen []uint64
+	rb.Poll(func(rec []byte) { seen = append(seen, binary.LittleEndian.Uint64(rec)) })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("consumer saw %v, want [1 3]", seen)
+	}
+	if rb.Consumed() != 2 || rb.Produced() != 2 {
+		t.Fatalf("counters produced=%d consumed=%d", rb.Produced(), rb.Consumed())
+	}
+}
+
+// TestRingBufBusyBlocksLater is the MPSC ordering contract: a reserved but
+// uncommitted record keeps every later record — even committed ones — out of
+// the consumer's reach, like the busy bit in a real ringbuf record header.
+func TestRingBufBusyBlocksLater(t *testing.T) {
+	rb := NewRingBuf("rb", 4096)
+	first := rb.Reserve(8)
+	second := rb.Reserve(8)
+	binary.LittleEndian.PutUint64(first.Bytes(), 1)
+	binary.LittleEndian.PutUint64(second.Bytes(), 2)
+	second.Submit()
+
+	if n := rb.Poll(func([]byte) {}); n != 0 {
+		t.Fatalf("polled %d records past a busy reserve", n)
+	}
+	first.Submit()
+	var seen []uint64
+	rb.Poll(func(rec []byte) { seen = append(seen, binary.LittleEndian.Uint64(rec)) })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("records out of reserve order: %v", seen)
+	}
+}
+
+// TestRingBufFullNeverBlocks: a full ring refuses the reserve and counts the
+// drop; consuming frees the bytes and reserves succeed again. The producer
+// never waits.
+func TestRingBufFullNeverBlocks(t *testing.T) {
+	rb := NewRingBuf("rb", 4096)
+	// Each 56-byte payload accounts 8 (header) + 56 = 64 ring bytes.
+	for i := 0; i < 64; i++ {
+		rec := rb.Reserve(56)
+		if rec == nil {
+			t.Fatalf("reserve %d failed with %d/%d bytes used", i, i*64, rb.Cap())
+		}
+		rec.Submit()
+	}
+	if rec := rb.Reserve(56); rec != nil {
+		t.Fatal("reserve succeeded on a full ring")
+	}
+	if rb.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", rb.Dropped())
+	}
+	if rb.DroppedReason() != drop.ReasonRingbufFull {
+		t.Fatalf("drop reason %s", rb.DroppedReason())
+	}
+
+	if n := rb.Poll(func([]byte) {}); n != 64 {
+		t.Fatalf("drained %d records", n)
+	}
+	if rec := rb.Reserve(56); rec == nil {
+		t.Fatal("reserve failed after the consumer freed the ring")
+	}
+}
+
+// TestRingBufWakeupBatch: with batch N the doorbell posts once per N commits,
+// and Flush forces it for a partial batch.
+func TestRingBufWakeupBatch(t *testing.T) {
+	rb := NewRingBuf("rb", 1<<14)
+	rb.SetWakeupBatch(4)
+
+	wakes := 0
+	for i := 0; i < 10; i++ {
+		rec := rb.Reserve(8)
+		if rec.Submit() {
+			wakes++
+		}
+	}
+	if wakes != 2 { // after commits 4 and 8
+		t.Fatalf("%d wakeups for 10 submits at batch 4, want 2", wakes)
+	}
+	select {
+	case <-rb.C():
+	default:
+		t.Fatal("doorbell not pending after batch wakeups")
+	}
+	rb.Flush() // 2 unacked commits
+	select {
+	case <-rb.C():
+	default:
+		t.Fatal("flush did not post the doorbell for the partial batch")
+	}
+	rb.Flush() // nothing unacked: must not ring
+	select {
+	case <-rb.C():
+		t.Fatal("flush rang the doorbell with nothing unacked")
+	default:
+	}
+}
+
+// TestRingBufConcurrentProducers hammers Output from many goroutines with a
+// live consumer. Accounting must balance exactly: every attempt either
+// reaches the consumer or is counted as a ringbuf_full drop.
+func TestRingBufConcurrentProducers(t *testing.T) {
+	rb := NewRingBuf("rb", 4096) // small on purpose: force full-ring drops
+	rb.SetWakeupBatch(8)
+
+	const producers = 8
+	const perProducer = 4096
+	var accepted atomic.Uint64
+	stop := make(chan struct{})
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for {
+			select {
+			case <-rb.C():
+				rb.Poll(func([]byte) {})
+			case <-stop:
+				rb.Flush()
+				rb.Poll(func([]byte) {})
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var buf [EventSize]byte
+			for i := 0; i < perProducer; i++ {
+				ev := Event{Type: EventTrace, CPU: uint8(p), Cycles: uint64(i)}
+				ev.MarshalInto(&buf)
+				if ok, _ := rb.Output(buf[:]); ok {
+					accepted.Add(1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	consumer.Wait()
+
+	const attempts = producers * perProducer
+	if rb.Produced() != accepted.Load() {
+		t.Fatalf("produced %d != accepted %d", rb.Produced(), accepted.Load())
+	}
+	if rb.Produced()+rb.Dropped() != attempts {
+		t.Fatalf("produced %d + dropped %d != attempts %d", rb.Produced(), rb.Dropped(), attempts)
+	}
+	if rb.Consumed() != rb.Produced() {
+		t.Fatalf("consumed %d != produced %d after final drain", rb.Consumed(), rb.Produced())
+	}
+	if rb.Dropped() == 0 {
+		t.Fatal("tiny ring under 8 producers never filled — full-ring path untested")
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := Event{
+		Type: EventDrop, Reason: drop.ReasonIPNoRoute, Stage: 3, CPU: 7,
+		IfIndex: 42, Cycles: 123456789, Aux: 0xdeadbeef,
+	}
+	var buf [EventSize]byte
+	ev.MarshalInto(&buf)
+	got, ok := DecodeEvent(buf[:])
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got != ev {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, ev)
+	}
+	if _, ok := DecodeEvent(buf[:EventSize-1]); ok {
+		t.Fatal("short buffer decoded")
+	}
+	if EventDrop.String() == "" || EventTrace.String() == "" || EventLatency.String() == "" {
+		t.Fatal("event types must have names")
+	}
+}

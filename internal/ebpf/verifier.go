@@ -23,9 +23,9 @@ const MaxInsns = 4096
 func HookCaps(h Hook) (Cap, error) {
 	switch h {
 	case HookXDP:
-		return CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapAdjustHead, nil
+		return CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapAdjustHead | CapRingbuf, nil
 	case HookTCIngress, HookTCEgress:
-		return CapSKB | CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect, nil
+		return CapSKB | CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapRingbuf, nil
 	default:
 		return 0, fmt.Errorf("%w: %d", ErrBadHook, int(h))
 	}

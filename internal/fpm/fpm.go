@@ -331,6 +331,51 @@ func MonitorOpPerCPU(counters *ebpf.PerCPUArrayMap) ebpf.Op {
 	})
 }
 
+// TraceConf parameterizes the trace FPM.
+type TraceConf struct {
+	// Ring receives the events.
+	Ring *ebpf.RingBuf
+	// SampleShift subsamples: emit one event per 2^SampleShift packets
+	// (0 traces every packet). Sampling state is per-op, modelling a
+	// per-program counter map.
+	SampleShift uint
+	// Proto/DstPort restrict tracing to matching traffic (zero means any).
+	Proto   uint8
+	DstPort uint16
+}
+
+// TraceOp emits a fixed-layout EventTrace for matching packets via
+// bpf_ringbuf_output — the monitoring FPM's streaming twin. The op itself is
+// cost-free (like FIBLookupOp, the helper charges what actually runs), so JIT
+// fusion's prefix-summed static costs stay exact whether or not the op
+// matches. A full ring silently drops the event (counted on the ring), never
+// the packet.
+func TraceOp(conf TraceConf) ebpf.Op {
+	var seq atomic.Uint64
+	mask := uint64(1)<<conf.SampleShift - 1
+	return ebpf.NewOp("trace", 0, ebpf.CapRingbuf, 56, func(c *ebpf.Ctx) ebpf.Verdict {
+		// Helper charges its own cost.
+		if conf.Proto != 0 && c.IPProto != conf.Proto {
+			return ebpf.VerdictNext
+		}
+		if conf.DstPort != 0 && c.DstPort != conf.DstPort {
+			return ebpf.VerdictNext
+		}
+		if (seq.Add(1)-1)&mask != 0 {
+			return ebpf.VerdictNext
+		}
+		ev := ebpf.Event{
+			Type:    ebpf.EventTrace,
+			CPU:     uint8(c.CPU()),
+			IfIndex: uint32(c.IfIndex),
+			Cycles:  uint64(c.Meter.Total),
+			Aux:     uint64(len(c.Frame())),
+		}
+		ebpf.HelperRingbufOutputEvent(c, conf.Ring, &ev)
+		return ebpf.VerdictNext
+	})
+}
+
 // AFXDPConf parameterizes the AF_XDP capture module (paper future work):
 // matching packets bypass the whole kernel stack and land on a user-space
 // socket; everything else continues down the chain untouched.

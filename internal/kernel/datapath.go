@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"linuxfp/internal/bridge"
+	"linuxfp/internal/drop"
 	"linuxfp/internal/fib"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
@@ -48,13 +49,13 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 // deliverFrame is the body of DeliverFrame with the scratch made explicit,
 // so DeliverBatch can run a whole burst on one scratch.
 func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("netif_receive_skb")()
+	defer k.trace("netif_receive_skb", m)()
 	sc.fillOK = false
 	sc.gso = gsoMeta{}
 
 	eth, l3off, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonL2HdrError)
 		return
 	}
 
@@ -69,9 +70,14 @@ func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 		}
 		sc.skb = SKB{Data: frame, Dev: dev, Pkt: &sc.pkt, VLAN: eth.VLAN, Meter: m}
 		skb := &sc.skb
-		switch h.HandleTC(skb) {
+		sl, st := k.stageStart(m)
+		act := h.HandleTC(skb)
+		if sl != nil {
+			sl.Observe(StageTC, m, st)
+		}
+		switch act {
 		case TCShot:
-			k.countDrop(m)
+			k.countDropReason(m, drop.ReasonTCDrop)
 			return
 		case TCRedirect:
 			if out, ok := k.DeviceByIndex(skb.RedirectTo); ok {
@@ -84,7 +90,7 @@ func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 				}
 				out.Transmit(skb.Data, m)
 			} else {
-				k.countDrop(m)
+				k.countDropReason(m, drop.ReasonTCRedirectFail)
 			}
 			return
 		case TCOk:
@@ -125,7 +131,7 @@ func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethe
 // learning, and the forwarding decision. Bridging is pure L2: the frame's
 // payload need not be valid IP.
 func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte, eth packet.Ethernet, l3off int, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("br_handle_frame")()
+	defer k.trace("br_handle_frame", m)()
 	now := k.Now()
 
 	// BPDUs are link-local protocol traffic: always slow path (Table I).
@@ -149,7 +155,7 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 
 	vlan, ok := br.IngressVLAN(dev.Index, eth.VLAN)
 	if !ok {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonVLANFilter)
 		return
 	}
 	br.Learn(eth.Src, vlan, dev.Index, now)
@@ -176,7 +182,7 @@ func (k *Kernel) bridgeInput(br *bridge.Bridge, dev *netdev.Device, frame []byte
 
 	d := br.Forward(dev.Index, eth.Dst, vlan, now)
 	if d.Drop {
-		k.countDrop(m)
+		k.countDropReason(m, d.Reason)
 		return
 	}
 	// br_netfilter's second leg: forwarded bridged frames also traverse
@@ -240,7 +246,7 @@ func retagFrame(frame []byte, eth packet.Ethernet, l3off int, vlan uint16, tagge
 // bridging had its chance.
 func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
 	if err := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); err != nil {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonIPHdrError)
 		return
 	}
 	pkt := &sc.pkt
@@ -251,14 +257,14 @@ func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxS
 		k.ipRcv(dev, frame, pkt, m, sc)
 	default:
 		// Unknown protocol: consumed by taps only.
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonUnknownL3Proto)
 	}
 }
 
 // arpInput is arp_rcv: learn the sender, answer requests for local
 // addresses, flush the pending queue on replies.
 func (k *Kernel) arpInput(dev *netdev.Device, a *packet.ARP, m *sim.Meter) {
-	defer k.trace("arp_rcv")()
+	defer k.trace("arp_rcv", m)()
 	m.Charge(sim.CostArpProcess)
 	now := k.Now()
 
@@ -290,7 +296,7 @@ func (k *Kernel) addrIsLocal(ip packet.Addr) bool {
 
 // ipRcv is ip_rcv: validation, PREROUTING, routing decision.
 func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("ip_rcv")()
+	defer k.trace("ip_rcv", m)()
 	m.Charge(sim.CostIPRcv)
 	ip := pkt.IPv4
 
@@ -313,9 +319,13 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 		return
 	}
 
-	k.trace("fib_table_lookup")()
+	k.trace("fib_table_lookup", m)()
+	sl, st := k.stageStart(m)
 	m.Charge(sim.CostRouteLookup)
 	r, ok := k.FIB.Lookup(ip.Dst)
+	if sl != nil {
+		sl.Observe(StageFIB, m, st)
+	}
 	if !ok {
 		k.countNoRoute(m)
 		k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 0, m)
@@ -357,7 +367,10 @@ func (k *Kernel) buildMetaInto(dev *netdev.Device, pkt *packet.Packet, meta *net
 }
 
 // runHook evaluates a netfilter hook, charging the slow-path cost model.
+// It is the single choke point every hook traversal passes through, so the
+// netfilter stage histogram is recorded here.
 func (k *Kernel) runHook(h netfilter.Hook, meta *netfilter.Meta, m *sim.Meter) netfilter.Verdict {
+	sl, start := k.stageStart(m)
 	v, st := k.NF.EvaluateHook(h, meta)
 	if st.RulesEvaluated > 0 {
 		m.Charge(sim.CostNFHookBase +
@@ -367,12 +380,15 @@ func (k *Kernel) runHook(h netfilter.Hook, meta *netfilter.Meta, m *sim.Meter) n
 	if k.NF.CTRequired() {
 		m.Charge(sim.CostConntrackLookup)
 	}
+	if sl != nil {
+		sl.Observe(StageNetfilter, m, start)
+	}
 	return v
 }
 
 // ipLocalDeliver is ip_local_deliver: reassembly, INPUT hook, L4 demux.
 func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Packet, meta *netfilter.Meta, m *sim.Meter) {
-	defer k.trace("ip_local_deliver")()
+	defer k.trace("ip_local_deliver", m)()
 	m.Charge(sim.CostLocalDeliver)
 	ip := pkt.IPv4
 
@@ -407,7 +423,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 		}
 		h, ok := k.socketFor(ip.Proto, dport)
 		if !ok {
-			k.countDrop(m)
+			k.countDropReason(m, drop.ReasonNoSocket)
 			return
 		}
 		m.Charge(sim.CostSocketQueue)
@@ -427,13 +443,13 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 			SrcPort: sport, DstPort: dport, Payload: body, InIf: dev.Index, Meter: m,
 		})
 	default:
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonUnknownL4Proto)
 	}
 }
 
 // icmpInput answers echo requests.
 func (k *Kernel) icmpInput(dev *netdev.Device, ip *packet.IPv4, payload []byte, m *sim.Meter) {
-	defer k.trace("icmp_rcv")()
+	defer k.trace("icmp_rcv", m)()
 	ic, body, err := packet.UnmarshalICMP(payload)
 	if err != nil || ic.Type != packet.ICMPEchoRequest {
 		return
@@ -447,9 +463,9 @@ func (k *Kernel) icmpInput(dev *netdev.Device, ip *packet.IPv4, payload []byte, 
 // ipForward is ip_forward: TTL, FORWARD hook, neighbour resolution, rewrite
 // and transmit — the slow path LinuxFP's router FPM short-circuits.
 func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet, r fib.Route, meta *netfilter.Meta, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("ip_forward")()
+	defer k.trace("ip_forward", m)()
 	if !k.IPForwarding() {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonIPForwardingOff)
 		return
 	}
 	ip := pkt.IPv4
@@ -496,7 +512,7 @@ func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	if int(ip.TotalLen) > out.MTU {
 		if ip.DontFragment() {
 			k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 4, m) // frag needed
-			k.countDrop(m)
+			k.countDropReason(m, drop.ReasonPktTooBig)
 			return
 		}
 		k.fragmentAndSend(out, nexthop, frame, pkt, m)
@@ -514,7 +530,7 @@ func (k *Kernel) ipForward(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 // neighbour table when the MAC is unknown. When sc requests it, the
 // decision is memoized in the flow fast-cache after a successful transmit.
 func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []byte, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("neigh_resolve_output")()
+	defer k.trace("neigh_resolve_output", m)()
 	now := k.Now()
 
 	// POSTROUTING runs on every output once rules exist there (NAT
@@ -529,6 +545,7 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 			}
 		}
 	}
+	sl, nst := k.stageStart(m)
 	mac, expire, ok := k.Neigh.ResolvedFull(nexthop, now)
 	if !ok {
 		if first := k.Neigh.StartResolution(nexthop, out.Index, frame); first {
@@ -538,13 +555,21 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 	}
 	packet.SetEthDst(frame, mac)
 	m.Charge(sim.CostNeighOutput)
+	if sl != nil {
+		sl.Observe(StageNeigh, m, nst)
+	}
 
 	if h := k.tcEgressFor(out.Index); h != nil {
 		if pkt, err := packet.Decode(frame); err == nil {
 			skb := &SKB{Data: frame, Dev: out, Pkt: pkt, Meter: m}
-			switch h.HandleTC(skb) {
+			tsl, tst := k.stageStart(m)
+			act := h.HandleTC(skb)
+			if tsl != nil {
+				tsl.Observe(StageTC, m, tst)
+			}
+			switch act {
 			case TCShot:
-				k.countDrop(m)
+				k.countDropReason(m, drop.ReasonTCDrop)
 				return
 			case TCRedirect:
 				m.Charge(sim.CostTCRedirect)
@@ -558,9 +583,13 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 		}
 	}
 
-	k.trace("dev_queue_xmit")()
+	k.trace("dev_queue_xmit", m)()
+	xsl, xst := k.stageStart(m)
 	m.Charge(sim.CostDevXmit)
 	out.Transmit(frame, m)
+	if xsl != nil {
+		xsl.Observe(StageXmit, m, xst)
+	}
 	if sc != nil && sc.fillOK {
 		k.flowInstall(frame, out, mac, expire, sc.fillGen, m)
 	}

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"sync"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
 	"linuxfp/internal/packet"
@@ -171,7 +172,7 @@ func groParse(frame []byte, c *groCand) {
 // per-flow arrival order. Per-frame driver receive costs are charged here;
 // stack entry costs are charged per emitted frame by deliverRun.
 func (k *Kernel) groRun(dev *netdev.Device, frames [][]byte, outs []groOut, m *sim.Meter) []groOut {
-	defer k.trace("napi_gro_receive")()
+	defer k.trace("napi_gro_receive", m)()
 	ctx := k.groCtxFor(m)
 	ctx.mu.Lock()
 	now := k.Now()
@@ -507,7 +508,7 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 			frame := chunk[i].frame
 			eth, l3off, err := packet.UnmarshalEthernet(frame)
 			if err != nil {
-				k.countDrop(m)
+				k.countDropReason(m, drop.ReasonL2HdrError)
 				continue
 			}
 			if perr := packet.DecodeInto(frame, &ts.pkts[n], &ts.ips[n], &ts.arps[n]); perr != nil {
@@ -530,11 +531,11 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 			skb := &ts.skbs[i]
 			switch ts.acts[i] {
 			case TCShot:
-				k.countDrop(m)
+				k.countDropReason(m, drop.ReasonTCDrop)
 			case TCRedirect:
 				tgt, ok := k.DeviceByIndex(skb.RedirectTo)
 				if !ok {
-					k.countDrop(m)
+					k.countDropReason(m, drop.ReasonTCRedirectFail)
 					continue
 				}
 				if tgt.Type == netdev.Veth {
@@ -563,12 +564,12 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 // groInput enters the stack proper for one emitted frame, threading the GSO
 // metadata through the scratch so ip_forward can resegment at egress.
 func (k *Kernel) groInput(dev *netdev.Device, frame []byte, gso gsoMeta, m *sim.Meter, sc *rxScratch) {
-	defer k.trace("netif_receive_skb")()
+	defer k.trace("netif_receive_skb", m)()
 	sc.fillOK = false
 	sc.gso = gso
 	eth, l3off, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonL2HdrError)
 		sc.gso = gsoMeta{}
 		return
 	}
@@ -590,7 +591,7 @@ func (k *Kernel) groInput(dev *netdev.Device, frame []byte, gso gsoMeta, m *sim.
 // forwarded counter was already advanced (the fragmentation fallback counts
 // per segment, matching what the per-frame path would have recorded).
 func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame []byte, pkt *packet.Packet, gso gsoMeta, m *sim.Meter) bool {
-	defer k.trace("gso_segment")()
+	defer k.trace("gso_segment", m)()
 	now := k.Now()
 
 	if k.NF.RuleCount("POSTROUTING") > 0 {
@@ -605,6 +606,7 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 	}
 
 	l3, l4 := pkt.L3Off, pkt.L3Off+packet.IPv4MinLen
+	sl, nst := k.stageStart(m)
 	mac, _, ok := k.Neigh.ResolvedFull(nexthop, now)
 	if !ok {
 		// The neighbour queue retains frames verbatim until the ARP reply
@@ -624,13 +626,16 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 	}
 	packet.SetEthDst(frame, mac)
 	m.Charge(sim.CostNeighOutput)
+	if sl != nil {
+		sl.Observe(StageNeigh, m, nst)
+	}
 
 	if h := k.tcEgressFor(out.Index); h != nil {
 		if p2, err := packet.Decode(frame); err == nil {
 			skb := &SKB{Data: frame, Dev: out, Pkt: p2, Meter: m}
 			switch h.HandleTC(skb) {
 			case TCShot:
-				k.countDrop(m)
+				k.countDropReason(m, drop.ReasonTCDrop)
 				return false
 			case TCRedirect:
 				m.Charge(sim.CostTCRedirect)
@@ -644,9 +649,14 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 		}
 	}
 
-	k.trace("dev_queue_xmit")()
+	k.trace("dev_queue_xmit", m)()
+	xsl, xst := k.stageStart(m)
 	m.Charge(sim.CostDevXmit)
-	return k.gsoTransmit(dev, out, nexthop, frame, l3, l4, gso, m)
+	sent := k.gsoTransmit(dev, out, nexthop, frame, l3, l4, gso, m)
+	if xsl != nil {
+		xsl.Observe(StageXmit, m, xst)
+	}
+	return sent
 }
 
 // gsoTransmit splits the supersegment at the egress device and transmits the
@@ -669,7 +679,7 @@ func (k *Kernel) gsoTransmit(dev, out *netdev.Device, nexthop packet.Addr, frame
 		}
 		if p.IPv4.DontFragment() {
 			k.sendICMPError(dev, p, packet.ICMPUnreachable, 4, m)
-			k.countDrop(m)
+			k.countDropReason(m, drop.ReasonPktTooBig)
 			continue
 		}
 		k.fragmentAndSend(out, nexthop, s, p, m)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netlink"
 	"linuxfp/internal/packet"
@@ -201,17 +202,17 @@ func (k *Kernel) ipvsInput(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	if !ok {
 		return false
 	}
-	defer k.trace("ip_vs_in")()
+	defer k.trace("ip_vs_in", m)()
 	m.Charge(sim.CostLBConnHash)
 	packet.RewriteIPv4Dst(frame, pkt.L3Off, pkt.L4Off, backend)
 
 	// Re-resolve with the rewritten destination.
 	newPkt, err := packet.Decode(frame)
 	if err != nil {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonIPHdrError)
 		return true
 	}
-	k.trace("fib_table_lookup")()
+	k.trace("fib_table_lookup", m)()
 	m.Charge(sim.CostRouteLookup)
 	r, rok := k.FIB.Lookup(backend)
 	if !rok {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/bridge"
+	"linuxfp/internal/drop"
 	"linuxfp/internal/fib"
 	"linuxfp/internal/neigh"
 	"linuxfp/internal/netdev"
@@ -162,6 +163,12 @@ type Kernel struct {
 	l2cache [NumRxShards]atomic.Pointer[l2Shard]
 	gro     [NumRxShards]atomic.Pointer[groCtx]
 
+	// dropReasons shadows the shards' dropped counter, split by
+	// drop.Reason: every countDrop* helper tags its reason here, so
+	// drop.Total(DropReasons()) always equals Stats().Dropped. Each shard
+	// is its own cache-line-aligned counter block (drop.Counters).
+	dropReasons [NumRxShards]drop.Counters
+
 	// groFlushTO mirrors net.core.gro_flush_timeout (nanoseconds of virtual
 	// time): 0 flushes all holds at the end of every NAPI poll; >0 lets
 	// holds ride across polls until their deadline.
@@ -178,7 +185,9 @@ type Kernel struct {
 
 	ipvs *ipvsState
 
-	tracer atomic.Pointer[Tracer]
+	tracer     atomic.Pointer[Tracer]
+	stageLat   atomic.Pointer[StageLat]
+	dropNotify atomic.Pointer[DropNotify]
 }
 
 var (
@@ -338,10 +347,10 @@ func (k *Kernel) CreateBridge(name string) (*netdev.Device, *bridge.Bridge) {
 // bridgeDevXmit forwards a locally originated frame out the bridge's ports:
 // FDB hit goes out one port, otherwise it floods all forwarding ports.
 func (k *Kernel) bridgeDevXmit(br *bridge.Bridge, frame []byte, m *sim.Meter) {
-	defer k.trace("br_dev_xmit")()
+	defer k.trace("br_dev_xmit", m)()
 	eth, _, err := packet.UnmarshalEthernet(frame)
 	if err != nil {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonL2HdrError)
 		return
 	}
 	now := k.Now()
@@ -358,7 +367,7 @@ func (k *Kernel) bridgeDevXmit(br *bridge.Bridge, frame []byte, m *sim.Meter) {
 					return
 				}
 			}
-			k.countDrop(m)
+			k.countDropReason(m, drop.ReasonBridgeNoFwd)
 			return
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/sim"
 )
@@ -66,24 +67,29 @@ func (k *Kernel) ctr(m *sim.Meter) *shardCounters {
 
 // --- counters ----------------------------------------------------------------
 
-func (k *Kernel) countDrop(m *sim.Meter) { k.ctr(m).dropped.Add(1) }
+// Every drop bump carries a drop.Reason (see obs.go): the untagged countDrop
+// of earlier PRs is gone, so sum(per-reason) == dropped holds by
+// construction.
 
 func (k *Kernel) countFilterDrop(m *sim.Meter) {
 	c := k.ctr(m)
 	c.filterDropped.Add(1)
 	c.dropped.Add(1)
+	k.countDropReasonOnly(m, drop.ReasonNetfilterDrop)
 }
 
 func (k *Kernel) countNoRoute(m *sim.Meter) {
 	c := k.ctr(m)
 	c.noRoute.Add(1)
 	c.dropped.Add(1)
+	k.countDropReasonOnly(m, drop.ReasonIPNoRoute)
 }
 
 func (k *Kernel) countTTLExpired(m *sim.Meter) {
 	c := k.ctr(m)
 	c.ttlExpired.Add(1)
 	c.dropped.Add(1)
+	k.countDropReasonOnly(m, drop.ReasonIPTTLExpired)
 }
 
 func (k *Kernel) countForwarded(m *sim.Meter) { k.ctr(m).forwarded.Add(1) }
@@ -135,7 +141,13 @@ func (k *Kernel) DeliverBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter)
 	b := groBatchPool.Get().(*groBatch)
 	outs := b.outs[:0]
 	if gro {
+		sl, st := k.stageStart(m)
 		outs = k.groRun(dev, frames, outs, m)
+		if sl != nil {
+			// One observation per coalesce pass (the burst-level cost),
+			// matching how napi_gro_receive shows up in a flame graph.
+			sl.Observe(StageGRO, m, st)
+		}
 	} else {
 		for _, frame := range frames {
 			outs = append(outs, groOut{frame: frame, dev: dev, gso: gsoMeta{segs: 1}})

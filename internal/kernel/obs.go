@@ -1,0 +1,218 @@
+// Kernel-faithful observability: skb drop reasons and per-stage latency
+// histograms. Both follow the Tracer's static-key discipline — detached, the
+// hot path pays one atomic pointer load per gate; attached, observations land
+// on the observing CPU's shard so enabling them never serializes the
+// multi-queue datapath.
+package kernel
+
+import (
+	"sync"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/sim"
+)
+
+// --- drop reasons ------------------------------------------------------------
+
+// countDropReason is the tagged twin of countDrop: one drop on the meter's
+// shard, attributed to reason r. Every kernel-layer drop site goes through
+// here (or through a counter helper that does), so the per-reason counters
+// sum exactly to Stats().Dropped.
+func (k *Kernel) countDropReason(m *sim.Meter, r drop.Reason) {
+	sh := shardIdx(m)
+	k.shards[sh].dropped.Add(1)
+	k.dropReasons[sh].Count(r)
+	k.notifyDrop(m, r)
+}
+
+// countDropReasonOnly attributes a reason for a drop whose total is counted
+// elsewhere (the specialised counters below bump both).
+func (k *Kernel) countDropReasonOnly(m *sim.Meter, r drop.Reason) {
+	k.dropReasons[shardIdx(m)].Count(r)
+	k.notifyDrop(m, r)
+}
+
+// DropReasons folds the per-CPU reason shards into one array indexed by
+// drop.Reason. Like Stats, the fold is monotonic-per-counter, so a quiesced
+// datapath sums exactly: drop.Total(k.DropReasons()) == k.Stats().Dropped.
+func (k *Kernel) DropReasons() [drop.NumReasons]uint64 {
+	return drop.Sum(k.dropReasons[:])
+}
+
+// DropNotify receives every kernel-layer drop as it happens — the model of a
+// kfree_skb tracepoint consumer (drop_monitor). It runs on the dropping CPU
+// and must not block.
+type DropNotify func(r drop.Reason, m *sim.Meter)
+
+// SetDropNotify attaches fn to the kfree_skb tracepoint (nil detaches).
+// Detached, every drop site pays one nil check.
+func (k *Kernel) SetDropNotify(fn DropNotify) {
+	if fn == nil {
+		k.dropNotify.Store(nil)
+		return
+	}
+	k.dropNotify.Store(&fn)
+}
+
+func (k *Kernel) notifyDrop(m *sim.Meter, r drop.Reason) {
+	if fn := k.dropNotify.Load(); fn != nil {
+		(*fn)(r, m)
+	}
+}
+
+// --- per-stage latency histograms --------------------------------------------
+
+// Stage identifies one datapath stage for latency accounting. The set
+// mirrors the paper's Fig. 1 decomposition of where forwarding cycles go.
+type Stage uint8
+
+// Datapath stages.
+const (
+	StageXDP       Stage = iota // XDP program run (prologue + program)
+	StageGRO                    // GRO coalesce pass over a NAPI burst
+	StageTC                     // TC ingress/egress classifier
+	StageNetfilter              // netfilter hook traversal
+	StageFIB                    // FIB lookup
+	StageNeigh                  // neighbour resolve + L2 header fill
+	StageXmit                   // dev_queue_xmit through the driver
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageXDP:       "xdp",
+	StageGRO:       "gro",
+	StageTC:        "tc",
+	StageNetfilter: "netfilter",
+	StageFIB:       "fib",
+	StageNeigh:     "neigh",
+	StageXmit:      "xmit",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage_invalid"
+}
+
+// stageShard is one CPU's stage accumulators. The mutex is per shard:
+// observations come from that shard's own queue worker, so it is practically
+// uncontended — it only orders the rare concurrent Report against traffic.
+type stageShard struct {
+	mu    sync.Mutex
+	stats [NumStages]*sim.Stats
+}
+
+// StageLat is the per-CPU, per-stage latency table: a log-linear histogram
+// (sim.Stats) per (CPU shard, stage), recording modelcycles spent in each
+// stage of each packet. One instance is attached per EnableStageLat, like
+// the Tracer.
+type StageLat struct {
+	shards [NumRxShards]stageShard
+}
+
+// StageSummary is one stage's merged view across all CPU shards.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  int     `json:"count"`
+	MeanCy float64 `json:"mean_cycles"`
+	P50    float64 `json:"p50_cycles"`
+	P99    float64 `json:"p99_cycles"`
+	P999   float64 `json:"p999_cycles"`
+	MaxCy  float64 `json:"max_cycles"`
+}
+
+// EnableStageLat attaches a fresh stage-latency table and returns it.
+func (k *Kernel) EnableStageLat() *StageLat {
+	sl := &StageLat{}
+	for i := range sl.shards {
+		for s := range sl.shards[i].stats {
+			sl.shards[i].stats[s] = sim.NewStats()
+		}
+	}
+	k.stageLat.Store(sl)
+	return sl
+}
+
+// DisableStageLat detaches the table. Already-taken references stay readable.
+func (k *Kernel) DisableStageLat() {
+	k.stageLat.Store(nil)
+}
+
+// StageObs returns the attached stage table, or nil — the static-key load
+// call sites gate on. Exported so the ebpf adapters can charge the XDP stage
+// from outside the package.
+func (k *Kernel) StageObs() *StageLat {
+	return k.stageLat.Load()
+}
+
+// stageStart opens one stage measurement: it returns the attached table and
+// the meter's cycle position. With stage accounting off (or no meter to
+// read) it returns nil and the call site skips the Observe — one atomic
+// load, the same static-key shape as Kernel.trace.
+func (k *Kernel) stageStart(m *sim.Meter) (*StageLat, sim.Cycles) {
+	sl := k.stageLat.Load()
+	if sl == nil || m == nil {
+		return nil, 0
+	}
+	return sl, m.Total
+}
+
+// Observe records that the meter spent (m.Total - start) modelcycles in
+// stage st, and charges the tracepoint-pair cost the enabled instrumentation
+// itself costs. Call only on a non-nil StageLat.
+func (sl *StageLat) Observe(st Stage, m *sim.Meter, start sim.Cycles) {
+	var cy sim.Cycles
+	if m != nil {
+		cy = m.Total - start
+	}
+	m.Charge(sim.CostStageObserve)
+	sh := &sl.shards[shardIdx(m)]
+	sh.mu.Lock()
+	sh.stats[st].Observe(float64(cy))
+	sh.mu.Unlock()
+}
+
+// ObserveCycles records an explicit cycle count against stage st on the
+// meter's shard (for stages measured outside a start/stop pair).
+func (sl *StageLat) ObserveCycles(st Stage, m *sim.Meter, cy sim.Cycles) {
+	m.Charge(sim.CostStageObserve)
+	sh := &sl.shards[shardIdx(m)]
+	sh.mu.Lock()
+	sh.stats[st].Observe(float64(cy))
+	sh.mu.Unlock()
+}
+
+// Merged folds every CPU shard of one stage into a single accumulator.
+func (sl *StageLat) Merged(st Stage) *sim.Stats {
+	out := sim.NewStats()
+	for i := range sl.shards {
+		sh := &sl.shards[i]
+		sh.mu.Lock()
+		out.Merge(sh.stats[st])
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Report summarizes all stages, merged across shards, in stage order.
+// Stages with no samples are skipped.
+func (sl *StageLat) Report() []StageSummary {
+	out := make([]StageSummary, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		s := sl.Merged(st)
+		if s.Count() == 0 {
+			continue
+		}
+		out = append(out, StageSummary{
+			Stage:  st.String(),
+			Count:  s.Count(),
+			MeanCy: s.Mean(),
+			P50:    s.P50(),
+			P99:    s.P99(),
+			P999:   s.P999(),
+			MaxCy:  s.Max(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+package kernel
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// ttlFrame is fwdFrame with an explicit TTL, for expiry tests.
+func ttlFrame(dstMAC, srcMAC packet.HWAddr, src, dst packet.Addr, ttl uint8) []byte {
+	u := packet.UDP{SrcPort: 5000, DstPort: 5001}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: dstMAC, Src: srcMAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: ttl, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, make([]byte, 18)),
+	)
+}
+
+// TestDropReasonConservation is the drop-accounting audit: concurrent
+// workers drive forwarded traffic, FIB misses, TTL expiries, and iptables
+// FORWARD drops through the sharded RX queues, and at the end every drop the
+// stack counted must carry exactly one reason — sum(per-reason) == total.
+func TestDropReasonConservation(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	blocked := packet.MustPrefix("10.2.0.9/32")
+	if err := r.IptAppend("FORWARD", netfilter.Rule{
+		Match:  netfilter.Match{Dst: &blocked},
+		Target: netfilter.VerdictDrop,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	src := packet.MustAddr("10.1.0.1")
+	// Frames are built fresh per delivery: the stack owns (and mutates — TTL
+	// decrement) what it is handed.
+	build := func(kind, i int) []byte {
+		switch kind {
+		case 0: // forwards cleanly
+			return fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%8+1)), uint16(4000+i%64), 80)
+		case 1: // FIB miss
+			return fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(172, 31, 0, byte(i)), 4000, 80)
+		case 2: // TTL expires in ip_forward
+			return ttlFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, 2), 1)
+		default: // iptables FORWARD drop
+			return fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, 9), 4000, 80)
+		}
+	}
+
+	const workers = 8
+	const perWorker = 1024
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := sim.Meter{CPU: w} // per-CPU shard contract
+			batch := make([][]byte, 0, 64)
+			for i := 0; i < perWorker; i++ {
+				batch = append(batch, build((w+i)%4, i))
+				if len(batch) == 64 {
+					r.DeliverBatch(r0, batch, &m)
+					batch = batch[:0]
+				}
+			}
+			r.DeliverBatch(r0, batch, &m)
+		}(w)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	byReason := r.DropReasons()
+	if got := drop.Total(byReason); got != st.Dropped {
+		t.Fatalf("reason sum %d != dropped %d (reasons %v)", got, st.Dropped, byReason)
+	}
+	total := workers * perWorker
+	if want := uint64(total * 3 / 4); st.Dropped != want {
+		t.Fatalf("dropped %d, want %d", st.Dropped, want)
+	}
+	if st.Forwarded != uint64(total/4) {
+		t.Fatalf("forwarded %d, want %d", st.Forwarded, total/4)
+	}
+	for _, reason := range []drop.Reason{drop.ReasonIPNoRoute, drop.ReasonIPTTLExpired, drop.ReasonNetfilterDrop} {
+		if byReason[reason] != uint64(total/4) {
+			t.Fatalf("reason %s = %d, want %d (all: %v)", reason, byReason[reason], total/4, byReason)
+		}
+	}
+}
+
+// TestDropNotifyMirror checks the kfree_skb-style hook: when attached, every
+// counted drop produces exactly one callback with the right reason; when
+// detached, drops keep counting but the callback stops firing.
+func TestDropNotifyMirror(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	var calls [drop.NumReasons]uint64
+	var total atomic.Uint64
+	r.SetDropNotify(func(reason drop.Reason, m *sim.Meter) {
+		atomic.AddUint64(&calls[reason], 1)
+		total.Add(1)
+	})
+
+	src := packet.MustAddr("10.1.0.1")
+	var m sim.Meter
+	for i := 0; i < 10; i++ {
+		r0.Receive(fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(172, 31, 0, 1), 4000, 80), &m)
+	}
+	if total.Load() != 10 || atomic.LoadUint64(&calls[drop.ReasonIPNoRoute]) != 10 {
+		t.Fatalf("notify calls %d (no_route %d), want 10", total.Load(), calls[drop.ReasonIPNoRoute])
+	}
+
+	r.SetDropNotify(nil)
+	r0.Receive(fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(172, 31, 0, 1), 4000, 80), &m)
+	if total.Load() != 10 {
+		t.Fatalf("notify fired after detach: %d", total.Load())
+	}
+	if got := r.DropReasons()[drop.ReasonIPNoRoute]; got != 11 {
+		t.Fatalf("no_route counter %d, want 11 (counting must not depend on the hook)", got)
+	}
+}
+
+// TestTracerToggleRace hammers EnableTracing/DisableTracing and the report
+// readers while 8 virtual CPUs forward traffic. Under -race this proves the
+// per-CPU tracer shards and the static-key attach point are safe, and that a
+// tracer caught mid-traffic still yields well-formed single-frame stacks.
+func TestTracerToggleRace(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	src := packet.MustAddr("10.1.0.1")
+
+	done := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tr := r.EnableTracing()
+			if i%2 == 0 {
+				_ = tr.Report()
+			}
+			r.DisableTracing()
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tr := r.EnableTracing()
+			_ = tr.Folded()
+			r.DisableTracing()
+		}
+	}()
+
+	const workers = 8
+	const perWorker = 1024
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := sim.Meter{CPU: w}
+			batch := make([][]byte, 0, 64)
+			for i := 0; i < perWorker; i++ {
+				batch = append(batch, fwdFrame(r0.MAC, srcMAC, src,
+					packet.AddrFrom4(10, 2, 0, byte(i%16+1)), uint16(4000+i%64), 80))
+				if len(batch) == 64 {
+					r.DeliverBatch(r0, batch, &m)
+					batch = batch[:0]
+				}
+			}
+			r.DeliverBatch(r0, batch, &m)
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	aux.Wait()
+
+	if st := r.Stats(); st.Forwarded != workers*perWorker {
+		t.Fatalf("forwarded %d, want %d", st.Forwarded, workers*perWorker)
+	}
+
+	// A final clean capture: stacks must nest properly (netif_receive_skb at
+	// the root) — interleaving across queues would have corrupted them when
+	// the tracer had one global stack.
+	tr := r.EnableTracing()
+	var m sim.Meter
+	r0.Receive(fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, 1), 4000, 80), &m)
+	report := tr.Report()
+	r.DisableTracing()
+	if len(report) == 0 {
+		t.Fatal("tracer captured nothing")
+	}
+	for _, sc := range report {
+		if !strings.HasPrefix(sc.Stack, "netif_receive_skb") {
+			t.Fatalf("malformed stack %q", sc.Stack)
+		}
+	}
+}
+
+// TestStageLatLifecycle: attaching populates the forwarding stages, the
+// summaries are internally consistent, and detaching both stops collection
+// and restores the nil static key.
+func TestStageLatLifecycle(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	if r.StageObs() != nil {
+		t.Fatal("stage latency attached by default")
+	}
+	// A rule that matches nothing gives the netfilter hooks nonzero cost, so
+	// its histogram has real latencies instead of an all-zero column.
+	never := packet.MustPrefix("10.99.0.0/24")
+	if err := r.IptAppend("FORWARD", netfilter.Rule{
+		Match: netfilter.Match{Dst: &never}, Target: netfilter.VerdictDrop,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sl := r.EnableStageLat()
+
+	src := packet.MustAddr("10.1.0.1")
+	frames := make([][]byte, 256)
+	for i := range frames {
+		frames[i] = fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%16+1)), 4000, uint16(80+i))
+	}
+	var m sim.Meter
+	r0.ReceiveBatch(frames, 0, &m)
+
+	report := sl.Report()
+	seen := map[string]StageSummary{}
+	for _, s := range report {
+		seen[s.Stage] = s
+	}
+	for _, want := range []string{"netfilter", "fib", "neigh", "xmit"} {
+		s, ok := seen[want]
+		if !ok {
+			t.Fatalf("stage %q missing from report %v", want, report)
+		}
+		// netfilter records once per hook traversal, so a forwarded frame
+		// contributes more than one observation (and the empty POSTROUTING
+		// hook contributes zeros); the others are strictly per-frame.
+		if want == "netfilter" {
+			if s.Count < len(frames) {
+				t.Fatalf("stage %s count %d, want >= %d", want, s.Count, len(frames))
+			}
+		} else {
+			if s.Count != len(frames) {
+				t.Fatalf("stage %s count %d, want %d", want, s.Count, len(frames))
+			}
+			if s.P50 <= 0 {
+				t.Fatalf("stage %s p50 %.1f, want > 0: %+v", want, s.P50, s)
+			}
+		}
+		if s.MeanCy <= 0 || s.P99 < s.P50 || s.P999 < s.P99 || s.MaxCy <= 0 {
+			t.Fatalf("stage %s summary not internally consistent: %+v", want, s)
+		}
+	}
+
+	r.DisableStageLat()
+	if r.StageObs() != nil {
+		t.Fatal("StageObs non-nil after disable")
+	}
+	r0.ReceiveBatch(frames[:32], 0, &m)
+	if got := sl.Merged(StageFIB).Count(); got != len(frames) {
+		t.Fatalf("detached histogram still collecting: fib count %d, want %d", got, len(frames))
+	}
+}
+
+// TestStageLatShardMerge drives the same traffic through 4 RX queues and
+// checks the per-CPU shards merge into a coherent whole: total count equals
+// frames processed regardless of how the queues split them.
+func TestStageLatShardMerge(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	sl := r.EnableStageLat()
+	src := packet.MustAddr("10.1.0.1")
+
+	const frames = 2048
+	pool := r.StartRxQueues(r0, 4, 16)
+	for i := 0; i < frames; i++ {
+		pool.Steer(fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%16+1)), uint16(4000+i%64), 80))
+	}
+	pool.Close()
+
+	if got := sl.Merged(StageFIB).Count(); got != frames {
+		t.Fatalf("merged fib count %d, want %d", got, frames)
+	}
+	if got := sl.Merged(StageXmit).Count(); got != frames {
+		t.Fatalf("merged xmit count %d, want %d", got, frames)
+	}
+}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
 	"linuxfp/internal/packet"
@@ -13,7 +14,7 @@ import (
 // OUTPUT hook, neighbour resolution, transmit. A zero src is filled from
 // the egress device's primary address. Local destinations loop back.
 func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Meter) bool {
-	defer k.trace("ip_queue_xmit")()
+	defer k.trace("ip_queue_xmit", m)()
 	m.Charge(sim.CostRouteLookup)
 	r, ok := k.FIB.Lookup(dst)
 	if !ok {
@@ -157,14 +158,14 @@ func (k *Kernel) nextIPID() uint16 {
 
 // fragmentAndSend splits an IP packet to fit the egress MTU (ip_fragment).
 func (k *Kernel) fragmentAndSend(out *netdev.Device, nexthop packet.Addr, frame []byte, pkt *packet.Packet, m *sim.Meter) {
-	defer k.trace("ip_fragment")()
+	defer k.trace("ip_fragment", m)()
 	ip := *pkt.IPv4
 	payload := frame[pkt.L4Off:]
 
 	// Payload bytes per fragment, multiple of 8.
 	maxData := (out.MTU - ip.HeaderLen()) &^ 7
 	if maxData <= 0 {
-		k.countDrop(m)
+		k.countDropReason(m, drop.ReasonFragError)
 		return
 	}
 	origOff := ip.FragOff

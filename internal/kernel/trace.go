@@ -5,12 +5,27 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"linuxfp/internal/sim"
 )
 
 // Tracer samples kernel function entry stacks, producing the folded-stack
 // counts flame graphs are drawn from (paper Fig. 1: the forwarding hot
 // path). Tracing is off by default and costs one nil check per call site.
+//
+// Samples are sharded per CPU: each RX queue's worker pushes onto its own
+// shard's stack and bumps its own shard's map, so enabling tracing never
+// serializes the multi-queue datapath — and, just as important, stacks from
+// different CPUs can't interleave into nonsense frames. Report merges the
+// shards.
 type Tracer struct {
+	shards [NumRxShards]tracerShard
+}
+
+// tracerShard is one CPU's call stack and folded-stack counts. The mutex is
+// practically uncontended (one owner CPU); it orders the rare concurrent
+// Report against traffic.
+type tracerShard struct {
 	mu      sync.Mutex
 	stack   []string
 	samples map[string]uint64
@@ -24,7 +39,10 @@ type StackCount struct {
 
 // EnableTracing attaches a fresh tracer to the kernel and returns it.
 func (k *Kernel) EnableTracing() *Tracer {
-	t := &Tracer{samples: make(map[string]uint64)}
+	t := &Tracer{}
+	for i := range t.shards {
+		t.shards[i].samples = make(map[string]uint64)
+	}
 	k.tracer.Store(t)
 	return t
 }
@@ -34,34 +52,44 @@ func (k *Kernel) DisableTracing() {
 	k.tracer.Store(nil)
 }
 
-// trace records entry into a kernel function and returns the exit func.
-// With no tracer attached it is one atomic load — a static-key nop.
-func (k *Kernel) trace(name string) func() {
+// trace records entry into a kernel function on the meter's CPU shard and
+// returns the exit func. With no tracer attached it is one atomic load — a
+// static-key nop.
+func (k *Kernel) trace(name string, m *sim.Meter) func() {
 	t := k.tracer.Load()
 	if t == nil {
 		return noopExit
 	}
-	t.mu.Lock()
-	t.stack = append(t.stack, name)
-	t.samples[strings.Join(t.stack, ";")]++
-	t.mu.Unlock()
+	sh := &t.shards[shardIdx(m)]
+	sh.mu.Lock()
+	sh.stack = append(sh.stack, name)
+	sh.samples[strings.Join(sh.stack, ";")]++
+	sh.mu.Unlock()
 	return func() {
-		t.mu.Lock()
-		if n := len(t.stack); n > 0 {
-			t.stack = t.stack[:n-1]
+		sh.mu.Lock()
+		if n := len(sh.stack); n > 0 {
+			sh.stack = sh.stack[:n-1]
 		}
-		t.mu.Unlock()
+		sh.mu.Unlock()
 	}
 }
 
 func noopExit() {}
 
-// Report returns folded stacks sorted by descending count.
+// Report returns folded stacks merged across CPU shards, sorted by
+// descending count.
 func (t *Tracer) Report() []StackCount {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]StackCount, 0, len(t.samples))
-	for s, c := range t.samples {
+	merged := make(map[string]uint64)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for s, c := range sh.samples {
+			merged[s] += c
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]StackCount, 0, len(merged))
+	for s, c := range merged {
 		out = append(out, StackCount{Stack: s, Count: c})
 	}
 	sort.Slice(out, func(i, j int) bool {

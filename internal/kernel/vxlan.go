@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
@@ -77,7 +78,7 @@ func (k *Kernel) VXLANAddFDB(devName string, mac packet.HWAddr, remote packet.Ad
 
 // vxlanEncap wraps an inner frame and sends it to the chosen VTEP(s).
 func (k *Kernel) vxlanEncap(v *vxlanState, frame []byte, m *sim.Meter) {
-	defer k.trace("vxlan_xmit")()
+	defer k.trace("vxlan_xmit", m)()
 	m.Charge(sim.CostVXLANEncap)
 
 	dst := packet.EthDst(frame)
@@ -105,9 +106,9 @@ func (k *Kernel) vxlanEncap(v *vxlanState, frame []byte, m *sim.Meter) {
 // vxlanDecapHandler is the UDP 8472 socket: strip the outer headers and
 // re-inject the inner frame as if it arrived on the matching VXLAN device.
 func vxlanDecapHandler(k *Kernel, msg SocketMsg) {
-	defer k.trace("vxlan_rcv")()
+	defer k.trace("vxlan_rcv", msg.Meter)()
 	if len(msg.Payload) < vxlanHdrLen+packet.EthHdrLen {
-		k.countDrop(msg.Meter)
+		k.countDropReason(msg.Meter, drop.ReasonL2HdrError)
 		return
 	}
 	vni := binary.BigEndian.Uint32(msg.Payload[4:]) >> 8
@@ -123,7 +124,7 @@ func vxlanDecapHandler(k *Kernel, msg SocketMsg) {
 	}
 	k.mu.RUnlock()
 	if v == nil {
-		k.countDrop(msg.Meter)
+		k.countDropReason(msg.Meter, drop.ReasonUnknownL4Proto)
 		return
 	}
 	msg.Meter.Charge(sim.CostVXLANDecap)

@@ -1,0 +1,95 @@
+// Package metrics renders observability snapshots in Prometheus text
+// exposition format: kernel stack counters, per-reason drop counters (kernel
+// and per-device), per-stage latency quantiles, and ring buffer event
+// accounting. It is a pure formatter over already-collected state — scraping
+// it never touches the datapath beyond the same monotonic counter loads the
+// stats snapshots use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/kernel"
+)
+
+// WriteKernel writes one kernel's full observability snapshot. The kernel
+// label keeps multi-namespace setups (testbeds run three) distinguishable.
+func WriteKernel(w io.Writer, k *kernel.Kernel) {
+	st := k.Stats()
+	name := k.Name
+
+	fmt.Fprintf(w, "# HELP linuxfp_packets_total Stack-level packet outcomes.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_packets_total counter\n")
+	for _, c := range []struct {
+		outcome string
+		v       uint64
+	}{
+		{"forwarded", st.Forwarded},
+		{"delivered", st.Delivered},
+		{"dropped", st.Dropped},
+	} {
+		fmt.Fprintf(w, "linuxfp_packets_total{kernel=%q,outcome=%q} %d\n", name, c.outcome, c.v)
+	}
+
+	fmt.Fprintf(w, "# HELP linuxfp_drop_reason_total Kernel-layer drops by skb drop reason.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_drop_reason_total counter\n")
+	byReason := k.DropReasons()
+	for _, r := range drop.Reasons() {
+		if byReason[r] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "linuxfp_drop_reason_total{kernel=%q,reason=%q} %d\n", name, r, byReason[r])
+	}
+
+	fmt.Fprintf(w, "# HELP linuxfp_device_drop_reason_total Device-level drops by reason (rx/tx down, XDP verdicts, cpumap).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_device_drop_reason_total counter\n")
+	for _, dev := range k.Devices() {
+		devReasons := dev.DropReasons()
+		for _, r := range drop.Reasons() {
+			if devReasons[r] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "linuxfp_device_drop_reason_total{kernel=%q,device=%q,reason=%q} %d\n",
+				name, dev.Name, r, devReasons[r])
+		}
+	}
+
+	if sl := k.StageObs(); sl != nil {
+		WriteStages(w, name, sl)
+	}
+}
+
+// WriteStages writes the per-stage latency summaries in Prometheus summary
+// style: one series per quantile plus count and mean.
+func WriteStages(w io.Writer, name string, sl *kernel.StageLat) {
+	fmt.Fprintf(w, "# HELP linuxfp_stage_latency_cycles Per-stage latency in modelcycles.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_stage_latency_cycles summary\n")
+	for _, s := range sl.Report() {
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{
+			{"0.5", s.P50}, {"0.99", s.P99}, {"0.999", s.P999},
+		} {
+			fmt.Fprintf(w, "linuxfp_stage_latency_cycles{kernel=%q,stage=%q,quantile=%q} %.1f\n",
+				name, s.Stage, q.label, q.v)
+		}
+		fmt.Fprintf(w, "linuxfp_stage_latency_cycles_count{kernel=%q,stage=%q} %d\n", name, s.Stage, s.Count)
+		fmt.Fprintf(w, "linuxfp_stage_latency_cycles_mean{kernel=%q,stage=%q} %.1f\n", name, s.Stage, s.MeanCy)
+	}
+}
+
+// WriteRingBuf writes one ring buffer's event accounting. Event drops carry
+// reason ringbuf_full but stay out of the packet-drop series by design —
+// lost telemetry is not lost traffic.
+func WriteRingBuf(w io.Writer, rb *ebpf.RingBuf) {
+	fmt.Fprintf(w, "# HELP linuxfp_ringbuf_events_total Ring buffer event outcomes.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_ringbuf_events_total counter\n")
+	fmt.Fprintf(w, "linuxfp_ringbuf_events_total{ring=%q,outcome=\"produced\"} %d\n", rb.Name(), rb.Produced())
+	fmt.Fprintf(w, "linuxfp_ringbuf_events_total{ring=%q,outcome=\"consumed\"} %d\n", rb.Name(), rb.Consumed())
+	fmt.Fprintf(w, "linuxfp_ringbuf_events_total{ring=%q,outcome=\"dropped\",reason=%q} %d\n",
+		rb.Name(), rb.DroppedReason(), rb.Dropped())
+}

@@ -1,0 +1,110 @@
+package netdev
+
+import (
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/sim"
+)
+
+// devReasonSum adds up a device's per-reason drop counters.
+func devReasonSum(d *Device) uint64 {
+	var sum uint64
+	for _, c := range d.DropReasons() {
+		sum += c
+	}
+	return sum
+}
+
+// devDropTotal is the device's aggregate drop count across all counters a
+// reason can account against.
+func devDropTotal(d *Device) uint64 {
+	st := d.Stats()
+	return st.RxDropped + st.TxDropped + st.XDPDrops
+}
+
+// TestDeviceDropReasonConservation exercises every device-level drop path —
+// tx/rx on a down device, XDP drop, XDP abort, XDP redirect failure — and
+// checks each drop carries exactly one reason: per-device
+// sum(reasons) == RxDropped + TxDropped + XDPDrops throughout.
+func TestDeviceDropReasonConservation(t *testing.T) {
+	a, b, _, _ := pair(t)
+	var m sim.Meter
+
+	check := func(step string) {
+		t.Helper()
+		for _, d := range []*Device{a, b} {
+			if got, want := devReasonSum(d), devDropTotal(d); got != want {
+				t.Fatalf("%s: %s reason sum %d != drop total %d (%v)",
+					step, d.Name, got, want, d.DropReasons())
+			}
+		}
+	}
+
+	// Down-device drops, both directions.
+	a.SetUp(false)
+	a.Transmit(frameTo(b.MAC), &m)
+	a.SetUp(true)
+	b.SetUp(false)
+	a.Transmit(frameTo(b.MAC), &m)
+	b.SetUp(true)
+	check("down")
+	if r := a.DropReasons(); r[drop.ReasonDevTxDown] != 1 {
+		t.Fatalf("tx-down reason missing: %v", r)
+	}
+	if r := b.DropReasons(); r[drop.ReasonDevRxDown] != 1 {
+		t.Fatalf("rx-down reason missing: %v", r)
+	}
+
+	// XDP verdicts: drop, abort, and a redirect to a nonexistent ifindex.
+	verdicts := []XDPAction{XDPDrop, XDPAborted, XDPRedirect}
+	i := 0
+	b.AttachXDP(xdpFunc(func(buf *XDPBuff) XDPAction {
+		v := verdicts[i%len(verdicts)]
+		i++
+		if v == XDPRedirect {
+			buf.RedirectTo = 999 // no such device
+		}
+		return v
+	}), "driver")
+	for n := 0; n < 3*4; n++ {
+		a.Transmit(frameTo(b.MAC), &m)
+	}
+	b.DetachXDP()
+	check("xdp singles")
+	r := b.DropReasons()
+	if r[drop.ReasonXDPDrop] != 4 || r[drop.ReasonXDPAborted] != 4 || r[drop.ReasonXDPRedirectFail] != 4 {
+		t.Fatalf("xdp reasons %v, want 4 each of drop/aborted/redirect_fail", r)
+	}
+
+	// Same verdict cycle through the batched NAPI poll path.
+	frames := make([][]byte, 24)
+	for j := range frames {
+		frames[j] = frameTo(b.MAC)
+	}
+	i = 0
+	b.AttachXDP(xdpFunc(func(buf *XDPBuff) XDPAction {
+		v := verdicts[i%len(verdicts)]
+		i++
+		if v == XDPRedirect {
+			buf.RedirectTo = 999
+		}
+		return v
+	}), "driver")
+	b.ReceiveBatch(frames, 0, &m)
+	b.DetachXDP()
+	check("xdp batch")
+	r = b.DropReasons()
+	if r[drop.ReasonXDPDrop] != 12 || r[drop.ReasonXDPAborted] != 12 || r[drop.ReasonXDPRedirectFail] != 12 {
+		t.Fatalf("batched xdp reasons %v, want 12 each", r)
+	}
+
+	// Batched down-device receive: one Add(n), not n Adds.
+	b.SetUp(false)
+	b.ReceiveBatch(frames[:8], 0, &m)
+	b.SetUp(true)
+	check("batch down")
+	if r := b.DropReasons(); r[drop.ReasonDevRxDown] != 9 {
+		t.Fatalf("rx-down after batch %v, want 9", r)
+	}
+}

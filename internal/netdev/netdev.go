@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
 )
@@ -138,6 +139,10 @@ type devCounters struct {
 	xdpDrops, xdpTx      atomic.Uint64
 	xdpRedirects         atomic.Uint64
 	xdpPass              atomic.Uint64
+
+	// dropReasons attributes every device-level drop, so
+	// drop.Total == RxDropped + TxDropped + XDPDrops.
+	dropReasons drop.Counters
 }
 
 // linkState is everything Transmit/Receive need to route a frame, published
@@ -293,6 +298,15 @@ func (d *Device) XDPAttached() (bool, string) {
 	return true, s.mode
 }
 
+// DropReasons returns a snapshot of the per-reason device drop counters,
+// indexed by drop.Reason. On a quiesced device the reasons sum exactly to
+// RxDropped + TxDropped + XDPDrops.
+func (d *Device) DropReasons() [drop.NumReasons]uint64 {
+	var out [drop.NumReasons]uint64
+	d.stats.dropReasons.AddInto(&out)
+	return out
+}
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	return Stats{
@@ -355,6 +369,7 @@ func (d *Device) SetTxHook(fn func(frame []byte, m *sim.Meter) bool) {
 func (d *Device) Transmit(frame []byte, m *sim.Meter) {
 	if !d.up.Load() {
 		d.stats.txDropped.Add(1)
+		d.stats.dropReasons.Count(drop.ReasonDevTxDown)
 		return
 	}
 	d.stats.txPackets.Add(1)
@@ -373,6 +388,7 @@ func (d *Device) Transmit(frame []byte, m *sim.Meter) {
 		ln.wire.Send(d, append([]byte(nil), frame...), m)
 	default:
 		d.stats.txDropped.Add(1)
+		d.stats.dropReasons.Count(drop.ReasonDevTxDown)
 	}
 }
 
@@ -387,6 +403,7 @@ func (d *Device) TransmitBatch(frames [][]byte, m *sim.Meter) {
 	}
 	if !d.up.Load() {
 		d.stats.txDropped.Add(uint64(n))
+		d.stats.dropReasons.Add(drop.ReasonDevTxDown, uint64(n))
 		return
 	}
 	var bytes uint64
@@ -407,6 +424,7 @@ func (d *Device) TransmitBatch(frames [][]byte, m *sim.Meter) {
 			ln.wire.Send(d, append([]byte(nil), frame...), m)
 		default:
 			d.stats.txDropped.Add(1)
+			d.stats.dropReasons.Count(drop.ReasonDevTxDown)
 		}
 	}
 }
@@ -429,6 +447,7 @@ func (d *Device) redirectMap() *DevMap {
 func (d *Device) Receive(frame []byte, m *sim.Meter) {
 	if !d.up.Load() {
 		d.stats.rxDropped.Add(1)
+		d.stats.dropReasons.Count(drop.ReasonDevRxDown)
 		return
 	}
 	d.stats.rxPackets.Add(1)
@@ -464,8 +483,13 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 	cm, cpu := buff.RedirectCPUMap, buff.RedirectCPU
 	xdpBuffPool.Put(buff)
 	switch act {
-	case XDPDrop, XDPAborted:
+	case XDPDrop:
 		d.stats.xdpDrops.Add(1)
+		d.stats.dropReasons.Count(drop.ReasonXDPDrop)
+		return nil
+	case XDPAborted:
+		d.stats.xdpDrops.Add(1)
+		d.stats.dropReasons.Count(drop.ReasonXDPAborted)
 		return nil
 	case XDPTx:
 		d.stats.xdpTx.Add(1)
@@ -481,11 +505,13 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 			dropped, ok := cm.EnqueueCPU(rxq, cpu, d, data, m)
 			if !ok {
 				d.stats.xdpDrops.Add(1)
+				d.stats.dropReasons.Count(drop.ReasonCpumapNoEntry)
 				return nil
 			}
 			dropped += cm.FlushCPU(rxq, m)
 			if dropped > 0 {
 				d.stats.xdpDrops.Add(uint64(dropped))
+				d.stats.dropReasons.Add(drop.ReasonCpumapOverflow, uint64(dropped))
 			} else {
 				d.stats.xdpRedirects.Add(1)
 			}
@@ -496,11 +522,13 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 		s := d.link.Load().stack
 		if s == nil {
 			d.stats.xdpDrops.Add(1)
+			d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
 			return nil
 		}
 		out, ok := s.DeviceByIndex(redirect)
 		if !ok {
 			d.stats.xdpDrops.Add(1)
+			d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
 			return nil
 		}
 		d.stats.xdpRedirects.Add(1)
@@ -579,8 +607,10 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 		// redirects are counted as redirects at enqueue; frames a bulk
 		// spill drops (ring overflow) come back as dropped counts and are
 		// reclassified before the counters are published — every frame
-		// lands in exactly one bucket.
-		var drops, txs, redirects, passes uint64
+		// lands in exactly one bucket, and every drop in exactly one
+		// reason bucket.
+		var txs, redirects, passes uint64
+		var xdpDrops, xdpAborts, noEntry, overflow, redirFail uint64
 		var cm CPURedirectTarget
 		s := d.link.Load().stack
 		for i := range bufs {
@@ -600,17 +630,17 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 						// this poll's counters.
 						dropped := cm.FlushCPU(rxq, m)
 						redirects -= uint64(dropped)
-						drops += uint64(dropped)
+						overflow += uint64(dropped)
 					}
 					cm = t
 					dropped, ok := t.EnqueueCPU(rxq, bufs[i].RedirectCPU, d, data, m)
 					if !ok {
-						drops++ // no entry for that CPU: XDP exception
+						noEntry++ // no entry for that CPU: XDP exception
 						break
 					}
 					redirects++
 					redirects -= uint64(dropped)
-					drops += uint64(dropped)
+					overflow += uint64(dropped)
 					break
 				}
 				out, ok := (*Device)(nil), false
@@ -618,7 +648,7 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 					out, ok = s.DeviceByIndex(bufs[i].RedirectTo)
 				}
 				if !ok {
-					drops++ // unresolvable target: XDP exception
+					redirFail++ // unresolvable target: XDP exception
 					break
 				}
 				redirects++
@@ -630,8 +660,10 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 				passes++
 				m.Charge(sim.CostXDPPass)
 				keep = append(keep, data)
-			default: // XDPDrop, XDPAborted
-				drops++
+			case XDPDrop:
+				xdpDrops++
+			default: // XDPAborted, invalid verdicts
+				xdpAborts++
 			}
 		}
 		if dm != nil {
@@ -640,10 +672,15 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 		if cm != nil {
 			dropped := cm.FlushCPU(rxq, m) // cpumap half of xdp_do_flush
 			redirects -= uint64(dropped)
-			drops += uint64(dropped)
+			overflow += uint64(dropped)
 		}
-		if drops > 0 {
+		if drops := xdpDrops + xdpAborts + noEntry + overflow + redirFail; drops > 0 {
 			d.stats.xdpDrops.Add(drops)
+			d.stats.dropReasons.Add(drop.ReasonXDPDrop, xdpDrops)
+			d.stats.dropReasons.Add(drop.ReasonXDPAborted, xdpAborts)
+			d.stats.dropReasons.Add(drop.ReasonCpumapNoEntry, noEntry)
+			d.stats.dropReasons.Add(drop.ReasonCpumapOverflow, overflow)
+			d.stats.dropReasons.Add(drop.ReasonXDPRedirectFail, redirFail)
 		}
 		if txs > 0 {
 			d.stats.xdpTx.Add(txs)
@@ -671,6 +708,7 @@ func (d *Device) ReceiveBatch(frames [][]byte, rxq int, m *sim.Meter) {
 	}
 	if !d.up.Load() {
 		d.stats.rxDropped.Add(uint64(len(frames)))
+		d.stats.dropReasons.Add(drop.ReasonDevRxDown, uint64(len(frames)))
 		return
 	}
 	d.stats.rxPackets.Add(uint64(len(frames)))

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/packet"
 )
 
@@ -69,6 +70,16 @@ func (v Verdict) String() string {
 	default:
 		return "NONE"
 	}
+}
+
+// DropReason maps a terminal verdict to its skb_drop_reason: a DROP verdict
+// at any hook frees the skb with SKB_DROP_REASON_NETFILTER_DROP; every other
+// verdict lets the packet continue.
+func (v Verdict) DropReason() drop.Reason {
+	if v == VerdictDrop {
+		return drop.ReasonNetfilterDrop
+	}
+	return drop.ReasonNotSpecified
 }
 
 // Meta is the packet summary rules match against.

@@ -153,6 +153,20 @@ const (
 	CostTCBatchEntry Cycles = 45  // per skb after the first in a batched TC run
 )
 
+// Observability costs. Stage latency accounting models a pair of enabled
+// tracepoints (TSC read + histogram bucket increment) per stage; the BPF
+// ring buffer splits the kernel's bpf_ringbuf_reserve/commit pair, with
+// bpf_ringbuf_output paying both plus the copy. All of these are charged
+// only when the corresponding observer is attached — the disabled path is
+// one nil pointer load, the static-key nop.
+const (
+	CostStageObserve   Cycles = 24  // tracepoint pair + log-linear bucket add
+	CostRingbufReserve Cycles = 60  // producer position cas + hdr write
+	CostRingbufCommit  Cycles = 40  // commit flip + maybe-wakeup check
+	CostRingbufWakeup  Cycles = 250 // irq_work -> wake_up_all of the consumer
+	CostRingbufPerByte Cycles = 0.5 // record payload copy into the ring
+)
+
 // Shadow-state costs for the Polycube baseline: its cubes keep private maps
 // instead of calling into kernel state, so lookups are plain map probes but
 // every function boundary is a tail call and filtering uses its own

@@ -83,8 +83,48 @@ func (s *Stats) Quantile(q float64) float64 {
 	return s.hist.quantile(q)
 }
 
+// P50 is shorthand for the median.
+func (s *Stats) P50() float64 { return s.Quantile(0.50) }
+
 // P99 is shorthand for the 99th percentile.
 func (s *Stats) P99() float64 { return s.Quantile(0.99) }
+
+// P999 is shorthand for the 99.9th percentile.
+func (s *Stats) P999() float64 { return s.Quantile(0.999) }
+
+// Merge folds other into s, as if every sample observed by other had been
+// observed by s. Histogram buckets add exactly, and the Welford state uses
+// the parallel-variance combination, so per-CPU shards merged at report
+// time match a single unsharded accumulator.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		s.hist = histogram{counts: make(map[int]int), total: other.hist.total, underflow: other.hist.underflow}
+		for k, c := range other.hist.counts {
+			s.hist.counts[k] = c
+		}
+		return
+	}
+	na, nb := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	s.mean += delta * nb / (na + nb)
+	s.m2 += other.m2 + delta*delta*na*nb/(na+nb)
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.hist.total += other.hist.total
+	s.hist.underflow += other.hist.underflow
+	for k, c := range other.hist.counts {
+		s.hist.counts[k] += c
+	}
+}
 
 func (s *Stats) String() string {
 	return fmt.Sprintf("n=%d mean=%.3f p99=%.3f std=%.3f", s.n, s.Mean(), s.P99(), s.StdDev())

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr is the histogram's documented quantile accuracy bound (144 buckets
+// per decade ≈ 1.6% relative error), with a little slack for the geometric
+// bucket midpoint.
+const relErr = 0.02
+
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Fatalf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/want > relErr {
+		t.Fatalf("%s = %g, want %g ± %.1f%%", name, got, want, relErr*100)
+	}
+}
+
+// TestStatsQuantilesUniform: known answers for a uniform ramp 1..10000. The
+// exact p-quantile of {1..N} is p·N; the histogram must land within its
+// bucket-width error bound.
+func TestStatsQuantilesUniform(t *testing.T) {
+	s := NewStats()
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Count() != n {
+		t.Fatalf("count %d", s.Count())
+	}
+	within(t, "p50", s.P50(), 5000)
+	within(t, "p99", s.P99(), 9900)
+	within(t, "p999", s.P999(), 9990)
+	within(t, "mean", s.Mean(), float64(n+1)/2)
+	if s.Min() != 1 || s.Max() != n {
+		t.Fatalf("min %g max %g", s.Min(), s.Max())
+	}
+	// Exact stddev of {1..N}: sqrt(N(N+1)/12) for the sample variant is
+	// sqrt((N+1)·N/12 · N/(N-1))... simpler: compare against the two-pass
+	// computation.
+	var mean, m2 float64
+	for i := 1; i <= n; i++ {
+		mean += float64(i)
+	}
+	mean /= n
+	for i := 1; i <= n; i++ {
+		d := float64(i) - mean
+		m2 += d * d
+	}
+	within(t, "stddev", s.StdDev(), math.Sqrt(m2/(n-1)))
+}
+
+// TestStatsQuantilesBimodal: a 90/10 mix of fast (100) and slow (10000)
+// samples. p50 must sit on the fast mode, p99 and p999 on the slow mode —
+// the exact shape per-stage latency histograms exist to expose.
+func TestStatsQuantilesBimodal(t *testing.T) {
+	s := NewStats()
+	for i := 0; i < 9000; i++ {
+		s.Observe(100)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Observe(10000)
+	}
+	within(t, "p50", s.P50(), 100)
+	within(t, "p99", s.P99(), 10000)
+	within(t, "p999", s.P999(), 10000)
+	within(t, "mean", s.Mean(), 0.9*100+0.1*10000)
+}
+
+// TestStatsMergeParity: per-shard accumulators merged at report time must
+// match a single unsharded accumulator on every statistic — count and
+// quantiles exactly (bucket counts add), mean/stddev to float tolerance.
+func TestStatsMergeParity(t *testing.T) {
+	const shards = 8
+	rng := NewRNG(42)
+	whole := NewStats()
+	parts := make([]*Stats, shards)
+	for i := range parts {
+		parts[i] = NewStats()
+	}
+	for i := 0; i < 40000; i++ {
+		// Log-normal-ish latencies spanning several decades.
+		v := math.Exp(rng.Float64()*6) + 1
+		whole.Observe(v)
+		parts[i%shards].Observe(v)
+	}
+
+	merged := NewStats()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Fatalf("q%.3f: merged %g != whole %g (bucket adds must be exact)", q, m, w)
+		}
+	}
+	const eps = 1e-9
+	if math.Abs(merged.Mean()-whole.Mean()) > eps*math.Abs(whole.Mean()) {
+		t.Fatalf("mean %g != %g", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.StdDev()-whole.StdDev()) > 1e-6*whole.StdDev() {
+		t.Fatalf("stddev %g != %g", merged.StdDev(), whole.StdDev())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max %g/%g != %g/%g", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+
+	// Merging into an empty accumulator must deep-copy the histogram: a later
+	// observation on the target must not write through to the source.
+	fresh := NewStats()
+	fresh.Merge(parts[0])
+	before := parts[0].Count()
+	fresh.Observe(123)
+	if parts[0].Count() != before {
+		t.Fatal("Merge aliased the source histogram")
+	}
+}
+
+// TestStatsEdgeCases: empty and degenerate accumulators must not panic or
+// emit nonsense.
+func TestStatsEdgeCases(t *testing.T) {
+	s := NewStats()
+	if s.P50() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty stats must report zeros")
+	}
+	s.Merge(nil)
+	s.Merge(NewStats())
+	if s.Count() != 0 {
+		t.Fatal("merging empties must stay empty")
+	}
+	s.Observe(0) // non-positive → underflow bucket
+	s.Observe(-5)
+	if s.P50() != 0 {
+		t.Fatalf("underflow quantile %g", s.P50())
+	}
+	s.Observe(7)
+	within(t, "single positive p999", s.P999(), 7)
+}

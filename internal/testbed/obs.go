@@ -1,0 +1,225 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// ObsPoint is one measured observability configuration: the slow-path
+// forwarding workload with instrumentation fully off (the baseline the
+// ≤2%-overhead budget is judged against) or fully on — per-stage latency
+// histograms plus a per-packet EventTrace into the ring buffer — at one
+// ring wakeup batch size.
+type ObsPoint struct {
+	Enabled      bool                  `json:"enabled"`
+	WakeupBatch  int                   `json:"wakeup_batch"` // 0 for the off point
+	CyclesPerPkt float64               `json:"cycles_per_pkt"`
+	OverheadPct  float64               `json:"overhead_pct_vs_off"`
+	Events       uint64                `json:"events_produced"`
+	EventDrops   uint64                `json:"events_dropped"` // ringbuf_full, never packets
+	Consumed     uint64                `json:"events_consumed"`
+	Stages       []kernel.StageSummary `json:"stages,omitempty"`
+}
+
+// ObsReport is the machine-readable result of ObsSweep — what
+// `lfpbench -exp obs` serializes into BENCH_obs.json.
+type ObsReport struct {
+	Platform     string     `json:"platform"`
+	ClockHz      float64    `json:"clock_hz"`
+	Frames       int        `json:"frames"`
+	Flows        int        `json:"flows"`
+	PayloadBytes int        `json:"tcp_payload_bytes"`
+	RingBytes    int        `json:"ring_bytes"`
+	Points       []ObsPoint `json:"points"`
+}
+
+const (
+	obsFlows   = 64
+	obsSegs    = 64 // 4096 frames per point
+	obsPayload = 128
+	obsRing    = 1 << 16
+)
+
+// obsWorkload builds the sweep's frames: routed TCP flows, flow-major.
+func obsWorkload(d *DUT) [][]byte {
+	src := packet.MustAddr("10.1.0.1")
+	frames := make([][]byte, 0, obsFlows*obsSegs)
+	for f := 0; f < obsFlows; f++ {
+		dst := packet.AddrFrom4(10, 100+byte(f%RoutedPrefixes), byte(f/RoutedPrefixes), 10)
+		seq, id := uint32(1), uint16(1)
+		for s := 0; s < obsSegs; s++ {
+			tcp := packet.TCP{SrcPort: uint16(4000 + f), DstPort: 80, Seq: seq, Ack: 1,
+				Flags: packet.TCPAck, Window: 512}
+			frames = append(frames, packet.BuildIPv4(
+				packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+				packet.IPv4{TTL: 64, ID: id, Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+				tcp.Marshal(nil, src, dst, make([]byte, obsPayload))))
+			seq += obsPayload
+			id++
+		}
+	}
+	return frames
+}
+
+// ObsSweep measures the observability pipeline's cost: the same forwarding
+// workload with instrumentation off, then on at each requested ring wakeup
+// batch size. "On" means the full pipeline — stage histograms attached, a
+// kfree_skb mirror and a per-packet XDP TraceOp both producing into one
+// ring buffer, with a consumer draining between polls.
+func ObsSweep(batches []int) (*ObsReport, error) {
+	d, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &ObsReport{
+		Platform:     PlatformLinux,
+		ClockHz:      sim.ClockHz,
+		Frames:       obsFlows * obsSegs,
+		Flows:        obsFlows,
+		PayloadBytes: obsPayload,
+		RingBytes:    obsRing,
+	}
+
+	base, err := obsPoint(d, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.Points = append(r.Points, base)
+	for _, b := range batches {
+		if b < 1 {
+			continue
+		}
+		p, err := obsPoint(d, true, b)
+		if err != nil {
+			return nil, err
+		}
+		p.OverheadPct = (p.CyclesPerPkt/base.CyclesPerPkt - 1) * 100
+		r.Points = append(r.Points, p)
+	}
+	return r, nil
+}
+
+// obsPoint drives the workload through one configuration. Wires are
+// unplugged so only DUT work meters; frames arrive in NAPI polls on RX
+// queue 0.
+func obsPoint(d *DUT, enabled bool, wakeupBatch int) (ObsPoint, error) {
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	// Both points run the same XDP parse pipeline, so the off/on delta is
+	// observability alone: stage observations, trace events, ring overhead.
+	ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4()}
+	var rb *ebpf.RingBuf
+	var sl *kernel.StageLat
+	if enabled {
+		rb = ebpf.NewRingBuf("obs_events", obsRing)
+		rb.SetWakeupBatch(wakeupBatch)
+		sl = d.Kern.EnableStageLat()
+		// kfree_skb mirror: every kernel drop becomes one ring event, from
+		// the dropping CPU, through the same non-blocking producer path.
+		d.Kern.SetDropNotify(func(reason drop.Reason, m *sim.Meter) {
+			var buf [ebpf.EventSize]byte
+			ev := ebpf.Event{Type: ebpf.EventDrop, Reason: reason, Cycles: uint64(m.Total)}
+			ev.MarshalInto(&buf)
+			rb.Output(buf[:])
+		})
+		defer d.Kern.DisableStageLat()
+		defer d.Kern.SetDropNotify(nil)
+		ops = append(ops, fpm.TraceOp(fpm.TraceConf{Ring: rb}))
+	}
+	loader := ebpf.NewLoader(d.Kern)
+	prog, err := loader.Load(&ebpf.Program{
+		Name: "obs_trace", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass,
+	})
+	if err != nil {
+		return ObsPoint{}, err
+	}
+	if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+		return ObsPoint{}, err
+	}
+	defer d.In.DetachXDP()
+
+	frames := obsWorkload(d)
+	n := len(frames)
+	var consumed uint64
+	var m sim.Meter
+	for i := 0; i < n; i += netdev.NAPIBudget {
+		end := i + netdev.NAPIBudget
+		if end > n {
+			end = n
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &m)
+		if rb != nil {
+			// Consumer keeps pace poll-by-poll, off the metered path, the
+			// way a userspace reader on another core would.
+			select {
+			case <-rb.C():
+				consumed += uint64(rb.Poll(func([]byte) {}))
+			default:
+			}
+		}
+	}
+
+	p := ObsPoint{
+		Enabled:      enabled,
+		WakeupBatch:  wakeupBatch,
+		CyclesPerPkt: float64(m.Total) / float64(n),
+	}
+	if rb != nil {
+		rb.Flush()
+		consumed += uint64(rb.Poll(func([]byte) {}))
+		p.Events = rb.Produced()
+		p.EventDrops = rb.Dropped()
+		p.Consumed = consumed
+	}
+	if sl != nil {
+		p.Stages = sl.Report()
+	}
+	return p, nil
+}
+
+// RenderObs prints the sweep in the house table style.
+func RenderObs(r *ObsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability overhead: slow-path forwarding, instrumentation off vs on (%d flows x %d segs, %dB payload, %dKiB ring)\n",
+		r.Flows, r.Frames/r.Flows, r.PayloadBytes, r.RingBytes/1024)
+	fmt.Fprintf(&b, "%-7s %-7s %14s %10s %10s %10s %9s\n",
+		"obs", "batch", "cycles/pkt", "overhead", "events", "consumed", "evdrops")
+	for _, p := range r.Points {
+		mode, batch, overhead := "off", "-", "-"
+		if p.Enabled {
+			mode = "on"
+			batch = fmt.Sprintf("%d", p.WakeupBatch)
+			overhead = fmt.Sprintf("%+.2f%%", p.OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-7s %-7s %14.1f %10s %10d %10d %9d\n",
+			mode, batch, p.CyclesPerPkt, overhead, p.Events, p.Consumed, p.EventDrops)
+	}
+	for _, p := range r.Points {
+		if !p.Enabled || len(p.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nper-stage latency (batch %d), modelcycles:\n", p.WakeupBatch)
+		fmt.Fprintf(&b, "%-11s %10s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p99", "p999")
+		for _, s := range p.Stages {
+			fmt.Fprintf(&b, "%-11s %10d %10.1f %10.1f %10.1f %10.1f\n",
+				s.Stage, s.Count, s.MeanCy, s.P50, s.P99, s.P999)
+		}
+		break // one table is enough; batches only change wakeup amortization
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package testbed
+
+import "testing"
+
+// TestObsSweepSmoke drives the observability sweep end to end: the off
+// point must carry no events, every on point must account all its events
+// (produced == consumed + still-buffered == consumed, since the point
+// drains the ring), and stage latency tables must be populated.
+func TestObsSweepSmoke(t *testing.T) {
+	r, err := ObsSweep([]int{1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(r.Points))
+	}
+	off := r.Points[0]
+	if off.Enabled || off.Events != 0 || len(off.Stages) != 0 {
+		t.Fatalf("off point carries instrumentation: %+v", off)
+	}
+	for _, p := range r.Points[1:] {
+		if !p.Enabled {
+			t.Fatalf("on point not enabled: %+v", p)
+		}
+		if p.Events == 0 {
+			t.Fatalf("on point produced no events: %+v", p)
+		}
+		if p.Consumed+p.EventDrops < p.Events {
+			t.Fatalf("event conservation: produced=%d consumed=%d dropped=%d", p.Events, p.Consumed, p.EventDrops)
+		}
+		if len(p.Stages) == 0 {
+			t.Fatalf("on point has no stage table: %+v", p)
+		}
+		if p.CyclesPerPkt <= off.CyclesPerPkt {
+			t.Fatalf("instrumentation cost vanished: on=%.1f off=%.1f", p.CyclesPerPkt, off.CyclesPerPkt)
+		}
+	}
+}
