@@ -23,9 +23,10 @@ race:
 ## bench-smoke: a fast pass over the real-execution forwarding benchmarks
 ## (including the 4-shard parallel scaling bench and the batched fast
 ## path), plus a 1-iteration run of the ebpf/netdev/kernel micro-benchmarks
-## (GRO coalescing, the batched TC runner, and the cpumap producer/kthread
-## benches live in internal/ebpf and internal/kernel) so batch-path and
-## cpumap regressions fail fast; no full -bench=. run needed
+## (GRO coalescing, the batched TC runner, the cpumap producer/kthread
+## benches, and the AF_XDP redirect-flush / forward-loop benches live in
+## internal/ebpf and internal/kernel) so batch-path, cpumap, and XSK ring
+## regressions fail fast; no full -bench=. run needed
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/
@@ -38,12 +39,15 @@ obs-smoke:
 	$(GO) run ./cmd/linuxfpd -metrics < /dev/null > /dev/null
 
 ## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json,
-## BENCH_cpumap.json, and BENCH_obs.json — the machine-readable batching x
-## JIT sweep plus the pps-vs-cores curve for the fast path, the GRO-on/off
-## workload x batch sweep for the slow path, the cpumap CPU fan-out sweep,
-## and the observability off/on overhead sweep across ring wakeup batches
+## BENCH_cpumap.json, BENCH_obs.json, and BENCH_afxdp.json — the
+## machine-readable batching x JIT sweep plus the pps-vs-cores curve for
+## the fast path, the GRO-on/off workload x batch sweep for the slow path,
+## the cpumap CPU fan-out sweep, the observability off/on overhead sweep
+## across ring wakeup batches, and the AF_XDP three-plane race (slow path
+## vs in-kernel XDP vs userspace socket, wakeup and busy-poll)
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
 	$(GO) run ./cmd/lfpbench -exp cpumap -cpumap-json BENCH_cpumap.json
 	$(GO) run ./cmd/lfpbench -exp obs -obs-json BENCH_obs.json
+	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json BENCH_afxdp.json

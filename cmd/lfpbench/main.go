@@ -19,22 +19,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|obs|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|obs|afxdp|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
 	cores := flag.Int("cores", 6, "maximum core count for core sweeps")
 	pairs := flag.Int("pairs", 10, "maximum pod pairs for fig9")
 	fpJSON := flag.String("fastpath-json", "", "write the fastpath sweep as JSON to this file")
 	groJSON := flag.String("gro-json", "", "write the GRO sweep as JSON to this file")
 	cpumapJSON := flag.String("cpumap-json", "", "write the cpumap sweep as JSON to this file")
 	obsJSON := flag.String("obs-json", "", "write the observability overhead sweep as JSON to this file")
+	afxdpJSON := flag.String("afxdp-json", "", "write the AF_XDP three-plane race as JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON, *obsJSON); err != nil {
+	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON, *obsJSON, *afxdpJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "lfpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON string) error {
+func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON, afxdpJSON string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -108,6 +109,24 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON stri
 				return err
 			}
 			fmt.Printf("wrote %s\n", obsJSON)
+		}
+	}
+	if want("afxdp") {
+		ran = true
+		report, err := testbed.AFXDPSweep([]int{1, 8, 32, 64}, []int{16, 256}, 4096)
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderAFXDP(report))
+		if afxdpJSON != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(afxdpJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", afxdpJSON)
 		}
 	}
 	if want("fig5") {
@@ -216,7 +235,7 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON stri
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fastpath", "gro", "cpumap", "obs", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			strings.Join([]string{"fastpath", "gro", "cpumap", "obs", "afxdp", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 				"table3", "table4", "table5", "table6", "table7", "ablation", "all"}, "|"))
 	}
 	return nil

@@ -87,12 +87,21 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 		ev.MarshalInto(&buf)
 		rb.Output(buf[:])
 	})
+	// An AF_XDP capture socket on slot 0: UDP:9999 frames bypass the stack
+	// into userspace, so the live view also shows the zero-copy plane.
+	xsk := ebpf.NewXSKMap("lfptop_xsks", 1)
+	xsock := ebpf.NewAFXDPSocket(ebpf.AFXDPConfig{NumFrames: 512, RingSize: 256})
+	xsk.Update(0, xsock)
+	var appMeter sim.Meter
+	app := ebpf.NewAFXDPApp(xsock, nil, &appMeter)
+
 	loader := ebpf.NewLoader(d.Kern)
 	prog, err := loader.Load(&ebpf.Program{
 		Name: "lfptop_trace", Hook: ebpf.HookXDP,
 		Ops: []ebpf.Op{
 			fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(),
 			fpm.TraceOp(fpm.TraceConf{Ring: rb, SampleShift: 4}), // 1-in-16 sampling
+			fpm.AFXDPOp(fpm.AFXDPConf{Proto: packet.ProtoUDP, DstPort: 9999, Map: xsk, Slot: 0}),
 		},
 		Default: ebpf.VerdictPass,
 	})
@@ -110,6 +119,7 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 	var prevDrops [drop.NumReasons]uint64
 	for tick := 0; ticks == 0 || tick < ticks; tick++ {
 		driveTraffic(d)
+		app.RunOnce(netdev.NAPIBudget) // one poll() return per doorbell
 
 		// Drain everything the doorbell announced (plus a forced flush for
 		// the partial batch, so the display never trails the traffic).
@@ -123,11 +133,12 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 		if !once {
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
-		render(os.Stdout, d, rb, sl, &tally, &prevDrops, interval)
+		render(os.Stdout, d, rb, sl, app, &tally, &prevDrops, interval)
 		if prom {
 			fmt.Println()
 			metrics.WriteKernel(os.Stdout, d.Kern)
 			metrics.WriteRingBuf(os.Stdout, rb)
+			metrics.WriteXSKMap(os.Stdout, xsk)
 		}
 		if tick+1 < ticks || ticks == 0 {
 			time.Sleep(interval)
@@ -159,6 +170,14 @@ func driveTraffic(d *DUT) {
 		add(packet.AddrFrom4(172, 31, 0, byte(i)), 64) // no route
 		add(packet.AddrFrom4(10, 100, 0, 10), 1)       // TTL expires
 	}
+	for i := 0; i < 32; i++ { // UDP:9999 -> the AF_XDP capture socket
+		u := packet.UDP{SrcPort: uint16(5000 + i), DstPort: 9999}
+		dst := packet.AddrFrom4(10, 100+byte(i%testbed.RoutedPrefixes), 0, 20)
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+			u.Marshal(nil, src, dst, make([]byte, 18))))
+	}
 	for i := 0; i < 8; i++ {
 		frames = append(frames, []byte{0xde, 0xad}) // runt: L2 header error
 	}
@@ -178,7 +197,7 @@ type DUT = testbed.DUT
 // render draws one frame: totals, per-reason drop rates (from the consumed
 // event stream, cross-checked against the kernel's per-reason counters), and
 // the per-stage latency table.
-func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, tally *eventTally, prev *[drop.NumReasons]uint64, interval time.Duration) {
+func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf.AFXDPApp, tally *eventTally, prev *[drop.NumReasons]uint64, interval time.Duration) {
 	st := d.Kern.Stats()
 	byReason := d.Kern.DropReasons()
 	fmt.Fprintf(w, "lfptop — %s  forwarded=%d delivered=%d dropped=%d\n",
@@ -202,6 +221,12 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, tally *ev
 	prev2 := byReason
 	*prev = prev2
 	fmt.Fprintf(w, "%-18s %10d %10d\n", "trace (sampled)", tally.traces, tally.traces)
+
+	ss := app.Sock().Stats()
+	fill, rx, tx, comp := app.Sock().RingOccupancy()
+	fmt.Fprintf(w, "\nxsk slot0 (wakeup): delivered=%d drained=%d rx_full=%d fill_empty=%d wakeups=%d polls=%d\n",
+		ss.RxDelivered, app.Received(), ss.RxFull, ss.FillEmpty, ss.Wakeups, app.Polls())
+	fmt.Fprintf(w, "xsk rings: fill=%d rx=%d tx=%d completion=%d\n", fill, rx, tx, comp)
 
 	fmt.Fprintf(w, "\n%-11s %10s %10s %10s %10s %10s\n", "stage", "count", "mean cy", "p50", "p99", "p999")
 	for _, s := range sl.Report() {

@@ -28,6 +28,8 @@ const (
 	ReasonXDPRedirectFail // XDP_REDIRECT with no resolvable target
 	ReasonCpumapNoEntry   // cpumap redirect to an empty slot
 	ReasonCpumapOverflow  // cpumap ptr_ring full (kthread behind)
+	ReasonXSKRxFull       // AF_XDP RX ring full (userspace consumer behind)
+	ReasonXSKFillEmpty    // AF_XDP fill ring empty (no free UMEM frames)
 
 	// L2 / bridge.
 	ReasonL2HdrError  // Ethernet header too short / unparseable
@@ -70,6 +72,8 @@ var reasonNames = [NumReasons]string{
 	ReasonXDPRedirectFail: "xdp_redirect_fail",
 	ReasonCpumapNoEntry:   "cpumap_no_entry",
 	ReasonCpumapOverflow:  "cpumap_overflow",
+	ReasonXSKRxFull:       "xsk_rx_full",
+	ReasonXSKFillEmpty:    "xsk_fill_empty",
 	ReasonL2HdrError:      "l2_hdr_error",
 	ReasonVLANFilter:      "vlan_filter",
 	ReasonSTPBlocked:      "stp_blocked",

@@ -1,53 +1,482 @@
 package ebpf
 
 import (
+	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/netdev"
 	"linuxfp/internal/sim"
 )
 
 // AF_XDP support (paper §VIII future work): "add custom packet-processing
 // applications in user space and use a special type of socket, called
 // AF_XDP, that allows sending raw packets directly from the XDP layer to
-// user space". An AFXDPSocket is the user-space end; an XSKMap is the
-// BPF_MAP_TYPE_XSKMAP programs redirect into.
+// user space". This file models the real xsk machinery rather than a
+// channel toy: a UMEM frame pool shared between kernel and application,
+// four single-producer/single-consumer descriptor rings (fill, RX, TX,
+// completion) with cached head/tail indexes, and a BPF_MAP_TYPE_XSKMAP
+// whose redirect path stages frames per RX queue and spills them onto the
+// socket's rings in XSKBulkSize bursts — one wakeup per NAPI poll flush.
+//
+//	          application                      kernel (driver / xsk_rcv)
+//	   ┌──────────────────────┐  fill ring   ┌──────────────────────────┐
+//	   │ produce free addrs ──┼─────────────▶│ consume addr, DMA frame  │
+//	   │ consume RX descs  ◀──┼──────────────┼── produce {addr,len}     │
+//	   │ produce TX descs  ───┼─────────────▶│ consume desc, xmit       │
+//	   │ consume completions◀─┼──────────────┼── produce done addrs     │
+//	   └──────────────────────┘  comp ring   └──────────────────────────┘
+//
+// Descriptors move; payload bytes never do (zero-copy mode): the only copy
+// in the model is the driver's DMA placement into the UMEM frame, which is
+// not a CPU cost.
 
-// CostXSKRedirect models the zero-copy descriptor hand-off to the
-// user-space ring — far below the regular socket path.
-const CostXSKRedirect sim.Cycles = 220
-
-// AFXDPSocket is a bound user-space receive ring. Read raw frames from C.
-type AFXDPSocket struct {
-	C chan []byte
-
-	dropped atomic.Uint64
+// XDPDesc mirrors struct xdp_desc: one frame in the UMEM, by offset.
+// Fill and completion rings carry bare addresses (Len unused).
+type XDPDesc struct {
+	Addr uint64
+	Len  uint32
 }
 
-// NewAFXDPSocket allocates a socket with the given RX ring depth.
-func NewAFXDPSocket(depth int) *AFXDPSocket {
-	return &AFXDPSocket{C: make(chan []byte, depth)}
+// xskRing is one single-producer/single-consumer descriptor ring. The
+// shared producer/consumer indexes are free-running uint32s (masked on
+// access); each side keeps a local head plus a cached copy of the other
+// side's shared index, refreshed only when the ring looks full/empty —
+// the xsk_ring_prod__reserve / xsk_ring_cons__peek batching trick that
+// keeps steady-state ring ops free of cross-core cache traffic.
+type xskRing struct {
+	mask     uint32
+	producer atomic.Uint32 // shared: entries published
+	consumer atomic.Uint32 // shared: entries released
+
+	prodHead   uint32 // producer-local: next slot to reserve
+	cachedCons uint32 // producer's stale copy of consumer
+
+	consHead   uint32 // consumer-local: next slot to peek
+	cachedProd uint32 // consumer's stale copy of producer
+
+	descs []XDPDesc
 }
 
-// Dropped reports frames lost to a full RX ring.
-func (s *AFXDPSocket) Dropped() uint64 { return s.dropped.Load() }
+func newXSKRing(size int) *xskRing {
+	sz := uint32(1)
+	for int(sz) < size {
+		sz <<= 1
+	}
+	return &xskRing{mask: sz - 1, descs: make([]XDPDesc, sz)}
+}
 
-// push enqueues one frame without blocking (full ring drops, as real
-// AF_XDP does when the fill queue is empty).
-func (s *AFXDPSocket) push(frame []byte) bool {
-	select {
-	case s.C <- frame:
-		return true
-	default:
-		s.dropped.Add(1)
-		return false
+func (r *xskRing) size() uint32 { return r.mask + 1 }
+
+// at returns the slot for a free-running index.
+func (r *xskRing) at(i uint32) *XDPDesc { return &r.descs[i&r.mask] }
+
+// reserve claims up to n producer slots, refreshing the cached consumer
+// index only if the ring looks too full (xsk_ring_prod__reserve).
+func (r *xskRing) reserve(n int) (base uint32, got int) {
+	free := int(r.size() - (r.prodHead - r.cachedCons))
+	if free < n {
+		r.cachedCons = r.consumer.Load()
+		free = int(r.size() - (r.prodHead - r.cachedCons))
+	}
+	if n > free {
+		n = free
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	base = r.prodHead
+	r.prodHead += uint32(n)
+	return base, n
+}
+
+// submit publishes the n oldest reserved slots (xsk_ring_prod__submit).
+// The atomic add is the release barrier that makes the descriptor writes
+// visible to the consumer.
+func (r *xskRing) submit(n int) { r.producer.Add(uint32(n)) }
+
+// peek claims up to n published entries, refreshing the cached producer
+// index only if the ring looks empty (xsk_ring_cons__peek).
+func (r *xskRing) peek(n int) (base uint32, got int) {
+	avail := int(r.cachedProd - r.consHead)
+	if avail < n {
+		r.cachedProd = r.producer.Load()
+		avail = int(r.cachedProd - r.consHead)
+	}
+	if n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		return 0, 0
+	}
+	base = r.consHead
+	r.consHead += uint32(n)
+	return base, n
+}
+
+// unpeek rewinds the last n peeked-but-unreleased entries
+// (xsk_ring_cons__cancel): the kernel RX path uses it when the RX ring is
+// full, so the fill addr it already peeked stays in the fill ring.
+func (r *xskRing) unpeek(n int) { r.consHead -= uint32(n) }
+
+// release hands the n oldest peeked slots back to the producer
+// (xsk_ring_cons__release).
+func (r *xskRing) release(n int) { r.consumer.Add(uint32(n)) }
+
+// len is the published occupancy (producer - consumer).
+func (r *xskRing) len() int { return int(r.producer.Load() - r.consumer.Load()) }
+
+// UMEM is the shared frame pool: one contiguous region chunked into
+// fixed-size frames, addressed by byte offset. Frames are never allocated
+// or freed after construction — ownership just moves between the four
+// rings, which is where AF_XDP's zero-alloc recycling comes from.
+type UMEM struct {
+	frameSize int
+	numFrames int
+	mem       []byte
+}
+
+// NewUMEM allocates a pool of numFrames chunks of frameSize bytes.
+func NewUMEM(numFrames, frameSize int) *UMEM {
+	return &UMEM{
+		frameSize: frameSize,
+		numFrames: numFrames,
+		mem:       make([]byte, numFrames*frameSize),
 	}
 }
 
-// XSKMap maps queue indexes to AF_XDP sockets.
-type XSKMap struct {
-	name  string
-	slots []atomic.Pointer[AFXDPSocket]
+// Frame returns the full chunk at addr (capped so writes cannot cross
+// into the next frame).
+func (u *UMEM) Frame(addr uint64) []byte {
+	base := int(addr)
+	return u.mem[base : base+u.frameSize : base+u.frameSize]
 }
+
+// NumFrames reports the pool size in frames.
+func (u *UMEM) NumFrames() int { return u.numFrames }
+
+// FrameSize reports the chunk size in bytes.
+func (u *UMEM) FrameSize() int { return u.frameSize }
+
+func (u *UMEM) valid(addr uint64) bool {
+	return addr%uint64(u.frameSize) == 0 && int(addr) < len(u.mem)
+}
+
+// AFXDPStats counts socket events. RxDelivered + RxFull + FillEmpty equals
+// the frames the redirect path enqueued for this socket; the two drop
+// counts mirror the device-level xsk_rx_full / xsk_fill_empty reasons.
+type AFXDPStats struct {
+	RxDelivered uint64 // descriptors published on the RX ring
+	RxFull      uint64 // frames dropped: RX ring full (app behind)
+	FillEmpty   uint64 // frames dropped: fill ring empty (no free frames)
+	TxCompleted uint64 // TX descriptors consumed and completed
+	Wakeups     uint64 // doorbells rung (wakeup mode only)
+}
+
+// AFXDPConfig sizes a socket. Zero values take defaults: 4096 frames of
+// 2048 bytes with RX/TX rings as deep as the pool.
+type AFXDPConfig struct {
+	NumFrames int  // UMEM pool size (frames)
+	FrameSize int  // UMEM chunk size (bytes)
+	RingSize  int  // RX and TX ring depth (entries)
+	BusyPoll  bool // dedicated-core mode: no doorbells, no syscalls
+}
+
+// AFXDPSocket is one bound xsk: the UMEM plus its four rings. The kernel
+// side (the XSKMap's redirect path) produces RX and consumes fill; the
+// application side consumes RX/completion and produces fill/TX, and must
+// be single-threaded per socket, as real libxsk requires. prodMu
+// serializes the kernel half only, for the case where redirects from two
+// RX queues land on one socket.
+type AFXDPSocket struct {
+	umem     *UMEM
+	fill     *xskRing
+	rx       *xskRing
+	tx       *xskRing
+	comp     *xskRing
+	busyPoll bool
+	managed  int // addrs handed to the rings at creation
+
+	prodMu   sync.Mutex // kernel RX half: rx produce + fill consume
+	doorbell chan struct{}
+
+	rxDelivered atomic.Uint64
+	rxFull      atomic.Uint64
+	fillEmpty   atomic.Uint64
+	txCompleted atomic.Uint64
+	wakeups     atomic.Uint64
+}
+
+// NewAFXDPSocket creates a socket and pre-populates the fill ring with
+// every UMEM frame (the xsk_ring_prod__reserve loop every AF_XDP app runs
+// at startup). Fill and completion rings are sized to hold the whole pool
+// so recycling an address can never itself fail — an addr always has a
+// ring to land in.
+func NewAFXDPSocket(cfg AFXDPConfig) *AFXDPSocket {
+	if cfg.NumFrames <= 0 {
+		cfg.NumFrames = 4096
+	}
+	if cfg.FrameSize <= 0 {
+		cfg.FrameSize = 2048
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = cfg.NumFrames
+	}
+	s := &AFXDPSocket{
+		umem:     NewUMEM(cfg.NumFrames, cfg.FrameSize),
+		fill:     newXSKRing(cfg.NumFrames),
+		rx:       newXSKRing(cfg.RingSize),
+		tx:       newXSKRing(cfg.RingSize),
+		comp:     newXSKRing(cfg.NumFrames),
+		busyPoll: cfg.BusyPoll,
+		doorbell: make(chan struct{}, 1),
+	}
+	base, got := s.fill.reserve(cfg.NumFrames)
+	for i := 0; i < got; i++ {
+		*s.fill.at(base + uint32(i)) = XDPDesc{Addr: uint64(i) * uint64(cfg.FrameSize)}
+	}
+	s.fill.submit(got)
+	s.managed = got
+	return s
+}
+
+// UMEM returns the socket's frame pool.
+func (s *AFXDPSocket) UMEM() *UMEM { return s.umem }
+
+// BusyPoll reports whether the socket runs in dedicated-core busy-poll
+// mode (no wakeups) rather than wakeup-driven mode (XDP_USE_NEED_WAKEUP).
+func (s *AFXDPSocket) BusyPoll() bool { return s.busyPoll }
+
+// Doorbell is the wakeup channel the application blocks on in
+// wakeup-driven mode (the model of poll() returning readable).
+func (s *AFXDPSocket) Doorbell() <-chan struct{} { return s.doorbell }
+
+// Stats snapshots the socket counters.
+func (s *AFXDPSocket) Stats() AFXDPStats {
+	return AFXDPStats{
+		RxDelivered: s.rxDelivered.Load(),
+		RxFull:      s.rxFull.Load(),
+		FillEmpty:   s.fillEmpty.Load(),
+		TxCompleted: s.txCompleted.Load(),
+		Wakeups:     s.wakeups.Load(),
+	}
+}
+
+// RingOccupancy reports the published occupancy of each ring — the gauge
+// set the metrics plane exports.
+func (s *AFXDPSocket) RingOccupancy() (fill, rx, tx, comp int) {
+	return s.fill.len(), s.rx.len(), s.tx.len(), s.comp.len()
+}
+
+// rcvBatch is the kernel RX half (xsk_rcv for a bulk-queue spill): for
+// each frame, consume one fill addr (underrun → xsk_fill_empty drop),
+// reserve one RX slot (overflow → xsk_rx_full drop, fill addr rewound),
+// place the payload into the UMEM frame and publish the descriptor. The
+// placement copy models DMA, so the only CPU cost is the per-descriptor
+// ring work.
+func (s *AFXDPSocket) rcvBatch(frames [][]byte, m *sim.Meter) (rxFull, fillEmpty int) {
+	delivered := 0
+	s.prodMu.Lock()
+	for _, f := range frames {
+		fbase, got := s.fill.peek(1)
+		if got == 0 {
+			fillEmpty++
+			continue
+		}
+		rbase, got := s.rx.reserve(1)
+		if got == 0 {
+			s.fill.unpeek(1)
+			rxFull++
+			continue
+		}
+		addr := s.fill.at(fbase).Addr
+		s.fill.release(1)
+		n := copy(s.umem.Frame(addr), f)
+		*s.rx.at(rbase) = XDPDesc{Addr: addr, Len: uint32(n)}
+		s.rx.submit(1)
+		m.Charge(sim.CostXSKRxDesc)
+		delivered++
+	}
+	s.prodMu.Unlock()
+	if delivered > 0 {
+		s.rxDelivered.Add(uint64(delivered))
+	}
+	if rxFull > 0 {
+		s.rxFull.Add(uint64(rxFull))
+	}
+	if fillEmpty > 0 {
+		s.fillEmpty.Add(uint64(fillEmpty))
+	}
+	return rxFull, fillEmpty
+}
+
+// wakeup rings the socket's doorbell (sock_def_readable) — skipped
+// entirely in busy-poll mode, which is the whole point of that mode.
+func (s *AFXDPSocket) wakeup(m *sim.Meter) {
+	if s.busyPoll {
+		return
+	}
+	m.Charge(sim.CostXSKDoorbell)
+	s.wakeups.Add(1)
+	select {
+	case s.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// RxBurst consumes up to len(out) RX descriptors (application side):
+// peek, copy out, release. Per-descriptor cost only — the frames stay in
+// the UMEM and remain owned by the app until it recycles or transmits
+// their addrs.
+func (s *AFXDPSocket) RxBurst(out []XDPDesc, m *sim.Meter) int {
+	base, got := s.rx.peek(len(out))
+	for i := 0; i < got; i++ {
+		out[i] = *s.rx.at(base + uint32(i))
+		m.Charge(sim.CostXSKAppRx)
+	}
+	if got > 0 {
+		s.rx.release(got)
+	}
+	return got
+}
+
+// FillAddrs returns free addrs to the fill ring (application side). The
+// fill ring holds the whole pool, so this cannot fail for addrs the
+// socket owns.
+func (s *AFXDPSocket) FillAddrs(addrs []uint64, m *sim.Meter) int {
+	base, got := s.fill.reserve(len(addrs))
+	for i := 0; i < got; i++ {
+		*s.fill.at(base + uint32(i)) = XDPDesc{Addr: addrs[i]}
+		m.Charge(sim.CostXSKFillRecycle)
+	}
+	if got > 0 {
+		s.fill.submit(got)
+	}
+	return got
+}
+
+// TxBurst publishes descriptors on the TX ring (application side),
+// returning how many fit; the caller keeps ownership of the rest. The
+// per-descriptor charge covers the app's rewrite + publish work.
+func (s *AFXDPSocket) TxBurst(descs []XDPDesc, m *sim.Meter) int {
+	base, got := s.tx.reserve(len(descs))
+	for i := 0; i < got; i++ {
+		*s.tx.at(base + uint32(i)) = descs[i]
+		m.Charge(sim.CostXSKAppFwd)
+	}
+	if got > 0 {
+		s.tx.submit(got)
+	}
+	return got
+}
+
+// CompleteBurst consumes up to len(out) completed TX addrs (application
+// side). Free — the cost sits on the completion produce and the fill
+// recycle either side of it.
+func (s *AFXDPSocket) CompleteBurst(out []uint64, m *sim.Meter) int {
+	base, got := s.comp.peek(len(out))
+	for i := 0; i < got; i++ {
+		out[i] = s.comp.at(base + uint32(i)).Addr
+	}
+	if got > 0 {
+		s.comp.release(got)
+	}
+	return got
+}
+
+// KernelTx is the kernel TX half, run in the caller's context the way
+// sendto/busy-poll runs __xsk_sendmsg: consume up to budget TX
+// descriptors, transmit the frames out dev (nil just completes them), and
+// publish the addrs on the completion ring. scratch must hold budget
+// entries; it exists so the hot path allocates nothing.
+func (s *AFXDPSocket) KernelTx(dev *netdev.Device, scratch [][]byte, budget int, m *sim.Meter) int {
+	if budget > len(scratch) {
+		budget = len(scratch)
+	}
+	base, got := s.tx.peek(budget)
+	if got == 0 {
+		return 0
+	}
+	frames := scratch[:got]
+	for i := 0; i < got; i++ {
+		d := s.tx.at(base + uint32(i))
+		frames[i] = s.umem.Frame(d.Addr)[:d.Len]
+		m.Charge(sim.CostXSKTxDesc)
+	}
+	if dev != nil {
+		dev.TransmitBatch(frames, m)
+	}
+	// Completion after transmit: the frame data must not be recycled
+	// before it is on the wire.
+	cbase, cgot := s.comp.reserve(got)
+	for i := 0; i < cgot; i++ {
+		*s.comp.at(cbase + uint32(i)) = XDPDesc{Addr: s.tx.at(base + uint32(i)).Addr}
+		m.Charge(sim.CostXSKCompletion)
+	}
+	s.comp.submit(cgot)
+	s.tx.release(got)
+	s.txCompleted.Add(uint64(got))
+	for i := range frames {
+		frames[i] = nil
+	}
+	return got
+}
+
+// AuditUMEM walks the four rings of a quiesced socket and checks that
+// every managed UMEM addr is parked in exactly one of them — the
+// frame-leak invariant: descriptors move, frames never vanish. Call only
+// when no producer or consumer is running.
+func (s *AFXDPSocket) AuditUMEM() (fill, rx, tx, comp int, intact bool) {
+	seen := make(map[uint64]int, s.managed)
+	walk := func(r *xskRing) int {
+		n := 0
+		for i := r.consumer.Load(); i != r.producer.Load(); i++ {
+			seen[r.at(i).Addr]++
+			n++
+		}
+		return n
+	}
+	fill = walk(s.fill)
+	rx = walk(s.rx)
+	tx = walk(s.tx)
+	comp = walk(s.comp)
+	intact = len(seen) == s.managed && fill+rx+tx+comp == s.managed
+	for addr, n := range seen {
+		if n != 1 || !s.umem.valid(addr) {
+			intact = false
+		}
+	}
+	return fill, rx, tx, comp, intact
+}
+
+// xskStage is one (RX queue, socket) bulk queue: up to XSKBulkSize frames
+// staged for one socket during a NAPI poll. The socket pointer is captured
+// at enqueue time, so a map slot swapped mid-poll still spills into the
+// socket the frames were redirected to.
+type xskStage struct {
+	s      *AFXDPSocket
+	n      int
+	frames [netdev.XSKBulkSize][]byte
+}
+
+// xskRxQueue is one RX queue's staging state; see cpumapRxQueue.
+type xskRxQueue struct {
+	mu     sync.Mutex
+	stages []xskStage
+	_      [4]uint64
+}
+
+// XSKMap is the BPF_MAP_TYPE_XSKMAP: XDP_REDIRECT targets that are AF_XDP
+// sockets. It implements netdev.XSKRedirectTarget: the redirect helper
+// plants it on the XDP buff, the driver's batch loop stages frames per
+// (RX queue, socket) and spills in XSKBulkSize bursts, and xdp_do_flush
+// wakes each touched socket once per poll.
+type XSKMap struct {
+	name   string
+	slots  []atomic.Pointer[AFXDPSocket]
+	queues [netdev.MaxRxQueues]xskRxQueue
+}
+
+var _ netdev.XSKRedirectTarget = (*XSKMap)(nil)
 
 // NewXSKMap allocates an XSK map with n slots.
 func NewXSKMap(name string, n int) *XSKMap {
@@ -60,28 +489,102 @@ func (m *XSKMap) Name() string { return m.name }
 // Len reports the slot count.
 func (m *XSKMap) Len() int { return len(m.slots) }
 
-// Update binds a socket to a slot (nil unbinds).
+// Update binds a socket to a slot. Reports whether the slot was valid.
 func (m *XSKMap) Update(slot int, s *AFXDPSocket) bool {
-	if slot < 0 || slot >= len(m.slots) {
+	if slot < 0 || slot >= len(m.slots) || s == nil {
 		return false
 	}
 	m.slots[slot].Store(s)
 	return true
 }
 
-// HelperRedirectXSK is bpf_redirect_map on an XSK map: the frame is handed
-// to the bound user-space socket. An unbound slot or a full ring behaves
-// like the kernel: the packet is dropped (the caller should treat the
-// verdict as terminal).
-func HelperRedirectXSK(c *Ctx, m *XSKMap, slot int) Verdict {
-	c.Meter.Charge(CostXSKRedirect)
+// Delete unbinds a slot, reporting whether a socket was bound.
+func (m *XSKMap) Delete(slot int) bool {
 	if slot < 0 || slot >= len(m.slots) {
-		return VerdictAborted
+		return false
+	}
+	return m.slots[slot].Swap(nil) != nil
+}
+
+// Lookup fetches the socket bound to a slot (nil if empty).
+func (m *XSKMap) Lookup(slot int) *AFXDPSocket {
+	if slot < 0 || slot >= len(m.slots) {
+		return nil
+	}
+	return m.slots[slot].Load()
+}
+
+// EnqueueXSK implements netdev.XSKRedirectTarget: resolve the slot now (a
+// socket swapped mid-poll attributes consistently — frames staged for the
+// old socket still spill there), stage the frame, and spill when the
+// stage is full. ok is false for an empty or out-of-range slot.
+func (m *XSKMap) EnqueueXSK(rxq, slot int, frame []byte, meter *sim.Meter) (rxFull, fillEmpty int, ok bool) {
+	if slot < 0 || slot >= len(m.slots) {
+		return 0, 0, false
 	}
 	s := m.slots[slot].Load()
 	if s == nil {
-		return VerdictDrop
+		return 0, 0, false
 	}
-	s.push(append([]byte(nil), c.Frame()...))
-	return VerdictDrop // consumed from the kernel's point of view
+	meter.Charge(sim.CostXSKBulkEnqueue)
+	q := &m.queues[rxq&(netdev.MaxRxQueues-1)]
+	q.mu.Lock()
+	st := (*xskStage)(nil)
+	for i := range q.stages {
+		if q.stages[i].s == s {
+			st = &q.stages[i]
+			break
+		}
+	}
+	if st == nil {
+		q.stages = append(q.stages, xskStage{s: s})
+		st = &q.stages[len(q.stages)-1]
+	}
+	if st.n == netdev.XSKBulkSize {
+		rxFull, fillEmpty = s.rcvBatch(st.frames[:st.n], meter)
+		st.n = 0
+	}
+	st.frames[st.n] = frame
+	st.n++
+	q.mu.Unlock()
+	return rxFull, fillEmpty, true
+}
+
+// FlushXSK implements netdev.XSKRedirectTarget: spill every stage rxq
+// touched since the last flush and wake each socket once — the xsk half
+// of xdp_do_flush.
+func (m *XSKMap) FlushXSK(rxq int, meter *sim.Meter) (rxFull, fillEmpty int) {
+	q := &m.queues[rxq&(netdev.MaxRxQueues-1)]
+	q.mu.Lock()
+	for i := range q.stages {
+		st := &q.stages[i]
+		if st.n > 0 {
+			rf, fe := st.s.rcvBatch(st.frames[:st.n], meter)
+			rxFull += rf
+			fillEmpty += fe
+		}
+		// One wakeup per socket touched this poll, even if its frames all
+		// went in via threshold spills.
+		st.s.wakeup(meter)
+		*st = xskStage{} // release frame and socket references
+	}
+	q.stages = q.stages[:0]
+	q.mu.Unlock()
+	return rxFull, fillEmpty
+}
+
+// HelperRedirectXSK is bpf_redirect_map on an XSK map: like the cpumap
+// helper it only records the target on the context — the driver's
+// redirect path resolves the slot at enqueue and stages through the bulk
+// queues. An out-of-range slot is a program bug (XDP_ABORTED); an empty
+// slot surfaces at enqueue as an xdp_redirect_fail drop, the kernel's
+// late-lookup behaviour.
+func HelperRedirectXSK(c *Ctx, m *XSKMap, slot int) Verdict {
+	c.Meter.Charge(sim.CostMapLookup)
+	if m == nil || slot < 0 || slot >= len(m.slots) {
+		return VerdictAborted
+	}
+	c.RedirectXSKMap = m
+	c.RedirectXSKSlot = slot
+	return VerdictRedirect
 }

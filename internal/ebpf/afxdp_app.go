@@ -1,0 +1,151 @@
+package ebpf
+
+import (
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/sim"
+)
+
+// AFXDPApp models the userspace end of an AF_XDP socket: a run-to-
+// completion loop that recycles completions into the fill ring, drains RX
+// descriptors, optionally inspects each frame, and either forwards
+// through the TX/completion rings or recycles the frame straight back.
+// One app owns one socket and must be driven from a single goroutine (the
+// SPSC contract of the application ring halves).
+//
+// Two modes, decided by the socket:
+//   - wakeup-driven: each RunOnce models one poll() return (the syscall is
+//     charged to the app core), and a TX kick pays a sendto() — the
+//     default XDP_USE_NEED_WAKEUP deployment.
+//   - busy-poll: no syscalls ever; the app burns a dedicated core spinning
+//     on the rings, exactly the internal/vpp resource trade.
+type AFXDPApp struct {
+	// Out is the egress device forwarded frames are transmitted on; nil
+	// makes the app capture-only (frames are recycled after Handle).
+	Out *netdev.Device
+	// Handle, when set, observes every received frame (valid only for the
+	// duration of the call — the backing UMEM frame is recycled after).
+	Handle func(frame []byte)
+	// Meter is the app core. Its CPU should differ from the RX core's.
+	Meter *sim.Meter
+
+	sock *AFXDPSocket
+
+	descs  []XDPDesc
+	addrs  []uint64
+	frames [][]byte
+
+	received  uint64
+	forwarded uint64
+	txFull    uint64
+	polls     uint64
+	sendtos   uint64
+}
+
+// NewAFXDPApp creates an app bound to a socket, forwarding out the given
+// device (nil for capture-only). Scratch buffers are sized once, to the
+// UMEM pool, so RunOnce allocates nothing.
+func NewAFXDPApp(s *AFXDPSocket, out *netdev.Device, m *sim.Meter) *AFXDPApp {
+	n := s.UMEM().NumFrames()
+	return &AFXDPApp{
+		Out:    out,
+		Meter:  m,
+		sock:   s,
+		descs:  make([]XDPDesc, n),
+		addrs:  make([]uint64, n),
+		frames: make([][]byte, n),
+	}
+}
+
+// Sock returns the bound socket.
+func (a *AFXDPApp) Sock() *AFXDPSocket { return a.sock }
+
+// Received reports frames drained from the RX ring.
+func (a *AFXDPApp) Received() uint64 { return a.received }
+
+// Forwarded reports frames pushed through the TX path.
+func (a *AFXDPApp) Forwarded() uint64 { return a.forwarded }
+
+// TxRingFull reports frames the app had to recycle because the TX ring
+// was full (app-level loss, not kernel loss).
+func (a *AFXDPApp) TxRingFull() uint64 { return a.txFull }
+
+// Polls reports poll() syscalls paid (wakeup mode only).
+func (a *AFXDPApp) Polls() uint64 { return a.polls }
+
+// Sendtos reports sendto() TX kicks paid (wakeup mode only).
+func (a *AFXDPApp) Sendtos() uint64 { return a.sendtos }
+
+// RunOnce executes one loop iteration, processing up to budget frames
+// (0 or oversized budgets are clamped to the UMEM pool), and returns how
+// many RX descriptors it drained. In wakeup mode the iteration models one
+// poll() return, so the caller should invoke it once per doorbell.
+func (a *AFXDPApp) RunOnce(budget int) int {
+	if budget <= 0 || budget > len(a.descs) {
+		budget = len(a.descs)
+	}
+	m := a.Meter
+	if !a.sock.BusyPoll() {
+		select {
+		case <-a.sock.Doorbell():
+		default:
+		}
+		m.Charge(sim.CostSyscallPoll)
+		a.polls++
+	}
+
+	// Recycle completed TX addrs onto the fill ring first, so the frames
+	// this iteration forwards have somewhere to come from next time.
+	if n := a.sock.CompleteBurst(a.addrs[:budget], m); n > 0 {
+		a.sock.FillAddrs(a.addrs[:n], m)
+	}
+
+	n := a.sock.RxBurst(a.descs[:budget], m)
+	if n == 0 {
+		return 0
+	}
+	a.received += uint64(n)
+	if a.Handle != nil {
+		for i := 0; i < n; i++ {
+			d := a.descs[i]
+			a.Handle(a.sock.UMEM().Frame(d.Addr)[:d.Len])
+		}
+	}
+	if a.Out == nil {
+		for i := 0; i < n; i++ {
+			a.addrs[i] = a.descs[i].Addr
+		}
+		a.sock.FillAddrs(a.addrs[:n], m)
+		return n
+	}
+
+	queued := a.sock.TxBurst(a.descs[:n], m)
+	a.forwarded += uint64(queued)
+	if queued < n {
+		// TX ring full: recycle the overflow straight back to the fill
+		// ring rather than losing the frames.
+		k := 0
+		for i := queued; i < n; i++ {
+			a.addrs[k] = a.descs[i].Addr
+			k++
+		}
+		a.sock.FillAddrs(a.addrs[:k], m)
+		a.txFull += uint64(n - queued)
+	}
+	if queued > 0 {
+		if !a.sock.BusyPoll() {
+			m.Charge(sim.CostSyscallSendto)
+			a.sendtos++
+		}
+		a.sock.KernelTx(a.Out, a.frames, queued, m)
+	}
+	return n
+}
+
+// Drain loops RunOnce until an iteration moves nothing, leaving every
+// frame the app owned recycled onto the fill ring. The final iteration
+// that returns 0 still recycles the last completions first, so a drained
+// socket audits clean.
+func (a *AFXDPApp) Drain() {
+	for a.RunOnce(0) > 0 {
+	}
+}

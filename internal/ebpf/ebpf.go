@@ -132,6 +132,12 @@ type Ctx struct {
 	RedirectCPUMap *CPUMap
 	RedirectCPU    int
 
+	// AF_XDP redirect target, set by HelperRedirectXSK: when RedirectXSKMap
+	// is non-nil a VerdictRedirect means "hand the frame to the socket in
+	// RedirectXSKSlot of that map" instead of a device transmit.
+	RedirectXSKMap  *XSKMap
+	RedirectXSKSlot int
+
 	depth int  // tail-call depth
 	jit   bool // run fused (JIT) program bodies, including tail-call targets
 }

@@ -112,6 +112,10 @@ func verdictToXDP(v Verdict, buff *netdev.XDPBuff, ctx *Ctx) netdev.XDPAction {
 			buff.RedirectCPUMap = ctx.RedirectCPUMap
 			buff.RedirectCPU = ctx.RedirectCPU
 		}
+		if ctx.RedirectXSKMap != nil {
+			buff.RedirectXSKMap = ctx.RedirectXSKMap
+			buff.RedirectXSKSlot = ctx.RedirectXSKSlot
+		}
 		return netdev.XDPRedirect
 	case VerdictAborted:
 		return netdev.XDPAborted

@@ -1,0 +1,289 @@
+package fpm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// attachAFXDPAll loads a fast path that redirects every parsed frame into
+// slot 0 of a fresh XSK map and attaches it to the rig's ingress.
+func (r *routerRig) attachAFXDPAll(t *testing.T, cfg ebpf.AFXDPConfig) (*ebpf.XSKMap, *ebpf.AFXDPSocket) {
+	t.Helper()
+	xsk := ebpf.NewXSKMap("xsks", 4)
+	sock := ebpf.NewAFXDPSocket(cfg)
+	if !xsk.Update(0, sock) {
+		t.Fatal("bind failed")
+	}
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(),
+		AFXDPOp(AFXDPConf{Map: xsk, Slot: 0})}
+	prog, err := loader.Load(&ebpf.Program{Name: "xsk_all", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.AttachXDP(r.in, prog, "driver"); err != nil {
+		t.Fatal(err)
+	}
+	return xsk, sock
+}
+
+// TestAFXDPConservationParity drives bursts of every size 1..200 into the
+// AF_XDP fast path, alternating the per-packet and batched drivers, with a
+// deliberately tiny socket and a userspace side that alternates between
+// keeping up, hoarding frames (starving the fill ring) and not draining at
+// all (overflowing the RX ring). After every burst the XDP verdict
+// conservation invariant (drops + tx + redirects + pass == rx) must
+// balance, every surviving redirect must be a published RX descriptor
+// (XDPRedirects == RxDelivered), and every drop must carry a reason.
+func TestAFXDPConservationParity(t *testing.T) {
+	r := newRouterRig(t)
+	// RX ring 8 against a 32-frame UMEM: an undrained socket overflows the
+	// RX ring with fill stock remaining (xsk_rx_full); a hoarding app
+	// starves the fill ring with RX space remaining (xsk_fill_empty).
+	_, sock := r.attachAFXDPAll(t, ebpf.AFXDPConfig{NumFrames: 32, RingSize: 8})
+
+	var appMeter sim.Meter
+	descs := make([]ebpf.XDPDesc, 32)
+	addrs := make([]uint64, 32)
+	var held []uint64
+
+	rxBase := r.in.Stats().RxPackets
+	injected := uint64(0)
+	for n := 1; n <= 200; n++ {
+		frames := make([][]byte, n)
+		for i := range frames {
+			dst := packet.AddrFrom4(10, 100+byte(i%50), 1, byte(1+i%200))
+			frames[i] = r.frameUDP(dst, uint16(1024+n), uint16(2000+i%7), 64, nil)
+		}
+		var m sim.Meter
+		if n%2 == 1 {
+			for _, f := range frames {
+				r.in.Receive(f, &m)
+			}
+		} else {
+			r.in.ReceiveBatch(frames, 0, &m)
+		}
+		injected += uint64(n)
+
+		// Userspace behaviour cycle: stall, starve, recover. Four hoard
+		// rounds back-to-back are needed to push held inventory past
+		// NumFrames-RingSize (24), the point where the fill ring can run
+		// dry while the RX ring still has space.
+		switch n % 8 {
+		case 3, 4, 5, 6: // hoard: drain RX but keep the frames (fill ring starves)
+			for {
+				got := sock.RxBurst(descs, &appMeter)
+				if got == 0 {
+					break
+				}
+				for i := 0; i < got; i++ {
+					held = append(held, descs[i].Addr)
+				}
+			}
+		case 0: // recover: hand everything back
+			sock.FillAddrs(held, &appMeter)
+			held = held[:0]
+			for {
+				got := sock.RxBurst(descs, &appMeter)
+				if got == 0 {
+					break
+				}
+				for i := 0; i < got; i++ {
+					addrs[i] = descs[i].Addr
+				}
+				sock.FillAddrs(addrs[:got], &appMeter)
+			}
+		default: // stall: no draining at all (RX ring overflows)
+		}
+
+		st := r.in.Stats()
+		if st.RxPackets-rxBase != injected {
+			t.Fatalf("n=%d: rx = %d, want %d", n, st.RxPackets-rxBase, injected)
+		}
+		if got := st.XDPDrops + st.XDPTx + st.XDPRedirects + st.XDPPass; got != injected {
+			t.Fatalf("n=%d: conservation violated: drops(%d)+tx(%d)+redir(%d)+pass(%d) = %d != %d",
+				n, st.XDPDrops, st.XDPTx, st.XDPRedirects, st.XDPPass, got, injected)
+		}
+		if delivered := sock.Stats().RxDelivered; st.XDPRedirects != delivered {
+			t.Fatalf("n=%d: XDPRedirects (%d) != RxDelivered (%d): a redirect survived without a descriptor",
+				n, st.XDPRedirects, delivered)
+		}
+		dr := r.in.DropReasons()
+		if total := drop.Total(dr); total != st.RxDropped+st.TxDropped+st.XDPDrops {
+			t.Fatalf("n=%d: per-reason sum %d != total drops %d", n, total, st.RxDropped+st.TxDropped+st.XDPDrops)
+		}
+	}
+
+	dr := r.in.DropReasons()
+	if dr[drop.ReasonXSKRxFull] == 0 {
+		t.Fatal("no RX-ring overflow occurred; xsk_rx_full reclassification untested")
+	}
+	if dr[drop.ReasonXSKFillEmpty] == 0 {
+		t.Fatal("no fill-ring underrun occurred; xsk_fill_empty reclassification untested")
+	}
+	ss := sock.Stats()
+	if dr[drop.ReasonXSKRxFull] != ss.RxFull || dr[drop.ReasonXSKFillEmpty] != ss.FillEmpty {
+		t.Fatalf("device reasons (%d/%d) != socket stats (%d/%d)",
+			dr[drop.ReasonXSKRxFull], dr[drop.ReasonXSKFillEmpty], ss.RxFull, ss.FillEmpty)
+	}
+
+	// Dropped frames rewound their addrs; held frames restored: no leaks.
+	sock.FillAddrs(held, &appMeter)
+	for {
+		got := sock.RxBurst(descs, &appMeter)
+		if got == 0 {
+			break
+		}
+		for i := 0; i < got; i++ {
+			addrs[i] = descs[i].Addr
+		}
+		sock.FillAddrs(addrs[:got], &appMeter)
+	}
+	if _, _, _, _, intact := sock.AuditUMEM(); !intact {
+		t.Fatal("UMEM frames leaked across forced overflow/underrun")
+	}
+}
+
+// TestAFXDPSwapRaceHammer blasts redirect traffic from 8 RX queues into
+// four AF_XDP sockets selected by destination port, while one goroutine
+// churns the XSK map's slots (delete, rebind, cross-bind), per-socket app
+// goroutines drain concurrently, and a control-plane goroutine reads
+// stats. Under -race this is the XSKMap memory-safety proof; the final
+// conservation checks prove no frame is lost or double-counted across
+// mid-poll slot swaps — the enqueue-time resolution satellite.
+func TestAFXDPSwapRaceHammer(t *testing.T) {
+	r := newRouterRig(t)
+	r.sinkDev.Tap = nil // concurrent delivery; the rig's capture append is single-threaded only
+
+	const slots = 4
+	xsk := ebpf.NewXSKMap("xsks", slots)
+	socks := make([]*ebpf.AFXDPSocket, slots)
+	apps := make([]*ebpf.AFXDPApp, slots)
+	for i := range socks {
+		socks[i] = ebpf.NewAFXDPSocket(ebpf.AFXDPConfig{NumFrames: 128, RingSize: 32, BusyPoll: true})
+		xsk.Update(i, socks[i])
+		apps[i] = ebpf.NewAFXDPApp(socks[i], nil, &sim.Meter{CPU: 8 + i})
+	}
+
+	loader := ebpf.NewLoader(r.dut)
+	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4()}
+	for i := 0; i < slots; i++ {
+		ops = append(ops, AFXDPOp(AFXDPConf{Proto: packet.ProtoUDP, DstPort: uint16(2000 + i), Map: xsk, Slot: i}))
+	}
+	prog, err := loader.Load(&ebpf.Program{Name: "xsk_spread", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.AttachXDP(r.in, prog, "driver"); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 6000
+	rxBase := r.in.Stats().RxPackets
+	kBase := r.dut.Stats()
+	pool := r.dut.StartRxQueues(r.in, 8, 32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slot churn under live redirect traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			slot := i % slots
+			switch i % 3 {
+			case 0:
+				xsk.Delete(slot)
+			case 1:
+				xsk.Update(slot, socks[(slot+1)%slots])
+			default:
+				xsk.Update(slot, socks[slot])
+			}
+		}
+	}()
+	go func() { // control plane: lookups and stats reads during churn
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = xsk.Lookup(i % slots)
+			_ = socks[i%slots].Stats()
+			_, _, _, _ = socks[i%slots].RingOccupancy()
+		}
+	}()
+	for i := range apps {
+		wg.Add(1)
+		go func(a *ebpf.AFXDPApp) { // one app per socket (SPSC consumer side)
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.RunOnce(32)
+				}
+			}
+		}(apps[i])
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < total; i++ {
+		var dst packet.Addr
+		if rng.Intn(8) == 0 {
+			dst = packet.AddrFrom4(203, 0, 113, 9) // no route: slow-path drop
+		} else {
+			dst = packet.AddrFrom4(10, 100+byte(rng.Intn(50)), 1, 7)
+		}
+		// Port 2004 matches no capture op: those frames pass to the stack.
+		pool.Steer(r.frameUDP(dst, uint16(1024+rng.Intn(8000)), uint16(2000+rng.Intn(5)), 64, nil))
+	}
+	pool.Close()
+	close(stop)
+	wg.Wait()
+
+	st := r.in.Stats()
+	if st.RxPackets-rxBase != total {
+		t.Fatalf("rx = %d, want %d", st.RxPackets-rxBase, total)
+	}
+	if got := st.XDPDrops + st.XDPTx + st.XDPRedirects + st.XDPPass; got != total {
+		t.Fatalf("conservation violated: drops(%d)+tx(%d)+redir(%d)+pass(%d) = %d != injected %d",
+			st.XDPDrops, st.XDPTx, st.XDPRedirects, st.XDPPass, got, total)
+	}
+	var delivered uint64
+	for i, s := range socks {
+		apps[i].Drain()
+		ss := s.Stats()
+		delivered += ss.RxDelivered
+		if _, _, _, _, intact := s.AuditUMEM(); !intact {
+			t.Fatalf("socket %d leaked UMEM frames under churn", i)
+		}
+	}
+	if st.XDPRedirects != delivered {
+		t.Fatalf("XDPRedirects (%d) != delivered descriptors (%d): a redirect survived without a descriptor",
+			st.XDPRedirects, delivered)
+	}
+	dr := r.in.DropReasons()
+	if total := drop.Total(dr); total != st.RxDropped+st.TxDropped+st.XDPDrops {
+		t.Fatalf("per-reason sum %d != total drops %d", total, st.RxDropped+st.TxDropped+st.XDPDrops)
+	}
+	// Every XDP_PASS punt entered the stack exactly once and ended as
+	// exactly one forward or one drop.
+	ks := r.dut.Stats()
+	stackOut := (ks.Forwarded - kBase.Forwarded) + (ks.Dropped - kBase.Dropped)
+	if st.XDPPass != stackOut {
+		t.Fatalf("stack entries %d != outcomes %d (fwd %d, drop %d)",
+			st.XDPPass, stackOut, ks.Forwarded-kBase.Forwarded, ks.Dropped-kBase.Dropped)
+	}
+}

@@ -388,7 +388,11 @@ type AFXDPConf struct {
 	Slot int
 }
 
-// AFXDPOp builds the capture snippet.
+// AFXDPOp builds the capture snippet. The helper only records the map and
+// slot on the context: the driver's redirect path resolves the socket at
+// enqueue time and stages the frame through the per-queue XSK bulk
+// queues, so a matching packet counts as an XDP redirect (or an
+// xsk_rx_full / xsk_fill_empty drop when the socket's rings are behind).
 func AFXDPOp(conf AFXDPConf) ebpf.Op {
 	return ebpf.NewOp("afxdp_capture", 0, ebpf.CapRedirect, 40, func(c *ebpf.Ctx) ebpf.Verdict {
 		if conf.Proto != 0 && c.IPProto != conf.Proto {

@@ -607,10 +607,15 @@ func TestAFXDPCaptureToUserSpace(t *testing.T) {
 	// Paper §VIII: raw packets from the XDP layer straight to user space.
 	r := newRouterRig(t)
 	xsk := ebpf.NewXSKMap("xsks", 4)
-	sock := ebpf.NewAFXDPSocket(8)
+	sock := ebpf.NewAFXDPSocket(ebpf.AFXDPConfig{NumFrames: 64}) // wakeup-driven
 	if !xsk.Update(0, sock) {
 		t.Fatal("bind failed")
 	}
+	var appMeter sim.Meter
+	app := ebpf.NewAFXDPApp(sock, nil, &appMeter) // capture-only
+	var raws [][]byte
+	app.Handle = func(f []byte) { raws = append(raws, append([]byte(nil), f...)) }
+
 	loader := ebpf.NewLoader(r.dut)
 	ops := []ebpf.Op{ParseEth(), ParseIPv4(), ParseL4(),
 		AFXDPOp(AFXDPConf{Proto: packet.ProtoUDP, DstPort: 9999, Map: xsk, Slot: 0})}
@@ -621,16 +626,18 @@ func TestAFXDPCaptureToUserSpace(t *testing.T) {
 	}
 	loader.AttachXDP(r.in, prog, "driver")
 
-	// Non-matching traffic is forwarded as usual.
+	// Non-matching traffic is forwarded as usual, untouched by the socket.
 	var m sim.Meter
 	r.srcDev.Transmit(r.frameTo(packet.MustAddr("10.100.1.1"), 64, nil), &m)
 	if len(r.captured) != 1 {
 		t.Fatal("regular traffic disrupted by capture module")
 	}
-	if len(sock.C) != 0 {
-		t.Fatal("non-matching frame captured")
+	if st := sock.Stats(); st.RxDelivered != 0 {
+		t.Fatalf("non-matching frame captured: %+v", st)
 	}
-	// Matching traffic lands on the socket, raw, and is consumed.
+	// Matching traffic lands on the socket raw, is consumed from the
+	// kernel's point of view, and counts as an XDP redirect.
+	before := r.in.Stats()
 	gwMAC, _ := r.src.Neigh.Resolved(packet.MustAddr("10.1.0.254"), 0)
 	srcIP, dstIP := packet.MustAddr("10.1.0.1"), packet.MustAddr("10.100.1.1")
 	u := packet.UDP{SrcPort: 5, DstPort: 9999}
@@ -643,33 +650,63 @@ func TestAFXDPCaptureToUserSpace(t *testing.T) {
 	if len(r.captured) != 1 {
 		t.Fatal("captured frame also forwarded")
 	}
-	select {
-	case raw := <-sock.C:
-		p, err := packet.Decode(raw)
-		if err != nil || p.IPv4 == nil || p.IPv4.Dst != dstIP {
-			t.Fatalf("captured frame corrupt: %v", err)
-		}
-	default:
+	after := r.in.Stats()
+	if after.XDPRedirects-before.XDPRedirects != 1 {
+		t.Fatalf("capture not counted as redirect: %d", after.XDPRedirects-before.XDPRedirects)
+	}
+	if st := sock.Stats(); st.Wakeups != 1 {
+		t.Fatalf("wakeup-driven socket got %d doorbells, want 1", st.Wakeups)
+	}
+	if got := app.RunOnce(0); got != 1 {
+		t.Fatalf("app drained %d frames, want 1", got)
+	}
+	if len(raws) != 1 {
 		t.Fatal("frame did not reach user space")
+	}
+	p, err := packet.Decode(raws[0])
+	if err != nil || p.IPv4 == nil || p.IPv4.Dst != dstIP {
+		t.Fatalf("captured frame corrupt: %v", err)
+	}
+	// Recycled: the drained socket holds every frame on its fill ring.
+	if fill, rx, tx, comp, intact := sock.AuditUMEM(); !intact || rx+tx+comp != 0 {
+		t.Fatalf("frames leaked: fill=%d rx=%d tx=%d comp=%d intact=%v", fill, rx, tx, comp, intact)
 	}
 }
 
 func TestAFXDPRingOverflowDrops(t *testing.T) {
+	// An RX ring of 2 with 5 frames staged in one poll: 2 delivered, 3
+	// reclassified from redirects to xsk_rx_full drops.
 	xsk := ebpf.NewXSKMap("xsks", 1)
-	sock := ebpf.NewAFXDPSocket(2)
+	sock := ebpf.NewAFXDPSocket(ebpf.AFXDPConfig{NumFrames: 8, RingSize: 2})
 	xsk.Update(0, sock)
-	ctx := &ebpf.Ctx{Meter: &sim.Meter{}, XDP: &netdev.XDPBuff{Data: []byte{1, 2, 3}}}
+	var m sim.Meter
 	for i := 0; i < 5; i++ {
-		if v := ebpf.HelperRedirectXSK(ctx, xsk, 0); v != ebpf.VerdictDrop {
-			t.Fatalf("verdict %v", v)
+		if _, _, ok := xsk.EnqueueXSK(0, 0, []byte{1, 2, 3}, &m); !ok {
+			t.Fatalf("enqueue %d rejected", i)
 		}
 	}
-	if sock.Dropped() != 3 {
-		t.Fatalf("dropped %d, want 3", sock.Dropped())
+	rxFull, fillEmpty := xsk.FlushXSK(0, &m)
+	if rxFull != 3 || fillEmpty != 0 {
+		t.Fatalf("rxFull=%d fillEmpty=%d, want 3,0", rxFull, fillEmpty)
 	}
-	// Unbound slot drops; out-of-range aborts.
-	if v := ebpf.HelperRedirectXSK(ctx, ebpf.NewXSKMap("e", 1), 0); v != ebpf.VerdictDrop {
-		t.Fatalf("unbound: %v", v)
+	if st := sock.Stats(); st.RxDelivered != 2 || st.RxFull != 3 {
+		t.Fatalf("stats %+v, want 2 delivered, 3 rx_full", st)
+	}
+	// The dropped frames' addrs were rewound onto the fill ring: no leaks.
+	if _, _, _, _, intact := sock.AuditUMEM(); !intact {
+		t.Fatal("overflow leaked UMEM frames")
+	}
+	// The helper: valid slot records the target; unbound slot surfaces at
+	// enqueue; out-of-range slot aborts in the program.
+	ctx := &ebpf.Ctx{Meter: &sim.Meter{}, XDP: &netdev.XDPBuff{Data: []byte{1, 2, 3}}}
+	if v := ebpf.HelperRedirectXSK(ctx, xsk, 0); v != ebpf.VerdictRedirect {
+		t.Fatalf("verdict %v", v)
+	}
+	if ctx.RedirectXSKMap != xsk || ctx.RedirectXSKSlot != 0 {
+		t.Fatal("helper did not record the redirect target")
+	}
+	if _, _, ok := ebpf.NewXSKMap("e", 1).EnqueueXSK(0, 0, []byte{1}, &m); ok {
+		t.Fatal("unbound slot accepted a frame")
 	}
 	if v := ebpf.HelperRedirectXSK(ctx, xsk, 9); v != ebpf.VerdictAborted {
 		t.Fatalf("oob: %v", v)

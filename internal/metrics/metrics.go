@@ -82,6 +82,56 @@ func WriteStages(w io.Writer, name string, sl *kernel.StageLat) {
 	}
 }
 
+// WriteXSKMap writes the AF_XDP state for every bound slot of an XSK map:
+// the four ring occupancies as gauges plus frame and drop outcomes as
+// counters. Occupancy reads are the same acquire-loads the rings' own
+// producers and consumers use, so scraping is safe during traffic.
+func WriteXSKMap(w io.Writer, m *ebpf.XSKMap) {
+	fmt.Fprintf(w, "# HELP linuxfp_xsk_ring_occupancy AF_XDP ring occupancy in descriptors.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_xsk_ring_occupancy gauge\n")
+	type slotSock struct {
+		slot int
+		s    *ebpf.AFXDPSocket
+	}
+	var bound []slotSock
+	for i := 0; i < m.Len(); i++ {
+		if s := m.Lookup(i); s != nil {
+			bound = append(bound, slotSock{i, s})
+		}
+	}
+	for _, b := range bound {
+		fill, rx, tx, comp := b.s.RingOccupancy()
+		for _, r := range []struct {
+			ring string
+			v    int
+		}{
+			{"fill", fill}, {"rx", rx}, {"tx", tx}, {"completion", comp},
+		} {
+			fmt.Fprintf(w, "linuxfp_xsk_ring_occupancy{map=%q,slot=\"%d\",ring=%q} %d\n",
+				m.Name(), b.slot, r.ring, r.v)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP linuxfp_xsk_frames_total AF_XDP per-socket frame outcomes.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_xsk_frames_total counter\n")
+	for _, b := range bound {
+		st := b.s.Stats()
+		for _, c := range []struct {
+			outcome string
+			v       uint64
+		}{
+			{"rx_delivered", st.RxDelivered},
+			{"tx_completed", st.TxCompleted},
+			{"dropped_rx_full", st.RxFull},
+			{"dropped_fill_empty", st.FillEmpty},
+			{"wakeups", st.Wakeups},
+		} {
+			fmt.Fprintf(w, "linuxfp_xsk_frames_total{map=%q,slot=\"%d\",outcome=%q} %d\n",
+				m.Name(), b.slot, c.outcome, c.v)
+		}
+	}
+}
+
 // WriteRingBuf writes one ring buffer's event accounting. Event drops carry
 // reason ringbuf_full but stay out of the packet-drop series by design —
 // lost telemetry is not lost traffic.

@@ -86,6 +86,12 @@ type XDPBuff struct {
 	// queue in that map instead of a device.
 	RedirectCPUMap CPURedirectTarget
 	RedirectCPU    int
+
+	// AF_XDP redirect state, set by the redirect-to-XSK helper: when
+	// RedirectXSKMap is non-nil an XDPRedirect verdict targets the socket in
+	// RedirectXSKSlot of that map instead of a device.
+	RedirectXSKMap  XSKRedirectTarget
+	RedirectXSKSlot int
 }
 
 // XDPHandler is an XDP program attachment.
@@ -481,6 +487,7 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 	act := slot.h.HandleXDP(buff)
 	data, redirect := buff.Data, buff.RedirectTo
 	cm, cpu := buff.RedirectCPUMap, buff.RedirectCPU
+	xm, xskSlot := buff.RedirectXSKMap, buff.RedirectXSKSlot
 	xdpBuffPool.Put(buff)
 	switch act {
 	case XDPDrop:
@@ -512,6 +519,29 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 			if dropped > 0 {
 				d.stats.xdpDrops.Add(uint64(dropped))
 				d.stats.dropReasons.Add(drop.ReasonCpumapOverflow, uint64(dropped))
+			} else {
+				d.stats.xdpRedirects.Add(1)
+			}
+			return nil
+		}
+		if xm != nil {
+			// Redirect to an AF_XDP socket: stage and flush immediately (a
+			// one-frame poll). An empty slot is an XDP exception; an RX-ring
+			// overflow or fill-ring underrun reclassifies the already counted
+			// redirect as a drop with its own reason.
+			rxFull, fillEmpty, ok := xm.EnqueueXSK(rxq, xskSlot, data, m)
+			if !ok {
+				d.stats.xdpDrops.Add(1)
+				d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
+				return nil
+			}
+			rf, fe := xm.FlushXSK(rxq, m)
+			rxFull += rf
+			fillEmpty += fe
+			if dropped := rxFull + fillEmpty; dropped > 0 {
+				d.stats.xdpDrops.Add(uint64(dropped))
+				d.stats.dropReasons.Add(drop.ReasonXSKRxFull, uint64(rxFull))
+				d.stats.dropReasons.Add(drop.ReasonXSKFillEmpty, uint64(fillEmpty))
 			} else {
 				d.stats.xdpRedirects.Add(1)
 			}
@@ -611,7 +641,9 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 		// reason bucket.
 		var txs, redirects, passes uint64
 		var xdpDrops, xdpAborts, noEntry, overflow, redirFail uint64
+		var xskRxFull, xskFillEmpty uint64
 		var cm CPURedirectTarget
+		var xm XSKRedirectTarget
 		s := d.link.Load().stack
 		for i := range bufs {
 			data := bufs[i].Data
@@ -641,6 +673,28 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 					redirects++
 					redirects -= uint64(dropped)
 					overflow += uint64(dropped)
+					break
+				}
+				if t := bufs[i].RedirectXSKMap; t != nil {
+					if xm != nil && xm != t {
+						// A second xskmap in one poll: flush the first before
+						// switching so its accounting stays inside this
+						// poll's counters.
+						rf, fe := xm.FlushXSK(rxq, m)
+						redirects -= uint64(rf + fe)
+						xskRxFull += uint64(rf)
+						xskFillEmpty += uint64(fe)
+					}
+					xm = t
+					rf, fe, ok := t.EnqueueXSK(rxq, bufs[i].RedirectXSKSlot, data, m)
+					if !ok {
+						redirFail++ // empty or out-of-range slot: XDP exception
+						break
+					}
+					redirects++
+					redirects -= uint64(rf + fe)
+					xskRxFull += uint64(rf)
+					xskFillEmpty += uint64(fe)
 					break
 				}
 				out, ok := (*Device)(nil), false
@@ -674,13 +728,21 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 			redirects -= uint64(dropped)
 			overflow += uint64(dropped)
 		}
-		if drops := xdpDrops + xdpAborts + noEntry + overflow + redirFail; drops > 0 {
+		if xm != nil {
+			rf, fe := xm.FlushXSK(rxq, m) // xsk half of xdp_do_flush
+			redirects -= uint64(rf + fe)
+			xskRxFull += uint64(rf)
+			xskFillEmpty += uint64(fe)
+		}
+		if drops := xdpDrops + xdpAborts + noEntry + overflow + redirFail + xskRxFull + xskFillEmpty; drops > 0 {
 			d.stats.xdpDrops.Add(drops)
 			d.stats.dropReasons.Add(drop.ReasonXDPDrop, xdpDrops)
 			d.stats.dropReasons.Add(drop.ReasonXDPAborted, xdpAborts)
 			d.stats.dropReasons.Add(drop.ReasonCpumapNoEntry, noEntry)
 			d.stats.dropReasons.Add(drop.ReasonCpumapOverflow, overflow)
 			d.stats.dropReasons.Add(drop.ReasonXDPRedirectFail, redirFail)
+			d.stats.dropReasons.Add(drop.ReasonXSKRxFull, xskRxFull)
+			d.stats.dropReasons.Add(drop.ReasonXSKFillEmpty, xskFillEmpty)
 		}
 		if txs > 0 {
 			d.stats.xdpTx.Add(txs)

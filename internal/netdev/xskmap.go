@@ -1,0 +1,37 @@
+package netdev
+
+import (
+	"linuxfp/internal/sim"
+)
+
+// XSKBulkSize matches the kernel's XSK_BULK_SIZE (net/xdp/xsk.c): frames
+// redirected to one AF_XDP socket during a NAPI poll are staged in a
+// per-RX-queue bulk queue of at most 16 entries before being spilled onto
+// the socket's RX ring in one go.
+const XSKBulkSize = 16
+
+// XSKRedirectTarget is the XSKMAP seen from the driver's redirect path — the
+// BPF_MAP_TYPE_XSKMAP object lives in the ebpf package (it holds the UMEM
+// and socket rings the netdev layer must not know about), and the XDP
+// redirect helper plants it on the XDPBuff so runXDPBatch can stage and
+// flush without a dependency cycle, exactly like CPURedirectTarget.
+//
+// The accounting contract mirrors the cpumap path, split by cause: the
+// caller counts a successful enqueue as an XDP redirect immediately, and
+// both methods return how many previously-enqueued frames were lost to an
+// RX-ring overflow (userspace behind) versus a fill-ring underrun (no free
+// UMEM frames) so the caller can reclassify each into its own drop reason
+// before publishing its per-poll counters.
+type XSKRedirectTarget interface {
+	// EnqueueXSK stages a frame for the socket in the given map slot on RX
+	// queue rxq, spilling the stage into the socket's rings when it already
+	// holds XSKBulkSize frames. The slot is resolved here, at enqueue time,
+	// so a socket swapped mid-poll attributes consistently. ok is false
+	// when the slot is empty or out of range (an unresolvable redirect:
+	// the frame was not consumed).
+	EnqueueXSK(rxq, slot int, frame []byte, m *sim.Meter) (rxFull, fillEmpty int, ok bool)
+	// FlushXSK spills every stage touched on rxq since the last flush and
+	// wakes each touched socket once (sock_def_readable) — the xsk half of
+	// xdp_do_flush, called once per NAPI poll.
+	FlushXSK(rxq int, m *sim.Meter) (rxFull, fillEmpty int)
+}

@@ -132,6 +132,27 @@ const (
 	CostCpumapDoorbell Cycles = 300 // wake_up_process of the target kthread per flush
 )
 
+// AF_XDP costs. The kernel RX half mirrors xsk_rcv: one fill-ring consume +
+// xsk_buff conversion + RX-descriptor publish per frame (zero-copy: payload
+// never moves, so there is no per-byte term beyond the driver's), staged
+// through per-queue bulk queues like devmap/cpumap with one sock_def_readable
+// doorbell per flush — skipped entirely when the app busy-polls
+// (XDP_USE_NEED_WAKEUP). The userspace half splits into per-descriptor ring
+// work and the syscalls only the wakeup-driven mode pays: busy-poll burns its
+// dedicated core instead, exactly the VPP trade.
+const (
+	CostXSKBulkEnqueue Cycles = 40  // stage append in the per-queue bulk queue
+	CostXSKRxDesc      Cycles = 190 // fill consume + zc buff conversion + RX desc publish
+	CostXSKDoorbell    Cycles = 300 // sock_def_readable wakeup per flush (wakeup mode only)
+	CostXSKAppRx       Cycles = 25  // app: RX desc peek/release, amortized per frame
+	CostXSKAppFwd      Cycles = 40  // app: header rewrite + TX descriptor publish
+	CostXSKTxDesc      Cycles = 45  // kernel: TX desc consume + xmit descriptor write
+	CostXSKCompletion  Cycles = 15  // kernel: completion entry publish
+	CostXSKFillRecycle Cycles = 10  // app: recycle one addr onto the fill ring
+	CostSyscallPoll    Cycles = 900 // poll() enter/exit (wakeup-driven RX)
+	CostSyscallSendto  Cycles = 750 // sendto() TX kick (wakeup-driven TX)
+)
+
 // GRO/GSO and batched-TC costs. The GRO layer sits between XDP batch exit
 // and IP input: every TCP candidate pays a receive probe (flow-key parse +
 // hold-table lookup, napi_gro_receive), merged frames pay an append plus the

@@ -1,0 +1,251 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+	"linuxfp/internal/vpp"
+)
+
+// AF_XDP sweep socket shape: a production-sized UMEM so the data plane,
+// not the pool, is the bottleneck at every batch size.
+const (
+	afxdpUMEMFrames = 4096
+	afxdpRingSize   = 2048
+)
+
+// AFXDPPoint is one measured configuration of the three-plane race: the
+// same 64B router workload through the slow path, the in-kernel XDP fast
+// path, or an AF_XDP socket with a userspace forwarder (wakeup-driven or
+// busy-polling). AF_XDP splits the work across two cores — the RX/NAPI
+// core feeding the rings and the app core draining them — so the rate is
+// bounded by the busier of the two.
+type AFXDPPoint struct {
+	Plane          string  `json:"plane"` // slowpath | xdp | afxdp-wakeup | afxdp-busypoll
+	Batch          int     `json:"batch"`
+	Flows          int     `json:"flows"`
+	CyclesPerPkt   float64 `json:"modelcycles_per_pkt"` // busiest core
+	RxCoreCycles   float64 `json:"rx_core_cycles_per_pkt"`
+	AppCoreCycles  float64 `json:"app_core_cycles_per_pkt"`
+	PPS            float64 `json:"pps"`
+	Drops          uint64  `json:"drops"`
+	Wakeups        uint64  `json:"wakeups"`
+	Syscalls       uint64  `json:"syscalls"` // poll() + sendto() paid by the app
+	ConservationOK bool    `json:"conservation_ok"`
+}
+
+// AFXDPReport is the machine-readable result of AFXDPSweep — what
+// `lfpbench -exp afxdp` serializes into BENCH_afxdp.json. The VPP fields
+// are the full-kernel-bypass reference the busy-poll plane is racing.
+type AFXDPReport struct {
+	Platform        string       `json:"platform"`
+	ClockHz         float64      `json:"clock_hz"`
+	NAPIBudget      int          `json:"napi_budget"`
+	XSKBulkSize     int          `json:"xsk_bulk_size"`
+	UMEMFrames      int          `json:"umem_frames"`
+	RingSize        int          `json:"ring_size"`
+	FrameSize       int          `json:"frame_size"`
+	Frames          int          `json:"frames_per_point"`
+	VPPCyclesPerPkt float64      `json:"vpp_cycles_per_pkt"`
+	VPPPPS          float64      `json:"vpp_pps"`
+	Points          []AFXDPPoint `json:"points"`
+}
+
+// afxdpPlanes in race order, slowest to fastest.
+var afxdpPlanes = []string{"slowpath", "xdp", "afxdp-wakeup", "afxdp-busypoll"}
+
+// afxdpWorkload builds n minimum-size UDP frames spread round-robin over
+// `flows` distinct (dst, src-port) flows across the routed prefixes.
+func afxdpWorkload(d *DUT, flows, n int) [][]byte {
+	src := packet.MustAddr("10.1.0.1")
+	overhead := packet.EthHdrLen + packet.IPv4MinLen + packet.UDPHdrLen
+	frames := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		f := i % flows
+		p := routedPrefix(f % RoutedPrefixes)
+		host := packet.Addr(uint32(f/RoutedPrefixes)%250 + 1)
+		dst := p.Addr | host&^p.Mask()
+		u := packet.UDP{SrcPort: uint16(4000 + f%1000), DstPort: 9000}
+		frames[i] = packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, ID: uint16(i), Proto: packet.ProtoUDP, Src: src, Dst: dst},
+			u.Marshal(nil, src, dst, make([]byte, traffic.MinFrameSize-overhead)))
+	}
+	return frames
+}
+
+// AFXDPSweep races the three data planes over the batch-size x flow-count
+// grid, n frames per point, and reports per-packet model cycles on the
+// busiest core plus the single-core VPP reference.
+func AFXDPSweep(batches, flowCounts []int, n int) (*AFXDPReport, error) {
+	d, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	setJIT(d, true)
+
+	r := &AFXDPReport{
+		Platform:    PlatformLinux,
+		ClockHz:     sim.ClockHz,
+		NAPIBudget:  netdev.NAPIBudget,
+		XSKBulkSize: netdev.XSKBulkSize,
+		UMEMFrames:  afxdpUMEMFrames,
+		RingSize:    afxdpRingSize,
+		FrameSize:   traffic.MinFrameSize,
+		Frames:      n,
+	}
+	// The reference plane: VPP's saturated graph cost on one dedicated
+	// core — the same resource trade busy-poll makes.
+	vppCycles := vpp.New(kernel.New("vpp-ref"), 1).PerPacketCycles()
+	r.VPPCyclesPerPkt = float64(vppCycles)
+	r.VPPPPS = sim.ClockHz / float64(vppCycles)
+
+	for _, flows := range flowCounts {
+		for _, batch := range batches {
+			if batch <= 0 || flows <= 0 {
+				continue
+			}
+			for _, plane := range afxdpPlanes {
+				p, err := afxdpPoint(d, plane, batch, flows, n)
+				if err != nil {
+					return nil, err
+				}
+				r.Points = append(r.Points, p)
+			}
+		}
+	}
+	return r, nil
+}
+
+// afxdpPoint drives n frames through one plane in ReceiveBatch polls of
+// `batch` frames and measures it. Wires are unplugged so only DUT work
+// meters. For the AF_XDP planes the app core runs interleaved with the RX
+// core — one RunOnce per poll, the steady state of a consumer keeping up —
+// and both meters are read at the end.
+func afxdpPoint(d *DUT, plane string, batch, flows, n int) (AFXDPPoint, error) {
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+	defer d.In.DetachXDP()
+
+	loader := ebpf.NewLoader(d.Kern)
+	var sock *ebpf.AFXDPSocket
+	var app *ebpf.AFXDPApp
+	switch plane {
+	case "slowpath":
+		// No program: every frame climbs the full stack.
+	case "xdp":
+		ops := append([]ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4()}, fpm.RouterOps(fpm.RouterConf{})...)
+		prog, err := loader.Load(&ebpf.Program{Name: "afxdp_sweep_router", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+		if err != nil {
+			return AFXDPPoint{}, err
+		}
+		if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+			return AFXDPPoint{}, err
+		}
+	case "afxdp-wakeup", "afxdp-busypoll":
+		xsk := ebpf.NewXSKMap("xsks", 1)
+		sock = ebpf.NewAFXDPSocket(ebpf.AFXDPConfig{
+			NumFrames: afxdpUMEMFrames, RingSize: afxdpRingSize,
+			BusyPoll: plane == "afxdp-busypoll",
+		})
+		if !xsk.Update(0, sock) {
+			return AFXDPPoint{}, fmt.Errorf("afxdp: bind slot 0 failed")
+		}
+		ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(),
+			fpm.AFXDPOp(fpm.AFXDPConf{Map: xsk, Slot: 0})}
+		prog, err := loader.Load(&ebpf.Program{Name: "afxdp_sweep_xsk", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+		if err != nil {
+			return AFXDPPoint{}, err
+		}
+		if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+			return AFXDPPoint{}, err
+		}
+		app = ebpf.NewAFXDPApp(sock, d.Out, &sim.Meter{CPU: 1})
+	default:
+		return AFXDPPoint{}, fmt.Errorf("afxdp: unknown plane %q", plane)
+	}
+
+	frames := afxdpWorkload(d, flows, n)
+	before := d.In.Stats()
+	var rx sim.Meter // the RX/NAPI core
+	for i := 0; i < n; i += batch {
+		end := i + batch
+		if end > n {
+			end = n
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &rx)
+		if app != nil {
+			app.RunOnce(batch)
+		}
+	}
+	if app != nil {
+		app.Drain()
+	}
+	after := d.In.Stats()
+
+	ok := after.RxPackets-before.RxPackets == uint64(n)
+	if plane != "slowpath" {
+		verdicts := (after.XDPDrops - before.XDPDrops) + (after.XDPTx - before.XDPTx) +
+			(after.XDPRedirects - before.XDPRedirects) + (after.XDPPass - before.XDPPass)
+		ok = ok && verdicts == uint64(n)
+	}
+
+	p := AFXDPPoint{
+		Plane: plane, Batch: batch, Flows: flows,
+		RxCoreCycles:   float64(rx.Total) / float64(n),
+		Drops:          (after.XDPDrops - before.XDPDrops) + (after.RxDropped - before.RxDropped) + (after.TxDropped - before.TxDropped),
+		ConservationOK: ok,
+	}
+	busiest := rx.Total
+	if app != nil {
+		ss := sock.Stats()
+		// Every surviving redirect must have become exactly one RX
+		// descriptor, and everything delivered must have been drained.
+		p.ConservationOK = p.ConservationOK &&
+			after.XDPRedirects-before.XDPRedirects == ss.RxDelivered &&
+			app.Received() == ss.RxDelivered
+		p.AppCoreCycles = float64(app.Meter.Total) / float64(n)
+		p.Wakeups = ss.Wakeups
+		p.Syscalls = app.Polls() + app.Sendtos()
+		if app.Meter.Total > busiest {
+			busiest = app.Meter.Total
+		}
+	}
+	p.CyclesPerPkt = float64(busiest) / float64(n)
+	p.PPS = float64(n) * sim.ClockHz / float64(busiest)
+	return p, nil
+}
+
+// RenderAFXDP prints the sweep in the house table style.
+func RenderAFXDP(r *AFXDPReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AF_XDP three-plane race: %dB router workload, %d frames/point (VPP ref: %.1f c/p, %.2f Mpps)\n",
+		r.FrameSize, r.Frames, r.VPPCyclesPerPkt, r.VPPPPS/1e6)
+	fmt.Fprintf(&b, "%-16s %6s %6s %12s %12s %12s %10s %9s %8s\n",
+		"plane", "batch", "flows", "busiest c/p", "rx-core c/p", "app-core c/p", "Mpps", "syscalls", "conserv")
+	for _, p := range r.Points {
+		appc := "-"
+		if p.AppCoreCycles > 0 {
+			appc = fmt.Sprintf("%.1f", p.AppCoreCycles)
+		}
+		cons := "ok"
+		if !p.ConservationOK {
+			cons = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "%-16s %6d %6d %12.1f %12.1f %12s %10.2f %9d %8s\n",
+			p.Plane, p.Batch, p.Flows, p.CyclesPerPkt, p.RxCoreCycles, appc, p.PPS/1e6, p.Syscalls, cons)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package testbed
+
+import "testing"
+
+// TestAFXDPSweepAcceptance runs a reduced grid and checks the properties
+// the full benchmark is expected to exhibit: conservation at every point,
+// busy-poll beating the in-kernel XDP fast path on per-packet cycles once
+// batching amortizes the ring overheads (batch >= 32), busy-poll within
+// 20% of the VPP full-bypass single-core rate, and the syscall tax making
+// wakeup mode strictly worse than busy-poll at small batches.
+func TestAFXDPSweepAcceptance(t *testing.T) {
+	r, err := AFXDPSweep([]int{1, 32, 64}, []int{32}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VPPCyclesPerPkt <= 0 || r.VPPPPS <= 0 {
+		t.Fatalf("missing VPP reference: %+v", r)
+	}
+
+	point := func(plane string, batch int) AFXDPPoint {
+		for _, p := range r.Points {
+			if p.Plane == plane && p.Batch == batch {
+				return p
+			}
+		}
+		t.Fatalf("no point for %s/batch=%d", plane, batch)
+		return AFXDPPoint{}
+	}
+
+	for _, p := range r.Points {
+		if !p.ConservationOK {
+			t.Errorf("%s batch=%d flows=%d: conservation violated", p.Plane, p.Batch, p.Flows)
+		}
+		if p.CyclesPerPkt <= 0 {
+			t.Errorf("%s batch=%d: no cycles measured", p.Plane, p.Batch)
+		}
+		if p.Drops != 0 {
+			t.Errorf("%s batch=%d: %d drops in an undersubscribed sweep", p.Plane, p.Batch, p.Drops)
+		}
+	}
+
+	for _, batch := range []int{1, 32, 64} {
+		slow := point("slowpath", batch)
+		xdp := point("xdp", batch)
+		if xdp.CyclesPerPkt >= slow.CyclesPerPkt {
+			t.Errorf("batch=%d: XDP (%.1f c/p) not faster than slow path (%.1f c/p)",
+				batch, xdp.CyclesPerPkt, slow.CyclesPerPkt)
+		}
+	}
+
+	// Busy-poll beats in-kernel XDP once batched: the app core does the
+	// routing work, leaving the RX core only parse+enqueue.
+	for _, batch := range []int{32, 64} {
+		xdp := point("xdp", batch)
+		bp := point("afxdp-busypoll", batch)
+		if bp.CyclesPerPkt >= xdp.CyclesPerPkt {
+			t.Errorf("batch=%d: busy-poll (%.1f c/p) not faster than in-kernel XDP (%.1f c/p)",
+				batch, bp.CyclesPerPkt, xdp.CyclesPerPkt)
+		}
+	}
+
+	// ...and lands within 20% of VPP's dedicated-core rate.
+	bp := point("afxdp-busypoll", 64)
+	if bp.PPS < 0.8*r.VPPPPS {
+		t.Errorf("busy-poll batch=64: %.2f Mpps < 80%% of VPP %.2f Mpps", bp.PPS/1e6, r.VPPPPS/1e6)
+	}
+
+	// The syscall tax: wakeup mode pays poll()+sendto() per iteration, so
+	// at batch=1 it must be strictly slower than busy-poll, and it must
+	// actually have paid syscalls while busy-poll paid none.
+	wk1, bp1 := point("afxdp-wakeup", 1), point("afxdp-busypoll", 1)
+	if wk1.CyclesPerPkt <= bp1.CyclesPerPkt {
+		t.Errorf("batch=1: wakeup (%.1f c/p) should pay syscalls over busy-poll (%.1f c/p)",
+			wk1.CyclesPerPkt, bp1.CyclesPerPkt)
+	}
+	if wk1.Syscalls == 0 || wk1.Wakeups == 0 {
+		t.Errorf("batch=1 wakeup: expected syscalls and doorbells, got %d/%d", wk1.Syscalls, wk1.Wakeups)
+	}
+	if bp1.Syscalls != 0 || bp1.Wakeups != 0 {
+		t.Errorf("batch=1 busy-poll: unexpected syscalls %d / wakeups %d", bp1.Syscalls, bp1.Wakeups)
+	}
+}
