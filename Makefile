@@ -39,15 +39,19 @@ obs-smoke:
 	$(GO) run ./cmd/linuxfpd -metrics < /dev/null > /dev/null
 
 ## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json,
-## BENCH_cpumap.json, BENCH_obs.json, and BENCH_afxdp.json — the
-## machine-readable batching x JIT sweep plus the pps-vs-cores curve for
-## the fast path, the GRO-on/off workload x batch sweep for the slow path,
-## the cpumap CPU fan-out sweep, the observability off/on overhead sweep
-## across ring wakeup batches, and the AF_XDP three-plane race (slow path
-## vs in-kernel XDP vs userspace socket, wakeup and busy-poll)
+## BENCH_cpumap.json, BENCH_obs.json, BENCH_afxdp.json, and
+## BENCH_specialize.json — the machine-readable batching x JIT sweep plus
+## the pps-vs-cores curve for the fast path, the GRO-on/off workload x batch
+## sweep for the slow path, the cpumap CPU fan-out sweep, the observability
+## off/on overhead sweep across ring wakeup batches, the AF_XDP three-plane
+## race (slow path vs in-kernel XDP vs userspace socket, wakeup and
+## busy-poll), and the JIT specialization A/B (generic fused vs Load-time
+## config-folded across router/bridge/gateway/ACL, with re-specialization
+## latency under a config-churn storm)
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
 	$(GO) run ./cmd/lfpbench -exp cpumap -cpumap-json BENCH_cpumap.json
 	$(GO) run ./cmd/lfpbench -exp obs -obs-json BENCH_obs.json
 	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json BENCH_afxdp.json
+	$(GO) run ./cmd/lfpbench -exp specialize -specialize-json BENCH_specialize.json

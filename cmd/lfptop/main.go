@@ -134,11 +134,13 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
 		render(os.Stdout, d, rb, sl, app, &tally, &prevDrops, interval)
+		renderPrograms(os.Stdout, loader)
 		if prom {
 			fmt.Println()
 			metrics.WriteKernel(os.Stdout, d.Kern)
 			metrics.WriteRingBuf(os.Stdout, rb)
 			metrics.WriteXSKMap(os.Stdout, xsk)
+			metrics.WritePrograms(os.Stdout, loader)
 		}
 		if tick+1 < ticks || ticks == 0 {
 			time.Sleep(interval)
@@ -236,4 +238,27 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf
 	if strings.TrimSpace(d.Platform) != "" {
 		fmt.Fprintf(w, "\nplatform=%s clock=%.1fGHz\n", d.Platform, sim.ClockHz/1e9)
 	}
+}
+
+// renderPrograms draws the loaded-program table: the generic fused body next
+// to the Load-time specialized one, with the static-cost shrinkage the
+// specializer bought. The loader line tracks re-load churn.
+func renderPrograms(w *os.File, l *ebpf.Loader) {
+	progs := l.Programs()
+	if len(progs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-16s %10s %10s %10s %10s %8s\n",
+		"program", "gen insns", "spec insns", "gen cy", "spec cy", "shrink")
+	for _, p := range progs {
+		genCy, specCy := p.JITCost(), p.SpecCost()
+		shrink := 0.0
+		if genCy > 0 {
+			shrink = 100 * (1 - float64(specCy)/float64(genCy))
+		}
+		fmt.Fprintf(w, "%-16s %10d %10d %10.0f %10.0f %7.1f%%\n",
+			p.Name, p.JITInsns(), p.SpecInsns(), float64(genCy), float64(specCy), shrink)
+	}
+	loads, last, total := l.LoadStats()
+	fmt.Fprintf(w, "loader: loads=%d last=%s total=%s\n", loads, last, total)
 }

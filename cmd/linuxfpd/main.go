@@ -83,14 +83,15 @@ func run(script string, graph, preferTC, metricsOut bool) error {
 	fmt.Println("linuxfpd: controller started")
 	fmt.Printf("linuxfpd: deployed fast paths on %v\n", ctrl.Deployer().Deployed())
 	for _, r := range ctrl.Reactions() {
-		fmt.Printf("linuxfpd: reaction trigger=%s modules=%d new=%d virtual=%.3fs\n",
-			r.Trigger, r.Modules, r.NewModules, r.Virtual.Seconds())
+		fmt.Printf("linuxfpd: reaction trigger=%s modules=%d new=%d virtual=%.3fs load=%s swap=%s\n",
+			r.Trigger, r.Modules, r.NewModules, r.Virtual.Seconds(), r.LoadWall, r.SwapWall)
 	}
 	if graph {
 		fmt.Println(sys.GraphJSON())
 	}
 	if metricsOut {
 		metrics.WriteKernel(os.Stdout, sys.Kernel)
+		metrics.WritePrograms(os.Stdout, ctrl.Deployer().Loader())
 	}
 	return nil
 }

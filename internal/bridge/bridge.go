@@ -99,6 +99,7 @@ type Bridge struct {
 	fdb           map[FDBKey]*FDBEntry
 	stp           stpState
 	gen           atomic.Uint64 // bumped whenever a forwarding decision input changes
+	confGen       atomic.Uint64 // bumped only on STP/VLAN-filtering reconfiguration
 }
 
 // Gen reports the bridge generation, bumped on any change that could alter a
@@ -106,6 +107,13 @@ type Bridge struct {
 // reconfiguration, port state transitions. The L2 fast-cache validates
 // memoized decisions against it.
 func (b *Bridge) Gen() uint64 { return b.gen.Load() }
+
+// ConfGen reports the *configuration* generation: bumped only when STP or
+// VLAN filtering is toggled, never by data-plane churn (FDB learning, port
+// state flaps). The JIT specializer guards configuration folds against it —
+// Gen would be useless there, as every learned MAC would invalidate the
+// specialized body.
+func (b *Bridge) ConfGen() uint64 { return b.confGen.Load() }
 
 // New returns an empty bridge with default ageing.
 func New(name string, ifIndex int, mac packet.HWAddr) *Bridge {
@@ -127,6 +135,7 @@ func (b *Bridge) SetSTP(on bool) {
 	defer b.mu.Unlock()
 	b.stpEnabled = on
 	b.gen.Add(1)
+	b.confGen.Add(1)
 	if !on {
 		for _, p := range b.ports {
 			if p.State != Disabled {
@@ -149,6 +158,7 @@ func (b *Bridge) SetVLANFiltering(on bool) {
 	defer b.mu.Unlock()
 	b.vlanFiltering = on
 	b.gen.Add(1)
+	b.confGen.Add(1)
 }
 
 // VLANFiltering reports whether VLAN filtering is on.

@@ -25,6 +25,8 @@ type Reaction struct {
 	Trigger    string
 	Virtual    sim.Duration
 	Wall       time.Duration
+	LoadWall   time.Duration // verify + specialize + fuse, summed over deploys
+	SwapWall   time.Duration // dispatcher attach/swap, summed over deploys
 	Modules    int // module instances synthesized
 	NewModules int // module instances not present before
 	Deployed   bool
@@ -239,6 +241,7 @@ func (c *Controller) reconcile(trigger string, netfilterTouched bool) {
 
 	deployed := false
 	filterInvolved := false
+	var loadWall, swapWall time.Duration
 	if changed {
 		// Synthesize and deploy every interface in the new graph (the
 		// controller regenerates the whole data path, paper §III-C).
@@ -255,6 +258,9 @@ func (c *Controller) reconcile(trigger string, netfilterTouched bool) {
 				c.deployer.Undeploy(ig.Name)
 				continue
 			}
+			lw, sw := c.deployer.LastTiming()
+			loadWall += lw
+			swapWall += sw
 			deployed = true
 		}
 		// Interfaces that dropped out of the graph go back to slow path.
@@ -289,6 +295,7 @@ func (c *Controller) reconcile(trigger string, netfilterTouched bool) {
 	c.lastModules = modules
 	c.reactions = append(c.reactions, Reaction{
 		Trigger: trigger, Virtual: virtual, Wall: time.Since(start),
+		LoadWall: loadWall, SwapWall: swapWall,
 		Modules: len(modules), NewModules: newCount, Deployed: deployed,
 	})
 	c.mu.Unlock()

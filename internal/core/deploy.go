@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"linuxfp/internal/ebpf"
 )
@@ -17,6 +18,11 @@ type Deployer struct {
 
 	mu    sync.Mutex
 	slots map[string]*deploySlot // keyed by interface name
+	// Wall time of the most recent Deploy, split into the Load (verify +
+	// specialize + fuse) and the attach/swap portion. The controller folds
+	// these into each Reaction so churn latency is observable end to end.
+	lastLoad time.Duration
+	lastSwap time.Duration
 }
 
 type deploySlot struct {
@@ -30,17 +36,33 @@ func NewDeployer(loader *ebpf.Loader) *Deployer {
 	return &Deployer{loader: loader, slots: make(map[string]*deploySlot)}
 }
 
+// Loader exposes the deployer's loader for observability (program tables,
+// load counters).
+func (d *Deployer) Loader() *ebpf.Loader { return d.loader }
+
 // Deploy installs (or swaps in) a program for an interface graph.
 func (d *Deployer) Deploy(ig *IfaceGraph, prog *ebpf.Program) error {
+	loadStart := time.Now()
 	if _, err := d.loader.Load(prog); err != nil {
 		return err
 	}
+	loadWall := time.Since(loadStart)
 	d.mu.Lock()
 	slot, ok := d.slots[ig.Name]
 	d.mu.Unlock()
 
 	if ok && slot.hook == ig.Hook && slot.ifindex == ig.IfIndex {
+		swapStart := time.Now()
+		old := slot.disp.Active()
 		slot.disp.Swap(prog)
+		d.mu.Lock()
+		d.lastLoad, d.lastSwap = loadWall, time.Since(swapStart)
+		d.mu.Unlock()
+		// The replaced program is unreachable once the swap lands; drop it
+		// from the loaded set so re-synthesis churn doesn't accumulate.
+		if old != nil && old != prog {
+			d.loader.Unload(old.ID())
+		}
 		return nil
 	}
 	// First deployment on this interface (or the hook moved): create and
@@ -49,6 +71,7 @@ func (d *Deployer) Deploy(ig *IfaceGraph, prog *ebpf.Program) error {
 	if ig.Hook == "tc" {
 		hook = ebpf.HookTCIngress
 	}
+	swapStart := time.Now()
 	disp, err := d.loader.NewDispatcher("linuxfp_disp_"+ig.Name, hook)
 	if err != nil {
 		return err
@@ -69,8 +92,17 @@ func (d *Deployer) Deploy(ig *IfaceGraph, prog *ebpf.Program) error {
 	}
 	d.mu.Lock()
 	d.slots[ig.Name] = &deploySlot{ifindex: ig.IfIndex, hook: ig.Hook, disp: disp}
+	d.lastLoad, d.lastSwap = loadWall, time.Since(swapStart)
 	d.mu.Unlock()
 	return nil
+}
+
+// LastTiming reports the wall time of the most recent Deploy, split into
+// the Load portion (verify + specialize + fuse) and the attach/swap portion.
+func (d *Deployer) LastTiming() (load, swap time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastLoad, d.lastSwap
 }
 
 // Undeploy removes acceleration from an interface, returning it fully to
@@ -85,6 +117,7 @@ func (d *Deployer) Undeploy(name string) {
 	if !ok {
 		return
 	}
+	active := slot.disp.Active()
 	slot.disp.Swap(nil)
 	if dev, okDev := d.loader.K.DeviceByIndex(slot.ifindex); okDev && slot.hook == "xdp" {
 		dev.DetachXDP()
@@ -92,6 +125,11 @@ func (d *Deployer) Undeploy(name string) {
 	if slot.hook == "tc" {
 		d.loader.K.AttachTC(slot.ifindex, true, nil)
 	}
+	// Both the data path and the dispatcher entry are now unreachable.
+	if active != nil {
+		d.loader.Unload(active.ID())
+	}
+	d.loader.Unload(slot.disp.Prog.ID())
 }
 
 // Deployed lists interfaces currently carrying a fast path.

@@ -54,16 +54,30 @@ func BenchmarkDispatcherSwap(b *testing.B) {
 	}
 }
 
-// benchFusedVsInterpreted builds one 8-op program and runs it through
-// Program.exec with the jit flag set both ways — the per-Op dispatch and
-// metering overhead the fusion stage removes, isolated from packet work.
-func benchExec(b *testing.B, jit bool) {
+// benchProgram8Ops builds the 8-op bench program with specializer hooks on
+// half the ops: four are elided under specialization, so the specialized
+// body executes (and meters) half the chain.
+func benchProgram8Ops() *Program {
 	p := &Program{Name: "bench", Hook: HookXDP, Default: VerdictPass}
 	for i := 0; i < 8; i++ {
-		p.Ops = append(p.Ops, NewOp("nop", 4, 0, 8, func(*Ctx) Verdict { return VerdictNext }))
+		op := NewOp("nop", 4, 0, 8, func(*Ctx) Verdict { return VerdictNext })
+		if i%2 == 1 {
+			op = op.WithSpecializer(func(*SpecEnv) SpecResult { return SpecResult{Elide: true} })
+		}
+		p.Ops = append(p.Ops, op)
 	}
-	p.jit = fuse(p)
-	ctx := &Ctx{Meter: &sim.Meter{}, jit: jit}
+	return p
+}
+
+// benchExec runs the program through Program.exec with the jit/spec flags
+// set per form — the per-Op dispatch and metering overhead the fusion stage
+// removes, and the dead ops the specializer removes on top, isolated from
+// packet work.
+func benchExec(b *testing.B, jit, spec bool) {
+	p := benchProgram8Ops()
+	p.jit.Store(fuse(p))
+	p.spec.Store(specialize(p, &SpecEnv{Hook: p.Hook}))
+	ctx := &Ctx{Meter: &sim.Meter{}, jit: jit, spec: spec}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -71,6 +85,21 @@ func benchExec(b *testing.B, jit bool) {
 	}
 }
 
-func BenchmarkProgramInterpreted8Ops(b *testing.B) { benchExec(b, false) }
+func BenchmarkProgramInterpreted8Ops(b *testing.B) { benchExec(b, false, false) }
 
-func BenchmarkProgramJIT8Ops(b *testing.B) { benchExec(b, true) }
+func BenchmarkProgramJIT8Ops(b *testing.B) { benchExec(b, true, false) }
+
+func BenchmarkProgramSpecialized8Ops(b *testing.B) { benchExec(b, true, true) }
+
+// TestSpecializedHotPathZeroAlloc pins the specialized fast path at zero
+// allocations per packet: a Load-time pass that made the per-packet path
+// allocate would trade the win it measures away.
+func TestSpecializedHotPathZeroAlloc(t *testing.T) {
+	p := benchProgram8Ops()
+	p.jit.Store(fuse(p))
+	p.spec.Store(specialize(p, &SpecEnv{Hook: p.Hook}))
+	ctx := &Ctx{Meter: &sim.Meter{}, jit: true, spec: true}
+	if avg := testing.AllocsPerRun(200, func() { p.exec(ctx) }); avg != 0 {
+		t.Fatalf("specialized hot path allocates %.1f per exec, want 0", avg)
+	}
+}

@@ -8,6 +8,7 @@ package ebpf
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"linuxfp/internal/kernel"
 	"linuxfp/internal/netdev"
@@ -140,6 +141,7 @@ type Ctx struct {
 
 	depth int  // tail-call depth
 	jit   bool // run fused (JIT) program bodies, including tail-call targets
+	spec  bool // prefer the specialized body when one exists (implies jit)
 }
 
 // CPU reports the virtual core the packet is being processed on (per-CPU
@@ -194,11 +196,43 @@ type FuncOp struct {
 	caps  Cap
 	insns int
 	fn    func(*Ctx) Verdict
+
+	// Optional specializer hooks, consumed by the Load-time specialization
+	// pass (specialize.go). All are nil for ops with no foldable structure.
+	class        SpecClass                 // what this op computes (collapse key)
+	spec         func(*SpecEnv) SpecResult // constant-fold against live config
+	collapsePrev SpecClass                 // merge with a preceding op of this class
+	collapse     func(prev *FuncOp) *FuncOp
 }
 
 // NewOp builds an op.
 func NewOp(name string, cost sim.Cycles, caps Cap, insns int, fn func(*Ctx) Verdict) *FuncOp {
 	return &FuncOp{name: name, cost: cost, caps: caps, insns: insns, fn: fn}
+}
+
+// WithSpecClass tags the op with the header-read class it implements, making
+// it a candidate for adjacent-read collapsing.
+func (o *FuncOp) WithSpecClass(class SpecClass) *FuncOp {
+	o.class = class
+	return o
+}
+
+// WithSpecializer installs the op's constant-folding hook: called once per
+// Load with the live configuration environment, it may elide the op entirely
+// or replace it with a cheaper form. The hook must be conservative — any
+// fold whose precondition can change under a live program must guard on a
+// generation counter and punt (VerdictPass) or fall back when stale.
+func (o *FuncOp) WithSpecializer(fn func(*SpecEnv) SpecResult) *FuncOp {
+	o.spec = fn
+	return o
+}
+
+// WithCollapse declares that this op can merge with an immediately preceding
+// surviving op of class prev, producing a single fused op via merge.
+func (o *FuncOp) WithCollapse(prev SpecClass, merge func(prev *FuncOp) *FuncOp) *FuncOp {
+	o.collapsePrev = prev
+	o.collapse = merge
+	return o
 }
 
 // Name implements Op.
@@ -226,8 +260,13 @@ type Program struct {
 	Ops     []Op
 	Default Verdict // applied if no op terminates; VerdictPass is the safe choice
 
-	id  int      // assigned by the loader
-	jit *jitProg // fused form, built at load time
+	id int // assigned by the loader
+
+	// Compiled forms, built at load time and published atomically so a
+	// re-Load (controller re-synthesis) can swap bodies under live traffic
+	// without a torn read.
+	jit  atomic.Pointer[jitProg] // fused form
+	spec atomic.Pointer[jitProg] // specialized+fused form
 }
 
 // ID reports the loader-assigned program ID (0 if not loaded).

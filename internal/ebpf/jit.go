@@ -72,13 +72,21 @@ func (j *jitProg) run(c *Ctx) Verdict {
 	return j.fallthr
 }
 
-// exec runs the program in whichever form the context selects: the fused
-// (JIT) body when available and enabled, the interpreted Op walk otherwise.
-// Tail calls route through here too, so a fused dispatcher jumps into the
-// fused data path end to end.
+// exec runs the program in whichever form the context selects: the
+// specialized body when available and both sysctls are on, the fused (JIT)
+// body when available and enabled, the interpreted Op walk otherwise. Tail
+// calls route through here too, so a fused dispatcher jumps into the fused
+// data path end to end.
 func (p *Program) exec(c *Ctx) Verdict {
-	if c.jit && p.jit != nil {
-		return p.jit.run(c)
+	if c.jit {
+		if c.spec {
+			if s := p.spec.Load(); s != nil {
+				return s.run(c)
+			}
+		}
+		if j := p.jit.Load(); j != nil {
+			return j.run(c)
+		}
 	}
 	return p.run(c)
 }
@@ -86,17 +94,40 @@ func (p *Program) exec(c *Ctx) Verdict {
 // JITInsns reports the fused program's precomputed aggregate instruction
 // count (0 if the program was never loaded).
 func (p *Program) JITInsns() int {
-	if p.jit == nil {
+	j := p.jit.Load()
+	if j == nil {
 		return 0
 	}
-	return p.jit.insns
+	return j.insns
 }
 
 // JITCost reports the fused program's precomputed aggregate static cycle
 // cost (0 if the program was never loaded).
 func (p *Program) JITCost() sim.Cycles {
-	if p.jit == nil {
+	j := p.jit.Load()
+	if j == nil {
 		return 0
 	}
-	return p.jit.cost
+	return j.cost
+}
+
+// SpecInsns reports the specialized program's aggregate instruction count
+// (0 if the program was never loaded). The delta against JITInsns is the
+// dead code the specializer removed.
+func (p *Program) SpecInsns() int {
+	s := p.spec.Load()
+	if s == nil {
+		return 0
+	}
+	return s.insns
+}
+
+// SpecCost reports the specialized program's aggregate static cycle cost
+// (0 if the program was never loaded).
+func (p *Program) SpecCost() sim.Cycles {
+	s := p.spec.Load()
+	if s == nil {
+		return 0
+	}
+	return s.cost
 }

@@ -43,11 +43,12 @@ func TestJITCycleParityWithInterpreter(t *testing.T) {
 				return NewOp(fmt.Sprintf("op%d", i), sim.Cycles(10*(i+1)), 0, 4, func(*Ctx) Verdict { return v })
 			}
 			p := &Program{Name: "parity", Hook: HookXDP, Ops: []Op{mk(0), mk(1), mk(2), mk(3), mk(4)}}
-			p.jit = fuse(p)
+			j := fuse(p)
+			p.jit.Store(j)
 
 			mi, mj := &sim.Meter{}, &sim.Meter{}
 			vi := p.run(&Ctx{Meter: mi})
-			vj := p.jit.run(&Ctx{Meter: mj})
+			vj := j.run(&Ctx{Meter: mj})
 			if vi != vj {
 				t.Fatalf("term=%d %v: verdict interpreted=%v jit=%v", term, tv, vi, vj)
 			}
@@ -64,9 +65,10 @@ func TestJITFallthroughParity(t *testing.T) {
 			NewOp("a", 11, 0, 4, func(*Ctx) Verdict { return VerdictNext }),
 			NewOp("b", 13, 0, 4, func(*Ctx) Verdict { return VerdictNext }),
 		}}
-		p.jit = fuse(p)
+		j := fuse(p)
+		p.jit.Store(j)
 		mi, mj := &sim.Meter{}, &sim.Meter{}
-		vi, vj := p.run(&Ctx{Meter: mi}), p.jit.run(&Ctx{Meter: mj})
+		vi, vj := p.run(&Ctx{Meter: mi}), j.run(&Ctx{Meter: mj})
 		if vi != vj || mi.Total != mj.Total {
 			t.Fatalf("default=%v: interpreted (%v, %v) vs jit (%v, %v)", def, vi, mi.Total, vj, mj.Total)
 		}

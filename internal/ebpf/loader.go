@@ -2,7 +2,9 @@ package ebpf
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"linuxfp/internal/bridge"
 	"linuxfp/internal/kernel"
@@ -20,6 +22,13 @@ type Loader struct {
 	verifier Verifier
 	nextID   int
 	loaded   map[int]*Program
+
+	// Load-latency instrumentation: the controller re-loads (and therefore
+	// re-specializes) on every netlink change, so verify+specialize+fuse
+	// wall time is part of the reaction-latency budget.
+	loads         uint64
+	lastLoadWall  time.Duration
+	totalLoadWall time.Duration
 }
 
 // NewLoader returns a loader bound to a kernel.
@@ -27,20 +36,55 @@ func NewLoader(k *kernel.Kernel) *Loader {
 	return &Loader{K: k, loaded: make(map[int]*Program)}
 }
 
-// Load verifies a program, compiles its fused (JIT) form, and assigns it
-// an ID. The fused body is always built; whether it executes is decided per
-// packet by net.core.bpf_jit_enable, so A/B comparison needs no reload.
+// Load verifies a program and compiles both executable forms: the fused
+// (JIT) body and the specialized body (constant-folded against the live
+// configuration, then fused). Both are always built; which one executes is
+// decided per packet by net.core.bpf_jit_enable and
+// net.core.bpf_jit_specialize, so A/B comparison needs no reload.
+//
+// Load is idempotent on the same *Program: a re-load (the controller's
+// re-synthesis path) keeps the program's ID, rebuilds both bodies from the
+// pristine Op chain, and publishes them atomically under live traffic.
 func (l *Loader) Load(p *Program) (*Program, error) {
+	start := time.Now()
 	if err := l.verifier.Verify(p); err != nil {
 		return nil, fmt.Errorf("load %q: %w", p.Name, err)
 	}
-	p.jit = fuse(p)
+	spec := specialize(p, &SpecEnv{K: l.K, Hook: p.Hook})
+	jit := fuse(p)
+	p.spec.Store(spec)
+	p.jit.Store(jit)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.nextID++
-	p.id = l.nextID
+	if p.id == 0 {
+		l.nextID++
+		p.id = l.nextID
+	}
 	l.loaded[p.id] = p
+	l.loads++
+	l.lastLoadWall = time.Since(start)
+	l.totalLoadWall += l.lastLoadWall
 	return p, nil
+}
+
+// LoadStats reports how many Load calls ran and their wall-clock cost: the
+// latest verify+specialize+fuse duration and the accumulated total.
+func (l *Loader) LoadStats() (loads uint64, last, total time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loads, l.lastLoadWall, l.totalLoadWall
+}
+
+// Programs returns the loaded programs sorted by ID.
+func (l *Loader) Programs() []*Program {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Program, 0, len(l.loaded))
+	for _, p := range l.loaded {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // Unload removes a program from the loaded set.
@@ -84,7 +128,7 @@ func (a *xdpAdapter) HandleXDP(buff *netdev.XDPBuff) netdev.XDPAction {
 	*ctx = Ctx{
 		Kernel: a.k, Meter: buff.Meter, Hook: HookXDP,
 		IfIndex: buff.IfIndex, XDP: buff,
-		jit: a.k.BPFJITEnabled(),
+		jit: a.k.BPFJITEnabled(), spec: a.k.BPFSpecEnabled(),
 	}
 	v := a.prog.exec(ctx)
 	act := verdictToXDP(v, buff, ctx)
@@ -140,6 +184,7 @@ func (a *xdpAdapter) HandleXDPBatch(bufs []*netdev.XDPBuff, acts []netdev.XDPAct
 	sl := a.k.StageObs()
 	m.Charge(sim.CostXDPPrologue)
 	jit := a.k.BPFJITEnabled()
+	spec := a.k.BPFSpecEnabled()
 	ctx := ctxPool.Get().(*Ctx)
 	for i, buff := range bufs {
 		if i > 0 {
@@ -152,7 +197,7 @@ func (a *xdpAdapter) HandleXDPBatch(bufs []*netdev.XDPBuff, acts []netdev.XDPAct
 		*ctx = Ctx{
 			Kernel: a.k, Meter: buff.Meter, Hook: HookXDP,
 			IfIndex: buff.IfIndex, XDP: buff,
-			jit: jit,
+			jit: jit, spec: spec,
 		}
 		acts[i] = verdictToXDP(a.prog.exec(ctx), buff, ctx)
 		if sl != nil {
@@ -179,7 +224,7 @@ func (a *tcAdapter) HandleTC(skb *kernel.SKB) kernel.TCAction {
 	*ctx = Ctx{
 		Kernel: a.k, Meter: skb.Meter, Hook: a.hook,
 		IfIndex: skb.Dev.Index, SKB: skb,
-		jit: a.k.BPFJITEnabled(),
+		jit: a.k.BPFJITEnabled(), spec: a.k.BPFSpecEnabled(),
 	}
 	v := a.prog.exec(ctx)
 	redirect := ctx.RedirectIfIndex
@@ -207,12 +252,13 @@ func (a *tcAdapter) HandleTCBatch(skbs []*kernel.SKB, acts []kernel.TCAction) {
 		return
 	}
 	jit := a.k.BPFJITEnabled()
+	spec := a.k.BPFSpecEnabled()
 	ctx := ctxPool.Get().(*Ctx)
 	for i, skb := range skbs {
 		*ctx = Ctx{
 			Kernel: a.k, Meter: skb.Meter, Hook: a.hook,
 			IfIndex: skb.Dev.Index, SKB: skb,
-			jit: jit,
+			jit: jit, spec: spec,
 		}
 		switch a.prog.exec(ctx) {
 		case VerdictDrop, VerdictAborted:
@@ -441,6 +487,52 @@ func HelperIptLookup(c *Ctx, hook netfilter.Hook, outIf int) IptResult {
 	v, st := c.Kernel.NF.EvaluateHook(hook, meta)
 	c.Meter.Charge(sim.CostHelperIptB +
 		sim.Cycles(st.RulesEvaluated)*sim.CostIptRuleFast +
+		sim.Cycles(st.SetProbes)*sim.CostIpsetLookup)
+	if v == netfilter.VerdictDrop {
+		return IptDeny
+	}
+	return IptAllow
+}
+
+// HelperIptLookupCompiled is the specialized form of bpf_ipt_lookup the JIT
+// specializer emits: the chain was compiled to a lock-free snapshot at Load
+// time, so evaluation skips the helper's meta-marshalling fixed part and the
+// interpreter's per-rule dispatch, and packets whose protocol no rule can
+// match skip the walk entirely. A generation guard keeps it sound: when the
+// ruleset has changed since compilation, the call falls back to the generic
+// helper, which is always correct (the controller re-specializes on the next
+// netlink event). Verdicts, punt behaviour, and rule hit counters are
+// identical to the generic path in every case.
+func HelperIptLookupCompiled(c *Ctx, comp *netfilter.Compiled, hook netfilter.Hook, outIf int) IptResult {
+	c.Meter.Charge(sim.CostSpecGuard)
+	if c.Kernel.NF.Gen() != comp.Gen {
+		return HelperIptLookup(c, hook, outIf)
+	}
+	meta := netfilter.Meta{
+		Src: c.IPSrc, Dst: c.IPDst, Proto: c.IPProto,
+		SrcPort: c.SrcPort, DstPort: c.DstPort,
+		InIf: c.IfIndex, OutIf: outIf, Fragment: c.Fragment,
+	}
+	if comp.CTRequired {
+		// Conntrack semantics must mirror the generic helper exactly: the
+		// read-only lookup runs first, and a flow without an entry punts so
+		// the slow path owns creation.
+		c.Meter.Charge(sim.CostConntrackLookup)
+		conn, _, ok := c.Kernel.NF.Conntrack.Lookup(netfilter.Tuple{
+			Src: meta.Src, Dst: meta.Dst, Proto: meta.Proto,
+			SrcPort: meta.SrcPort, DstPort: meta.DstPort,
+		}, c.Kernel.Now())
+		if !ok {
+			return IptPunt
+		}
+		meta.CTState = conn.State
+	}
+	if comp.CanSkipProto(c.IPProto) {
+		return IptAllow // dead arm: no rule can match this protocol
+	}
+	v, st := comp.Evaluate(&meta)
+	c.Meter.Charge(sim.CostIptSpecBase +
+		sim.Cycles(st.RulesEvaluated)*sim.CostIptRuleSpec +
 		sim.Cycles(st.SetProbes)*sim.CostIpsetLookup)
 	if v == netfilter.VerdictDrop {
 		return IptDeny

@@ -1,0 +1,90 @@
+// Load-time specialization (K2-style). The fused body (jit.go) removed
+// dispatch and per-op metering but still executes every op's *general* form:
+// closures re-check configuration predicates that are constants for the
+// lifetime of a loaded program. This pass runs inside Loader.Load, after
+// verification and before fusion, and constant-folds the live configuration
+// into the chain:
+//
+//   - ops whose work is statically dead under the current config are elided
+//     (a bridge with VLAN filtering off skips vlan_filter entirely);
+//   - ops with a cheaper configuration-specific form are replaced (an ACL
+//     evaluated over a compiled rule snapshot instead of the generic helper,
+//     a single-target redirect emitted directly);
+//   - adjacent header reads are collapsed (ParseIPv4+ParseL4 merge into one
+//     op with a single frame fetch when both survive).
+//
+// The result is fused like any program, so the prefix-summed cost table and
+// Insns count are re-derived from the *specialized* chain — model cycles
+// reflect the savings. Folds that depend on state which can change under a
+// live program carry a generation guard and punt to the slow path when
+// stale; the controller re-synthesizes (and therefore re-specializes) on the
+// next netlink event. Frames and all Stats counters stay identical to the
+// interpreted path; only the charged cycles legitimately shrink.
+package ebpf
+
+import "linuxfp/internal/kernel"
+
+// SpecClass identifies what an op computes, keyed for adjacent-read
+// collapsing (an op declares which class it can merge with).
+type SpecClass int
+
+// Specialization classes.
+const (
+	SpecClassNone SpecClass = iota
+	SpecClassParseIPv4
+	SpecClassParseL4
+)
+
+// SpecEnv is the configuration environment a specializer hook folds against:
+// the live kernel state the program will run in.
+type SpecEnv struct {
+	K    *kernel.Kernel
+	Hook Hook
+}
+
+// SpecResult is a specializer hook's decision for one op.
+type SpecResult struct {
+	// Elide drops the op from the specialized chain entirely.
+	Elide bool
+	// Replace substitutes a cheaper op (nil with Elide false keeps the
+	// original).
+	Replace Op
+}
+
+// specialize builds the specialized+fused form of a verified program. The
+// original Ops slice is never mutated, so re-loading the same *Program* is
+// idempotent — the pass always starts from the generic chain.
+func specialize(p *Program, env *SpecEnv) *jitProg {
+	ops := make([]Op, 0, len(p.Ops))
+	for _, op := range p.Ops {
+		f, ok := op.(*FuncOp)
+		if !ok || f.spec == nil {
+			ops = append(ops, op)
+			continue
+		}
+		r := f.spec(env)
+		switch {
+		case r.Elide:
+			// dropped
+		case r.Replace != nil:
+			ops = append(ops, r.Replace)
+		default:
+			ops = append(ops, op)
+		}
+	}
+	// Collapse adjacent header reads among the survivors: an op that
+	// declares a collapse against its predecessor's class merges into one.
+	out := ops[:0]
+	for _, op := range ops {
+		f, ok := op.(*FuncOp)
+		if ok && f.collapse != nil && len(out) > 0 {
+			if prev, ok := out[len(out)-1].(*FuncOp); ok &&
+				prev.class != SpecClassNone && prev.class == f.collapsePrev {
+				out[len(out)-1] = f.collapse(prev)
+				continue
+			}
+		}
+		out = append(out, op)
+	}
+	return fuse(&Program{Name: p.Name, Hook: p.Hook, Ops: out, Default: p.Default})
+}

@@ -1,0 +1,121 @@
+package ebpf
+
+import (
+	"testing"
+
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/sim"
+)
+
+func TestBPFSpecializeSysctl(t *testing.T) {
+	k := kernel.New("t")
+	if !k.BPFSpecEnabled() {
+		t.Fatal("bpf_jit_specialize must default on")
+	}
+	k.SetSysctl("net.core.bpf_jit_specialize", "0")
+	if k.BPFSpecEnabled() {
+		t.Fatal("sysctl off ignored")
+	}
+	k.SetSysctl("net.core.bpf_jit_specialize", "1")
+	if !k.BPFSpecEnabled() {
+		t.Fatal("sysctl on ignored")
+	}
+}
+
+// TestSpecializePassElideReplaceCollapse drives the pass through all three
+// transforms on a synthetic chain and checks the specialized body's size and
+// cost are re-derived from the transformed chain — and that the original Ops
+// slice is untouched.
+func TestSpecializePassElideReplaceCollapse(t *testing.T) {
+	k := kernel.New("t")
+	next := func(*Ctx) Verdict { return VerdictNext }
+
+	kept := NewOp("kept", 10, 0, 4, next)
+	elided := NewOp("elided", 20, 0, 8, next).
+		WithSpecializer(func(*SpecEnv) SpecResult { return SpecResult{Elide: true} })
+	replaced := NewOp("generic", 30, 0, 16, next).
+		WithSpecializer(func(*SpecEnv) SpecResult {
+			return SpecResult{Replace: NewOp("cheap", 5, 0, 4, next)}
+		})
+	// first+second collapse into one op; the elided op between them must not
+	// block adjacency, since collapsing runs over the survivors.
+	first := NewOp("first", 40, 0, 10, next).WithSpecClass(SpecClassParseIPv4)
+	second := NewOp("second", 50, 0, 12, next).
+		WithCollapse(SpecClassParseIPv4, func(prev *FuncOp) *FuncOp {
+			return NewOp("merged", prev.Cost()+30, 0, 18, next)
+		})
+
+	p := &Program{Name: "spec", Hook: HookXDP, Default: VerdictPass,
+		Ops: []Op{kept, first, elided, second, replaced}}
+	l := NewLoader(k)
+	if _, err := l.Load(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generic fused form: every original op, original costs.
+	if got, want := p.JITInsns(), 4+10+8+12+16; got != want {
+		t.Fatalf("JITInsns = %d, want %d", got, want)
+	}
+	if got, want := p.JITCost(), sim.Cycles(10+40+20+50+30); got != want {
+		t.Fatalf("JITCost = %v, want %v", got, want)
+	}
+	// Specialized: kept + merged(first+second) + cheap replacement.
+	if got, want := p.SpecInsns(), 4+18+4; got != want {
+		t.Fatalf("SpecInsns = %d, want %d", got, want)
+	}
+	if got, want := p.SpecCost(), sim.Cycles(10+70+5); got != want {
+		t.Fatalf("SpecCost = %v, want %v", got, want)
+	}
+	if len(p.Ops) != 5 || p.Ops[2].Name() != "elided" {
+		t.Fatal("specialization mutated the original op chain")
+	}
+}
+
+// TestLoadReentry pins Loader.Load idempotency: loading the same *Program*
+// again (the controller re-synthesizing an unchanged graph) keeps its ID,
+// does not grow the loaded set, and rebuilds both bodies from the generic
+// chain rather than specializing the specialized form.
+func TestLoadReentry(t *testing.T) {
+	k := kernel.New("t")
+	l := NewLoader(k)
+	p := &Program{Name: "re", Hook: HookXDP, Default: VerdictPass, Ops: []Op{
+		NewOp("a", 100, 0, 10, func(*Ctx) Verdict { return VerdictNext }).
+			WithSpecializer(func(*SpecEnv) SpecResult {
+				return SpecResult{Replace: NewOp("a_spec", 60, 0, 6, func(*Ctx) Verdict { return VerdictNext })}
+			}),
+		NewOp("b", 200, 0, 20, func(*Ctx) Verdict { return VerdictNext }),
+	}}
+	if _, err := l.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	id, count := p.ID(), l.LoadedCount()
+	insns, cost := p.SpecInsns(), p.SpecCost()
+	body := p.spec.Load()
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.ID() != id {
+		t.Fatalf("re-load changed program ID %d -> %d", id, p.ID())
+	}
+	if l.LoadedCount() != count {
+		t.Fatalf("re-load grew loaded set %d -> %d", count, l.LoadedCount())
+	}
+	if p.SpecInsns() != insns || p.SpecCost() != cost {
+		t.Fatalf("re-load drifted specialized body: insns %d->%d cost %v->%v",
+			insns, p.SpecInsns(), cost, p.SpecCost())
+	}
+	if p.spec.Load() == body {
+		t.Fatal("re-load did not publish a fresh body (stale jit leaked)")
+	}
+
+	loads, last, total := l.LoadStats()
+	if loads != 4 {
+		t.Fatalf("LoadStats loads = %d, want 4", loads)
+	}
+	if last <= 0 || total < last {
+		t.Fatalf("LoadStats wall times inconsistent: last=%v total=%v", last, total)
+	}
+}

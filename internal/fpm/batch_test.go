@@ -298,6 +298,7 @@ func TestDispatcherSwapRaceUnderBatchLoad(t *testing.T) {
 			_ = conns.Len()
 			conns.Update(int(i%64), 0xdead_0000+i%512, i)
 			r.dut.SetSysctl("net.core.bpf_jit_enable", map[bool]string{true: "1", false: "0"}[i%3 != 0])
+			r.dut.SetSysctl("net.core.bpf_jit_specialize", map[bool]string{true: "1", false: "0"}[i%5 != 0])
 		}
 	}()
 

@@ -61,8 +61,13 @@ func ParseVLAN() ebpf.Op {
 
 // ParseIPv4 validates and reads the IP header. Fragments, options, expiring
 // TTLs, and checksum failures all punt: the slow path owns those cases
-// (paper Table I).
+// (paper Table I). Tagged with its specialization class so a following
+// ParseL4 can collapse into it when both survive specialization.
 func ParseIPv4() ebpf.Op {
+	return parseIPv4Op().WithSpecClass(ebpf.SpecClassParseIPv4)
+}
+
+func parseIPv4Op() *ebpf.FuncOp {
 	return ebpf.NewOp("parse_ipv4", sim.CostParseIPv4, 0, 48, func(c *ebpf.Ctx) ebpf.Verdict {
 		if c.EtherType != packet.EtherTypeIPv4 {
 			return ebpf.VerdictPass // ARP, LLDP, tagged frames without the VLAN snippet...
@@ -93,8 +98,10 @@ func ParseIPv4() ebpf.Op {
 }
 
 // ParseL4 reads transport ports; included when filter rules match on them.
+// When specialization finds it directly after a surviving ParseIPv4, the two
+// collapse into one merged header read.
 func ParseL4() ebpf.Op {
-	return ebpf.NewOp("parse_l4", sim.CostParseEth/2, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+	return ebpf.NewOp("parse_l4", sim.CostParseL4, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
 		if c.IPProto != packet.ProtoTCP && c.IPProto != packet.ProtoUDP {
 			return ebpf.VerdictNext
 		}
@@ -105,7 +112,55 @@ func ParseL4() ebpf.Op {
 		}
 		c.SrcPort, c.DstPort = packet.L4Ports(f, l4)
 		return ebpf.VerdictNext
-	})
+	}).WithSpecClass(ebpf.SpecClassParseL4).
+		WithCollapse(ebpf.SpecClassParseIPv4, func(*ebpf.FuncOp) *ebpf.FuncOp {
+			return mergedParseIPv4L4()
+		})
+}
+
+// mergedParseIPv4L4 is the collapsed ParseIPv4+ParseL4 read the specializer
+// emits: one frame fetch and one bounds-check cascade cover both headers.
+// Verdict behaviour is byte-identical to running the two ops in sequence;
+// the merge saves only the duplicated frame access and dispatch overhead
+// (sim.CostParseMergeSave).
+func mergedParseIPv4L4() *ebpf.FuncOp {
+	return ebpf.NewOp("parse_ipv4_l4",
+		sim.CostParseIPv4+sim.CostParseL4-sim.CostParseMergeSave, 0, 52,
+		func(c *ebpf.Ctx) ebpf.Verdict {
+			if c.EtherType != packet.EtherTypeIPv4 {
+				return ebpf.VerdictPass
+			}
+			f := c.Frame()
+			l3 := c.L3Off
+			if len(f) < l3+packet.IPv4MinLen {
+				return ebpf.VerdictAborted
+			}
+			if f[l3]>>4 != 4 {
+				return ebpf.VerdictPass
+			}
+			if packet.IPv4HasOptions(f, l3) || packet.IPv4IsFragment(f, l3) {
+				return ebpf.VerdictPass
+			}
+			if packet.Checksum(f[l3:l3+packet.IPv4MinLen]) != 0 {
+				return ebpf.VerdictPass
+			}
+			c.IPSrc = packet.IPv4Src(f, l3)
+			c.IPDst = packet.IPv4Dst(f, l3)
+			c.IPProto = packet.IPv4Proto(f, l3)
+			c.TTL = packet.IPv4TTL(f, l3)
+			if c.TTL <= 1 {
+				return ebpf.VerdictPass
+			}
+			if c.IPProto != packet.ProtoTCP && c.IPProto != packet.ProtoUDP {
+				return ebpf.VerdictNext
+			}
+			l4 := l3 + packet.IPv4MinLen
+			if len(f) < l4+4 {
+				return ebpf.VerdictAborted
+			}
+			c.SrcPort, c.DstPort = packet.L4Ports(f, l4)
+			return ebpf.VerdictNext
+		})
 }
 
 // BridgeConf parameterizes the bridge FPM for the current configuration.
@@ -130,7 +185,7 @@ func BridgeOps(conf BridgeConf) []ebpf.Op {
 	br := conf.Bridge
 	var ops []ebpf.Op
 
-	ops = append(ops, ebpf.NewOp("bridge_guard", sim.CostParseEth/2, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
+	ops = append(ops, ebpf.NewOp("bridge_guard", sim.CostBridgeGuard, 0, 16, func(c *ebpf.Ctx) ebpf.Verdict {
 		if c.DstMAC.IsMulticast() {
 			// Broadcast/multicast (including BPDUs): slow path floods.
 			return ebpf.VerdictPass
@@ -142,9 +197,32 @@ func BridgeOps(conf BridgeConf) []ebpf.Op {
 			return ebpf.VerdictPass
 		}
 		return ebpf.VerdictNext
+	}).WithSpecializer(func(*ebpf.SpecEnv) ebpf.SpecResult {
+		// conf.LocalNext is synthesis-time structure (it reflects the graph,
+		// not live kernel state), so the fold needs no generation guard.
+		if conf.LocalNext {
+			// Local frames continue either way: only multicast punts.
+			return ebpf.SpecResult{Replace: ebpf.NewOp("bridge_guard_spec", sim.CostBridgeGuard, 0, 8, func(c *ebpf.Ctx) ebpf.Verdict {
+				if c.DstMAC.IsMulticast() {
+					return ebpf.VerdictPass
+				}
+				return ebpf.VerdictNext
+			})}
+		}
+		return ebpf.SpecResult{Replace: ebpf.NewOp("bridge_guard_spec", sim.CostBridgeGuard, 0, 12, func(c *ebpf.Ctx) ebpf.Verdict {
+			if c.DstMAC.IsMulticast() || c.DstMAC == br.MAC {
+				return ebpf.VerdictPass
+			}
+			return ebpf.VerdictNext
+		})}
 	}))
 
 	if conf.STP {
+		// stp_port_state deliberately has NO specializer: the obvious fold
+		// (elide when STP is off) is unsound — the op also punts frames on
+		// Disabled ports, and the only generation that tracks port state
+		// (bridge.Gen) is bumped by FDB learning, so a guard on it would
+		// invalidate the fold on every new MAC. Port state stays a live read.
 		ops = append(ops, ebpf.NewOp("stp_port_state", sim.CostPortState, ebpf.CapHelperFDB, 12, func(c *ebpf.Ctx) ebpf.Verdict {
 			p, ok := br.Port(c.IfIndex)
 			if !ok || p.State != bridge.Forwarding {
@@ -162,6 +240,34 @@ func BridgeOps(conf BridgeConf) []ebpf.Op {
 			}
 			c.VLAN = vlan
 			return ebpf.VerdictNext
+		}).WithSpecializer(func(*ebpf.SpecEnv) ebpf.SpecResult {
+			if br.VLANFiltering() {
+				return ebpf.SpecResult{}
+			}
+			// Live filtering is off: IngressVLAN degenerates to a port-
+			// membership check that classifies everything as VLAN 0.
+			if !conf.Filter {
+				// Nothing runs between here and the FDB decision: the
+				// membership check moves into the folded fdb_forward
+				// (guarded on ConfGen there) and the op vanishes.
+				return ebpf.SpecResult{Elide: true}
+			}
+			// A filter op sits between this op and the FDB decision. Keep
+			// the membership punt in place — eliding it would let rule
+			// counters see frames the generic chain punts before filtering.
+			g := br.ConfGen()
+			return ebpf.SpecResult{Replace: ebpf.NewOp("vlan_member_spec",
+				sim.CostBridgeGuard+sim.CostSpecGuard, 0, 12,
+				func(c *ebpf.Ctx) ebpf.Verdict {
+					if br.ConfGen() != g {
+						return ebpf.VerdictPass // stale fold: punt
+					}
+					if _, ok := br.Port(c.IfIndex); !ok {
+						return ebpf.VerdictPass
+					}
+					c.VLAN = 0
+					return ebpf.VerdictNext
+				})}
 		}))
 	}
 
@@ -207,8 +313,63 @@ func BridgeOps(conf BridgeConf) []ebpf.Op {
 		}
 		c.RedirectIfIndex = port
 		return ebpf.VerdictRedirect
+	}).WithSpecializer(func(*ebpf.SpecEnv) ebpf.SpecResult {
+		if conf.VLANFiltering && br.VLANFiltering() {
+			return ebpf.SpecResult{} // VLAN path live: keep the full walk
+		}
+		if conf.VLANFiltering {
+			// The configuration carries the VLAN snippets but the live
+			// bridge has filtering off: everything classifies as VLAN 0 and
+			// every egress is allowed untagged. The fold bakes that in —
+			// vlan_filter was elided, so its port-membership check moves
+			// here — and a ConfGen guard punts the moment STP or VLAN
+			// filtering is reconfigured (the slow path is always complete;
+			// the controller re-specializes on the next netlink event).
+			g := br.ConfGen()
+			return ebpf.SpecResult{Replace: ebpf.NewOp("fdb_forward_spec",
+				sim.CostHelperFDB+sim.CostSpecGuard, ebpf.CapHelperFDB|ebpf.CapRedirect, 48,
+				func(c *ebpf.Ctx) ebpf.Verdict {
+					if br.ConfGen() != g {
+						return ebpf.VerdictPass // stale fold: punt
+					}
+					if _, ok := br.Port(c.IfIndex); !ok {
+						return ebpf.VerdictPass // was vlan_filter's membership check
+					}
+					return fdbForwardVLAN0(c, br)
+				})}
+		}
+		// Plain bridge: the conf.VLANFiltering branches are dead by
+		// synthesis-time structure alone, so the fold needs no guard.
+		return ebpf.SpecResult{Replace: ebpf.NewOp("fdb_forward_spec",
+			sim.CostHelperFDB, ebpf.CapHelperFDB|ebpf.CapRedirect, 56,
+			func(c *ebpf.Ctx) ebpf.Verdict {
+				return fdbForwardVLAN0(c, br)
+			})}
 	}))
 	return ops
+}
+
+// fdbForwardVLAN0 is the specialized fdb_forward body with VLAN 0 baked in:
+// the source-then-destination lookup pair and port-state check of the
+// generic op, minus the VLAN classification and egress-admission branches.
+func fdbForwardVLAN0(c *ebpf.Ctx, br *bridge.Bridge) ebpf.Verdict {
+	if c.DstMAC == br.MAC {
+		return ebpf.VerdictNext // chained local traffic (LocalNext)
+	}
+	now := c.Kernel.Now()
+	if srcPort, ok := br.FDBLookup(c.SrcMAC, 0, now); !ok || srcPort != c.IfIndex {
+		return ebpf.VerdictPass
+	}
+	port, ok := br.FDBLookup(c.DstMAC, 0, now)
+	if !ok || port == c.IfIndex {
+		return ebpf.VerdictPass // miss: slow path floods
+	}
+	p, exists := br.Port(port)
+	if !exists || p.State != bridge.Forwarding {
+		return ebpf.VerdictPass
+	}
+	c.RedirectIfIndex = port
+	return ebpf.VerdictRedirect
 }
 
 // RouterConf parameterizes the router FPM.
@@ -242,6 +403,13 @@ type FilterConf struct {
 // FilterOp evaluates iptables state through bpf_ipt_lookup. Runs after the
 // FIB lookup so out-interface matches see the real egress. Flows the
 // helper cannot classify (conntrack miss) punt to the slow path.
+//
+// Specialization compiles the hook's chain into a lock-free snapshot at Load
+// time (netfilter.Compile): packets whose protocol no rule can match skip
+// the walk entirely, and the rest evaluate without the interpreter's
+// per-rule dispatch. A generation guard falls back to the generic helper
+// when the ruleset has changed since Load; chains with user-chain jumps
+// refuse to compile and keep the generic form.
 func FilterOp(conf FilterConf) ebpf.Op {
 	return ebpf.NewOp("ipt_filter", 0, ebpf.CapHelperIpt, 72, func(c *ebpf.Ctx) ebpf.Verdict {
 		// Helper charges its own cost.
@@ -253,6 +421,23 @@ func FilterOp(conf FilterConf) ebpf.Op {
 		default:
 			return ebpf.VerdictNext
 		}
+	}).WithSpecializer(func(env *ebpf.SpecEnv) ebpf.SpecResult {
+		comp, ok := env.K.NF.Compile(conf.Hook)
+		if !ok {
+			return ebpf.SpecResult{} // jumps in the chain: keep the interpreter
+		}
+		return ebpf.SpecResult{Replace: ebpf.NewOp("ipt_filter_spec", 0, ebpf.CapHelperIpt, 40, func(c *ebpf.Ctx) ebpf.Verdict {
+			// Helper charges its own cost (guard + compiled walk, or the
+			// full generic cost on a stale-generation fallback).
+			switch ebpf.HelperIptLookupCompiled(c, comp, conf.Hook, c.FIB.EgressIfIndex) {
+			case ebpf.IptDeny:
+				return ebpf.VerdictDrop
+			case ebpf.IptPunt:
+				return ebpf.VerdictPass
+			default:
+				return ebpf.VerdictNext
+			}
+		})}
 	})
 }
 
@@ -273,7 +458,10 @@ func RewriteOp() ebpf.Op {
 
 // RedirectOp emits the packet on the FIB egress. When the egress is a
 // bridge device (next_nf: bridge), it resolves the physical port through
-// the FDB; a miss punts so the slow path floods.
+// the FDB; a miss punts so the slow path floods. When no bridge resolver is
+// configured — the single-port redirect case — specialization folds the op
+// to a direct emit (the branch is synthesis-time structure, no guard
+// needed).
 func RedirectOp(conf RouterConf) ebpf.Op {
 	return ebpf.NewOp("redirect", 0, ebpf.CapRedirect, 16, func(c *ebpf.Ctx) ebpf.Verdict {
 		if !c.FIBOk {
@@ -291,6 +479,17 @@ func RedirectOp(conf RouterConf) ebpf.Op {
 		}
 		c.RedirectIfIndex = egress
 		return ebpf.VerdictRedirect
+	}).WithSpecializer(func(*ebpf.SpecEnv) ebpf.SpecResult {
+		if conf.BridgeForOut != nil {
+			return ebpf.SpecResult{}
+		}
+		return ebpf.SpecResult{Replace: ebpf.NewOp("redirect_direct", 0, ebpf.CapRedirect, 8, func(c *ebpf.Ctx) ebpf.Verdict {
+			if !c.FIBOk {
+				return ebpf.VerdictPass
+			}
+			c.RedirectIfIndex = c.FIB.EgressIfIndex
+			return ebpf.VerdictRedirect
+		})}
 	})
 }
 

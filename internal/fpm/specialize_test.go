@@ -1,0 +1,143 @@
+package fpm
+
+import (
+	"bytes"
+	"testing"
+
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// TestThreeFormEquivalence is the specializer's correctness bar: the same
+// mixed workload driven per-packet through three otherwise-identical worlds
+// — interpreted (jit off), generic fused (jit on, specialize off), and
+// Load-time specialized (both on) — must produce byte-identical delivered
+// frames, identical device/XDP/kernel counters, and identical iptables rule
+// hit counters. Cycles are the one permitted difference, and only downward:
+// fused must equal interpreted exactly (PR 2's invariant), specialized must
+// be strictly cheaper.
+func TestThreeFormEquivalence(t *testing.T) {
+	const frames = 900
+	specs := mixedWorkload(frames, 13)
+	blocked := packet.MustPrefix("10.100.40.0/24")
+
+	type world struct {
+		r *routerRig
+		m sim.Meter
+	}
+	mk := func(jit, spec string) *world {
+		w := &world{r: newRouterRig(t)}
+		// Rules land before Load so the specializer compiles this exact
+		// ruleset generation into the fast path.
+		w.r.dut.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop,
+		})
+		w.r.attachGatewayFPM(t)
+		w.r.dut.SetSysctl("net.core.bpf_jit_enable", jit)
+		w.r.dut.SetSysctl("net.core.bpf_jit_specialize", spec)
+		return w
+	}
+	interp := mk("0", "0")
+	fused := mk("1", "0")
+	special := mk("1", "1")
+	worlds := []*world{interp, fused, special}
+	names := []string{"interpreted", "fused", "specialized"}
+
+	for _, w := range worlds {
+		for _, s := range specs {
+			w.r.in.Receive(w.r.frameUDP(s.dst, s.sport, s.dport, s.ttl, s.payload), &w.m)
+		}
+	}
+
+	if len(interp.r.captured) == 0 {
+		t.Fatal("workload delivered nothing; test is vacuous")
+	}
+	for wi, w := range worlds[1:] {
+		name := names[wi+1]
+		if len(w.r.captured) != len(interp.r.captured) {
+			t.Fatalf("%s delivered %d frames, interpreted %d", name, len(w.r.captured), len(interp.r.captured))
+		}
+		for i := range w.r.captured {
+			a, b := interp.r.captured[i], w.r.captured[i]
+			// Compare from L3 up: MACs are per-rig.
+			if !bytes.Equal(a[packet.EthHdrLen:], b[packet.EthHdrLen:]) {
+				t.Fatalf("frame %d differs:\ninterpreted %x\n%s %x", i, a, name, b)
+			}
+		}
+		if a, b := interp.r.in.Stats(), w.r.in.Stats(); a != b {
+			t.Fatalf("ingress stats diverge:\ninterpreted %+v\n%s %+v", a, name, b)
+		}
+		if a, b := interp.r.out.Stats(), w.r.out.Stats(); a != b {
+			t.Fatalf("egress stats diverge:\ninterpreted %+v\n%s %+v", a, name, b)
+		}
+		if a, b := interp.r.dut.Stats(), w.r.dut.Stats(); a != b {
+			t.Fatalf("kernel stats diverge:\ninterpreted %+v\n%s %+v", a, name, b)
+		}
+		// Rule hit counters: the compiled snapshot bumps the same *Rule
+		// memory the interpreter would.
+		ca, _ := interp.r.dut.NF.Chain("FORWARD")
+		cb, _ := w.r.dut.NF.Chain("FORWARD")
+		for i := range ca.Rules {
+			if ca.Rules[i].Packets != cb.Rules[i].Packets {
+				t.Fatalf("FORWARD rule %d counters diverge: interpreted %d, %s %d",
+					i, ca.Rules[i].Packets, name, cb.Rules[i].Packets)
+			}
+		}
+	}
+
+	// Fusion is cycle-identical by construction; specialization is the pass
+	// that is allowed — required — to shrink cycles.
+	if interp.m.Total != fused.m.Total {
+		t.Fatalf("fused cycles %v != interpreted %v", fused.m.Total, interp.m.Total)
+	}
+	if special.m.Total >= fused.m.Total {
+		t.Fatalf("specialized cycles %v not below fused %v", special.m.Total, fused.m.Total)
+	}
+
+	// Verdict conservation in the specialized world.
+	st := special.r.in.Stats()
+	if got := st.XDPDrops + st.XDPTx + st.XDPRedirects + st.XDPPass; got != frames {
+		t.Fatalf("verdict conservation: %d accounted of %d sent", got, frames)
+	}
+}
+
+// TestSpecializeStaleRulesetFallsBack pins the generation guard: mutating
+// the ruleset after Load must not let the stale compiled snapshot run — the
+// specialized path detects the generation bump and falls back to the live
+// helper, staying behavior-identical without a re-load.
+func TestSpecializeStaleRulesetFallsBack(t *testing.T) {
+	mk := func(spec string) *routerRig {
+		r := newRouterRig(t)
+		old := packet.MustPrefix("10.100.7.0/24")
+		r.dut.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{Dst: &old}, Target: netfilter.VerdictDrop,
+		})
+		r.attachGatewayFPM(t)
+		r.dut.SetSysctl("net.core.bpf_jit_specialize", spec)
+		// Mutate AFTER Load: the compiled snapshot no longer matches.
+		blocked := packet.MustPrefix("10.100.40.0/24")
+		r.dut.IptAppend("FORWARD", netfilter.Rule{
+			Match: netfilter.Match{Dst: &blocked}, Target: netfilter.VerdictDrop,
+		})
+		return r
+	}
+	a, b := mk("0"), mk("1")
+
+	var mA, mB sim.Meter
+	for i := 0; i < 64; i++ {
+		// Half the traffic hits the post-Load rule.
+		dst := packet.AddrFrom4(10, 100, 40, byte(i))
+		if i%2 == 0 {
+			dst = packet.AddrFrom4(10, 100+byte(i%50), 1, 9)
+		}
+		a.in.Receive(a.frameUDP(dst, 4000, 2000, 64, nil), &mA)
+		b.in.Receive(b.frameUDP(dst, 4000, 2000, 64, nil), &mB)
+	}
+	if sa, sb := a.in.Stats(), b.in.Stats(); sa != sb {
+		t.Fatalf("stale-snapshot worlds diverge:\ngeneric %+v\nspecialized %+v", sa, sb)
+	}
+	if sa := a.in.Stats(); sa.XDPDrops != 32 {
+		t.Fatalf("post-Load rule dropped %d, want 32", sa.XDPDrops)
+	}
+}

@@ -149,6 +149,7 @@ type Kernel struct {
 	brNFCall    atomic.Bool // net.bridge.bridge-nf-call-iptables
 	flowCacheOn atomic.Bool // net.core.flow_cache
 	jitEnabled  atomic.Bool // net.core.bpf_jit_enable (default on)
+	specEnabled atomic.Bool // net.core.bpf_jit_specialize (default on)
 
 	// cfgGen is bumped on any configuration change outside the generation-
 	// counted subsystems (sysctls, TC attachments, link state, bridge
@@ -207,15 +208,17 @@ func New(name string) *Kernel {
 		bridges: make(map[int]*bridge.Bridge),
 		vxlans:  make(map[int]*vxlanState),
 		sysctl: map[string]string{
-			"net.ipv4.ip_forward":        "0",
-			"net.core.bpf_jit_enable":    "1",
-			"net.core.gro_flush_timeout": "0",
+			"net.ipv4.ip_forward":         "0",
+			"net.core.bpf_jit_enable":     "1",
+			"net.core.bpf_jit_specialize": "1",
+			"net.core.gro_flush_timeout":  "0",
 		},
 		sockets: make(map[socketKey]SocketHandler),
 		defrag:  make(map[fragKey]*fragQueue),
 		ipvs:    newIPVSState(),
 	}
 	k.jitEnabled.Store(true)
+	k.specEnabled.Store(true)
 	k.devs.Store(&devTable{byIdx: map[int]*netdev.Device{}, byName: map[string]*netdev.Device{}})
 	k.tc.Store(&tcTables{ingress: map[int]TCHandler{}, egress: map[int]TCHandler{}})
 	zero := func() sim.Time { return 0 }
@@ -655,6 +658,8 @@ func (k *Kernel) SetSysctl(key, value string) {
 		k.flowCacheOn.Store(on)
 	case "net.core.bpf_jit_enable":
 		k.jitEnabled.Store(on)
+	case "net.core.bpf_jit_specialize":
+		k.specEnabled.Store(on)
 	case "net.core.gro_flush_timeout":
 		// Nanoseconds of virtual time; unparseable writes fall back to 0
 		// (flush every poll), the kernel default.
@@ -680,6 +685,14 @@ func (k *Kernel) Sysctl(key string) string {
 // interpreted per-op walk. On by default, like modern kernels; turning it
 // off exists for A/B measurement, exactly like the real knob.
 func (k *Kernel) BPFJITEnabled() bool { return k.jitEnabled.Load() }
+
+// BPFSpecEnabled reports whether net.core.bpf_jit_specialize is on: loaded
+// programs then execute their config-specialized bodies (built at Load time
+// against the live configuration) instead of the generic fused form. Only
+// meaningful when the JIT is also enabled — the interpreted path never
+// specializes. On by default; the off position exists for A/B measurement of
+// the specialization win in isolation.
+func (k *Kernel) BPFSpecEnabled() bool { return k.specEnabled.Load() }
 
 // IPForwarding reports whether net.ipv4.ip_forward is enabled.
 func (k *Kernel) IPForwarding() bool {

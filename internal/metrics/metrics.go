@@ -132,6 +132,40 @@ func WriteXSKMap(w io.Writer, m *ebpf.XSKMap) {
 	}
 }
 
+// WritePrograms writes per-program JIT body sizes and static costs for every
+// loaded program, in both forms: form="generic" is the fused chain as
+// synthesized, form="specialized" the config-folded body the loader built at
+// Load time. The gap between the two series is the specialization win the
+// datapath collects on every packet. Loader-level counters cover re-load
+// churn: total Loads and the wall time the verify+specialize+fuse pipeline
+// has consumed.
+func WritePrograms(w io.Writer, l *ebpf.Loader) {
+	progs := l.Programs()
+
+	fmt.Fprintf(w, "# HELP linuxfp_prog_insns JIT body size in pseudo-instructions by form.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_prog_insns gauge\n")
+	for _, p := range progs {
+		fmt.Fprintf(w, "linuxfp_prog_insns{prog=%q,form=\"generic\"} %d\n", p.Name, p.JITInsns())
+		fmt.Fprintf(w, "linuxfp_prog_insns{prog=%q,form=\"specialized\"} %d\n", p.Name, p.SpecInsns())
+	}
+
+	fmt.Fprintf(w, "# HELP linuxfp_prog_cost_cycles Static (prefix-summed) JIT cost in modelcycles by form.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_prog_cost_cycles gauge\n")
+	for _, p := range progs {
+		fmt.Fprintf(w, "linuxfp_prog_cost_cycles{prog=%q,form=\"generic\"} %.0f\n", p.Name, float64(p.JITCost()))
+		fmt.Fprintf(w, "linuxfp_prog_cost_cycles{prog=%q,form=\"specialized\"} %.0f\n", p.Name, float64(p.SpecCost()))
+	}
+
+	loads, last, total := l.LoadStats()
+	fmt.Fprintf(w, "# HELP linuxfp_prog_loads_total Programs loaded (verify+specialize+fuse runs).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_prog_loads_total counter\n")
+	fmt.Fprintf(w, "linuxfp_prog_loads_total %d\n", loads)
+	fmt.Fprintf(w, "# HELP linuxfp_prog_load_wall_seconds Wall time spent in Loader.Load.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_prog_load_wall_seconds gauge\n")
+	fmt.Fprintf(w, "linuxfp_prog_load_wall_seconds{window=\"last\"} %.9f\n", last.Seconds())
+	fmt.Fprintf(w, "linuxfp_prog_load_wall_seconds{window=\"total\"} %.9f\n", total.Seconds())
+}
+
 // WriteRingBuf writes one ring buffer's event accounting. Event drops carry
 // reason ringbuf_full but stay out of the packet-drop series by design —
 // lost telemetry is not lost traffic.

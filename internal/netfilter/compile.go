@@ -1,0 +1,135 @@
+// Compiled rule evaluation for the JIT specializer. Compile snapshots one
+// hook's chain into a lock-free, jump-free form the specialized fast path can
+// evaluate without the interpreter: the rule list is pinned (the same *Rule
+// pointers the live chain holds, so hit counters land in the same memory),
+// ipset references are resolved to set pointers once, and a per-protocol
+// presence bitmap lets packets whose protocol no rule can match skip the
+// walk entirely — the "ACL with no UDP rules drops the UDP arm" fold.
+//
+// A snapshot is valid only for the generation it was taken at: every ruleset
+// mutation (rule add/delete, policy change, set create/destroy) bumps Gen,
+// and the caller must fall back to the interpreted path when the live
+// generation has moved. Set *content* changes (ipset add/del) do not bump
+// Gen and do not need to: the snapshot holds the same *IPSet the interpreter
+// would resolve, and probes read its live contents under its own lock.
+package netfilter
+
+import "sync/atomic"
+
+// compiledRule is one rule with its ipset references pre-resolved.
+type compiledRule struct {
+	r      *Rule  // the live rule: counters accumulate in place
+	m      Match  // match criteria (copied; rules are never mutated)
+	srcSet *IPSet // resolved at compile time; nil when absent or unnamed
+	dstSet *IPSet
+}
+
+// Compiled is a lock-free snapshot of one hook's chain.
+type Compiled struct {
+	// Gen is the ruleset generation the snapshot was taken at. Callers
+	// compare it against Netfilter.Gen() before every evaluation.
+	Gen uint64
+	// Policy applies when no rule terminates the walk.
+	Policy Verdict
+	// CTRequired mirrors Netfilter.CTRequired at compile time: the caller
+	// must perform the conntrack lookup (and punt on a miss) exactly as the
+	// generic helper does.
+	CTRequired bool
+
+	rules []compiledRule
+	// protoSkip is true when a packet whose protocol appears in no rule can
+	// bypass the walk: every rule names a specific protocol and the policy
+	// accepts. protos is the presence bitmap over the 8-bit protocol space.
+	protoSkip bool
+	protos    [4]uint64
+}
+
+// Compile snapshots the chain registered at a hook. It refuses (ok=false)
+// when the chain uses user-chain jumps — jump/return semantics stay with the
+// interpreter — or when no chain is registered at the hook.
+func (nf *Netfilter) Compile(h Hook) (*Compiled, bool) {
+	nf.mu.RLock()
+	defer nf.mu.RUnlock()
+	name, ok := nf.hooks[h]
+	if !ok {
+		return nil, false
+	}
+	c := nf.chains[name]
+	if c == nil {
+		return nil, false
+	}
+	cp := &Compiled{
+		Gen:        nf.gen.Load(),
+		Policy:     c.Policy,
+		CTRequired: nf.ctRequiredLocked(),
+		protoSkip:  c.Policy != VerdictDrop,
+	}
+	cp.rules = make([]compiledRule, 0, len(c.Rules))
+	for _, r := range c.Rules {
+		if r.Jump != "" {
+			return nil, false
+		}
+		cr := compiledRule{r: r, m: r.Match}
+		if cr.m.SrcSet != "" {
+			cr.srcSet = nf.sets[cr.m.SrcSet]
+		}
+		if cr.m.DstSet != "" {
+			cr.dstSet = nf.sets[cr.m.DstSet]
+		}
+		cp.rules = append(cp.rules, cr)
+		if cr.m.Proto == 0 {
+			// A protocol-wildcard rule can match anything: no skipping.
+			cp.protoSkip = false
+		} else {
+			cp.protos[cr.m.Proto>>6] |= 1 << (cr.m.Proto & 63)
+		}
+	}
+	return cp, true
+}
+
+// Rules reports the snapshot's rule count.
+func (cp *Compiled) Rules() int { return len(cp.rules) }
+
+// CanSkipProto reports whether a packet of the given protocol can skip the
+// rule walk entirely with the accept outcome: no rule can match it and the
+// policy accepts. Counter-identical to a full walk — a rule that cannot
+// match never bumps its packet counter.
+func (cp *Compiled) CanSkipProto(proto uint8) bool {
+	return cp.protoSkip && cp.protos[proto>>6]&(1<<(proto&63)) == 0
+}
+
+// Evaluate walks the snapshot against the packet, returning the verdict and
+// work counts. Semantics are identical to the interpreted evaluator for
+// jump-free chains: rules check in order, hit counters bump atomically on
+// match (the same counters the live chain owns), RETURN falls through to the
+// policy, and any other explicit target terminates.
+func (cp *Compiled) Evaluate(m *Meta) (Verdict, EvalStats) {
+	var st EvalStats
+	for i := range cp.rules {
+		cr := &cp.rules[i]
+		st.RulesEvaluated++
+		if !matchMeta(&cr.m, m) {
+			continue
+		}
+		if cr.m.SrcSet != "" {
+			st.SetProbes++
+			if cr.srcSet == nil || !cr.srcSet.Contains(m.Src) {
+				continue
+			}
+		}
+		if cr.m.DstSet != "" {
+			st.SetProbes++
+			if cr.dstSet == nil || !cr.dstSet.Contains(m.Dst) {
+				continue
+			}
+		}
+		atomic.AddUint64(&cr.r.Packets, 1)
+		if cr.r.Target == VerdictReturn {
+			return cp.Policy, st
+		}
+		if cr.r.Target != VerdictNone {
+			return cr.r.Target, st
+		}
+	}
+	return cp.Policy, st
+}

@@ -315,6 +315,10 @@ func (nf *Netfilter) RuleCount(chain string) int {
 func (nf *Netfilter) CTRequired() bool {
 	nf.mu.RLock()
 	defer nf.mu.RUnlock()
+	return nf.ctRequiredLocked()
+}
+
+func (nf *Netfilter) ctRequiredLocked() bool {
 	for _, c := range nf.chains {
 		for _, r := range c.Rules {
 			if r.Match.CTState != 0 {
@@ -412,6 +416,30 @@ func (nf *Netfilter) evalChainLocked(c *Chain, m *Meta, st *EvalStats, depth int
 }
 
 func (nf *Netfilter) matchLocked(mt *Match, m *Meta, st *EvalStats) bool {
+	if !matchMeta(mt, m) {
+		return false
+	}
+	if mt.SrcSet != "" {
+		st.SetProbes++
+		s, ok := nf.sets[mt.SrcSet]
+		if !ok || !s.Contains(m.Src) {
+			return false
+		}
+	}
+	if mt.DstSet != "" {
+		st.SetProbes++
+		s, ok := nf.sets[mt.DstSet]
+		if !ok || !s.Contains(m.Dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchMeta checks every non-set criterion of mt against m. Shared between
+// the interpreted evaluator and the compiled snapshot path so the two can
+// never diverge on match semantics.
+func matchMeta(mt *Match, m *Meta) bool {
 	if mt.Proto != 0 && mt.Proto != m.Proto {
 		return false
 	}
@@ -439,20 +467,6 @@ func (nf *Netfilter) matchLocked(mt *Match, m *Meta, st *EvalStats) bool {
 	}
 	if mt.CTState != 0 && mt.CTState != m.CTState {
 		return false
-	}
-	if mt.SrcSet != "" {
-		st.SetProbes++
-		s, ok := nf.sets[mt.SrcSet]
-		if !ok || !s.Contains(m.Src) {
-			return false
-		}
-	}
-	if mt.DstSet != "" {
-		st.SetProbes++
-		s, ok := nf.sets[mt.DstSet]
-		if !ok || !s.Contains(m.Dst) {
-			return false
-		}
 	}
 	return true
 }

@@ -102,6 +102,22 @@ const (
 	CostTrivialNF      Cycles = 4   // Fig. 10 no-op body (inlined by clang)
 	CostMonitorFPM     Cycles = 95  // extension: per-packet counters
 	CostLBConnHash     Cycles = 260 // extension: ipvs-style conn hash + DNAT
+	CostParseL4        Cycles = 30  // transport port read (half an eth parse)
+	CostBridgeGuard    Cycles = 30  // dst-MAC class check at bridge entry
+)
+
+// Specialization costs. The Load-time specializer (K2-style) constant-folds
+// the live configuration into the fused program: folded ops either disappear
+// or shrink to a guarded fast form. The guard is one generation load+compare
+// (the specialized body's staleness check); the merged IPv4+L4 parse saves
+// one Frame() fetch and the shared bounds/dispatch overhead; the compiled
+// iptables evaluation drops the helper's meta-marshalling fixed part and the
+// per-rule interpretive dispatch (precomputed match order over a snapshot).
+const (
+	CostSpecGuard      Cycles = 2  // generation load + compare in a folded op
+	CostParseMergeSave Cycles = 20 // saved by merging ParseIPv4+ParseL4
+	CostIptSpecBase    Cycles = 90 // compiled bpf_ipt_lookup fixed part
+	CostIptRuleSpec    Cycles = 2  // per rule over the compiled snapshot
 )
 
 // Batched fast-path costs. A NAPI poll runs the XDP program over up to 64

@@ -256,6 +256,10 @@ func Table7HookComparison() ([]Table7Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Table VII reproduces the paper's system, which fuses but does
+			// not constant-fold config at Load time: measure the generic
+			// fused path. The specialize sweep covers the A/B delta.
+			d.Kern.SetSysctl("net.core.bpf_jit_specialize", "0")
 			pps := sim.PacketsPerSecond(d.AvgCycles(200, traffic.MinFrameSize))
 			lat := d.Latency(128, 77).Stats.Mean()
 			if tc {
@@ -296,6 +300,8 @@ func Table7HookComparison() ([]Table7Row, error) {
 // per-packet forwarding cost between two learned stations.
 func bridgeCycles(preferTC bool) (sim.Cycles, error) {
 	sw := kernel.New("sw")
+	// Paper-fidelity rig: generic fused path only (see Table7HookComparison).
+	sw.SetSysctl("net.core.bpf_jit_specialize", "0")
 	sw.CreateBridge("br0")
 	sw.SetLinkUp("br0", true)
 	var ports, hosts []*netdev.Device

@@ -1,0 +1,304 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"linuxfp/internal/core"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fib"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/traffic"
+)
+
+// SpecializePoint is one configuration measured both ways: the generic fused
+// data path (net.core.bpf_jit_specialize=0) against the Load-time
+// specialized one. Insns are the data-path program's body sizes in both
+// forms.
+type SpecializePoint struct {
+	Config      string  `json:"config"`
+	GenericCy   float64 `json:"generic_modelcycles_per_pkt"`
+	SpecCy      float64 `json:"specialized_modelcycles_per_pkt"`
+	WinPct      float64 `json:"win_pct"`
+	GenericInsn int     `json:"generic_insns"`
+	SpecInsn    int     `json:"specialized_insns"`
+}
+
+// SpecializeChurn summarizes the re-specialization storm: a live gateway
+// whose config (iptables rules + routes) changes continuously while the
+// controller re-synthesizes, re-loads (verify + specialize + fuse), and
+// swaps on every change.
+type SpecializeChurn struct {
+	Events      int     `json:"events"`
+	LoadP50us   float64 `json:"load_p50_us"`
+	LoadP99us   float64 `json:"load_p99_us"`
+	LoadMaxus   float64 `json:"load_max_us"`
+	SwapP50us   float64 `json:"swap_p50_us"`
+	SwapP99us   float64 `json:"swap_p99_us"`
+	SwapMaxus   float64 `json:"swap_max_us"`
+	WallP99us   float64 `json:"reconcile_wall_p99_us"`
+	LoadedCount int     `json:"loaded_count"`
+	Injected    uint64  `json:"injected_during_churn"`
+	Redirected  uint64  `json:"redirected_during_churn"`
+	Dropped     uint64  `json:"dropped_during_churn"`
+}
+
+// SpecializeReport is the machine-readable result of SpecializeSweep — what
+// `lfpbench -exp specialize` serializes into BENCH_specialize.json.
+type SpecializeReport struct {
+	ClockHz float64           `json:"clock_hz"`
+	Points  []SpecializePoint `json:"points"`
+	Churn   SpecializeChurn   `json:"churn"`
+}
+
+func setSpec(k *kernel.Kernel, on bool) {
+	v := "0"
+	if on {
+		v = "1"
+	}
+	k.SetSysctl("net.core.bpf_jit_specialize", v)
+}
+
+// dataPathInsns picks the largest loaded program (the synthesized data path,
+// not the 4-insn dispatcher) and reports its body size in both forms.
+func dataPathInsns(l *ebpf.Loader) (gen, spec int) {
+	for _, p := range l.Programs() {
+		if p.JITInsns() > gen {
+			gen, spec = p.JITInsns(), p.SpecInsns()
+		}
+	}
+	return gen, spec
+}
+
+// SpecializeSweep measures the specializer's A/B across the standard
+// configurations (n frames per measurement) and then runs the config-churn
+// storm (churnEvents netlink-visible mutations with live re-deploys).
+func SpecializeSweep(n, churnEvents int) (*SpecializeReport, error) {
+	r := &SpecializeReport{ClockHz: sim.ClockHz}
+
+	// Scenario-based DUTs: plain router, gateway with the paper's 100-rule
+	// blacklist, and an ACL whose rules all name TCP while the measured
+	// traffic is UDP — the "ACL with no UDP rules drops the UDP arm" case.
+	for _, cfg := range []struct {
+		name  string
+		sc    Scenario
+		rules func(k *kernel.Kernel) error
+	}{
+		{"router", Scenario{}, nil},
+		{"gateway-100", Scenario{Gateway: true, Rules: 100}, nil},
+		{"acl-tcp100-udp-traffic", Scenario{}, func(k *kernel.Kernel) error {
+			for i := 0; i < 100; i++ {
+				p := blacklistPrefix(i)
+				if err := k.IptAppend("FORWARD", netfilter.Rule{
+					Match:  netfilter.Match{Src: &p, Proto: packet.ProtoTCP},
+					Target: netfilter.VerdictDrop,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	} {
+		d, err := Build(PlatformLinuxFP, cfg.sc)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.rules != nil {
+			if err := cfg.rules(d.Kern); err != nil {
+				d.Close()
+				return nil, err
+			}
+			d.Controller.Sync() // re-synthesize with the filter stage
+		}
+		setSpec(d.Kern, false)
+		gen := float64(d.AvgCycles(n, traffic.MinFrameSize))
+		setSpec(d.Kern, true)
+		spec := float64(d.AvgCycles(n, traffic.MinFrameSize))
+		pt := SpecializePoint{Config: cfg.name, GenericCy: gen, SpecCy: spec}
+		if gen > 0 {
+			pt.WinPct = 100 * (1 - spec/gen)
+		}
+		pt.GenericInsn, pt.SpecInsn = dataPathInsns(d.Controller.Deployer().Loader())
+		r.Points = append(r.Points, pt)
+		d.Close()
+	}
+
+	// Bridge rig (two learned stations through an accelerated bridge).
+	bp, err := bridgeSpecPoint()
+	if err != nil {
+		return nil, err
+	}
+	r.Points = append(r.Points, bp)
+
+	churn, err := specializeChurn(churnEvents)
+	if err != nil {
+		return nil, err
+	}
+	r.Churn = *churn
+	return r, nil
+}
+
+// bridgeSpecPoint measures L2 forwarding generic vs specialized on one rig.
+func bridgeSpecPoint() (SpecializePoint, error) {
+	sw := kernel.New("sw")
+	sw.CreateBridge("br0")
+	sw.SetLinkUp("br0", true)
+	var ports, hosts []*netdev.Device
+	for i := 0; i < 2; i++ {
+		hk := kernel.New("host")
+		hd := hk.CreateDevice("eth0", netdev.Physical)
+		hd.SetUp(true)
+		hk.AddAddr("eth0", packet.Prefix{Addr: packet.AddrFrom4(10, 9, 0, byte(i+1)), Bits: 24})
+		port := sw.CreateDevice(fmt.Sprintf("swp%d", i), netdev.Physical)
+		port.SetUp(true)
+		netdev.Connect(hd, port)
+		if err := sw.AddBridgePort("br0", port.Name); err != nil {
+			return SpecializePoint{}, err
+		}
+		ports = append(ports, port)
+		hosts = append(hosts, hd)
+	}
+	ctrl := core.New(sw, core.Options{})
+	ctrl.Start()
+	defer ctrl.Stop()
+	ctrl.Sync()
+	br, _ := sw.BridgeByName("br0")
+	br.Learn(hosts[0].MAC, 0, ports[0].Index, 0)
+	br.Learn(hosts[1].MAC, 0, ports[1].Index, 0)
+
+	frame := packet.BuildEthernet(packet.Ethernet{
+		Dst: hosts[1].MAC, Src: hosts[0].MAC, EtherType: packet.EtherTypeIPv4,
+	}, make([]byte, 46))
+	netdev.Disconnect(ports[1])
+	measure := func() float64 {
+		var total sim.Cycles
+		const n = 200
+		for i := 0; i < n; i++ {
+			var m sim.Meter
+			ports[0].Receive(append([]byte(nil), frame...), &m)
+			total += m.Total
+		}
+		return float64(total) / n
+	}
+	setSpec(sw, false)
+	gen := measure()
+	setSpec(sw, true)
+	spec := measure()
+	pt := SpecializePoint{Config: "bridge", GenericCy: gen, SpecCy: spec}
+	if gen > 0 {
+		pt.WinPct = 100 * (1 - spec/gen)
+	}
+	pt.GenericInsn, pt.SpecInsn = dataPathInsns(ctrl.Deployer().Loader())
+	return pt, nil
+}
+
+// specializeChurn mutates a live gateway's config `events` times — rule
+// append/delete alternating with route add/delete, each followed by a forced
+// reconcile (synthesize -> verify -> specialize -> fuse -> swap) — while
+// traffic keeps flowing. It reports swap-pipeline latency percentiles, the
+// loaded-program count (which must not grow with churn), and the traffic
+// outcome during the storm (the blacklist never matches, so every dropped
+// packet would be a swap tear).
+func specializeChurn(events int) (*SpecializeChurn, error) {
+	d, err := Build(PlatformLinuxFP, Scenario{Gateway: true, Rules: 100})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+
+	churnPrefix := packet.MustPrefix("203.200.0.0/24")
+	churnRoute := packet.MustPrefix("10.200.0.0/16")
+	start := d.Controller.FastPathStats()
+	g := *d.gen
+	var injected uint64
+
+	var loads, swaps, walls []time.Duration
+	for i := 0; i < events; i++ {
+		switch i % 4 {
+		case 0:
+			if err := d.Kern.IptAppend("FORWARD", netfilter.Rule{
+				Match: netfilter.Match{Src: &churnPrefix}, Target: netfilter.VerdictDrop,
+			}); err != nil {
+				return nil, err
+			}
+		case 1:
+			if err := d.Kern.IptDelete("FORWARD", 101); err != nil {
+				return nil, err
+			}
+		case 2:
+			d.Kern.AddRoute(fib.Route{Prefix: churnRoute, Gateway: packet.MustAddr("10.2.0.1"), OutIf: d.Out.Index})
+		case 3:
+			d.Kern.DelRoute(churnRoute)
+		}
+		d.Controller.Sync()
+		if r, ok := d.Controller.LastReaction(); ok && r.Deployed {
+			loads = append(loads, r.LoadWall)
+			swaps = append(swaps, r.SwapWall)
+			walls = append(walls, r.Wall)
+		}
+		// Traffic between every mutation: all of it must redirect through
+		// the fast path; a drop here would mean a packet saw a torn or
+		// empty data path (the blacklist never matches generated traffic).
+		var m sim.Meter
+		for j := 0; j < 8; j++ {
+			d.In.Receive(g.Frame(i*8+j), &m)
+			injected++
+		}
+	}
+	end := d.Controller.FastPathStats()
+
+	c := &SpecializeChurn{
+		Events:      events,
+		LoadedCount: d.Controller.Deployer().Loader().LoadedCount(),
+		Injected:    injected,
+		Redirected:  end.Redirects - start.Redirects,
+		Dropped:     end.Drops - start.Drops,
+	}
+	c.LoadP50us, c.LoadP99us, c.LoadMaxus = durQuantiles(loads)
+	c.SwapP50us, c.SwapP99us, c.SwapMaxus = durQuantiles(swaps)
+	_, c.WallP99us, _ = durQuantiles(walls)
+	return c, nil
+}
+
+// durQuantiles returns p50/p99/max in microseconds.
+func durQuantiles(ds []time.Duration) (p50, p99, max float64) {
+	if len(ds) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(time.Microsecond)
+	}
+	return at(0.5), at(0.99), at(1.0)
+}
+
+// RenderSpecialize prints the sweep in the house table style.
+func RenderSpecialize(r *SpecializeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "JIT specialization: generic fused vs Load-time specialized (64B, single core)\n")
+	fmt.Fprintf(&b, "%-24s %12s %12s %8s %10s %10s\n",
+		"config", "generic cy", "spec cy", "win", "gen insns", "spec insns")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-24s %12.1f %12.1f %7.1f%% %10d %10d\n",
+			p.Config, p.GenericCy, p.SpecCy, p.WinPct, p.GenericInsn, p.SpecInsn)
+	}
+	c := r.Churn
+	fmt.Fprintf(&b, "\nRe-specialization under config churn (%d netlink events)\n", c.Events)
+	fmt.Fprintf(&b, "load  (verify+specialize+fuse): p50=%.1fus p99=%.1fus max=%.1fus\n",
+		c.LoadP50us, c.LoadP99us, c.LoadMaxus)
+	fmt.Fprintf(&b, "swap  (dispatcher update):      p50=%.1fus p99=%.1fus max=%.1fus\n",
+		c.SwapP50us, c.SwapP99us, c.SwapMaxus)
+	fmt.Fprintf(&b, "reconcile wall p99=%.1fus  loaded programs=%d  injected=%d redirected=%d dropped=%d\n",
+		c.WallP99us, c.LoadedCount, c.Injected, c.Redirected, c.Dropped)
+	return b.String()
+}

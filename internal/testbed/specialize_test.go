@@ -1,0 +1,57 @@
+package testbed
+
+import "testing"
+
+// TestSpecializeSweep pins the PR's acceptance bar: the Load-time
+// specialized data path beats the generic fused one by >=15% modelcycles/pkt
+// on the ACL-heavy configs, and re-specialization under a config-churn storm
+// swaps without dropping a single in-flight packet or leaking programs.
+func TestSpecializeSweep(t *testing.T) {
+	r, err := SpecializeSweep(200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpecializePoint{}
+	for _, p := range r.Points {
+		byName[p.Config] = p
+	}
+
+	for _, cfg := range []string{"gateway-100", "acl-tcp100-udp-traffic"} {
+		p, ok := byName[cfg]
+		if !ok {
+			t.Fatalf("sweep missing config %q", cfg)
+		}
+		if p.WinPct < 15 {
+			t.Errorf("%s: specialization win %.1f%% < 15%% (generic=%.1f spec=%.1f)",
+				cfg, p.WinPct, p.GenericCy, p.SpecCy)
+		}
+		if p.SpecInsn >= p.GenericInsn {
+			t.Errorf("%s: specialized insns %d not below generic %d", cfg, p.SpecInsn, p.GenericInsn)
+		}
+	}
+	// Specialization must never cost cycles, on any config.
+	for _, p := range r.Points {
+		if p.SpecCy > p.GenericCy {
+			t.Errorf("%s: specialized %.1f cy/pkt worse than generic %.1f", p.Config, p.SpecCy, p.GenericCy)
+		}
+	}
+
+	c := r.Churn
+	if c.Dropped != 0 {
+		t.Errorf("churn storm dropped %d packets during swaps", c.Dropped)
+	}
+	if c.Redirected != c.Injected {
+		t.Errorf("churn storm: %d injected but %d redirected (fast path fell through)",
+			c.Injected, c.Redirected)
+	}
+	// 2 interfaces -> 2 dispatchers + 2 data paths, regardless of churn.
+	if c.LoadedCount != 4 {
+		t.Errorf("loaded program count %d after churn, want 4 (stale programs leaked)", c.LoadedCount)
+	}
+	if c.LoadP99us <= 0 || c.LoadP99us > 50_000 {
+		t.Errorf("re-specialization load p99 %.1fus out of bounds", c.LoadP99us)
+	}
+	if c.SwapP99us <= 0 || c.SwapP99us > 50_000 {
+		t.Errorf("swap p99 %.1fus out of bounds", c.SwapP99us)
+	}
+}
