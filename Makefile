@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json obs-smoke
+.PHONY: check vet build test race bench-smoke bench-json bench-diff obs-smoke
 
 ## check: everything CI runs — vet, build, tests, race detector, bench smoke,
 ## and the observability pipeline smoke (lfptop + Prometheus export)
@@ -26,10 +26,12 @@ race:
 ## (GRO coalescing, the batched TC runner, the cpumap producer/kthread
 ## benches, and the AF_XDP redirect-flush / forward-loop benches live in
 ## internal/ebpf and internal/kernel) so batch-path, cpumap, and XSK ring
-## regressions fail fast; no full -bench=. run needed
+## regressions fail fast; the steer micro-benches (table pick hot path and
+## controller observe loop) ride along in internal/steer; no full -bench=.
+## run needed
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
-	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/ ./internal/steer/
 
 ## obs-smoke: one lfptop frame (drop reasons + ring buffer + stage latency,
 ## with the Prometheus snapshot appended) and a linuxfpd run with -metrics,
@@ -39,15 +41,18 @@ obs-smoke:
 	$(GO) run ./cmd/linuxfpd -metrics < /dev/null > /dev/null
 
 ## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json,
-## BENCH_cpumap.json, BENCH_obs.json, BENCH_afxdp.json, and
-## BENCH_specialize.json — the machine-readable batching x JIT sweep plus
+## BENCH_cpumap.json, BENCH_obs.json, BENCH_afxdp.json,
+## BENCH_specialize.json, and BENCH_steer.json — the machine-readable
+## batching x JIT sweep plus
 ## the pps-vs-cores curve for the fast path, the GRO-on/off workload x batch
 ## sweep for the slow path, the cpumap CPU fan-out sweep, the observability
 ## off/on overhead sweep across ring wakeup batches, the AF_XDP three-plane
 ## race (slow path vs in-kernel XDP vs userspace socket, wakeup and
 ## busy-poll), and the JIT specialization A/B (generic fused vs Load-time
 ## config-folded across router/bridge/gateway/ACL, with re-specialization
-## latency under a config-churn storm)
+## latency under a config-churn storm), and the closed-loop steering sweep
+## (static splitmix64 hash vs adaptive steer.Table placement over a zipf
+## workload at 1/2/4/8 cpumap CPUs)
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
@@ -55,3 +60,24 @@ bench-json:
 	$(GO) run ./cmd/lfpbench -exp obs -obs-json BENCH_obs.json
 	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json BENCH_afxdp.json
 	$(GO) run ./cmd/lfpbench -exp specialize -specialize-json BENCH_specialize.json
+	$(GO) run ./cmd/lfpbench -exp steer -steer-json BENCH_steer.json
+
+## bench-diff: regenerate every BENCH_*.json into a scratch dir and compare
+## each against the committed baseline with cmd/benchdiff; any headline
+## metric (pps/gain up, cycles/latency/drops down) moving >15% in the wrong
+## direction fails the target. Run before committing perf-sensitive changes.
+BENCH_TMP := /tmp/linuxfp-bench-diff
+bench-diff:
+	rm -rf $(BENCH_TMP) && mkdir -p $(BENCH_TMP)
+	$(GO) build -o $(BENCH_TMP)/benchdiff ./cmd/benchdiff
+	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json $(BENCH_TMP)/BENCH_fastpath.json
+	$(GO) run ./cmd/lfpbench -exp gro -gro-json $(BENCH_TMP)/BENCH_gro.json
+	$(GO) run ./cmd/lfpbench -exp cpumap -cpumap-json $(BENCH_TMP)/BENCH_cpumap.json
+	$(GO) run ./cmd/lfpbench -exp obs -obs-json $(BENCH_TMP)/BENCH_obs.json
+	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json $(BENCH_TMP)/BENCH_afxdp.json
+	$(GO) run ./cmd/lfpbench -exp specialize -specialize-json $(BENCH_TMP)/BENCH_specialize.json
+	$(GO) run ./cmd/lfpbench -exp steer -steer-json $(BENCH_TMP)/BENCH_steer.json
+	@for b in fastpath gro cpumap obs afxdp specialize steer; do \
+		$(BENCH_TMP)/benchdiff -old BENCH_$$b.json -new $(BENCH_TMP)/BENCH_$$b.json || exit 1; \
+	done
+	@rm -rf $(BENCH_TMP)

@@ -1,0 +1,142 @@
+// Command benchdiff compares a freshly generated benchmark JSON against the
+// committed baseline and fails when a headline metric regressed more than a
+// threshold. It understands nothing about individual sweeps: it walks both
+// JSON trees in parallel, pairs up numeric leaves by path, classifies each
+// by its key name (throughput-like: higher is better; cost/latency/drop
+// like: lower is better), and reports every pairing whose relative change
+// crosses the threshold in the bad direction.
+//
+//	benchdiff -old BENCH_cpumap.json -new /tmp/BENCH_cpumap.json
+//	benchdiff -threshold 0.10 -old a.json -new b.json
+//
+// Exit status: 0 when no metric regressed past the threshold, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// higherBetter classifies a leaf key: throughput, speedups, and gain ratios
+// should not fall; cycle counts, latencies, and drops should not rise.
+// Unclassified keys are informational only.
+func higherBetter(key string) (better int) {
+	k := strings.ToLower(key)
+	switch {
+	case strings.Contains(k, "pps"), strings.Contains(k, "gbps"),
+		strings.Contains(k, "speedup"), strings.Contains(k, "gain"),
+		strings.Contains(k, "tput"), strings.Contains(k, "throughput"):
+		return +1
+	case strings.Contains(k, "cycle"), strings.Contains(k, "lat"),
+		strings.Contains(k, "ns"), strings.Contains(k, "usec"),
+		strings.Contains(k, "drop"), strings.Contains(k, "overhead"):
+		return -1
+	default:
+		return 0
+	}
+}
+
+// walk flattens a decoded JSON tree into path → number for every numeric
+// leaf. Array indices become path segments, so points pair positionally —
+// the sweeps emit points in a deterministic order.
+func walk(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(prefix+"/"+k, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			walk(fmt.Sprintf("%s/%d", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(data, &tree); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	walk("", tree, out)
+	return out, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline JSON (committed BENCH_*.json)")
+	newPath := flag.String("new", "", "freshly generated JSON")
+	threshold := flag.Float64("threshold", 0.15, "relative regression that fails the diff")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldLeaves, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newLeaves, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	paths := make([]string, 0, len(oldLeaves))
+	for p := range oldLeaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	failed := 0
+	for _, p := range paths {
+		nv, ok := newLeaves[p]
+		if !ok {
+			continue // sweep shape changed; absence is not a regression
+		}
+		segs := strings.Split(p, "/")
+		dir := higherBetter(segs[len(segs)-1])
+		if dir == 0 {
+			continue
+		}
+		ov := oldLeaves[p]
+		if ov == 0 {
+			// A metric appearing from zero (e.g. first drops) cannot be
+			// expressed as a ratio; flag lower-better increases outright.
+			if dir < 0 && nv > 0 {
+				fmt.Printf("REGRESSION %s: %g -> %g (was zero)\n", p, ov, nv)
+				failed++
+			}
+			continue
+		}
+		rel := (nv - ov) / ov
+		if dir > 0 && rel < -*threshold {
+			fmt.Printf("REGRESSION %s: %.4g -> %.4g (%+.1f%%, higher is better)\n", p, ov, nv, rel*100)
+			failed++
+		} else if dir < 0 && rel > *threshold {
+			fmt.Printf("REGRESSION %s: %.4g -> %.4g (%+.1f%%, lower is better)\n", p, ov, nv, rel*100)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d metric(s) regressed beyond %.0f%% (%s vs %s)\n",
+			failed, *threshold*100, *oldPath, *newPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (%s vs %s)\n", *oldPath, *newPath)
+}

@@ -12,7 +12,7 @@ import (
 func TestRunKnownExperiments(t *testing.T) {
 	// Only the cheap experiments here; the full set runs in bench_test.go.
 	for _, exp := range []string{"table6", "fig10", "ablation"} {
-		if err := run(exp, 2, 2, "", "", "", "", "", ""); err != nil {
+		if err := run(exp, 2, 2, "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -20,7 +20,7 @@ func TestRunKnownExperiments(t *testing.T) {
 
 func TestRunFastpathWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fastpath.json")
-	if err := run("fastpath", 2, 2, path, "", "", "", "", ""); err != nil {
+	if err := run("fastpath", 2, 2, path, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("fastpath: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -34,7 +34,7 @@ func TestRunFastpathWritesJSON(t *testing.T) {
 
 func TestRunGROWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gro.json")
-	if err := run("gro", 2, 2, "", path, "", "", "", ""); err != nil {
+	if err := run("gro", 2, 2, "", path, "", "", "", "", ""); err != nil {
 		t.Fatalf("gro: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -48,7 +48,7 @@ func TestRunGROWritesJSON(t *testing.T) {
 
 func TestRunCpumapWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cpumap.json")
-	if err := run("cpumap", 2, 2, "", "", path, "", "", ""); err != nil {
+	if err := run("cpumap", 2, 2, "", "", path, "", "", "", ""); err != nil {
 		t.Fatalf("cpumap: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -75,7 +75,7 @@ func TestRunCpumapWritesJSON(t *testing.T) {
 
 func TestRunAFXDPWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "afxdp.json")
-	if err := run("afxdp", 2, 2, "", "", "", "", path, ""); err != nil {
+	if err := run("afxdp", 2, 2, "", "", "", "", path, "", ""); err != nil {
 		t.Fatalf("afxdp: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -103,9 +103,35 @@ func TestRunAFXDPWritesJSON(t *testing.T) {
 	}
 }
 
+func TestRunSteerWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "steer.json")
+	if err := run("steer", 2, 2, "", "", "", "", "", "", path); err != nil {
+		t.Fatalf("steer: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	var report testbed.SteerReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("json does not round-trip: %v", err)
+	}
+	if report.ClockHz == 0 || len(report.Points) == 0 || len(report.Points)%2 != 0 {
+		t.Fatalf("schema fields missing: %+v", report)
+	}
+	for _, p := range report.Points {
+		if p.Forwarded+p.Dropped == 0 || p.AggregatePPS <= 0 {
+			t.Fatalf("point %+v has no traffic", p)
+		}
+		if p.Adaptive && p.TargetCPUs > 1 && p.GainVsStatic < 1 {
+			t.Fatalf("adaptive lost to static at %d cpus: %+v", p.TargetCPUs, p)
+		}
+	}
+}
+
 func TestRunSpecializeWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "specialize.json")
-	if err := run("specialize", 2, 2, "", "", "", "", "", path); err != nil {
+	if err := run("specialize", 2, 2, "", "", "", "", "", path, ""); err != nil {
 		t.Fatalf("specialize: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -130,14 +156,14 @@ func TestRunSpecializeWritesJSON(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, "", "", "", "", "", ""); err == nil {
+	if err := run("fig99", 1, 1, "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunObsWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "obs.json")
-	if err := run("obs", 2, 2, "", "", "", path, "", ""); err != nil {
+	if err := run("obs", 2, 2, "", "", "", path, "", "", ""); err != nil {
 		t.Fatalf("obs: %v", err)
 	}
 	data, err := os.ReadFile(path)

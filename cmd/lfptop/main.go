@@ -204,8 +204,10 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf
 	byReason := d.Kern.DropReasons()
 	fmt.Fprintf(w, "lfptop — %s  forwarded=%d delivered=%d dropped=%d\n",
 		d.Kern.Name, st.Forwarded, st.Delivered, st.Dropped)
-	fmt.Fprintf(w, "ring %s: produced=%d consumed=%d dropped=%d (wakeup batching on)\n\n",
+	fmt.Fprintf(w, "ring %s: produced=%d consumed=%d dropped=%d (wakeup batching on)\n",
 		rb.Name(), rb.Produced(), rb.Consumed(), rb.Dropped())
+	fmt.Fprintf(w, "steering: rps_steered=%d rps_ipis=%d backlog_drops=%d rfs_hits=%d rfs_migrations=%d\n\n",
+		st.RPSSteered, st.RPSIPIs, st.RPSBacklogDrops, st.RFSHits, st.RFSMigrations)
 
 	fmt.Fprintf(w, "%-18s %10s %10s %12s\n", "drop reason", "total", "events", "rate/tick")
 	perTick := float64(interval) / float64(time.Second)

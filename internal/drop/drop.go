@@ -55,6 +55,9 @@ const (
 	ReasonUnknownL4Proto  // IP protocol with no local handler
 	ReasonNoSocket        // local delivery with no bound socket
 
+	// Software steering (RPS).
+	ReasonRPSBacklogFull // per-CPU RPS backlog ring full (target CPU behind)
+
 	// Observability plane: an *event* (not a packet) lost to a full BPF
 	// ring buffer. Counted in its own counters so the packet conservation
 	// audit stays exact, but carries a reason like every other drop.
@@ -90,6 +93,7 @@ var reasonNames = [NumReasons]string{
 	ReasonUnknownL3Proto:  "unknown_l3_proto",
 	ReasonUnknownL4Proto:  "unknown_l4_proto",
 	ReasonNoSocket:        "no_socket",
+	ReasonRPSBacklogFull:  "rps_backlog_full",
 	ReasonRingbufFull:     "ringbuf_full",
 }
 

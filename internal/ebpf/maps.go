@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linuxfp/internal/drop"
 	"linuxfp/internal/kernel"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/sim"
@@ -410,6 +411,75 @@ func (cm *CPUMap) Update(cpu, qsize int) bool {
 	return true
 }
 
+// UpdateWithProg installs an entry whose kthread re-runs an XDP program on
+// every frame after dequeue — BPF_MAP_TYPE_CPUMAP with a CPUMAP_VALUE_PROG
+// (bpf_cpu_map_entry.prog, kernel 5.9+). The program executes on the target
+// CPU's meter, after the redirect, so the RX core stays at its minimal
+// enqueue cost and the second verdict (filter, TX, device redirect) is
+// charged where the kernel charges it: in cpu_map_bpf_prog_run_xdp.
+func (cm *CPUMap) UpdateWithProg(cpu, qsize int, p *Program) bool {
+	if cpu < 0 || cpu >= MapCPUs || qsize < 1 || p == nil {
+		return false
+	}
+	k := cm.kern
+	e := k.NewCpumapEntry(cpu, qsize)
+	e.SetValueProg(func(dev *netdev.Device, frame []byte, m *sim.Meter) (bool, drop.Reason) {
+		buff := &netdev.XDPBuff{Data: frame, IfIndex: dev.Index, Meter: m}
+		ctx := ctxPool.Get().(*Ctx)
+		*ctx = Ctx{
+			Kernel: k, Meter: m, Hook: HookXDP,
+			IfIndex: dev.Index, XDP: buff,
+			jit: k.BPFJITEnabled(), spec: k.BPFSpecEnabled(),
+		}
+		v := p.exec(ctx)
+		redirectIf, redirectCPUMap := ctx.RedirectIfIndex, ctx.RedirectCPUMap
+		ctxPool.Put(ctx)
+		switch v {
+		case VerdictDrop:
+			return false, drop.ReasonXDPDrop
+		case VerdictAborted:
+			return false, drop.ReasonXDPAborted
+		case VerdictTX:
+			// Reflect out the arrival device; the frame is consumed here and
+			// the device's TX counters account for it.
+			dev.Transmit(frame, m)
+			return false, drop.ReasonNotSpecified
+		case VerdictRedirect:
+			// Chained cpumap redirects are not a thing in the kernel either:
+			// a value prog may only target devices.
+			if redirectCPUMap == nil {
+				if out, ok := k.DeviceByIndex(redirectIf); ok {
+					m.Charge(sim.CostDevXmit)
+					out.Transmit(frame, m)
+					return false, drop.ReasonNotSpecified
+				}
+			}
+			return false, drop.ReasonXDPRedirectFail
+		default:
+			return true, drop.ReasonNotSpecified
+		}
+	})
+	if old := cm.entries[cpu].Swap(e); old != nil {
+		old.Stop()
+	}
+	return true
+}
+
+// SetLatObserver attaches a latency observer to a CPU's entry: every frame's
+// enqueue→dequeue cycle delta is recorded into s. Reports whether the slot
+// was occupied.
+func (cm *CPUMap) SetLatObserver(cpu int, s *sim.Stats) bool {
+	if cpu < 0 || cpu >= MapCPUs {
+		return false
+	}
+	e := cm.entries[cpu].Load()
+	if e == nil {
+		return false
+	}
+	e.SetLatObserver(s)
+	return true
+}
+
 // Delete clears a CPU's slot, stopping and draining its kthread. Reports
 // whether a live entry was removed.
 func (cm *CPUMap) Delete(cpu int) bool {
@@ -488,8 +558,15 @@ func (cm *CPUMap) EnqueueCPU(rxq, cpu int, dev *netdev.Device, frame []byte, m *
 		st = &q.stages[len(q.stages)-1]
 	}
 	if st.n == netdev.CPUMapBulkSize || (st.n > 0 && st.dev != dev) {
-		dropped = e.EnqueueBatch(st.dev, st.frames[:st.n], m)
+		var wasEmpty bool
+		dropped, wasEmpty = e.EnqueueBatch(st.dev, st.frames[:st.n], m)
 		st.n = 0
+		if wasEmpty {
+			// First spill into an idle ring: wake the kthread now instead of
+			// waiting for end-of-poll, so it overlaps with the rest of the
+			// NAPI burst (cpu_map_kthread wake-on-first-enqueue).
+			e.RingDoorbell(m)
+		}
 	}
 	st.dev = dev
 	st.frames[st.n] = frame
@@ -507,7 +584,8 @@ func (cm *CPUMap) FlushCPU(rxq int, m *sim.Meter) (dropped int) {
 	for i := range q.stages {
 		st := &q.stages[i]
 		if st.n > 0 {
-			dropped += st.e.EnqueueBatch(st.dev, st.frames[:st.n], m)
+			d, _ := st.e.EnqueueBatch(st.dev, st.frames[:st.n], m)
+			dropped += d
 		}
 		// One doorbell per entry touched this poll, even if its frames all
 		// went in via threshold spills.

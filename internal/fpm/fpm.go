@@ -723,6 +723,18 @@ type CPUSpreadConf struct {
 	// Proto, when non-zero, restricts spreading to one IP protocol;
 	// everything else continues down the chain.
 	Proto uint8
+	// Picker, when set, overrides the static hash→CPU mapping: the op hands
+	// it the flow hash and redirects to whatever CPU it returns. This is the
+	// seam a steering controller plugs into — it can shed NEW flows away
+	// from overloaded CPUs while a sticky table keeps established flows in
+	// place. The implementation must be safe for concurrent PickCPU calls.
+	Picker CPUPicker
+}
+
+// CPUPicker chooses a target CPU for a flow hash. satisfied by
+// steer.Table without fpm importing it.
+type CPUPicker interface {
+	PickCPU(hash uint64) int
 }
 
 // CPUSpreadOp builds the spreading snippet. The flow key hashes (src IP,
@@ -742,6 +754,9 @@ func CPUSpreadOp(conf CPUSpreadConf) ebpf.Op {
 			idx = rr.Add(1) - 1
 		} else {
 			flow := uint64(c.IPSrc)<<32 | uint64(c.SrcPort)<<16 | uint64(c.IPProto)
+			if conf.Picker != nil {
+				return ebpf.HelperRedirectCPU(c, conf.Map, conf.Picker.PickCPU(mix64(flow)))
+			}
 			idx = mix64(flow)
 		}
 		return ebpf.HelperRedirectCPU(c, conf.Map, conf.CPUs[idx%uint64(len(conf.CPUs))])

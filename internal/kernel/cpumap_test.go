@@ -28,7 +28,7 @@ func TestCpumapEntryDrainsIntoStack(t *testing.T) {
 
 	frames := cpumapFrames(srcMAC, r0.MAC, 64)
 	m := sim.Meter{CPU: 0} // the producer (RX core)
-	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
+	if dropped, _ := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
 		t.Fatalf("EnqueueBatch dropped %d of 64 with qsize 256", dropped)
 	}
 	e.RingDoorbell(&m)
@@ -66,7 +66,7 @@ func TestCpumapEntryOverflow(t *testing.T) {
 
 	frames := cpumapFrames(srcMAC, r0.MAC, 10)
 	var m sim.Meter
-	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 6 {
+	if dropped, _ := e.EnqueueBatch(r0, frames, &m); dropped != 6 {
 		t.Fatalf("dropped = %d, want 6 (qsize 4, 10 frames)", dropped)
 	}
 	e.RingDoorbell(&m)
@@ -90,7 +90,7 @@ func TestCpumapEntryStopDrains(t *testing.T) {
 
 	frames := cpumapFrames(srcMAC, r0.MAC, 16)
 	var m sim.Meter
-	if dropped := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
+	if dropped, _ := e.EnqueueBatch(r0, frames, &m); dropped != 0 {
 		t.Fatalf("dropped %d on an empty ring", dropped)
 	}
 	e.Stop() // no doorbell: the teardown drain must deliver the 16
@@ -98,7 +98,7 @@ func TestCpumapEntryStopDrains(t *testing.T) {
 	if st := r.Stats(); st.Forwarded != 16 {
 		t.Fatalf("Forwarded = %d, want 16 after Stop drain", st.Forwarded)
 	}
-	if dropped := e.EnqueueBatch(r0, frames[:3], &m); dropped != 3 {
+	if dropped, _ := e.EnqueueBatch(r0, frames[:3], &m); dropped != 3 {
 		t.Fatalf("post-Stop enqueue dropped %d, want 3", dropped)
 	}
 	if st := r.Stats(); st.CpumapDrops != 3 {

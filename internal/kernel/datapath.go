@@ -119,6 +119,14 @@ func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethe
 			return
 		}
 	}
+	// RPS/RFS: when software steering is on, get_rps_cpu may park the frame
+	// in another CPU's backlog; that CPU re-enters here, picks itself, and
+	// falls through. One nil load when steering is off.
+	if st := k.rps.Load(); st != nil {
+		if k.rpsDeliver(st, dev, frame, eth, l3off, m) {
+			return
+		}
+	}
 	// Per-CPU flow fast-cache: steady-state forwarded flows skip the whole
 	// ip_rcv/route/neighbour walk when the memoized decision revalidates.
 	if k.flowCacheOn.Load() && k.flowFastPath(dev, frame, m) {
@@ -437,6 +445,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 			body = b
 			sport, dport = t.SrcPort, t.DstPort
 		}
+		k.rfsRecord(ip, sport, dport, m)
 		k.countDelivered(m)
 		h(k, SocketMsg{
 			Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst,

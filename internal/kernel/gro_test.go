@@ -92,11 +92,11 @@ func byFlow(frames [][]byte) map[string][][]byte {
 
 // groFlow is per-flow generator state for the randomized workload.
 type groFlow struct {
-	dst    packet.Addr
-	sport  uint16
-	dport  uint16
-	seq    uint32
-	id     uint16
+	dst   packet.Addr
+	sport uint16
+	dport uint16
+	seq   uint32
+	id    uint16
 }
 
 // groWorkload materializes a deterministic mixed workload for one rig: four

@@ -108,7 +108,13 @@ type Stats struct {
 
 	CpumapEnqueued    uint64 // frames spilled into a cpumap entry's ring
 	CpumapDrops       uint64 // frames lost to ring overflow or a torn-down entry
-	CpumapKthreadRuns uint64 // kthread drain runs (one DeliverBatch window each)
+	CpumapKthreadRuns uint64 // kthread wakeups that found work (one drain loop each)
+
+	RPSSteered      uint64 // frames handed to another CPU's RPS backlog
+	RPSBacklogDrops uint64 // frames lost to a full RPS backlog ring
+	RPSIPIs         uint64 // backlog doorbells (modeled net_rps_send_ipi calls)
+	RFSHits         uint64 // steering decisions taken from the sock flow table
+	RFSMigrations   uint64 // flows moved to a new CPU after their qtail drained
 }
 
 // socketKey binds a protocol and port.
@@ -175,6 +181,12 @@ type Kernel struct {
 	// holds ride across polls until their deadline.
 	groFlushTO atomic.Int64
 
+	// rps is the software steering plane (RPS backlogs, RFS sock flow
+	// table); nil means steering is off and the receive path pays nothing.
+	// rfsEntries mirrors net.core.rps_sock_flow_entries.
+	rps        atomic.Pointer[rpsState]
+	rfsEntries atomic.Uint32
+
 	mu      sync.RWMutex
 	bridges map[int]*bridge.Bridge // keyed by bridge device ifindex
 	vxlans  map[int]*vxlanState
@@ -208,10 +220,11 @@ func New(name string) *Kernel {
 		bridges: make(map[int]*bridge.Bridge),
 		vxlans:  make(map[int]*vxlanState),
 		sysctl: map[string]string{
-			"net.ipv4.ip_forward":         "0",
-			"net.core.bpf_jit_enable":     "1",
-			"net.core.bpf_jit_specialize": "1",
-			"net.core.gro_flush_timeout":  "0",
+			"net.ipv4.ip_forward":            "0",
+			"net.core.bpf_jit_enable":        "1",
+			"net.core.bpf_jit_specialize":    "1",
+			"net.core.gro_flush_timeout":     "0",
+			"net.core.rps_sock_flow_entries": "0",
 		},
 		sockets: make(map[socketKey]SocketHandler),
 		defrag:  make(map[fragKey]*fragQueue),
@@ -266,6 +279,11 @@ func (k *Kernel) Stats() Stats {
 		s.CpumapEnqueued += c.cpumapEnqueued.Load()
 		s.CpumapDrops += c.cpumapDrops.Load()
 		s.CpumapKthreadRuns += c.cpumapKthreadRuns.Load()
+		s.RPSSteered += c.rpsSteered.Load()
+		s.RPSBacklogDrops += c.rpsBacklogDrops.Load()
+		s.RPSIPIs += c.rpsIPIs.Load()
+		s.RFSHits += c.rfsHits.Load()
+		s.RFSMigrations += c.rfsMigrations.Load()
 	}
 	return s
 }
@@ -668,6 +686,17 @@ func (k *Kernel) SetSysctl(key, value string) {
 			ns = 0
 		}
 		k.groFlushTO.Store(ns)
+	case "net.core.rps_sock_flow_entries":
+		// RFS table size; rounded up to a power of two like the kernel's
+		// rps_sock_flow_sysctl. 0 (the default) disables RFS: RPS then
+		// spreads purely by flow hash. If steering is already enabled the
+		// tables are rebuilt live (the kernel reallocates them the same way).
+		n, err := strconv.ParseUint(value, 10, 32)
+		if err != nil {
+			n = 0
+		}
+		k.rfsEntries.Store(uint32(n))
+		k.resizeRFSTables(uint32(n))
 	}
 	k.cfgGen.Add(1)
 	k.Bus.Publish(netlink.Message{Type: netlink.SysctlChange, Payload: netlink.SysctlMsg{Key: key, Value: value}})

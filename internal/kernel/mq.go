@@ -48,7 +48,15 @@ type shardCounters struct {
 	cpumapEnqueued    atomic.Uint64
 	cpumapDrops       atomic.Uint64
 	cpumapKthreadRuns atomic.Uint64
-	_                 [5]uint64 // 19 counters + pad: exactly 192 bytes (three cache lines)
+	// Software steering counters: RPS enqueues/drops/IPIs land on the RX
+	// core's shard (it does the steering work), RFS hits/migrations on the
+	// shard that took the decision.
+	rpsSteered      atomic.Uint64
+	rpsBacklogDrops atomic.Uint64
+	rpsIPIs         atomic.Uint64
+	rfsHits         atomic.Uint64
+	rfsMigrations   atomic.Uint64
+	// 24 counters: exactly 192 bytes (three cache lines), no pad needed.
 }
 
 // shardIdx maps a meter to its shard. A nil meter (functional tests, config
@@ -280,10 +288,22 @@ func (p *RxWorkerPool) MaxQueueCycles() sim.Cycles {
 // cpumapFrame is one redirected frame in flight to another CPU: the frame
 // bytes plus the ingress device it arrived on, which the target kthread needs
 // to rebuild the skb's dev binding (and to pick the right GRO/TC context).
+// at stamps the producer's meter at enqueue time so the kthread can observe
+// per-frame queueing latency (dequeue-time minus enqueue-time in virtual
+// cycles) when a latency observer is attached.
 type cpumapFrame struct {
 	dev   *netdev.Device
 	frame []byte
+	at    sim.Cycles
 }
+
+// CpumapProg is a CPUMAP_VALUE_PROG callback: an XDP program attached to the
+// map value that the target kthread re-runs on every frame before building
+// the skb — the second-verdict hook the kernel grew in 5.9. deliver=false
+// with a non-zero reason drops the frame on the kthread's shard; deliver=false
+// with ReasonNotSpecified means the program consumed the frame some other way
+// (XDP_TX / redirect) and has already accounted for it.
+type CpumapProg func(dev *netdev.Device, frame []byte, m *sim.Meter) (deliver bool, reason drop.Reason)
 
 // CpumapEntry is one BPF_MAP_TYPE_CPUMAP slot: a fixed-capacity ptr_ring fed
 // by RX cores in bulk, drained by a dedicated kthread goroutine that injects
@@ -311,6 +331,12 @@ type CpumapEntry struct {
 	delivered atomic.Uint64
 
 	cycles atomic.Uint64 // kthread meter total, published after each run
+
+	// prog is the optional CPUMAP_VALUE_PROG; lat the optional per-frame
+	// queueing-latency observer. Both are atomic so they can be installed
+	// after the kthread has started without a happens-before hole.
+	prog atomic.Pointer[CpumapProg]
+	lat  atomic.Pointer[sim.Stats]
 }
 
 // NewCpumapEntry creates a cpumap slot targeting cpu with a ring of qsize
@@ -345,18 +371,47 @@ func (e *CpumapEntry) Cycles() sim.Cycles {
 	return sim.Cycles(e.cycles.Load())
 }
 
+// SetValueProg attaches (or, with nil, detaches) a CPUMAP_VALUE_PROG. The
+// kthread re-runs it on every dequeued frame before stack delivery, exactly
+// like cpu_map_bpf_prog_run_xdp — GRO and the second verdict both happen in
+// the target CPU's context.
+func (e *CpumapEntry) SetValueProg(p CpumapProg) {
+	if p == nil {
+		e.prog.Store(nil)
+		return
+	}
+	e.prog.Store(&p)
+}
+
+// SetLatObserver attaches a per-frame queueing-latency observer: for every
+// delivered frame the kthread records (its own meter at dequeue) minus (the
+// producer's meter at enqueue), in virtual cycles. Only the kthread writes to
+// the Stats, so reads are safe once the entry is quiesced or stopped.
+func (e *CpumapEntry) SetLatObserver(s *sim.Stats) {
+	e.lat.Store(s)
+}
+
 // EnqueueBatch spills a producer's bulk queue into the ring and reports how
 // many frames the ring had no room for (or arrived after Stop) — those are
-// the caller's to count as drops. Successful inserts and overflow drops are
-// charged to the producer's shard: the RX core is the one observing them.
-func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) (dropped int) {
+// the caller's to count as drops — plus whether the ring was empty before the
+// spill. wasEmpty is the wake signal: an empty ring means the kthread has
+// drained everything and is (or is about to be) asleep, so the first spill
+// must ring the doorbell instead of waiting for the end-of-poll flush.
+// Successful inserts and overflow drops are charged to the producer's shard:
+// the RX core is the one observing them.
+func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) (dropped int, wasEmpty bool) {
 	c := e.kern.ctr(m)
+	var at sim.Cycles
+	if m != nil {
+		at = m.Total
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		c.cpumapDrops.Add(uint64(len(frames)))
-		return len(frames)
+		return len(frames), false
 	}
+	wasEmpty = len(e.ring) == 0
 	free := cap(e.ring) - len(e.ring)
 	n := len(frames)
 	if n > free {
@@ -364,7 +419,7 @@ func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.M
 		n = free
 	}
 	for _, f := range frames[:n] {
-		e.ring = append(e.ring, cpumapFrame{dev: dev, frame: f})
+		e.ring = append(e.ring, cpumapFrame{dev: dev, frame: f, at: at})
 	}
 	e.mu.Unlock()
 	if n > 0 {
@@ -374,14 +429,14 @@ func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.M
 	if dropped > 0 {
 		c.cpumapDrops.Add(uint64(dropped))
 	}
-	return dropped
+	return dropped, wasEmpty
 }
 
-// RingDoorbell wakes the kthread — the IPI-flavoured half of xdp_do_flush,
-// called once per target per NAPI poll, never on intermediate bulk spills.
-// Deferring the wake to the flush is what lets the kthread pop a whole
-// poll's worth of frames in one run (one DeliverBatch, one GRO window),
-// exactly like the real cpumap's __cpu_map_flush.
+// RingDoorbell wakes the kthread — the IPI-flavoured half of xdp_do_flush.
+// It is rung once per target per NAPI poll, plus on the first bulk spill
+// into an empty ring (wake_up_process fires as soon as __ptr_ring_produce
+// has work for a sleeping kthread; later spills find it already running and
+// coalesce into the pending wakeup). The cap-1 channel is that coalescing.
 func (e *CpumapEntry) RingDoorbell(m *sim.Meter) {
 	m.Charge(sim.CostCpumapDoorbell)
 	select {
@@ -424,13 +479,22 @@ func (e *CpumapEntry) kthread() {
 	for {
 		select {
 		case <-e.doorbell:
-			for e.drainOnce(local[:], &m) {
+			// One wakeup that finds work is one kthread run, however many
+			// ptr_ring pops it takes to drain — the unit the real
+			// cpu_map_kthread_run loop counts between schedule() calls.
+			if e.drainOnce(local[:], &m) {
+				e.kern.ctr(&m).cpumapKthreadRuns.Add(1)
+				for e.drainOnce(local[:], &m) {
+				}
 			}
 		case <-e.done:
 			// Final drain: producers observing closed already count their
 			// frames as drops, so everything still in the ring predates
 			// Stop and must be delivered.
-			for e.drainOnce(local[:], &m) {
+			if e.drainOnce(local[:], &m) {
+				e.kern.ctr(&m).cpumapKthreadRuns.Add(1)
+				for e.drainOnce(local[:], &m) {
+				}
 			}
 			// napi_disable-style: flush any GRO holds still parked on the
 			// target shard so no segment is stranded by a map delete.
@@ -464,6 +528,41 @@ func (e *CpumapEntry) drainOnce(local []cpumapFrame, m *sim.Meter) bool {
 	// ptr_ring consume + xdp_frame→skb prep, per frame.
 	m.Charge(sim.Cycles(n) * sim.CostCpumapDequeue)
 
+	// Queueing latency: kthread time at dequeue minus producer time at
+	// enqueue, both in virtual cycles from the same measurement epoch. The
+	// overloaded-CPU signature is exactly this number exploding.
+	if lat := e.lat.Load(); lat != nil {
+		for i := 0; i < n; i++ {
+			d := m.Total - local[i].at
+			if d < 0 {
+				d = 0
+			}
+			lat.Observe(float64(d))
+		}
+	}
+
+	total := n
+	// CPUMAP_VALUE_PROG: re-run XDP on the dequeued frames in the target
+	// CPU's context. Frames the program drops are counted on this shard;
+	// frames it consumed otherwise (TX/redirect) are already accounted by
+	// the program. Survivors are compacted in place and delivered below.
+	if pp := e.prog.Load(); pp != nil {
+		prog := *pp
+		kept := 0
+		for i := 0; i < n; i++ {
+			deliver, reason := prog(local[i].dev, local[i].frame, m)
+			if deliver {
+				local[kept] = local[i]
+				kept++
+				continue
+			}
+			if reason != drop.ReasonNotSpecified {
+				e.kern.countDropReason(m, reason)
+			}
+		}
+		n = kept
+	}
+
 	// One DeliverBatch per same-device run: the batch stack (GRO, batched
 	// TC) keys its context on (shard, dev), so frames from one ingress
 	// device coalesce together just as they would on the RX CPU.
@@ -482,8 +581,7 @@ func (e *CpumapEntry) drainOnce(local []cpumapFrame, m *sim.Meter) bool {
 		e.kern.DeliverBatch(dev, frames, m)
 		run = end
 	}
-	e.kern.ctr(m).cpumapKthreadRuns.Add(1)
 	e.cycles.Store(uint64(m.Total))
-	e.delivered.Add(uint64(n))
+	e.delivered.Add(uint64(total))
 	return true
 }

@@ -1,0 +1,249 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// steerHost builds a single host owning 10.0.0.2/24, the local-delivery
+// endpoint the steering tests inject into.
+func steerHost(t *testing.T) (*Kernel, *netdev.Device) {
+	t.Helper()
+	k := New("host")
+	d := k.CreateDevice("eth0", netdev.Physical)
+	d.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+// steerSeqFrame builds one UDP frame of the (10.0.0.1:sport → 10.0.0.2:7)
+// flow carrying seq as a big-endian payload, so delivery order is checkable
+// byte-for-byte at the socket.
+func steerSeqFrame(d *netdev.Device, sport uint16, seq uint32) []byte {
+	src := packet.MustAddr("10.0.0.1")
+	dst := packet.MustAddr("10.0.0.2")
+	var payload [4]byte
+	binary.BigEndian.PutUint32(payload[:], seq)
+	u := packet.UDP{SrcPort: sport, DstPort: 7}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: d.MAC, Src: packet.MustHWAddr("02:00:00:00:00:01"), EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, payload[:]))
+}
+
+// TestRPSSteersAndConserves: with the RX core excluded from the CPU set,
+// every frame is steered, delivered on a backlog kthread's meter, and the
+// counters reconcile exactly — nothing lost, nothing double-counted.
+func TestRPSSteersAndConserves(t *testing.T) {
+	k, d := steerHost(t)
+	var mu sync.Mutex
+	got := 0
+	k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, msg SocketMsg) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+	if err := k.EnableRPS([]int{1, 2, 3}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+
+	const frames = 256
+	m := sim.Meter{CPU: 0}
+	for i := 0; i < frames; i++ {
+		d.Receive(steerSeqFrame(d, uint16(4000+i%16), uint32(i)), &m)
+	}
+	k.RPSQuiesce()
+
+	st := k.Stats()
+	if st.RPSSteered != frames {
+		t.Fatalf("RPSSteered = %d, want %d (RX CPU 0 is not in the set)", st.RPSSteered, frames)
+	}
+	if st.RPSIPIs == 0 || st.RPSIPIs > st.RPSSteered {
+		t.Fatalf("RPSIPIs = %d, want in [1,%d] (doorbells coalesce)", st.RPSIPIs, st.RPSSteered)
+	}
+	mu.Lock()
+	g := got
+	mu.Unlock()
+	if g != frames {
+		t.Fatalf("socket saw %d datagrams, want %d", g, frames)
+	}
+	if st.Delivered != frames || st.Dropped != 0 {
+		t.Fatalf("delivered/dropped = %d/%d, want %d/0", st.Delivered, st.Dropped, frames)
+	}
+	if total := drop.Total(k.DropReasons()); total != st.Dropped {
+		t.Fatalf("per-reason sum %d != dropped %d", total, st.Dropped)
+	}
+	// The stack work ran on the backlog CPUs, not the producer.
+	var kcyc sim.Cycles
+	for _, c := range []int{1, 2, 3} {
+		kcyc += k.RPSBacklogCycles(c)
+	}
+	if kcyc == 0 {
+		t.Fatal("no cycles charged to any backlog CPU")
+	}
+}
+
+// TestRPSBacklogOverflowTagged: a full backlog ring drops the frame with
+// reason rps_backlog_full, exactly once, and the parked frames still deliver
+// — the conservation contract under overflow. The ring is filled directly
+// (no doorbell), so the kthread is provably asleep and the overflow is
+// deterministic.
+func TestRPSBacklogOverflowTagged(t *testing.T) {
+	k, d := steerHost(t)
+	var mu sync.Mutex
+	got := 0
+	k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, msg SocketMsg) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+	const qlen = 4
+	if err := k.EnableRPS([]int{1}, qlen); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+
+	st := k.rps.Load()
+	b := st.backlogs[1]
+	for i := 0; i < qlen; i++ {
+		if ok, _ := b.enqueue(d, steerSeqFrame(d, 5000, uint32(i))); !ok {
+			t.Fatalf("park %d rejected with qlen %d", i, qlen)
+		}
+	}
+
+	m := sim.Meter{CPU: 0}
+	d.Receive(steerSeqFrame(d, 5000, qlen), &m)
+
+	ks := k.Stats()
+	if ks.RPSBacklogDrops != 1 {
+		t.Fatalf("RPSBacklogDrops = %d, want 1", ks.RPSBacklogDrops)
+	}
+	if ks.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", ks.Dropped)
+	}
+	reasons := k.DropReasons()
+	if reasons[drop.ReasonRPSBacklogFull] != 1 {
+		t.Fatalf("rps_backlog_full = %d, want 1", reasons[drop.ReasonRPSBacklogFull])
+	}
+	if total := drop.Total(reasons); total != ks.Dropped {
+		t.Fatalf("per-reason sum %d != dropped %d", total, ks.Dropped)
+	}
+
+	// Wake the kthread: everything accepted before the overflow delivers.
+	b.kick()
+	k.RPSQuiesce()
+	mu.Lock()
+	g := got
+	mu.Unlock()
+	if g != qlen {
+		t.Fatalf("socket saw %d datagrams, want %d", g, qlen)
+	}
+	ks = k.Stats()
+	if ks.Delivered != qlen || ks.Dropped != 1 {
+		t.Fatalf("delivered/dropped = %d/%d, want %d/1", ks.Delivered, ks.Dropped, qlen)
+	}
+}
+
+// TestRFSMigrationKeepsFlowInOrder: a socket retarget mid-stream must never
+// reorder the flow — the rps_dev_flow qtail guard holds new frames on the old
+// CPU until its backlog drains past the flow's last enqueue. The payload
+// carries a sequence number; byte-order parity at the socket is the check.
+func TestRFSMigrationKeepsFlowInOrder(t *testing.T) {
+	k, d := steerHost(t)
+	var mu sync.Mutex
+	var seqs []uint32
+	k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, msg SocketMsg) {
+		mu.Lock()
+		seqs = append(seqs, binary.BigEndian.Uint32(msg.Payload))
+		mu.Unlock()
+	})
+	k.SetSysctl("net.core.rps_sock_flow_entries", "1024")
+	if err := k.EnableRPS([]int{1, 2}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+
+	const sport = 4242
+	src := packet.MustAddr("10.0.0.1")
+	dst := packet.MustAddr("10.0.0.2")
+	h := rpsHash(uint32(src), uint32(dst), packet.ProtoUDP, sport, 7)
+	st := k.rps.Load()
+	slot := &st.sockFlow[h&st.mask]
+
+	const half = 128
+	m := sim.Meter{CPU: 0}
+	for i := 0; i < half; i++ {
+		d.Receive(steerSeqFrame(d, sport, uint32(i)), &m)
+	}
+	// The consuming application "moves" to the other CPU mid-stream, racing
+	// the still-draining backlog — the window the qtail guard exists for.
+	t0 := st.cpus[int(h)%len(st.cpus)]
+	other := st.cpus[0] + st.cpus[1] - t0
+	slot.Store(uint32(other) + 1)
+	for i := half; i < 2*half; i++ {
+		d.Receive(steerSeqFrame(d, sport, uint32(i)), &m)
+	}
+	k.RPSQuiesce()
+
+	mu.Lock()
+	if len(seqs) != 2*half {
+		mu.Unlock()
+		t.Fatalf("delivered %d datagrams, want %d", len(seqs), 2*half)
+	}
+	for i, s := range seqs {
+		if s != uint32(i) {
+			mu.Unlock()
+			t.Fatalf("flow reordered at position %d: seq %d", i, s)
+		}
+	}
+	mu.Unlock()
+
+	// With the old backlog fully drained the guard must now permit the move
+	// and count it — the deterministic half of the migration contract.
+	before := k.Stats().RFSMigrations
+	last, _ := unpackDevFlow(st.devFlow[h&st.mask].Load())
+	target := st.cpus[0] + st.cpus[1] - last
+	slot.Store(uint32(target) + 1)
+	d.Receive(steerSeqFrame(d, sport, 2*half), &m)
+	k.RPSQuiesce()
+	if got := k.Stats().RFSMigrations; got <= before {
+		t.Fatalf("RFSMigrations = %d, want > %d after drained retarget", got, before)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 2*half+1 || seqs[2*half] != 2*half {
+		t.Fatalf("post-migration frame misdelivered: %d seqs, tail %d", len(seqs), seqs[len(seqs)-1])
+	}
+}
+
+// TestRFSHitsRecorded: once the socket's CPU is learned, subsequent frames of
+// the flow count RFS hits and steer to the recorded CPU, not the hash pick.
+func TestRFSHitsRecorded(t *testing.T) {
+	k, d := steerHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, _ SocketMsg) {})
+	k.SetSysctl("net.core.rps_sock_flow_entries", "64")
+	if err := k.EnableRPS([]int{1, 2}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+
+	m := sim.Meter{CPU: 0}
+	d.Receive(steerSeqFrame(d, 6000, 0), &m)
+	k.RPSQuiesce() // first frame delivered: sock flow table now knows the CPU
+	for i := 1; i <= 8; i++ {
+		d.Receive(steerSeqFrame(d, 6000, uint32(i)), &m)
+	}
+	k.RPSQuiesce()
+	if hits := k.Stats().RFSHits; hits < 8 {
+		t.Fatalf("RFSHits = %d, want >= 8", hits)
+	}
+}

@@ -34,6 +34,21 @@ func WriteKernel(w io.Writer, k *kernel.Kernel) {
 		fmt.Fprintf(w, "linuxfp_packets_total{kernel=%q,outcome=%q} %d\n", name, c.outcome, c.v)
 	}
 
+	fmt.Fprintf(w, "# HELP linuxfp_steering_total RPS/RFS packet-steering outcomes.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_steering_total counter\n")
+	for _, c := range []struct {
+		event string
+		v     uint64
+	}{
+		{"rps_steered", st.RPSSteered},
+		{"rps_backlog_drops", st.RPSBacklogDrops},
+		{"rps_ipis", st.RPSIPIs},
+		{"rfs_hits", st.RFSHits},
+		{"rfs_migrations", st.RFSMigrations},
+	} {
+		fmt.Fprintf(w, "linuxfp_steering_total{kernel=%q,event=%q} %d\n", name, c.event, c.v)
+	}
+
 	fmt.Fprintf(w, "# HELP linuxfp_drop_reason_total Kernel-layer drops by skb drop reason.\n")
 	fmt.Fprintf(w, "# TYPE linuxfp_drop_reason_total counter\n")
 	byReason := k.DropReasons()

@@ -179,7 +179,8 @@ type Device struct {
 	rss    atomic.Pointer[rssState]
 
 	xdp    atomic.Pointer[xdpSlot]
-	devmap atomic.Pointer[DevMap] // bulk-redirect state, allocated on first use
+	devmap atomic.Pointer[DevMap]   // bulk-redirect state, allocated on first use
+	xps    atomic.Pointer[xpsState] // TX-queue steering; nil = single-queue TX
 
 	// Tap, when set, observes every frame the device receives (before XDP)
 	// — the model's equivalent of a packet capture. Set it before traffic
@@ -380,6 +381,7 @@ func (d *Device) Transmit(frame []byte, m *sim.Meter) {
 	}
 	d.stats.txPackets.Add(1)
 	d.stats.txBytes.Add(uint64(len(frame)))
+	d.chargeTxQueue(m)
 	ln := d.link.Load()
 
 	if ln.txHook != nil && ln.txHook(frame, m) {
@@ -420,6 +422,7 @@ func (d *Device) TransmitBatch(frames [][]byte, m *sim.Meter) {
 	d.stats.txBytes.Add(bytes)
 	ln := d.link.Load()
 	for _, frame := range frames {
+		d.chargeTxQueue(m)
 		if ln.txHook != nil && ln.txHook(frame, m) {
 			continue
 		}

@@ -1,0 +1,126 @@
+// XPS: transmit packet steering (Documentation/networking/scaling.rst).
+// A multi-queue NIC only scales TX when each CPU owns a queue — otherwise
+// every dev_queue_xmit contends on the same qdisc/txq cachelines. xps_cpus
+// maps CPU → TX queue so a CPU's transmits stay on "its" queue; without a
+// mapping the stack falls back to skb_tx_hash, and whenever two CPUs end up
+// interleaving on one queue the model charges the cacheline bounce the real
+// kernel pays.
+package netdev
+
+import (
+	"sync/atomic"
+
+	"linuxfp/internal/sim"
+)
+
+// xpsState is one published snapshot of the device's TX-queue config:
+// replaced whole on reconfiguration, read with one atomic load per frame.
+// lastCPU tracks the last transmitting CPU per queue to detect sharing.
+type xpsState struct {
+	nq     int
+	cpuMap []int32 // CPU → queue, -1 unset (skb_tx_hash fallback)
+
+	lastCPU []atomic.Int32 // per queue, -1 until first use
+
+	picks   atomic.Uint64 // XPS map hits
+	hashes  atomic.Uint64 // skb_tx_hash fallbacks
+	bounces atomic.Uint64 // queue handoffs between CPUs (shared-queue cost)
+}
+
+// TxQueueStats is the XPS observability snapshot.
+type TxQueueStats struct {
+	TxQueues  int
+	XPSPicks  uint64 // transmits steered by the xps_cpus map
+	HashPicks uint64 // transmits that fell back to skb_tx_hash
+	Bounces   uint64 // queue ownership changes (CPUs sharing a queue)
+}
+
+// SetTxQueues declares the device's real TX queue count (ethtool -L tx N)
+// and resets any XPS mapping. n < 1 disables the model entirely: transmits
+// go back to the free single-queue behavior existing scenarios assume.
+func (d *Device) SetTxQueues(n int) {
+	if n < 1 {
+		d.xps.Store(nil)
+		return
+	}
+	st := &xpsState{
+		nq:      n,
+		cpuMap:  make([]int32, MaxRxQueues),
+		lastCPU: make([]atomic.Int32, n),
+	}
+	for i := range st.cpuMap {
+		st.cpuMap[i] = -1
+	}
+	for i := range st.lastCPU {
+		st.lastCPU[i].Store(-1)
+	}
+	d.xps.Store(st)
+}
+
+// SetXPS maps a CPU to a TX queue — one bit of
+// /sys/class/net/<dev>/queues/tx-<q>/xps_cpus. Counters and sharing state
+// carry over; only the mapping changes.
+func (d *Device) SetXPS(cpu, queue int) bool {
+	old := d.xps.Load()
+	if old == nil || cpu < 0 || cpu >= len(old.cpuMap) || queue < 0 || queue >= old.nq {
+		return false
+	}
+	st := &xpsState{nq: old.nq, lastCPU: old.lastCPU}
+	st.cpuMap = append([]int32(nil), old.cpuMap...)
+	st.cpuMap[cpu] = int32(queue)
+	st.picks.Store(old.picks.Load())
+	st.hashes.Store(old.hashes.Load())
+	st.bounces.Store(old.bounces.Load())
+	d.xps.Store(st)
+	return true
+}
+
+// TxQueueStats reports the XPS counters (zero value when multi-queue TX is
+// not configured).
+func (d *Device) TxQueueStats() TxQueueStats {
+	st := d.xps.Load()
+	if st == nil {
+		return TxQueueStats{}
+	}
+	return TxQueueStats{
+		TxQueues:  st.nq,
+		XPSPicks:  st.picks.Load(),
+		HashPicks: st.hashes.Load(),
+		Bounces:   st.bounces.Load(),
+	}
+}
+
+// chargeTxQueue is netdev_pick_tx: select the TX queue for one frame on the
+// transmitting CPU's meter and charge for it — the XPS map hit is cheaper
+// than the hash fallback, and a queue that changes owners pays the
+// qdisc/txq cacheline bounce both real CPUs would. No-op (one nil load)
+// when SetTxQueues was never called.
+func (d *Device) chargeTxQueue(m *sim.Meter) {
+	st := d.xps.Load()
+	if st == nil {
+		return
+	}
+	cpu := 0
+	if m != nil {
+		cpu = m.CPU
+	}
+	q := -1
+	if cpu >= 0 && cpu < len(st.cpuMap) {
+		q = int(st.cpuMap[cpu])
+	}
+	if q >= 0 {
+		m.Charge(sim.CostXPSPick)
+		st.picks.Add(1)
+	} else {
+		m.Charge(sim.CostTxHashPick)
+		st.hashes.Add(1)
+		q = cpu % st.nq
+		if q < 0 {
+			q = 0
+		}
+	}
+	if prev := st.lastCPU[q].Swap(int32(cpu)); prev >= 0 && prev != int32(cpu) {
+		m.Charge(sim.CostTxQueueShare)
+		st.bounces.Add(1)
+	}
+}

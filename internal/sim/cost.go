@@ -148,6 +148,27 @@ const (
 	CostCpumapDoorbell Cycles = 300 // wake_up_process of the target kthread per flush
 )
 
+// Software steering costs (RPS/RFS/XPS, Documentation/networking/scaling.rst).
+// RPS hashes the flow on the RX CPU, appends the frame to the target CPU's
+// per-CPU backlog (enqueue_to_backlog) and kicks it with an IPI
+// (net_rps_send_ipi) — one IPI per poll per target, coalesced exactly like
+// the cpumap doorbell. The backlog NAPI pass on the target CPU re-enters the
+// stack via process_backlog. RFS adds a sock-flow-table probe on receive and
+// an update at socket demux (sock_rps_record_flow). XPS is one per-CPU
+// tx-queue map read at dev_queue_xmit; without it, queue selection falls back
+// to skb_tx_hash over the full queue set (more work and a shared qdisc line).
+const (
+	CostRPSHash       Cycles = 40  // get_rps_cpu: flow hash reuse + map probe
+	CostRPSEnqueue    Cycles = 90  // enqueue_to_backlog: ring produce + qlen check
+	CostRPSIPI        Cycles = 500 // smp_call_function_single_async + remote irq entry
+	CostRPSBacklogRun Cycles = 120 // process_backlog NAPI pass, amortized per burst
+	CostRFSProbe      Cycles = 35  // rps_sock_flow_table load + ident compare
+	CostRFSUpdate     Cycles = 30  // sock_rps_record_flow store on socket demux
+	CostXPSPick       Cycles = 25  // xps_map per-CPU tx queue lookup
+	CostTxHashPick    Cycles = 55  // skb_tx_hash fallback without XPS
+	CostTxQueueShare  Cycles = 110 // qdisc/txq cacheline bounce when CPUs share a queue
+)
+
 // AF_XDP costs. The kernel RX half mirrors xsk_rcv: one fill-ring consume +
 // xsk_buff conversion + RX-descriptor publish per frame (zero-copy: payload
 // never moves, so there is no per-byte term beyond the driver's), staged

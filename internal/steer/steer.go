@@ -1,0 +1,353 @@
+// Package steer closes the loop between the observability plane and the
+// cpumap redirect layer. The static CPUSpreadOp hashes flows over a fixed
+// CPU set, which is optimal exactly when the workload is uniform — under a
+// zipf flow-size distribution one heavy flow pins its CPU while the others
+// idle, the pinned CPU's ptr_ring overflows, and the drop counters light
+// up long after latency already collapsed.
+//
+// The package provides two pieces:
+//
+//   - Table: a sticky flow→CPU map that satisfies fpm.CPUPicker. Once a
+//     flow is assigned it stays on its CPU (in-order delivery, warm GRO
+//     state); only NEW flows follow the current placement policy.
+//   - Controller: periodically fed per-CPU load signals (kthread cycle
+//     deltas, cpumap overflow drops, queueing-latency P99), it recomputes
+//     which CPUs accept new flows and in what proportion, and publishes
+//     the result to the Table with one atomic store.
+//
+// The contract mirrors the kernel's own steering philosophy (RFS's
+// "in-order beats placement" rule): ordinary rebalancing never moves an
+// established flow — an overloaded CPU sheds load by losing its share of
+// *new* flows. Forced migration exists (Table.Migrate) but only fires when
+// the caller vouches that the CPU's backlog has drained — the same qtail
+// condition RFS checks before retargeting a flow — and even then the CPU's
+// heaviest flow stays: an elephant cannot be split, so moving it only
+// relocates the hotspot.
+package steer
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// policy is one published placement decision: the CPUs that currently
+// accept new flows, each repeated in proportion to its weight. Read by
+// every PickCPU with a single atomic load; replaced whole on rebalance.
+type policy struct {
+	accept []int32 // weighted round-robin expansion, len > 0
+}
+
+// Table is the sticky flow→CPU assignment. Slots are a power-of-two hash
+// table indexed by flow hash; each slot packs (CPU+1) in its top byte and
+// a packet hit count below (0 in the top byte = unassigned), so the hot
+// path maintains a per-flow load estimate with the same atomic it reads
+// the assignment from. Collisions simply share a decision — same as the
+// kernel's rps_sock_flow_table, which trades perfect flow identity for a
+// fixed-size lock-free table.
+type Table struct {
+	slots  []atomic.Uint64
+	mask   uint64
+	pol    atomic.Pointer[policy]
+	placed atomic.Uint64 // new-flow assignments (table writes)
+	moved  atomic.Uint64 // slots reassigned by Flush/Migrate (forced re-pick)
+}
+
+const slotHitsMask = (uint64(1) << 56) - 1
+
+func packSlot(cpu int) uint64    { return uint64(cpu+1)<<56 | 1 }
+func slotCPU(v uint64) int       { return int(v>>56) - 1 }
+func slotHits(v uint64) uint64   { return v & slotHitsMask }
+func slotAssigned(v uint64) bool { return v>>56 != 0 }
+
+// NewTable builds a table with at least size slots (rounded up to a power
+// of two) and an initial uniform policy over cpus.
+func NewTable(size int, cpus []int) *Table {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	t := &Table{slots: make([]atomic.Uint64, n), mask: uint64(n - 1)}
+	t.SetPolicy(cpus, nil)
+	return t
+}
+
+// PickCPU implements fpm.CPUPicker: sticky assignment for known flows, the
+// current policy for new ones. Safe for concurrent use with SetPolicy,
+// Flush, and Migrate; a racing reassignment may cost one extra re-pick,
+// never a lost frame.
+func (t *Table) PickCPU(hash uint64) int {
+	slot := &t.slots[hash&t.mask]
+	for {
+		v := slot.Load()
+		if slotAssigned(v) {
+			// Sticky hit: count it. The add cannot carry into the CPU byte
+			// (hits would need 2^56 packets), and a concurrent Migrate that
+			// just cleared the slot only makes this bump land on an
+			// unassigned slot — the next packet's CAS claims over it.
+			slot.Add(1)
+			return slotCPU(v)
+		}
+		p := t.pol.Load()
+		cpu := p.accept[hash%uint64(len(p.accept))]
+		// CAS so two CPUs racing on the same new flow agree on one target —
+		// losing the race means adopting the winner's pick, keeping the
+		// flow on a single CPU from its very first packet.
+		if slot.CompareAndSwap(v, packSlot(int(cpu))) {
+			t.placed.Add(1)
+			return int(cpu)
+		}
+	}
+}
+
+// SetPolicy publishes a new placement for future flows: cpus with optional
+// integer weights (nil = uniform). Established assignments are untouched.
+func (t *Table) SetPolicy(cpus []int, weights []int) {
+	accept := make([]int32, 0, len(cpus))
+	for i, c := range cpus {
+		w := 1
+		if weights != nil && i < len(weights) {
+			w = weights[i]
+		}
+		for j := 0; j < w; j++ {
+			accept = append(accept, int32(c))
+		}
+	}
+	if len(accept) == 0 && len(cpus) > 0 {
+		// All weights zero: fall back to uniform rather than a policy no
+		// PickCPU could satisfy.
+		for _, c := range cpus {
+			accept = append(accept, int32(c))
+		}
+	}
+	if len(accept) == 0 {
+		accept = []int32{0}
+	}
+	t.pol.Store(&policy{accept: accept})
+}
+
+// Flush clears every assignment pointing at cpu, forcing those flows to
+// re-pick under the current policy — the CPU-removed-from-service path.
+// Safe only when cpu's queue has drained (its qtail caught up): clearing a
+// slot while frames of that flow are still parked on cpu would let the
+// re-picked CPU overtake them.
+func (t *Table) Flush(cpu int) (flows int) {
+	for i := range t.slots {
+		v := t.slots[i].Load()
+		if slotAssigned(v) && slotCPU(v) == cpu && t.slots[i].CompareAndSwap(v, 0) {
+			flows++
+		}
+	}
+	t.moved.Add(uint64(flows))
+	return flows
+}
+
+// Migrate sheds load from an overloaded CPU by forcing its flows to
+// re-pick under the current policy — all but the heaviest (an elephant
+// cannot be split across CPUs; everything else can run elsewhere), and
+// only up to share of the CPU's observed packet hits, so a mild overload
+// moves a few mice rather than reshuffling everything. Like Flush, callers
+// must ensure cpu's backlog has drained first: that is the qtail rule that
+// keeps forced migration order-safe.
+func (t *Table) Migrate(cpu int, share float64) (flows int) {
+	type cand struct {
+		idx  int
+		hits uint64
+	}
+	var cands []cand
+	var total uint64
+	for i := range t.slots {
+		v := t.slots[i].Load()
+		if slotAssigned(v) && slotCPU(v) == cpu {
+			cands = append(cands, cand{i, slotHits(v)})
+			total += slotHits(v)
+		}
+	}
+	if len(cands) < 2 || total == 0 {
+		return 0
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].hits > cands[b].hits })
+	budget := uint64(share * float64(total))
+	var spent uint64
+	for _, c := range cands[1:] { // cands[0], the heaviest, stays
+		if spent+c.hits > budget {
+			continue // too heavy for the remaining budget; try lighter ones
+		}
+		v := t.slots[c.idx].Load()
+		if !slotAssigned(v) || slotCPU(v) != cpu {
+			continue
+		}
+		// CAS: racing traffic may have bumped hits since the scan — retry
+		// once with the fresh value, else leave the flow where it is.
+		if !t.slots[c.idx].CompareAndSwap(v, 0) {
+			v = t.slots[c.idx].Load()
+			if !slotAssigned(v) || slotCPU(v) != cpu || !t.slots[c.idx].CompareAndSwap(v, 0) {
+				continue
+			}
+		}
+		spent += c.hits
+		flows++
+	}
+	t.moved.Add(uint64(flows))
+	return flows
+}
+
+// Stats reports cumulative table activity.
+func (t *Table) Stats() (placed, moved uint64) {
+	return t.placed.Load(), t.moved.Load()
+}
+
+// CPULoad is one CPU's signal sample, cumulative counters as exposed by
+// the cpumap/observability plane: EntryCycles for work, the per-reason
+// cpumap_overflow drop counter for loss, and the entry's queueing-latency
+// P99 for the early-warning signal that fires before drops do.
+type CPULoad struct {
+	CPU    int
+	Cycles float64 // cumulative kthread cycles (ebpf.CPUMap.EntryCycles)
+	Drops  uint64  // cumulative cpumap ring-overflow drops on this CPU
+	P99    float64 // current queueing-latency P99 in cycles (0 = no signal)
+	// Drained marks the CPU's backlog as fully caught up at sample time
+	// (qtail == delivered). Only a drained CPU may have flows migrated off
+	// it — the out-of-order guard applied to forced migration.
+	Drained bool
+}
+
+// Config tunes the controller's reaction.
+type Config struct {
+	// ShedFactor: a CPU whose cycle delta exceeds ShedFactor × the mean
+	// delta is overloaded and stops accepting new flows. Default 1.5.
+	ShedFactor float64
+	// LatP99Shed: a CPU whose queueing P99 exceeds this many cycles is
+	// overloaded regardless of its cycle share. Default 0 (disabled).
+	LatP99Shed float64
+	// Migrate allows the controller to force flows OFF an overloaded CPU
+	// (Table.Migrate) when the sample marks it Drained. Off by default:
+	// shedding new flows is always safe; forced migration needs the
+	// caller to vouch for the drain.
+	Migrate bool
+}
+
+// Controller turns load samples into Table policies. Single goroutine use;
+// only its Table publications are concurrent with the data path.
+type Controller struct {
+	table *Table
+	cfg   Config
+
+	prev map[int]CPULoad // previous cumulative sample per CPU
+
+	rebalances uint64 // policies published with a non-uniform accept set
+}
+
+// NewController binds a controller to the table it steers.
+func NewController(table *Table, cfg Config) *Controller {
+	if cfg.ShedFactor <= 1 {
+		cfg.ShedFactor = 1.5
+	}
+	return &Controller{table: table, cfg: cfg, prev: make(map[int]CPULoad)}
+}
+
+// Observe ingests one sample per CPU and republishes the placement policy:
+// CPUs keep weight in inverse proportion to their cycle delta, and a CPU
+// that dropped packets since the last sample — or whose queueing P99
+// crossed the shed threshold — is removed from the accept set outright
+// (its backlog already proves it cannot take more). At least one CPU
+// always remains accepting: with everything overloaded, the least-loaded
+// CPU is the right place for new flows anyway.
+func (c *Controller) Observe(loads []CPULoad) {
+	if len(loads) == 0 {
+		return
+	}
+	type delta struct {
+		cpu      int
+		cycles   float64
+		dropped  bool
+		latOver  bool
+		overMean bool
+		drained  bool
+	}
+	ds := make([]delta, 0, len(loads))
+	var total float64
+	for _, l := range loads {
+		p := c.prev[l.CPU]
+		d := delta{
+			cpu:     l.CPU,
+			cycles:  l.Cycles - p.Cycles,
+			dropped: l.Drops > p.Drops,
+			latOver: c.cfg.LatP99Shed > 0 && l.P99 > c.cfg.LatP99Shed,
+			drained: l.Drained,
+		}
+		if d.cycles < 0 {
+			d.cycles = 0 // counter reset upstream: treat as idle
+		}
+		total += d.cycles
+		ds = append(ds, d)
+		c.prev[l.CPU] = l
+	}
+	mean := total / float64(len(ds))
+
+	cpus := make([]int, 0, len(ds))
+	weights := make([]int, 0, len(ds))
+	minIdx, shed := 0, false
+	for i := range ds {
+		d := &ds[i]
+		d.overMean = mean > 0 && d.cycles > c.cfg.ShedFactor*mean
+		if d.cycles < ds[minIdx].cycles {
+			minIdx = i
+		}
+		w := weightFor(d.cycles, mean)
+		if d.dropped || d.latOver || d.overMean {
+			w = 0
+			shed = true
+		}
+		cpus = append(cpus, d.cpu)
+		weights = append(weights, w)
+	}
+	allZero := true
+	for _, w := range weights {
+		if w > 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		weights[minIdx] = 1
+	}
+	if shed {
+		c.rebalances++
+	}
+	c.table.SetPolicy(cpus, weights)
+
+	// Forced migration runs after the policy store so evicted flows re-pick
+	// under the placement that already excludes the overloaded CPUs. The
+	// budget is the fraction of the CPU's work above the mean: a mild
+	// overload sheds a few mice, a pinned CPU sheds everything but its
+	// elephant.
+	if c.cfg.Migrate {
+		for i := range ds {
+			d := &ds[i]
+			if !(d.dropped || d.latOver || d.overMean) || !d.drained || d.cycles <= mean {
+				continue
+			}
+			c.table.Migrate(d.cpu, (d.cycles-mean)/d.cycles)
+		}
+	}
+}
+
+// weightFor maps a cycle delta to an integer share: idle CPUs get the most
+// new flows, busy-but-healthy CPUs get fewer, in four coarse steps so the
+// accept slice stays small.
+func weightFor(cycles, mean float64) int {
+	if mean <= 0 {
+		return 1
+	}
+	switch r := cycles / mean; {
+	case r < 0.5:
+		return 4
+	case r < 1.0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Rebalances reports how many Observe calls shed at least one CPU.
+func (c *Controller) Rebalances() uint64 { return c.rebalances }

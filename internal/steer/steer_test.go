@@ -1,0 +1,323 @@
+package steer
+
+import (
+	"sync"
+	"testing"
+
+	"linuxfp/internal/sim"
+)
+
+// TestTableSticky: a flow's first pick is permanent across policy changes —
+// the no-migration contract rebalancing relies on.
+func TestTableSticky(t *testing.T) {
+	tb := NewTable(1024, []int{0, 1, 2, 3})
+	hashes := make([]uint64, 512)
+	first := make([]int, len(hashes))
+	rng := sim.NewRNG(7)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+		first[i] = tb.PickCPU(hashes[i])
+	}
+	tb.SetPolicy([]int{2}, nil) // radical policy change: everything to CPU 2
+	for i, h := range hashes {
+		if got := tb.PickCPU(h); got != first[i] {
+			t.Fatalf("flow %d moved %d -> %d after SetPolicy", i, first[i], got)
+		}
+	}
+	// But a brand-new flow follows the new policy.
+	for i := 0; i < 64; i++ {
+		h := rng.Uint64()
+		if got := tb.PickCPU(h); got != 2 {
+			// Collisions with already-assigned slots are legitimate; only
+			// count genuinely fresh slots.
+			if slotCPU(tb.slots[h&tb.mask].Load()) != 2 {
+				continue
+			}
+			t.Fatalf("new flow landed on %d, want 2", got)
+		}
+	}
+}
+
+// TestTablePolicyWeights: zero-weight CPUs receive no new flows.
+func TestTablePolicyWeights(t *testing.T) {
+	tb := NewTable(4096, []int{0, 1})
+	tb.SetPolicy([]int{0, 1, 2}, []int{1, 0, 1})
+	rng := sim.NewRNG(11)
+	counts := map[int]int{}
+	for i := 0; i < 4096; i++ {
+		counts[tb.PickCPU(rng.Uint64())]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight CPU 1 got %d new flows", counts[1])
+	}
+	if counts[0] == 0 || counts[2] == 0 {
+		t.Fatalf("weighted CPUs starved: %v", counts)
+	}
+}
+
+// TestTableFlush: flushing a CPU frees exactly its slots and the flows
+// re-pick under the current policy.
+func TestTableFlush(t *testing.T) {
+	tb := NewTable(1024, []int{0, 1})
+	rng := sim.NewRNG(3)
+	assigned := map[uint64]int{}
+	for i := 0; i < 600; i++ {
+		h := rng.Uint64()
+		assigned[h] = tb.PickCPU(h)
+	}
+	tb.SetPolicy([]int{1}, nil)
+	tb.Flush(0)
+	for h, was := range assigned {
+		got := tb.PickCPU(h)
+		if was == 1 && got != 1 {
+			t.Fatalf("untouched flow moved %d -> %d", was, got)
+		}
+		if was == 0 && got != 1 {
+			t.Fatalf("flushed flow re-picked %d, want 1", got)
+		}
+	}
+}
+
+// TestControllerShedsOnDrops: a CPU that dropped packets since the last
+// sample stops receiving new flows; established flows stay.
+func TestControllerShedsOnDrops(t *testing.T) {
+	tb := NewTable(4096, []int{0, 1, 2, 3})
+	ctl := NewController(tb, Config{})
+	base := []CPULoad{{CPU: 0}, {CPU: 1}, {CPU: 2}, {CPU: 3}}
+	ctl.Observe(base)
+
+	h := uint64(0xdeadbeef)
+	pinned := tb.PickCPU(h)
+
+	next := []CPULoad{
+		{CPU: 0, Cycles: 1000},
+		{CPU: 1, Cycles: 1000, Drops: 5}, // overflowed since last sample
+		{CPU: 2, Cycles: 1000},
+		{CPU: 3, Cycles: 1000},
+	}
+	ctl.Observe(next)
+	if ctl.Rebalances() != 1 {
+		t.Fatalf("Rebalances = %d, want 1", ctl.Rebalances())
+	}
+	rng := sim.NewRNG(5)
+	for i := 0; i < 2048; i++ {
+		hh := rng.Uint64()
+		cpu := tb.PickCPU(hh)
+		if cpu == 1 && slotHits(tb.slots[hh&tb.mask].Load()) == 1 && hh != h {
+			// A fresh placement (hit count 1) landed on the shed CPU —
+			// collisions with pre-shed assignments are sticky by design and
+			// carry higher counts.
+			t.Fatalf("new flow placed on shedding CPU 1")
+		}
+	}
+	if got := tb.PickCPU(h); got != pinned {
+		t.Fatalf("established flow moved %d -> %d during shed", pinned, got)
+	}
+}
+
+// TestTableMigrate: an overloaded CPU keeps its heaviest flow and sheds the
+// lighter ones, respecting the hit-share budget.
+func TestTableMigrate(t *testing.T) {
+	tb := NewTable(256, []int{0})
+	elephant := uint64(1)
+	mouseA, mouseB := uint64(2), uint64(3)
+	for i := 0; i < 1000; i++ {
+		tb.PickCPU(elephant)
+	}
+	for i := 0; i < 10; i++ {
+		tb.PickCPU(mouseA)
+		tb.PickCPU(mouseB)
+	}
+	tb.SetPolicy([]int{5}, nil)
+	if n := tb.Migrate(0, 1.0); n != 2 {
+		t.Fatalf("migrated %d flows, want 2 (both mice)", n)
+	}
+	if got := tb.PickCPU(elephant); got != 0 {
+		t.Fatalf("elephant moved to %d; the heaviest flow must stay", got)
+	}
+	if got := tb.PickCPU(mouseA); got != 5 {
+		t.Fatalf("migrated mouse re-picked %d, want 5", got)
+	}
+	// A zero budget migrates nothing.
+	tb2 := NewTable(256, []int{0})
+	tb2.PickCPU(10)
+	tb2.PickCPU(11)
+	if n := tb2.Migrate(0, 0); n != 0 {
+		t.Fatalf("zero-budget migrate moved %d flows", n)
+	}
+}
+
+// TestControllerMigratesWhenDrained: with Migrate enabled, a drained
+// overloaded CPU loses its light flows but never its heaviest.
+func TestControllerMigratesWhenDrained(t *testing.T) {
+	tb := NewTable(1024, []int{0, 1})
+	ctl := NewController(tb, Config{Migrate: true})
+	// Pin two flows to CPU 0 with very different weights.
+	var heavy, light uint64
+	for h := uint64(0); heavy == 0 || light == 0; h++ {
+		if tb.PickCPU(h) == 0 {
+			if heavy == 0 {
+				heavy = h
+			} else if light == 0 && h != heavy {
+				light = h
+			}
+		}
+	}
+	for i := 0; i < 500; i++ {
+		tb.PickCPU(heavy)
+	}
+	ctl.Observe([]CPULoad{{CPU: 0}, {CPU: 1}})
+	ctl.Observe([]CPULoad{
+		{CPU: 0, Cycles: 10_000, Drops: 1, Drained: true},
+		{CPU: 1, Cycles: 1_000, Drained: true},
+	})
+	if got := tb.PickCPU(heavy); got != 0 {
+		t.Fatalf("heaviest flow migrated to %d", got)
+	}
+	if got := tb.PickCPU(light); got != 1 {
+		t.Fatalf("light flow still on overloaded CPU (got %d)", got)
+	}
+	// Without Drained, nothing moves even under identical overload.
+	tb2 := NewTable(1024, []int{0, 1})
+	ctl2 := NewController(tb2, Config{Migrate: true})
+	tb2.PickCPU(42)
+	was := tb2.PickCPU(42)
+	ctl2.Observe([]CPULoad{{CPU: 0}, {CPU: 1}})
+	ctl2.Observe([]CPULoad{
+		{CPU: 0, Cycles: 10_000, Drops: 1},
+		{CPU: 1, Cycles: 1_000},
+	})
+	if got := tb2.PickCPU(42); got != was {
+		t.Fatalf("flow migrated off an undrained CPU: %d -> %d", was, got)
+	}
+}
+
+// TestControllerLatencyShed: queueing-latency P99 above the threshold sheds
+// a CPU even when it has not dropped anything yet — the early signal.
+func TestControllerLatencyShed(t *testing.T) {
+	tb := NewTable(1024, []int{0, 1})
+	ctl := NewController(tb, Config{LatP99Shed: 10_000})
+	ctl.Observe([]CPULoad{{CPU: 0}, {CPU: 1}})
+	ctl.Observe([]CPULoad{
+		{CPU: 0, Cycles: 500},
+		{CPU: 1, Cycles: 500, P99: 50_000},
+	})
+	p := tb.pol.Load()
+	for _, c := range p.accept {
+		if c == 1 {
+			t.Fatal("latency-shed CPU still in accept set")
+		}
+	}
+}
+
+// TestControllerAlwaysAccepts: even with every CPU overloaded, some CPU
+// keeps accepting new flows (the least loaded one).
+func TestControllerAlwaysAccepts(t *testing.T) {
+	tb := NewTable(256, []int{0, 1})
+	ctl := NewController(tb, Config{})
+	ctl.Observe([]CPULoad{{CPU: 0}, {CPU: 1}})
+	ctl.Observe([]CPULoad{
+		{CPU: 0, Cycles: 9000, Drops: 1},
+		{CPU: 1, Cycles: 9500, Drops: 2},
+	})
+	p := tb.pol.Load()
+	if len(p.accept) == 0 {
+		t.Fatal("empty accept set")
+	}
+	for _, c := range p.accept {
+		if c != 0 {
+			t.Fatalf("least-loaded CPU is 0, accept set has %d", c)
+		}
+	}
+}
+
+// TestSteerChurnRace hammers one table from 8 "RX CPU" goroutines picking
+// flows while a controller goroutine rebalances and flushes as fast as it
+// can — the steer-table churn race the -race build must stay clean on.
+// Invariant under churn: every pick returns a CPU from the configured set.
+func TestSteerChurnRace(t *testing.T) {
+	cpus := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tb := NewTable(4096, cpus)
+	ctl := NewController(tb, Config{LatP99Shed: 5000, Migrate: true})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cpu := tb.PickCPU(rng.Uint64() & 0xffff) // shared flow space
+				if cpu < 0 || cpu > 7 {
+					t.Errorf("pick returned CPU %d outside set", cpu)
+					return
+				}
+			}
+		}(uint64(g + 1))
+	}
+	rng := sim.NewRNG(99)
+	for i := 0; i < 400; i++ {
+		loads := make([]CPULoad, 8)
+		for c := range loads {
+			loads[c] = CPULoad{
+				CPU:     c,
+				Cycles:  float64(i*1000) + float64(rng.Intn(5000)),
+				Drops:   uint64(i) * uint64(rng.Intn(2)),
+				P99:     float64(rng.Intn(10000)),
+				Drained: rng.Intn(2) == 0,
+			}
+		}
+		ctl.Observe(loads)
+		if i%37 == 0 {
+			tb.Flush(rng.Intn(8))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkTablePickSticky is the steady-state hot path: one atomic load.
+func BenchmarkTablePickSticky(b *testing.B) {
+	tb := NewTable(4096, []int{0, 1, 2, 3})
+	h := uint64(0x12345)
+	tb.PickCPU(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.PickCPU(h)
+	}
+}
+
+// BenchmarkTablePickSpread cycles through many flows (mixed hit/assign).
+func BenchmarkTablePickSpread(b *testing.B) {
+	tb := NewTable(4096, []int{0, 1, 2, 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.PickCPU(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// BenchmarkControllerObserve is the control-loop cost at 8 CPUs.
+func BenchmarkControllerObserve(b *testing.B) {
+	tb := NewTable(4096, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	ctl := NewController(tb, Config{})
+	loads := make([]CPULoad, 8)
+	for c := range loads {
+		loads[c] = CPULoad{CPU: c}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := range loads {
+			loads[c].Cycles += float64(1000 + c*100)
+		}
+		ctl.Observe(loads)
+	}
+}

@@ -1,0 +1,271 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/fpm"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/steer"
+	"linuxfp/internal/traffic"
+)
+
+// SteerPoint is one measured configuration of the steering experiment: the
+// zipf-skewed workload fanned over TargetCPUs cpumap kthreads, with flow→CPU
+// placement either static (splitmix64 hash, the CPUSpreadOp default) or
+// adaptive (steer.Table fed by the closed-loop controller).
+type SteerPoint struct {
+	TargetCPUs     int     `json:"target_cpus"`
+	Adaptive       bool    `json:"adaptive"`
+	AggregatePPS   float64 `json:"aggregate_pps"`
+	GainVsStatic   float64 `json:"gain_vs_static"` // adaptive pps / static pps at same CPUs
+	ProducerCycles float64 `json:"producer_cycles_per_pkt"`
+	BusiestCycles  float64 `json:"busiest_core_cycles_per_pkt"`
+	P999LatCycles  float64 `json:"p999_queue_lat_cycles"` // cpumap enqueue→dequeue
+	P99LatCycles   float64 `json:"p99_queue_lat_cycles"`
+	CpumapDrops    uint64  `json:"cpumap_drops"`
+	Rebalances     uint64  `json:"rebalances"`
+	Forwarded      uint64  `json:"forwarded"`
+	Dropped        uint64  `json:"dropped"`
+}
+
+// SteerReport is the machine-readable result of SteerSweep — what
+// `lfpbench -exp steer` serializes into BENCH_steer.json.
+type SteerReport struct {
+	Platform   string       `json:"platform"`
+	ClockHz    float64      `json:"clock_hz"`
+	Flows      int          `json:"flows"`
+	ZipfS      float64      `json:"zipf_s"`
+	Frames     int          `json:"frames"`
+	Qsize      int          `json:"qsize"`
+	NAPIBudget int          `json:"napi_budget"`
+	Points     []SteerPoint `json:"points"`
+}
+
+// Steer workload shape: few enough flows that zipf rank 0 is a genuine
+// elephant (~1/3 of all packets at s=1.2), enough frames that the
+// controller's per-poll observations have signal to act on while most of
+// the flow tail is still unplaced.
+const (
+	steerFlows  = 64
+	steerZipfS  = 1.2
+	steerFrames = 8192
+	steerQsize  = 2048
+	steerSeed   = 20260808
+)
+
+// steerWorkload draws steerFrames frames whose flow identity follows the
+// zipf skew: rank r is a fixed UDP 5-tuple into the routed prefixes, so the
+// same rank always hashes (and steers) identically.
+func steerWorkload(d *DUT) [][]byte {
+	src := packet.MustAddr("10.1.0.1")
+	z := traffic.NewZipf(steerSeed, steerZipfS, steerFlows)
+	frames := make([][]byte, steerFrames)
+	for i := range frames {
+		r := z.Next()
+		dst := packet.AddrFrom4(10, 100+byte(r%RoutedPrefixes), byte(r/RoutedPrefixes), 10)
+		u := packet.UDP{SrcPort: uint16(4000 + r), DstPort: 7}
+		frames[i] = packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+			u.Marshal(nil, src, dst, make([]byte, 64)))
+	}
+	return frames
+}
+
+// SteerSweep measures static flow-hash placement against the closed-loop
+// adaptive table at each CPU count. Conservation is asserted at every
+// point: every injected frame is forwarded or dropped, and the per-reason
+// drop ledger sums exactly to the kernel's drop total.
+func SteerSweep(targets []int) (*SteerReport, error) {
+	d, err := Build(PlatformLinux, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	r := &SteerReport{
+		Platform:   PlatformLinux,
+		ClockHz:    sim.ClockHz,
+		Flows:      steerFlows,
+		ZipfS:      steerZipfS,
+		Frames:     steerFrames,
+		Qsize:      steerQsize,
+		NAPIBudget: netdev.NAPIBudget,
+	}
+	for _, n := range targets {
+		if n <= 0 {
+			continue
+		}
+		static, err := steerPoint(d, n, false)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := steerPoint(d, n, true)
+		if err != nil {
+			return nil, err
+		}
+		adaptive.GainVsStatic = adaptive.AggregatePPS / static.AggregatePPS
+		static.GainVsStatic = 1
+		r.Points = append(r.Points, static, adaptive)
+	}
+	return r, nil
+}
+
+// steerPoint drives the zipf workload through one configuration. The frames
+// arrive in NAPI polls on RX queue 0 with a quiesce per poll; in adaptive
+// mode the controller samples each entry's cycle total and queueing-latency
+// P99 after every poll and republishes the placement policy — the
+// observe→rebalance loop a daemon would run off the metrics plane.
+func steerPoint(d *DUT, targets int, adaptive bool) (SteerPoint, error) {
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	loader := ebpf.NewLoader(d.Kern)
+	cm := ebpf.NewCPUMap("cpu_map", d.Kern)
+	cpus := make([]int, 0, targets)
+	latObs := make(map[int]*sim.Stats, targets)
+	for i := 0; i < targets; i++ {
+		c := i + 1 // CPU 0 is the RX core
+		cpus = append(cpus, c)
+		if !cm.Update(c, steerQsize) {
+			return SteerPoint{}, fmt.Errorf("steer: cpumap update cpu %d failed", c)
+		}
+		s := sim.NewStats()
+		latObs[c] = s
+		cm.SetLatObserver(c, s)
+	}
+	conf := fpm.CPUSpreadConf{Map: cm, CPUs: cpus}
+	var table *steer.Table
+	var ctl *steer.Controller
+	if adaptive {
+		table = steer.NewTable(4096, cpus)
+		// Migrate is safe here: the sweep quiesces the cpumap before every
+		// Observe, so each sample's Drained flag is literally true — the
+		// qtail rule forced migration requires.
+		ctl = steer.NewController(table, steer.Config{Migrate: true})
+		conf.Picker = table
+	}
+	ops := []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4(), fpm.CPUSpreadOp(conf)}
+	prog, err := loader.Load(&ebpf.Program{Name: "steer_sweep", Hook: ebpf.HookXDP, Ops: ops, Default: ebpf.VerdictPass})
+	if err != nil {
+		return SteerPoint{}, err
+	}
+	if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+		return SteerPoint{}, err
+	}
+
+	before := d.Kern.Stats()
+	beforeReasons := d.Kern.DropReasons()
+	frames := steerWorkload(d)
+	n := len(frames)
+	var m sim.Meter // the RX core (producer)
+	for i := 0; i < n; i += netdev.NAPIBudget {
+		end := i + netdev.NAPIBudget
+		if end > n {
+			end = n
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &m)
+		cm.Quiesce()
+		if ctl != nil {
+			loads := make([]steer.CPULoad, 0, len(cpus))
+			reasons := d.Kern.DropReasons()
+			overflow := reasons[drop.ReasonCpumapOverflow] - beforeReasons[drop.ReasonCpumapOverflow]
+			busiest, busiestCyc := cpus[0], sim.Cycles(-1)
+			for _, c := range cpus {
+				if cyc := cm.EntryCycles(c); cyc > busiestCyc {
+					busiest, busiestCyc = c, cyc
+				}
+			}
+			for _, c := range cpus {
+				l := steer.CPULoad{CPU: c, Cycles: float64(cm.EntryCycles(c)), Drained: true}
+				if s := latObs[c]; s.Count() > 0 {
+					l.P99 = s.Quantile(0.99)
+				}
+				if c == busiest {
+					// The ring that overflowed is the one whose kthread is
+					// furthest behind; attribute the shared overflow counter
+					// there so the drop-aware shed sees it.
+					l.Drops = overflow
+				}
+				loads = append(loads, l)
+			}
+			ctl.Observe(loads)
+		}
+	}
+
+	var busiestKthread sim.Cycles
+	lat := sim.NewStats()
+	for _, c := range cpus {
+		if cyc := cm.EntryCycles(c); cyc > busiestKthread {
+			busiestKthread = cyc
+		}
+		lat.Merge(latObs[c])
+	}
+	for _, c := range cpus {
+		cm.Delete(c)
+	}
+	after := d.Kern.Stats()
+	afterReasons := d.Kern.DropReasons()
+
+	fwd := after.Forwarded - before.Forwarded
+	drops := after.Dropped - before.Dropped
+	if fwd+drops != uint64(n) {
+		return SteerPoint{}, fmt.Errorf("steer: conservation violated at cpus=%d adaptive=%v: forwarded %d + dropped %d != injected %d",
+			targets, adaptive, fwd, drops, n)
+	}
+	if sum := drop.Total(afterReasons); sum != after.Dropped {
+		return SteerPoint{}, fmt.Errorf("steer: drop ledger off at cpus=%d adaptive=%v: per-reason sum %d != total %d",
+			targets, adaptive, sum, after.Dropped)
+	}
+
+	wall := m.Total
+	if busiestKthread > wall {
+		wall = busiestKthread
+	}
+	p := SteerPoint{
+		TargetCPUs:     targets,
+		Adaptive:       adaptive,
+		AggregatePPS:   float64(n) * sim.ClockHz / float64(wall),
+		ProducerCycles: float64(m.Total) / float64(n),
+		BusiestCycles:  float64(wall) / float64(n),
+		CpumapDrops:    after.CpumapDrops - before.CpumapDrops,
+		Forwarded:      fwd,
+		Dropped:        drops,
+	}
+	if lat.Count() > 0 {
+		p.P999LatCycles = lat.Quantile(0.999)
+		p.P99LatCycles = lat.Quantile(0.99)
+	}
+	if ctl != nil {
+		p.Rebalances = ctl.Rebalances()
+	}
+	return p, nil
+}
+
+// RenderSteer prints the sweep in the house table style.
+func RenderSteer(r *SteerReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "closed-loop steering: zipf(s=%.1f) over %d flows, %d frames, static hash vs adaptive table\n",
+		r.ZipfS, r.Flows, r.Frames)
+	fmt.Fprintf(&b, "%-5s %-9s %12s %8s %14s %16s %16s %7s %7s\n",
+		"cpus", "placing", "Mpps(agg)", "gain", "busiest c/p", "p99 qlat (cyc)", "p999 qlat (cyc)", "drops", "rebal")
+	for _, p := range r.Points {
+		mode := "static"
+		if p.Adaptive {
+			mode = "adaptive"
+		}
+		fmt.Fprintf(&b, "%-5d %-9s %12.2f %7.2fx %14.1f %16.0f %16.0f %7d %7d\n",
+			p.TargetCPUs, mode, p.AggregatePPS/1e6, p.GainVsStatic, p.BusiestCycles,
+			p.P99LatCycles, p.P999LatCycles, p.CpumapDrops, p.Rebalances)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+// Zipf-skewed flow workload: real traffic is never uniform — a handful of
+// elephant flows carry most of the bytes while a long tail of mice carries
+// the rest (the classic heavy-tail result from backbone traces). This is
+// precisely the workload that breaks static flow-hash steering: the hash
+// spreads *flows* evenly, but one elephant pins its CPU while the others
+// idle. The steering experiments need the skew to be deterministic, so this
+// sampler is seeded and engine-independent.
+package traffic
+
+import (
+	"math"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// Zipf samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^s, via inverse-CDF
+// over a precomputed table. Deterministic for a given (seed, s, n); not
+// safe for concurrent use (clone one per producer).
+type Zipf struct {
+	rng *sim.RNG
+	cdf []float64 // cdf[k] = P(rank <= k), cdf[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s (s=0 is uniform;
+// s≈1.2 matches flow-size skew in backbone traces).
+func NewZipf(seed uint64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	cdf[n-1] = 1 // guard against float round-down at the top
+	return &Zipf{rng: sim.NewRNG(seed), cdf: cdf}
+}
+
+// Next draws one rank: 0 is the heaviest flow.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ZipfPktgen generates UDP frames whose flow identity is zipf-distributed:
+// each call to Frame draws a flow rank and emits a frame of that flow
+// (fixed 5-tuple per rank), so a burst's per-flow packet counts follow the
+// skew. Wraps Pktgen's header construction for consistency with the other
+// workloads.
+type ZipfPktgen struct {
+	SrcMAC packet.HWAddr
+	DstMAC packet.HWAddr
+	SrcIP  packet.Addr
+	DstIP  packet.Addr // single destination network; host varies per flow
+	Size   int
+	z      *Zipf
+}
+
+// NewZipfPktgen builds a generator with flows flows of exponent s.
+func NewZipfPktgen(seed uint64, s float64, flows int, srcMAC, dstMAC packet.HWAddr, srcIP, dstIP packet.Addr, size int) *ZipfPktgen {
+	return &ZipfPktgen{
+		SrcMAC: srcMAC, DstMAC: dstMAC, SrcIP: srcIP, DstIP: dstIP,
+		Size: size, z: NewZipf(seed, s, flows),
+	}
+}
+
+// Frame draws the next frame from the skewed flow mix. The rank determines
+// the whole 5-tuple: source port 40000+rank, destination host 1+rank%250 —
+// distinct flows for RSS/steering, stable tuple per rank.
+func (g *ZipfPktgen) Frame() []byte {
+	rank := g.z.Next()
+	size := g.Size
+	if size < MinFrameSize {
+		size = MinFrameSize
+	}
+	dst := g.DstIP + packet.Addr(rank%250)
+	overhead := packet.EthHdrLen + packet.IPv4MinLen + packet.UDPHdrLen
+	payload := make([]byte, size-overhead)
+	u := packet.UDP{SrcPort: uint16(40000 + rank), DstPort: 7}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: g.DstMAC, Src: g.SrcMAC, EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: g.SrcIP, Dst: dst},
+		u.Marshal(nil, g.SrcIP, dst, payload),
+	)
+}
+
+// Burst pre-builds n frames (each freshly allocated: the datapath rewrites
+// headers in place).
+func (g *ZipfPktgen) Burst(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.Frame()
+	}
+	return out
+}

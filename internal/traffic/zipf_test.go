@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+// TestZipfDeterministic: the same (seed, s, n) yields the identical rank
+// sequence — the reproducibility contract every steering sweep relies on.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(42, 1.2, 64)
+	b := NewZipf(42, 1.2, 64)
+	for i := 0; i < 10000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ra, rb)
+		}
+		if ra < 0 || ra >= 64 {
+			t.Fatalf("rank %d out of range", ra)
+		}
+	}
+	if c := NewZipf(43, 1.2, 64); func() bool {
+		for i := 0; i < 100; i++ {
+			if a.Next() != c.Next() {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced the same sequence")
+	}
+}
+
+// TestZipfSkew: with s=1.2 the top rank must dominate and the distribution
+// must be monotonically decreasing in aggregate (heavier ranks drawn more).
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(7, 1.2, 64)
+	counts := make([]int, 64)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if frac := float64(counts[0]) / draws; frac < 0.15 {
+		t.Fatalf("rank 0 carries %.3f of draws, want heavy (>0.15)", frac)
+	}
+	if counts[0] <= counts[32] {
+		t.Fatalf("no skew: rank0=%d rank32=%d", counts[0], counts[32])
+	}
+	// s=0 degenerates to uniform: rank 0 near 1/64.
+	u := NewZipf(7, 0, 64)
+	uc := make([]int, 64)
+	for i := 0; i < draws; i++ {
+		uc[u.Next()]++
+	}
+	if frac := float64(uc[0]) / draws; frac > 0.03 {
+		t.Fatalf("uniform sampler skewed: rank 0 at %.3f", frac)
+	}
+}
+
+// TestZipfPktgenStableTuples: every frame of a rank reuses the same 5-tuple
+// (flows must be stable for steering to pin them), and frames parse.
+func TestZipfPktgenStableTuples(t *testing.T) {
+	src := packet.MustAddr("10.1.0.1")
+	dst := packet.MustAddr("10.2.0.1")
+	g := NewZipfPktgen(5, 1.2, 16, packet.HWAddr{1}, packet.HWAddr{2}, src, dst, 64)
+	seen := map[uint16][]byte{} // src port (rank identity) -> first tuple bytes
+	for i := 0; i < 2000; i++ {
+		f := g.Frame()
+		eth, l3, err := packet.UnmarshalEthernet(f)
+		if err != nil || eth.EtherType != packet.EtherTypeIPv4 {
+			t.Fatalf("frame %d unparseable: %v", i, err)
+		}
+		ip, l4, err := packet.UnmarshalIPv4(f[l3:])
+		if err != nil {
+			t.Fatalf("frame %d bad IP: %v", i, err)
+		}
+		sport, dport := packet.L4Ports(f[l3+l4:], 0)
+		tuple := []byte{
+			byte(ip.Src >> 24), byte(ip.Src), byte(ip.Dst >> 24), byte(ip.Dst),
+			byte(sport >> 8), byte(sport), byte(dport >> 8), byte(dport),
+		}
+		if prev, ok := seen[sport]; ok {
+			if string(prev) != string(tuple) {
+				t.Fatalf("rank with sport %d changed tuple", sport)
+			}
+		} else {
+			seen[sport] = tuple
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d distinct flows in 2000 draws", len(seen))
+	}
+}
