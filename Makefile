@@ -28,7 +28,8 @@ race:
 ## internal/ebpf and internal/kernel) so batch-path, cpumap, and XSK ring
 ## regressions fail fast; the steer micro-benches (table pick hot path and
 ## controller observe loop) ride along in internal/steer; no full -bench=.
-## run needed
+## run needed. The sockmap micro-benches (established-flow hit, full-demux
+## miss, socket-to-socket splice) ride along in internal/kernel.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRealForward|BenchmarkRealLinuxFPFastPath' -benchtime 100x -benchmem .
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/ebpf/ ./internal/netdev/ ./internal/kernel/ ./internal/steer/
@@ -52,7 +53,9 @@ obs-smoke:
 ## config-folded across router/bridge/gateway/ACL, with re-specialization
 ## latency under a config-churn storm), and the closed-loop steering sweep
 ## (static splitmix64 hash vs adaptive steer.Table placement over a zipf
-## workload at 1/2/4/8 cpumap CPUs)
+## workload at 1/2/4/8 cpumap CPUs), and the socket-layer fast path race
+## (full stack vs sockmap splice vs sockmap+L7 verdict at 1k/100k/1M
+## concurrent flows)
 bench-json:
 	$(GO) run ./cmd/lfpbench -exp fastpath -fastpath-json BENCH_fastpath.json
 	$(GO) run ./cmd/lfpbench -exp gro -gro-json BENCH_gro.json
@@ -61,6 +64,7 @@ bench-json:
 	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json BENCH_afxdp.json
 	$(GO) run ./cmd/lfpbench -exp specialize -specialize-json BENCH_specialize.json
 	$(GO) run ./cmd/lfpbench -exp steer -steer-json BENCH_steer.json
+	$(GO) run ./cmd/lfpbench -exp sockmap -sockmap-json BENCH_sockmap.json
 
 ## bench-diff: regenerate every BENCH_*.json into a scratch dir and compare
 ## each against the committed baseline with cmd/benchdiff; any headline
@@ -77,7 +81,8 @@ bench-diff:
 	$(GO) run ./cmd/lfpbench -exp afxdp -afxdp-json $(BENCH_TMP)/BENCH_afxdp.json
 	$(GO) run ./cmd/lfpbench -exp specialize -specialize-json $(BENCH_TMP)/BENCH_specialize.json
 	$(GO) run ./cmd/lfpbench -exp steer -steer-json $(BENCH_TMP)/BENCH_steer.json
-	@for b in fastpath gro cpumap obs afxdp specialize steer; do \
+	$(GO) run ./cmd/lfpbench -exp sockmap -sockmap-json $(BENCH_TMP)/BENCH_sockmap.json
+	@for b in fastpath gro cpumap obs afxdp specialize steer sockmap; do \
 		$(BENCH_TMP)/benchdiff -old BENCH_$$b.json -new $(BENCH_TMP)/BENCH_$$b.json || exit 1; \
 	done
 	@rm -rf $(BENCH_TMP)

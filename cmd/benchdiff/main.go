@@ -29,7 +29,8 @@ func higherBetter(key string) (better int) {
 	switch {
 	case strings.Contains(k, "pps"), strings.Contains(k, "gbps"),
 		strings.Contains(k, "speedup"), strings.Contains(k, "gain"),
-		strings.Contains(k, "tput"), strings.Contains(k, "throughput"):
+		strings.Contains(k, "tput"), strings.Contains(k, "throughput"),
+		strings.Contains(k, "hit_rate"):
 		return +1
 	case strings.Contains(k, "cycle"), strings.Contains(k, "lat"),
 		strings.Contains(k, "ns"), strings.Contains(k, "usec"),

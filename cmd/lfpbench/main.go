@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|steer|obs|afxdp|specialize|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fastpath|gro|cpumap|steer|sockmap|obs|afxdp|specialize|fig5|fig6|fig7|fig8|fig9|fig10|table3|table4|table5|table6|table7|ablation|all")
 	cores := flag.Int("cores", 6, "maximum core count for core sweeps")
 	pairs := flag.Int("pairs", 10, "maximum pod pairs for fig9")
 	fpJSON := flag.String("fastpath-json", "", "write the fastpath sweep as JSON to this file")
@@ -29,15 +29,16 @@ func main() {
 	afxdpJSON := flag.String("afxdp-json", "", "write the AF_XDP three-plane race as JSON to this file")
 	specJSON := flag.String("specialize-json", "", "write the JIT specialization sweep as JSON to this file")
 	steerJSON := flag.String("steer-json", "", "write the closed-loop steering sweep as JSON to this file")
+	sockmapJSON := flag.String("sockmap-json", "", "write the socket fast path sweep as JSON to this file")
 	flag.Parse()
 
-	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON, *obsJSON, *afxdpJSON, *specJSON, *steerJSON); err != nil {
+	if err := run(*exp, *cores, *pairs, *fpJSON, *groJSON, *cpumapJSON, *obsJSON, *afxdpJSON, *specJSON, *steerJSON, *sockmapJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "lfpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON, afxdpJSON, specJSON, steerJSON string) error {
+func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON, afxdpJSON, specJSON, steerJSON, sockmapJSON string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -111,6 +112,24 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON, afx
 				return err
 			}
 			fmt.Printf("wrote %s\n", steerJSON)
+		}
+	}
+	if want("sockmap") {
+		ran = true
+		report, err := testbed.SockmapSweep([]int{1_000, 100_000, 1_000_000})
+		if err != nil {
+			return err
+		}
+		fmt.Println(testbed.RenderSockmap(report))
+		if sockmapJSON != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(sockmapJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", sockmapJSON)
 		}
 	}
 	if want("obs") {
@@ -273,7 +292,7 @@ func run(exp string, cores, pairs int, fpJSON, groJSON, cpumapJSON, obsJSON, afx
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"fastpath", "gro", "cpumap", "steer", "obs", "afxdp", "specialize", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			strings.Join([]string{"fastpath", "gro", "cpumap", "steer", "sockmap", "obs", "afxdp", "specialize", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 				"table3", "table4", "table5", "table6", "table7", "ablation", "all"}, "|"))
 	}
 	return nil

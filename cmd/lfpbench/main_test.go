@@ -12,7 +12,7 @@ import (
 func TestRunKnownExperiments(t *testing.T) {
 	// Only the cheap experiments here; the full set runs in bench_test.go.
 	for _, exp := range []string{"table6", "fig10", "ablation"} {
-		if err := run(exp, 2, 2, "", "", "", "", "", "", ""); err != nil {
+		if err := run(exp, 2, 2, "", "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -20,7 +20,7 @@ func TestRunKnownExperiments(t *testing.T) {
 
 func TestRunFastpathWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fastpath.json")
-	if err := run("fastpath", 2, 2, path, "", "", "", "", "", ""); err != nil {
+	if err := run("fastpath", 2, 2, path, "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("fastpath: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -34,7 +34,7 @@ func TestRunFastpathWritesJSON(t *testing.T) {
 
 func TestRunGROWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gro.json")
-	if err := run("gro", 2, 2, "", path, "", "", "", "", ""); err != nil {
+	if err := run("gro", 2, 2, "", path, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("gro: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -48,7 +48,7 @@ func TestRunGROWritesJSON(t *testing.T) {
 
 func TestRunCpumapWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cpumap.json")
-	if err := run("cpumap", 2, 2, "", "", path, "", "", "", ""); err != nil {
+	if err := run("cpumap", 2, 2, "", "", path, "", "", "", "", ""); err != nil {
 		t.Fatalf("cpumap: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -75,7 +75,7 @@ func TestRunCpumapWritesJSON(t *testing.T) {
 
 func TestRunAFXDPWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "afxdp.json")
-	if err := run("afxdp", 2, 2, "", "", "", "", path, "", ""); err != nil {
+	if err := run("afxdp", 2, 2, "", "", "", "", path, "", "", ""); err != nil {
 		t.Fatalf("afxdp: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -105,7 +105,7 @@ func TestRunAFXDPWritesJSON(t *testing.T) {
 
 func TestRunSteerWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "steer.json")
-	if err := run("steer", 2, 2, "", "", "", "", "", "", path); err != nil {
+	if err := run("steer", 2, 2, "", "", "", "", "", "", path, ""); err != nil {
 		t.Fatalf("steer: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -131,7 +131,7 @@ func TestRunSteerWritesJSON(t *testing.T) {
 
 func TestRunSpecializeWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "specialize.json")
-	if err := run("specialize", 2, 2, "", "", "", "", "", path, ""); err != nil {
+	if err := run("specialize", 2, 2, "", "", "", "", "", path, "", ""); err != nil {
 		t.Fatalf("specialize: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -155,15 +155,45 @@ func TestRunSpecializeWritesJSON(t *testing.T) {
 	}
 }
 
+func TestRunSockmapWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sockmap.json")
+	if err := run("sockmap", 2, 2, "", "", "", "", "", "", "", path); err != nil {
+		t.Fatalf("sockmap: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	var report testbed.SockmapReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("json does not round-trip: %v", err)
+	}
+	// Three modes per flow count.
+	if report.ClockHz == 0 || len(report.Points)%3 != 0 || len(report.Points) == 0 {
+		t.Fatalf("schema fields missing: %+v", report)
+	}
+	for _, p := range report.Points {
+		if p.Mode == testbed.SockmapModeFull {
+			continue
+		}
+		if p.EstGain <= 1 {
+			t.Fatalf("flows=%d mode=%s established gain %.2f, want > 1", p.Flows, p.Mode, p.EstGain)
+		}
+		if p.ProxyGain <= 1 {
+			t.Fatalf("flows=%d mode=%s proxy gain %.2f, want > 1", p.Flows, p.Mode, p.ProxyGain)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 1, "", "", "", "", "", "", ""); err == nil {
+	if err := run("fig99", 1, 1, "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunObsWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "obs.json")
-	if err := run("obs", 2, 2, "", "", "", path, "", "", ""); err != nil {
+	if err := run("obs", 2, 2, "", "", "", path, "", "", "", ""); err != nil {
 		t.Fatalf("obs: %v", err)
 	}
 	data, err := os.ReadFile(path)

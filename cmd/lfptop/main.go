@@ -77,6 +77,15 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 	netdev.Disconnect(d.In)
 	netdev.Disconnect(d.Out)
 
+	// Socket-layer fast path: a local UDP service plus a spliced proxy, so
+	// the sockmap counters and the sockmap stage move live.
+	d.Kern.SetSysctl("net.core.sockmap", "1")
+	d.Kern.RegisterSocket(packet.ProtoUDP, 5353, func(*kernel.Kernel, kernel.SocketMsg) {})
+	d.Kern.RegisterProxy(
+		kernel.ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7001, Peer: packet.MustAddr("10.2.0.1"), PeerPort: 7100},
+		kernel.ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7000, Peer: packet.MustAddr("10.1.0.1"), PeerPort: 6100},
+	)
+
 	// The full pipeline: stage histograms, drop mirror, XDP trace stream.
 	rb := ebpf.NewRingBuf("lfptop_events", 1<<16)
 	rb.SetWakeupBatch(batch)
@@ -180,6 +189,21 @@ func driveTraffic(d *DUT) {
 			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
 			u.Marshal(nil, src, dst, make([]byte, 18))))
 	}
+	dut := packet.MustAddr("10.1.0.254")
+	for i := 0; i < 48; i++ { // local UDP service: sockmap fast path hits after first delivery
+		u := packet.UDP{SrcPort: uint16(6000 + i%4), DstPort: 5353}
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dut},
+			u.Marshal(nil, src, dut, make([]byte, 32))))
+	}
+	for i := 0; i < 24; i++ { // proxied flow: splices socket-to-socket toward the sink
+		u := packet.UDP{SrcPort: 6100, DstPort: 7000}
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dut},
+			u.Marshal(nil, src, dut, make([]byte, 32))))
+	}
 	for i := 0; i < 8; i++ {
 		frames = append(frames, []byte{0xde, 0xad}) // runt: L2 header error
 	}
@@ -206,8 +230,10 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf
 		d.Kern.Name, st.Forwarded, st.Delivered, st.Dropped)
 	fmt.Fprintf(w, "ring %s: produced=%d consumed=%d dropped=%d (wakeup batching on)\n",
 		rb.Name(), rb.Produced(), rb.Consumed(), rb.Dropped())
-	fmt.Fprintf(w, "steering: rps_steered=%d rps_ipis=%d backlog_drops=%d rfs_hits=%d rfs_migrations=%d\n\n",
+	fmt.Fprintf(w, "steering: rps_steered=%d rps_ipis=%d backlog_drops=%d rfs_hits=%d rfs_migrations=%d\n",
 		st.RPSSteered, st.RPSIPIs, st.RPSBacklogDrops, st.RFSHits, st.RFSMigrations)
+	fmt.Fprintf(w, "sockmap:  hits=%d misses=%d splices=%d l7=%d\n\n",
+		st.SockmapHits, st.SockmapMisses, st.SockmapSplices, st.L7Verdicts)
 
 	fmt.Fprintf(w, "%-18s %10s %10s %12s\n", "drop reason", "total", "events", "rate/tick")
 	perTick := float64(interval) / float64(time.Second)

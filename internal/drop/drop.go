@@ -55,6 +55,11 @@ const (
 	ReasonUnknownL4Proto  // IP protocol with no local handler
 	ReasonNoSocket        // local delivery with no bound socket
 
+	// Socket layer (sockmap fast path).
+	ReasonSkNoSocket   // memoized socket closed between lookup and delivery
+	ReasonSockmapStale // sk_skb redirect target present but stale (closed / old generation)
+	ReasonSocketFilter // sk_skb verdict program returned SK_DROP (SKB_DROP_REASON_SOCKET_FILTER)
+
 	// Software steering (RPS).
 	ReasonRPSBacklogFull // per-CPU RPS backlog ring full (target CPU behind)
 
@@ -93,6 +98,9 @@ var reasonNames = [NumReasons]string{
 	ReasonUnknownL3Proto:  "unknown_l3_proto",
 	ReasonUnknownL4Proto:  "unknown_l4_proto",
 	ReasonNoSocket:        "no_socket",
+	ReasonSkNoSocket:      "sk_no_socket",
+	ReasonSockmapStale:    "sockmap_stale",
+	ReasonSocketFilter:    "socket_filter",
 	ReasonRPSBacklogFull:  "rps_backlog_full",
 	ReasonRingbufFull:     "ringbuf_full",
 }

@@ -24,6 +24,8 @@ const (
 	HookXDP Hook = iota + 1
 	HookTCIngress
 	HookTCEgress
+	HookSKSKBParser  // sk_skb stream parser (BPF_SK_SKB_STREAM_PARSER)
+	HookSKSKBVerdict // sk_skb stream verdict (BPF_SK_SKB_STREAM_VERDICT)
 )
 
 func (h Hook) String() string {
@@ -34,6 +36,10 @@ func (h Hook) String() string {
 		return "tc-ingress"
 	case HookTCEgress:
 		return "tc-egress"
+	case HookSKSKBParser:
+		return "sk_skb-parser"
+	case HookSKSKBVerdict:
+		return "sk_skb-verdict"
 	default:
 		return fmt.Sprintf("hook(%d)", int(h))
 	}
@@ -138,6 +144,14 @@ type Ctx struct {
 	// RedirectXSKSlot of that map" instead of a device transmit.
 	RedirectXSKMap  *XSKMap
 	RedirectXSKSlot int
+
+	// sk_skb state: Msg is the socket-layer segment a stream parser/verdict
+	// program runs over (nil on packet hooks). HelperSKRedirectMap sets the
+	// sockmap redirect target; a VerdictRedirect with RedirectSockMap non-nil
+	// means SK_REDIRECT to that slot's socket.
+	Msg             *kernel.SocketMsg
+	RedirectSockMap *SockMap
+	RedirectSockKey int
 
 	depth int  // tail-call depth
 	jit   bool // run fused (JIT) program bodies, including tail-call targets

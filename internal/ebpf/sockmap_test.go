@@ -1,0 +1,242 @@
+package ebpf
+
+import (
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+func noopSock(k *kernel.Kernel, port uint16) *kernel.Socket {
+	return k.RegisterSocket(packet.ProtoUDP, port, func(*kernel.Kernel, kernel.SocketMsg) {})
+}
+
+func TestSockMapUpdateLookupDelete(t *testing.T) {
+	k := kernel.New("t")
+	sm := NewSockMap("sm", k, 4)
+	if sm.Len() != 4 || sm.Name() != "sm" {
+		t.Fatalf("shape: len=%d name=%q", sm.Len(), sm.Name())
+	}
+	a, b := noopSock(k, 1), noopSock(k, 2)
+
+	if sm.Update(-1, a) || sm.Update(4, a) {
+		t.Fatal("out-of-range update accepted")
+	}
+	if !sm.Update(0, a) || !sm.Update(1, b) {
+		t.Fatal("in-range update rejected")
+	}
+	if got := sm.Lookup(0); got != a {
+		t.Fatalf("slot 0 = %p, want %p", got, a)
+	}
+	if !sm.Update(0, nil) { // nil update clears, like the kernel
+		t.Fatal("nil update rejected")
+	}
+	if got := sm.Lookup(0); got != nil {
+		t.Fatal("slot 0 not cleared")
+	}
+	if sm.Delete(0) {
+		t.Fatal("delete of empty slot reported a member")
+	}
+	if !sm.Delete(1) || sm.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestSockMapBatchOps(t *testing.T) {
+	k := kernel.New("t")
+	sm := NewSockMap("sm", k, 4)
+	socks := []*kernel.Socket{noopSock(k, 1), noopSock(k, 2), noopSock(k, 3)}
+	// One key out of range: only two land.
+	if n := sm.UpdateBatch([]int{0, 9, 2}, socks); n != 2 {
+		t.Fatalf("UpdateBatch wrote %d, want 2", n)
+	}
+	// Keys beyond the socket slice are ignored.
+	if n := sm.UpdateBatch([]int{1, 3}, socks[:1]); n != 1 {
+		t.Fatalf("short batch wrote %d, want 1", n)
+	}
+	if n := sm.DeleteBatch([]int{0, 1, 2, 3, 9}); n != 3 {
+		t.Fatalf("DeleteBatch removed %d, want 3", n)
+	}
+}
+
+func TestSockMapStaleVsEmptyAndSelfHeal(t *testing.T) {
+	k := kernel.New("t")
+	sm := NewSockMap("sm", k, 2)
+	a := noopSock(k, 1)
+	sm.Update(0, a)
+
+	// Empty slot: a plain miss, not stale.
+	if s, stale := sm.LookupSlot(1); s != nil || stale {
+		t.Fatalf("empty slot = (%v, %v), want (nil, false)", s, stale)
+	}
+
+	// A different socket churns: the member is still live, so the lookup
+	// self-heals the generation stamp instead of reporting stale.
+	bGone := noopSock(k, 2)
+	k.UnregisterSocket(packet.ProtoUDP, 2)
+	_ = bGone
+	if s, stale := sm.LookupSlot(0); s != a || stale {
+		t.Fatalf("live member after churn = (%v, %v), want (a, false)", s, stale)
+	}
+	if p := sm.slots[0].Load(); p.gen != k.SockGen() {
+		t.Fatalf("slot gen %d not re-stamped to %d", p.gen, k.SockGen())
+	}
+
+	// The member itself unregisters: stale, not empty.
+	k.UnregisterSocket(packet.ProtoUDP, 1)
+	if s, stale := sm.LookupSlot(0); s != nil || !stale {
+		t.Fatalf("dead member = (%v, %v), want (nil, true)", s, stale)
+	}
+}
+
+func TestSockHashCollisionAndStale(t *testing.T) {
+	k := kernel.New("t")
+	sh := NewSockHash("sh", k, 5) // rounds up
+	if sh.Len() != 8 {
+		t.Fatalf("len=%d, want 8", sh.Len())
+	}
+	a := noopSock(k, 1)
+	const h1 = uint32(3)
+	h2 := h1 + uint32(sh.Len()) // same slot, different hash
+	sh.Update(h1, a)
+	if s, _ := sh.Lookup(h1); s != a {
+		t.Fatal("lookup by inserted hash missed")
+	}
+	// A colliding hash must not return the other flow's socket.
+	if s, stale := sh.Lookup(h2); s != nil || stale {
+		t.Fatalf("collision = (%v, %v), want (nil, false)", s, stale)
+	}
+	if sh.Delete(h2) {
+		t.Fatal("delete by colliding hash removed the occupant")
+	}
+	k.UnregisterSocket(packet.ProtoUDP, 1)
+	if s, stale := sh.Lookup(h1); s != nil || !stale {
+		t.Fatalf("dead member = (%v, %v), want (nil, true)", s, stale)
+	}
+	sh.Update(h1, nil) // nil update clears
+	if !func() bool { s, st := sh.Lookup(h1); return s == nil && !st }() {
+		t.Fatal("nil update did not clear")
+	}
+}
+
+func TestAttachSKSKBValidation(t *testing.T) {
+	k := kernel.New("t")
+	l := NewLoader(k)
+	sm := NewSockMap("sm", k, 2)
+	verdict := &Program{Name: "v", Hook: HookSKSKBVerdict, Ops: []Op{opReturning("x", VerdictPass)}}
+	parser := &Program{Name: "p", Hook: HookSKSKBParser, Ops: []Op{opReturning("x", VerdictPass)}}
+	xdp := &Program{Name: "x", Hook: HookXDP, Ops: []Op{opReturning("x", VerdictPass)}}
+
+	if err := l.AttachSKSKB(sm, nil, nil); err == nil {
+		t.Fatal("attached without a verdict program")
+	}
+	if err := l.AttachSKSKB(sm, nil, xdp); err == nil {
+		t.Fatal("attached an XDP program as verdict")
+	}
+	if err := l.AttachSKSKB(sm, xdp, verdict); err == nil {
+		t.Fatal("attached an XDP program as parser")
+	}
+	if err := l.AttachSKSKB(sm, parser, verdict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSKSKBAdapterVerdictMapping drives the adapter directly through every
+// verdict arm: pass, drop, parser drop, redirect to live / empty / stale
+// slots, and a helper call with an out-of-range key.
+func TestSKSKBAdapterVerdictMapping(t *testing.T) {
+	k := kernel.New("t")
+	l := NewLoader(k)
+	sm := NewSockMap("sm", k, 3)
+	target := noopSock(k, 9)
+	sm.Update(0, target)
+	staleSock := noopSock(k, 10)
+	sm.Update(1, staleSock)
+	k.UnregisterSocket(packet.ProtoUDP, 10) // slot 1 now stale; slot 2 empty
+
+	msg := &kernel.SocketMsg{Proto: packet.ProtoUDP, SrcPort: 5, DstPort: 9}
+	run := func(verdictOps []Op, parser *Program) kernel.SKSKBResult {
+		t.Helper()
+		verdict, err := l.Load(&Program{Name: "v", Hook: HookSKSKBVerdict, Ops: verdictOps, Default: VerdictPass})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AttachSKSKB(sm, parser, verdict); err != nil {
+			t.Fatal(err)
+		}
+		var m sim.Meter
+		return (&skskbAdapter{k: k, sm: sm}).HandleSKSKB(msg, &m)
+	}
+	redirOp := func(key int) Op {
+		return NewOp("redir", 0, CapSKB|CapRedirect, 8, func(c *Ctx) Verdict {
+			return HelperSKRedirectMap(c, sm, key)
+		})
+	}
+
+	if r := run([]Op{opReturning("pass", VerdictPass)}, nil); r.Action != kernel.SKSKBPass {
+		t.Fatalf("pass arm: %+v", r)
+	}
+	if r := run([]Op{opReturning("drop", VerdictDrop)}, nil); r.Action != kernel.SKSKBDrop || r.Reason != drop.ReasonSocketFilter {
+		t.Fatalf("drop arm: %+v", r)
+	}
+	if r := run([]Op{redirOp(0)}, nil); r.Action != kernel.SKSKBRedirect || r.Target != target {
+		t.Fatalf("live redirect: %+v", r)
+	}
+	if r := run([]Op{redirOp(2)}, nil); r.Action != kernel.SKSKBDrop || r.Reason != drop.ReasonSkNoSocket {
+		t.Fatalf("empty-slot redirect: %+v", r)
+	}
+	if r := run([]Op{redirOp(1)}, nil); r.Action != kernel.SKSKBDrop || r.Reason != drop.ReasonSockmapStale {
+		t.Fatalf("stale-slot redirect: %+v", r)
+	}
+	// Out-of-range key: the helper aborts, which frees the segment.
+	if r := run([]Op{redirOp(7)}, nil); r.Action != kernel.SKSKBDrop {
+		t.Fatalf("bounds abort: %+v", r)
+	}
+
+	// Parser drop wins before the verdict program runs.
+	verdictRan := false
+	spyOps := []Op{NewOp("spy", 0, CapSKB, 4, func(*Ctx) Verdict { verdictRan = true; return VerdictPass })}
+	dropParser, err := l.Load(&Program{Name: "p", Hook: HookSKSKBParser, Ops: []Op{opReturning("frame", VerdictDrop)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := run(spyOps, dropParser); r.Action != kernel.SKSKBDrop || r.Reason != drop.ReasonSocketFilter {
+		t.Fatalf("parser drop: %+v", r)
+	}
+	if verdictRan {
+		t.Fatal("verdict program ran after the parser dropped")
+	}
+
+	// Detach: members fall back to plain delivery.
+	l.DetachSKSKB(sm)
+	var m sim.Meter
+	if r := (&skskbAdapter{k: k, sm: sm}).HandleSKSKB(msg, &m); r.Action != kernel.SKSKBPass {
+		t.Fatalf("detached map must pass: %+v", r)
+	}
+}
+
+// TestHelperSKRedirectMapCharges: the helper charges the redirect cost and
+// records the target on the context.
+func TestHelperSKRedirectMapCharges(t *testing.T) {
+	k := kernel.New("t")
+	sm := NewSockMap("sm", k, 2)
+	var m sim.Meter
+	c := &Ctx{Meter: &m}
+	if v := HelperSKRedirectMap(c, sm, 1); v != VerdictRedirect {
+		t.Fatalf("verdict %v", v)
+	}
+	if c.RedirectSockMap != sm || c.RedirectSockKey != 1 {
+		t.Fatalf("target not recorded: %v/%d", c.RedirectSockMap, c.RedirectSockKey)
+	}
+	if m.Total != sim.CostSockmapRedirect {
+		t.Fatalf("charged %v, want %v", m.Total, sim.CostSockmapRedirect)
+	}
+	if v := HelperSKRedirectMap(c, nil, 0); v != VerdictAborted {
+		t.Fatalf("nil map: %v", v)
+	}
+	if v := HelperSKRedirectMap(c, sm, 2); v != VerdictAborted {
+		t.Fatalf("oob key: %v", v)
+	}
+}

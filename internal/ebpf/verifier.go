@@ -26,6 +26,11 @@ func HookCaps(h Hook) (Cap, error) {
 		return CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapAdjustHead | CapRingbuf, nil
 	case HookTCIngress, HookTCEgress:
 		return CapSKB | CapHelperFIB | CapHelperFDB | CapHelperIpt | CapHelperIPVS | CapTailCall | CapRedirect | CapRingbuf, nil
+	case HookSKSKBParser, HookSKSKBVerdict:
+		// Stream programs see socket-layer segments, not raw frames: the
+		// sk_buff view, socket redirects, the ringbuf, and tail calls — no
+		// packet-forwarding helpers.
+		return CapSKB | CapTailCall | CapRedirect | CapRingbuf, nil
 	default:
 		return 0, fmt.Errorf("%w: %d", ErrBadHook, int(h))
 	}

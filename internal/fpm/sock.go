@@ -1,0 +1,135 @@
+// Socket-layer fast path modules: the sk_skb snippets the synthesizer
+// composes into stream verdict programs. SockRedirOp renders the pure
+// splice (every segment to a sockmap peer); L7HTTPOp puts an HTTP
+// method/path policy in front of it, offloading the proxy's L7 verdict to
+// the socket layer while undecidable segments keep the full userspace
+// round trip.
+package fpm
+
+import (
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/sim"
+)
+
+// SockRedirConf parameterizes the socket splice module.
+type SockRedirConf struct {
+	// Map and Slot name the redirect target (the peer socket's sockmap
+	// slot).
+	Map  *ebpf.SockMap
+	Slot int
+}
+
+// SockRedirOp builds the splice snippet: bpf_sk_redirect_map every segment
+// to the configured peer. The helper only records the target; resolution
+// (and the empty/stale distinction) happens when the kernel applies the
+// verdict.
+func SockRedirOp(conf SockRedirConf) ebpf.Op {
+	return ebpf.NewOp("sk_redirect", 0, ebpf.CapSKB|ebpf.CapRedirect, 24, func(c *ebpf.Ctx) ebpf.Verdict {
+		return ebpf.HelperSKRedirectMap(c, conf.Map, conf.Slot)
+	})
+}
+
+// L7Rule matches an HTTP request line. Empty Method matches any method;
+// empty PathPrefix matches any path.
+type L7Rule struct {
+	Method     string
+	PathPrefix string
+	Allow      bool
+}
+
+// L7Conf parameterizes the L7 verdict module.
+type L7Conf struct {
+	// Rules are evaluated in order; the first match decides. A request
+	// matching no rule is undecidable in-kernel and punts to userspace.
+	Rules []L7Rule
+}
+
+// L7HTTPOp builds the L7 verdict snippet: parse the request line
+// ("METHOD SP PATH") from the first segment and apply the rule list. A
+// deny renders SK_DROP; an allow continues to the next op (the splice); a
+// segment that doesn't parse as an HTTP request line — or matches no
+// rule — punts to userspace (VerdictPass = SK_PASS), where the proxy's
+// full parser applies. Punting costs performance, never correctness.
+func L7HTTPOp(conf L7Conf) ebpf.Op {
+	return ebpf.NewOp("l7_http", sim.CostL7Parse, ebpf.CapSKB, 160, func(c *ebpf.Ctx) ebpf.Verdict {
+		if c.Msg == nil {
+			return ebpf.VerdictPass
+		}
+		method, path, ok := parseRequestLine(c.Msg.Payload)
+		if !ok {
+			return ebpf.VerdictPass
+		}
+		for _, r := range conf.Rules {
+			if r.Method != "" && !bytesEqual(method, r.Method) {
+				continue
+			}
+			if r.PathPrefix != "" && !bytesPrefix(path, r.PathPrefix) {
+				continue
+			}
+			if r.Allow {
+				return ebpf.VerdictNext
+			}
+			return ebpf.VerdictDrop
+		}
+		return ebpf.VerdictPass
+	})
+}
+
+// parseRequestLine extracts METHOD and PATH byte views from an HTTP
+// request line, without allocating (the op runs on the zero-alloc delivery
+// path). Only the first segment of a stream carries a request line;
+// anything else fails to parse and punts.
+func parseRequestLine(b []byte) (method, path []byte, ok bool) {
+	// METHOD: 1..8 uppercase letters, then a space.
+	sp1 := -1
+	for i := 0; i < len(b) && i < 9; i++ {
+		if b[i] == ' ' {
+			sp1 = i
+			break
+		}
+		if b[i] < 'A' || b[i] > 'Z' {
+			return nil, nil, false
+		}
+	}
+	if sp1 < 1 {
+		return nil, nil, false
+	}
+	// PATH: starts with '/', runs to the next space.
+	rest := b[sp1+1:]
+	if len(rest) == 0 || rest[0] != '/' {
+		return nil, nil, false
+	}
+	sp2 := -1
+	for i, ch := range rest {
+		if ch == ' ' {
+			sp2 = i
+			break
+		}
+		if ch == '\r' || ch == '\n' {
+			return nil, nil, false
+		}
+	}
+	if sp2 < 1 {
+		return nil, nil, false
+	}
+	return b[:sp1], rest[:sp2], true
+}
+
+// bytesEqual compares a byte view against a rule string without converting
+// (no allocation on the delivery path).
+func bytesEqual(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bytesPrefix reports whether the byte view starts with the rule string.
+func bytesPrefix(b []byte, s string) bool {
+	return len(b) >= len(s) && bytesEqual(b[:len(s)], s)
+}

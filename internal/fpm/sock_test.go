@@ -1,0 +1,90 @@
+package fpm
+
+import (
+	"testing"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/sim"
+)
+
+func TestParseRequestLine(t *testing.T) {
+	cases := []struct {
+		in           string
+		method, path string
+		ok           bool
+	}{
+		{"GET /api/users HTTP/1.1\r\n\r\n", "GET", "/api/users", true},
+		{"POST /admin/keys HTTP/1.1\r\n", "POST", "/admin/keys", true},
+		{"DELETE / HTTP/1.1", "DELETE", "/", true},
+		{"get /api HTTP/1.1", "", "", false},        // lowercase method
+		{"GET noslash HTTP/1.1", "", "", false},     // path must start with /
+		{"TOOLONGMETHOD / HTTP/1.1", "", "", false}, // method > 8 letters
+		{"GET /unterminated", "", "", false},        // no space after path
+		{"GET /bad\r\npath HTTP/1.1", "", "", false},
+		{"", "", "", false},
+		{" / HTTP/1.1", "", "", false}, // empty method
+		{"\x00\x01\x02binary", "", "", false},
+	}
+	for _, c := range cases {
+		m, p, ok := parseRequestLine([]byte(c.in))
+		if ok != c.ok {
+			t.Errorf("%q: ok=%v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (string(m) != c.method || string(p) != c.path) {
+			t.Errorf("%q: (%q, %q), want (%q, %q)", c.in, m, p, c.method, c.path)
+		}
+	}
+}
+
+func TestL7HTTPOpVerdicts(t *testing.T) {
+	op := L7HTTPOp(L7Conf{Rules: []L7Rule{
+		{Method: "POST", PathPrefix: "/admin", Allow: false},
+		{Method: "GET", Allow: true},
+	}})
+	if op.Cost() != sim.CostL7Parse {
+		t.Fatalf("op cost %v, want %v", op.Cost(), sim.CostL7Parse)
+	}
+	run := func(payload string) ebpf.Verdict {
+		var m sim.Meter
+		return op.Run(&ebpf.Ctx{Meter: &m, Msg: &kernel.SocketMsg{Payload: []byte(payload)}})
+	}
+
+	if v := run("POST /admin/keys HTTP/1.1\r\n\r\n"); v != ebpf.VerdictDrop {
+		t.Fatalf("deny rule: %v", v)
+	}
+	if v := run("GET /api/users HTTP/1.1\r\n\r\n"); v != ebpf.VerdictNext {
+		t.Fatalf("allow rule must chain to the splice: %v", v)
+	}
+	// POST outside /admin matches no rule: undecidable, punt to userspace.
+	if v := run("POST /api/users HTTP/1.1\r\n\r\n"); v != ebpf.VerdictPass {
+		t.Fatalf("unmatched request must punt: %v", v)
+	}
+	// Non-HTTP bytes (a mid-stream segment): punt, never drop.
+	if v := run("\x8f\x02raw tls bytes"); v != ebpf.VerdictPass {
+		t.Fatalf("unparseable segment must punt: %v", v)
+	}
+	// Nil message (no socket context): punt.
+	var m sim.Meter
+	if v := op.Run(&ebpf.Ctx{Meter: &m}); v != ebpf.VerdictPass {
+		t.Fatalf("nil msg must punt: %v", v)
+	}
+}
+
+func TestSockRedirOpRecordsTarget(t *testing.T) {
+	k := kernel.New("t")
+	sm := ebpf.NewSockMap("sm", k, 2)
+	op := SockRedirOp(SockRedirConf{Map: sm, Slot: 1})
+	var m sim.Meter
+	c := &ebpf.Ctx{Meter: &m}
+	if v := op.Run(c); v != ebpf.VerdictRedirect {
+		t.Fatalf("verdict %v", v)
+	}
+	if c.RedirectSockMap != sm || c.RedirectSockKey != 1 {
+		t.Fatalf("target not recorded: %v/%d", c.RedirectSockMap, c.RedirectSockKey)
+	}
+	if m.Total != sim.CostSockmapRedirect {
+		t.Fatalf("charged %v, want %v", m.Total, sim.CostSockmapRedirect)
+	}
+}

@@ -30,6 +30,14 @@ type rxScratch struct {
 	fillGen uint64
 	fillOK  bool
 
+	// Sockmap fill state, same discipline: the combined socket-path
+	// generation captured in ipRcv before PREROUTING/route/INPUT run,
+	// consumed at the demux in ipLocalDeliver. smsg is the delivery message
+	// the sockmap hit path reuses so a hit performs no allocation.
+	sockGen    uint64
+	sockFillOK bool
+	smsg       SocketMsg
+
 	// GSO state for the frame in flight: set by groInput when a GRO
 	// supersegment enters the stack, read by ipForward to resegment at the
 	// egress device. segs <= 1 for ordinary frames.
@@ -126,6 +134,12 @@ func (k *Kernel) receiveParsed(dev *netdev.Device, frame []byte, eth packet.Ethe
 		if k.rpsDeliver(st, dev, frame, eth, l3off, m) {
 			return
 		}
+	}
+	// Sockmap fast path: established local flows jump straight from here to
+	// the socket (or its splice partner), skipping ip_rcv, netfilter, and
+	// the route lookup, when the memoized demux decision revalidates.
+	if k.sockmapOn.Load() && k.sockFastPath(dev, frame, m, sc) {
+		return
 	}
 	// Per-CPU flow fast-cache: steady-state forwarded flows skip the whole
 	// ip_rcv/route/neighbour walk when the memoized decision revalidates.
@@ -314,6 +328,10 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 	if k.flowCacheOn.Load() {
 		sc.fillGen = k.dpGen()
 	}
+	sc.sockFillOK = k.sockmapOn.Load()
+	if sc.sockFillOK {
+		sc.sockGen = k.skGen()
+	}
 
 	meta := k.buildMetaInto(dev, pkt, &sc.meta)
 	if v := k.runHook(netfilter.HookPrerouting, meta, m); v == netfilter.VerdictDrop {
@@ -340,7 +358,7 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 		return
 	}
 	if r.Local || ip.Dst.IsBroadcast() {
-		k.ipLocalDeliver(dev, frame, pkt, meta, m)
+		k.ipLocalDeliver(dev, frame, pkt, meta, m, sc)
 		return
 	}
 	k.ipForward(dev, frame, pkt, r, meta, m, sc)
@@ -394,8 +412,10 @@ func (k *Kernel) runHook(h netfilter.Hook, meta *netfilter.Meta, m *sim.Meter) n
 	return v
 }
 
-// ipLocalDeliver is ip_local_deliver: reassembly, INPUT hook, L4 demux.
-func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Packet, meta *netfilter.Meta, m *sim.Meter) {
+// ipLocalDeliver is ip_local_deliver: reassembly, INPUT hook, L4 demux. A
+// nil sc (loopback sends, IPVS re-injection) just disables sockmap
+// memoization.
+func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Packet, meta *netfilter.Meta, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("ip_local_deliver", m)()
 	m.Charge(sim.CostLocalDeliver)
 	ip := pkt.IPv4
@@ -429,7 +449,7 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 		if len(payload) >= 4 {
 			sport, dport = packet.L4Ports(payload, 0)
 		}
-		h, ok := k.socketFor(ip.Proto, dport)
+		sock, ok := k.socketFor(ip.Proto, dport)
 		if !ok {
 			k.countDropReason(m, drop.ReasonNoSocket)
 			return
@@ -446,11 +466,26 @@ func (k *Kernel) ipLocalDeliver(dev *netdev.Device, frame []byte, pkt *packet.Pa
 			sport, dport = t.SrcPort, t.DstPort
 		}
 		k.rfsRecord(ip, sport, dport, m)
-		k.countDelivered(m)
-		h(k, SocketMsg{
+		// Memoize the demux decision for the sockmap fast path: first
+		// delivery walks the full stack, later segments of the flow hit the
+		// established-flow table. The generation was captured in ip_rcv.
+		if sc != nil && sc.sockFillOK && !ip.IsFragment() && !ip.Dst.IsBroadcast() &&
+			k.sockInstallEligible() {
+			k.sockInstall(packet.FlowTuple{
+				Src: ip.Src, Dst: ip.Dst, SrcPort: sport, DstPort: dport, Proto: ip.Proto,
+			}, sock, sc.sockGen, m)
+		}
+		var msg *SocketMsg
+		if sc != nil {
+			msg = &sc.smsg
+		} else {
+			msg = &SocketMsg{}
+		}
+		*msg = SocketMsg{
 			Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst,
 			SrcPort: sport, DstPort: dport, Payload: body, InIf: dev.Index, Meter: m,
-		})
+		}
+		k.finishDeliver(sock, msg, m)
 	default:
 		k.countDropReason(m, drop.ReasonUnknownL4Proto)
 	}

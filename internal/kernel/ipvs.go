@@ -221,7 +221,7 @@ func (k *Kernel) ipvsInput(dev *netdev.Device, frame []byte, pkt *packet.Packet,
 	}
 	if r.Local {
 		meta := k.buildMeta(dev, newPkt)
-		k.ipLocalDeliver(dev, frame, newPkt, meta, m)
+		k.ipLocalDeliver(dev, frame, newPkt, meta, m, nil)
 		return true
 	}
 	meta := k.buildMeta(dev, newPkt)

@@ -115,6 +115,11 @@ type Stats struct {
 	RPSIPIs         uint64 // backlog doorbells (modeled net_rps_send_ipi calls)
 	RFSHits         uint64 // steering decisions taken from the sock flow table
 	RFSMigrations   uint64 // flows moved to a new CPU after their qtail drained
+
+	SockmapHits    uint64 // established-flow socket table hits (full stack walk skipped)
+	SockmapMisses  uint64 // probes that fell through to the full walk
+	SockmapSplices uint64 // segments forwarded socket-to-socket (native splice or SK_REDIRECT)
+	L7Verdicts     uint64 // sk_skb verdict program runs at the socket layer
 }
 
 // socketKey binds a protocol and port.
@@ -156,6 +161,7 @@ type Kernel struct {
 	flowCacheOn atomic.Bool // net.core.flow_cache
 	jitEnabled  atomic.Bool // net.core.bpf_jit_enable (default on)
 	specEnabled atomic.Bool // net.core.bpf_jit_specialize (default on)
+	sockmapOn   atomic.Bool // net.core.sockmap (socket-layer fast path)
 
 	// cfgGen is bumped on any configuration change outside the generation-
 	// counted subsystems (sysctls, TC attachments, link state, bridge
@@ -169,6 +175,14 @@ type Kernel struct {
 	flows   [NumRxShards]atomic.Pointer[flowShard]
 	l2cache [NumRxShards]atomic.Pointer[l2Shard]
 	gro     [NumRxShards]atomic.Pointer[groCtx]
+	skflows [NumRxShards]atomic.Pointer[sockShard]
+
+	// socks is the listening-socket table, copy-on-write like the device
+	// table: the demux path reads it with one atomic load. sockGen counts
+	// socket unregistrations (and rebinds that close a previous socket) —
+	// the socket-layer share of the established-flow table's generation.
+	socks   atomic.Pointer[sockTable]
+	sockGen atomic.Uint64
 
 	// dropReasons shadows the shards' dropped counter, split by
 	// drop.Reason: every countDrop* helper tags its reason here, so
@@ -191,7 +205,6 @@ type Kernel struct {
 	bridges map[int]*bridge.Bridge // keyed by bridge device ifindex
 	vxlans  map[int]*vxlanState
 	sysctl  map[string]string
-	sockets map[socketKey]SocketHandler
 	nextIdx int
 	ipIDSeq uint32
 	defrag  map[fragKey]*fragQueue
@@ -225,13 +238,14 @@ func New(name string) *Kernel {
 			"net.core.bpf_jit_specialize":    "1",
 			"net.core.gro_flush_timeout":     "0",
 			"net.core.rps_sock_flow_entries": "0",
+			"net.core.sockmap":               "0",
 		},
-		sockets: make(map[socketKey]SocketHandler),
-		defrag:  make(map[fragKey]*fragQueue),
-		ipvs:    newIPVSState(),
+		defrag: make(map[fragKey]*fragQueue),
+		ipvs:   newIPVSState(),
 	}
 	k.jitEnabled.Store(true)
 	k.specEnabled.Store(true)
+	k.socks.Store(&sockTable{m: map[socketKey]*Socket{}})
 	k.devs.Store(&devTable{byIdx: map[int]*netdev.Device{}, byName: map[string]*netdev.Device{}})
 	k.tc.Store(&tcTables{ingress: map[int]TCHandler{}, egress: map[int]TCHandler{}})
 	zero := func() sim.Time { return 0 }
@@ -284,6 +298,10 @@ func (k *Kernel) Stats() Stats {
 		s.RPSIPIs += c.rpsIPIs.Load()
 		s.RFSHits += c.rfsHits.Load()
 		s.RFSMigrations += c.rfsMigrations.Load()
+		s.SockmapHits += c.sockmapHits.Load()
+		s.SockmapMisses += c.sockmapMisses.Load()
+		s.SockmapSplices += c.sockmapSplices.Load()
+		s.L7Verdicts += c.l7Verdicts.Load()
 	}
 	return s
 }
@@ -674,6 +692,8 @@ func (k *Kernel) SetSysctl(key, value string) {
 		k.brNFCall.Store(on)
 	case "net.core.flow_cache":
 		k.flowCacheOn.Store(on)
+	case "net.core.sockmap":
+		k.sockmapOn.Store(on)
 	case "net.core.bpf_jit_enable":
 		k.jitEnabled.Store(on)
 	case "net.core.bpf_jit_specialize":
@@ -842,30 +862,6 @@ func (k *Kernel) TCAttached(ifindex int, ingress bool) bool {
 	}
 	_, ok := t.egress[ifindex]
 	return ok
-}
-
-// --- sockets -----------------------------------------------------------------
-
-// RegisterSocket binds a handler to (proto, port) — the model's listening
-// socket.
-func (k *Kernel) RegisterSocket(proto uint8, port uint16, h SocketHandler) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.sockets[socketKey{proto, port}] = h
-}
-
-// UnregisterSocket removes a binding.
-func (k *Kernel) UnregisterSocket(proto uint8, port uint16) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	delete(k.sockets, socketKey{proto, port})
-}
-
-func (k *Kernel) socketFor(proto uint8, port uint16) (SocketHandler, bool) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	h, ok := k.sockets[socketKey{proto, port}]
-	return h, ok
 }
 
 // --- netlink dump handlers -----------------------------------------------------

@@ -56,7 +56,16 @@ type shardCounters struct {
 	rpsIPIs         atomic.Uint64
 	rfsHits         atomic.Uint64
 	rfsMigrations   atomic.Uint64
-	// 24 counters: exactly 192 bytes (three cache lines), no pad needed.
+	// Sockmap (socket-layer fast path) counters: hits/misses/splices land on
+	// the probing CPU's shard, L7 verdicts on the CPU running the sk_skb
+	// program.
+	sockmapHits    atomic.Uint64
+	sockmapMisses  atomic.Uint64
+	sockmapSplices atomic.Uint64
+	l7Verdicts     atomic.Uint64
+	// 28 counters: 224 bytes; pad to a 256-byte (four cache line) boundary
+	// so adjacent shards never share a line.
+	_ [4]uint64
 }
 
 // shardIdx maps a meter to its shard. A nil meter (functional tests, config

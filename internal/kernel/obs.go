@@ -75,6 +75,7 @@ const (
 	StageFIB                    // FIB lookup
 	StageNeigh                  // neighbour resolve + L2 header fill
 	StageXmit                   // dev_queue_xmit through the driver
+	StageSockmap                // sockmap fast path: probe + verdict + deliver/splice
 	NumStages
 )
 
@@ -86,6 +87,7 @@ var stageNames = [NumStages]string{
 	StageFIB:       "fib",
 	StageNeigh:     "neigh",
 	StageXmit:      "xmit",
+	StageSockmap:   "sockmap",
 }
 
 func (s Stage) String() string {

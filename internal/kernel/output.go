@@ -44,7 +44,7 @@ func (k *Kernel) SendIP(src, dst packet.Addr, proto uint8, l4 []byte, m *sim.Met
 			return false
 		}
 		inMeta := k.buildMeta(lo, pkt)
-		k.ipLocalDeliver(lo, frame, pkt, inMeta, m)
+		k.ipLocalDeliver(lo, frame, pkt, inMeta, m, nil)
 		return true
 	}
 

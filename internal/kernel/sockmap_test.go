@@ -1,0 +1,492 @@
+package kernel
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/netfilter"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// sockHost builds a single host owning 10.0.0.2/24 with the socket-layer
+// fast path enabled.
+func sockHost(t *testing.T) (*Kernel, *netdev.Device) {
+	t.Helper()
+	k := New("host")
+	d := k.CreateDevice("eth0", netdev.Physical)
+	d.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		t.Fatal(err)
+	}
+	k.SetSysctl("net.core.sockmap", "1")
+	return k, d
+}
+
+// sockFrame builds one UDP frame of the (10.0.0.1:sport → 10.0.0.2:dport)
+// flow.
+func sockFrame(d *netdev.Device, sport, dport uint16, payload []byte) []byte {
+	src := packet.MustAddr("10.0.0.1")
+	dst := packet.MustAddr("10.0.0.2")
+	u := packet.UDP{SrcPort: sport, DstPort: dport}
+	return packet.BuildIPv4(
+		packet.Ethernet{Dst: d.MAC, Src: packet.MustHWAddr("02:00:00:00:00:01"), EtherType: packet.EtherTypeIPv4},
+		packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dst},
+		u.Marshal(nil, src, dst, payload))
+}
+
+// assertLedger checks the per-reason drop sum equals the drop total.
+func assertLedger(t *testing.T, k *Kernel) {
+	t.Helper()
+	if sum := drop.Total(k.DropReasons()); sum != k.Stats().Dropped {
+		t.Fatalf("drop ledger off: per-reason sum %d != total %d", sum, k.Stats().Dropped)
+	}
+}
+
+// TestSockmapHitMissAndGenInvalidation: the first delivery of a flow walks
+// the full stack and memoizes; the second hits; a socket unregister bumps
+// the generation so the next packet conservatively misses, and a rebind
+// re-establishes the flow.
+func TestSockmapHitMissAndGenInvalidation(t *testing.T) {
+	k, d := sockHost(t)
+	var payloads [][]byte
+	reg := func() {
+		k.RegisterSocket(packet.ProtoUDP, 7, func(_ *Kernel, msg SocketMsg) {
+			payloads = append(payloads, append([]byte(nil), msg.Payload...))
+		})
+	}
+	reg()
+	var m sim.Meter
+	want := []byte("established-flow payload")
+
+	d.Receive(sockFrame(d, 4001, 7, want), &m) // miss + install
+	st := k.Stats()
+	if st.SockmapHits != 0 || st.SockmapMisses == 0 {
+		t.Fatalf("first packet: hits=%d misses=%d, want 0 hits", st.SockmapHits, st.SockmapMisses)
+	}
+	d.Receive(sockFrame(d, 4001, 7, want), &m) // hit
+	st = k.Stats()
+	if st.SockmapHits != 1 {
+		t.Fatalf("second packet: hits=%d, want 1", st.SockmapHits)
+	}
+	if len(payloads) != 2 || !bytes.Equal(payloads[0], want) || !bytes.Equal(payloads[1], want) {
+		t.Fatalf("delivered payloads differ between slow and fast path: %q", payloads)
+	}
+
+	// Unregister bumps the generation: the memoized entry must not serve a
+	// dead socket, and the slow walk finds no socket either.
+	k.UnregisterSocket(packet.ProtoUDP, 7)
+	d.Receive(sockFrame(d, 4001, 7, want), &m)
+	st = k.Stats()
+	if st.SockmapHits != 1 {
+		t.Fatalf("post-unregister: hits=%d, want still 1 (gen must invalidate)", st.SockmapHits)
+	}
+	if got := k.DropReasons()[drop.ReasonNoSocket]; got != 1 {
+		t.Fatalf("post-unregister drop reason no_socket = %d, want 1", got)
+	}
+
+	// Rebind: first packet re-memoizes, second hits again.
+	reg()
+	d.Receive(sockFrame(d, 4001, 7, want), &m)
+	d.Receive(sockFrame(d, 4001, 7, want), &m)
+	if st = k.Stats(); st.SockmapHits != 2 {
+		t.Fatalf("post-rebind: hits=%d, want 2", st.SockmapHits)
+	}
+	if st.Delivered+st.Dropped != 5 {
+		t.Fatalf("conservation: delivered %d + dropped %d != 5 injected", st.Delivered, st.Dropped)
+	}
+	assertLedger(t, k)
+}
+
+// TestSockmapDisabledKeepsSlowPath: with net.core.sockmap=0 nothing is
+// memoized and nothing hits.
+func TestSockmapDisabledKeepsSlowPath(t *testing.T) {
+	k, d := sockHost(t)
+	k.SetSysctl("net.core.sockmap", "0")
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+	for i := 0; i < 4; i++ {
+		d.Receive(sockFrame(d, 4001, 7, nil), &m)
+	}
+	st := k.Stats()
+	if st.SockmapHits != 0 || st.SockmapMisses != 0 {
+		t.Fatalf("sysctl off: hits=%d misses=%d, want 0/0", st.SockmapHits, st.SockmapMisses)
+	}
+	if st.Delivered != 4 {
+		t.Fatalf("delivered=%d, want 4", st.Delivered)
+	}
+}
+
+// TestSockmapNetfilterCoherence: an INPUT rule makes memoization ineligible
+// (a hit would skip the hook), and appending a rule after a flow is
+// established invalidates it through the generation.
+func TestSockmapNetfilterCoherence(t *testing.T) {
+	k, d := sockHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+
+	// Establish, then verify a hit.
+	d.Receive(sockFrame(d, 4001, 7, nil), &m)
+	d.Receive(sockFrame(d, 4001, 7, nil), &m)
+	if st := k.Stats(); st.SockmapHits != 1 {
+		t.Fatalf("hits=%d, want 1", st.SockmapHits)
+	}
+
+	// A new INPUT rule must take effect immediately: the established entry
+	// goes stale (netfilter generation) and nothing new is memoized.
+	if err := k.IptAppend("INPUT", netfilter.Rule{Target: netfilter.VerdictAccept}); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := k.Stats().SockmapHits
+	for i := 0; i < 3; i++ {
+		d.Receive(sockFrame(d, 4001, 7, nil), &m)
+	}
+	st := k.Stats()
+	if st.SockmapHits != hitsBefore {
+		t.Fatalf("hits grew to %d after INPUT rule append, want frozen at %d", st.SockmapHits, hitsBefore)
+	}
+	if st.Delivered != 5 {
+		t.Fatalf("delivered=%d, want 5 (slow path still delivers)", st.Delivered)
+	}
+	assertLedger(t, k)
+}
+
+// TestSockmapClosedRaceSkNoSocket: a socket marked closed between the
+// generation check and delivery (the unregister race window) drops with
+// sk_no_socket, consumed on the fast path.
+func TestSockmapClosedRaceSkNoSocket(t *testing.T) {
+	k, d := sockHost(t)
+	sock := k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+	d.Receive(sockFrame(d, 4001, 7, nil), &m) // install
+	// Simulate the race: closed flag set, generation not yet bumped.
+	sock.closed.Store(true)
+	d.Receive(sockFrame(d, 4001, 7, nil), &m)
+	st := k.Stats()
+	if got := k.DropReasons()[drop.ReasonSkNoSocket]; got != 1 {
+		t.Fatalf("sk_no_socket = %d, want 1", got)
+	}
+	if st.SockmapHits != 1 {
+		t.Fatalf("hits=%d, want 1 (the closed delivery still hit the table)", st.SockmapHits)
+	}
+	if st.Delivered+st.Dropped != 2 {
+		t.Fatalf("conservation: delivered %d + dropped %d != 2", st.Delivered, st.Dropped)
+	}
+	assertLedger(t, k)
+}
+
+// proxyHost builds a two-legged proxy host: clients on eth0 (10.0.0.0/24),
+// the upstream server 10.9.0.2 behind eth1.
+func proxyHost(t *testing.T) (*Kernel, *netdev.Device, *netdev.Device) {
+	t.Helper()
+	k := New("proxy")
+	in := k.CreateDevice("eth0", netdev.Physical)
+	in.SetUp(true)
+	out := k.CreateDevice("eth1", netdev.Physical)
+	out.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddAddr("eth1", packet.MustPrefix("10.9.0.1/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddNeigh("eth1", packet.MustAddr("10.9.0.2"), packet.MustHWAddr("02:00:00:00:09:02")); err != nil {
+		t.Fatal(err)
+	}
+	return k, in, out
+}
+
+func registerTestProxy(k *Kernel) (*Socket, *Socket) {
+	return k.RegisterProxy(
+		ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7100, Peer: packet.MustAddr("10.9.0.2"), PeerPort: 7001},
+		ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7000, Peer: packet.MustAddr("10.0.0.1"), PeerPort: 6100},
+	)
+}
+
+// TestProxySpliceByteIdentity: the spliced proxy path emits byte-identical
+// frames (from the EtherType; fresh kernels draw fresh MACs) to the
+// full-stack userspace relay, for both established and first packets.
+func TestProxySpliceByteIdentity(t *testing.T) {
+	run := func(sockmapOn bool) [][]byte {
+		k, in, out := proxyHost(t)
+		if sockmapOn {
+			k.SetSysctl("net.core.sockmap", "1")
+		}
+		registerTestProxy(k)
+		var tx [][]byte
+		out.SetTxHook(func(frame []byte, _ *sim.Meter) bool {
+			tx = append(tx, append([]byte(nil), frame...))
+			return true
+		})
+		var m sim.Meter
+		for i := 0; i < 8; i++ {
+			payload := []byte("req payload ")
+			payload = append(payload, byte('0'+i))
+			in.Receive(sockFrame(in, uint16(6100+i%2), 7000, payload), &m)
+		}
+		st := k.Stats()
+		if st.Delivered != 8 || st.Dropped != 0 {
+			t.Fatalf("sockmap=%v delivered=%d dropped=%d, want 8/0", sockmapOn, st.Delivered, st.Dropped)
+		}
+		if sockmapOn && k.Stats().SockmapSplices != 8 {
+			t.Fatalf("splices=%d, want 8", k.Stats().SockmapSplices)
+		}
+		assertLedger(t, k)
+		return tx
+	}
+	slow := run(false)
+	fast := run(true)
+	if len(slow) != len(fast) {
+		t.Fatalf("egress count: relay %d vs splice %d", len(slow), len(fast))
+	}
+	for i := range slow {
+		if !bytes.Equal(slow[i][12:], fast[i][12:]) {
+			t.Fatalf("egress frame %d differs between relay and splice", i)
+		}
+	}
+}
+
+// TestSpliceStaleDrop: unregistering the upstream leg mid-stream turns
+// subsequent proxied packets into sockmap_stale drops — never a delivery to
+// a dead socket.
+func TestSpliceStaleDrop(t *testing.T) {
+	k, in, out := proxyHost(t)
+	k.SetSysctl("net.core.sockmap", "1")
+	registerTestProxy(k)
+	out.SetTxHook(func([]byte, *sim.Meter) bool { return true })
+	var m sim.Meter
+	in.Receive(sockFrame(in, 6100, 7000, []byte("a")), &m)
+	if st := k.Stats(); st.SockmapSplices != 1 {
+		t.Fatalf("splices=%d, want 1", st.SockmapSplices)
+	}
+
+	k.UnregisterSocket(packet.ProtoUDP, 7100) // upstream leg goes away
+	in.Receive(sockFrame(in, 6100, 7000, []byte("b")), &m)
+	if got := k.DropReasons()[drop.ReasonSockmapStale]; got != 1 {
+		t.Fatalf("sockmap_stale = %d, want 1", got)
+	}
+	st := k.Stats()
+	if st.Delivered+st.Dropped != 2 {
+		t.Fatalf("conservation: delivered %d + dropped %d != 2", st.Delivered, st.Dropped)
+	}
+	assertLedger(t, k)
+
+	// And a redirect with no target at all is sk_no_socket.
+	k.spliceForward(nil, &SocketMsg{}, &m)
+	if got := k.DropReasons()[drop.ReasonSkNoSocket]; got != 1 {
+		t.Fatalf("sk_no_socket = %d, want 1", got)
+	}
+	assertLedger(t, k)
+}
+
+// TestRFSUnregisterInvalidatesSockFlow: satellite of the unregister path —
+// rfs stamps carry the socket generation, so any unregister anywhere stops
+// stale sock-flow entries from steering (the probe CASes them out) until the
+// flow's next delivery re-stamps.
+func TestRFSUnregisterInvalidatesSockFlow(t *testing.T) {
+	k, d := sockHost(t)
+	k.SetSysctl("net.core.sockmap", "0") // isolate RFS from the sockmap path
+	k.SetSysctl("net.core.rps_sock_flow_entries", "1024")
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	if err := k.EnableRPS([]int{1, 2}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+	m := sim.Meter{CPU: 0}
+
+	send := func() uint64 {
+		before := k.Stats().RFSHits
+		d.Receive(sockFrame(d, 4001, 7, nil), &m)
+		k.RPSQuiesce()
+		return k.Stats().RFSHits - before
+	}
+	send() // no stamp yet: static hash placement, delivery stamps
+	if got := send(); got == 0 {
+		t.Fatal("second frame took no rfs hit, want stamped placement")
+	}
+
+	// Any socket unregister bumps the generation: the stamp is stale and
+	// the probe must retire it rather than steer to a possibly-gone socket.
+	k.RegisterSocket(packet.ProtoUDP, 99, func(*Kernel, SocketMsg) {})
+	k.UnregisterSocket(packet.ProtoUDP, 99)
+	if got := send(); got != 0 {
+		t.Fatalf("frame after unregister took %d rfs hits, want 0 (stale stamp)", got)
+	}
+	if got := send(); got == 0 {
+		t.Fatal("re-stamped flow took no rfs hit")
+	}
+	st := k.Stats()
+	if st.Delivered != 4 {
+		t.Fatalf("delivered=%d, want 4", st.Delivered)
+	}
+	assertLedger(t, k)
+}
+
+// TestSockmapChurnHammer drives concurrent injectors on distinct CPUs
+// against continuous register/unregister churn — the -race workout for the
+// COW socket table, the seqlock flow table, and the generation plumbing.
+// Every packet must be delivered or dropped with a reason; no torn reads.
+func TestSockmapChurnHammer(t *testing.T) {
+	k, d := sockHost(t)
+	k.SetSysctl("net.core.rps_sock_flow_entries", "1024")
+	if err := k.EnableRPS([]int{1, 2}, 4096); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+
+	const injectors = 4
+	const perInjector = 1500
+	var injWG, churnWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churn: bump the socket generation constantly, and flap the hot port
+	// so unregister lands mid-stream.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k.RegisterSocket(packet.ProtoUDP, 99, func(*Kernel, SocketMsg) {})
+			k.UnregisterSocket(packet.ProtoUDP, 99)
+			if i%8 == 0 {
+				k.UnregisterSocket(packet.ProtoUDP, 7)
+				k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+			}
+		}
+	}()
+
+	// Injector CPU ids are disjoint from the RPS accept set {1,2}: one CPU
+	// id is one execution context, so a frame whose steering target is the
+	// injector's own CPU would otherwise process locally, concurrent with
+	// that CPU's kthread on the same flow-table shard.
+	for w := 0; w < injectors; w++ {
+		injWG.Add(1)
+		go func(cpu int) {
+			defer injWG.Done()
+			m := sim.Meter{CPU: cpu}
+			for i := 0; i < perInjector; i++ {
+				d.Receive(sockFrame(d, uint16(4000+i%32), 7, nil), &m)
+			}
+		}(4 + w)
+	}
+	injWG.Wait()
+	close(stop)
+	churnWG.Wait()
+	k.RPSQuiesce()
+
+	st := k.Stats()
+	total := st.Delivered + st.Dropped
+	if total != uint64(injectors*perInjector) {
+		t.Fatalf("conservation: delivered %d + dropped %d != %d injected", st.Delivered, st.Dropped, injectors*perInjector)
+	}
+	// Drops may only come from the unregistered windows.
+	reasons := k.DropReasons()
+	for r, n := range reasons {
+		if n == 0 {
+			continue
+		}
+		rr := drop.Reason(r)
+		if rr != drop.ReasonNoSocket && rr != drop.ReasonSkNoSocket && rr != drop.ReasonSockmapStale && rr != drop.ReasonRPSBacklogFull {
+			t.Fatalf("unexpected drop reason %v = %d", rr, n)
+		}
+	}
+	assertLedger(t, k)
+}
+
+// TestSockmapHitZeroAlloc pins the established-flow delivery path at zero
+// heap allocations per packet.
+func TestSockmapHitZeroAlloc(t *testing.T) {
+	k, d := sockHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+	frame := sockFrame(d, 4001, 7, []byte("warm"))
+	d.Receive(frame, &m) // install
+	d.Receive(frame, &m) // warm pools
+	if allocs := testing.AllocsPerRun(200, func() {
+		d.Receive(frame, &m)
+	}); allocs != 0 {
+		t.Fatalf("established-flow delivery allocates %.1f/pkt, want 0", allocs)
+	}
+}
+
+// --- micro-benchmarks (wired into make bench-smoke) --------------------------
+
+// BenchmarkSockmapHit measures the memoized local delivery.
+func BenchmarkSockmapHit(b *testing.B) {
+	k := New("bench")
+	d := k.CreateDevice("eth0", netdev.Physical)
+	d.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		b.Fatal(err)
+	}
+	k.SetSysctl("net.core.sockmap", "1")
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+	frame := sockFrame(d, 4001, 7, make([]byte, 64))
+	d.Receive(frame, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Receive(frame, &m)
+	}
+}
+
+// BenchmarkSockmapSlowDemux measures the same delivery with the fast path
+// off — the baseline the hit is racing.
+func BenchmarkSockmapSlowDemux(b *testing.B) {
+	k := New("bench")
+	d := k.CreateDevice("eth0", netdev.Physical)
+	d.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		b.Fatal(err)
+	}
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	var m sim.Meter
+	frame := sockFrame(d, 4001, 7, make([]byte, 64))
+	d.Receive(frame, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Receive(frame, &m)
+	}
+}
+
+// BenchmarkSockmapSplice measures socket-to-socket proxy forwarding.
+func BenchmarkSockmapSplice(b *testing.B) {
+	k := New("bench")
+	in := k.CreateDevice("eth0", netdev.Physical)
+	in.SetUp(true)
+	out := k.CreateDevice("eth1", netdev.Physical)
+	out.SetUp(true)
+	if err := k.AddAddr("eth0", packet.MustPrefix("10.0.0.2/24")); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.AddAddr("eth1", packet.MustPrefix("10.9.0.1/24")); err != nil {
+		b.Fatal(err)
+	}
+	if err := k.AddNeigh("eth1", packet.MustAddr("10.9.0.2"), packet.MustHWAddr("02:00:00:00:09:02")); err != nil {
+		b.Fatal(err)
+	}
+	k.SetSysctl("net.core.sockmap", "1")
+	k.RegisterProxy(
+		ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7100, Peer: packet.MustAddr("10.9.0.2"), PeerPort: 7001},
+		ProxyEndpoint{Proto: packet.ProtoUDP, LocalPort: 7000, Peer: packet.MustAddr("10.0.0.1"), PeerPort: 6100},
+	)
+	out.SetTxHook(func([]byte, *sim.Meter) bool { return true })
+	var m sim.Meter
+	frame := sockFrame(in, 6100, 7000, make([]byte, 64))
+	in.Receive(frame, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Receive(frame, &m)
+	}
+}

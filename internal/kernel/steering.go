@@ -366,8 +366,15 @@ func (k *Kernel) rpsDeliver(st *rpsState, dev *netdev.Device, frame []byte, eth 
 	if st.sockFlow != nil {
 		m.Charge(sim.CostRFSProbe)
 		if v := st.sockFlow[hash&st.mask].Load(); v != 0 {
-			target = int(v) - 1
-			c.rfsHits.Add(1)
+			if v>>rfsCPUBits == uint32(k.sockGen.Load())&rfsGenMask {
+				target = int(v&rfsCPUMask) - 1
+				c.rfsHits.Add(1)
+			} else {
+				// Socket churn since this placement was recorded: the
+				// consuming socket may be gone. Retire the entry (racing
+				// stores just win) and fall back to hash spreading.
+				st.sockFlow[hash&st.mask].CompareAndSwap(v, 0)
+			}
 		}
 		// Out-of-order guard (rps_dev_flow_table): if the flow last enqueued
 		// on a different CPU and that backlog has not yet drained past the
@@ -419,6 +426,23 @@ func (k *Kernel) rpsDeliver(st *rpsState, dev *netdev.Device, frame []byte, eth 
 	return true
 }
 
+// Sock-flow-table entries carry the socket generation they were recorded
+// under in their upper bits: (sockGen & rfsGenMask) << rfsCPUBits | (cpu+1).
+// Any socket unregistration bumps the generation, so every placement learned
+// for a possibly-dead socket goes stale at once — the model of the kernel
+// reallocating rps_sock_flow_table. The 24-bit truncation is safe the same
+// way any generation wraparound is: a false match needs 2^24 unregistrations
+// between a record and its probe.
+const (
+	rfsCPUBits = 8
+	rfsCPUMask = (1 << rfsCPUBits) - 1
+	rfsGenMask = (1 << (32 - rfsCPUBits)) - 1
+)
+
+func rfsStamp(gen uint64, cpu int) uint32 {
+	return uint32(gen&rfsGenMask)<<rfsCPUBits | uint32(cpu+1)&rfsCPUMask
+}
+
 // rfsRecord is sock_rps_record_flow: at socket demux, remember the CPU the
 // consuming socket ran on so the flow's next frames steer here. Fragmented
 // datagrams are skipped — their per-fragment hash degrades to the 2-tuple,
@@ -434,7 +458,24 @@ func (k *Kernel) rfsRecord(ip *packet.IPv4, sport, dport uint16, m *sim.Meter) {
 		cpu = m.CPU
 	}
 	hash := rpsHash(uint32(ip.Src), uint32(ip.Dst), ip.Proto, sport, dport)
-	st.sockFlow[hash&st.mask].Store(uint32(cpu) + 1)
+	st.sockFlow[hash&st.mask].Store(rfsStamp(k.sockGen.Load(), cpu))
+}
+
+// rfsRecordTuple is rfsRecord for the sockmap hit path, which has the parsed
+// flow tuple instead of an IPv4 header view. Fragments never reach it (the
+// fast path rejects them before probing).
+func (k *Kernel) rfsRecordTuple(t packet.FlowTuple, m *sim.Meter) {
+	st := k.rps.Load()
+	if st == nil || st.sockFlow == nil {
+		return
+	}
+	m.Charge(sim.CostRFSUpdate)
+	cpu := 0
+	if m != nil {
+		cpu = m.CPU
+	}
+	hash := rpsHash(uint32(t.Src), uint32(t.Dst), t.Proto, t.SrcPort, t.DstPort)
+	st.sockFlow[hash&st.mask].Store(rfsStamp(k.sockGen.Load(), cpu))
 }
 
 // RPSBacklogCycles reports the accumulated kthread cycles of one CPU's

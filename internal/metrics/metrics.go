@@ -49,6 +49,20 @@ func WriteKernel(w io.Writer, k *kernel.Kernel) {
 		fmt.Fprintf(w, "linuxfp_steering_total{kernel=%q,event=%q} %d\n", name, c.event, c.v)
 	}
 
+	fmt.Fprintf(w, "# HELP linuxfp_sockmap_total Socket-layer fast path outcomes.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_sockmap_total counter\n")
+	for _, c := range []struct {
+		event string
+		v     uint64
+	}{
+		{"hits", st.SockmapHits},
+		{"misses", st.SockmapMisses},
+		{"splices", st.SockmapSplices},
+		{"l7_verdicts", st.L7Verdicts},
+	} {
+		fmt.Fprintf(w, "linuxfp_sockmap_total{kernel=%q,event=%q} %d\n", name, c.event, c.v)
+	}
+
 	fmt.Fprintf(w, "# HELP linuxfp_drop_reason_total Kernel-layer drops by skb drop reason.\n")
 	fmt.Fprintf(w, "# TYPE linuxfp_drop_reason_total counter\n")
 	byReason := k.DropReasons()

@@ -169,6 +169,22 @@ const (
 	CostTxQueueShare  Cycles = 110 // qdisc/txq cacheline bounce when CPUs share a queue
 )
 
+// Sockmap socket-layer fast-path costs. A sockmap hit replaces the
+// ip_rcv/netfilter/fib/ip_local_deliver walk for an established flow with
+// one flow-hash probe against the per-CPU socket table (sk_lookup the way
+// BPF_MAP_TYPE_SOCKHASH does it); the update is the memoization write at
+// first delivery (sock_map_update_elem); the redirect is the sk_skb
+// SK_REDIRECT move of a segment from one socket's ingress queue to
+// another's egress — the splice that lets a proxy forward without ever
+// waking userspace. L7 parse is the verdict program's scan of the HTTP
+// request line in the first segment.
+const (
+	CostSockmapLookup   Cycles = 150 // flow-hash probe + generation check + sk ref
+	CostSockmapUpdate   Cycles = 120 // sock_map_update_elem: slot publish
+	CostSockmapRedirect Cycles = 220 // sk_skb SK_REDIRECT: ingress->egress queue move
+	CostL7Parse         Cycles = 260 // HTTP method/path scan over the first segment
+)
+
 // AF_XDP costs. The kernel RX half mirrors xsk_rcv: one fill-ring consume +
 // xsk_buff conversion + RX-descriptor publish per frame (zero-copy: payload
 // never moves, so there is no per-byte term beyond the driver's), staged
