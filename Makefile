@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json bench-diff obs-smoke
+.PHONY: check vet build test race bench-smoke bench-json bench-diff obs-smoke trace-smoke
 
 ## check: everything CI runs — vet, build, tests, race detector, bench smoke,
-## and the observability pipeline smoke (lfptop + Prometheus export)
-check: vet build test race bench-smoke obs-smoke
+## the observability pipeline smoke (lfptop + Prometheus export), and the
+## flight-recorder smoke (lfptrace timelines + trace-ledger conservation)
+check: vet build test race bench-smoke obs-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +41,16 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./cmd/lfptop -once -metrics > /dev/null
 	$(GO) run ./cmd/linuxfpd -metrics < /dev/null > /dev/null
+
+## trace-smoke: one lfptrace pass in both table and JSON form — lfptrace
+## exits nonzero if the trace ledger fails to conserve (every sampled chain
+## must end in exactly one terminal verdict with no live chains left), so
+## this is the end-to-end conservation gate, and `lfptop -once -json` keeps
+## the machine-readable live view wired
+trace-smoke:
+	$(GO) run ./cmd/lfptrace > /dev/null
+	$(GO) run ./cmd/lfptrace -shift 0 -json > /dev/null
+	$(GO) run ./cmd/lfptop -once -json > /dev/null
 
 ## bench-json: regenerate BENCH_fastpath.json, BENCH_gro.json,
 ## BENCH_cpumap.json, BENCH_obs.json, BENCH_afxdp.json,

@@ -111,11 +111,24 @@ func main() {
 			continue // sweep shape changed; absence is not a regression
 		}
 		segs := strings.Split(p, "/")
-		dir := higherBetter(segs[len(segs)-1])
+		key := segs[len(segs)-1]
+		ov := oldLeaves[p]
+		// *_overhead_pct leaves are already relative (percent over a
+		// baseline measured in the same run), so a ratio of ratios would
+		// explode near zero: +0.3% → +1.0% is a 233% relative change but a
+		// 0.7-point one. Compare them in percentage points instead — lower
+		// is better, threshold scaled to points.
+		if k := strings.ToLower(key); strings.Contains(k, "overhead") && strings.Contains(k, "pct") {
+			if pts := nv - ov; pts > *threshold*100 {
+				fmt.Printf("REGRESSION %s: %+.2f%% -> %+.2f%% (%+.1f points, lower is better)\n", p, ov, nv, pts)
+				failed++
+			}
+			continue
+		}
+		dir := higherBetter(key)
 		if dir == 0 {
 			continue
 		}
-		ov := oldLeaves[p]
 		if ov == 0 {
 			// A metric appearing from zero (e.g. first drops) cannot be
 			// expressed as a ratio; flag lower-better increases outright.

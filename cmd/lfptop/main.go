@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"linuxfp/internal/drop"
 	"linuxfp/internal/ebpf"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/fpm"
 	"linuxfp/internal/kernel"
 	"linuxfp/internal/metrics"
@@ -35,9 +37,10 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "redraw interval")
 	batch := flag.Int("wakeup-batch", 16, "ring buffer wakeup batch size")
 	prom := flag.Bool("metrics", false, "append a Prometheus text snapshot to each frame")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per frame instead of the ANSI view")
 	flag.Parse()
 
-	if err := run(*once, *ticks, *interval, *batch, *prom); err != nil {
+	if err := run(*once, *ticks, *interval, *batch, *prom, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lfptop:", err)
 		os.Exit(1)
 	}
@@ -47,6 +50,7 @@ func main() {
 type eventTally struct {
 	drops  [drop.NumReasons]uint64
 	traces uint64
+	spans  uint64
 	other  uint64
 }
 
@@ -62,12 +66,14 @@ func (t *eventTally) consume(rec []byte) {
 		}
 	case ebpf.EventTrace:
 		t.traces++
+	case ebpf.EventSpan:
+		t.spans++
 	default:
 		t.other++
 	}
 }
 
-func run(once bool, ticks int, interval time.Duration, batch int, prom bool) error {
+func run(once bool, ticks int, interval time.Duration, batch int, prom, jsonOut bool) error {
 	d, err := testbed.Build(testbed.PlatformLinux, testbed.Scenario{})
 	if err != nil {
 		return err
@@ -90,6 +96,12 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 	rb := ebpf.NewRingBuf("lfptop_events", 1<<16)
 	rb.SetWakeupBatch(batch)
 	sl := d.Kern.EnableStageLat()
+	// Flight recorder + flow telemetry: sampled span chains land in the same
+	// ring as the drop mirror; the flow table feeds the top-flows view.
+	d.Kern.EnableFlight(flight.Config{SampleShift: 4, Ring: rb})
+	defer d.Kern.DisableFlight()
+	d.Kern.EnableFlowTelemetry(0)
+	defer d.Kern.DisableFlowTelemetry()
 	d.Kern.SetDropNotify(func(reason drop.Reason, m *sim.Meter) {
 		var buf [ebpf.EventSize]byte
 		ev := ebpf.Event{Type: ebpf.EventDrop, Reason: reason, Cycles: uint64(m.Total)}
@@ -139,6 +151,15 @@ func run(once bool, ticks int, interval time.Duration, batch int, prom bool) err
 		}
 		rb.Poll(tally.consume)
 
+		if jsonOut {
+			if err := renderJSON(os.Stdout, d, rb, sl, app, &tally); err != nil {
+				return err
+			}
+			if tick+1 < ticks || ticks == 0 {
+				time.Sleep(interval)
+			}
+			continue
+		}
 		if !once {
 			fmt.Print("\033[H\033[2J") // clear screen, home cursor
 		}
@@ -251,6 +272,21 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf
 	prev2 := byReason
 	*prev = prev2
 	fmt.Fprintf(w, "%-18s %10d %10d\n", "trace (sampled)", tally.traces, tally.traces)
+	if fr := d.Kern.Flight(); fr != nil {
+		t := fr.Terminals()
+		fmt.Fprintf(w, "\nflight: sampled=%d drop=%d tx=%d redirect=%d pass=%d lost=%d live=%d (span events=%d)\n",
+			t.Sampled, t.Drop, t.Tx, t.Redirect, t.Pass, t.Lost, fr.Live(), tally.spans)
+	}
+	if ft := d.Kern.FlowTelemetry(); ft != nil {
+		fmt.Fprintf(w, "flows: tracked=%d evictions=%d", ft.Tracked(), ft.Evictions())
+		for i, f := range ft.Top(3) {
+			if i == 0 {
+				fmt.Fprintf(w, "  top:")
+			}
+			fmt.Fprintf(w, " [%s %dpkt %.0f%%fast]", f.Key, f.Pkts, f.FastPct())
+		}
+		fmt.Fprintln(w)
+	}
 
 	ss := app.Sock().Stats()
 	fill, rx, tx, comp := app.Sock().RingOccupancy()
@@ -266,6 +302,56 @@ func render(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf
 	if strings.TrimSpace(d.Platform) != "" {
 		fmt.Fprintf(w, "\nplatform=%s clock=%.1fGHz\n", d.Platform, sim.ClockHz/1e9)
 	}
+}
+
+// jsonFrame is one tick of the live view in machine-readable form — the same
+// numbers the ANSI view draws, for scripts that poll `lfptop -json -once`.
+type jsonFrame struct {
+	Kernel    string                `json:"kernel"`
+	Stats     kernel.Stats          `json:"stats"`
+	Drops     map[string]uint64     `json:"drops_by_reason"`
+	Events    map[string]uint64     `json:"ring_events"`
+	Ring      map[string]uint64     `json:"ring"`
+	XSK       map[string]uint64     `json:"xsk_slot0"`
+	Stages    []kernel.StageSummary `json:"stages"`
+	Terminals any                   `json:"trace_terminals,omitempty"`
+	Flows     any                   `json:"top_flows,omitempty"`
+}
+
+// renderJSON emits one frame as a single JSON object (one line per tick when
+// streaming, indented — still valid JSONL consumers can strip).
+func renderJSON(w *os.File, d *DUT, rb *ebpf.RingBuf, sl *kernel.StageLat, app *ebpf.AFXDPApp, tally *eventTally) error {
+	byReason := d.Kern.DropReasons()
+	drops := map[string]uint64{}
+	for _, r := range drop.Reasons() {
+		if byReason[r] != 0 {
+			drops[r.String()] = byReason[r]
+		}
+	}
+	ss := app.Sock().Stats()
+	f := jsonFrame{
+		Kernel: d.Kern.Name,
+		Stats:  d.Kern.Stats(),
+		Drops:  drops,
+		Events: map[string]uint64{"traces": tally.traces, "spans": tally.spans, "other": tally.other},
+		Ring: map[string]uint64{
+			"produced": rb.Produced(), "consumed": rb.Consumed(), "dropped": rb.Dropped(),
+		},
+		XSK: map[string]uint64{
+			"delivered": ss.RxDelivered, "drained": app.Received(),
+			"rx_full": ss.RxFull, "fill_empty": ss.FillEmpty,
+			"wakeups": ss.Wakeups, "polls": app.Polls(),
+		},
+		Stages: sl.Report(),
+	}
+	if fr := d.Kern.Flight(); fr != nil {
+		f.Terminals = fr.Terminals()
+	}
+	if ft := d.Kern.FlowTelemetry(); ft != nil {
+		f.Flows = ft.Top(metrics.DefaultFlowSeries)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
 }
 
 // renderPrograms draws the loaded-program table: the generic fused body next

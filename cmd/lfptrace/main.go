@@ -1,0 +1,256 @@
+// Command lfptrace is the flight-recorder viewer: the pwru of the modeled
+// stack. It builds the standard virtual-router testbed, attaches the packet
+// flight recorder and the flow telemetry table, drives a mixed workload —
+// routed flows that hit the fast path, slow-path walks, RPS re-steers,
+// deliberate drops, sockmap deliveries — and prints what the recorder saw:
+//
+//   - per-packet span timelines, reconstructed from the fixed-layout
+//     EventSpan records the recorder emitted through the BPF ring buffer
+//     (grouped by trace ID, exactly how a userspace consumer of the real
+//     ring would rebuild them);
+//   - the per-flow path-coverage table from the space-saving top-k sketch
+//     (pkts, bytes, drops, fast-path coverage, error bound);
+//   - the trace ledger with its conservation check: every sampled chain
+//     ended in exactly one terminal verdict.
+//
+//	lfptrace              # default: 1-in-4 sampling, 8 timelines, 12 flows
+//	lfptrace -shift 0     # trace every packet
+//	lfptrace -json        # machine-readable report (CI, dashboards)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/flight"
+	"linuxfp/internal/kernel"
+	"linuxfp/internal/netdev"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+	"linuxfp/internal/testbed"
+)
+
+func main() {
+	shift := flag.Int("shift", 2, "sample 1 in 2^shift packets (0 = every packet)")
+	nTraces := flag.Int("traces", 8, "number of per-packet timelines to print")
+	nFlows := flag.Int("flows", 12, "number of flow rows to print")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of tables")
+	flag.Parse()
+
+	if err := run(*shift, *nTraces, *nFlows, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "lfptrace:", err)
+		os.Exit(1)
+	}
+}
+
+// spanRec is one decoded EventSpan, as rebuilt from the ring.
+type spanRec struct {
+	Stage   string     `json:"stage"`
+	Verdict string     `json:"verdict"`
+	CPU     uint8      `json:"cpu"`
+	Reason  string     `json:"reason,omitempty"`
+	Cycles  sim.Cycles `json:"cycles"`
+}
+
+// traceRec is one packet's reconstructed timeline.
+type traceRec struct {
+	ID      uint64    `json:"trace_id"`
+	IfIndex uint32    `json:"ifindex"`
+	Spans   []spanRec `json:"spans"`
+}
+
+// flowRec is one row of the path-coverage table.
+type flowRec struct {
+	Flow    string  `json:"flow"`
+	Pkts    uint64  `json:"pkts"`
+	Bytes   uint64  `json:"bytes"`
+	Drops   uint64  `json:"drops"`
+	FastPct float64 `json:"fast_pct"`
+	Err     uint64  `json:"err_bound"`
+}
+
+// report is the full lfptrace output in machine-readable form.
+type report struct {
+	SampleShift int              `json:"sample_shift"`
+	Terminals   flight.Terminals `json:"terminals"`
+	LiveChains  int              `json:"live_chains"`
+	Conserved   bool             `json:"conserved"`
+	Traces      []traceRec       `json:"traces"`
+	Flows       []flowRec        `json:"flows"`
+	Tracked     int              `json:"flows_tracked"`
+	Evictions   uint64           `json:"flow_evictions"`
+}
+
+func run(shift, nTraces, nFlows int, jsonOut bool) error {
+	d, err := testbed.Build(testbed.PlatformLinux, testbed.Scenario{})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Only the DUT meters: unplug the wires so src/sink stacks don't run.
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+
+	// The workload crosses every layer the recorder instruments: the flow
+	// cache gives fast-path hits, RPS gives cross-CPU park/resume spans,
+	// sockmap gives socket-layer spans on local deliveries.
+	d.Kern.SetSysctl("net.core.flow_cache", "1")
+	d.Kern.SetSysctl("net.core.sockmap", "1")
+	d.Kern.RegisterSocket(packet.ProtoUDP, 5353, func(*kernel.Kernel, kernel.SocketMsg) {})
+	if err := d.Kern.EnableRPS([]int{1, 2, 3}, 1024); err != nil {
+		return err
+	}
+	defer d.Kern.DisableRPS()
+
+	rb := ebpf.NewRingBuf("lfptrace_events", 1<<18)
+	fr := d.Kern.EnableFlight(flight.Config{SampleShift: uint8(shift), Ring: rb})
+	defer d.Kern.DisableFlight()
+	ft := d.Kern.EnableFlowTelemetry(0)
+	defer d.Kern.DisableFlowTelemetry()
+
+	driveTraffic(d)
+	d.Kern.RPSQuiesce()
+
+	// Drain the ring the way a userspace consumer would: decode EventSpan
+	// records and group them by Aux (the trace ID).
+	byID := map[uint64]*traceRec{}
+	var order []uint64
+	rb.Flush()
+	rb.Poll(func(rec []byte) {
+		ev, ok := ebpf.DecodeEvent(rec)
+		if !ok || ev.Type != ebpf.EventSpan {
+			return
+		}
+		tr := byID[ev.Aux]
+		if tr == nil {
+			tr = &traceRec{ID: ev.Aux, IfIndex: ev.IfIndex}
+			byID[ev.Aux] = tr
+			order = append(order, ev.Aux)
+		}
+		st, v := flight.UnpackStageVerdict(ev.Stage)
+		sp := spanRec{Stage: st.String(), Verdict: v.String(), CPU: ev.CPU, Cycles: sim.Cycles(ev.Cycles)}
+		if v == flight.VerdictDrop {
+			sp.Reason = ev.Reason.String()
+		}
+		tr.Spans = append(tr.Spans, sp)
+	})
+
+	t := fr.Terminals()
+	r := report{
+		SampleShift: shift,
+		Terminals:   t,
+		LiveChains:  fr.Live(),
+		Conserved:   t.Sampled == t.Drop+t.Tx+t.Redirect+t.Pass+t.Lost,
+		Tracked:     ft.Tracked(),
+		Evictions:   ft.Evictions(),
+	}
+	// Prefer interesting timelines: longest span lists first, ties by ID.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byID[order[i]], byID[order[j]]
+		if len(a.Spans) != len(b.Spans) {
+			return len(a.Spans) > len(b.Spans)
+		}
+		return a.ID < b.ID
+	})
+	for _, id := range order {
+		if len(r.Traces) >= nTraces {
+			break
+		}
+		r.Traces = append(r.Traces, *byID[id])
+	}
+	for _, f := range ft.Top(nFlows) {
+		r.Flows = append(r.Flows, flowRec{
+			Flow: f.Key.String(), Pkts: f.Pkts, Bytes: f.Bytes,
+			Drops: f.Drops, FastPct: f.FastPct(), Err: f.Err,
+		})
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	render(os.Stdout, &r)
+	if !r.Conserved || r.LiveChains != 0 {
+		return fmt.Errorf("trace ledger violated: sampled=%d terminals=%d live=%d",
+			t.Sampled, t.Drop+t.Tx+t.Redirect+t.Pass+t.Lost, r.LiveChains)
+	}
+	return nil
+}
+
+// driveTraffic pushes the mixed workload: routed TCP flows (heavy hitters at
+// distinct rates, so the top-k ordering is visible), no-route and TTL drops,
+// and local UDP deliveries that cross the sockmap layer.
+func driveTraffic(d *testbed.DUT) {
+	src := packet.MustAddr("10.1.0.1")
+	dut := packet.MustAddr("10.1.0.254")
+	var frames [][]byte
+	addTCP := func(dst packet.Addr, sport uint16, ttl uint8) {
+		tcp := packet.TCP{SrcPort: sport, DstPort: 80, Seq: 1, Ack: 1, Flags: packet.TCPAck, Window: 512}
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: ttl, Flags: packet.IPv4DontFragment, Proto: packet.ProtoTCP, Src: src, Dst: dst},
+			tcp.Marshal(nil, src, dst, make([]byte, 64))))
+	}
+	// Heavy hitters at skewed rates: flow f sends 16*(8-f) segments.
+	for f := 0; f < 8; f++ {
+		dst := packet.AddrFrom4(10, 100+byte(f%testbed.RoutedPrefixes), 0, 10)
+		for s := 0; s < 16*(8-f); s++ {
+			addTCP(dst, uint16(4000+f), 64)
+		}
+	}
+	for i := 0; i < 24; i++ {
+		addTCP(packet.AddrFrom4(172, 31, 0, byte(i)), uint16(4100+i), 64) // no route
+		addTCP(packet.AddrFrom4(10, 100, 0, 10), uint16(4200+i), 1)      // TTL expires
+	}
+	for i := 0; i < 32; i++ { // local UDP: sockmap fast path after first delivery
+		u := packet.UDP{SrcPort: uint16(6000 + i%4), DstPort: 5353}
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: d.In.MAC, Src: d.SrcDev.MAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: dut},
+			u.Marshal(nil, src, dut, make([]byte, 32))))
+	}
+	var m sim.Meter
+	for i := 0; i < len(frames); i += netdev.NAPIBudget {
+		end := i + netdev.NAPIBudget
+		if end > len(frames) {
+			end = len(frames)
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &m)
+	}
+}
+
+// render prints the report in the house table style.
+func render(w *os.File, r *report) {
+	t := r.Terminals
+	fmt.Fprintf(w, "lfptrace — 1-in-%d sampling\n\n", 1<<r.SampleShift)
+	for _, tr := range r.Traces {
+		fmt.Fprintf(w, "trace %#016x if=%d (%d spans)\n", tr.ID, tr.IfIndex, len(tr.Spans))
+		for _, sp := range tr.Spans {
+			reason := ""
+			if sp.Reason != "" {
+				reason = "  reason=" + sp.Reason
+			}
+			fmt.Fprintf(w, "  cpu%-3d %-10s %-9s %10.0fcy%s\n", sp.CPU, sp.Stage, sp.Verdict, float64(sp.Cycles), reason)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-40s %8s %10s %6s %6s %5s\n", "flow", "pkts", "bytes", "drops", "fast%", "err")
+	for _, f := range r.Flows {
+		fmt.Fprintf(w, "%-40s %8d %10d %6d %5.1f%% %5d\n",
+			f.Flow, f.Pkts, f.Bytes, f.Drops, f.FastPct, f.Err)
+	}
+	fmt.Fprintf(w, "flows tracked=%d evictions=%d\n", r.Tracked, r.Evictions)
+
+	check := "OK"
+	if !r.Conserved || r.LiveChains != 0 {
+		check = "VIOLATED"
+	}
+	fmt.Fprintf(w, "\nledger: sampled=%d = drop=%d + tx=%d + redirect=%d + pass=%d + lost=%d  live=%d  [%s]\n",
+		t.Sampled, t.Drop, t.Tx, t.Redirect, t.Pass, t.Lost, r.LiveChains, check)
+	fmt.Fprintf(w, "spans stamped: %d\n", t.Spans)
+}

@@ -60,6 +60,9 @@ const (
 	ReasonSockmapStale // sk_skb redirect target present but stale (closed / old generation)
 	ReasonSocketFilter // sk_skb verdict program returned SK_DROP (SKB_DROP_REASON_SOCKET_FILTER)
 
+	// Neighbour layer.
+	ReasonNeighQueueFull // arp_queue past its cap while resolving (NEIGH_QUEUEFULL)
+
 	// Software steering (RPS).
 	ReasonRPSBacklogFull // per-CPU RPS backlog ring full (target CPU behind)
 
@@ -101,6 +104,7 @@ var reasonNames = [NumReasons]string{
 	ReasonSkNoSocket:      "sk_no_socket",
 	ReasonSockmapStale:    "sockmap_stale",
 	ReasonSocketFilter:    "socket_filter",
+	ReasonNeighQueueFull:  "neigh_queuefull",
 	ReasonRPSBacklogFull:  "rps_backlog_full",
 	ReasonRingbufFull:     "ringbuf_full",
 }

@@ -19,6 +19,7 @@ const (
 	EventDrop    EventType = iota + 1 // a packet drop: Reason set, Cycles = meter position
 	EventLatency                      // a stage latency sample: Stage + Cycles set
 	EventTrace                        // a per-packet fast-path trace (fpm.TraceOp)
+	EventSpan                         // a flight-recorder span: Stage packs stage|verdict, Aux = trace ID
 )
 
 func (t EventType) String() string {
@@ -29,6 +30,8 @@ func (t EventType) String() string {
 		return "latency"
 	case EventTrace:
 		return "trace"
+	case EventSpan:
+		return "span"
 	default:
 		return "event_invalid"
 	}

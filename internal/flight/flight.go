@@ -1,0 +1,687 @@
+// Package flight is the packet flight recorder: a pwru-style per-packet path
+// tracer for the modeled datapath. At RX a 1-in-2^k sampled packet is stamped
+// with a trace ID (the stamp is a side-table entry keyed by the frame's
+// backing-array address, the same trick pwru plays with the skb pointer), and
+// every stage it crosses — XDP, GRO, cpumap/RPS handoff, TC, netfilter, FIB,
+// neighbour, sockmap, splice, GSO, xmit — appends a span (stage, CPU,
+// verdict, meter position). Chains survive cross-CPU redirects because the
+// frame pointer rides the cpumap/RPS rings verbatim; GRO merges fold the
+// merged packet's trace IDs into the supersegment's chain; GSO children
+// inherit the parent chain by key aliasing.
+//
+// The recorder extends the repo's conservation invariant to traces: every
+// sampled chain terminates in exactly one terminal verdict (drop, tx,
+// redirect, or pass) and the per-terminal tallies — weighted by the number of
+// folded trace IDs — reconcile with the kernel's Stats ledger.
+//
+// Detached, every instrumentation site pays one atomic nil-pointer load (the
+// static-key discipline shared with Tracer/StageLat/DropNotify). Attached,
+// costs are charged on the observing meter and measured by testbed.ObsSweep.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/sim"
+)
+
+// Stage identifies the datapath stage a span was recorded at. Richer than
+// kernel.Stage because handoffs (cpumap, RPS), socket splicing, and the two
+// terminal pseudo-stages (local consume, kfree_skb) need their own rows in a
+// timeline.
+type Stage uint8
+
+// Flight-recorder stages. Values must stay within 4 bits: the ring event
+// encoding packs stage|verdict<<4 into one byte.
+const (
+	StageRX        Stage = iota // frame entered a device's receive path
+	StageXDP                    // XDP program verdict
+	StageGRO                    // GRO hold opened / merged / flushed
+	StageCpumap                 // cpumap cross-CPU handoff (park + resume)
+	StageRPS                    // RPS backlog re-steer (park + resume)
+	StageTC                     // TC classifier verdict
+	StageNetfilter              // netfilter hook traversal verdict
+	StageFIB                    // FIB lookup
+	StageNeigh                  // neighbour resolution (park on miss)
+	StageSockmap                // sockmap fast-path hit
+	StageSplice                 // socket-to-socket splice
+	StageGSO                    // GSO resegmentation on forward
+	StageXmit                   // driver transmit (tx terminal)
+	StageLocal                  // locally consumed (pass terminal)
+	StageFree                   // kfree_skb (drop terminal)
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageRX: "rx", StageXDP: "xdp", StageGRO: "gro", StageCpumap: "cpumap",
+	StageRPS: "rps", StageTC: "tc", StageNetfilter: "netfilter",
+	StageFIB: "fib", StageNeigh: "neigh", StageSockmap: "sockmap",
+	StageSplice: "splice", StageGSO: "gso", StageXmit: "xmit",
+	StageLocal: "local", StageFree: "free",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage_invalid"
+}
+
+// Verdict is what happened to the packet at a span's stage. Drop, Tx,
+// Redirect, and Pass are terminal; the rest are waypoints.
+type Verdict uint8
+
+// Span verdicts. Values must stay within 4 bits (see Stage).
+const (
+	VerdictNone     Verdict = iota // plain waypoint
+	VerdictPass                    // terminal: consumed locally
+	VerdictDrop                    // terminal: freed
+	VerdictTx                      // terminal: left through a driver
+	VerdictRedirect                // terminal: left the stack (AF_XDP)
+	VerdictPark                    // chain handed off (ring/queue/hold)
+	VerdictResume                  // chain resumed after a handoff
+	VerdictMerge                   // another chain folded in (GRO)
+	VerdictHold                    // chain moved into a GRO hold
+	NumVerdicts
+)
+
+var verdictNames = [NumVerdicts]string{
+	VerdictNone: "-", VerdictPass: "pass", VerdictDrop: "drop",
+	VerdictTx: "tx", VerdictRedirect: "redirect", VerdictPark: "park",
+	VerdictResume: "resume", VerdictMerge: "merge", VerdictHold: "hold",
+}
+
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "verdict_invalid"
+}
+
+// Terminal reports whether the verdict ends a chain.
+func (v Verdict) Terminal() bool {
+	switch v {
+	case VerdictPass, VerdictDrop, VerdictTx, VerdictRedirect:
+		return true
+	}
+	return false
+}
+
+// Span is one waypoint of a sampled packet's path.
+type Span struct {
+	Stage   Stage
+	Verdict Verdict
+	CPU     uint8
+	Reason  drop.Reason // set on drop spans
+	Cycles  sim.Cycles  // meter position when the span was stamped
+}
+
+// Chain is the span list of one sampled packet, plus every trace ID folded
+// into it by GRO merges. A chain is owned by exactly one goroutine at a time;
+// ownership moves through the same rings and queues the frame does, whose
+// locks provide the happens-before edges.
+type Chain struct {
+	ID      uint64
+	IfIndex int32 // device the packet was sampled on
+	Spans   []Span
+
+	ids    []uint64 // own ID first, then every folded ID
+	keys   []uintptr
+	parked bool
+	resume Stage
+	done   bool
+	term   Verdict
+}
+
+// IDs returns the chain's own trace ID followed by every folded one.
+func (c *Chain) IDs() []uint64 { return c.ids }
+
+// Done reports whether the chain has terminated.
+func (c *Chain) Done() bool { return c.done }
+
+// Terminal returns the terminal verdict (VerdictNone while in flight).
+func (c *Chain) Terminal() Verdict { return c.term }
+
+// Ring is the event sink: ebpf.RingBuf satisfies it. An interface keeps the
+// import graph acyclic (ebpf imports kernel imports flight).
+type Ring interface {
+	Output(data []byte) (ok, woke bool)
+}
+
+// EventType is the ring-record type byte flight emits. It must equal
+// ebpf.EventSpan; a cross-package test pins the two.
+const EventType byte = 4
+
+// EventSize mirrors ebpf.EventSize.
+const EventSize = 24
+
+// PackStageVerdict packs a span's stage and verdict into the event's stage
+// byte (stage in the low nibble, verdict in the high).
+func PackStageVerdict(s Stage, v Verdict) uint8 { return uint8(s) | uint8(v)<<4 }
+
+// UnpackStageVerdict is the inverse of PackStageVerdict.
+func UnpackStageVerdict(b uint8) (Stage, Verdict) {
+	return Stage(b & 0xf), Verdict(b >> 4)
+}
+
+// NumCPUSlots is the per-CPU fan-out of the recorder's current-chain slots
+// and sampling counters. Matches kernel.NumRxShards / netdev.MaxRxQueues
+// without importing either.
+const NumCPUSlots = 64
+
+const tableShards = 64
+
+// Terminals is the trace ledger: Sampled counts SampleRX stamps; each
+// terminal counter is weighted by the number of trace IDs the terminating
+// chain carried, so after quiescing
+//
+//	Sampled == Drop + Tx + Redirect + Pass + Lost.
+//
+// Lost counts stamps whose side-table key was overwritten by a later stamp
+// before the chain terminated — zero unless an instrumentation site is
+// missing.
+type Terminals struct {
+	Sampled  uint64 `json:"sampled"`
+	Drop     uint64 `json:"drop"`
+	Tx       uint64 `json:"tx"`
+	Redirect uint64 `json:"redirect"`
+	Pass     uint64 `json:"pass"`
+	Lost     uint64 `json:"lost"`
+	Spans    uint64 `json:"spans"`
+}
+
+// Config configures a Recorder.
+type Config struct {
+	// SampleShift samples 1 in 2^SampleShift packets (0 = every packet).
+	SampleShift uint8
+	// Ring, when non-nil, receives one EventSize record per span of every
+	// terminated chain.
+	Ring Ring
+	// Retain keeps terminated chains in memory (capped at RetainLimit) for
+	// Completed() — tests and lfptrace use it; production uses the Ring.
+	Retain bool
+	// RetainLimit bounds the retained list (default 65536).
+	RetainLimit int
+}
+
+type cpuSlot struct {
+	cur atomic.Pointer[Chain]
+	ctr atomic.Uint64
+	seq atomic.Uint64
+	_   [40]byte // pad to a cacheline
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[uintptr]*Chain
+}
+
+// Recorder is the flight recorder. One instance is attached per kernel (and
+// propagated to its devices); all methods are safe for concurrent use from
+// the per-queue workers and cpumap/RPS kthreads.
+type Recorder struct {
+	mask        uint64
+	ring        Ring
+	retain      bool
+	retainLimit int
+
+	cpus  [NumCPUSlots]cpuSlot
+	table [tableShards]tableShard
+
+	sampled      atomic.Uint64
+	termDrop     atomic.Uint64
+	termTx       atomic.Uint64
+	termRedirect atomic.Uint64
+	termPass     atomic.Uint64
+	lost         atomic.Uint64
+	spans        atomic.Uint64
+
+	compMu    sync.Mutex
+	completed []*Chain
+}
+
+// New builds a Recorder from cfg.
+func New(cfg Config) *Recorder {
+	r := &Recorder{
+		mask:        (1 << cfg.SampleShift) - 1,
+		ring:        cfg.Ring,
+		retain:      cfg.Retain,
+		retainLimit: cfg.RetainLimit,
+	}
+	if r.retainLimit <= 0 {
+		r.retainLimit = 1 << 16
+	}
+	for i := range r.table {
+		r.table[i].m = make(map[uintptr]*Chain)
+	}
+	return r
+}
+
+func cpuIdx(m *sim.Meter) int {
+	if m == nil || m.CPU < 0 {
+		return 0
+	}
+	return m.CPU & (NumCPUSlots - 1)
+}
+
+func frameKey(frame []byte) uintptr {
+	if len(frame) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&frame[0]))
+}
+
+func hashKey(k uintptr) int {
+	// Frames are at least cacheline-ish apart; fold the middle bits.
+	return int((uint64(k) >> 6) & (tableShards - 1))
+}
+
+func (r *Recorder) register(k uintptr, ch *Chain) {
+	if k == 0 {
+		return
+	}
+	sh := &r.table[hashKey(k)]
+	sh.mu.Lock()
+	if old, ok := sh.m[k]; ok && old != ch && !old.done {
+		// A stamped frame's backing array was reused before its chain
+		// terminated: an instrumentation gap. The stale chain is lost.
+		r.lost.Add(uint64(len(old.ids)))
+	}
+	sh.m[k] = ch
+	sh.mu.Unlock()
+	ch.keys = append(ch.keys, k)
+}
+
+func (r *Recorder) lookup(frame []byte) *Chain {
+	k := frameKey(frame)
+	if k == 0 {
+		return nil
+	}
+	sh := &r.table[hashKey(k)]
+	sh.mu.Lock()
+	ch := sh.m[k]
+	sh.mu.Unlock()
+	return ch
+}
+
+func (r *Recorder) unregisterAll(ch *Chain) {
+	for _, k := range ch.keys {
+		sh := &r.table[hashKey(k)]
+		sh.mu.Lock()
+		if sh.m[k] == ch {
+			delete(sh.m, k)
+		}
+		sh.mu.Unlock()
+	}
+	ch.keys = ch.keys[:0]
+}
+
+func (r *Recorder) appendSpan(ch *Chain, st Stage, v Verdict, reason drop.Reason, m *sim.Meter) {
+	var cy sim.Cycles
+	if m != nil {
+		cy = m.Total
+	}
+	ch.Spans = append(ch.Spans, Span{
+		Stage: st, Verdict: v, CPU: uint8(cpuIdx(m)), Reason: reason, Cycles: cy,
+	})
+	r.spans.Add(1)
+	m.Charge(sim.CostFlightSpan)
+}
+
+// SampleRX runs the sampling decision for one received frame and, for the
+// 1-in-2^k winners, stamps it: allocates a chain with a fresh trace ID,
+// registers the frame's address in the side table, and opens the span list
+// with an rx span. Callers gate on the recorder pointer, so the disabled
+// cost is their nil check; the enabled miss cost is one counter increment.
+func (r *Recorder) SampleRX(frame []byte, ifindex int, m *sim.Meter) *Chain {
+	cpu := cpuIdx(m)
+	m.Charge(sim.CostFlightProbe)
+	if (r.cpus[cpu].ctr.Add(1)-1)&r.mask != 0 {
+		return nil
+	}
+	if len(frame) == 0 {
+		return nil
+	}
+	seq := r.cpus[cpu].seq.Add(1)
+	ch := &Chain{
+		ID:      uint64(cpu)<<48 | seq,
+		IfIndex: int32(ifindex),
+	}
+	ch.ids = append(ch.ids, ch.ID)
+	r.sampled.Add(1)
+	r.register(frameKey(frame), ch)
+	r.appendSpan(ch, StageRX, VerdictNone, 0, m)
+	return ch
+}
+
+// Enter looks the frame up in the side table at a stack entry point
+// (deliverFrame, the batched GRO/TC runner, the RPS backlog drain) and, on a
+// hit, makes the chain the CPU's current chain so span sites that only have
+// the meter in hand (netfilter hooks, FIB, drop sites) can reach it. A chain
+// parked by a handoff resumes here with a resume span stamped by the
+// *current* (target) CPU.
+func (r *Recorder) Enter(frame []byte, m *sim.Meter) *Chain {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return nil
+	}
+	m.Charge(sim.CostFlightLookup)
+	if ch.parked {
+		ch.parked = false
+		r.appendSpan(ch, ch.resume, VerdictResume, 0, m)
+	}
+	r.cpus[cpuIdx(m)].cur.Store(ch)
+	return ch
+}
+
+// Exit closes the Enter window: the CPU's current chain is cleared, and a
+// chain that neither terminated nor parked mid-flight is terminated as a
+// local pass — the packet was consumed by the stack (socket delivery, ARP,
+// BPDU, ...). A chain no longer in the cur slot left this CPU mid-window
+// (ParkFrame onto a handoff ring cleared the slot): its fields now belong to
+// whichever CPU picks the frame up, so Exit must not even read them.
+func (r *Recorder) Exit(ch *Chain, m *sim.Meter) {
+	slot := &r.cpus[cpuIdx(m)].cur
+	own := slot.Load() == ch
+	slot.Store(nil)
+	if !own || ch == nil || ch.done || ch.parked {
+		return
+	}
+	r.terminal(ch, StageLocal, VerdictPass, 0, m)
+}
+
+// Cur returns the CPU's current chain (nil outside an Enter window or for
+// unsampled packets).
+func (r *Recorder) Cur(m *sim.Meter) *Chain {
+	return r.cpus[cpuIdx(m)].cur.Load()
+}
+
+// SuspendCur clears and returns the CPU's current chain. Stack code about to
+// transmit frames that are *not* the current packet's continuation — neigh
+// queue flushes on an ARP reply, ICMP errors — suspends around the send so an
+// unsampled frame's TerminalTx cannot fall back onto the wrong chain. Pair
+// with RestoreCur.
+func (r *Recorder) SuspendCur(m *sim.Meter) *Chain {
+	slot := &r.cpus[cpuIdx(m)].cur
+	ch := slot.Load()
+	if ch != nil {
+		slot.Store(nil)
+	}
+	return ch
+}
+
+// RestoreCur reinstates a chain suspended by SuspendCur.
+func (r *Recorder) RestoreCur(ch *Chain, m *sim.Meter) {
+	if ch != nil {
+		r.cpus[cpuIdx(m)].cur.Store(ch)
+	}
+}
+
+// SpanCur appends a waypoint span to the CPU's current chain, if any. For
+// sites that have the meter but not the frame (netfilter verdicts, FIB).
+func (r *Recorder) SpanCur(m *sim.Meter, st Stage, v Verdict) {
+	ch := r.Cur(m)
+	if ch == nil || ch.done {
+		return
+	}
+	r.appendSpan(ch, st, v, 0, m)
+}
+
+// SpanFrame appends a waypoint span to the frame's chain, if sampled. For
+// sites outside an Enter window that hold the frame (XDP verdicts).
+func (r *Recorder) SpanFrame(frame []byte, st Stage, v Verdict, m *sim.Meter) {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.appendSpan(ch, st, v, 0, m)
+}
+
+// ParkFrame marks the frame's chain as handed off at stage st (cpumap ring,
+// RPS backlog, neighbour queue): a park span is stamped by the parking CPU,
+// and the matching resume span — stamped by whichever CPU picks the frame
+// back up — is appended by the Enter that finds the parked chain. Callers
+// must park BEFORE the frame becomes visible to the consuming CPU (inside
+// the ring's producer critical section, or before queueing), so that lock
+// orders the park against the consumer's Enter. The chain leaves the cur
+// slot here: once the frame is handed off its chain belongs to the target
+// CPU, and the parking window's Exit must not touch it again.
+func (r *Recorder) ParkFrame(frame []byte, st Stage, m *sim.Meter) {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.appendSpan(ch, st, VerdictPark, 0, m)
+	ch.parked = true
+	ch.resume = st
+	slot := &r.cpus[cpuIdx(m)].cur
+	if slot.Load() == ch {
+		slot.Store(nil)
+	}
+}
+
+// Detach removes the frame's chain from the side table and hands it to the
+// caller (the GRO layer, whose holds copy the frame into a private buffer —
+// the original address dies). The chain is parked on StageGRO until
+// Reattach + Enter resume it.
+func (r *Recorder) Detach(frame []byte, m *sim.Meter) *Chain {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return nil
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.appendSpan(ch, StageGRO, VerdictHold, 0, m)
+	ch.parked = true
+	ch.resume = StageGRO
+	r.unregisterAll(ch)
+	return ch
+}
+
+// Fold merges the frame's chain (a packet GRO just coalesced away) into dst,
+// the supersegment's chain: dst inherits the trace IDs and gains a merge
+// span; the source chain is absorbed, not terminated. When dst is nil (the
+// hold itself was unsampled) the source chain is detached and returned to
+// become the hold's chain.
+func (r *Recorder) Fold(dst *Chain, frame []byte, m *sim.Meter) *Chain {
+	src := r.lookup(frame)
+	if src == nil || src.done {
+		return dst
+	}
+	m.Charge(sim.CostFlightLookup)
+	if dst == nil || dst == src {
+		src.parked = true
+		src.resume = StageGRO
+		r.appendSpan(src, StageGRO, VerdictHold, 0, m)
+		r.unregisterAll(src)
+		return src
+	}
+	r.unregisterAll(src)
+	dst.ids = append(dst.ids, src.ids...)
+	r.appendSpan(dst, StageGRO, VerdictMerge, 0, m)
+	return dst
+}
+
+// Reattach registers a held chain under the flushed supersegment's frame
+// address. The chain stays parked; the downstream Enter resumes it.
+func (r *Recorder) Reattach(frame []byte, ch *Chain) {
+	if ch == nil || ch.done {
+		return
+	}
+	r.register(frameKey(frame), ch)
+}
+
+// Inherit aliases a child frame (GSO segment, IP fragment) to the parent's
+// chain so whichever child reaches a terminal first closes the chain.
+func (r *Recorder) Inherit(ch *Chain, child []byte) {
+	if ch == nil || ch.done {
+		return
+	}
+	r.register(frameKey(child), ch)
+}
+
+// InheritFrame is Inherit keyed by the parent frame instead of the chain.
+func (r *Recorder) InheritFrame(parent, child []byte, m *sim.Meter) {
+	ch := r.lookup(parent)
+	if ch == nil || ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.register(frameKey(child), ch)
+}
+
+// --- terminals ---------------------------------------------------------------
+
+func (r *Recorder) terminal(ch *Chain, st Stage, v Verdict, reason drop.Reason, m *sim.Meter) {
+	if ch.done {
+		return
+	}
+	ch.done = true
+	ch.term = v
+	ch.parked = false
+	r.appendSpan(ch, st, v, reason, m)
+	r.unregisterAll(ch)
+	n := uint64(len(ch.ids))
+	switch v {
+	case VerdictDrop:
+		r.termDrop.Add(n)
+	case VerdictTx:
+		r.termTx.Add(n)
+	case VerdictRedirect:
+		r.termRedirect.Add(n)
+	case VerdictPass:
+		r.termPass.Add(n)
+	}
+	if r.ring != nil {
+		var buf [EventSize]byte
+		for _, sp := range ch.Spans {
+			buf[0] = EventType
+			buf[1] = byte(sp.Reason)
+			buf[2] = PackStageVerdict(sp.Stage, sp.Verdict)
+			buf[3] = sp.CPU
+			putU32(buf[4:8], uint32(ch.IfIndex))
+			putU64(buf[8:16], uint64(sp.Cycles))
+			putU64(buf[16:24], ch.ID)
+			m.Charge(sim.CostRingbufReserve + sim.CostRingbufCommit)
+			r.ring.Output(buf[:])
+		}
+	}
+	if r.retain {
+		r.compMu.Lock()
+		if len(r.completed) < r.retainLimit {
+			r.completed = append(r.completed, ch)
+		}
+		r.compMu.Unlock()
+	}
+}
+
+// little-endian writers, matching ebpf.Event's wire format without the import.
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b[:4], uint32(v))
+	putU32(b[4:8], uint32(v>>32))
+}
+
+// TerminalDropCur terminates the CPU's current chain as dropped — called
+// from the kernel's kfree_skb choke points, which have reason and meter but
+// not the frame.
+func (r *Recorder) TerminalDropCur(reason drop.Reason, m *sim.Meter) {
+	ch := r.Cur(m)
+	if ch == nil || ch.done {
+		return
+	}
+	r.terminal(ch, StageFree, VerdictDrop, reason, m)
+}
+
+// TerminalDropFrame terminates the frame's chain as dropped — for
+// device-level drop sites (XDP verdicts, cpumap/XSK overflow) that hold the
+// frame but run outside an Enter window.
+func (r *Recorder) TerminalDropFrame(frame []byte, reason drop.Reason, m *sim.Meter) {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.terminal(ch, StageFree, VerdictDrop, reason, m)
+}
+
+// TerminalTx terminates the frame's chain as transmitted. Called by the
+// driver transmit path *before* the wire copy, so the side-table key is
+// still live. Frames the stack synthesized mid-chain (ICMP errors, spliced
+// or relayed segments, fragments) miss the table; the CPU's live current
+// chain — the packet whose processing produced this transmit — is the
+// fallback, which is how a spliced payload's chain follows the bytes out the
+// egress socket.
+func (r *Recorder) TerminalTx(frame []byte, m *sim.Meter) {
+	ch := r.lookup(frame)
+	if ch == nil {
+		ch = r.Cur(m)
+		if ch == nil || ch.parked {
+			return
+		}
+	}
+	if ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.terminal(ch, StageXmit, VerdictTx, 0, m)
+}
+
+// TerminalRedirectFrame terminates the frame's chain as redirected out of
+// the stack (AF_XDP enqueue accepted the descriptor).
+func (r *Recorder) TerminalRedirectFrame(frame []byte, m *sim.Meter) {
+	ch := r.lookup(frame)
+	if ch == nil || ch.done {
+		return
+	}
+	m.Charge(sim.CostFlightLookup)
+	r.terminal(ch, StageXDP, VerdictRedirect, 0, m)
+}
+
+// --- accounting --------------------------------------------------------------
+
+// Terminals snapshots the trace ledger.
+func (r *Recorder) Terminals() Terminals {
+	return Terminals{
+		Sampled:  r.sampled.Load(),
+		Drop:     r.termDrop.Load(),
+		Tx:       r.termTx.Load(),
+		Redirect: r.termRedirect.Load(),
+		Pass:     r.termPass.Load(),
+		Lost:     r.lost.Load(),
+		Spans:    r.spans.Load(),
+	}
+}
+
+// Live counts distinct chains still registered in the side table (parked in
+// a ring or awaiting a stage). After the datapath quiesces (GRO flushed,
+// cpumap drained, ARP resolved) it must be zero.
+func (r *Recorder) Live() int {
+	seen := make(map[*Chain]struct{})
+	for i := range r.table {
+		sh := &r.table[i]
+		sh.mu.Lock()
+		for _, ch := range sh.m {
+			seen[ch] = struct{}{}
+		}
+		sh.mu.Unlock()
+	}
+	return len(seen)
+}
+
+// Completed returns the retained terminated chains (Config.Retain mode).
+func (r *Recorder) Completed() []*Chain {
+	r.compMu.Lock()
+	out := make([]*Chain, len(r.completed))
+	copy(out, r.completed)
+	r.compMu.Unlock()
+	return out
+}

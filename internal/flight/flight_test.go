@@ -1,0 +1,347 @@
+package flight
+
+import (
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/sim"
+)
+
+// frames returns n distinct frames with distinct backing arrays.
+func frames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, 64)
+		out[i][0] = byte(i)
+	}
+	return out
+}
+
+func meterOn(cpu int) *sim.Meter { return &sim.Meter{CPU: cpu} }
+
+func TestSamplingMask(t *testing.T) {
+	for _, tc := range []struct {
+		shift uint8
+		n     int
+		want  uint64
+	}{
+		{0, 64, 64},  // every packet
+		{2, 64, 16},  // 1 in 4
+		{4, 64, 4},   // 1 in 16
+		{4, 3, 1},    // first packet always wins the 1-in-2^k draw
+	} {
+		r := New(Config{SampleShift: tc.shift})
+		m := meterOn(0)
+		for _, f := range frames(tc.n) {
+			if ch := r.SampleRX(f, 1, m); ch != nil {
+				r.TerminalDropFrame(f, drop.ReasonIPNoRoute, m)
+			}
+		}
+		if got := r.Terminals().Sampled; got != tc.want {
+			t.Errorf("shift=%d n=%d: sampled=%d, want %d", tc.shift, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTraceIDsEncodeCPU(t *testing.T) {
+	r := New(Config{})
+	f := frames(2)
+	ch0 := r.SampleRX(f[0], 1, meterOn(0))
+	ch5 := r.SampleRX(f[1], 1, meterOn(5))
+	if ch0 == nil || ch5 == nil {
+		t.Fatal("shift 0 must sample every packet")
+	}
+	if ch0.ID>>48 != 0 || ch5.ID>>48 != 5 {
+		t.Fatalf("trace IDs %#x/%#x: top 16 bits must carry the sampling CPU", ch0.ID, ch5.ID)
+	}
+	if ch0.ID == ch5.ID {
+		t.Fatal("trace IDs must be distinct")
+	}
+}
+
+func TestPackUnpackStageVerdict(t *testing.T) {
+	if NumStages > 16 || NumVerdicts > 16 {
+		t.Fatalf("stage/verdict out of 4-bit range: %d stages, %d verdicts", NumStages, NumVerdicts)
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() == "" || s.String() == "stage_invalid" {
+			t.Errorf("stage %d has no name", s)
+		}
+		for v := Verdict(0); v < NumVerdicts; v++ {
+			gs, gv := UnpackStageVerdict(PackStageVerdict(s, v))
+			if gs != s || gv != v {
+				t.Fatalf("pack/unpack(%v,%v) = (%v,%v)", s, v, gs, gv)
+			}
+		}
+	}
+	for v := Verdict(0); v < NumVerdicts; v++ {
+		if v.String() == "" || v.String() == "verdict_invalid" {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+	if Stage(15).String() != "stage_invalid" && NumStages <= 15 {
+		t.Error("out-of-range stage must render stage_invalid")
+	}
+}
+
+func TestParkResumeStampsTargetCPU(t *testing.T) {
+	r := New(Config{Retain: true})
+	f := frames(1)[0]
+	src := meterOn(0)
+	r.SampleRX(f, 1, src)
+	r.ParkFrame(f, StageRPS, src)
+
+	dst := meterOn(3)
+	ch := r.Enter(f, dst)
+	if ch == nil {
+		t.Fatal("parked chain must survive the handoff")
+	}
+	r.Exit(ch, dst)
+
+	spans := ch.Spans
+	if len(spans) != 4 { // rx, rps park, rps resume, local pass
+		t.Fatalf("got %d spans %v, want 4", len(spans), spans)
+	}
+	park, resume := spans[1], spans[2]
+	if park.Stage != StageRPS || park.Verdict != VerdictPark || park.CPU != 0 {
+		t.Fatalf("park span = %+v, want rps/park on cpu0", park)
+	}
+	if resume.Stage != StageRPS || resume.Verdict != VerdictResume || resume.CPU != 3 {
+		t.Fatalf("resume span = %+v, want rps/resume stamped by target cpu3", resume)
+	}
+	if term := spans[3]; term.Stage != StageLocal || term.Verdict != VerdictPass || term.CPU != 3 {
+		t.Fatalf("terminal span = %+v, want local/pass on cpu3", term)
+	}
+}
+
+func TestFoldMergesIDsAndWeightsTerminals(t *testing.T) {
+	r := New(Config{Retain: true})
+	m := meterOn(0)
+	f := frames(3)
+	dst := r.SampleRX(f[0], 1, m)
+	r.SampleRX(f[1], 1, m)
+	r.SampleRX(f[2], 1, m)
+
+	// GRO coalesces f[1] and f[2] into f[0]'s supersegment.
+	held := r.Detach(f[0], m)
+	if held != dst {
+		t.Fatal("Detach must return the frame's own chain")
+	}
+	r.Fold(held, f[1], m)
+	r.Fold(held, f[2], m)
+	if got := len(held.IDs()); got != 3 {
+		t.Fatalf("folded chain carries %d IDs, want 3", got)
+	}
+
+	super := make([]byte, 256)
+	r.Reattach(super, held)
+	ch := r.Enter(super, m)
+	if ch != held {
+		t.Fatal("reattached chain must resume under the supersegment's address")
+	}
+	r.TerminalTx(super, m)
+	r.Exit(ch, m)
+
+	tl := r.Terminals()
+	if tl.Sampled != 3 || tl.Tx != 3 {
+		t.Fatalf("ledger %+v: one tx terminal of a 3-ID chain must weigh 3", tl)
+	}
+	if tl.Sampled != tl.Drop+tl.Tx+tl.Redirect+tl.Pass+tl.Lost {
+		t.Fatalf("ledger not conserved: %+v", tl)
+	}
+	if r.Live() != 0 {
+		t.Fatalf("live=%d after terminal", r.Live())
+	}
+}
+
+func TestFoldWithNilDstPromotesSource(t *testing.T) {
+	r := New(Config{})
+	m := meterOn(0)
+	f := frames(1)[0]
+	r.SampleRX(f, 1, m)
+	// The hold itself was unsampled: the folded packet's chain becomes the
+	// hold's chain instead of being lost.
+	ch := r.Fold(nil, f, m)
+	if ch == nil {
+		t.Fatal("Fold(nil, sampled) must promote the source chain")
+	}
+	super := make([]byte, 128)
+	r.Reattach(super, ch)
+	got := r.Enter(super, m)
+	if got != ch {
+		t.Fatal("promoted chain must resume under the supersegment")
+	}
+	r.Exit(got, m)
+	tl := r.Terminals()
+	if tl.Sampled != 1 || tl.Pass != 1 || tl.Lost != 0 {
+		t.Fatalf("ledger %+v, want sampled=pass=1 lost=0", tl)
+	}
+}
+
+func TestExactlyOneTerminal(t *testing.T) {
+	r := New(Config{Retain: true})
+	m := meterOn(0)
+	f := frames(1)[0]
+	ch := r.SampleRX(f, 1, m)
+	r.Enter(f, m)
+	r.TerminalDropCur(drop.ReasonIPTTLExpired, m)
+	// Late terminals on the same chain must not double-count.
+	r.TerminalDropFrame(f, drop.ReasonIPNoRoute, m)
+	r.TerminalTx(f, m)
+	r.Exit(ch, m)
+
+	tl := r.Terminals()
+	if tl.Drop != 1 || tl.Tx != 0 || tl.Pass != 0 {
+		t.Fatalf("ledger %+v: a chain terminates exactly once", tl)
+	}
+	if !ch.Done() || ch.Terminal() != VerdictDrop {
+		t.Fatalf("chain done=%v term=%v, want done drop", ch.Done(), ch.Terminal())
+	}
+	nTerm := 0
+	for _, sp := range ch.Spans {
+		if sp.Verdict.Terminal() {
+			nTerm++
+		}
+	}
+	if nTerm != 1 {
+		t.Fatalf("%d terminal spans in %v, want exactly 1", nTerm, ch.Spans)
+	}
+	if last := ch.Spans[len(ch.Spans)-1]; !last.Verdict.Terminal() || last.Reason != drop.ReasonIPTTLExpired {
+		t.Fatalf("last span %+v must be the drop terminal with its reason", last)
+	}
+}
+
+func TestSuspendCurShieldsChainFromForeignTx(t *testing.T) {
+	r := New(Config{})
+	m := meterOn(0)
+	f := frames(1)[0]
+	ch := r.SampleRX(f, 1, m)
+	r.Enter(f, m)
+
+	// The stack synthesizes an unsampled frame (ICMP error, neigh-queue
+	// flush) and transmits it mid-chain. Without the suspend, TerminalTx's
+	// cur fallback would steal the live chain.
+	foreign := make([]byte, 96)
+	saved := r.SuspendCur(m)
+	r.TerminalTx(foreign, m)
+	r.RestoreCur(saved, m)
+
+	if ch.Done() {
+		t.Fatal("foreign tx terminated the suspended chain")
+	}
+	r.TerminalDropCur(drop.ReasonIPNoRoute, m)
+	r.Exit(ch, m)
+	tl := r.Terminals()
+	if tl.Tx != 0 || tl.Drop != 1 {
+		t.Fatalf("ledger %+v, want the chain to drop, not tx", tl)
+	}
+}
+
+func TestTxFallbackSkipsParkedCur(t *testing.T) {
+	r := New(Config{})
+	m := meterOn(0)
+	f := frames(1)[0]
+	ch := r.SampleRX(f, 1, m)
+	r.Enter(f, m)
+	r.ParkFrame(f, StageNeigh, m)
+	// While the chain waits in the neighbour queue, an unrelated frame
+	// transmits on this CPU. The parked chain must not be claimed.
+	r.TerminalTx(make([]byte, 32), m)
+	if ch.Done() {
+		t.Fatal("parked chain stolen by an unrelated tx")
+	}
+	r.Exit(ch, m) // parked: Exit must not pass-terminate it either
+	if ch.Done() {
+		t.Fatal("Exit terminated a parked chain")
+	}
+	got := r.Enter(f, m)
+	if got != ch {
+		t.Fatal("parked chain lost")
+	}
+	r.TerminalTx(f, m)
+	if !ch.Done() || ch.Terminal() != VerdictTx {
+		t.Fatalf("chain done=%v term=%v, want tx", ch.Done(), ch.Terminal())
+	}
+}
+
+func TestLostOnKeyReuse(t *testing.T) {
+	r := New(Config{})
+	m := meterOn(0)
+	f := frames(1)[0]
+	r.SampleRX(f, 1, m)
+	// The same backing array is stamped again before the first chain
+	// terminated: an instrumentation gap the ledger must not hide.
+	r.SampleRX(f, 1, m)
+	r.TerminalDropFrame(f, drop.ReasonIPNoRoute, m)
+	tl := r.Terminals()
+	if tl.Lost != 1 {
+		t.Fatalf("lost=%d, want 1 (overwritten live stamp)", tl.Lost)
+	}
+	if tl.Sampled != tl.Drop+tl.Tx+tl.Redirect+tl.Pass+tl.Lost {
+		t.Fatalf("ledger not conserved: %+v", tl)
+	}
+}
+
+// ringSink captures ring records for inspection.
+type ringSink struct{ recs [][]byte }
+
+func (r *ringSink) Output(data []byte) (bool, bool) {
+	r.recs = append(r.recs, append([]byte(nil), data...))
+	return true, false
+}
+
+func TestRingEventsCarryChainID(t *testing.T) {
+	sink := &ringSink{}
+	r := New(Config{Ring: sink})
+	m := meterOn(2)
+	f := frames(1)[0]
+	ch := r.SampleRX(f, 7, m)
+	r.Enter(f, m)
+	r.SpanCur(m, StageNetfilter, VerdictNone)
+	r.TerminalDropCur(drop.ReasonIPTTLExpired, m)
+	r.Exit(ch, m)
+
+	if len(sink.recs) != len(ch.Spans) {
+		t.Fatalf("%d ring records for %d spans", len(sink.recs), len(ch.Spans))
+	}
+	for i, rec := range sink.recs {
+		if len(rec) != EventSize {
+			t.Fatalf("record %d is %d bytes, want EventSize=%d", i, len(rec), EventSize)
+		}
+		if rec[0] != EventType {
+			t.Fatalf("record %d type=%d, want %d", i, rec[0], EventType)
+		}
+		id := uint64(rec[16]) | uint64(rec[17])<<8 | uint64(rec[18])<<16 | uint64(rec[19])<<24 |
+			uint64(rec[20])<<32 | uint64(rec[21])<<40 | uint64(rec[22])<<48 | uint64(rec[23])<<56
+		if id != ch.ID {
+			t.Fatalf("record %d aux=%#x, want trace ID %#x", i, id, ch.ID)
+		}
+		st, v := UnpackStageVerdict(rec[2])
+		if st != ch.Spans[i].Stage || v != ch.Spans[i].Verdict {
+			t.Fatalf("record %d stage/verdict %v/%v, want %v/%v", i, st, v, ch.Spans[i].Stage, ch.Spans[i].Verdict)
+		}
+		if rec[3] != ch.Spans[i].CPU {
+			t.Fatalf("record %d cpu=%d, want %d", i, rec[3], ch.Spans[i].CPU)
+		}
+	}
+	// The drop terminal record must carry the reason byte.
+	last := sink.recs[len(sink.recs)-1]
+	if drop.Reason(last[1]) != drop.ReasonIPTTLExpired {
+		t.Fatalf("terminal record reason=%d, want %d", last[1], drop.ReasonIPTTLExpired)
+	}
+}
+
+func TestRetainLimitBounds(t *testing.T) {
+	r := New(Config{Retain: true, RetainLimit: 4})
+	m := meterOn(0)
+	for _, f := range frames(16) {
+		r.SampleRX(f, 1, m)
+		r.TerminalDropFrame(f, drop.ReasonIPNoRoute, m)
+	}
+	if got := len(r.Completed()); got != 4 {
+		t.Fatalf("retained %d chains, want RetainLimit=4", got)
+	}
+	if tl := r.Terminals(); tl.Drop != 16 {
+		t.Fatalf("ledger %+v: retain cap must not affect accounting", tl)
+	}
+}

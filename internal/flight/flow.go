@@ -1,0 +1,192 @@
+// Flow telemetry: per-CPU sharded 5-tuple accounting behind a space-saving
+// top-k sketch (Metwally et al.), so memory stays bounded no matter how many
+// distinct flows cross the datapath — at 1M flows each shard still holds at
+// most its configured capacity, and the heavy hitters survive with a pinned
+// error bound (Err ≤ the evicted minimum the slot inherited).
+package flight
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// DefaultFlowCap is the default per-shard entry bound: 64 shards × 4096
+// entries = 256k tracked slots, a few tens of MB worst case.
+const DefaultFlowCap = 4096
+
+type flowEnt struct {
+	key   packet.FlowTuple
+	pkts  uint64
+	bytes uint64
+	drops uint64
+	fast  uint64
+	slow  uint64
+	err   uint64 // space-saving overestimate bound inherited at eviction
+	idx   int    // heap index
+}
+
+type flowHeap []*flowEnt
+
+func (h flowHeap) Len() int            { return len(h) }
+func (h flowHeap) Less(i, j int) bool  { return h[i].pkts < h[j].pkts }
+func (h flowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *flowHeap) Push(x any)         { e := x.(*flowEnt); e.idx = len(*h); *h = append(*h, e) }
+func (h *flowHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h flowHeap) update(e *flowEnt)   { heap.Fix(&h, e.idx) }
+
+type flowShard struct {
+	mu      sync.Mutex
+	entries map[packet.FlowTuple]*flowEnt
+	heap    flowHeap
+	last    *flowEnt // most recent observe, for drop attribution
+	_       [24]byte
+}
+
+// FlowEntry is one flow's merged view for reporting.
+type FlowEntry struct {
+	Key   packet.FlowTuple
+	Pkts  uint64
+	Bytes uint64
+	Drops uint64
+	Fast  uint64 // fast-path hits (flow cache, sockmap, L2 cache)
+	Slow  uint64 // full stack walks
+	Err   uint64 // space-saving overestimate bound
+}
+
+// FastPct is the flow's fast-path coverage in percent.
+func (e FlowEntry) FastPct() float64 {
+	if e.Fast+e.Slow == 0 {
+		return 0
+	}
+	return 100 * float64(e.Fast) / float64(e.Fast+e.Slow)
+}
+
+// FlowTable is the per-CPU sharded flow accounting table. Observes land on
+// the observing CPU's shard under that shard's own mutex — practically
+// uncontended, same sharding discipline as the kernel's counters.
+type FlowTable struct {
+	capPerShard int
+	shards      [NumCPUSlots]flowShard
+	evictions   atomic.Uint64
+}
+
+// NewFlowTable builds a table bounded at capPerShard entries per CPU shard
+// (<=0 selects DefaultFlowCap).
+func NewFlowTable(capPerShard int) *FlowTable {
+	if capPerShard <= 0 {
+		capPerShard = DefaultFlowCap
+	}
+	t := &FlowTable{capPerShard: capPerShard}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[packet.FlowTuple]*flowEnt)
+	}
+	return t
+}
+
+// Observe accounts one packet of flow key: size bytes, on the fast or slow
+// path. When the shard is full the space-saving sketch evicts the current
+// minimum and the newcomer inherits its count as the error bound — heavy
+// hitters can be displaced only by flows that out-send them.
+func (t *FlowTable) Observe(key packet.FlowTuple, size int, fast bool, m *sim.Meter) {
+	m.Charge(sim.CostFlowObserve)
+	sh := &t.shards[cpuIdx(m)]
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e == nil {
+		if len(sh.entries) < t.capPerShard {
+			e = &flowEnt{key: key}
+			sh.entries[key] = e
+			heap.Push(&sh.heap, e)
+		} else {
+			// Space-saving replace-min: reuse the minimum slot in place.
+			e = sh.heap[0]
+			delete(sh.entries, e.key)
+			t.evictions.Add(1)
+			*e = flowEnt{key: key, pkts: e.pkts, err: e.pkts, idx: e.idx}
+			sh.entries[key] = e
+		}
+	}
+	e.pkts++
+	e.bytes += uint64(size)
+	if fast {
+		e.fast++
+	} else {
+		e.slow++
+	}
+	sh.heap.update(e)
+	sh.last = e
+	sh.mu.Unlock()
+}
+
+// NoteDrop attributes a drop to the CPU's most recently observed flow — the
+// kfree_skb choke points have the meter but not the tuple, and the drop of a
+// packet follows its own observe on the same CPU.
+func (t *FlowTable) NoteDrop(m *sim.Meter) {
+	sh := &t.shards[cpuIdx(m)]
+	sh.mu.Lock()
+	if sh.last != nil {
+		sh.last.drops++
+	}
+	sh.mu.Unlock()
+}
+
+// Top merges all shards by tuple and returns the n heaviest flows by packet
+// count (all of them for n <= 0).
+func (t *FlowTable) Top(n int) []FlowEntry {
+	merged := make(map[packet.FlowTuple]*FlowEntry)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			out := merged[k]
+			if out == nil {
+				out = &FlowEntry{Key: k}
+				merged[k] = out
+			}
+			out.Pkts += e.pkts
+			out.Bytes += e.bytes
+			out.Drops += e.drops
+			out.Fast += e.fast
+			out.Slow += e.slow
+			out.Err += e.err
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]FlowEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkts != out[j].Pkts {
+			return out[i].Pkts > out[j].Pkts
+		}
+		return out[i].Key.SrcPort < out[j].Key.SrcPort
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Tracked counts currently tracked entries across all shards.
+func (t *FlowTable) Tracked() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Evictions counts space-saving replace-min evictions.
+func (t *FlowTable) Evictions() uint64 { return t.evictions.Load() }
+
+// Capacity is the table-wide entry bound.
+func (t *FlowTable) Capacity() int { return t.capPerShard * NumCPUSlots }

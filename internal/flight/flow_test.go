@@ -1,0 +1,146 @@
+package flight
+
+import (
+	"testing"
+
+	"linuxfp/internal/packet"
+)
+
+func tup(sport uint16) packet.FlowTuple {
+	return packet.FlowTuple{
+		Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(10, 0, 1, 1),
+		SrcPort: sport, DstPort: 80, Proto: 6,
+	}
+}
+
+func TestFlowTopOrdering(t *testing.T) {
+	ft := NewFlowTable(16)
+	m := meterOn(0)
+	// Flow s sends 2*s packets: Top must come back heaviest-first.
+	for s := uint16(1); s <= 5; s++ {
+		for i := uint16(0); i < 2*s; i++ {
+			ft.Observe(tup(s), 100, s%2 == 0, m)
+		}
+	}
+	top := ft.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d rows", len(top))
+	}
+	wantPorts := []uint16{5, 4, 3}
+	for i, f := range top {
+		if f.Key.SrcPort != wantPorts[i] {
+			t.Fatalf("row %d is port %d, want %d (order %v)", i, f.Key.SrcPort, wantPorts[i], top)
+		}
+		if f.Pkts != uint64(2*f.Key.SrcPort) || f.Bytes != 100*f.Pkts {
+			t.Fatalf("row %d miscounted: %+v", i, f)
+		}
+	}
+	if ft.Tracked() != 5 || ft.Evictions() != 0 {
+		t.Fatalf("tracked=%d evictions=%d, want 5/0", ft.Tracked(), ft.Evictions())
+	}
+}
+
+func TestFlowFastPct(t *testing.T) {
+	ft := NewFlowTable(8)
+	m := meterOn(0)
+	for i := 0; i < 3; i++ {
+		ft.Observe(tup(9), 64, true, m)
+	}
+	ft.Observe(tup(9), 64, false, m)
+	f := ft.Top(1)[0]
+	if f.Fast != 3 || f.Slow != 1 || f.FastPct() != 75 {
+		t.Fatalf("fast=%d slow=%d pct=%.1f, want 3/1/75", f.Fast, f.Slow, f.FastPct())
+	}
+	if (FlowEntry{}).FastPct() != 0 {
+		t.Fatal("empty entry FastPct must be 0, not NaN")
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ft := NewFlowTable(2) // tiny shard: heavy hitter + one churn slot
+	m := meterOn(0)
+	// Heavy hitter: 100 packets on port 1.
+	for i := 0; i < 100; i++ {
+		ft.Observe(tup(1), 60, true, m)
+	}
+	// Mouse flows churn through the remaining slot, one packet each.
+	for s := uint16(100); s < 150; s++ {
+		ft.Observe(tup(s), 60, false, m)
+	}
+	if ft.Tracked() != 2 {
+		t.Fatalf("tracked=%d, capacity must bound the shard at 2", ft.Tracked())
+	}
+	if ft.Evictions() == 0 {
+		t.Fatal("replace-min churn must count evictions")
+	}
+	top := ft.Top(0)
+	if top[0].Key.SrcPort != 1 || top[0].Pkts != 100 || top[0].Err != 0 {
+		t.Fatalf("heavy hitter displaced or corrupted: %+v", top[0])
+	}
+	// The survivor mouse inherited the evicted minimum as its error bound:
+	// counted pkts overestimate its true 1 packet by at most Err.
+	mouse := top[1]
+	if mouse.Err == 0 || mouse.Pkts <= mouse.Err-0 {
+		// pkts = inherited + 1, so pkts > err always.
+		t.Fatalf("mouse entry %+v: want inherited err bound < pkts", mouse)
+	}
+	if mouse.Pkts-mouse.Err != 1 {
+		t.Fatalf("mouse true count = pkts-err = %d, want 1 (%+v)", mouse.Pkts-mouse.Err, mouse)
+	}
+}
+
+func TestHeavyHitterSurvivesChurn(t *testing.T) {
+	ft := NewFlowTable(4)
+	m := meterOn(0)
+	for i := 0; i < 1000; i++ {
+		ft.Observe(tup(7), 60, true, m) // elephant
+		ft.Observe(tup(uint16(1000+i)), 60, false, m)
+	}
+	top := ft.Top(1)
+	if top[0].Key.SrcPort != 7 {
+		t.Fatalf("elephant evicted by mice: top=%+v", top[0])
+	}
+	if top[0].Pkts != 1000 {
+		t.Fatalf("elephant count %d, want exact 1000 (never evicted → err 0)", top[0].Pkts)
+	}
+}
+
+func TestNoteDropAttributesToLastFlow(t *testing.T) {
+	ft := NewFlowTable(8)
+	m := meterOn(0)
+	ft.Observe(tup(1), 60, false, m)
+	ft.Observe(tup(2), 60, false, m)
+	ft.NoteDrop(m) // the drop follows its own observe on the same CPU
+	ft.NoteDrop(m)
+	top := ft.Top(0)
+	for _, f := range top {
+		want := uint64(0)
+		if f.Key.SrcPort == 2 {
+			want = 2
+		}
+		if f.Drops != want {
+			t.Fatalf("port %d drops=%d, want %d", f.Key.SrcPort, f.Drops, want)
+		}
+	}
+	// A drop with no prior observe on that CPU is a no-op, not a panic.
+	NewFlowTable(8).NoteDrop(meterOn(3))
+}
+
+func TestFlowShardsPerCPU(t *testing.T) {
+	ft := NewFlowTable(2)
+	// The same tuple observed on different CPUs lands on different shards;
+	// Top must merge them back into one row.
+	ft.Observe(tup(1), 60, true, meterOn(0))
+	ft.Observe(tup(1), 60, false, meterOn(1))
+	ft.Observe(tup(1), 60, true, meterOn(2))
+	top := ft.Top(0)
+	if len(top) != 1 || top[0].Pkts != 3 || top[0].Fast != 2 || top[0].Slow != 1 {
+		t.Fatalf("cross-shard merge wrong: %v", top)
+	}
+	if ft.Tracked() != 3 { // one entry per shard touched
+		t.Fatalf("tracked=%d, want 3 shard entries", ft.Tracked())
+	}
+	if ft.Capacity() != 2*NumCPUSlots {
+		t.Fatalf("capacity=%d, want %d", ft.Capacity(), 2*NumCPUSlots)
+	}
+}

@@ -1,0 +1,82 @@
+// The flight package writes ring records without importing ebpf (the import
+// points the other way), so the wire contract is duplicated constants. This
+// external test is the pin: if either side drifts, consumers decoding
+// EventSpan records from the shared ring would misparse every span.
+package flight_test
+
+import (
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/ebpf"
+	"linuxfp/internal/flight"
+	"linuxfp/internal/sim"
+)
+
+// heapFrames pins test frames in a package sink so they are heap-allocated:
+// the recorder keys its side table by backing-array address (the pwru skb
+// idiom), which presumes frames live on the heap like real datapath buffers —
+// a compiler-stack-allocated frame would move with the goroutine stack.
+var heapFrames [][]byte
+
+func heapFrame(n int) []byte {
+	f := make([]byte, n)
+	heapFrames = append(heapFrames, f)
+	return f
+}
+
+func TestEventWireFormatPinned(t *testing.T) {
+	if byte(ebpf.EventSpan) != flight.EventType {
+		t.Fatalf("flight.EventType=%d, ebpf.EventSpan=%d — ring type bytes diverged", flight.EventType, ebpf.EventSpan)
+	}
+	if ebpf.EventSize != flight.EventSize {
+		t.Fatalf("flight.EventSize=%d, ebpf.EventSize=%d — record layouts diverged", flight.EventSize, ebpf.EventSize)
+	}
+}
+
+// TestSpanRecordDecodesViaEbpf round-trips a real span record through the
+// real ring and the ebpf decoder: stage/verdict nibbles, CPU, reason, cycle
+// stamp, and trace ID must all survive.
+func TestSpanRecordDecodesViaEbpf(t *testing.T) {
+	rb := ebpf.NewRingBuf("pin_ring", 1<<12)
+	r := flight.New(flight.Config{Ring: rb})
+	m := &sim.Meter{CPU: 3}
+	frame := heapFrame(64)
+	ch := r.SampleRX(frame, 9, m)
+	if ch == nil {
+		t.Fatal("shift 0 must sample")
+	}
+	r.TerminalDropFrame(frame, drop.ReasonIPTTLExpired, m)
+
+	rb.Flush()
+	var evs []ebpf.Event
+	rb.Poll(func(rec []byte) {
+		ev, ok := ebpf.DecodeEvent(rec)
+		if !ok {
+			t.Fatalf("ring record %x failed to decode", rec)
+		}
+		evs = append(evs, ev)
+	})
+	if len(evs) != len(ch.Spans) {
+		t.Fatalf("decoded %d events for %d spans", len(evs), len(ch.Spans))
+	}
+	for i, ev := range evs {
+		if ev.Type != ebpf.EventSpan {
+			t.Fatalf("event %d type=%v, want EventSpan", i, ev.Type)
+		}
+		st, v := flight.UnpackStageVerdict(ev.Stage)
+		if st != ch.Spans[i].Stage || v != ch.Spans[i].Verdict {
+			t.Fatalf("event %d decoded %v/%v, span was %v/%v", i, st, v, ch.Spans[i].Stage, ch.Spans[i].Verdict)
+		}
+		if ev.CPU != ch.Spans[i].CPU || ev.Aux != ch.ID || ev.IfIndex != 9 {
+			t.Fatalf("event %d cpu=%d aux=%#x if=%d, want cpu=%d aux=%#x if=9",
+				i, ev.CPU, ev.Aux, ev.IfIndex, ch.Spans[i].CPU, ch.ID)
+		}
+		if sim.Cycles(ev.Cycles) != ch.Spans[i].Cycles {
+			t.Fatalf("event %d cycles=%d, span stamped %v", i, ev.Cycles, ch.Spans[i].Cycles)
+		}
+	}
+	if last := evs[len(evs)-1]; last.Reason != drop.ReasonIPTTLExpired {
+		t.Fatalf("terminal event reason=%v, want ip_ttl_expired", last.Reason)
+	}
+}

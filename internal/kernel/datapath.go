@@ -6,6 +6,7 @@ import (
 	"linuxfp/internal/bridge"
 	"linuxfp/internal/drop"
 	"linuxfp/internal/fib"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
 	"linuxfp/internal/packet"
@@ -58,6 +59,9 @@ func (k *Kernel) DeliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter) {
 // so DeliverBatch can run a whole burst on one scratch.
 func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
 	defer k.trace("netif_receive_skb", m)()
+	if fr, ch := k.flightEnter(frame, m); fr != nil {
+		defer fr.Exit(ch, m)
+	}
 	sc.fillOK = false
 	sc.gso = gsoMeta{}
 
@@ -83,6 +87,7 @@ func (k *Kernel) deliverFrame(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 		if sl != nil {
 			sl.Observe(StageTC, m, st)
 		}
+		k.flightSpan(m, flight.StageTC, flight.VerdictNone)
 		switch act {
 		case TCShot:
 			k.countDropReason(m, drop.ReasonTCDrop)
@@ -267,6 +272,13 @@ func retagFrame(frame []byte, eth packet.Ethernet, l3off int, vlan uint16, tagge
 // or IP receive. Frames that fail L3 validation are dropped here, after
 // bridging had its chance.
 func (k *Kernel) l3Input(dev *netdev.Device, frame []byte, m *sim.Meter, sc *rxScratch) {
+	// Flow telemetry, slow-path side: every packet entering the full stack
+	// walk is accounted here; the fast paths account their hits themselves.
+	if ft := k.flowTab.Load(); ft != nil {
+		if t, _, ok := packet.ReadFlowTuple(frame); ok {
+			ft.Observe(t, len(frame), false, m)
+		}
+	}
 	if err := packet.DecodeInto(frame, &sc.pkt, &sc.ip, &sc.arp); err != nil {
 		k.countDropReason(m, drop.ReasonIPHdrError)
 		return
@@ -291,10 +303,23 @@ func (k *Kernel) arpInput(dev *netdev.Device, a *packet.ARP, m *sim.Meter) {
 	now := k.Now()
 
 	queued := k.Neigh.Confirm(a.SenderIP, a.SenderHW, dev.Index, now)
-	for _, f := range queued {
-		packet.SetEthDst(f, a.SenderHW)
-		m.Charge(sim.CostDevXmit)
-		dev.Transmit(f, m)
+	if len(queued) > 0 {
+		// The flushed frames carry their own (parked) flight chains; suspend
+		// the ARP reply's chain so an unsampled flushed frame's TerminalTx
+		// cannot fall back onto it.
+		fr := k.flight.Load()
+		var susp *flight.Chain
+		if fr != nil {
+			susp = fr.SuspendCur(m)
+		}
+		for _, f := range queued {
+			packet.SetEthDst(f, a.SenderHW)
+			m.Charge(sim.CostDevXmit)
+			dev.Transmit(f, m)
+		}
+		if fr != nil {
+			fr.RestoreCur(susp, m)
+		}
 	}
 
 	if a.Op == packet.ARPRequest && k.addrIsLocal(a.TargetIP) {
@@ -352,6 +377,7 @@ func (k *Kernel) ipRcv(dev *netdev.Device, frame []byte, pkt *packet.Packet, m *
 	if sl != nil {
 		sl.Observe(StageFIB, m, st)
 	}
+	k.flightSpan(m, flight.StageFIB, flight.VerdictNone)
 	if !ok {
 		k.countNoRoute(m)
 		k.sendICMPError(dev, pkt, packet.ICMPUnreachable, 0, m)
@@ -409,6 +435,7 @@ func (k *Kernel) runHook(h netfilter.Hook, meta *netfilter.Meta, m *sim.Meter) n
 	if sl != nil {
 		sl.Observe(StageNetfilter, m, start)
 	}
+	k.flightSpan(m, flight.StageNetfilter, flight.VerdictNone)
 	return v
 }
 
@@ -592,7 +619,23 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 	sl, nst := k.stageStart(m)
 	mac, expire, ok := k.Neigh.ResolvedFull(nexthop, now)
 	if !ok {
-		if first := k.Neigh.StartResolution(nexthop, out.Index, frame); first {
+		// The frame parks on the neighbour queue; its flight chain parks
+		// with it — before StartResolution publishes the frame, since the
+		// ARP-reply flush can run on another CPU — and resumes when the
+		// flush drains it. A full queue never published the frame, so the
+		// producer closes the chain itself.
+		fr := k.flight.Load()
+		if fr != nil {
+			fr.ParkFrame(frame, flight.StageNeigh, m)
+		}
+		first, queued := k.Neigh.StartResolution(nexthop, out.Index, frame)
+		if !queued {
+			if fr != nil {
+				fr.TerminalDropFrame(frame, drop.ReasonNeighQueueFull, m)
+			}
+			k.countDropReason(m, drop.ReasonNeighQueueFull)
+		}
+		if first {
 			k.sendARPRequest(out, nexthop, m)
 		}
 		return
@@ -602,6 +645,7 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 	if sl != nil {
 		sl.Observe(StageNeigh, m, nst)
 	}
+	k.flightSpan(m, flight.StageNeigh, flight.VerdictNone)
 
 	if h := k.tcEgressFor(out.Index); h != nil {
 		if pkt, err := packet.Decode(frame); err == nil {
@@ -611,6 +655,7 @@ func (k *Kernel) finishOutput(out *netdev.Device, nexthop packet.Addr, frame []b
 			if tsl != nil {
 				tsl.Observe(StageTC, m, tst)
 			}
+			k.flightSpan(m, flight.StageTC, flight.VerdictNone)
 			switch act {
 			case TCShot:
 				k.countDropReason(m, drop.ReasonTCDrop)

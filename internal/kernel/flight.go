@@ -1,0 +1,75 @@
+// Flight-recorder and flow-telemetry attachment. Both follow the static-key
+// discipline of the other observers (Tracer, StageLat, DropNotify): detached,
+// every instrumentation site in the datapath pays one atomic nil-pointer
+// load; attached, the recorder is propagated to every device so RX sampling,
+// XDP verdicts, and driver transmits stamp the same side table the kernel
+// stages append to.
+package kernel
+
+import (
+	"linuxfp/internal/flight"
+	"linuxfp/internal/sim"
+)
+
+// EnableFlight attaches a fresh packet flight recorder built from cfg and
+// propagates it to every registered device (devices created later inherit
+// it). Returns the recorder for terminal/ledger reads.
+func (k *Kernel) EnableFlight(cfg flight.Config) *flight.Recorder {
+	r := flight.New(cfg)
+	k.flight.Store(r)
+	for _, d := range k.Devices() {
+		d.SetFlight(r)
+	}
+	return r
+}
+
+// DisableFlight detaches the recorder from the kernel and its devices.
+// Already-taken references stay readable.
+func (k *Kernel) DisableFlight() {
+	k.flight.Store(nil)
+	for _, d := range k.Devices() {
+		d.SetFlight(nil)
+	}
+}
+
+// Flight returns the attached recorder, or nil — the static-key load the
+// datapath gates on.
+func (k *Kernel) Flight() *flight.Recorder {
+	return k.flight.Load()
+}
+
+// EnableFlowTelemetry attaches a fresh flow table bounded at capPerShard
+// entries per CPU shard (<=0 selects flight.DefaultFlowCap) and returns it.
+func (k *Kernel) EnableFlowTelemetry(capPerShard int) *flight.FlowTable {
+	t := flight.NewFlowTable(capPerShard)
+	k.flowTab.Store(t)
+	return t
+}
+
+// DisableFlowTelemetry detaches the flow table.
+func (k *Kernel) DisableFlowTelemetry() {
+	k.flowTab.Store(nil)
+}
+
+// FlowTelemetry returns the attached flow table, or nil.
+func (k *Kernel) FlowTelemetry() *flight.FlowTable {
+	return k.flowTab.Load()
+}
+
+// flightEnter opens a per-frame flight window at a stack entry point: nil
+// recorder (the common case) costs this one load and a nil return.
+func (k *Kernel) flightEnter(frame []byte, m *sim.Meter) (*flight.Recorder, *flight.Chain) {
+	fr := k.flight.Load()
+	if fr == nil {
+		return nil, nil
+	}
+	return fr, fr.Enter(frame, m)
+}
+
+// flightSpan appends a waypoint to the CPU's current chain, if a recorder is
+// attached and the packet was sampled.
+func (k *Kernel) flightSpan(m *sim.Meter, st flight.Stage, v flight.Verdict) {
+	if fr := k.flight.Load(); fr != nil {
+		fr.SpanCur(m, st, v)
+	}
+}

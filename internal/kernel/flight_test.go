@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"testing"
+
+	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
+	"linuxfp/internal/packet"
+	"linuxfp/internal/sim"
+)
+
+// hasSpan reports whether the chain carries a span with the given stage,
+// verdict, and CPU.
+func hasSpan(ch *flight.Chain, st flight.Stage, v flight.Verdict, cpu uint8) bool {
+	for _, sp := range ch.Spans {
+		if sp.Stage == st && sp.Verdict == v && sp.CPU == cpu {
+			return true
+		}
+	}
+	return false
+}
+
+// assertConserved checks the trace ledger: every sampled stamp is accounted
+// for by exactly one terminal, and nothing is still in flight.
+func assertConserved(t *testing.T, fr *flight.Recorder) flight.Terminals {
+	t.Helper()
+	tl := fr.Terminals()
+	if tl.Sampled != tl.Drop+tl.Tx+tl.Redirect+tl.Pass+tl.Lost {
+		t.Fatalf("trace ledger violated: sampled=%d != drop=%d + tx=%d + redirect=%d + pass=%d + lost=%d",
+			tl.Sampled, tl.Drop, tl.Tx, tl.Redirect, tl.Pass, tl.Lost)
+	}
+	if live := fr.Live(); live != 0 {
+		t.Fatalf("%d chains still live after quiesce", live)
+	}
+	return tl
+}
+
+// TestFlightLedgerConservesMixedWorkload drives forwards, FIB misses, TTL
+// expiries, and local deliveries through a router tracing every packet, then
+// reconciles the trace ledger against the kernel's Stats ledger: trace tx ==
+// Forwarded, trace drop == Dropped, trace pass == Delivered, and every
+// retained chain closed with exactly one terminal span.
+func TestFlightLedgerConservesMixedWorkload(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	r.RegisterSocket(packet.ProtoUDP, 9, func(*Kernel, SocketMsg) {})
+	fr := r.EnableFlight(flight.Config{SampleShift: 0, Retain: true})
+	defer r.DisableFlight()
+
+	src := packet.MustAddr("10.1.0.1")
+	local := packet.MustAddr("10.1.0.254")
+	var frames [][]byte
+	for i := 0; i < 64; i++ { // forwarded
+		frames = append(frames, fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%16+1)), uint16(3000+i), 8080))
+	}
+	for i := 0; i < 16; i++ { // no route
+		frames = append(frames, fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(172, 31, 0, byte(i+1)), uint16(3100+i), 8080))
+	}
+	for i := 0; i < 16; i++ { // TTL expires in FORWARD
+		frames = append(frames, ttlFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, 1), 1))
+	}
+	for i := 0; i < 16; i++ { // local delivery
+		u := packet.UDP{SrcPort: uint16(3200 + i), DstPort: 9}
+		frames = append(frames, packet.BuildIPv4(
+			packet.Ethernet{Dst: r0.MAC, Src: srcMAC, EtherType: packet.EtherTypeIPv4},
+			packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: src, Dst: local},
+			u.Marshal(nil, src, local, make([]byte, 18))))
+	}
+	var m sim.Meter
+	for i := 0; i < len(frames); i += 32 {
+		end := i + 32
+		if end > len(frames) {
+			end = len(frames)
+		}
+		r0.ReceiveBatch(frames[i:end], 0, &m)
+	}
+
+	tl := assertConserved(t, fr)
+	st := r.Stats()
+	if tl.Sampled != uint64(len(frames)) {
+		t.Fatalf("sampled=%d, want every one of the %d packets at shift 0", tl.Sampled, len(frames))
+	}
+	if tl.Tx != st.Forwarded || tl.Tx != 64 {
+		t.Fatalf("trace tx=%d, kernel Forwarded=%d, want 64", tl.Tx, st.Forwarded)
+	}
+	if tl.Drop != st.Dropped || tl.Drop != 32 {
+		t.Fatalf("trace drop=%d, kernel Dropped=%d, want 32", tl.Drop, st.Dropped)
+	}
+	if tl.Pass != st.Delivered || tl.Pass != 16 {
+		t.Fatalf("trace pass=%d, kernel Delivered=%d, want 16", tl.Pass, st.Delivered)
+	}
+	if tl.Lost != 0 {
+		t.Fatalf("lost=%d, want 0 (instrumentation gap)", tl.Lost)
+	}
+	for _, ch := range fr.Completed() {
+		nTerm := 0
+		for _, sp := range ch.Spans {
+			if sp.Verdict.Terminal() {
+				nTerm++
+			}
+		}
+		if nTerm != 1 || !ch.Spans[len(ch.Spans)-1].Verdict.Terminal() {
+			t.Fatalf("chain %#x has %d terminal spans (%v), want exactly one, last", ch.ID, nTerm, ch.Spans)
+		}
+	}
+	assertLedger(t, r)
+}
+
+// TestFlightCpumapOverflowConservation forces a cpumap ring overflow and
+// checks the ledger splits exactly: accepted frames park on the producer CPU,
+// resume on the kthread's CPU, and terminate tx; overflowed frames terminate
+// as cpumap_overflow drops charged to the producer. Nothing is lost.
+func TestFlightCpumapOverflowConservation(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	fr := r.EnableFlight(flight.Config{SampleShift: 0, Retain: true})
+	defer r.DisableFlight()
+
+	const qsize, total = 4, 10
+	e := r.NewCpumapEntry(2, qsize)
+	defer e.Stop()
+
+	src := packet.MustAddr("10.1.0.1")
+	m := sim.Meter{CPU: 0}
+	frames := make([][]byte, total)
+	for i := range frames {
+		frames[i] = fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%16+1)), uint16(4000+i), 8080)
+		// The XDP redirect path samples at device RX before enqueueing; the
+		// direct EnqueueBatch injection replays that stamp.
+		fr.SampleRX(frames[i], r0.Index, &m)
+	}
+	dropped, _ := e.EnqueueBatch(r0, frames, &m)
+	if dropped != total-qsize {
+		t.Fatalf("EnqueueBatch dropped %d of %d with qsize %d, want %d", dropped, total, qsize, total-qsize)
+	}
+	e.RingDoorbell(&m)
+	e.Quiesce()
+
+	tl := assertConserved(t, fr)
+	if tl.Sampled != total || tl.Drop != total-qsize || tl.Tx != qsize || tl.Lost != 0 {
+		t.Fatalf("ledger %+v, want sampled=%d drop=%d tx=%d lost=0", tl, total, total-qsize, qsize)
+	}
+	forwarded := 0
+	for _, ch := range fr.Completed() {
+		switch ch.Terminal() {
+		case flight.VerdictTx:
+			forwarded++
+			if !hasSpan(ch, flight.StageCpumap, flight.VerdictPark, 0) {
+				t.Fatalf("forwarded chain %#x missing cpumap park on producer cpu0: %v", ch.ID, ch.Spans)
+			}
+			if !hasSpan(ch, flight.StageCpumap, flight.VerdictResume, 2) {
+				t.Fatalf("forwarded chain %#x missing cpumap resume on kthread cpu2: %v", ch.ID, ch.Spans)
+			}
+		case flight.VerdictDrop:
+			if last := ch.Spans[len(ch.Spans)-1]; last.Reason != drop.ReasonCpumapOverflow {
+				t.Fatalf("dropped chain %#x reason=%v, want cpumap_overflow", ch.ID, last.Reason)
+			}
+		}
+	}
+	if forwarded != qsize {
+		t.Fatalf("%d tx chains retained, want %d", forwarded, qsize)
+	}
+}
+
+// TestFlightRPSOverflowConservation fills an RPS backlog ring directly (the
+// kthread provably asleep), then receives one traced packet that overflows
+// it: the chain must terminate as an rps_backlog_full drop and the ledger
+// must balance — the park span is not a leak.
+func TestFlightRPSOverflowConservation(t *testing.T) {
+	k, d := steerHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	const qlen = 4
+	if err := k.EnableRPS([]int{1}, qlen); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+	fr := k.EnableFlight(flight.Config{SampleShift: 0, Retain: true})
+	defer k.DisableFlight()
+
+	// Pre-fill the ring with frames that never crossed device RX: unsampled,
+	// invisible to the recorder.
+	st := k.rps.Load()
+	b := st.backlogs[1]
+	for i := 0; i < qlen; i++ {
+		if ok, _ := b.enqueue(d, steerSeqFrame(d, 5000, uint32(i)), nil, nil); !ok {
+			t.Fatalf("park %d rejected with qlen %d", i, qlen)
+		}
+	}
+	m := sim.Meter{CPU: 0}
+	d.Receive(steerSeqFrame(d, 5000, qlen), &m) // sampled, overflows
+
+	b.kick()
+	k.RPSQuiesce()
+
+	tl := assertConserved(t, fr)
+	if tl.Sampled != 1 || tl.Drop != 1 {
+		t.Fatalf("ledger %+v, want the one traced packet to drop", tl)
+	}
+	chains := fr.Completed()
+	if len(chains) != 1 {
+		t.Fatalf("%d chains retained, want 1", len(chains))
+	}
+	last := chains[0].Spans[len(chains[0].Spans)-1]
+	if last.Verdict != flight.VerdictDrop || last.Reason != drop.ReasonRPSBacklogFull {
+		t.Fatalf("terminal span %+v, want drop/rps_backlog_full", last)
+	}
+	if k.DropReasons()[drop.ReasonRPSBacklogFull] != 1 {
+		t.Fatal("kernel ledger missing the rps_backlog_full drop")
+	}
+}
+
+// TestFlightRPSCrossCPUContinuity steers every packet off the RX core and
+// checks trace continuity across the handoff: each chain parks on the RX CPU,
+// resumes on the backlog kthread's CPU, and its pass terminal is stamped by
+// the target CPU — the span timeline shows the migration.
+func TestFlightRPSCrossCPUContinuity(t *testing.T) {
+	k, d := steerHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	if err := k.EnableRPS([]int{3}, 1024); err != nil {
+		t.Fatal(err)
+	}
+	defer k.DisableRPS()
+	fr := k.EnableFlight(flight.Config{SampleShift: 0, Retain: true})
+	defer k.DisableFlight()
+
+	const n = 32
+	m := sim.Meter{CPU: 0}
+	for i := 0; i < n; i++ {
+		d.Receive(steerSeqFrame(d, uint16(6000+i), uint32(i)), &m)
+	}
+	k.RPSQuiesce()
+
+	tl := assertConserved(t, fr)
+	if tl.Sampled != n || tl.Pass != n {
+		t.Fatalf("ledger %+v, want all %d delivered", tl, n)
+	}
+	chains := fr.Completed()
+	if len(chains) != n {
+		t.Fatalf("%d chains retained, want %d", len(chains), n)
+	}
+	for _, ch := range chains {
+		if !hasSpan(ch, flight.StageRPS, flight.VerdictPark, 0) {
+			t.Fatalf("chain %#x missing rps park on rx cpu0: %v", ch.ID, ch.Spans)
+		}
+		if !hasSpan(ch, flight.StageRPS, flight.VerdictResume, 3) {
+			t.Fatalf("chain %#x missing rps resume on target cpu3: %v", ch.ID, ch.Spans)
+		}
+		last := ch.Spans[len(ch.Spans)-1]
+		if last.Verdict != flight.VerdictPass || last.CPU != 3 {
+			t.Fatalf("chain %#x terminal %+v, want pass stamped by cpu3", ch.ID, last)
+		}
+	}
+}
+
+// TestFlightSpliceContinuity runs the sockmap proxy splice and checks the
+// ingress packet's chain follows its bytes out the egress device: spliced
+// chains carry sockmap and splice spans and terminate tx, even though the
+// transmitted frame is a synthesized one the side table has never seen.
+func TestFlightSpliceContinuity(t *testing.T) {
+	k, in, out := proxyHost(t)
+	k.SetSysctl("net.core.sockmap", "1")
+	registerTestProxy(k)
+	out.SetTxHook(func([]byte, *sim.Meter) bool { return true })
+	fr := k.EnableFlight(flight.Config{SampleShift: 0, Retain: true})
+	defer k.DisableFlight()
+
+	const n = 8
+	var m sim.Meter
+	for i := 0; i < n; i++ {
+		in.Receive(sockFrame(in, 6100, 7000, []byte("proxied payload")), &m)
+	}
+	if sp := k.Stats().SockmapSplices; sp != n {
+		t.Fatalf("splices=%d, want %d (the proxy registration pre-wires the sockmap)", sp, n)
+	}
+
+	tl := assertConserved(t, fr)
+	if tl.Sampled != n || tl.Tx != n {
+		t.Fatalf("ledger %+v, want all %d chains to follow their bytes out as tx", tl, n)
+	}
+	spliced := 0
+	for _, ch := range fr.Completed() {
+		if ch.Terminal() != flight.VerdictTx {
+			t.Fatalf("chain %#x terminated %v, want tx", ch.ID, ch.Terminal())
+		}
+		if hasSpan(ch, flight.StageSplice, flight.VerdictNone, 0) {
+			spliced++
+		}
+	}
+	if spliced != n {
+		t.Fatalf("%d chains carry splice spans, want %d", spliced, n)
+	}
+}
+
+// TestFlightDetachedZeroAlloc pins the static-key contract: with no recorder
+// attached, the established-flow delivery path allocates nothing — every
+// instrumentation site costs one atomic nil load, and none of them reach for
+// the side table.
+func TestFlightDetachedZeroAlloc(t *testing.T) {
+	k, d := sockHost(t)
+	k.RegisterSocket(packet.ProtoUDP, 7, func(*Kernel, SocketMsg) {})
+	if k.Flight() != nil {
+		t.Fatal("recorder attached before EnableFlight")
+	}
+	// Attach and detach: a past attachment must leave no residue either.
+	k.EnableFlight(flight.Config{SampleShift: 0})
+	k.DisableFlight()
+	if k.Flight() != nil {
+		t.Fatal("DisableFlight left the recorder attached")
+	}
+	var m sim.Meter
+	frame := sockFrame(d, 4001, 7, []byte("warm"))
+	d.Receive(frame, &m) // install
+	d.Receive(frame, &m) // warm pools
+	if allocs := testing.AllocsPerRun(200, func() {
+		d.Receive(frame, &m)
+	}); allocs != 0 {
+		t.Fatalf("detached recorder costs %.1f allocs/pkt on the hot path, want 0", allocs)
+	}
+}
+
+// TestFlightSamplingSubset checks that at 1-in-4 sampling the traced subset
+// still conserves: roughly a quarter of the packets are stamped, and every
+// stamp terminates.
+func TestFlightSamplingSubset(t *testing.T) {
+	r, r0, _, srcMAC, _ := newFwdRouter(t)
+	fr := r.EnableFlight(flight.Config{SampleShift: 2})
+	defer r.DisableFlight()
+
+	src := packet.MustAddr("10.1.0.1")
+	var frames [][]byte
+	for i := 0; i < 64; i++ {
+		frames = append(frames, fwdFrame(r0.MAC, srcMAC, src, packet.AddrFrom4(10, 2, 0, byte(i%16+1)), uint16(5000+i), 8080))
+	}
+	var m sim.Meter
+	r0.ReceiveBatch(frames[:32], 0, &m)
+	r0.ReceiveBatch(frames[32:], 0, &m)
+
+	tl := assertConserved(t, fr)
+	if tl.Sampled != 16 {
+		t.Fatalf("sampled=%d of 64 at shift 2, want 16", tl.Sampled)
+	}
+	if st := r.Stats(); st.Forwarded != 64 {
+		t.Fatalf("forwarded=%d, sampling must not perturb the datapath", st.Forwarded)
+	}
+}

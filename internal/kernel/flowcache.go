@@ -140,6 +140,9 @@ func (k *Kernel) flowFastPath(dev *netdev.Device, frame []byte, m *sim.Meter) bo
 	packet.SetEthSrc(frame, out.MAC)
 	packet.SetEthDst(frame, dstMAC)
 	m.Charge(sim.CostFlowFastHit + sim.CostDevXmit)
+	if ft := k.flowTab.Load(); ft != nil {
+		ft.Observe(t, len(frame), true, m)
+	}
 	out.Transmit(frame, m)
 	c.flowHits.Add(1)
 	c.forwarded.Add(1)
@@ -239,6 +242,12 @@ func (k *Kernel) l2FastPath(br *bridge.Bridge, dev *netdev.Device, frame []byte,
 		return false
 	}
 	m.Charge(sim.CostBridgeFastHit + sim.CostDevXmit)
+	if ft := k.flowTab.Load(); ft != nil {
+		// Bridged frames need not carry IP; only account the ones that do.
+		if t, _, ok := packet.ReadFlowTuple(frame); ok {
+			ft.Observe(t, len(frame), true, m)
+		}
+	}
 	out.Transmit(frame, m)
 	c.flowHits.Add(1)
 	return true

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
 	"linuxfp/internal/packet"
@@ -79,6 +80,12 @@ type groHold struct {
 
 	born     uint64   // allocation order, for oldest-first eviction
 	deadline sim.Time // gro_flush_timeout expiry; 0 = flush at poll end
+
+	// fl is the flight chain riding the hold: the first sampled segment's
+	// chain, with every later sampled segment's trace ID folded in. The hold
+	// copies frames into its own buffer, so the chain detaches from the
+	// original frame address here and reattaches to the supersegment at flush.
+	fl *flight.Chain
 }
 
 // groCtx is one shard's NAPI GRO context. The mutex is per-CPU so it is
@@ -228,6 +235,11 @@ func (ctx *groCtx) receive(k *Kernel, dev *netdev.Device, frame []byte, now sim.
 		}
 		return ctx.start(k, dev, frame, &c, now, to, outs, m)
 	}
+	if fr := k.flight.Load(); fr != nil {
+		// The merged frame's chain folds into the hold's: the supersegment
+		// carries every sampled segment's trace ID forward.
+		h.fl = fr.Fold(h.fl, frame, m)
+	}
 	h.buf = append(h.buf, c.payload...)
 	h.segs++
 	h.nextSeq += uint32(len(c.payload))
@@ -308,7 +320,14 @@ func (ctx *groCtx) start(k *Kernel, dev *netdev.Device, frame []byte, c *groCand
 	}
 	ctx.seq++
 	h := &ctx.holds[slot]
+	var fl *flight.Chain
+	if fr := k.flight.Load(); fr != nil {
+		// The hold owns a private copy of the frame; the chain detaches from
+		// the dying original address and parks on the hold until flush.
+		fl = fr.Detach(frame, m)
+	}
 	*h = groHold{
+		fl:      fl,
 		buf:     append([]byte(nil), frame...),
 		dev:     dev,
 		l3:      c.l3,
@@ -335,6 +354,13 @@ func (ctx *groCtx) start(k *Kernel, dev *netdev.Device, frame []byte, c *groCand
 // carried it, and the TCP checksum recomputed over the merged payload.
 func (ctx *groCtx) flushHold(k *Kernel, h *groHold, outs []groOut, m *sim.Meter) []groOut {
 	out := groOut{frame: h.buf, dev: h.dev, gso: gsoMeta{size: h.gsoSize, segs: h.segs, pshLast: h.pshLast}}
+	if h.fl != nil {
+		// The held chain registers under the flushed frame's address, still
+		// parked; the downstream Enter stamps the resume span.
+		if fr := k.flight.Load(); fr != nil {
+			fr.Reattach(out.frame, h.fl)
+		}
+	}
 	c := k.ctr(m)
 	if h.segs > 1 {
 		m.Charge(sim.CostGROFlush)
@@ -472,6 +498,7 @@ func (k *Kernel) deliverOuts(outs []groOut, decomposed bool, m *sim.Meter, sc *r
 // GRO off) each frame pays the full prologue, with later frames getting the
 // warm-I-cache batch-entry discount.
 func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, m *sim.Meter, sc *rxScratch) {
+	fr := k.flight.Load()
 	th := k.tcIngressFor(dev.Index)
 	if th == nil {
 		for i := range outs {
@@ -480,7 +507,13 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 			} else {
 				m.Charge(rxDeviceCost(dev) + sim.CostNetifReceive)
 			}
-			k.groInput(dev, outs[i].frame, outs[i].gso, m, sc)
+			if fr != nil {
+				ch := fr.Enter(outs[i].frame, m)
+				k.groInput(dev, outs[i].frame, outs[i].gso, m, sc)
+				fr.Exit(ch, m)
+			} else {
+				k.groInput(dev, outs[i].frame, outs[i].gso, m, sc)
+			}
 		}
 		return
 	}
@@ -508,6 +541,10 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 			frame := chunk[i].frame
 			eth, l3off, err := packet.UnmarshalEthernet(frame)
 			if err != nil {
+				// Outside an Enter window: terminate the frame's chain by key.
+				if fr != nil {
+					fr.TerminalDropFrame(frame, drop.ReasonL2HdrError, m)
+				}
 				k.countDropReason(m, drop.ReasonL2HdrError)
 				continue
 			}
@@ -529,6 +566,11 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 		for i := 0; i < n; i++ {
 			o := &chunk[ts.idx[i]]
 			skb := &ts.skbs[i]
+			var fch *flight.Chain
+			if fr != nil {
+				fch = fr.Enter(skb.Data, m)
+				fr.SpanCur(m, flight.StageTC, flight.VerdictNone)
+			}
 			switch ts.acts[i] {
 			case TCShot:
 				k.countDropReason(m, drop.ReasonTCDrop)
@@ -536,7 +578,7 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 				tgt, ok := k.DeviceByIndex(skb.RedirectTo)
 				if !ok {
 					k.countDropReason(m, drop.ReasonTCRedirectFail)
-					continue
+					break
 				}
 				if tgt.Type == netdev.Veth {
 					m.Charge(sim.CostTCRedirectPeer)
@@ -546,15 +588,21 @@ func (k *Kernel) deliverRun(dev *netdev.Device, outs []groOut, decomposed bool, 
 				if o.gso.segs > 1 {
 					// A redirected supersegment leaves as wire frames.
 					if et, l3 := packet.EtherTypeOf(skb.Data); et == packet.EtherTypeIPv4 {
+						if fr != nil {
+							fr.SpanCur(m, flight.StageGSO, flight.VerdictNone)
+						}
 						segs := packet.SegmentTCP(skb.Data, l3, l3+packet.IPv4MinLen, o.gso.size, o.gso.pshLast)
 						m.Charge(sim.CostGSOSegment * sim.Cycles(len(segs)))
 						tgt.TransmitBatch(segs, m)
 					}
-					continue
+					break
 				}
 				tgt.Transmit(skb.Data, m)
 			default:
 				k.groInput(dev, skb.Data, o.gso, m, sc)
+			}
+			if fr != nil {
+				fr.Exit(fch, m)
 			}
 		}
 	}
@@ -613,11 +661,33 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 		// flushes them — so queue wire-sized segments, never the super.
 		segs := packet.SegmentTCP(frame, l3, l4, gso.size, gso.pshLast)
 		m.Charge(sim.CostGSOSegment * sim.Cycles(len(segs)))
-		first := false
+		fr := k.flight.Load()
+		if fr != nil {
+			// The superseg's chain parks before any segment is published:
+			// the ARP-reply flush can run on another CPU the moment a
+			// segment hits the queue. Each segment aliases the chain — also
+			// pre-publication — so the flush finds it by key and closes it
+			// with a Tx terminal.
+			fr.ParkFrame(frame, flight.StageNeigh, m)
+		}
+		first, queuedAny := false, false
 		for _, s := range segs {
-			if k.Neigh.StartResolution(nexthop, out.Index, s) {
+			if fr != nil {
+				fr.InheritFrame(frame, s, m)
+			}
+			f, q := k.Neigh.StartResolution(nexthop, out.Index, s)
+			if f {
 				first = true
 			}
+			if q {
+				queuedAny = true
+			} else {
+				k.countDropReason(m, drop.ReasonNeighQueueFull)
+			}
+		}
+		if !queuedAny && fr != nil {
+			// No segment left this CPU: the producer closes the chain.
+			fr.TerminalDropFrame(frame, drop.ReasonNeighQueueFull, m)
 		}
 		if first {
 			k.sendARPRequest(out, nexthop, m)
@@ -629,6 +699,7 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 	if sl != nil {
 		sl.Observe(StageNeigh, m, nst)
 	}
+	k.flightSpan(m, flight.StageNeigh, flight.VerdictNone)
 
 	if h := k.tcEgressFor(out.Index); h != nil {
 		if p2, err := packet.Decode(frame); err == nil {
@@ -666,6 +737,7 @@ func (k *Kernel) gsoForward(dev, out *netdev.Device, nexthop packet.Addr, frame 
 // path; that fallback advances the forwarded counter per segment itself, so
 // it returns true to tell the caller not to count the supersegment again.
 func (k *Kernel) gsoTransmit(dev, out *netdev.Device, nexthop packet.Addr, frame []byte, l3, l4 int, gso gsoMeta, m *sim.Meter) bool {
+	k.flightSpan(m, flight.StageGSO, flight.VerdictNone)
 	segs := packet.SegmentTCP(frame, l3, l4, gso.size, gso.pshLast)
 	m.Charge(sim.CostGSOSegment * sim.Cycles(len(segs)))
 	if l4-l3+packet.TCPHdrLen+gso.size <= out.MTU {

@@ -28,6 +28,7 @@ import (
 	"linuxfp/internal/bridge"
 	"linuxfp/internal/drop"
 	"linuxfp/internal/fib"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/neigh"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
@@ -214,6 +215,8 @@ type Kernel struct {
 	tracer     atomic.Pointer[Tracer]
 	stageLat   atomic.Pointer[StageLat]
 	dropNotify atomic.Pointer[DropNotify]
+	flight     atomic.Pointer[flight.Recorder]
+	flowTab    atomic.Pointer[flight.FlowTable]
 }
 
 var (
@@ -353,6 +356,9 @@ func (k *Kernel) CreateDevice(name string, typ netdev.Type) *netdev.Device {
 		byName[name] = d
 	})
 	k.mu.Unlock()
+	if fr := k.flight.Load(); fr != nil {
+		d.SetFlight(fr)
+	}
 	k.publishLink(d)
 	return d
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/sim"
 )
@@ -410,6 +411,7 @@ func (e *CpumapEntry) SetLatObserver(s *sim.Stats) {
 // the RX core is the one observing them.
 func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.Meter) (dropped int, wasEmpty bool) {
 	c := e.kern.ctr(m)
+	fr := e.kern.flight.Load()
 	var at sim.Cycles
 	if m != nil {
 		at = m.Total
@@ -418,6 +420,11 @@ func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.M
 	if e.closed {
 		e.mu.Unlock()
 		c.cpumapDrops.Add(uint64(len(frames)))
+		if fr != nil {
+			for _, f := range frames {
+				fr.TerminalDropFrame(f, drop.ReasonCpumapOverflow, m)
+			}
+		}
 		return len(frames), false
 	}
 	wasEmpty = len(e.ring) == 0
@@ -427,10 +434,26 @@ func (e *CpumapEntry) EnqueueBatch(dev *netdev.Device, frames [][]byte, m *sim.M
 		dropped = n - free
 		n = free
 	}
+	if fr != nil {
+		// Accepted frames ride the ptr_ring verbatim: their chains park on
+		// the producer CPU and resume on the kthread's. The parks happen
+		// inside the producer section — the kthread may dequeue the moment
+		// the lock drops, and each park must happen-before its Enter.
+		for _, f := range frames[:n] {
+			fr.ParkFrame(f, flight.StageCpumap, m)
+		}
+	}
 	for _, f := range frames[:n] {
 		e.ring = append(e.ring, cpumapFrame{dev: dev, frame: f, at: at})
 	}
 	e.mu.Unlock()
+	if fr != nil {
+		// Overflowed frames never left this CPU: the producer observes the
+		// drop and closes their chains here.
+		for _, f := range frames[n:] {
+			fr.TerminalDropFrame(f, drop.ReasonCpumapOverflow, m)
+		}
+	}
 	if n > 0 {
 		e.enqueued.Add(uint64(n))
 		c.cpumapEnqueued.Add(uint64(n))
@@ -557,6 +580,7 @@ func (e *CpumapEntry) drainOnce(local []cpumapFrame, m *sim.Meter) bool {
 	// the program. Survivors are compacted in place and delivered below.
 	if pp := e.prog.Load(); pp != nil {
 		prog := *pp
+		fr := e.kern.flight.Load()
 		kept := 0
 		for i := 0; i < n; i++ {
 			deliver, reason := prog(local[i].dev, local[i].frame, m)
@@ -566,6 +590,10 @@ func (e *CpumapEntry) drainOnce(local []cpumapFrame, m *sim.Meter) bool {
 				continue
 			}
 			if reason != drop.ReasonNotSpecified {
+				// Outside an Enter window: close the chain by frame key.
+				if fr != nil {
+					fr.TerminalDropFrame(local[i].frame, reason, m)
+				}
 				e.kern.countDropReason(m, reason)
 			}
 		}

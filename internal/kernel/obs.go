@@ -23,6 +23,7 @@ func (k *Kernel) countDropReason(m *sim.Meter, r drop.Reason) {
 	k.shards[sh].dropped.Add(1)
 	k.dropReasons[sh].Count(r)
 	k.notifyDrop(m, r)
+	k.flightDrop(m, r)
 }
 
 // countDropReasonOnly attributes a reason for a drop whose total is counted
@@ -30,6 +31,20 @@ func (k *Kernel) countDropReason(m *sim.Meter, r drop.Reason) {
 func (k *Kernel) countDropReasonOnly(m *sim.Meter, r drop.Reason) {
 	k.dropReasons[shardIdx(m)].Count(r)
 	k.notifyDrop(m, r)
+	k.flightDrop(m, r)
+}
+
+// flightDrop terminates the CPU's current flight chain (the packet being
+// processed) as dropped and attributes the drop to its flow — the kfree_skb
+// side of the flight recorder, sharing the drop choke points with
+// DropNotify.
+func (k *Kernel) flightDrop(m *sim.Meter, r drop.Reason) {
+	if fr := k.flight.Load(); fr != nil {
+		fr.TerminalDropCur(r, m)
+	}
+	if ft := k.flowTab.Load(); ft != nil {
+		ft.NoteDrop(m)
+	}
 }
 
 // DropReasons folds the per-CPU reason shards into one array indexed by

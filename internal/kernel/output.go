@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/netfilter"
 	"linuxfp/internal/packet"
@@ -148,7 +149,18 @@ func (k *Kernel) sendICMPError(dev *netdev.Device, orig *packet.Packet, icmpType
 	ic := packet.ICMP{Type: icmpType, Code: code}
 	m.Charge(sim.CostIcmpEcho)
 	k.bumpICMPTx(m)
+	// The error is a fresh packet, not the original's continuation: suspend
+	// the current flight chain so its Tx cannot be claimed by the error frame
+	// (the original terminates as a drop at its own drop site).
+	fr := k.flight.Load()
+	var susp *flight.Chain
+	if fr != nil {
+		susp = fr.SuspendCur(m)
+	}
 	k.SendIP(0, ip.Src, packet.ProtoICMP, ic.Marshal(nil, quote), m)
+	if fr != nil {
+		fr.RestoreCur(susp, m)
+	}
 }
 
 // nextIPID hands out IP identification values for fragmentation.
@@ -189,6 +201,11 @@ func (k *Kernel) fragmentAndSend(out *netdev.Device, nexthop packet.Addr, frame 
 		fragFrame := packet.BuildIPv4(eth, fh, payload[off:end])
 		m.Charge(sim.CostFragmentPer)
 		k.ctr(m).fragsSent.Add(1)
+		// Fragments inherit the parent's flight chain: whichever fragment
+		// reaches a terminal first closes it (or parks it on the neigh queue).
+		if fr := k.flight.Load(); fr != nil {
+			fr.Inherit(fr.Cur(m), fragFrame)
+		}
 		k.finishOutput(out, nexthop, fragFrame, m, nil)
 	}
 	k.countForwarded(m)

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
@@ -288,6 +289,10 @@ func (k *Kernel) sockFastPath(dev *netdev.Device, frame []byte, m *sim.Meter, sc
 	sl, st := k.stageStart(m)
 	m.Charge(sim.CostSockmapLookup)
 	c.sockmapHits.Add(1)
+	k.flightSpan(m, flight.StageSockmap, flight.VerdictNone)
+	if ft := k.flowTab.Load(); ft != nil {
+		ft.Observe(t, len(frame), true, m)
+	}
 	if sock.closed.Load() {
 		// Unregister marked the socket between our generation check and now:
 		// the memoized socket is gone. sk_no_socket, consumed.
@@ -398,6 +403,9 @@ func (k *Kernel) spliceForward(t *Socket, msg *SocketMsg, m *sim.Meter) {
 	}
 	k.countDelivered(m)
 	k.ctr(m).sockmapSplices.Add(1)
+	// The spliced bytes leave through a freshly built frame; the ingress
+	// chain follows them out via the TerminalTx current-chain fallback.
+	k.flightSpan(m, flight.StageSplice, flight.VerdictNone)
 	k.egressSend(eb, msg.Payload, m)
 }
 

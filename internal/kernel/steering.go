@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/netdev"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
@@ -71,14 +72,19 @@ func newRPSBacklog(k *Kernel, cpu, qlen int) *rpsBacklog {
 
 // enqueue inserts one frame, reporting success and whether the ring was
 // empty beforehand (the IPI-needed signal: a non-empty ring means the
-// kthread is awake or already has a pending doorbell).
-func (b *rpsBacklog) enqueue(dev *netdev.Device, frame []byte) (ok, wasEmpty bool) {
+// kthread is awake or already has a pending doorbell). The frame's flight
+// chain parks inside the critical section: the backlog kthread may dequeue
+// the moment the lock drops, and the park must happen-before its Enter.
+func (b *rpsBacklog) enqueue(dev *netdev.Device, frame []byte, fr *flight.Recorder, m *sim.Meter) (ok, wasEmpty bool) {
 	b.mu.Lock()
 	if b.closed || len(b.ring) == cap(b.ring) {
 		b.mu.Unlock()
 		return false, false
 	}
 	wasEmpty = len(b.ring) == 0
+	if fr != nil {
+		fr.ParkFrame(frame, flight.StageRPS, m)
+	}
 	b.ring = append(b.ring, rpsFrame{dev: dev, frame: frame})
 	b.mu.Unlock()
 	b.enqueued.Add(1)
@@ -150,6 +156,7 @@ func (b *rpsBacklog) drainOnce(local []rpsFrame, m *sim.Meter) bool {
 	b.mu.Unlock()
 
 	m.Charge(sim.CostRPSBacklogRun) // process_backlog pass, once per burst
+	fr := b.kern.flight.Load()
 	sc := rxScratchPool.Get().(*rxScratch)
 	for i := 0; i < n; i++ {
 		f := local[i]
@@ -157,10 +164,19 @@ func (b *rpsBacklog) drainOnce(local []rpsFrame, m *sim.Meter) bool {
 		sc.gso = gsoMeta{}
 		eth, l3off, err := packet.UnmarshalEthernet(f.frame)
 		if err != nil {
+			if fr != nil {
+				fr.TerminalDropFrame(f.frame, drop.ReasonL2HdrError, m)
+			}
 			b.kern.countDropReason(m, drop.ReasonL2HdrError)
 			continue
 		}
-		b.kern.receiveParsed(f.dev, f.frame, eth, l3off, m, sc)
+		if fr != nil {
+			ch := fr.Enter(f.frame, m)
+			b.kern.receiveParsed(f.dev, f.frame, eth, l3off, m, sc)
+			fr.Exit(ch, m)
+		} else {
+			b.kern.receiveParsed(f.dev, f.frame, eth, l3off, m, sc)
+		}
 	}
 	rxScratchPool.Put(sc)
 	b.cycles.Store(uint64(m.Total))
@@ -405,7 +421,11 @@ func (k *Kernel) rpsDeliver(st *rpsState, dev *netdev.Device, frame []byte, eth 
 		return false
 	}
 	m.Charge(sim.CostRPSEnqueue)
-	enq, wasEmpty := b.enqueue(dev, frame)
+	// The frame rides the backlog ring verbatim: its flight chain parks on
+	// the source CPU — inside the ring's producer section — and resumes,
+	// stamped by the target CPU, when the backlog kthread re-enters the
+	// stack.
+	enq, wasEmpty := b.enqueue(dev, frame, k.flight.Load(), m)
 	if !enq {
 		c.rpsBacklogDrops.Add(1)
 		c.dropped.Add(1)

@@ -115,7 +115,7 @@ func TestRPSBacklogOverflowTagged(t *testing.T) {
 	st := k.rps.Load()
 	b := st.backlogs[1]
 	for i := 0; i < qlen; i++ {
-		if ok, _ := b.enqueue(d, steerSeqFrame(d, 5000, uint32(i))); !ok {
+		if ok, _ := b.enqueue(d, steerSeqFrame(d, 5000, uint32(i)), nil, nil); !ok {
 			t.Fatalf("park %d rejected with qlen %d", i, qlen)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 
 	"linuxfp/internal/drop"
 	"linuxfp/internal/ebpf"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/kernel"
 )
 
@@ -66,10 +67,10 @@ func WriteKernel(w io.Writer, k *kernel.Kernel) {
 	fmt.Fprintf(w, "# HELP linuxfp_drop_reason_total Kernel-layer drops by skb drop reason.\n")
 	fmt.Fprintf(w, "# TYPE linuxfp_drop_reason_total counter\n")
 	byReason := k.DropReasons()
+	// Every reason is exposed, zeros included: the audit test asserts each
+	// enum member has a series, so a reason silently losing its drop site
+	// (or its name) fails the scrape diff rather than vanishing.
 	for _, r := range drop.Reasons() {
-		if byReason[r] == 0 {
-			continue
-		}
 		fmt.Fprintf(w, "linuxfp_drop_reason_total{kernel=%q,reason=%q} %d\n", name, r, byReason[r])
 	}
 
@@ -89,14 +90,90 @@ func WriteKernel(w io.Writer, k *kernel.Kernel) {
 	if sl := k.StageObs(); sl != nil {
 		WriteStages(w, name, sl)
 	}
+	if fr := k.Flight(); fr != nil {
+		WriteFlight(w, name, fr)
+	}
+	if ft := k.FlowTelemetry(); ft != nil {
+		WriteFlows(w, name, ft, DefaultFlowSeries)
+	}
+}
+
+// WriteFlight writes the flight recorder's trace ledger: stamps, spans, and
+// per-terminal chain counts. Conservation is visible in the scrape itself:
+// sampled == drop + tx + redirect + pass + lost once the datapath quiesces.
+func WriteFlight(w io.Writer, name string, fr *flight.Recorder) {
+	t := fr.Terminals()
+	fmt.Fprintf(w, "# HELP linuxfp_trace_chains_total Flight-recorder chains by terminal verdict (trace-ID weighted).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_trace_chains_total counter\n")
+	for _, c := range []struct {
+		terminal string
+		v        uint64
+	}{
+		{"sampled", t.Sampled},
+		{"drop", t.Drop},
+		{"tx", t.Tx},
+		{"redirect", t.Redirect},
+		{"pass", t.Pass},
+		{"lost", t.Lost},
+	} {
+		fmt.Fprintf(w, "linuxfp_trace_chains_total{kernel=%q,terminal=%q} %d\n", name, c.terminal, c.v)
+	}
+	fmt.Fprintf(w, "# HELP linuxfp_trace_spans_total Flight-recorder spans stamped.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_trace_spans_total counter\n")
+	fmt.Fprintf(w, "linuxfp_trace_spans_total{kernel=%q} %d\n", name, t.Spans)
+	fmt.Fprintf(w, "# HELP linuxfp_trace_live_chains Chains still registered in the side table.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_trace_live_chains gauge\n")
+	fmt.Fprintf(w, "linuxfp_trace_live_chains{kernel=%q} %d\n", name, fr.Live())
+}
+
+// DefaultFlowSeries is how many top flows WriteFlows exposes as per-flow
+// series (the table itself tracks far more; the scrape shows the heavy
+// hitters, like `ss` piped through head).
+const DefaultFlowSeries = 10
+
+// WriteFlows writes the flow telemetry table: table-level gauges plus the
+// top-n flows by packets as labeled per-flow series.
+func WriteFlows(w io.Writer, name string, ft *flight.FlowTable, n int) {
+	fmt.Fprintf(w, "# HELP linuxfp_flow_tracked Flows currently tracked by the top-k sketch.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_tracked gauge\n")
+	fmt.Fprintf(w, "linuxfp_flow_tracked{kernel=%q} %d\n", name, ft.Tracked())
+	fmt.Fprintf(w, "# HELP linuxfp_flow_evictions_total Space-saving replace-min evictions.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_evictions_total counter\n")
+	fmt.Fprintf(w, "linuxfp_flow_evictions_total{kernel=%q} %d\n", name, ft.Evictions())
+	fmt.Fprintf(w, "# HELP linuxfp_flow_capacity Flow-table capacity (entries across all shards).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_capacity gauge\n")
+	fmt.Fprintf(w, "linuxfp_flow_capacity{kernel=%q} %d\n", name, ft.Capacity())
+
+	top := ft.Top(n)
+	fmt.Fprintf(w, "# HELP linuxfp_flow_packets_total Per-flow packets (top flows by packets).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_packets_total counter\n")
+	for _, f := range top {
+		fmt.Fprintf(w, "linuxfp_flow_packets_total{kernel=%q,flow=%q} %d\n", name, f.Key, f.Pkts)
+	}
+	fmt.Fprintf(w, "# HELP linuxfp_flow_bytes_total Per-flow bytes (top flows by packets).\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_bytes_total counter\n")
+	for _, f := range top {
+		fmt.Fprintf(w, "linuxfp_flow_bytes_total{kernel=%q,flow=%q} %d\n", name, f.Key, f.Bytes)
+	}
+	fmt.Fprintf(w, "# HELP linuxfp_flow_drops_total Per-flow drops attributed at the kfree_skb choke points.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_drops_total counter\n")
+	for _, f := range top {
+		fmt.Fprintf(w, "linuxfp_flow_drops_total{kernel=%q,flow=%q} %d\n", name, f.Key, f.Drops)
+	}
+	fmt.Fprintf(w, "# HELP linuxfp_flow_fastpath_ratio Fraction of the flow's packets that took a fast path.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_flow_fastpath_ratio gauge\n")
+	for _, f := range top {
+		fmt.Fprintf(w, "linuxfp_flow_fastpath_ratio{kernel=%q,flow=%q} %.4f\n", name, f.Key, f.FastPct()/100)
+	}
 }
 
 // WriteStages writes the per-stage latency summaries in Prometheus summary
 // style: one series per quantile plus count and mean.
 func WriteStages(w io.Writer, name string, sl *kernel.StageLat) {
+	report := sl.Report()
 	fmt.Fprintf(w, "# HELP linuxfp_stage_latency_cycles Per-stage latency in modelcycles.\n")
 	fmt.Fprintf(w, "# TYPE linuxfp_stage_latency_cycles summary\n")
-	for _, s := range sl.Report() {
+	for _, s := range report {
 		for _, q := range []struct {
 			label string
 			v     float64
@@ -107,6 +184,12 @@ func WriteStages(w io.Writer, name string, sl *kernel.StageLat) {
 				name, s.Stage, q.label, q.v)
 		}
 		fmt.Fprintf(w, "linuxfp_stage_latency_cycles_count{kernel=%q,stage=%q} %d\n", name, s.Stage, s.Count)
+	}
+	// The mean is its own gauge family: summaries only own the _count and
+	// _sum suffixes, and the exposition lint holds this file to that.
+	fmt.Fprintf(w, "# HELP linuxfp_stage_latency_cycles_mean Per-stage mean latency in modelcycles.\n")
+	fmt.Fprintf(w, "# TYPE linuxfp_stage_latency_cycles_mean gauge\n")
+	for _, s := range report {
 		fmt.Fprintf(w, "linuxfp_stage_latency_cycles_mean{kernel=%q,stage=%q} %.1f\n", name, s.Stage, s.MeanCy)
 	}
 }

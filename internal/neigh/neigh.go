@@ -177,14 +177,16 @@ func (t *Table) Delete(ip packet.Addr) bool {
 }
 
 // StartResolution marks ip INCOMPLETE and queues frame for transmission once
-// the MAC is learned. It reports whether an ARP request should be sent
+// the MAC is learned. first reports whether an ARP request should be sent
 // (true only for the first packet that triggers resolution; the kernel
-// rate-limits retransmits, which the model elides).
-func (t *Table) StartResolution(ip packet.Addr, ifIndex int, frame []byte) bool {
+// rate-limits retransmits, which the model elides). queued reports whether
+// the frame made it onto the pending queue — past MaxPending the frame is
+// discarded, the kernel's NEIGH_QUEUEFULL drop, and the caller must count
+// it.
+func (t *Table) StartResolution(ip packet.Addr, ifIndex int, frame []byte) (first, queued bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.entries[ip]
-	first := false
 	if !ok || e.State != Incomplete {
 		t.entries[ip] = &Entry{IP: ip, IfIndex: ifIndex, State: Incomplete}
 		t.gen.Add(1)
@@ -193,8 +195,9 @@ func (t *Table) StartResolution(ip packet.Addr, ifIndex int, frame []byte) bool 
 	q := t.pending[ip]
 	if len(q) < MaxPending {
 		t.pending[ip] = append(q, frame)
+		queued = true
 	}
-	return first
+	return first, queued
 }
 
 // Entries returns a snapshot of all bindings in unspecified order.

@@ -68,11 +68,16 @@ func TestPermanentNeverAges(t *testing.T) {
 func TestResolutionQueue(t *testing.T) {
 	tb := NewTable()
 	f1, f2 := []byte{1}, []byte{2}
-	if !tb.StartResolution(ip1, 1, f1) {
+	first, queued1 := tb.StartResolution(ip1, 1, f1)
+	if !first {
 		t.Fatal("first resolution should request ARP")
 	}
-	if tb.StartResolution(ip1, 1, f2) {
+	second, queued2 := tb.StartResolution(ip1, 1, f2)
+	if second {
 		t.Fatal("second resolution should not re-request")
+	}
+	if !queued1 || !queued2 {
+		t.Fatal("both frames should queue under MaxPending")
 	}
 	e, ok := tb.Lookup(ip1, 0)
 	if !ok || e.State != Incomplete {
@@ -91,7 +96,10 @@ func TestResolutionQueue(t *testing.T) {
 func TestResolutionQueueBounded(t *testing.T) {
 	tb := NewTable()
 	for i := 0; i < MaxPending+5; i++ {
-		tb.StartResolution(ip1, 1, []byte{byte(i)})
+		_, q := tb.StartResolution(ip1, 1, []byte{byte(i)})
+		if want := i < MaxPending; q != want {
+			t.Fatalf("frame %d: queued=%v, want %v", i, q, want)
+		}
 	}
 	queued := tb.Confirm(ip1, mac1, 1, 0)
 	if len(queued) != MaxPending {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"linuxfp/internal/drop"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/packet"
 	"linuxfp/internal/sim"
 )
@@ -181,6 +182,7 @@ type Device struct {
 	xdp    atomic.Pointer[xdpSlot]
 	devmap atomic.Pointer[DevMap]   // bulk-redirect state, allocated on first use
 	xps    atomic.Pointer[xpsState] // TX-queue steering; nil = single-queue TX
+	flight atomic.Pointer[flight.Recorder] // packet flight recorder, propagated by the owning kernel
 
 	// Tap, when set, observes every frame the device receives (before XDP)
 	// — the model's equivalent of a packet capture. Set it before traffic
@@ -213,6 +215,14 @@ func New(name string, index int, typ Type, mac packet.HWAddr, stack Stack) *Devi
 // `ethtool -K <dev> gro on|off`. The batch-aware stack consults it on every
 // poll, so flipping it mid-traffic is safe.
 func (d *Device) SetGRO(on bool) { d.gro.Store(on) }
+
+// SetFlight attaches (or with nil detaches) the packet flight recorder: RX
+// stamps the sampled trace IDs, XDP verdicts and driver transmits append
+// spans and terminals. Detached, the RX/TX hot paths pay one nil check.
+func (d *Device) SetFlight(r *flight.Recorder) { d.flight.Store(r) }
+
+// Flight returns the attached flight recorder, or nil.
+func (d *Device) Flight() *flight.Recorder { return d.flight.Load() }
 
 // GROEnabled reports whether generic receive offload is enabled.
 func (d *Device) GROEnabled() bool { return d.gro.Load() }
@@ -381,6 +391,10 @@ func (d *Device) Transmit(frame []byte, m *sim.Meter) {
 	}
 	d.stats.txPackets.Add(1)
 	d.stats.txBytes.Add(uint64(len(frame)))
+	// Terminal before the wire copy: the peer's copy is a different packet.
+	if fr := d.flight.Load(); fr != nil {
+		fr.TerminalTx(frame, m)
+	}
 	d.chargeTxQueue(m)
 	ln := d.link.Load()
 
@@ -421,7 +435,11 @@ func (d *Device) TransmitBatch(frames [][]byte, m *sim.Meter) {
 	d.stats.txPackets.Add(uint64(n))
 	d.stats.txBytes.Add(bytes)
 	ln := d.link.Load()
+	fr := d.flight.Load()
 	for _, frame := range frames {
+		if fr != nil {
+			fr.TerminalTx(frame, m)
+		}
 		d.chargeTxQueue(m)
 		if ln.txHook != nil && ln.txHook(frame, m) {
 			continue
@@ -466,6 +484,9 @@ func (d *Device) Receive(frame []byte, m *sim.Meter) {
 		tap(frame)
 	}
 	m.ChargeBytes(len(frame))
+	if fr := d.flight.Load(); fr != nil {
+		fr.SampleRX(frame, d.Index, m)
+	}
 
 	if slot := d.xdp.Load(); slot != nil {
 		frame = d.runXDP(slot, frame, 0, m)
@@ -492,18 +513,28 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 	cm, cpu := buff.RedirectCPUMap, buff.RedirectCPU
 	xm, xskSlot := buff.RedirectXSKMap, buff.RedirectXSKSlot
 	xdpBuffPool.Put(buff)
+	fr := d.flight.Load()
 	switch act {
 	case XDPDrop:
 		d.stats.xdpDrops.Add(1)
 		d.stats.dropReasons.Count(drop.ReasonXDPDrop)
+		if fr != nil {
+			fr.TerminalDropFrame(data, drop.ReasonXDPDrop, m)
+		}
 		return nil
 	case XDPAborted:
 		d.stats.xdpDrops.Add(1)
 		d.stats.dropReasons.Count(drop.ReasonXDPAborted)
+		if fr != nil {
+			fr.TerminalDropFrame(data, drop.ReasonXDPAborted, m)
+		}
 		return nil
 	case XDPTx:
 		d.stats.xdpTx.Add(1)
 		m.Charge(sim.CostXDPTx)
+		if fr != nil {
+			fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+		}
 		d.Transmit(data, m)
 		return nil
 	case XDPRedirect:
@@ -512,10 +543,16 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 			// flushes immediately (a one-frame poll). A missing entry is
 			// an XDP exception; a ring overflow reclassifies the already
 			// counted redirect as a drop.
+			if fr != nil {
+				fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+			}
 			dropped, ok := cm.EnqueueCPU(rxq, cpu, d, data, m)
 			if !ok {
 				d.stats.xdpDrops.Add(1)
 				d.stats.dropReasons.Count(drop.ReasonCpumapNoEntry)
+				if fr != nil {
+					fr.TerminalDropFrame(data, drop.ReasonCpumapNoEntry, m)
+				}
 				return nil
 			}
 			dropped += cm.FlushCPU(rxq, m)
@@ -536,7 +573,16 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 			if !ok {
 				d.stats.xdpDrops.Add(1)
 				d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
+				if fr != nil {
+					fr.TerminalDropFrame(data, drop.ReasonXDPRedirectFail, m)
+				}
 				return nil
+			}
+			if fr != nil {
+				// The descriptor is staged: the packet left the stack. Ring
+				// drops discovered at flush time stay counted as redirects
+				// here — flight follows the verdict, not the ring.
+				fr.TerminalRedirectFrame(data, m)
 			}
 			rf, fe := xm.FlushXSK(rxq, m)
 			rxFull += rf
@@ -556,21 +602,33 @@ func (d *Device) runXDP(slot *xdpSlot, frame []byte, rxq int, m *sim.Meter) []by
 		if s == nil {
 			d.stats.xdpDrops.Add(1)
 			d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
+			if fr != nil {
+				fr.TerminalDropFrame(data, drop.ReasonXDPRedirectFail, m)
+			}
 			return nil
 		}
 		out, ok := s.DeviceByIndex(redirect)
 		if !ok {
 			d.stats.xdpDrops.Add(1)
 			d.stats.dropReasons.Count(drop.ReasonXDPRedirectFail)
+			if fr != nil {
+				fr.TerminalDropFrame(data, drop.ReasonXDPRedirectFail, m)
+			}
 			return nil
 		}
 		d.stats.xdpRedirects.Add(1)
 		m.Charge(sim.CostXDPRedirect)
+		if fr != nil {
+			fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+		}
 		out.Transmit(data, m)
 		return nil
 	default: // XDPPass
 		d.stats.xdpPass.Add(1)
 		m.Charge(sim.CostXDPPass)
+		if fr != nil {
+			fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+		}
 		return data // program may have adjusted the frame
 	}
 }
@@ -616,6 +674,7 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 	}
 	bh, batched := slot.h.(XDPBatchHandler)
 	scratch := pollScratchPool.Get().(*pollScratch)
+	fr := d.flight.Load()
 	keep := frames[:0]
 	var dm *DevMap
 	for off := 0; off < len(frames); off += budget {
@@ -653,6 +712,9 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 			switch acts[i] {
 			case XDPTx:
 				txs++
+				if fr != nil {
+					fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+				}
 				if dm == nil {
 					dm = d.redirectMap()
 				}
@@ -668,9 +730,15 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 						overflow += uint64(dropped)
 					}
 					cm = t
+					if fr != nil {
+						fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+					}
 					dropped, ok := t.EnqueueCPU(rxq, bufs[i].RedirectCPU, d, data, m)
 					if !ok {
 						noEntry++ // no entry for that CPU: XDP exception
+						if fr != nil {
+							fr.TerminalDropFrame(data, drop.ReasonCpumapNoEntry, m)
+						}
 						break
 					}
 					redirects++
@@ -692,7 +760,13 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 					rf, fe, ok := t.EnqueueXSK(rxq, bufs[i].RedirectXSKSlot, data, m)
 					if !ok {
 						redirFail++ // empty or out-of-range slot: XDP exception
+						if fr != nil {
+							fr.TerminalDropFrame(data, drop.ReasonXDPRedirectFail, m)
+						}
 						break
+					}
+					if fr != nil {
+						fr.TerminalRedirectFrame(data, m)
 					}
 					redirects++
 					redirects -= uint64(rf + fe)
@@ -706,9 +780,15 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 				}
 				if !ok {
 					redirFail++ // unresolvable target: XDP exception
+					if fr != nil {
+						fr.TerminalDropFrame(data, drop.ReasonXDPRedirectFail, m)
+					}
 					break
 				}
 				redirects++
+				if fr != nil {
+					fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+				}
 				if dm == nil {
 					dm = d.redirectMap()
 				}
@@ -716,11 +796,20 @@ func (d *Device) runXDPBatch(slot *xdpSlot, frames [][]byte, rxq, budget int, m 
 			case XDPPass:
 				passes++
 				m.Charge(sim.CostXDPPass)
+				if fr != nil {
+					fr.SpanFrame(data, flight.StageXDP, flight.VerdictNone, m)
+				}
 				keep = append(keep, data)
 			case XDPDrop:
 				xdpDrops++
+				if fr != nil {
+					fr.TerminalDropFrame(data, drop.ReasonXDPDrop, m)
+				}
 			default: // XDPAborted, invalid verdicts
 				xdpAborts++
+				if fr != nil {
+					fr.TerminalDropFrame(data, drop.ReasonXDPAborted, m)
+				}
 			}
 		}
 		if dm != nil {
@@ -789,6 +878,11 @@ func (d *Device) ReceiveBatch(frames [][]byte, rxq int, m *sim.Meter) {
 		}
 	}
 	m.ChargeBytes(int(bytes))
+	if fr := d.flight.Load(); fr != nil {
+		for _, f := range frames {
+			fr.SampleRX(f, d.Index, m)
+		}
+	}
 
 	if slot := d.xdp.Load(); slot != nil {
 		frames = d.runXDPBatch(slot, frames, rxq, NAPIBudget, m)

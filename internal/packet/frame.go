@@ -96,6 +96,28 @@ type FlowTuple struct {
 	Frag             bool
 }
 
+// String renders the tuple the way ss(8) prints flows: proto, then
+// src:port->dst:port. Fragments carry a marker since their ports are the
+// 2-tuple fallback zeros.
+func (t FlowTuple) String() string {
+	proto := "ip"
+	switch t.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	case ProtoICMP:
+		proto = "icmp"
+	default:
+		proto = fmt.Sprintf("proto%d", t.Proto)
+	}
+	s := fmt.Sprintf("%s %s:%d->%s:%d", proto, t.Src, t.SrcPort, t.Dst, t.DstPort)
+	if t.Frag {
+		s += " frag"
+	}
+	return s
+}
+
 // ReadFlowTuple extracts the flow tuple from a raw frame at fixed offsets
 // with no allocation, the way NIC RSS hardware does. It reports the L3
 // offset and ok=false for non-IPv4 or truncated frames.

@@ -241,6 +241,19 @@ const (
 	CostRingbufPerByte Cycles = 0.5 // record payload copy into the ring
 )
 
+// Flight-recorder and flow-telemetry costs. The recorder's sampling decision
+// is a per-CPU counter increment; stamped packets pay a side-table probe per
+// instrumentation site (pwru's skb-address hash) and a span append; the flow
+// table pays one sharded map upsert plus a heap fix per observed packet.
+// All charged only while the observer is attached — detached is the usual
+// one-nil-check static key.
+const (
+	CostFlightProbe  Cycles = 6  // per-RX sampling counter increment
+	CostFlightLookup Cycles = 18 // side-table shard lock + map probe
+	CostFlightSpan   Cycles = 28 // span append (TSC read + store)
+	CostFlowObserve  Cycles = 34 // flow shard upsert + min-heap fix
+)
+
 // Shadow-state costs for the Polycube baseline: its cubes keep private maps
 // instead of calling into kernel state, so lookups are plain map probes but
 // every function boundary is a tail call and filtering uses its own

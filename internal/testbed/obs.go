@@ -6,6 +6,7 @@ import (
 
 	"linuxfp/internal/drop"
 	"linuxfp/internal/ebpf"
+	"linuxfp/internal/flight"
 	"linuxfp/internal/fpm"
 	"linuxfp/internal/kernel"
 	"linuxfp/internal/netdev"
@@ -29,16 +30,35 @@ type ObsPoint struct {
 	Stages       []kernel.StageSummary `json:"stages,omitempty"`
 }
 
+// FlightPoint is one measured flight-recorder configuration: the same
+// forwarding workload with the packet flight recorder (and optionally the
+// flow telemetry table) attached at one sampling shift. OverheadPct is
+// relative to the recorder-off baseline — the same point the ObsPoint
+// overheads are judged against.
+type FlightPoint struct {
+	SampleShift   int     `json:"sample_shift"` // samples 1 in 2^shift
+	FlowTelemetry bool    `json:"flow_telemetry"`
+	CyclesPerPkt  float64 `json:"cycles_per_pkt"`
+	OverheadPct   float64 `json:"flight_overhead_pct"`
+	Sampled       uint64  `json:"chains_sampled"`
+	Spans         uint64  `json:"spans"`
+	Lost          uint64  `json:"chains_lost"`
+	Events        uint64  `json:"events_produced"`
+	EventDrops    uint64  `json:"events_dropped"`
+	FlowsTracked  int     `json:"flows_tracked,omitempty"`
+}
+
 // ObsReport is the machine-readable result of ObsSweep — what
 // `lfpbench -exp obs` serializes into BENCH_obs.json.
 type ObsReport struct {
-	Platform     string     `json:"platform"`
-	ClockHz      float64    `json:"clock_hz"`
-	Frames       int        `json:"frames"`
-	Flows        int        `json:"flows"`
-	PayloadBytes int        `json:"tcp_payload_bytes"`
-	RingBytes    int        `json:"ring_bytes"`
-	Points       []ObsPoint `json:"points"`
+	Platform     string        `json:"platform"`
+	ClockHz      float64       `json:"clock_hz"`
+	Frames       int           `json:"frames"`
+	Flows        int           `json:"flows"`
+	PayloadBytes int           `json:"tcp_payload_bytes"`
+	RingBytes    int           `json:"ring_bytes"`
+	Points       []ObsPoint    `json:"points"`
+	Flight       []FlightPoint `json:"flight_points"`
 }
 
 const (
@@ -106,7 +126,90 @@ func ObsSweep(batches []int) (*ObsReport, error) {
 		p.OverheadPct = (p.CyclesPerPkt/base.CyclesPerPkt - 1) * 100
 		r.Points = append(r.Points, p)
 	}
+	// Flight-recorder cost: span stamping scales with the sampling rate
+	// (1-in-256 down to every packet); the last point adds the flow
+	// telemetry table, which observes every packet regardless of sampling.
+	for _, cfg := range []struct {
+		shift int
+		flows bool
+	}{{8, false}, {4, false}, {0, false}, {4, true}} {
+		fp, err := flightPoint(d, cfg.shift, cfg.flows)
+		if err != nil {
+			return nil, err
+		}
+		fp.OverheadPct = (fp.CyclesPerPkt/base.CyclesPerPkt - 1) * 100
+		r.Flight = append(r.Flight, fp)
+	}
 	return r, nil
+}
+
+// flightPoint drives the workload with the flight recorder attached at one
+// sampling shift, emitting span events into a drained ring; withFlows also
+// attaches the flow telemetry table.
+func flightPoint(d *DUT, shift int, withFlows bool) (FlightPoint, error) {
+	netdev.Disconnect(d.In)
+	netdev.Disconnect(d.Out)
+	defer func() {
+		netdev.Connect(d.SrcDev, d.In)
+		netdev.Connect(d.Out, d.SinkDev)
+	}()
+
+	// Same XDP parse pipeline as the baseline point, so the delta is the
+	// recorder alone: sampling probe, span stamps, ring production.
+	loader := ebpf.NewLoader(d.Kern)
+	prog, err := loader.Load(&ebpf.Program{
+		Name: "flight_parse", Hook: ebpf.HookXDP,
+		Ops:     []ebpf.Op{fpm.ParseEth(), fpm.ParseIPv4(), fpm.ParseL4()},
+		Default: ebpf.VerdictPass,
+	})
+	if err != nil {
+		return FlightPoint{}, err
+	}
+	if err := loader.AttachXDP(d.In, prog, "driver"); err != nil {
+		return FlightPoint{}, err
+	}
+	defer d.In.DetachXDP()
+
+	rb := ebpf.NewRingBuf("flight_events", obsRing)
+	fr := d.Kern.EnableFlight(flight.Config{SampleShift: uint8(shift), Ring: rb})
+	defer d.Kern.DisableFlight()
+	var ft *flight.FlowTable
+	if withFlows {
+		ft = d.Kern.EnableFlowTelemetry(0)
+		defer d.Kern.DisableFlowTelemetry()
+	}
+
+	frames := obsWorkload(d)
+	n := len(frames)
+	var m sim.Meter
+	for i := 0; i < n; i += netdev.NAPIBudget {
+		end := i + netdev.NAPIBudget
+		if end > n {
+			end = n
+		}
+		d.In.ReceiveBatch(frames[i:end], 0, &m)
+		// Consumer keeps pace poll-by-poll, off the metered path: spans
+		// outnumber packets, so it drains every batch, not just doorbells.
+		rb.Poll(func([]byte) {})
+	}
+	rb.Flush()
+	rb.Poll(func([]byte) {})
+
+	t := fr.Terminals()
+	p := FlightPoint{
+		SampleShift:   shift,
+		FlowTelemetry: withFlows,
+		CyclesPerPkt:  float64(m.Total) / float64(n),
+		Sampled:       t.Sampled,
+		Spans:         t.Spans,
+		Lost:          t.Lost,
+		Events:        rb.Produced(),
+		EventDrops:    rb.Dropped(),
+	}
+	if ft != nil {
+		p.FlowsTracked = ft.Tracked()
+	}
+	return p, nil
 }
 
 // obsPoint drives the workload through one configuration. Wires are
@@ -208,6 +311,19 @@ func RenderObs(r *ObsReport) string {
 		}
 		fmt.Fprintf(&b, "%-7s %-7s %14.1f %10s %10d %10d %9d\n",
 			mode, batch, p.CyclesPerPkt, overhead, p.Events, p.Consumed, p.EventDrops)
+	}
+	if len(r.Flight) > 0 {
+		fmt.Fprintf(&b, "\nflight recorder: span chains + trace ledger, same workload (overhead vs obs-off baseline)\n")
+		fmt.Fprintf(&b, "%-9s %-6s %14s %10s %9s %9s %6s %9s\n",
+			"sampling", "flows", "cycles/pkt", "overhead", "sampled", "spans", "lost", "events")
+		for _, p := range r.Flight {
+			flows := "-"
+			if p.FlowTelemetry {
+				flows = fmt.Sprintf("%d", p.FlowsTracked)
+			}
+			fmt.Fprintf(&b, "1-in-%-4d %-6s %14.1f %+9.2f%% %9d %9d %6d %9d\n",
+				1<<p.SampleShift, flows, p.CyclesPerPkt, p.OverheadPct, p.Sampled, p.Spans, p.Lost, p.Events)
+		}
 	}
 	for _, p := range r.Points {
 		if !p.Enabled || len(p.Stages) == 0 {
